@@ -1,0 +1,189 @@
+(* Benchmark harness.
+
+   Part 1 — Bechamel microbenchmarks, one group per quantitative claim
+   of Table 1: the per-operation cost of retire, of an enter/leave
+   bracket, and of a protected read, for every scheme.
+
+   Part 2 — the full figure suite (Figures 8-16 + Table 1 properties)
+   at container scale, via the same Workload.Figures definitions as
+   bin/experiments.exe.  Override the per-point duration with
+   BENCH_DURATION (seconds) and the thread sweep with BENCH_THREADS
+   (comma-separated). *)
+
+open Bechamel
+open Toolkit
+
+(* ------------------------------------------------------------------ *)
+(* Pool-backed block, as in the test suite. *)
+
+module Blk = struct
+  type t = { hdr : Smr.Hdr.t; index : int }
+
+  let create ~index = { hdr = Smr.Hdr.create (); index }
+  let index b = b.index
+  let on_alloc b = Smr.Hdr.set_live b.hdr
+  let on_free _ = ()
+end
+
+module Pool = Mpool.Make (Blk)
+
+let cfg_bench = Smr.Config.paper ~nthreads:2
+
+(* One tracked retire (enter; alloc; retire; leave), steady-state: the
+   pool recycles, so reclamation work is included, amortized. *)
+let retire_cost (module T : Smr.Tracker.S) =
+  let t = T.create cfg_bench in
+  let pool = Pool.create () in
+  Staged.stage (fun () ->
+      T.enter t ~tid:0;
+      let b = Pool.alloc pool in
+      b.Blk.hdr.Smr.Hdr.free_hook <- (fun () -> Pool.free pool b);
+      T.alloc_hook t ~tid:0 b.Blk.hdr;
+      T.retire t ~tid:0 b.Blk.hdr;
+      T.leave t ~tid:0)
+
+(* Bare bracket cost: what a read-only operation pays. *)
+let bracket_cost (module T : Smr.Tracker.S) =
+  let t = T.create cfg_bench in
+  Staged.stage (fun () ->
+      T.enter t ~tid:0;
+      T.leave t ~tid:0)
+
+(* One protected dereference inside a long-lived bracket. *)
+let read_cost (module T : Smr.Tracker.S) =
+  let t = T.create cfg_bench in
+  let pool = Pool.create () in
+  T.enter t ~tid:0;
+  let b = Pool.alloc pool in
+  T.alloc_hook t ~tid:0 b.Blk.hdr;
+  let link = Atomic.make b in
+  let proj (b : Blk.t) = b.Blk.hdr in
+  Staged.stage (fun () -> ignore (T.read t ~tid:0 ~idx:0 link proj))
+
+let scheme_group name f =
+  Test.make_grouped ~name
+    (List.map
+       (fun (s : Workload.Registry.scheme) ->
+         Test.make ~name:s.Workload.Registry.s_name
+           (f s.Workload.Registry.s_mod))
+       Workload.Registry.schemes)
+
+(* LFRC's protected read: atomic bump + revalidate + atomic release —
+   the "very slow (esp. reading)" row of Table 1, measured. *)
+let lfrc_read_cost =
+  let b = Smr.Lfrc.make_block 42 ~on_free:ignore in
+  let cell = Smr.Lfrc.link (Some b) in
+  Staged.stage (fun () ->
+      match Smr.Lfrc.acquire cell with
+      | Some b -> Smr.Lfrc.release b
+      | None -> ())
+
+let microbenches =
+  Test.make_grouped ~name:"table1"
+    [
+      scheme_group "retire-cost" retire_cost;
+      scheme_group "bracket-cost" bracket_cost;
+      scheme_group "read-cost" read_cost;
+      Test.make ~name:"read-cost/LFRC" lfrc_read_cost;
+    ]
+
+let run_microbenches () =
+  let ols =
+    Analyze.ols ~r_square:false ~bootstrap:0 ~predictors:[| Measure.run |]
+  in
+  let instance = Instance.monotonic_clock in
+  let cfg =
+    Benchmark.cfg ~limit:2000 ~quota:(Time.second 0.25) ~kde:(Some 1000) ()
+  in
+  let raw = Benchmark.all cfg [ instance ] microbenches in
+  let results = Analyze.all ols instance raw in
+  let rows =
+    Hashtbl.fold
+      (fun name ols acc ->
+        let ns =
+          match Analyze.OLS.estimates ols with
+          | Some (x :: _) -> x
+          | _ -> nan
+        in
+        (name, ns) :: acc)
+      results []
+    |> List.sort compare
+  in
+  Format.printf "## Table 1 — measured per-operation costs (ns/op)@.";
+  Format.printf "%-48s %12s@." "benchmark" "ns/op";
+  List.iter (fun (name, ns) -> Format.printf "%-48s %12.1f@." name ns) rows;
+  Format.printf "@."
+
+(* ------------------------------------------------------------------ *)
+
+let getenv_f name default =
+  match Sys.getenv_opt name with Some v -> float_of_string v | None -> default
+
+let getenv_threads () =
+  match Sys.getenv_opt "BENCH_THREADS" with
+  | Some v -> String.split_on_char ',' v |> List.map int_of_string
+  | None -> [ 1; 2; 4 ]
+
+let run_figures () =
+  let sc =
+    {
+      Workload.Figures.quick with
+      Workload.Figures.duration = getenv_f "BENCH_DURATION" 0.3;
+      threads = getenv_threads ();
+      stalled = [ 0; 1; 2; 4 ];
+    }
+  in
+  let open Workload in
+  let header title =
+    Format.printf "## %s@." title;
+    Driver.pp_result_header Format.std_formatter ()
+  in
+  let emit r =
+    Driver.pp_result Format.std_formatter r;
+    Format.pp_print_flush Format.std_formatter ()
+  in
+  Format.printf "## Table 1 — scheme properties@.";
+  Figures.table1 Format.std_formatter;
+  Format.printf "@.";
+  let structures = [ "list"; "hashmap"; "bonsai"; "nmtree" ] in
+  List.iter
+    (fun ds ->
+      header (Printf.sprintf "Fig. 8/9 (write-heavy 50i/50d) — %s" ds);
+      Figures.sweep ~sc ~structure_name:ds ~schemes:Figures.figure8_schemes
+        ~mix:Driver.write_heavy ~emit;
+      Format.printf "@.")
+    structures;
+  header "Fig. 10a (robustness: 2 active + stalled, hashmap)";
+  Figures.robustness ~sc ~active:2 ~emit;
+  Format.printf "@.";
+  header "Fig. 10b (trimming, hashmap, 32 slots)";
+  Figures.trimming ~sc ~emit;
+  Format.printf "@.";
+  List.iter
+    (fun ds ->
+      header (Printf.sprintf "Fig. 11/12 (read-mostly 90g/10p) — %s" ds);
+      Figures.sweep ~sc ~structure_name:ds ~schemes:Figures.figure8_schemes
+        ~mix:Driver.read_mostly ~emit;
+      Format.printf "@.")
+    structures;
+  List.iter
+    (fun ds ->
+      header (Printf.sprintf "Fig. 13/14 (LL/SC backend, write-heavy) — %s" ds);
+      Figures.sweep ~sc ~structure_name:ds ~schemes:Figures.ppc_schemes
+        ~mix:Driver.write_heavy ~emit;
+      Format.printf "@.")
+    structures;
+  List.iter
+    (fun ds ->
+      header (Printf.sprintf "Fig. 15/16 (LL/SC backend, read-mostly) — %s" ds);
+      Figures.sweep ~sc ~structure_name:ds ~schemes:Figures.ppc_schemes
+        ~mix:Driver.read_mostly ~emit;
+      Format.printf "@.")
+    structures
+
+let () =
+  Format.printf
+    "Hyaline reproduction benchmark suite (1-core container scale; see \
+     EXPERIMENTS.md)@.@.";
+  run_microbenches ();
+  run_figures ()

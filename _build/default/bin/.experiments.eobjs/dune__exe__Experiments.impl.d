@@ -1,0 +1,1 @@
+bin/experiments.ml: Arg Cmd Cmdliner Driver Figures Format Hashtbl List Plot Printf String Term Workload

@@ -1,0 +1,1 @@
+bin/validate.ml: Arg Atomic Cmd Cmdliner Domain Dstruct Lincheck List Prims Printexc Printf Registry Smr String Term Unix Workload

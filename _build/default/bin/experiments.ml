@@ -1,0 +1,306 @@
+(* CLI regenerating every table and figure of the paper's evaluation.
+
+   Usage:
+     experiments table1
+     experiments fig8  [--ds hashmap] [--paper] [--threads 1,2,4] [--plot]
+     experiments fig10a [--active 2]
+     experiments ablate-batch | ablate-slots | ablate-freq | ablate-spurious
+     experiments all
+
+   Each throughput figure shares its runs with its companion
+   unreclaimed-objects figure (8/9, 11/12, 13/14, 15/16), so either
+   name prints both metrics; --plot additionally renders the two
+   ASCII charts (throughput, and unreclaimed on a log axis). *)
+
+open Workload
+
+let all_ds = [ "list"; "hashmap"; "bonsai"; "nmtree" ]
+
+let scale_of ~paper ~threads ~duration ~repeat =
+  let base = if paper then Figures.paper else Figures.quick in
+  let base =
+    match threads with
+    | [] -> base
+    | ts -> { base with Figures.threads = ts }
+  in
+  let base =
+    match duration with
+    | None -> base
+    | Some d -> { base with Figures.duration = d }
+  in
+  match repeat with
+  | None -> base
+  | Some r -> { base with Figures.repeats = r }
+
+(* Group collected rows into Plot series keyed by scheme name,
+   preserving first-appearance order. *)
+let series_of rows ~x ~y =
+  let order = ref [] in
+  let tbl = Hashtbl.create 16 in
+  List.iter
+    (fun r ->
+      let key = r.Driver.scheme in
+      if not (Hashtbl.mem tbl key) then begin
+        Hashtbl.add tbl key [];
+        order := key :: !order
+      end;
+      Hashtbl.replace tbl key ((x r, y r) :: Hashtbl.find tbl key))
+    rows;
+  List.rev_map
+    (fun label ->
+      { Plot.label; points = List.rev (Hashtbl.find tbl label) })
+    !order
+
+let render_charts ~title ~xlabel rows =
+  let throughput =
+    Plot.render ~title:(title ^ " — throughput") ~ylabel:"Mops/s" ~xlabel
+      (series_of rows
+         ~x:(fun r -> float_of_int r.Driver.threads)
+         ~y:(fun r -> r.Driver.throughput))
+  in
+  let unreclaimed =
+    Plot.render ~logy:true
+      ~title:(title ^ " — avg unreclaimed objects")
+      ~ylabel:"blocks" ~xlabel
+      (series_of rows
+         ~x:(fun r -> float_of_int r.Driver.threads)
+         ~y:(fun r -> r.Driver.avg_unreclaimed))
+  in
+  print_string throughput;
+  print_newline ();
+  print_string unreclaimed
+
+let render_charts_stalled ~title rows =
+  let mk ~logy ~ylabel y =
+    Plot.render ~logy ~title:(title ^ " — " ^ ylabel) ~ylabel
+      ~xlabel:"stalled threads"
+      (series_of rows
+         ~x:(fun r -> float_of_int r.Driver.stalled)
+         ~y)
+  in
+  print_string (mk ~logy:true ~ylabel:"avg unreclaimed" (fun r -> r.Driver.avg_unreclaimed));
+  print_newline ();
+  print_string (mk ~logy:false ~ylabel:"Mops/s" (fun r -> r.Driver.throughput))
+
+(* Optional machine-readable sink, set from --csv. *)
+let csv_channel : out_channel option ref = ref None
+
+let csv_header = "figure,scheme,structure,threads,stalled,ops,duration_s,mops,avg_unreclaimed,max_unreclaimed,retires,frees\n"
+
+let csv_row oc title (r : Driver.result) =
+  Printf.fprintf oc "%s,%s,%s,%d,%d,%d,%.4f,%.6f,%.1f,%d,%d,%d\n"
+    (String.map (function ',' -> ';' | c -> c) title)
+    r.Driver.scheme r.Driver.structure r.Driver.threads r.Driver.stalled
+    r.Driver.ops r.Driver.duration r.Driver.throughput
+    r.Driver.avg_unreclaimed r.Driver.max_unreclaimed r.Driver.retires
+    r.Driver.frees
+
+let emit_rows ?(plot = `No) title f =
+  Format.printf "## %s@." title;
+  Driver.pp_result_header Format.std_formatter ();
+  let rows = ref [] in
+  f (fun r ->
+      rows := r :: !rows;
+      (match !csv_channel with
+      | Some oc ->
+          csv_row oc title r;
+          flush oc
+      | None -> ());
+      Driver.pp_result Format.std_formatter r;
+      Format.pp_print_flush Format.std_formatter ());
+  Format.printf "@.";
+  match plot with
+  | `No -> ()
+  | `Threads -> render_charts ~title ~xlabel:"threads" (List.rev !rows)
+  | `Stalled -> render_charts_stalled ~title (List.rev !rows)
+
+let run_sweep ~plot ~sc ~ds ~schemes ~mix ~fig_label =
+  List.iter
+    (fun structure_name ->
+      emit_rows
+        ~plot:(if plot then `Threads else `No)
+        (Printf.sprintf "%s — %s" fig_label structure_name)
+        (fun emit -> Figures.sweep ~sc ~structure_name ~schemes ~mix ~emit))
+    ds
+
+let rec dispatch figure ds paper threads duration active plot csv repeat =
+  (match csv with
+  | Some path when !csv_channel = None ->
+      let oc = open_out path in
+      output_string oc csv_header;
+      csv_channel := Some oc
+  | _ -> ());
+  let sc = scale_of ~paper ~threads ~duration ~repeat in
+  let ds = match ds with "all" -> all_ds | d -> [ d ] in
+  let tplot = if plot then `Threads else `No in
+  match String.lowercase_ascii figure with
+  | "table1" ->
+      Format.printf "## Table 1 — scheme properties@.";
+      Figures.table1 Format.std_formatter;
+      Format.printf
+        "@.(retire-cost microbenchmarks: `dune exec bench/main.exe`)@."
+  | "fig8" | "fig9" ->
+      run_sweep ~plot ~sc ~ds ~schemes:Figures.figure8_schemes
+        ~mix:Driver.write_heavy
+        ~fig_label:"Fig. 8/9 (x86 write-heavy 50i/50d)"
+  | "fig11" | "fig12" ->
+      run_sweep ~plot ~sc ~ds ~schemes:Figures.figure8_schemes
+        ~mix:Driver.read_mostly
+        ~fig_label:"Fig. 11/12 (x86 read-mostly 90g/10p)"
+  | "fig13" | "fig14" ->
+      run_sweep ~plot ~sc ~ds ~schemes:Figures.ppc_schemes
+        ~mix:Driver.write_heavy
+        ~fig_label:"Fig. 13/14 (LL/SC backend, write-heavy)"
+  | "fig15" | "fig16" ->
+      run_sweep ~plot ~sc ~ds ~schemes:Figures.ppc_schemes
+        ~mix:Driver.read_mostly
+        ~fig_label:"Fig. 15/16 (LL/SC backend, read-mostly)"
+  | "fig10a" ->
+      emit_rows
+        ~plot:(if plot then `Stalled else `No)
+        (Printf.sprintf "Fig. 10a (robustness: %d active + stalled, hashmap)"
+           active)
+        (fun emit -> Figures.robustness ~sc ~active ~emit)
+  | "fig10b" ->
+      emit_rows ~plot:tplot "Fig. 10b (trimming, hashmap, 32 slots)"
+        (fun emit -> Figures.trimming ~sc ~emit)
+  | "ablate-batch" ->
+      emit_rows ~plot:tplot "Ablation: Hyaline batch size (hashmap)"
+        (fun emit -> Figures.ablate_batch ~sc ~emit)
+  | "ablate-slots" ->
+      emit_rows ~plot:tplot "Ablation: Hyaline slot count (hashmap)"
+        (fun emit -> Figures.ablate_slots ~sc ~emit)
+  | "ablate-freq" ->
+      emit_rows "Ablation: Hyaline-S era frequency, 1 stalled (hashmap)"
+        (fun emit -> Figures.ablate_freq ~sc ~emit)
+  | "ablate-spurious" ->
+      emit_rows ~plot:tplot
+        "Ablation: LL/SC spurious failure rate (hashmap)" (fun emit ->
+          Figures.ablate_spurious ~sc ~emit)
+  | "ablate-skew" ->
+      emit_rows "Ablation: key skew, uniform vs Zipf (hashmap)" (fun emit ->
+          Figures.ablate_skew ~sc ~emit)
+  | "ablate" | "ablations" ->
+      List.iter
+        (fun f ->
+          dispatch f "hashmap" paper threads duration active plot csv repeat)
+        [
+          "ablate-batch"; "ablate-slots"; "ablate-freq"; "ablate-spurious";
+          "ablate-skew";
+        ]
+  | "all" -> dispatch_all sc ds active plot
+  | other ->
+      Format.eprintf
+        "unknown figure %S (try table1, fig8..fig16, fig10a, fig10b, \
+         ablate-batch, ablate-slots, ablate-freq, ablate-spurious, all)@."
+        other;
+      exit 2
+
+and dispatch_all sc ds active plot =
+  let tplot = if plot then `Threads else `No in
+  Format.printf "## Table 1 — scheme properties@.";
+  Figures.table1 Format.std_formatter;
+  Format.printf "@.";
+  run_sweep ~plot ~sc ~ds ~schemes:Figures.figure8_schemes
+    ~mix:Driver.write_heavy ~fig_label:"Fig. 8/9 (x86 write-heavy 50i/50d)";
+  emit_rows
+    ~plot:(if plot then `Stalled else `No)
+    (Printf.sprintf "Fig. 10a (robustness: %d active + stalled, hashmap)"
+       active)
+    (fun emit -> Figures.robustness ~sc ~active ~emit);
+  emit_rows ~plot:tplot "Fig. 10b (trimming, hashmap, 32 slots)" (fun emit ->
+      Figures.trimming ~sc ~emit);
+  run_sweep ~plot ~sc ~ds ~schemes:Figures.figure8_schemes
+    ~mix:Driver.read_mostly ~fig_label:"Fig. 11/12 (x86 read-mostly 90g/10p)";
+  run_sweep ~plot ~sc ~ds ~schemes:Figures.ppc_schemes ~mix:Driver.write_heavy
+    ~fig_label:"Fig. 13/14 (LL/SC backend, write-heavy)";
+  run_sweep ~plot ~sc ~ds ~schemes:Figures.ppc_schemes ~mix:Driver.read_mostly
+    ~fig_label:"Fig. 15/16 (LL/SC backend, read-mostly)";
+  emit_rows ~plot:tplot "Ablation: Hyaline batch size (hashmap)" (fun emit ->
+      Figures.ablate_batch ~sc ~emit);
+  emit_rows ~plot:tplot "Ablation: Hyaline slot count (hashmap)" (fun emit ->
+      Figures.ablate_slots ~sc ~emit);
+  emit_rows "Ablation: Hyaline-S era frequency, 1 stalled (hashmap)"
+    (fun emit -> Figures.ablate_freq ~sc ~emit);
+  emit_rows ~plot:tplot "Ablation: LL/SC spurious failure rate (hashmap)"
+    (fun emit -> Figures.ablate_spurious ~sc ~emit)
+
+open Cmdliner
+
+let figure =
+  Arg.(
+    required
+    & pos 0 (some string) None
+    & info [] ~docv:"FIGURE"
+        ~doc:
+          "Which result to regenerate: table1, fig8, fig9, fig10a, fig10b, \
+           fig11..fig16, ablate-batch, ablate-slots, ablate-freq, \
+           ablate-spurious, ablate (all four), or all.")
+
+let ds =
+  Arg.(
+    value & opt string "all"
+    & info [ "ds" ] ~docv:"STRUCTURE"
+        ~doc:"Data structure: list, hashmap, bonsai, nmtree, or all.")
+
+let paper =
+  Arg.(
+    value & flag
+    & info [ "paper" ]
+        ~doc:
+          "Use the paper's full-scale parameters (50k prefill, 10s runs, \
+           wide thread sweep).  Very slow on small machines.")
+
+let threads =
+  Arg.(
+    value
+    & opt (list int) []
+    & info [ "threads" ] ~docv:"N,N,..."
+        ~doc:"Override the thread-count sweep, e.g. --threads 1,2,4,8.")
+
+let duration =
+  Arg.(
+    value
+    & opt (some float) None
+    & info [ "duration" ] ~docv:"SECONDS" ~doc:"Per-data-point run time.")
+
+let active =
+  Arg.(
+    value & opt int 2
+    & info [ "active" ] ~docv:"N"
+        ~doc:"Active worker threads in the fig10a robustness experiment.")
+
+let plot =
+  Arg.(
+    value & flag
+    & info [ "plot" ]
+        ~doc:"Also render each figure as ASCII charts (one marker per \
+              scheme), like the paper's plots.")
+
+let csv =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "csv" ] ~docv:"FILE"
+        ~doc:"Also append every data point to $(docv) as CSV.")
+
+let repeat =
+  Arg.(
+    value
+    & opt (some int) None
+    & info [ "repeat" ] ~docv:"N"
+        ~doc:
+          "Runs averaged per data point (the paper uses 5; the quick            scale defaults to 1).")
+
+let cmd =
+  let doc =
+    "Regenerate the tables and figures of 'Hyaline: Fast and Transparent \
+     Lock-Free Memory Reclamation' (PLDI 2021)."
+  in
+  Cmd.v
+    (Cmd.info "experiments" ~doc)
+    Term.(
+      const dispatch $ figure $ ds $ paper $ threads $ duration $ active
+      $ plot $ csv $ repeat)
+
+let () = exit (Cmd.eval cmd)

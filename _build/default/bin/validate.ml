@@ -1,0 +1,159 @@
+(* Soak validator: one command that hammers every (structure x scheme)
+   pair with the full checking arsenal armed and reports pass/fail.
+
+     dune exec bin/validate.exe -- [--seconds 0.5] [--threads 4]
+                                   [--ds hashmap] [--scheme Hyaline]
+                                   [--seed 1]
+
+   Per pair it runs, in order:
+   1. a mixed concurrent stress with pool recycling and the
+      use-after-free lifecycle detector enabled, followed by structural
+      invariant checks and the frees = retires quiescence audit;
+   2. a batch of short high-contention runs whose recorded histories
+      are verified linearizable (Wing-Gong).
+
+   Exit status 0 iff everything passed — usable as a CI gate. *)
+
+open Workload
+
+let stress (module M : Dstruct.Map_intf.S) ~threads ~seconds ~seed =
+  let cfg =
+    {
+      (Smr.Config.paper ~nthreads:threads) with
+      Smr.Config.slots = 8;
+      batch_min = 16;
+      check_uaf = true;
+    }
+  in
+  let m = M.create ~cfg () in
+  let stop = Atomic.make false in
+  let key_range = 512 in
+  let failure = Atomic.make None in
+  let worker tid () =
+    try
+      let rng = Prims.Rng.create ~seed:(seed + (31 * tid)) in
+      while not (Atomic.get stop) do
+        let k = Prims.Rng.below rng key_range in
+        M.enter m ~tid;
+        (match Prims.Rng.below rng 10 with
+        | 0 | 1 | 2 -> ignore (M.insert m ~tid k k)
+        | 3 | 4 | 5 -> ignore (M.remove m ~tid k)
+        | 6 -> ignore (M.put m ~tid k (k * 3))
+        | _ -> ignore (M.get m ~tid k));
+        M.leave m ~tid
+      done
+    with e -> Atomic.set failure (Some (Printexc.to_string e))
+  in
+  let domains = List.init threads (fun tid -> Domain.spawn (worker tid)) in
+  Unix.sleepf seconds;
+  Atomic.set stop true;
+  List.iter Domain.join domains;
+  (match Atomic.get failure with
+  | Some msg -> failwith ("worker died: " ^ msg)
+  | None -> ());
+  M.check m;
+  for tid = 0 to threads - 1 do
+    M.flush m ~tid
+  done;
+  let s = Smr.Stats.snapshot (M.stats m) in
+  if s.Smr.Stats.retires <> s.Smr.Stats.frees then
+    failwith
+      (Printf.sprintf "quiescence audit: retired %d, freed %d"
+         s.Smr.Stats.retires s.Smr.Stats.frees);
+  s.Smr.Stats.retires
+
+let linearizability (module M : Dstruct.Map_intf.S) ~seed =
+  let cfg =
+    {
+      Smr.Config.default with
+      Smr.Config.nthreads = 3;
+      slots = 2;
+      batch_min = 4;
+      check_uaf = true;
+    }
+  in
+  for round = 0 to 7 do
+    let evs =
+      Lincheck.Run.run_map
+        (module M)
+        ~cfg ~threads:3 ~ops_per_thread:12 ~key_range:3
+        ~seed:(seed + round)
+    in
+    Lincheck.History.check_exn evs
+  done
+
+let validate_pair ~(structure : Registry.structure)
+    ~(scheme : Registry.scheme) ~threads ~seconds ~seed =
+  let map = Registry.make_map structure scheme in
+  let retires = stress map ~threads ~seconds ~seed in
+  let module M = (val map) in
+  linearizability map ~seed;
+  retires
+
+let run ds_filter scheme_filter threads seconds seed =
+  let failures = ref 0 in
+  let total = ref 0 in
+  List.iter
+    (fun (d : Registry.structure) ->
+      List.iter
+        (fun (s : Registry.scheme) ->
+          let wanted which filter =
+            match filter with
+            | None -> true
+            | Some f -> String.lowercase_ascii f = String.lowercase_ascii which
+          in
+          if
+            Registry.compatible ~structure:d ~scheme:s
+            && s.Registry.s_name <> "Leaky" (* cannot pass by design *)
+            && wanted d.Registry.d_name ds_filter
+            && wanted s.Registry.s_name scheme_filter
+          then begin
+            incr total;
+            Printf.printf "%-10s x %-16s ... %!" d.Registry.d_name
+              s.Registry.s_name;
+            match
+              validate_pair ~structure:d ~scheme:s ~threads ~seconds ~seed
+            with
+            | retires -> Printf.printf "ok (%d blocks recycled)\n%!" retires
+            | exception e ->
+                incr failures;
+                Printf.printf "FAIL: %s\n%!" (Printexc.to_string e)
+          end)
+        Registry.schemes)
+    Registry.structures;
+  Printf.printf "\n%d/%d pairs passed\n" (!total - !failures) !total;
+  if !failures > 0 then exit 1
+
+open Cmdliner
+
+let ds =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "ds" ] ~docv:"STRUCTURE" ~doc:"Only this structure.")
+
+let scheme =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "scheme" ] ~docv:"SCHEME" ~doc:"Only this scheme.")
+
+let threads =
+  Arg.(value & opt int 4 & info [ "threads" ] ~doc:"Stress worker count.")
+
+let seconds =
+  Arg.(
+    value & opt float 0.3
+    & info [ "seconds" ] ~doc:"Stress duration per pair.")
+
+let seed = Arg.(value & opt int 1 & info [ "seed" ] ~doc:"Random seed.")
+
+let cmd =
+  Cmd.v
+    (Cmd.info "validate"
+       ~doc:
+         "Soak-test every (structure x scheme) pair with use-after-free \
+          detection, quiescence audits and linearizability checking.")
+    Term.(const run $ ds $ scheme $ threads $ seconds $ seed)
+
+let () = exit (Cmd.eval cmd)

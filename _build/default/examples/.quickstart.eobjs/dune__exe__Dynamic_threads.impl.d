@@ -1,0 +1,1 @@
+examples/dynamic_threads.ml: Domain Dstruct Hyaline_core List Prims Printf Smr

@@ -1,0 +1,1 @@
+examples/oversubscribed.ml: Driver Format List Registry Smr Workload

@@ -1,0 +1,1 @@
+examples/quickstart.ml: Array Domain Dstruct Hyaline_core List Printf Smr

@@ -1,0 +1,1 @@
+examples/stalled_thread.ml: Dstruct Hyaline_core List Printf Smr

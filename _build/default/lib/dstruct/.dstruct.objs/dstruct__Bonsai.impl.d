@@ -1,0 +1,1 @@
+lib/dstruct/bonsai.ml: Atomic Config Hdr List Map_intf Mpool Option Smr Tracker

@@ -1,0 +1,1 @@
+lib/dstruct/bonsai.mli: Map_intf Smr

@@ -1,0 +1,1 @@
+lib/dstruct/harris_list.ml: Atomic Hm_core Map_intf Smr

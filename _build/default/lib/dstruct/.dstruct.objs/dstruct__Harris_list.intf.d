@@ -1,0 +1,1 @@
+lib/dstruct/harris_list.mli: Map_intf Smr

@@ -1,0 +1,1 @@
+lib/dstruct/hash_map.ml: Array Atomic Hm_core List Map_intf Smr

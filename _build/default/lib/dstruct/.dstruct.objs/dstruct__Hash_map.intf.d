@@ -1,0 +1,1 @@
+lib/dstruct/hash_map.mli: Map_intf Smr

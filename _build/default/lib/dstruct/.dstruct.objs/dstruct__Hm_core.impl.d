@@ -1,0 +1,1 @@
+lib/dstruct/hm_core.ml: Atomic Config Hdr List Mpool Printf Smr Tracker

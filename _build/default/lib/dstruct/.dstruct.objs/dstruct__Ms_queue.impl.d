@@ -1,0 +1,1 @@
+lib/dstruct/ms_queue.ml: Atomic Config Hdr Mpool Smr Tracker

@@ -1,0 +1,1 @@
+lib/dstruct/nm_tree.ml: Atomic Config Hdr List Map_intf Mpool Option Printf Smr Tracker

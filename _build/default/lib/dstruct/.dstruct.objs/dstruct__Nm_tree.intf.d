@@ -1,0 +1,1 @@
+lib/dstruct/nm_tree.mli: Map_intf Smr

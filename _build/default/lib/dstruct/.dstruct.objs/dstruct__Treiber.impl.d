@@ -1,0 +1,1 @@
+lib/dstruct/treiber.ml: Atomic Hdr Smr Tracker

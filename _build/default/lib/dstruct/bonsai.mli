@@ -1,0 +1,18 @@
+(** The Bonsai-tree benchmark (Clements et al. variant; paper §6,
+    Figures 8b/9b/11b/12b): a persistent weight-balanced tree whose
+    writers path-copy and publish with one root CAS, retiring the
+    whole displaced path.
+
+    The heaviest retirement rate of the four benchmarks — the one
+    where the paper reports Hyaline's steady ~10% win over EBR.  HP
+    and HE are not run on it (per-pointer protection cannot cover
+    snapshot traversals through rotated subtrees), matching the
+    paper's framework. *)
+
+val delta : int
+(** Adams' weight-balance factor (3). *)
+
+val ratio : int
+(** Adams' single/double rotation threshold (2). *)
+
+module Make (_ : Smr.Tracker.S) : Map_intf.S

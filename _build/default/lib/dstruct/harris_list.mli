@@ -1,0 +1,14 @@
+(** The sorted lock-free linked-list benchmark (Harris's algorithm
+    with Michael's timely-unlink modification; paper §6, Figures
+    8a/9a/11a/12a).
+
+    One list spans the whole key range, so operations are dominated by
+    long traversals — the benchmark that stresses each SMR scheme's
+    {e per-dereference} cost (HP's publication barriers, the era
+    updates of the robust schemes) rather than its retire path.
+
+    Timely retirement — every traversal unlinks and retires the marked
+    nodes it passes — is exactly the property §2.4 requires for the
+    robust schemes to work on a linked list. *)
+
+module Make (_ : Smr.Tracker.S) : Map_intf.S

@@ -1,0 +1,11 @@
+(** Michael's lock-free hash map (paper §6, Figures 8c/9c/11c/12c):
+    a fixed array of buckets, each a Harris-Michael list.
+
+    Operations are very short, making this the evaluation's main
+    reclamation stress and the structure used for the robustness
+    (Fig. 10a) and trimming (Fig. 10b) experiments. *)
+
+val default_buckets : int
+(** Bucket count used by [create] (8192). *)
+
+module Make (_ : Smr.Tracker.S) : Map_intf.S

@@ -1,0 +1,208 @@
+(** Shared machinery of the sorted lock-free linked list (Harris's
+    algorithm with Michael's modification that unlinks and retires
+    deleted nodes timely — the variant usable by every SMR scheme,
+    robust ones included) and of Michael's hash map, whose buckets are
+    exactly these lists.
+
+    A node [x] is {e logically deleted} iff the link stored in
+    [x.next] carries the mark bit; the mark travels with the successor
+    pointer in one atomic word — modelled as a CAS on an immutable
+    [link] record.  Traversals unlink (and retire) every marked node
+    they pass, so deleted nodes are reclaimed promptly no matter which
+    operation encounters them first. *)
+
+open Smr
+
+module Make (T : Tracker.S) = struct
+  type node = {
+    hdr : Hdr.t;
+    pool_index : int;
+    mutable key : int;
+    mutable value : int;
+    next : link Atomic.t;
+  }
+
+  and link = { succ : node option; marked : bool }
+
+  module Pool = Mpool.Make (struct
+    type t = node
+
+    let create ~index =
+      {
+        hdr = Hdr.create ();
+        pool_index = index;
+        key = 0;
+        value = 0;
+        next = Atomic.make { succ = None; marked = false };
+      }
+
+    let index n = n.pool_index
+    let on_alloc n = Hdr.set_live n.hdr
+    let on_free _ = ()
+  end)
+
+  type core = { cfg : Config.t; tracker : T.t; pool : Pool.t }
+
+  let make_core cfg = { cfg; tracker = T.create cfg; pool = Pool.create () }
+
+  let proj (l : link) =
+    match l.succ with Some n -> n.hdr | None -> Hdr.nil
+
+  let alloc core ~tid key value =
+    let n = Pool.alloc core.pool in
+    n.key <- key;
+    n.value <- value;
+    n.hdr.Hdr.free_hook <- (fun () -> Pool.free core.pool n);
+    T.alloc_hook core.tracker ~tid n.hdr;
+    n
+
+  (* Free a node that was never published (lost insertion race). *)
+  let discard n =
+    Hdr.set_freed n.hdr;
+    n.hdr.Hdr.free_hook ()
+
+  (* Michael's find: returns the predecessor link cell, the exact
+     validated value read from it (needed as the CAS witness), and the
+     first node with key >= [key] (None = end of list).  Unlinks and
+     retires every marked node encountered; restarts from [head] when
+     a CAS witness goes stale. *)
+  let search core ~tid ~(head : link Atomic.t) key =
+    let tracker = core.tracker in
+    let rec restart () =
+      let d = ref 0 in
+      let read_link cell =
+        let l = T.read tracker ~tid ~idx:(!d mod 3) cell proj in
+        incr d;
+        l
+      in
+      let rec advance (prev : link Atomic.t) (prev_link : link) =
+        match prev_link.succ with
+        | None -> (prev, prev_link, None)
+        | Some c ->
+            let c_link = read_link c.next in
+            if c_link.marked then
+              (* c is logically deleted: unlink it here.  The witness
+                 box [prev_link] is unmarked, so the CAS also fails if
+                 the predecessor itself got deleted meanwhile. *)
+              let repaired = { succ = c_link.succ; marked = false } in
+              if Atomic.compare_and_set prev prev_link repaired then begin
+                T.retire tracker ~tid c.hdr;
+                advance prev repaired
+              end
+              else restart ()
+            else if c.key >= key then (prev, prev_link, Some c)
+            else advance c.next c_link
+      in
+      advance head (read_link head)
+    in
+    restart ()
+
+  let get_in core ~tid ~head key =
+    match search core ~tid ~head key with
+    | _, _, Some c when c.key = key -> Some c.value
+    | _ -> None
+
+  let insert_in core ~tid ~head key value =
+    let fresh = alloc core ~tid key value in
+    let rec loop () =
+      let prev, prev_link, curr = search core ~tid ~head key in
+      match curr with
+      | Some c when c.key = key ->
+          discard fresh;
+          false
+      | _ ->
+          Atomic.set fresh.next { succ = curr; marked = false };
+          if
+            Atomic.compare_and_set prev prev_link
+              { succ = Some fresh; marked = false }
+          then true
+          else loop ()
+    in
+    loop ()
+
+  let remove_in core ~tid ~head key =
+    let rec loop () =
+      let prev, prev_link, curr = search core ~tid ~head key in
+      match curr with
+      | Some c when c.key = key -> (
+          let c_link = Atomic.get c.next in
+          if c_link.marked then loop () (* someone else is deleting c *)
+          else if
+            Atomic.compare_and_set c.next c_link
+              { c_link with marked = true }
+          then begin
+            (* Logical deletion done; try to unlink physically.  On
+               failure a later traversal performs the unlink (and the
+               retire) — exactly one unlinker exists because only one
+               CAS can ever swing the unique predecessor past c. *)
+            if
+              Atomic.compare_and_set prev prev_link
+                { succ = c_link.succ; marked = false }
+            then T.retire core.tracker ~tid c.hdr
+            else ignore (search core ~tid ~head key);
+            true
+          end
+          else loop ())
+      | _ -> false
+    in
+    loop ()
+
+  (* put updates the value in place when the key exists.  (A
+     node-replacing variant — mark the old node, swing the predecessor
+     to a fresh one — was tried and rejected: if the swing CAS fails
+     after the mark, the operation has already published a deletion
+     and must re-insert, making one put two observable mutations.  The
+     linearizability tests caught exactly that.  A single word write
+     on the still-protected node is atomic and linearizes at the
+     write.) *)
+  let put_in core ~tid ~head key value =
+    let rec loop () =
+      let prev, prev_link, curr = search core ~tid ~head key in
+      match curr with
+      | Some c when c.key = key ->
+          c.value <- value;
+          false
+      | _ ->
+          let fresh = alloc core ~tid key value in
+          Atomic.set fresh.next { succ = curr; marked = false };
+          if
+            Atomic.compare_and_set prev prev_link
+              { succ = Some fresh; marked = false }
+          then true
+          else begin
+            discard fresh;
+            loop ()
+          end
+    in
+    loop ()
+
+  (* Quiescent helpers. *)
+
+  let fold_in ~head f acc =
+    let rec go acc = function
+      | None -> acc
+      | Some c ->
+          let l = Atomic.get c.next in
+          let acc = if l.marked then acc else f acc c in
+          go acc l.succ
+    in
+    go acc (Atomic.get head).succ
+
+  let to_list_in ~head =
+    List.rev (fold_in ~head (fun acc c -> (c.key, c.value) :: acc) [])
+
+  let size_in ~head = fold_in ~head (fun n _ -> n + 1) 0
+
+  let check_in ~head =
+    let rec go prev_key = function
+      | None -> ()
+      | Some c ->
+          Hdr.check_not_freed "Hm_core.check: reachable node freed" c.hdr;
+          if c.key <= prev_key then
+            failwith
+              (Printf.sprintf "Hm_core.check: order violation %d <= %d" c.key
+                 prev_key);
+          go c.key (Atomic.get c.next).succ
+    in
+    go min_int (Atomic.get head).succ
+end

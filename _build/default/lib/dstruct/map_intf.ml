@@ -1,0 +1,63 @@
+(** The common interface of the four benchmark data structures.
+
+    All four structures of the paper's evaluation (§6: Harris-Michael
+    sorted linked list, Michael's lock-free hash map, the Bonsai-tree
+    variant, and the Natarajan-Mittal BST) implement integer-keyed
+    maps behind this signature, functorized over the SMR scheme, so
+    every (structure x scheme) pair of the figures is one functor
+    application.
+
+    Bracketing is the caller's job, exactly as in the paper's
+    programming model (Figure 1a): wrap each operation in
+    {!S.enter}/{!S.leave} — or chain operations with {!S.trim} for the
+    Figure 10b experiment.  Operations must not be invoked outside a
+    bracket. *)
+
+module type S = sig
+  type t
+
+  val name : string
+
+  val create : ?seed:int -> cfg:Smr.Config.t -> unit -> t
+  (** Fresh empty map with its own tracker instance and node pool.
+      [seed] parameterizes any internal randomization. *)
+
+  (** {2 Bracketing} *)
+
+  val enter : t -> tid:int -> unit
+  val leave : t -> tid:int -> unit
+  val trim : t -> tid:int -> unit
+  val flush : t -> tid:int -> unit
+
+  (** {2 Operations (inside a bracket)} *)
+
+  val insert : t -> tid:int -> int -> int -> bool
+  (** [insert t ~tid k v] adds the binding; [false] if [k] present. *)
+
+  val remove : t -> tid:int -> int -> bool
+  (** [remove t ~tid k] deletes [k]'s binding; [false] if absent. *)
+
+  val get : t -> tid:int -> int -> int option
+
+  val put : t -> tid:int -> int -> int -> bool
+  (** Insert-or-update; [true] if a new binding was created. *)
+
+  (** {2 Observation} *)
+
+  val stats : t -> Smr.Stats.t
+  (** The underlying tracker's reclamation counters. *)
+
+  val size : t -> int
+  (** Number of bindings.  Quiescent use only. *)
+
+  val to_sorted_list : t -> (int * int) list
+  (** All bindings in key order.  Quiescent use only. *)
+
+  val check : t -> unit
+  (** Validate structural invariants (ordering, balance/marks, no
+      freed node reachable).  Quiescent use only; raises
+      [Failure]/[Hdr.Lifecycle] on violation. *)
+end
+
+(** Builder: structure module from a scheme module. *)
+module type MAKER = functor (T : Smr.Tracker.S) -> S

@@ -1,0 +1,27 @@
+(** Michael-Scott lock-free FIFO queue over the SMR framework.
+
+    Not part of the paper's figure suite, but the canonical
+    reclamation client (it is the motivating structure of Michael's
+    hazard-pointer paper): every dequeue retires the outgoing dummy
+    node whose value a concurrent dequeuer may still be reading —
+    useless without SMR, a one-liner with it.  Included as an extra
+    demonstration client and test subject. *)
+
+module Make (T : Smr.Tracker.S) : sig
+  type t
+  (** An int queue (nodes come from a recycling pool). *)
+
+  val create : Smr.Config.t -> t
+
+  val enqueue : t -> tid:int -> int -> unit
+  (** Self-bracketing (performs its own [enter]/[leave]). *)
+
+  val dequeue : t -> tid:int -> int option
+  (** Self-bracketing; retires the outgoing dummy node. *)
+
+  val length : t -> int
+  (** Quiescent use only. *)
+
+  val flush : t -> tid:int -> unit
+  val stats : t -> Smr.Stats.t
+end

@@ -1,0 +1,10 @@
+(** Natarajan & Mittal's lock-free external BST (paper §6, Figures
+    8d/9d/11d/12d).
+
+    Leaves carry the bindings; deletions flag the victim's parent
+    edge, tag the survivor edge, and excise a whole chain of
+    condemned internal nodes with one CAS at the nearest live
+    ancestor.  The thread whose CAS performs the excision retires the
+    entire detached chain, so every block is retired exactly once. *)
+
+module Make (_ : Smr.Tracker.S) : Map_intf.S

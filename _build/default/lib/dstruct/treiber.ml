@@ -1,0 +1,51 @@
+(** Treiber stack over the SMR framework — not part of the paper's
+    benchmark suite, but the canonical minimal client of a reclamation
+    scheme; used by the quickstart example and the tutorial tests. *)
+
+open Smr
+
+module Make (T : Tracker.S) = struct
+  type 'a node = {
+    hdr : Hdr.t;
+    value : 'a;
+    mutable next : 'a node option;
+  }
+
+  type 'a t = { tracker : T.t; top : 'a node option Atomic.t }
+
+  let create cfg = { tracker = T.create cfg; top = Atomic.make None }
+  let tracker t = t.tracker
+  let proj = function Some n -> n.hdr | None -> Hdr.nil
+
+  let push t ~tid value =
+    let n = { hdr = Hdr.create (); value; next = None } in
+    T.alloc_hook t.tracker ~tid n.hdr;
+    let rec loop () =
+      let top = Atomic.get t.top in
+      n.next <- top;
+      if not (Atomic.compare_and_set t.top top (Some n)) then loop ()
+    in
+    T.enter t.tracker ~tid;
+    loop ();
+    T.leave t.tracker ~tid
+
+  let pop t ~tid =
+    T.enter t.tracker ~tid;
+    let rec loop () =
+      match T.read t.tracker ~tid ~idx:0 t.top proj with
+      | None -> None
+      | Some n as top ->
+          if Atomic.compare_and_set t.top top n.next then begin
+            let v = n.value in
+            T.retire t.tracker ~tid n.hdr;
+            Some v
+          end
+          else loop ()
+    in
+    let r = loop () in
+    T.leave t.tracker ~tid;
+    r
+
+  let flush t ~tid = T.flush t.tracker ~tid
+  let stats t = T.stats t.tracker
+end

@@ -1,0 +1,19 @@
+(** Treiber stack over the SMR framework — the canonical minimal
+    client of a reclamation scheme.  Not part of the paper's benchmark
+    suite; used by the quickstart example and tutorial tests. *)
+
+module Make (T : Smr.Tracker.S) : sig
+  type 'a t
+
+  val create : Smr.Config.t -> 'a t
+  val tracker : 'a t -> T.t
+
+  val push : 'a t -> tid:int -> 'a -> unit
+  (** Self-bracketing: performs its own [enter]/[leave]. *)
+
+  val pop : 'a t -> tid:int -> 'a option
+  (** Self-bracketing; retires the popped node. *)
+
+  val flush : 'a t -> tid:int -> unit
+  val stats : 'a t -> Smr.Stats.t
+end

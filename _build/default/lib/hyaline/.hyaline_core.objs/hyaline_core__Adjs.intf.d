@@ -1,0 +1,1 @@
+lib/hyaline/adjs.mli:

@@ -1,0 +1,1 @@
+lib/hyaline/batch.ml: Atomic Hdr List Smr

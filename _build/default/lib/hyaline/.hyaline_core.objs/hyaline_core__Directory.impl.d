@@ -1,0 +1,1 @@
+lib/hyaline/directory.ml: Adjs Array Atomic Smr

@@ -1,0 +1,1 @@
+lib/hyaline/directory.mli:

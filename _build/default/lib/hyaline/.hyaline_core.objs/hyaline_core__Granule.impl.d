@@ -1,0 +1,1 @@
+lib/hyaline/granule.ml: Atomic Smr

@@ -1,0 +1,1 @@
+lib/hyaline/head.ml: Atomic Smr Snap

@@ -1,0 +1,1 @@
+lib/hyaline/head.mli: Smr Snap

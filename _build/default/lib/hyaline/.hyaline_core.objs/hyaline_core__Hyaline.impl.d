@@ -1,0 +1,1 @@
+lib/hyaline/hyaline.ml: Adjs Array Atomic Batch Config Hdr Head Internal Llsc_head Smr Snap Stats Tracker Tracker_ext

@@ -1,0 +1,1 @@
+lib/hyaline/hyaline.mli: Head Tracker_ext

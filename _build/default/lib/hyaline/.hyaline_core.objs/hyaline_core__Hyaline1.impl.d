@@ -1,0 +1,1 @@
+lib/hyaline/hyaline1.ml: Hyaline1_core

@@ -1,0 +1,1 @@
+lib/hyaline/hyaline1.mli: Tracker_ext

@@ -1,0 +1,1 @@
+lib/hyaline/hyaline1_core.ml: Array Atomic Batch Config Hdr Internal Prims Smr Stats Tracker Tracker_ext

@@ -1,0 +1,1 @@
+lib/hyaline/hyaline1_core.mli: Tracker_ext

@@ -1,0 +1,1 @@
+lib/hyaline/hyaline1s.ml: Hyaline1_core

@@ -1,0 +1,1 @@
+lib/hyaline/hyaline1s.mli: Tracker_ext

@@ -1,0 +1,1 @@
+lib/hyaline/hyaline_s.ml: Adjs Array Atomic Batch Config Directory Hdr Head Internal Llsc_head Prims Smr Snap Stats Tracker Tracker_ext

@@ -1,0 +1,1 @@
+lib/hyaline/hyaline_s.mli: Head Tracker_ext

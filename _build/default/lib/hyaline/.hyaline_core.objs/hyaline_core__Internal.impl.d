@@ -1,0 +1,1 @@
+lib/hyaline/internal.ml: Atomic Hdr Head List Prims Smr Snap Tracker

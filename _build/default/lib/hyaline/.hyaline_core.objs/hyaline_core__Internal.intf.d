@@ -1,0 +1,1 @@
+lib/hyaline/internal.mli: Head Smr

@@ -1,0 +1,1 @@
+lib/hyaline/llsc_head.ml: Granule Snap

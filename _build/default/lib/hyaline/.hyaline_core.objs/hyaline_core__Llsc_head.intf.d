@@ -1,0 +1,1 @@
+lib/hyaline/llsc_head.mli: Head

@@ -1,0 +1,1 @@
+lib/hyaline/snap.mli: Format Smr

@@ -1,0 +1,1 @@
+lib/hyaline/tracker_ext.mli: Smr

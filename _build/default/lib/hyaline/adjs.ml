@@ -1,0 +1,14 @@
+let log2 k =
+  if not (Smr.Config.is_pow2 k) then invalid_arg "Adjs.log2: not a power of two";
+  let rec go acc n = if n <= 1 then acc else go (acc + 1) (n lsr 1) in
+  go 0 k
+
+let of_k k =
+  let l = log2 k in
+  if l = 0 then 0 else 1 lsl (63 - l)
+
+let next_pow2 n =
+  if n <= 1 then 1
+  else
+    let rec go p = if p >= n then p else go (p * 2) in
+    go 1

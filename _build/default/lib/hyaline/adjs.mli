@@ -1,0 +1,23 @@
+(** The [Adjs] adjustment constant (paper §3.2).
+
+    Hyaline completes a batch's reference count only after the batch
+    has been accounted for in {e every} slot.  Each slot contributes
+    exactly once — either an insertion/detach adjustment or an "empty
+    slot" credit — and each contribution carries
+    [Adjs = floor((2{^N}-1)/k) + 1 = 2{^N}/k] for [k] a power of two,
+    so the count cannot reach zero until all [k] contributions, which
+    sum to [k * Adjs = 2{^N} = 0] in wrapping arithmetic, have landed.
+    OCaml native ints are 63-bit, hence [N = 63] here. *)
+
+val log2 : int -> int
+(** [log2 k] for [k] a positive power of two.
+    @raise Invalid_argument otherwise. *)
+
+val of_k : int -> int
+(** [of_k k] is the [Adjs] constant for [k] slots: [0] when [k = 1]
+    (the paper's unsigned-overflow special case), [2{^63}/k]
+    otherwise.
+    @raise Invalid_argument if [k] is not a positive power of two. *)
+
+val next_pow2 : int -> int
+(** Smallest power of two [>= n] (for [n >= 1]). *)

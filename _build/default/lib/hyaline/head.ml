@@ -1,0 +1,33 @@
+module type OPS = sig
+  type t
+
+  val backend : string
+  val make : unit -> t
+  val read : t -> Snap.t
+  val enter_faa : t -> Snap.t
+  val cas_ref : t -> expected:Snap.t -> int -> bool
+  val cas_ptr : t -> expected:Snap.t -> Smr.Hdr.t -> bool
+end
+
+module Dwcas : OPS = struct
+  type t = Snap.t Atomic.t
+
+  let backend = "dwcas"
+  let make () = Atomic.make Snap.zero
+  let read = Atomic.get
+
+  let rec enter_faa t =
+    let old = Atomic.get t in
+    let next = { old with Snap.href = old.Snap.href + 1 } in
+    if Atomic.compare_and_set t old next then old else enter_faa t
+
+  (* [expected] is a box previously obtained from [read]/[enter_faa],
+     so physical compare-and-set implements the pair CAS.  A
+     semantically-equal-but-distinct box only arises if the head
+     changed in between, in which case failing is correct. *)
+  let cas_ref t ~expected href =
+    Atomic.compare_and_set t expected { expected with Snap.href }
+
+  let cas_ptr t ~expected hptr =
+    Atomic.compare_and_set t expected { expected with Snap.hptr }
+end

@@ -1,0 +1,44 @@
+(** Atomic operations on a slot Head — the backend signature.
+
+    Hyaline needs read-modify-write atomicity over the two-word
+    [\[HRef, HPtr\]] tuple.  The paper implements it three ways:
+    double-width CAS (x86-64 [cmpxchg16b], ARM64), single-width LL/SC
+    over a shared reservation granule (PPC/MIPS, §4.4), or
+    counter-in-pointer squeezing (SPARC).  The algorithm in
+    [Hyaline.Make] is written against this signature so each backend
+    is a drop-in module: {!Dwcas} here and [Llsc_head] for the
+    emulated-LL/SC port.
+
+    All operations are atomic with respect to each other.  The [cas_*]
+    operations may fail spuriously (returning [false] with the head
+    unchanged); callers re-read and retry, which is exactly the
+    weak-CAS tolerance the paper's §4.4 relies on. *)
+
+module type OPS = sig
+  type t
+
+  val backend : string
+  val make : unit -> t
+
+  val read : t -> Snap.t
+  (** Atomic load of the pair. *)
+
+  val enter_faa : t -> Snap.t
+  (** Atomically increment [href] leaving [hptr] intact; return the
+      {e pre-increment} snapshot (whose [hptr] becomes the caller's
+      handle).  This is the paper's
+      [FAA(&Heads[slot], {.HRef=1, .HPtr=0})]. *)
+
+  val cas_ref : t -> expected:Snap.t -> int -> bool
+  (** Replace [href] if the pair still equals [expected]. *)
+
+  val cas_ptr : t -> expected:Snap.t -> Smr.Hdr.t -> bool
+  (** Replace [hptr] if the pair still equals [expected]. *)
+end
+
+module Dwcas : OPS
+(** Double-width-CAS backend: the pair lives in one [Atomic.t] as an
+    immutable {!Snap.t}; compare-and-set on the box is the double-width
+    RMW.  The GC pins a snapshot box while any thread still holds it,
+    which is why no ABA tag is needed (the paper gets the same effect
+    from handles keeping nodes un-recycled). *)

@@ -1,0 +1,31 @@
+(** Hyaline — the multi-slot algorithm of §3.2/§4.1 (Figure 3).
+
+    The paper's primary contribution: fully transparent lock-free
+    reclamation with ≈O(1) cost.  [k] slots (a small power of two,
+    independent of the thread count) each hold a Head tuple; [enter]
+    increments one slot's HRef with a single atomic RMW and records a
+    handle; retired nodes are batched and each sealed batch is pushed
+    onto {e every} slot with active threads; [leave] decrements HRef
+    and dereferences exactly the sublist retired during the bracket.
+    The thread holding a batch's last reference frees it — asynchronous
+    tracking, no periodic checks of other threads, and threads are
+    completely off the hook after [leave].
+
+    Not robust: a stalled thread inside a bracket pins every batch
+    retired after its handle in its slot (use [Hyaline_s] when that
+    matters).
+
+    [Config] fields used: [slots] (k), [batch_min], [check_uaf].
+    Setting [slots = 1] gives exactly the simplified single-list
+    version of §3.1. *)
+
+module Make (H : Head.OPS) : Tracker_ext.S
+(** Build Hyaline over a Head backend ({!Head.Dwcas} or
+    {!Llsc_head}). *)
+
+include Tracker_ext.S
+(** Hyaline over double-width CAS — the paper's default. *)
+
+module Llsc : Tracker_ext.S
+(** Hyaline over emulated single-width LL/SC (§4.4) — the PPC/MIPS
+    port used for the Appendix-A figures. *)

@@ -1,0 +1,3 @@
+include Hyaline1_core.Make (struct
+  let eras = false
+end)

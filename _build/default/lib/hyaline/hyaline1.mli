@@ -1,0 +1,26 @@
+(** Hyaline-1 — the single-width-CAS specialization (§3.2, Figure 4).
+
+    Every thread owns a dedicated slot, so HRef carries one bit of
+    information ("the owner is inside a bracket") and the paper merges
+    it into the pointer word, making [enter]/[leave] wait-free
+    single-word operations.  Batch accounting simplifies too: instead
+    of predecessor adjustments and the Adjs construction, [retire]
+    counts the slots it managed to insert into and adds that count to
+    the batch's NRef; each slot owner decrements every node of the
+    list it detaches on [leave].
+
+    OCaml has no untagged pointer word to squeeze a bit into, so the
+    merged word is modelled as one [Atomic.t] holding an immutable
+    [{active; hptr}] pair: [leave]'s detach is a genuinely wait-free
+    [Atomic.exchange]; [enter] is a plain publication store (nothing
+    races an inactive slot).  The per-thread-slot structure — the
+    actual algorithmic content of Hyaline-1 — is exact.
+
+    Requires [tid]s to be dense in [0 .. Config.nthreads - 1]; "almost"
+    transparent in the paper's terms: threads need a unique slot but
+    never scan or wait for each other.
+
+    Not robust — see [Hyaline1s].
+    [Config] fields used: [nthreads] (= k), [batch_min], [check_uaf]. *)
+
+include Tracker_ext.S

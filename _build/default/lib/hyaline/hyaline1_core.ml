@@ -1,0 +1,177 @@
+open Smr
+
+(* The merged single word of Fig. 4: the owner's presence bit packed
+   with the list head.  Immutable pairs in one Atomic model the
+   paper's (ptr | bit) word; see Hyaline1's interface comment. *)
+type word = { active : bool; hptr : Hdr.t }
+
+let idle = { active = false; hptr = Hdr.nil }
+
+module Make (E : sig
+  val eras : bool
+end) : Tracker_ext.S = struct
+  type t = {
+    cfg : Config.t;
+    k : int; (* = nthreads: one slot per thread *)
+    batch_size : int;
+    heads : word Atomic.t array;
+    accesses : int Atomic.t array; (* 1S: per-slot access eras *)
+    era : int Atomic.t;
+    alloc_count : int array;
+    handles : Hdr.t array;
+    builders : Batch.t array;
+    stats : Stats.t;
+  }
+
+  let name = if E.eras then "Hyaline-1S" else "Hyaline-1"
+  let robust = E.eras
+  let transparent = false (* "almost": needs a dedicated slot per thread *)
+
+  let create cfg =
+    Config.validate cfg;
+    let k = cfg.nthreads in
+    {
+      cfg;
+      k;
+      batch_size = max cfg.batch_min (k + 1);
+      heads = Array.init k (fun _ -> Atomic.make idle);
+      accesses = Array.init k (fun _ -> Atomic.make 0);
+      era = Atomic.make 1;
+      alloc_count = Array.make k 0;
+      handles = Array.make k Hdr.nil;
+      builders = Array.init k (fun _ -> Batch.create ());
+      stats = Stats.create ();
+    }
+
+  let slots t = t.k
+  let pending t ~tid = Batch.size t.builders.(tid)
+
+  (* Wait-free: an inactive slot is touched by nobody else (retire
+     skips it), so publication is a plain store. *)
+  let enter t ~tid =
+    let old = Atomic.exchange t.heads.(tid) { active = true; hptr = Hdr.nil } in
+    assert ((not old.active) && Hdr.is_nil old.hptr);
+    t.handles.(tid) <- Hdr.nil
+
+  (* Wait-free: detach the whole list and drop the bit in one
+     exchange; the owner then dereferences every node it detached, down
+     to and including the trim handle (whose decrement it still owes —
+     the handle node is deliberately kept referenced by trim so a
+     recycled node can never masquerade as the traversal boundary). *)
+  let leave t ~tid =
+    let old = Atomic.exchange t.heads.(tid) idle in
+    assert old.active;
+    let reap = Internal.new_reap () in
+    (if not (Hdr.is_nil old.hptr) then
+       ignore (Internal.traverse reap ~next:old.hptr ~handle:t.handles.(tid)));
+    t.handles.(tid) <- Hdr.nil;
+    Internal.drain t.stats reap
+
+  (* Fig. 3-style trim: dereference everything below the current first
+     node without touching the bit; the first node itself stays
+     undecremented and becomes the new handle, exactly like the
+     multi-slot trim. *)
+  let trim t ~tid =
+    let cur = Atomic.get t.heads.(tid) in
+    let reap = Internal.new_reap () in
+    (if cur.hptr != t.handles.(tid) then
+       ignore
+         (Internal.traverse reap ~next:cur.hptr.Hdr.next
+            ~handle:t.handles.(tid)));
+    t.handles.(tid) <- cur.hptr;
+    Internal.drain t.stats reap
+
+  let alloc_hook t ~tid hdr =
+    Stats.on_alloc t.stats;
+    if E.eras then begin
+      let c = t.alloc_count.(tid) + 1 in
+      t.alloc_count.(tid) <- c;
+      if c mod t.cfg.epoch_freq = 0 then ignore (Atomic.fetch_and_add t.era 1);
+      hdr.Hdr.birth <- Atomic.get t.era
+    end
+
+  let read t ~tid ~idx:_ a proj =
+    if not E.eras then begin
+      let v = Atomic.get a in
+      if t.cfg.check_uaf then Hdr.check_not_freed "Hyaline1.read" (proj v);
+      v
+    end
+    else
+      (* Fig. 5 deref; with a 1:1 thread-slot mapping touch is an
+         ordinary store (only the owner ever writes its access era). *)
+      let access = t.accesses.(tid) in
+      let rec loop () =
+        let v = Atomic.get a in
+        let alloc = Atomic.get t.era in
+        if Atomic.get access >= alloc then begin
+          if t.cfg.check_uaf then
+            Hdr.check_not_freed "Hyaline1s.read" (proj v);
+          v
+        end
+        else begin
+          Atomic.set access alloc;
+          loop ()
+        end
+      in
+      loop ()
+
+  let transfer _ ~tid:_ ~from_idx:_ ~to_idx:_ = ()
+
+  let retire_batch t ~tid =
+    let min_birth = Batch.min_birth t.builders.(tid) in
+    (* No Adjs arithmetic in Hyaline-1: the batch's count is simply
+       the number of slots it reaches (Fig. 4). *)
+    let refnode = Batch.seal t.builders.(tid) ~adjs:0 in
+    let reap = Internal.new_reap () in
+    let inserts = ref 0 in
+    let node = ref refnode.Hdr.batch_link in
+    for slot = 0 to t.k - 1 do
+      let head = t.heads.(slot) in
+      let b = Prims.Backoff.create () in
+      let rec attempt () =
+        let cur = Atomic.get head in
+        let skip =
+          (not cur.active)
+          || (E.eras && Atomic.get t.accesses.(slot) < min_birth)
+        in
+        if not skip then begin
+          let n = !node in
+          assert (not (Hdr.is_nil n));
+          n.Hdr.next <- cur.hptr;
+          if Atomic.compare_and_set head cur { cur with hptr = n } then begin
+            node := n.Hdr.batch_link;
+            incr inserts
+          end
+          else begin
+            Prims.Backoff.once b;
+            attempt ()
+          end
+        end
+      in
+      attempt ()
+    done;
+    (* Final adjustment: the owners of the [inserts] slots each hold
+       one reference; when all have traversed, the count returns to
+       zero (immediately so if no slot was active). *)
+    Internal.add_ref reap refnode !inserts;
+    Internal.drain t.stats reap
+
+  let retire t ~tid hdr =
+    Tracker.retire_block t.stats hdr;
+    Batch.add t.builders.(tid) hdr;
+    if Batch.size t.builders.(tid) >= t.batch_size then retire_batch t ~tid
+
+  let flush t ~tid =
+    let builder = t.builders.(tid) in
+    if not (Batch.is_empty builder) then begin
+      while Batch.size builder < t.batch_size do
+        let dummy = Hdr.create () in
+        if E.eras then dummy.Hdr.birth <- Atomic.get t.era;
+        Tracker.retire_block t.stats dummy;
+        Batch.add builder dummy
+      done;
+      retire_batch t ~tid
+    end
+
+  let stats t = t.stats
+end

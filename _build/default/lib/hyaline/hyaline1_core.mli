@@ -1,0 +1,8 @@
+(** Shared implementation of Hyaline-1 and Hyaline-1S (Figures 4-5).
+    Use [Hyaline1] / [Hyaline1s]; this functor only selects whether
+    the birth-era machinery (the [-S] robustness extension) is
+    compiled in. *)
+
+module Make (E : sig
+  val eras : bool
+end) : Tracker_ext.S

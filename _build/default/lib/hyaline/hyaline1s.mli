@@ -1,0 +1,14 @@
+(** Hyaline-1S — robust Hyaline-1 (§4.2).
+
+    Hyaline-1 with the birth-era extension: a per-slot access era
+    updated by plain stores (the slot has a single owner, so no
+    [touch] CAS is needed) and era-stale slot skipping in [retire].
+    No Ack counters either — a stalled owner only poisons its own
+    dedicated slot, which new batches skip as soon as its access era
+    goes stale, so the scheme is fully robust without adaptive
+    resizing (Figure 10a shows it tracking HP/HE/IBR exactly).
+
+    [Config] fields used: [nthreads] (= k), [batch_min], [epoch_freq],
+    [check_uaf]. *)
+
+include Tracker_ext.S

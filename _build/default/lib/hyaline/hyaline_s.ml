@@ -1,0 +1,176 @@
+open Smr
+
+module Make (H : Head.OPS) : Tracker_ext.S = struct
+  module I = Internal.Make (H)
+
+  type t = {
+    cfg : Config.t;
+    k : int Atomic.t; (* current slot count; grows when adaptive *)
+    heads : H.t Directory.t;
+    accesses : int Atomic.t Directory.t; (* per-slot access eras *)
+    acks : int Atomic.t Directory.t; (* per-slot Ack counters *)
+    era : int Atomic.t; (* the AllocEra clock *)
+    alloc_count : int array; (* per tid, owner-written *)
+    handles : Hdr.t array;
+    slots_of : int array;
+    builders : Batch.t array;
+    stats : Stats.t;
+  }
+
+  let name = if H.backend = "dwcas" then "Hyaline-S" else "Hyaline-S(llsc)"
+  let robust = true
+  let transparent = true
+
+  let create cfg =
+    Config.validate cfg;
+    let kmin = cfg.slots in
+    {
+      cfg;
+      k = Atomic.make kmin;
+      heads = Directory.create ~kmin H.make;
+      accesses = Directory.create ~kmin (fun () -> Atomic.make 0);
+      acks = Directory.create ~kmin (fun () -> Atomic.make 0);
+      era = Atomic.make 1;
+      alloc_count = Array.make cfg.nthreads 0;
+      handles = Array.make cfg.nthreads Hdr.nil;
+      slots_of = Array.init cfg.nthreads (fun tid -> tid land (kmin - 1));
+      builders = Array.init cfg.nthreads (fun _ -> Batch.create ());
+      stats = Stats.create ();
+    }
+
+  let slots t = Atomic.get t.k
+  let pending t ~tid = Batch.size t.builders.(tid)
+
+  (* §4.3: double the slot space.  Losers of the CAS just observe the
+     winner's larger k; Directory.ensure is idempotent. *)
+  let grow t =
+    let kc = Atomic.get t.k in
+    let k2 = kc * 2 in
+    Directory.ensure t.heads ~k:k2;
+    Directory.ensure t.accesses ~k:k2;
+    Directory.ensure t.acks ~k:k2;
+    ignore (Atomic.compare_and_set t.k kc k2)
+
+  (* Fig. 5 enter: walk away from slots whose Ack marks them as
+     occupied by stalled threads; if every slot is marked, either
+     grow (§4.3) or — capped mode — settle for the current slot (the
+     interference regime of Figure 10a). *)
+  let pick_slot t ~tid =
+    let rec scan slot attempts k =
+      if Atomic.get (Directory.get t.acks slot) < t.cfg.ack_threshold then slot
+      else if attempts + 1 >= k then
+        if t.cfg.adaptive then begin
+          grow t;
+          let k' = Atomic.get t.k in
+          (* Fresh slots have Ack = 0; restart the scan in the new
+             region. *)
+          scan (k land (k' - 1)) 0 k'
+        end
+        else slot
+      else scan ((slot + 1) land (k - 1)) (attempts + 1) k
+    in
+    let k = Atomic.get t.k in
+    scan (t.slots_of.(tid) land (k - 1)) 0 k
+
+  let enter t ~tid =
+    let slot = pick_slot t ~tid in
+    t.slots_of.(tid) <- slot;
+    let snap = H.enter_faa (Directory.get t.heads slot) in
+    t.handles.(tid) <- snap.Snap.hptr
+
+  let leave t ~tid =
+    let slot = t.slots_of.(tid) in
+    let reap = Internal.new_reap () in
+    let count =
+      I.leave_slot (Directory.get t.heads slot) ~handle:t.handles.(tid) reap
+    in
+    if count > 0 then
+      ignore (Atomic.fetch_and_add (Directory.get t.acks slot) (-count));
+    t.handles.(tid) <- Hdr.nil;
+    Internal.drain t.stats reap
+
+  let trim t ~tid =
+    let slot = t.slots_of.(tid) in
+    let reap = Internal.new_reap () in
+    let handle, count =
+      I.trim_slot (Directory.get t.heads slot) ~handle:t.handles.(tid) reap
+    in
+    if count > 0 then
+      ignore (Atomic.fetch_and_add (Directory.get t.acks slot) (-count));
+    t.handles.(tid) <- handle;
+    Internal.drain t.stats reap
+
+  (* Fig. 5 init_node: advance the era clock every Freq allocations
+     and stamp the block's birth. *)
+  let alloc_hook t ~tid hdr =
+    Stats.on_alloc t.stats;
+    let c = t.alloc_count.(tid) + 1 in
+    t.alloc_count.(tid) <- c;
+    if c mod t.cfg.epoch_freq = 0 then ignore (Atomic.fetch_and_add t.era 1);
+    hdr.Hdr.birth <- Atomic.get t.era
+
+  (* Fig. 5 deref: publish (via the monotonic touch) an access era at
+     least as recent as the clock before trusting the loaded value. *)
+  let read t ~tid ~idx:_ a proj =
+    let slot = t.slots_of.(tid) in
+    let access = Directory.get t.accesses slot in
+    let rec loop () =
+      let v = Atomic.get a in
+      let alloc = Atomic.get t.era in
+      if Atomic.get access >= alloc then begin
+        if t.cfg.check_uaf then Hdr.check_not_freed "Hyaline_s.read" (proj v);
+        v
+      end
+      else begin
+        ignore (Prims.Xatomic.cas_max access alloc);
+        loop ()
+      end
+    in
+    loop ()
+
+  let transfer _ ~tid:_ ~from_idx:_ ~to_idx:_ = ()
+
+  let retire_batch t ~tid ~k_now =
+    let min_birth = Batch.min_birth t.builders.(tid) in
+    let refnode = Batch.seal t.builders.(tid) ~adjs:(Adjs.of_k k_now) in
+    let reap = Internal.new_reap () in
+    I.insert_batch
+      (fun s -> Directory.get t.heads s)
+      ~k:k_now refnode
+      ~skip:(fun ~slot ->
+        (* Stale access era: nobody in this slot ever dereferenced a
+           block as young as this batch. *)
+        Atomic.get (Directory.get t.accesses slot) < min_birth)
+      ~after_insert:(fun ~slot ~href ->
+        ignore (Atomic.fetch_and_add (Directory.get t.acks slot) href))
+      reap;
+    Internal.drain t.stats reap
+
+  let retire t ~tid hdr =
+    Tracker.retire_block t.stats hdr;
+    Batch.add t.builders.(tid) hdr;
+    let k_now = Atomic.get t.k in
+    if Batch.size t.builders.(tid) >= max t.cfg.batch_min (k_now + 1) then
+      retire_batch t ~tid ~k_now
+
+  let flush t ~tid =
+    let builder = t.builders.(tid) in
+    if not (Batch.is_empty builder) then begin
+      let k_now = Atomic.get t.k in
+      let target = max t.cfg.batch_min (k_now + 1) in
+      while Batch.size builder < target do
+        let dummy = Hdr.create () in
+        (* Dummies are born now, so they never lower the batch's
+           minimum birth era. *)
+        dummy.Hdr.birth <- Atomic.get t.era;
+        Tracker.retire_block t.stats dummy;
+        Batch.add builder dummy
+      done;
+      retire_batch t ~tid ~k_now
+    end
+
+  let stats t = t.stats
+end
+
+include Make (Head.Dwcas)
+module Llsc = Make (Llsc_head)

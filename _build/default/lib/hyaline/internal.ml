@@ -1,0 +1,128 @@
+open Smr
+
+type reap = { mutable batches : Hdr.t list }
+
+let new_reap () = { batches = [] }
+
+let add_ref reap node v =
+  let refn = node.Hdr.ref_node in
+  let old = Atomic.fetch_and_add refn.Hdr.nref v in
+  (* OCaml ints wrap modulo 2^63, which is exactly the unsigned
+     arithmetic the Adjs construction needs: the count reads zero only
+     once every slot's contribution has landed. *)
+  if old + v = 0 then reap.batches <- refn :: reap.batches
+
+let free_batch stats refn =
+  let rec go h =
+    if not (Hdr.is_nil h) then begin
+      (* The hook recycles the node, so grab the chain link first. *)
+      let next = h.Hdr.batch_link in
+      Tracker.free_block stats h;
+      go next
+    end
+  in
+  go refn
+
+let drain stats reap =
+  List.iter (free_batch stats) (List.rev reap.batches);
+  reap.batches <- []
+
+let traverse reap ~next ~handle =
+  let count = ref 0 in
+  let rec go curr =
+    if not (Hdr.is_nil curr) then begin
+      let next = curr.Hdr.next in
+      incr count;
+      add_ref reap curr (-1);
+      if curr != handle then go next
+    end
+  in
+  go next;
+  !count
+
+module Make (H : Head.OPS) = struct
+  let insert_batch heads ~k refnode ~skip ~after_insert reap =
+    let empty = ref 0 in
+    let do_adj = ref false in
+    let node = ref refnode.Hdr.batch_link in
+    let adjs = refnode.Hdr.adjs in
+    for slot = 0 to k - 1 do
+      let head = heads slot in
+      let b = Prims.Backoff.create () in
+      let rec attempt () =
+        let snap = H.read head in
+        if snap.Snap.href = 0 || skip ~slot then begin
+          (* No thread in this slot can reference the batch: credit
+             the slot's Adjs directly (REF #1# / Fig. 5's era skip). *)
+          do_adj := true;
+          empty := !empty + adjs
+        end
+        else begin
+          let n = !node in
+          assert (not (Hdr.is_nil n));
+          n.Hdr.next <- snap.Snap.hptr;
+          if H.cas_ptr head ~expected:snap n then begin
+            node := n.Hdr.batch_link;
+            after_insert ~slot ~href:snap.Snap.href;
+            (* REF #2#: the displaced predecessor is complete for this
+               slot — credit its batch's own Adjs plus the snapshot of
+               threads that will dereference it on leave. *)
+            if not (Hdr.is_nil snap.Snap.hptr) then
+              add_ref reap snap.Snap.hptr
+                (snap.Snap.hptr.Hdr.ref_node.Hdr.adjs + snap.Snap.href)
+          end
+          else begin
+            Prims.Backoff.once b;
+            attempt ()
+          end
+        end
+      in
+      attempt ()
+    done;
+    (* REF #3#: all skipped slots' credits in a single adjustment.
+       When every slot was empty this is k * Adjs = 0 and the FAA
+       observes zero immediately — the batch frees on the spot. *)
+    if !do_adj then add_ref reap refnode !empty
+
+  let leave_slot head ~handle reap =
+    let b = Prims.Backoff.create () in
+    let rec dec () =
+      let snap = H.read head in
+      assert (snap.Snap.href > 0);
+      let curr = snap.Snap.hptr in
+      (* Reading the successor is safe only while our HRef reference
+         pins the first node; the pair-validating CAS below confirms
+         nothing moved in between (the reason Fig. 3 reads Next inside
+         the CAS loop). *)
+      let next = if curr != handle then curr.Hdr.next else Hdr.nil in
+      if H.cas_ref head ~expected:snap (snap.Snap.href - 1) then
+        (snap, curr, next)
+      else begin
+        Prims.Backoff.once b;
+        dec ()
+      end
+    in
+    let snap, curr, next = dec () in
+    (if snap.Snap.href = 1 && not (Hdr.is_nil curr) then
+       (* We were the last thread out: detach the list, treating the
+          first node as a predecessor (Fig. 3 lines 16-17).  Strong
+          CAS: retry while the head still reads [{0, curr}] so a
+          spurious SC failure (§4.4) cannot leak the list. *)
+       let rec detach () =
+         let s = H.read head in
+         if s.Snap.href = 0 && s.Snap.hptr == curr then
+           if H.cas_ptr head ~expected:s Hdr.nil then
+             add_ref reap curr curr.Hdr.ref_node.Hdr.adjs
+           else detach ()
+       in
+       detach ());
+    if curr != handle then traverse reap ~next ~handle else 0
+
+  let trim_slot head ~handle reap =
+    let snap = H.read head in
+    let curr = snap.Snap.hptr in
+    let count =
+      if curr != handle then traverse reap ~next:curr.Hdr.next ~handle else 0
+    in
+    (curr, count)
+end

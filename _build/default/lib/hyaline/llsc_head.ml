@@ -1,0 +1,33 @@
+type t = Granule.t
+
+let backend = "llsc"
+let spurious_every = ref 0
+let make () = Granule.make ~spurious_every:!spurious_every ()
+
+let read t =
+  let href, hptr = Granule.peek t in
+  { Snap.href; hptr }
+
+(* Figure 7's dwFAA: increment HRef, HPtr intact, loop on SC failure. *)
+let rec enter_faa t =
+  let tok = Granule.ll t in
+  let href = Granule.href tok and hptr = Granule.hptr tok in
+  if Granule.sc t tok ~href:(href + 1) ~hptr then { Snap.href; hptr }
+  else enter_faa t
+
+let matches tok (expected : Snap.t) =
+  Granule.href tok = expected.Snap.href
+  && Granule.hptr tok == expected.Snap.hptr
+
+(* Figure 7's dwCAS_Ref: one LL/SC attempt; spurious failure is
+   reported as CAS failure, which every caller tolerates. *)
+let cas_ref t ~expected href =
+  let tok = Granule.ll t in
+  if not (matches tok expected) then false
+  else Granule.sc t tok ~href ~hptr:(Granule.hptr tok)
+
+(* Figure 7's dwCAS_Ptr. *)
+let cas_ptr t ~expected hptr =
+  let tok = Granule.ll t in
+  if not (matches tok expected) then false
+  else Granule.sc t tok ~href:(Granule.href tok) ~hptr

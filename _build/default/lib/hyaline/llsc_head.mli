@@ -1,0 +1,20 @@
+(** Head backend built from single-width LL/SC (paper Figure 7).
+
+    Implements {!Head.OPS} with the three §4.4 primitives over an
+    emulated reservation {!Granule}:
+
+    - [dwFAA] — the enter/leave counter update: LL one word, plain-load
+      the other, loop SC until it lands;
+    - [dwCAS_Ptr] — retire's pointer swing, weak (spurious failures
+      propagate to the caller, which re-reads and retries);
+    - [dwCAS_Ref] — leave's counter decrement, same weakness.
+
+    The [HRef = 0] detach case needs a strong CAS; as in the paper it
+    is obtained by the {e algorithm} looping (see [Hyaline.Make]'s
+    detach), not by this backend. *)
+
+val spurious_every : int ref
+(** Injection rate handed to granules created after the assignment;
+    exposed so stress tests can crank failure injection up. *)
+
+include Head.OPS

@@ -1,0 +1,4 @@
+type t = { href : int; hptr : Smr.Hdr.t }
+
+let zero = { href = 0; hptr = Smr.Hdr.nil }
+let pp ppf t = Format.fprintf ppf "{href=%d; hptr=%a}" t.href Smr.Hdr.pp t.hptr

@@ -1,0 +1,14 @@
+(** The Head tuple value [\[HRef, HPtr\]] (paper §3.1).
+
+    A snapshot of one slot's Head: the number of threads currently
+    inside [enter]/[leave] brackets on that slot, and the most recently
+    retired node of the slot's retirement list ([Hdr.nil] when empty).
+    Immutable; atomicity over the pair is provided by a {!Head.OPS}
+    backend. *)
+
+type t = { href : int; hptr : Smr.Hdr.t }
+
+val zero : t
+(** [{ href = 0; hptr = Hdr.nil }] — the initial Head value. *)
+
+val pp : Format.formatter -> t -> unit

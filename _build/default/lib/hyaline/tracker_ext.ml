@@ -1,0 +1,6 @@
+module type S = sig
+  include Smr.Tracker.S
+
+  val slots : t -> int
+  val pending : t -> tid:int -> int
+end

@@ -1,0 +1,13 @@
+(** Tracker interface extended with Hyaline-specific observability. *)
+
+module type S = sig
+  include Smr.Tracker.S
+
+  val slots : t -> int
+  (** Current number of slots [k] (grows under §4.3 adaptive
+      resizing). *)
+
+  val pending : t -> tid:int -> int
+  (** Nodes sitting in [tid]'s not-yet-sealed local batch — what
+      [flush] would finalize. *)
+end

@@ -1,0 +1,1 @@
+lib/lincheck/run.ml: Domain Dstruct History List Prims

@@ -1,0 +1,1 @@
+lib/lincheck/run.mli: Dstruct History Smr

@@ -1,0 +1,107 @@
+type op = Insert of int * int | Remove of int | Get of int | Put of int * int
+type result = Bool of bool | Opt of int option
+
+type event = { tid : int; op : op; result : result; inv : int; res : int }
+
+let pp_op ppf = function
+  | Insert (k, v) -> Format.fprintf ppf "insert(%d,%d)" k v
+  | Remove k -> Format.fprintf ppf "remove(%d)" k
+  | Get k -> Format.fprintf ppf "get(%d)" k
+  | Put (k, v) -> Format.fprintf ppf "put(%d,%d)" k v
+
+let pp_result ppf = function
+  | Bool b -> Format.fprintf ppf "%b" b
+  | Opt None -> Format.fprintf ppf "None"
+  | Opt (Some v) -> Format.fprintf ppf "Some %d" v
+
+let pp_event ppf e =
+  Format.fprintf ppf "[t%d %a -> %a @@%d..%d]" e.tid pp_op e.op pp_result
+    e.result e.inv e.res
+
+type t = { clock : int Atomic.t; log : event list Atomic.t }
+
+let create () = { clock = Atomic.make 0; log = Atomic.make [] }
+
+let record t ~tid op f =
+  let inv = Atomic.fetch_and_add t.clock 1 in
+  let result = f () in
+  let res = Atomic.fetch_and_add t.clock 1 in
+  let e = { tid; op; result; inv; res } in
+  let rec push () =
+    let old = Atomic.get t.log in
+    if not (Atomic.compare_and_set t.log old (e :: old)) then push ()
+  in
+  push ();
+  result
+
+let events t = List.rev (Atomic.get t.log)
+
+module IntMap = Map.Make (Int)
+
+(* Sequential specification: what each op returns in a given state and
+   the state it leaves behind. *)
+let apply state = function
+  | Insert (k, v) ->
+      if IntMap.mem k state then (Bool false, state)
+      else (Bool true, IntMap.add k v state)
+  | Remove k ->
+      if IntMap.mem k state then (Bool true, IntMap.remove k state)
+      else (Bool false, state)
+  | Get k -> (Opt (IntMap.find_opt k state), state)
+  | Put (k, v) -> (Bool (not (IntMap.mem k state)), IntMap.add k v state)
+
+let check evs =
+  let evs = Array.of_list evs in
+  let n = Array.length evs in
+  if n > 62 then invalid_arg "History.check: more than 62 events";
+  if n = 0 then true
+  else begin
+    (* Memoize failed (remaining-set, state) configurations.  The same
+       remaining set can be reached with different states through
+       different linearization prefixes, so the state is part of the
+       key. *)
+    let failed = Hashtbl.create 1024 in
+    let key mask state = (mask, IntMap.bindings state) in
+    let rec search mask state =
+      if mask = 0 then true
+      else if Hashtbl.mem failed (key mask state) then false
+      else begin
+        let ok = ref false in
+        let i = ref 0 in
+        while (not !ok) && !i < n do
+          let c = !i in
+          incr i;
+          if mask land (1 lsl c) <> 0 then begin
+            (* c may linearize first iff no other remaining operation
+               responded before c was invoked. *)
+            let minimal = ref true in
+            for o = 0 to n - 1 do
+              if
+                o <> c
+                && mask land (1 lsl o) <> 0
+                && evs.(o).res < evs.(c).inv
+              then minimal := false
+            done;
+            if !minimal then begin
+              let r, state' = apply state evs.(c).op in
+              if r = evs.(c).result then
+                if search (mask lxor (1 lsl c)) state' then ok := true
+            end
+          end
+        done;
+        if not !ok then Hashtbl.replace failed (key mask state) ();
+        !ok
+      end
+    in
+    search ((1 lsl n) - 1) IntMap.empty
+  end
+
+let check_exn evs =
+  if not (check evs) then begin
+    let buf = Buffer.create 512 in
+    let ppf = Format.formatter_of_buffer buf in
+    Format.fprintf ppf "history is not linearizable:@.";
+    List.iter (fun e -> Format.fprintf ppf "  %a@." pp_event e) evs;
+    Format.pp_print_flush ppf ();
+    failwith (Buffer.contents buf)
+  end

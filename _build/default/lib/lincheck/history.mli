@@ -1,0 +1,56 @@
+(** Concurrent histories and a linearizability checker (Wing & Gong)
+    for the integer-map interface.
+
+    The paper's data structures are advertised as linearizable maps;
+    the stress tests validate structural invariants, and this module
+    validates the {e behaviour}: record each operation's invocation
+    and response instants during a real concurrent run, then search
+    for a sequential order of the operations that (a) respects
+    real-time precedence (if A responded before B was invoked, A comes
+    first) and (b) replays correctly against the sequential map
+    specification.
+
+    The search is the classic Wing-Gong enumeration with memoization
+    on (remaining-operation set, abstract state); exponential in the
+    worst case, fine for the short, high-contention histories the
+    tests generate (up to 62 operations — the remaining set is a
+    single int bitmask). *)
+
+type op =
+  | Insert of int * int
+  | Remove of int
+  | Get of int
+  | Put of int * int
+
+type result = Bool of bool | Opt of int option
+
+type event = {
+  tid : int;
+  op : op;
+  result : result;
+  inv : int;  (** global sequence number at invocation *)
+  res : int;  (** global sequence number at response *)
+}
+
+val pp_event : Format.formatter -> event -> unit
+
+type t
+(** A mutable history recorder, shared between threads. *)
+
+val create : unit -> t
+
+val record : t -> tid:int -> op -> (unit -> result) -> result
+(** [record h ~tid op f] stamps the invocation, runs [f] (which
+    performs the operation), stamps the response, and logs the event.
+    Thread-safe and lock-free. *)
+
+val events : t -> event list
+(** All recorded events (quiescent use). *)
+
+val check : event list -> bool
+(** Is the history linearizable against the sequential int-map
+    specification?
+    @raise Invalid_argument on histories of more than 62 events. *)
+
+val check_exn : event list -> unit
+(** @raise Failure with a readable description if not linearizable. *)

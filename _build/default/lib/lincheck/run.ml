@@ -1,0 +1,33 @@
+let run_map (module M : Dstruct.Map_intf.S) ~cfg ~threads ~ops_per_thread
+    ~key_range ~seed =
+  let m = M.create ~cfg () in
+  let h = History.create () in
+  let worker tid () =
+    let rng = Prims.Rng.create ~seed:(seed + (7919 * tid)) in
+    for _ = 1 to ops_per_thread do
+      let k = Prims.Rng.below rng key_range in
+      let v = Prims.Rng.below rng 1000 in
+      M.enter m ~tid;
+      (match Prims.Rng.below rng 4 with
+      | 0 ->
+          ignore
+            (History.record h ~tid (History.Insert (k, v)) (fun () ->
+                 History.Bool (M.insert m ~tid k v)))
+      | 1 ->
+          ignore
+            (History.record h ~tid (History.Remove k) (fun () ->
+                 History.Bool (M.remove m ~tid k)))
+      | 2 ->
+          ignore
+            (History.record h ~tid (History.Get k) (fun () ->
+                 History.Opt (M.get m ~tid k)))
+      | _ ->
+          ignore
+            (History.record h ~tid (History.Put (k, v)) (fun () ->
+                 History.Bool (M.put m ~tid k v))));
+      M.leave m ~tid
+    done
+  in
+  let domains = List.init threads (fun tid -> Domain.spawn (worker tid)) in
+  List.iter Domain.join domains;
+  History.events h

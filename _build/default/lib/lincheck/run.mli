@@ -1,0 +1,16 @@
+(** Drive a benchmark map concurrently while recording a history. *)
+
+val run_map :
+  (module Dstruct.Map_intf.S) ->
+  cfg:Smr.Config.t ->
+  threads:int ->
+  ops_per_thread:int ->
+  key_range:int ->
+  seed:int ->
+  History.event list
+(** [run_map (module M) ~cfg ~threads ~ops_per_thread ~key_range ~seed]
+    spawns [threads] domains, each performing [ops_per_thread] random
+    operations (uniform over insert/remove/get/put with keys below
+    [key_range]) inside enter/leave brackets, recording every
+    invocation/response.  Keep [threads * ops_per_thread <= 62] for
+    {!History.check}. *)

@@ -1,0 +1,131 @@
+module type POOLABLE = sig
+  type t
+
+  val create : index:int -> t
+  val index : t -> int
+  val on_alloc : t -> unit
+  val on_free : t -> unit
+end
+
+type stats = { created : int; allocs : int; frees : int }
+
+let pp_stats ppf { created; allocs; frees } =
+  Format.fprintf ppf "created=%d allocs=%d frees=%d live=%d" created allocs
+    frees (allocs - frees)
+
+(* Registry chunking: [lookup] must be wait-free while creation grows
+   the index space, so nodes live in fixed-size chunks hung off a
+   fixed directory, never moved after publication. *)
+let chunk_bits = 12
+let chunk_size = 1 lsl chunk_bits
+let max_chunks = 1 lsl 16
+
+module Make (P : POOLABLE) = struct
+  type t = {
+    next_index : int Atomic.t;
+    chunks : P.t array option Atomic.t array;
+    shared_free : P.t list Atomic.t;
+    local_cache : int;
+    cache_key : P.t list ref Domain.DLS.key;
+    created : int Atomic.t;
+    allocs : int Atomic.t;
+    frees : int Atomic.t;
+  }
+
+  let create ?(local_cache = 64) () =
+    if local_cache < 0 then invalid_arg "Mpool.create: local_cache < 0";
+    {
+      next_index = Atomic.make 0;
+      chunks = Array.init max_chunks (fun _ -> Atomic.make None);
+      shared_free = Atomic.make [];
+      local_cache;
+      cache_key = Domain.DLS.new_key (fun () -> ref []);
+      created = Atomic.make 0;
+      allocs = Atomic.make 0;
+      frees = Atomic.make 0;
+    }
+
+  let rec push_shared t node =
+    let old = Atomic.get t.shared_free in
+    if not (Atomic.compare_and_set t.shared_free old (node :: old)) then
+      push_shared t node
+
+  let rec pop_shared t =
+    match Atomic.get t.shared_free with
+    | [] -> None
+    | node :: rest as old ->
+        if Atomic.compare_and_set t.shared_free old rest then Some node
+        else pop_shared t
+
+  let publish t node =
+    let i = P.index node in
+    let c = i lsr chunk_bits in
+    if c >= max_chunks then failwith "Mpool: index space exhausted";
+    let slot = t.chunks.(c) in
+    (match Atomic.get slot with
+    | Some _ -> ()
+    | None ->
+        let arr = Array.make chunk_size node in
+        (* Only one thread wins the install; losers just use the
+           winner's chunk.  Pre-filling with [node] is harmless: every
+           cell is overwritten before [lookup] can legitimately ask for
+           its index. *)
+        ignore (Atomic.compare_and_set slot None (Some arr)));
+    match Atomic.get slot with
+    | Some arr -> arr.(i land (chunk_size - 1)) <- node
+    | None -> assert false
+
+  let fresh t =
+    let i = Atomic.fetch_and_add t.next_index 1 in
+    let node = P.create ~index:i in
+    publish t node;
+    Atomic.incr t.created;
+    node
+
+  let alloc t =
+    Atomic.incr t.allocs;
+    let node =
+      if t.local_cache = 0 then
+        match pop_shared t with Some n -> n | None -> fresh t
+      else
+        let cache = Domain.DLS.get t.cache_key in
+        match !cache with
+        | n :: rest ->
+            cache := rest;
+            n
+        | [] -> ( match pop_shared t with Some n -> n | None -> fresh t)
+    in
+    P.on_alloc node;
+    node
+
+  let free t node =
+    P.on_free node;
+    Atomic.incr t.frees;
+    if t.local_cache = 0 then push_shared t node
+    else begin
+      let cache = Domain.DLS.get t.cache_key in
+      cache := node :: !cache;
+      (* Spill the whole cache once it exceeds the bound; counting the
+         list here is fine because the bound is small. *)
+      if List.length !cache > t.local_cache then begin
+        List.iter (push_shared t) !cache;
+        cache := []
+      end
+    end
+
+  let lookup t i =
+    if i < 0 || i >= Atomic.get t.next_index then
+      invalid_arg "Mpool.lookup: index out of range";
+    match Atomic.get t.chunks.(i lsr chunk_bits) with
+    | Some arr -> arr.(i land (chunk_size - 1))
+    | None -> invalid_arg "Mpool.lookup: chunk not yet published"
+
+  let stats t =
+    {
+      created = Atomic.get t.created;
+      allocs = Atomic.get t.allocs;
+      frees = Atomic.get t.frees;
+    }
+
+  let live t = Atomic.get t.allocs - Atomic.get t.frees
+end

@@ -1,0 +1,83 @@
+(** Explicit memory pool: the "manual heap" substrate.
+
+    OCaml's runtime is garbage-collected, so a naive port of a safe
+    memory reclamation (SMR) scheme would have nothing observable to
+    reclaim — a use-after-free bug would be silently masked by the GC
+    keeping the record alive.  This pool restores manual-reclamation
+    semantics: nodes handed out by {!Make.alloc} are recycled through
+    free lists, so {!Make.free}-ing a node that another thread still
+    dereferences leads to that node being {e reused} under the reader's
+    feet, exactly the failure mode SMR exists to prevent.  The
+    {!POOLABLE} hooks let node types flag these events (the SMR
+    framework's header records alive/retired/freed states and raises on
+    violations in checked builds).
+
+    The pool is lock-free on the fast paths (free-list push/pop via CAS
+    on an immutable list; index assignment via fetch-and-add) and keeps
+    per-domain caches to avoid a single contended free list.
+
+    Every node receives a small, dense, stable integer {e index},
+    usable as a single-word encoding of a pointer — this is how the
+    repository reproduces Hyaline-1's "pointer with a squeezed-in bit"
+    single-width-CAS representation on a runtime without raw pointers. *)
+
+module type POOLABLE = sig
+  type t
+  (** The pooled node type. *)
+
+  val create : index:int -> t
+  (** [create ~index] allocates a brand-new node carrying the stable
+      pool index [index]. *)
+
+  val index : t -> int
+  (** [index n] returns the index passed to [create]. *)
+
+  val on_alloc : t -> unit
+  (** Called every time the node is handed out (both fresh and
+      recycled).  Node types reset their reusable state here and mark
+      themselves live. *)
+
+  val on_free : t -> unit
+  (** Called when the node is returned to the pool.  Node types mark
+      themselves dead here and may raise to signal a double free. *)
+end
+
+type stats = {
+  created : int;  (** nodes constructed fresh (high-water of distinct nodes) *)
+  allocs : int;   (** total [alloc] calls *)
+  frees : int;    (** total [free] calls *)
+}
+(** Snapshot of pool counters; [allocs - frees] is the live count. *)
+
+val pp_stats : Format.formatter -> stats -> unit
+
+module Make (P : POOLABLE) : sig
+  type t
+  (** A pool of [P.t] nodes, shared between domains. *)
+
+  val create : ?local_cache:int -> unit -> t
+  (** [create ()] returns an empty pool.  [local_cache] bounds the
+      per-domain private free cache (default [64]; [0] disables
+      caching, making every free/alloc hit the shared list — useful in
+      deterministic tests). *)
+
+  val alloc : t -> P.t
+  (** [alloc t] returns a node, recycling a freed one when available.
+      Runs [P.on_alloc] before returning. *)
+
+  val free : t -> P.t -> unit
+  (** [free t n] returns [n] to the pool for reuse.  Runs [P.on_free].
+      The caller must guarantee [n] came from [t] and is not freed
+      twice (the node's own hooks are expected to check). *)
+
+  val lookup : t -> int -> P.t
+  (** [lookup t i] returns the node with stable index [i].
+      @raise Invalid_argument if no node with that index was ever
+      created by this pool. *)
+
+  val stats : t -> stats
+  (** Racy-but-consistent-enough snapshot of the counters. *)
+
+  val live : t -> int
+  (** [live t] is [allocs - frees] at the moment of the call. *)
+end

@@ -1,0 +1,1 @@
+lib/prims/backoff.ml: Domain

@@ -1,0 +1,1 @@
+lib/prims/rng.ml: Int64 Stdlib

@@ -1,0 +1,1 @@
+lib/prims/rng.mli:

@@ -1,0 +1,1 @@
+lib/prims/xatomic.ml: Atomic

@@ -1,0 +1,1 @@
+lib/prims/xatomic.mli: Atomic

@@ -1,0 +1,15 @@
+type t = { min_wait : int; max_wait : int; mutable wait : int }
+
+let create ?(min_wait = 16) ?(max_wait = 4096) () =
+  if min_wait <= 0 then invalid_arg "Backoff.create: min_wait <= 0";
+  if max_wait < min_wait then invalid_arg "Backoff.create: max_wait < min_wait";
+  { min_wait; max_wait; wait = min_wait }
+
+let once t =
+  for _ = 1 to t.wait do
+    Domain.cpu_relax ()
+  done;
+  let next = t.wait * 2 in
+  t.wait <- (if next > t.max_wait then t.max_wait else next)
+
+let reset t = t.wait <- t.min_wait

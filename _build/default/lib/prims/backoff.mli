@@ -1,0 +1,26 @@
+(** Truncated exponential backoff for CAS retry loops.
+
+    Lock-free algorithms retry failed compare-and-set operations; under
+    contention, retrying immediately wastes cycles and prolongs the
+    contention window.  A [Backoff.t] value tracks how many times the
+    caller has failed and spins for an exponentially growing (but
+    capped) number of iterations on each {!once}. *)
+
+type t
+(** Mutable backoff state.  Cheap to create; not thread-safe (each
+    thread should own its value, typically a fresh one per operation). *)
+
+val create : ?min_wait:int -> ?max_wait:int -> unit -> t
+(** [create ()] returns a fresh backoff whose first wait spins
+    [min_wait] iterations (default [16]) and whose waits are capped at
+    [max_wait] iterations (default [4096]).
+
+    @raise Invalid_argument if [min_wait <= 0] or [max_wait < min_wait]. *)
+
+val once : t -> unit
+(** [once b] spins for the current wait duration and doubles the next
+    wait (up to the cap).  Calls {!Domain.cpu_relax} in the loop so
+    sibling hyperthreads are not starved. *)
+
+val reset : t -> unit
+(** [reset b] restores [b] to its initial (shortest) wait. *)

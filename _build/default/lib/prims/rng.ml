@@ -1,0 +1,28 @@
+type t = { mutable state : int64 }
+
+let create ~seed = { state = Int64.of_int seed }
+
+(* SplitMix64 (Steele, Lea, Flood; JDK 8 SplittableRandom). *)
+let golden = 0x9E3779B97F4A7C15L
+
+let next64 t =
+  t.state <- Int64.add t.state golden;
+  let z = t.state in
+  let z = Int64.mul (Int64.logxor z (Int64.shift_right_logical z 30)) 0xBF58476D1CE4E5B9L in
+  let z = Int64.mul (Int64.logxor z (Int64.shift_right_logical z 27)) 0x94D049BB133111EBL in
+  Int64.logxor z (Int64.shift_right_logical z 31)
+
+let split t =
+  let s = next64 t in
+  { state = s }
+
+(* Keep 62 bits so the result is a non-negative OCaml int (63-bit). *)
+let next t = Int64.to_int (Int64.shift_right_logical (next64 t) 2)
+
+let below t n =
+  if n <= 0 then invalid_arg "Rng.below: n <= 0";
+  (* Rejection-free for benchmark purposes: modulo bias is negligible
+     for n << 2^62 (key ranges here are ~10^5). *)
+  next t mod n
+
+let float t = Stdlib.float_of_int (next t) /. 4611686018427387904.0

@@ -1,0 +1,26 @@
+(** Deterministic, splittable pseudo-random numbers (SplitMix64).
+
+    The workload generator must be reproducible across runs and cheap
+    enough not to perturb throughput measurements; [Stdlib.Random] in
+    OCaml 5 is domain-local but not seed-stable across spawn orders.
+    SplitMix64 gives each worker thread an independent, seeded stream. *)
+
+type t
+(** Mutable generator state; each thread owns its own. *)
+
+val create : seed:int -> t
+(** [create ~seed] returns a generator determined entirely by [seed]. *)
+
+val split : t -> t
+(** [split t] derives an independent generator from [t], advancing
+    [t].  Deterministic: the n-th split of a given seed is fixed. *)
+
+val next : t -> int
+(** [next t] returns the next 62-bit non-negative pseudo-random int. *)
+
+val below : t -> int -> int
+(** [below t n] returns a uniform int in [\[0, n)].
+    @raise Invalid_argument if [n <= 0]. *)
+
+val float : t -> float
+(** [float t] returns a uniform float in [\[0, 1)]. *)

@@ -1,0 +1,18 @@
+let rec cas_max a v =
+  let cur = Atomic.get a in
+  if cur >= v then cur
+  else if Atomic.compare_and_set a cur v then v
+  else cas_max a v
+
+let rec incr_if_at_least a floor =
+  let cur = Atomic.get a in
+  if cur < floor then false
+  else if Atomic.compare_and_set a cur (cur + 1) then true
+  else incr_if_at_least a floor
+
+let rec update a f =
+  let cur = Atomic.get a in
+  let next = f cur in
+  if Atomic.compare_and_set a cur next then cur else update a f
+
+let wrapping_add a b = a + b

@@ -1,0 +1,22 @@
+(** Helpers over [Stdlib.Atomic] used throughout the SMR schemes. *)
+
+val cas_max : int Atomic.t -> int -> int
+(** [cas_max a v] atomically raises [a] to at least [v] and returns the
+    resulting value (which is [>= v]).  This is the [touch] helper of
+    Hyaline-S (paper Figure 5): a CAS loop that only ever increases the
+    stored value, so concurrent callers cannot regress an era. *)
+
+val incr_if_at_least : int Atomic.t -> int -> bool
+(** [incr_if_at_least a floor] atomically increments [a] by one if its
+    current value is [>= floor]; returns whether the increment
+    happened.  Used by epoch/era clocks that must not skip values. *)
+
+val update : 'a Atomic.t -> ('a -> 'a) -> 'a
+(** [update a f] repeatedly applies [f] to the current value of [a]
+    until a compare-and-set succeeds; returns the value that was
+    replaced (the "old" value witnessed by the successful CAS). *)
+
+val wrapping_add : int -> int -> int
+(** [wrapping_add a b] is [a + b] modulo [2{^63}] (OCaml native-int
+    arithmetic already wraps; this alias documents intent at the call
+    sites implementing Hyaline's unsigned-overflow adjustment trick). *)

@@ -1,0 +1,1 @@
+lib/schedcheck/head_sched.ml: Hyaline_core Sched

@@ -1,0 +1,1 @@
+lib/schedcheck/head_sched.mli: Hyaline_core

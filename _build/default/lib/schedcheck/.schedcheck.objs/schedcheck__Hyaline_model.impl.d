@@ -1,0 +1,1 @@
+lib/schedcheck/hyaline_model.ml: List Option Printf Sched

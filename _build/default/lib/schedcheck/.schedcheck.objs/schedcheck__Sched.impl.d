@@ -1,0 +1,1 @@
+lib/schedcheck/sched.ml: Array Effect Fun List Option Prims

@@ -1,0 +1,21 @@
+module Snap = Hyaline_core.Snap
+
+type t = Snap.t Sched.Shared.t
+
+let backend = "sched"
+let make () = Sched.Shared.make Snap.zero
+let read = Sched.Shared.get
+
+let rec enter_faa t =
+  let old = Sched.Shared.get t in
+  if
+    Sched.Shared.compare_and_set t old
+      { old with Snap.href = old.Snap.href + 1 }
+  then old
+  else enter_faa t
+
+let cas_ref t ~expected href =
+  Sched.Shared.compare_and_set t expected { expected with Snap.href }
+
+let cas_ptr t ~expected hptr =
+  Sched.Shared.compare_and_set t expected { expected with Snap.hptr }

@@ -1,0 +1,19 @@
+(** A {!Hyaline_core.Head.OPS} backend over {!Sched.Shared} cells —
+    the bridge that runs the {e production} Hyaline/Hyaline-S
+    implementations inside the deterministic scheduler.
+
+    Every head operation is a scheduling point, so
+    [Hyaline_core.Hyaline.Make (Schedcheck.Head_sched)] is the real
+    multi-slot algorithm (batches, Adjs wraparound arithmetic,
+    predecessor adjustments, detach, traverse) with its head accesses
+    interleaved under {!Sched.explore}/{!Sched.sample}.  The
+    reference-count FAAs between head operations execute inside one
+    atomic step — a sound coarsening: each is a single atomic in the
+    real execution too, so every schedule explored here is a possible
+    real schedule (the converse does not hold; this under-approximates,
+    it never false-alarms).
+
+    Only usable from inside scheduler fibers (plus scenario setup and
+    end-of-schedule checks, which run under a pass-through handler). *)
+
+include Hyaline_core.Head.OPS

@@ -1,0 +1,127 @@
+module Shared = Sched.Shared
+
+type node = {
+  label : string;
+  next : node option Shared.t;
+  nref : int Shared.t;
+  retired : bool Shared.t;
+  freed : bool Shared.t;
+}
+
+type head_val = { href : int; hptr : node option }
+type t = { head : head_val Shared.t; mutable nodes : node list }
+type handle = node option
+
+let create () = { head = Shared.make { href = 0; hptr = None }; nodes = [] }
+
+let make_node t label =
+  let n =
+    {
+      label;
+      next = Shared.make None;
+      nref = Shared.make 0;
+      retired = Shared.make false;
+      freed = Shared.make false;
+    }
+  in
+  t.nodes <- n :: t.nodes;
+  n
+
+let same_handle a b =
+  match (a, b) with
+  | None, None -> true
+  | Some x, Some y -> x == y
+  | _ -> false
+
+let fail fmt = Printf.ksprintf failwith fmt
+
+let assert_live ctx n =
+  if Shared.get n.freed then fail "%s: use-after-free of %s" ctx n.label
+
+let free n =
+  if Shared.exchange n.freed true then fail "double free of %s" n.label
+
+(* adjust (paper Fig. 3): with k = 1 the Adjs constant is 0, so the
+   counter is plain signed arithmetic and zero means "all references
+   accounted for". *)
+let add_ref n v =
+  let old = Shared.fetch_and_add n.nref v in
+  if old + v = 0 then free n
+
+let rec enter t =
+  let h = Shared.get t.head in
+  if Shared.compare_and_set t.head h { h with href = h.href + 1 } then h.hptr
+  else enter t
+
+let rec retire_loop t n =
+  let h = Shared.get t.head in
+  if h.href = 0 then
+    (* Empty slot: the batch's only reference credit arrives
+       immediately (REF #1#/#3# collapsed for k = 1). *)
+    add_ref n 0
+  else begin
+    Shared.set n.next h.hptr;
+    if Shared.compare_and_set t.head h { h with hptr = Some n } then
+      (* REF #2#: the displaced predecessor gets the HRef snapshot. *)
+      match h.hptr with
+      | Some pred ->
+          assert_live "retire adjust" pred;
+          add_ref pred h.href
+      | None -> ()
+    else retire_loop t n
+  end
+
+let retire t n =
+  if Shared.exchange n.retired true then fail "double retire of %s" n.label;
+  retire_loop t n
+
+let traverse first handle =
+  let rec go = function
+    | None -> ()
+    | Some c ->
+        assert_live "traverse" c;
+        let nx = Shared.get c.next in
+        add_ref c (-1);
+        if not (same_handle (Some c) handle) then go nx
+  in
+  go first
+
+let rec leave t handle =
+  let h = Shared.get t.head in
+  let curr = h.hptr in
+  let stayed = same_handle curr handle in
+  let next =
+    if stayed then None
+    else begin
+      let c = Option.get curr in
+      assert_live "leave first-node" c;
+      Shared.get c.next
+    end
+  in
+  let new_hptr = if h.href = 1 then None else curr in
+  if Shared.compare_and_set t.head h { href = h.href - 1; hptr = new_hptr }
+  then begin
+    (if h.href = 1 then
+       match curr with
+       | Some c ->
+           (* Detached: treat the first node as a predecessor
+              (Fig. 3 lines 16-17; Adjs = 0 here). *)
+           assert_live "leave detach" c;
+           add_ref c 0
+       | None -> ());
+    if not stayed then traverse next handle
+  end
+  else leave t handle
+
+let unsafe_free = free
+
+let check_quiescent t =
+  let h = Shared.get t.head in
+  if h.href <> 0 then fail "quiescent HRef = %d" h.href;
+  if h.hptr <> None then fail "quiescent HPtr non-null";
+  List.iter
+    (fun n ->
+      let retired = Shared.get n.retired and freed = Shared.get n.freed in
+      if retired && not freed then fail "%s retired but never freed" n.label;
+      if freed && not retired then fail "%s freed without retire" n.label)
+    t.nodes

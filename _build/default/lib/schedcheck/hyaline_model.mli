@@ -1,0 +1,40 @@
+(** Executable model of the simplified (single-list, §3.1) Hyaline
+    algorithm over {!Sched.Shared} cells, for exhaustive interleaving
+    checking.
+
+    The model is the paper's simplest form: one retirement list, each
+    retired node its own batch (NRef on the node itself, [Adjs = 0]
+    because [k = 1]).  Every shared access is a scheduling point, so
+    {!Sched.explore} enumerates all the races between [enter],
+    [retire]'s insertion + predecessor adjustment, and [leave]'s
+    decrement/detach/traverse — including the stall of Figure 2a.
+
+    Safety is asserted {e inside} the model: decrementing or linking
+    through a freed node raises, as does freeing twice.  Use
+    {!check_quiescent} as the end-of-schedule check. *)
+
+type t
+(** One model instance (head + allocation site). *)
+
+type node
+
+val create : unit -> t
+
+val make_node : t -> string -> node
+(** A node to be retired, labelled for error messages. *)
+
+type handle
+
+val enter : t -> handle
+val retire : t -> node -> unit
+
+val leave : t -> handle -> unit
+
+val check_quiescent : t -> unit
+(** After all fibers finished: head is [{0, null}], and every retired
+    node was freed exactly once.  @raise Failure otherwise. *)
+
+val unsafe_free : node -> unit
+(** Free a node with no protocol whatsoever — exists only so the test
+    suite can demonstrate that the model's safety assertions actually
+    fire under some interleaving. *)

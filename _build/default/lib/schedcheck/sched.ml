@@ -1,0 +1,210 @@
+exception Deadlock
+
+type _ Effect.t += Yield : unit Effect.t
+
+let yield () = Effect.perform Yield
+
+module Shared = struct
+  type 'a t = { mutable v : 'a }
+
+  let make v = { v }
+
+  let get c =
+    yield ();
+    c.v
+
+  let set c v =
+    yield ();
+    c.v <- v
+
+  let compare_and_set c old v =
+    yield ();
+    if c.v == old then begin
+      c.v <- v;
+      true
+    end
+    else false
+
+  let fetch_and_add c d =
+    yield ();
+    let o = c.v in
+    c.v <- o + d;
+    o
+
+  let exchange c v =
+    yield ();
+    let o = c.v in
+    c.v <- v;
+    o
+end
+
+type stats = { schedules : int; exhausted : bool; max_depth : int }
+type scenario = unit -> (unit -> unit) list * (unit -> unit)
+
+(* End-of-schedule checks run outside the scheduler, with no
+   concurrency left; their [Shared] accesses just pass through. *)
+let run_sequential f =
+  Effect.Deep.match_with f ()
+    {
+      Effect.Deep.retc = Fun.id;
+      exnc = raise;
+      effc =
+        (fun (type a) (eff : a Effect.t) ->
+          match eff with
+          | Yield ->
+              Some
+                (fun (k : (a, _) Effect.Deep.continuation) ->
+                  Effect.Deep.continue k ())
+          | _ -> None);
+    }
+type fiber_state = Not_started | Ready | Done
+
+(* Execute one complete schedule.  [decide step runnables] picks the
+   fiber to advance; the trace of (chosen, runnables) pairs is
+   returned so the explorer can branch on the alternatives. *)
+let run_once ~programs ~decide =
+  let progs = Array.of_list programs in
+  let n = Array.length progs in
+  let conts : (unit, unit) Effect.Deep.continuation option array =
+    Array.make n None
+  in
+  let state = Array.make n Not_started in
+  let handler i : (unit, unit) Effect.Deep.handler =
+    {
+      Effect.Deep.retc = (fun () -> state.(i) <- Done);
+      exnc = raise;
+      effc =
+        (fun (type a) (eff : a Effect.t) ->
+          match eff with
+          | Yield ->
+              Some
+                (fun (k : (a, unit) Effect.Deep.continuation) ->
+                  conts.(i) <- Some k;
+                  state.(i) <- Ready)
+          | _ -> None);
+    }
+  in
+  let step i =
+    match state.(i) with
+    | Not_started -> Effect.Deep.match_with progs.(i) () (handler i)
+    | Ready -> (
+        match conts.(i) with
+        | Some k ->
+            conts.(i) <- None;
+            state.(i) <- Done (* overwritten on the next yield *);
+            Effect.Deep.continue k ()
+        | None -> assert false)
+    | Done -> assert false
+  in
+  let trace = ref [] in
+  let idx = ref 0 in
+  let rec loop () =
+    let runnable =
+      List.filter
+        (fun i -> state.(i) <> Done)
+        (List.init n Fun.id)
+    in
+    match runnable with
+    | [] -> ()
+    | _ ->
+        let chosen = decide !idx runnable in
+        if not (List.mem chosen runnable) then
+          invalid_arg "Sched: decision picked a non-runnable fiber";
+        trace := (chosen, runnable) :: !trace;
+        incr idx;
+        step chosen;
+        loop ()
+  in
+  loop ();
+  if Array.exists (fun s -> s <> Done) state then raise Deadlock;
+  Array.of_list (List.rev !trace)
+
+let explore ?(max_schedules = 50_000) ~scenario () =
+  let schedules = ref 0 in
+  let budget_hit = ref false in
+  let max_depth = ref 0 in
+  let rec dfs prefix =
+    if !schedules >= max_schedules then budget_hit := true
+    else begin
+      incr schedules;
+      let programs, check = scenario () in
+      let plen = Array.length prefix in
+      let trace =
+        run_once ~programs ~decide:(fun idx runnable ->
+            if idx < plen then prefix.(idx) else List.hd runnable)
+      in
+      run_sequential check;
+      let depth = Array.length trace in
+      if depth > !max_depth then max_depth := depth;
+      (* Branch on every non-default alternative past the prefix; the
+         first-deviation decomposition makes each schedule unique. *)
+      for i = depth - 1 downto plen do
+        let chosen, runnable = trace.(i) in
+        List.iter
+          (fun alt ->
+            if alt <> chosen && not !budget_hit then begin
+              let prefix' = Array.init (i + 1) (fun j -> fst trace.(j)) in
+              prefix'.(i) <- alt;
+              dfs prefix'
+            end)
+          runnable
+      done
+    end
+  in
+  dfs [||];
+  { schedules = !schedules; exhausted = not !budget_hit; max_depth = !max_depth }
+
+let sample ~seed ~runs ~scenario () =
+  let rng = Prims.Rng.create ~seed in
+  let max_depth = ref 0 in
+  for _ = 1 to runs do
+    let programs, check = scenario () in
+    let trace =
+      run_once ~programs ~decide:(fun _ runnable ->
+          List.nth runnable (Prims.Rng.below rng (List.length runnable)))
+    in
+    run_sequential check;
+    if Array.length trace > !max_depth then max_depth := Array.length trace
+  done;
+  { schedules = runs; exhausted = false; max_depth = !max_depth }
+
+let pct ~seed ~runs ~depth ~scenario () =
+  if depth < 1 then invalid_arg "Sched.pct: depth < 1";
+  let rng = Prims.Rng.create ~seed in
+  let max_depth = ref 0 in
+  (* Track schedule lengths to place change points meaningfully. *)
+  let est_len = ref 64 in
+  for _ = 1 to runs do
+    let programs, check = scenario () in
+    let n = List.length programs in
+    (* Distinct random priorities; higher wins. *)
+    let prio = Array.init n (fun i -> (Prims.Rng.below rng 1_000_000 * n) + i) in
+    let change_points =
+      Array.init (depth - 1) (fun _ -> Prims.Rng.below rng (max 1 !est_len))
+    in
+    let trace =
+      run_once ~programs ~decide:(fun step runnable ->
+          (* Demote-then-pick: if this step is a change point, demote
+             the currently highest-priority runnable fiber. *)
+          let best () =
+            List.fold_left
+              (fun acc i ->
+                match acc with
+                | None -> Some i
+                | Some j -> if prio.(i) > prio.(j) then Some i else Some j)
+              None runnable
+            |> Option.get
+          in
+          if Array.exists (fun cp -> cp = step) change_points then begin
+            let b = best () in
+            let lowest = Array.fold_left min prio.(0) prio in
+            prio.(b) <- lowest - 1
+          end;
+          best ())
+    in
+    run_sequential check;
+    let d = Array.length trace in
+    if d > !max_depth then max_depth := d;
+    est_len := max 8 d
+  done;
+  { schedules = runs; exhausted = false; max_depth = !max_depth }

@@ -1,0 +1,71 @@
+(** Deterministic bounded interleaving exploration (a miniature
+    dscheck/CHESS).
+
+    The paper validated Hyaline by stress-testing on 72-core x86 and
+    64-thread POWER machines; this container has one core, so instead
+    of hoping the OS produces adversarial preemptions we {e enumerate}
+    them: threads run as effect-based fibers that yield at every
+    shared-memory access, and the scheduler explores the tree of
+    thread-choice decisions — exhaustively up to a budget, then (for
+    state spaces that outgrow it) by seeded random sampling.
+
+    Programs under test must use {!Shared} cells (not [Stdlib.Atomic])
+    and be deterministic apart from scheduling. *)
+
+exception Deadlock
+(** Raised if no fiber can run but some have not finished (a program
+    blocked forever — must not happen for lock-free code). *)
+
+module Shared : sig
+  (** Shared-memory cells: each access is one atomic step and one
+      scheduling point. *)
+
+  type 'a t
+
+  val make : 'a -> 'a t
+  val get : 'a t -> 'a
+  val set : 'a t -> 'a -> unit
+  val compare_and_set : 'a t -> 'a -> 'a -> bool
+  (** Physical-equality CAS, like [Stdlib.Atomic]. *)
+
+  val fetch_and_add : int t -> int -> int
+  val exchange : 'a t -> 'a -> 'a
+end
+
+val yield : unit -> unit
+(** Extra scheduling point, usable inside a program to model a
+    non-atomic step boundary. *)
+
+type stats = {
+  schedules : int;  (** distinct schedules executed *)
+  exhausted : bool;  (** true if the whole tree fit in the budget *)
+  max_depth : int;  (** longest schedule seen (in scheduling points) *)
+}
+
+type scenario = unit -> (unit -> unit) list * (unit -> unit)
+(** A scenario builds {e fresh} shared state on every call and returns
+    the fiber bodies plus the end-state [check] over that state.
+    (State must be rebuilt per schedule — the explorer replays from
+    scratch.) *)
+
+val explore : ?max_schedules:int -> scenario:scenario -> unit -> stats
+(** [explore ~scenario ()] runs every interleaving of the scenario's
+    fibers (depth-first over scheduling decisions), calling its check
+    in the final state of each complete schedule; exploration stops
+    after [max_schedules] (default [50_000]) runs.  Exceptions from
+    fibers or checks propagate (schedules are deterministic, so
+    rerunning reproduces them). *)
+
+val sample : seed:int -> runs:int -> scenario:scenario -> unit -> stats
+(** [sample ~seed ~runs ...] executes [runs] uniformly random
+    schedules — for state spaces too large to enumerate. *)
+
+val pct :
+  seed:int -> runs:int -> depth:int -> scenario:scenario -> unit -> stats
+(** Probabilistic concurrency testing (Burckhardt et al., ASPLOS'10):
+    each run assigns the fibers random priorities, always schedules
+    the highest-priority runnable fiber, and demotes the running fiber
+    below everyone at [depth - 1] pre-drawn step indices.  For a bug
+    requiring [d] ordering constraints this finds it with probability
+    >= 1/(n k^(d-1)) per run — far better than uniform sampling for
+    rare races.  Use [depth] 2-4. *)

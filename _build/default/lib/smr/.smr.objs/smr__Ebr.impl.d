@@ -1,0 +1,1 @@
+lib/smr/ebr.ml: Array Atomic Config Hdr Limbo Stats Tracker

@@ -1,0 +1,1 @@
+lib/smr/hdr.ml: Atomic Format

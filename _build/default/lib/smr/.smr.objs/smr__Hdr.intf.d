@@ -1,0 +1,1 @@
+lib/smr/hdr.mli: Atomic Format

@@ -1,0 +1,1 @@
+lib/smr/he.ml: Array Atomic Config Hdr Limbo Stats Tracker

@@ -1,0 +1,1 @@
+lib/smr/hp.ml: Array Atomic Config Hashtbl Hdr Limbo Stats Tracker

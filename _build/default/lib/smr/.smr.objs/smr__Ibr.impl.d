@@ -1,0 +1,1 @@
+lib/smr/ibr.ml: Array Atomic Config Hdr Limbo Stats Tracker

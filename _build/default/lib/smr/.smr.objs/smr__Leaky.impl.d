@@ -1,0 +1,1 @@
+lib/smr/leaky.ml: Atomic Config Hdr Stats Tracker

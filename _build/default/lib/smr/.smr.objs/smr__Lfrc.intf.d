@@ -1,0 +1,1 @@
+lib/smr/lfrc.mli: Atomic

@@ -1,0 +1,1 @@
+lib/smr/limbo.ml: Hdr

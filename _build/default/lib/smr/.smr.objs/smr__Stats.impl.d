@@ -1,0 +1,1 @@
+lib/smr/stats.ml: Atomic Format

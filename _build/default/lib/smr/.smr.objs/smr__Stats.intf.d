@@ -1,0 +1,1 @@
+lib/smr/stats.mli: Format

@@ -1,0 +1,1 @@
+lib/smr/tracker.ml: Atomic Config Hdr Stats

@@ -1,0 +1,1 @@
+lib/smr/tracker.mli: Atomic Config Hdr Stats

@@ -1,0 +1,1 @@
+lib/smr/unsafe_immediate.ml: Atomic Config Hdr Stats Tracker

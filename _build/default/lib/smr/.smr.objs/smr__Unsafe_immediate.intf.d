@@ -1,0 +1,1 @@
+lib/smr/unsafe_immediate.mli: Tracker

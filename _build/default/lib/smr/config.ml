@@ -1,0 +1,48 @@
+type t = {
+  nthreads : int;
+  slots : int;
+  batch_min : int;
+  hazards : int;
+  epoch_freq : int;
+  empty_freq : int;
+  ack_threshold : int;
+  adaptive : bool;
+  check_uaf : bool;
+}
+
+let default =
+  {
+    nthreads = 8;
+    slots = 8;
+    batch_min = 8;
+    hazards = 8;
+    epoch_freq = 16;
+    empty_freq = 32;
+    ack_threshold = 8192;
+    adaptive = false;
+    check_uaf = false;
+  }
+
+let paper ~nthreads =
+  {
+    nthreads;
+    slots = 128;
+    batch_min = 64;
+    hazards = 16;
+    epoch_freq = 150;
+    empty_freq = 120;
+    ack_threshold = 8192;
+    adaptive = false;
+    check_uaf = false;
+  }
+
+let is_pow2 n = n > 0 && n land (n - 1) = 0
+
+let validate t =
+  if t.nthreads <= 0 then invalid_arg "Config: nthreads <= 0";
+  if not (is_pow2 t.slots) then invalid_arg "Config: slots not a power of two";
+  if t.batch_min <= 0 then invalid_arg "Config: batch_min <= 0";
+  if t.hazards <= 0 then invalid_arg "Config: hazards <= 0";
+  if t.epoch_freq <= 0 then invalid_arg "Config: epoch_freq <= 0";
+  if t.empty_freq <= 0 then invalid_arg "Config: empty_freq <= 0";
+  if t.ack_threshold <= 0 then invalid_arg "Config: ack_threshold <= 0"

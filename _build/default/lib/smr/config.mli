@@ -1,0 +1,53 @@
+(** Shared configuration for all SMR schemes.
+
+    A single record carries every knob any scheme needs, so the
+    benchmark harness can instantiate all schemes uniformly; each
+    scheme reads only the fields relevant to it (mirroring the shared
+    command line of the Wen et al. framework). *)
+
+type t = {
+  nthreads : int;
+      (** Maximum number of worker threads (thread ids are
+          [0..nthreads-1]).  Schemes with per-thread state size their
+          arrays from this; Hyaline proper does {e not} need it for
+          correctness (it is transparent) but uses it to size the
+          per-thread handle scratch space of the harness. *)
+  slots : int;
+      (** Hyaline(-S): number of slots [k]; must be a power of two.
+          The paper caps it at 128 ([next_pow2 cores]). *)
+  batch_min : int;
+      (** Hyaline: minimum nodes per retirement batch; the effective
+          batch size is [max batch_min (slots + 1)] as required by
+          §3.2.  The paper's evaluation uses 64. *)
+  hazards : int;
+      (** HP / HE: per-thread protection slots [m]. *)
+  epoch_freq : int;
+      (** EBR / IBR / HE / Hyaline-S: advance the global epoch/era
+          clock every [epoch_freq] allocations ([Freq] in Fig. 5). *)
+  empty_freq : int;
+      (** Baselines: attempt limbo-list reclamation every
+          [empty_freq] retires. *)
+  ack_threshold : int;
+      (** Hyaline-S: Ack value past which a slot is presumed occupied
+          by stalled threads (the paper suggests 8192). *)
+  adaptive : bool;
+      (** Hyaline-S: enable §4.3 adaptive slot resizing. *)
+  check_uaf : bool;
+      (** Verify on every tracked dereference that the block has not
+          been freed (the pool-reuse use-after-free detector). *)
+}
+
+val default : t
+(** [nthreads=8, slots=8, batch_min=8, hazards=8, epoch_freq=16,
+    empty_freq=32, ack_threshold=8192, adaptive=false,
+    check_uaf=false] — small defaults suited to unit tests. *)
+
+val paper : nthreads:int -> t
+(** The paper's §6 parameters: [slots = 128], [batch_min = 64],
+    [epoch_freq = 150], [empty_freq = 120], [ack_threshold = 8192]. *)
+
+val validate : t -> unit
+(** @raise Invalid_argument if a field is out of range (non-positive
+    counts, [slots] not a power of two, ...). *)
+
+val is_pow2 : int -> bool

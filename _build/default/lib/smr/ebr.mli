@@ -1,0 +1,13 @@
+(** Epoch-based reclamation (Fraser; Hart et al.) — the paper's
+    [Epoch] baseline.
+
+    The variant follows the Wen et al. framework: a global epoch clock
+    advanced every [Config.epoch_freq] allocations; threads publish
+    the clock value on [enter] and an infinite reservation on [leave];
+    retired blocks are stamped with the clock and freed once their
+    stamp is older than every published reservation.  Fast — one
+    uncontended write per [enter]/[leave], unprotected reads — but
+    {e not robust}: one stalled reader pins every block retired after
+    its reservation (Figure 10a). *)
+
+include Tracker.S

@@ -1,0 +1,86 @@
+type t = {
+  uid : int;
+  mutable next : t;
+  mutable batch_link : t;
+  mutable ref_node : t;
+  nref : int Atomic.t;
+  mutable adjs : int;
+  mutable birth : int;
+  mutable retire_era : int;
+  mutable free_hook : unit -> unit;
+  state : int Atomic.t;
+}
+
+let state_live = 0
+let state_retired = 1
+let state_freed = 2
+
+let rec nil =
+  {
+    uid = -1;
+    next = nil;
+    batch_link = nil;
+    ref_node = nil;
+    nref = Atomic.make 0;
+    adjs = 0;
+    birth = 0;
+    retire_era = 0;
+    free_hook = ignore;
+    state = Atomic.make state_live;
+  }
+
+let is_nil h = h == nil
+let uid_counter = Atomic.make 0
+
+let create () =
+  {
+    uid = Atomic.fetch_and_add uid_counter 1;
+    next = nil;
+    batch_link = nil;
+    ref_node = nil;
+    nref = Atomic.make 0;
+    adjs = 0;
+    birth = 0;
+    retire_era = 0;
+    free_hook = ignore;
+    state = Atomic.make state_live;
+  }
+
+exception Lifecycle of string * t
+
+let state_name = function
+  | 0 -> "live"
+  | 1 -> "retired"
+  | 2 -> "freed"
+  | _ -> "?"
+
+let set_live h =
+  h.next <- nil;
+  h.batch_link <- nil;
+  h.ref_node <- nil;
+  Atomic.set h.nref 0;
+  h.adjs <- 0;
+  h.birth <- 0;
+  h.retire_era <- 0;
+  Atomic.set h.state state_live
+
+let set_retired h =
+  let old = Atomic.exchange h.state state_retired in
+  if old <> state_live then raise (Lifecycle ("double-retire", h))
+
+let set_freed h =
+  let old = Atomic.exchange h.state state_freed in
+  if old = state_freed then raise (Lifecycle ("double-free", h))
+
+let is_freed h = Atomic.get h.state = state_freed
+
+let check_not_freed ctx h =
+  if (not (is_nil h)) && is_freed h then
+    raise (Lifecycle ("use-after-free: " ^ ctx, h))
+
+let pp ppf h =
+  if is_nil h then Format.fprintf ppf "<nil>"
+  else
+    Format.fprintf ppf "#%d[%s nref=%d birth=%d retire=%d]" h.uid
+      (state_name (Atomic.get h.state))
+      (Atomic.get h.nref) h.birth h.retire_era

@@ -1,0 +1,93 @@
+(** The per-block SMR header.
+
+    Every reclaimable node embeds one [Hdr.t], mirroring the C test
+    framework of Wen et al. (PPoPP'18) where blocks carry the union of
+    all schemes' per-block state.  The header provides:
+
+    - the three link words of a Hyaline batch node — {!type-t.next}
+      (per-slot retirement-list link), {!type-t.batch_link} (chain of
+      the batch's nodes) and {!type-t.ref_node} (pointer to the node
+      carrying the batch's NRef counter);
+    - the batch reference counter {!type-t.nref} (meaningful on the
+      dedicated NRef node only) and the per-batch [Adjs] snapshot used
+      by adaptive Hyaline-S (paper §4.3);
+    - [birth] and [retire_era] stamps for the era-based schemes
+      (HE, IBR, Hyaline-S);
+    - a [free_hook] that returns the {e enclosing} node to its memory
+      pool; and
+    - a lifecycle [state] word giving reclamation observable semantics:
+      illegal transitions (double retire, double free) raise, and
+      readers can assert a block they dereference has not been freed —
+      the manual-heap failure the GC would otherwise mask.
+
+    Lists of headers are [nil]-terminated with the distinguished
+    sentinel {!nil} (compared with [==]) rather than [option], to avoid
+    allocating an ['a option] box per link update on hot paths. *)
+
+type t = {
+  uid : int;  (** unique id, assigned at creation; for debugging *)
+  mutable next : t;
+      (** Hyaline: successor in one slot's retirement list; baselines:
+          successor in a thread-local limbo list. *)
+  mutable batch_link : t;
+      (** Hyaline: next node of the same batch ([nil]-terminated). *)
+  mutable ref_node : t;
+      (** Hyaline: the batch node that carries {!nref}.  On the NRef
+          node itself this field is unused (the paper repurposes it to
+          store the batch's [Adjs]; we keep a separate immediate field
+          {!adjs} since OCaml words are typed). *)
+  nref : int Atomic.t;
+      (** Batch reference count, relaxed: transiently negative (or,
+          viewed unsigned, huge) until all adjustments land. *)
+  mutable adjs : int;
+      (** Adaptive Hyaline-S: the [Adjs] constant captured when the
+          batch was retired (paper §4.3). *)
+  mutable birth : int;  (** birth era (HE / IBR / Hyaline-S) *)
+  mutable retire_era : int;  (** retire era (HE / IBR) *)
+  mutable free_hook : unit -> unit;
+      (** Returns the enclosing block to its pool.  Set once when the
+          enclosing node is created. *)
+  state : int Atomic.t;  (** lifecycle word, see {!section-lifecycle} *)
+}
+
+val nil : t
+(** Sentinel terminating header lists.  Physically unique; never
+    retire, free or link it. *)
+
+val is_nil : t -> bool
+
+val create : unit -> t
+(** [create ()] returns a fresh header in the {e live} state with all
+    links set to {!nil} and a no-op [free_hook]. *)
+
+(** {2:lifecycle Lifecycle}
+
+    [live] —(retire)→ [retired] —(free)→ [freed] —(reuse)→ [live].
+    The checks below are always on: they are single atomic exchanges
+    and form the use-after-free detector of the test suite. *)
+
+exception Lifecycle of string * t
+(** Raised on an illegal transition or a failed liveness check.  The
+    string names the violated rule (["double-retire"],
+    ["double-free"], ["use-after-free"]). *)
+
+val set_live : t -> unit
+(** Reset to live on (re)allocation; also clears links and eras. *)
+
+val set_retired : t -> unit
+(** @raise Lifecycle on double retire or retire-after-free. *)
+
+val set_freed : t -> unit
+(** Transition to freed; legal from both [retired] (the normal SMR
+    path) and [live] (direct teardown of never-retired blocks).
+    @raise Lifecycle on double free. *)
+
+val check_not_freed : string -> t -> unit
+(** [check_not_freed ctx h] raises {!Lifecycle} if [h] is freed.
+    Called by trackers on dereference when UAF checking is enabled;
+    [nil] always passes. *)
+
+val is_freed : t -> bool
+
+val pp : Format.formatter -> t -> unit
+(** Debug printer: uid, state, nref, eras. *)

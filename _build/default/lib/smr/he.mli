@@ -1,0 +1,11 @@
+(** Hazard eras (Ramalhete & Correia, SPAA'17).
+
+    Hazard-pointer structure with era values in the protection slots:
+    each tracked dereference publishes the current era clock in the
+    slot [idx] (re-reading until the clock is stable), and a retired
+    block — stamped with birth and retire eras — is freed only when no
+    published era falls inside its [birth, retire] lifetime.  Robust,
+    with HP-like [O(mn)] scans, but era-grained rather than
+    pointer-grained, so reads are cheaper than HP's. *)
+
+include Tracker.S

@@ -1,0 +1,10 @@
+(** Hazard pointers (Michael, 2004).
+
+    Each tracked dereference publishes the target block in a
+    per-thread protection slot and re-reads the link to validate the
+    publication; a retired block is freed only when it appears in no
+    slot.  Robust and memory-frugal but the slowest baseline: every
+    traversal step pays a publication write plus a validating re-read
+    (on hardware, also a fence), and scans are [O(mn)]. *)
+
+include Tracker.S

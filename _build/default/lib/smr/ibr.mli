@@ -1,0 +1,13 @@
+(** Interval-based reclamation, 2GE variant (Wen et al., PPoPP'18).
+
+    Each thread publishes a reservation {e interval} [\[lower, upper\]]:
+    [enter] pins both ends to the era clock; every tracked dereference
+    raises [upper] to the current clock.  A retired block (stamped with
+    birth and retire eras) is freed once its lifetime interval is
+    disjoint from every thread's reservation.  Robust: a stalled
+    thread's interval stops growing, so only blocks born before its
+    [upper] stay pinned.  API-wise this is the scheme closest to
+    Hyaline-S, which borrows its birth eras (but not its retire eras —
+    see [Hyaline_s]). *)
+
+include Tracker.S

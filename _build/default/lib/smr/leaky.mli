@@ -1,0 +1,9 @@
+(** No reclamation at all — the paper's [Leaky] baseline (§6).
+
+    Retired blocks are counted but never freed, so the pool never
+    recycles them; throughput measured over it is an upper bound for
+    schemes that pay reclamation costs (though, as the paper notes,
+    recycling can occasionally beat leaking because a warm free list
+    is cheaper than fresh allocation). *)
+
+include Tracker.S

@@ -1,0 +1,64 @@
+type 'a block = {
+  mutable v : 'a;
+  count : int Atomic.t;
+  on_free : 'a block -> unit;
+}
+
+type 'a cell = 'a block option Atomic.t
+
+(* Freed blocks park their counter here; stray acquire bumps (undone
+   by their paired decrements) oscillate around the bias instead of
+   re-crossing the 1 -> 0 edge.  Stray imbalance is bounded by the
+   number of concurrent acquirers, far below the bias. *)
+let dead_bias = 1 lsl 40
+
+let make_block v ~on_free = { v; count = Atomic.make 1; on_free }
+
+let reset b v =
+  ignore (Atomic.fetch_and_add b.count (1 - dead_bias));
+  b.v <- v;
+  b
+
+let value b = b.v
+
+let same a b =
+  match (a, b) with
+  | None, None -> true
+  | Some x, Some y -> x == y
+  | _ -> false
+
+(* The final decrement must park the counter at the bias in the same
+   atomic step: if the count ever sat at plain 0, a stray acquire bump
+   (0 -> 1) and its undo (1 -> 0) would re-trigger the free.  Hence a
+   CAS loop rather than fetch-and-add — release is the slow path
+   anyway, which is rather the point of the LFRC row of Table 1. *)
+let rec release b =
+  let c = Atomic.get b.count in
+  if c = 1 then begin
+    if Atomic.compare_and_set b.count 1 dead_bias then b.on_free b
+    else release b
+  end
+  else if not (Atomic.compare_and_set b.count c (c - 1)) then release b
+
+let rec acquire (cell : 'a cell) =
+  match Atomic.get cell with
+  | None -> None
+  | Some b as seen ->
+      (* The bump may land on a freed (type-stable) block; the
+         revalidation detects that the link moved on and undoes it. *)
+      ignore (Atomic.fetch_and_add b.count 1);
+      if same (Atomic.get cell) seen then Some b
+      else begin
+        release b;
+        acquire cell
+      end
+
+let link target = Atomic.make target
+
+let rec cas cell ~expect target =
+  let cur = Atomic.get cell in
+  if not (same cur expect) then false
+  else if Atomic.compare_and_set cell cur target then true
+  else cas cell ~expect target
+
+let peek_count b = Atomic.get b.count

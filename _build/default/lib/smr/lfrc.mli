@@ -1,0 +1,58 @@
+(** Lock-free reference counting (LFRC) — Table 1's counted-pointer
+    row (Valois PODC'95, with the Michael & Scott correction, in its
+    type-stable-memory form).
+
+    Unlike every other scheme here, LFRC does not fit the
+    {!Tracker.S} interface: it is {e intrusive} — every shared link is
+    a counted pointer, every dereference pays an atomic
+    increment-validate-(later)-decrement, and blocks free themselves
+    when their count drains.  That intrusiveness and the read-path
+    cost are exactly the paper's qualitative verdict ("very slow,
+    especially reading"), which the Table 1 microbenchmarks quantify
+    against this module.
+
+    The Michael-Scott correction assumes {e type-stable memory}:
+    freed blocks are recycled as blocks (never returned to the OS), so
+    the acquire fast path may harmlessly bump the count of a block
+    that was freed between the pointer load and the increment — the
+    subsequent link revalidation detects it and undoes the bump.  This
+    repository's {!Mpool} provides exactly that discipline.  A freed
+    block's counter parks at a large {e dead bias} so stray
+    bump/undo pairs on it can never re-trigger the 1->0 edge. *)
+
+type 'a block
+(** A reference-counted block holding an ['a]. *)
+
+type 'a cell = 'a block option Atomic.t
+(** A shared counted link (the count lives in the target block). *)
+
+val make_block : 'a -> on_free:('a block -> unit) -> 'a block
+(** A fresh block with count 1 — the creator's reference.  [on_free]
+    runs exactly once, when the count drains to zero. *)
+
+val reset : 'a block -> 'a -> 'a block
+(** Recycle a previously freed block (type-stable reuse): rearm the
+    counter to 1 and store the new value. *)
+
+val value : 'a block -> 'a
+
+val acquire : 'a cell -> 'a block option
+(** Protected read: load, bump the target's count, revalidate the
+    link; undo and retry if the link moved.  Pair every [Some] result
+    with {!release}. *)
+
+val release : 'a block -> unit
+(** Drop one reference; frees the block (running [on_free]) when the
+    count drains to zero. *)
+
+val link : 'a block option -> 'a cell
+(** A new cell; linking a block consumes one reference. *)
+
+val cas : 'a cell -> expect:'a block option -> 'a block option -> bool
+(** Swing the link.  Reference accounting is the caller's: the new
+    target must carry a donated reference; on success the caller
+    receives the old target's link reference (and typically
+    {!release}s it after retiring the block from the structure). *)
+
+val peek_count : 'a block -> int
+(** Racy; tests only. *)

@@ -1,0 +1,29 @@
+type t = {
+  allocs : int Atomic.t;
+  retires : int Atomic.t;
+  frees : int Atomic.t;
+}
+
+let create () =
+  { allocs = Atomic.make 0; retires = Atomic.make 0; frees = Atomic.make 0 }
+
+let on_alloc t = Atomic.incr t.allocs
+let on_retire t = Atomic.incr t.retires
+let on_free t = Atomic.incr t.frees
+let allocs t = Atomic.get t.allocs
+let retires t = Atomic.get t.retires
+let frees t = Atomic.get t.frees
+let unreclaimed t = Atomic.get t.retires - Atomic.get t.frees
+
+type snapshot = { allocs : int; retires : int; frees : int }
+
+let snapshot (t : t) =
+  {
+    allocs = Atomic.get t.allocs;
+    retires = Atomic.get t.retires;
+    frees = Atomic.get t.frees;
+  }
+
+let pp_snapshot ppf { allocs; retires; frees } =
+  Format.fprintf ppf "allocs=%d retires=%d frees=%d unreclaimed=%d" allocs
+    retires frees (retires - frees)

@@ -1,0 +1,27 @@
+(** Reclamation statistics shared by every scheme.
+
+    The paper's second metric (Figures 9, 12, 14, 16) is the average
+    number of {e retired but not yet reclaimed} objects, sampled during
+    the run; trackers bump these counters on each transition and the
+    workload harness samples [unreclaimed]. *)
+
+type t
+
+val create : unit -> t
+
+val on_alloc : t -> unit
+val on_retire : t -> unit
+val on_free : t -> unit
+
+val allocs : t -> int
+val retires : t -> int
+val frees : t -> int
+
+val unreclaimed : t -> int
+(** [retires - frees] at the moment of the call: blocks whose storage
+    an unmanaged-heap program could not yet have returned to the OS. *)
+
+type snapshot = { allocs : int; retires : int; frees : int }
+
+val snapshot : t -> snapshot
+val pp_snapshot : Format.formatter -> snapshot -> unit

@@ -1,0 +1,28 @@
+module type S = sig
+  type t
+
+  val name : string
+  val robust : bool
+  val transparent : bool
+  val create : Config.t -> t
+  val enter : t -> tid:int -> unit
+  val leave : t -> tid:int -> unit
+  val trim : t -> tid:int -> unit
+  val alloc_hook : t -> tid:int -> Hdr.t -> unit
+  val read : t -> tid:int -> idx:int -> 'a Atomic.t -> ('a -> Hdr.t) -> 'a
+  val transfer : t -> tid:int -> from_idx:int -> to_idx:int -> unit
+  val retire : t -> tid:int -> Hdr.t -> unit
+  val flush : t -> tid:int -> unit
+  val stats : t -> Stats.t
+end
+
+type packed = (module S)
+
+let free_block stats hdr =
+  Hdr.set_freed hdr;
+  hdr.Hdr.free_hook ();
+  Stats.on_free stats
+
+let retire_block stats hdr =
+  Hdr.set_retired hdr;
+  Stats.on_retire stats

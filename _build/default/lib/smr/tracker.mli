@@ -1,0 +1,93 @@
+(** The tracker interface every SMR scheme implements.
+
+    This is the OCaml rendering of the API of the Wen et al. PPoPP'18
+    test framework used by the paper's evaluation (and of the paper's
+    own Figure 1a): data-structure operations are bracketed by
+    {!S.enter} / {!S.leave}, traversal dereferences go through
+    {!S.read}, unlinked blocks are handed to {!S.retire}, and the
+    scheme decides when the block's [free_hook] may run.
+
+    Thread ids: the harness assigns each worker a dense id
+    [0 <= tid < Config.nthreads].  Transparent schemes (the Hyaline
+    family) use [tid] only to index scratch handles — any number of
+    concurrent entities may share them; registration-based schemes
+    (EBR, HP, HE, IBR) genuinely reserve per-[tid] state, which is
+    precisely the transparency gap the paper describes (§2.4). *)
+
+module type S = sig
+  type t
+  (** Shared scheme state. *)
+
+  val name : string
+  val robust : bool
+  (** Whether stalled threads leave the number of unreclaimable blocks
+      bounded (paper §2.3). *)
+
+  val transparent : bool
+  (** Whether threads are "off the hook" after [leave] — no per-thread
+      registration, no post-[leave] obligations (paper §2.4). *)
+
+  val create : Config.t -> t
+
+  val enter : t -> tid:int -> unit
+  (** Begin a data-structure operation. *)
+
+  val leave : t -> tid:int -> unit
+  (** End the operation started by the matching [enter]. *)
+
+  val trim : t -> tid:int -> unit
+  (** Logically [leave] followed by [enter] (paper §3.3): releases the
+      blocks retired before this point without ending the bracket.
+      Hyaline implements the contention-free version; baselines
+      implement it literally as [leave; enter]. *)
+
+  val alloc_hook : t -> tid:int -> Hdr.t -> unit
+  (** Stamp a freshly allocated block (birth era for the era-based
+      schemes) and advance allocation-driven clocks. *)
+
+  val read : t -> tid:int -> idx:int -> 'a Atomic.t -> ('a -> Hdr.t) -> 'a
+  (** [read t ~tid ~idx link proj] performs a protected dereference of
+      [link]: it returns a value [v] such that the block [proj v] is
+      guaranteed not to be freed until the protection is released
+      (scheme-specific: until the slot [idx] is overwritten or cleared
+      for HP/HE, until [leave] for the others).  [proj] maps the link
+      value to the header of the block it designates ([Hdr.nil] for a
+      null link).  [idx] selects a protection slot in
+      [0 .. Config.hazards - 1]; schemes without per-pointer slots
+      ignore it. *)
+
+  val transfer : t -> tid:int -> from_idx:int -> to_idx:int -> unit
+  (** Copy the protection held in slot [from_idx] to slot [to_idx]
+      (both remain protected until overwritten).  Needed by algorithms
+      whose helper records outlive a bounded window of recent reads —
+      the Natarajan-Mittal seek keeps its ancestor/successor/parent
+      pinned this way while the descent continues below them.  A no-op
+      for schemes whose protection is not per-slot (EBR, IBR, the
+      Hyaline family). *)
+
+  val retire : t -> tid:int -> Hdr.t -> unit
+  (** Hand an unlinked block to the scheme.  Must be called inside an
+      [enter]/[leave] bracket.  The block's [free_hook] runs exactly
+      once, at some point no concurrent operation can still reach it. *)
+
+  val flush : t -> tid:int -> unit
+  (** Finalize buffered work so a quiescent system reclaims fully:
+      Hyaline pads and retires the thread's partial batch (the paper's
+      "dummy nodes" finalization, §2.4); baselines attempt a limbo
+      scan.  Safe to call outside a bracket for baselines; Hyaline
+      requires an active bracket if the partial batch is non-empty. *)
+
+  val stats : t -> Stats.t
+end
+
+type packed = (module S)
+(** First-class scheme module, for tables indexed by scheme. *)
+
+val free_block : Stats.t -> Hdr.t -> unit
+(** Shared free path: mark the header freed (checking for double
+    free), run the [free_hook] and count the free.  Every scheme's
+    reclamation funnels through here. *)
+
+val retire_block : Stats.t -> Hdr.t -> unit
+(** Shared retire entry: mark retired (checking for double retire) and
+    count. *)

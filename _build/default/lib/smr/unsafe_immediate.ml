@@ -1,0 +1,28 @@
+type t = { cfg : Config.t; stats : Stats.t }
+
+let name = "UnsafeImmediate"
+let robust = false
+let transparent = true
+
+let create cfg =
+  Config.validate cfg;
+  { cfg; stats = Stats.create () }
+
+let enter _ ~tid:_ = ()
+let leave _ ~tid:_ = ()
+let trim _ ~tid:_ = ()
+let alloc_hook t ~tid:_ (_ : Hdr.t) = Stats.on_alloc t.stats
+
+let read t ~tid:_ ~idx:_ a proj =
+  let v = Atomic.get a in
+  if t.cfg.check_uaf then Hdr.check_not_freed "Unsafe_immediate.read" (proj v);
+  v
+
+let transfer _ ~tid:_ ~from_idx:_ ~to_idx:_ = ()
+
+let retire t ~tid:_ hdr =
+  Tracker.retire_block t.stats hdr;
+  Tracker.free_block t.stats hdr
+
+let flush _ ~tid:_ = ()
+let stats t = t.stats

@@ -1,0 +1,9 @@
+(** Deliberately broken "scheme" that frees blocks the moment they are
+    retired, with no protection whatsoever.
+
+    Exists only to prove the reclamation-safety detector works: under
+    concurrent load the pool recycles blocks out from under readers
+    and the [Hdr] lifecycle checks (or data-structure invariant
+    checks) fire.  Never use outside the test suite. *)
+
+include Tracker.S

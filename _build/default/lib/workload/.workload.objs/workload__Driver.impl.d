@@ -1,0 +1,1 @@
+lib/workload/driver.ml: Array Atomic Domain Dstruct Format Keydist List Prims Printf Registry Smr Unix

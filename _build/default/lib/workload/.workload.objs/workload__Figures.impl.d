@@ -1,0 +1,1 @@
+lib/workload/figures.ml: Driver Format Fun Hyaline_core Keydist List Printf Registry Smr String

@@ -1,0 +1,1 @@
+lib/workload/keydist.ml: Array Float Prims Printf

@@ -1,0 +1,1 @@
+lib/workload/plot.ml: Array Buffer Char Float List Printf String

@@ -1,0 +1,1 @@
+lib/workload/registry.ml: Dstruct Hyaline_core List Printf Smr String

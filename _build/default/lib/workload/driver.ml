@@ -1,0 +1,207 @@
+type mix = { insert_pct : int; delete_pct : int; put_pct : int }
+
+let write_heavy = { insert_pct = 50; delete_pct = 50; put_pct = 0 }
+(* The paper's "90% get, 10% put": the write share is split between
+   inserts and deletes so it generates reclamation traffic in every
+   structure (in-place value updates retire nothing). *)
+let read_mostly = { insert_pct = 5; delete_pct = 5; put_pct = 0 }
+
+type params = {
+  threads : int;
+  stalled : int;
+  duration : float;
+  prefill : int;
+  key_range : int;
+  mix : mix;
+  dist : Keydist.t option;
+  use_trim : bool;
+  cfg : Smr.Config.t;
+  seed : int;
+  sample_every : float;
+}
+
+let default_params =
+  {
+    threads = 2;
+    stalled = 0;
+    duration = 1.0;
+    prefill = 10_000;
+    key_range = 20_000;
+    mix = write_heavy;
+    dist = None;
+    use_trim = false;
+    cfg = Smr.Config.paper ~nthreads:2;
+    seed = 2024;
+    sample_every = 0.005;
+  }
+
+let paper_params =
+  {
+    default_params with
+    duration = 10.0;
+    prefill = 50_000;
+    key_range = 100_000;
+  }
+
+type result = {
+  scheme : string;
+  structure : string;
+  threads : int;
+  stalled : int;
+  ops : int;
+  duration : float;
+  throughput : float;
+  avg_unreclaimed : float;
+  max_unreclaimed : int;
+  retires : int;
+  frees : int;
+  samples : int;
+}
+
+let pp_result_header ppf () =
+  Format.fprintf ppf "%-16s %-8s %4s %4s %12s %10s %14s %12s@." "scheme"
+    "structure" "thr" "stl" "ops" "Mops/s" "avg-unreclaim" "max-unreclaim"
+
+let pp_result ppf r =
+  Format.fprintf ppf "%-16s %-8s %4d %4d %12d %10.3f %14.1f %12d@." r.scheme
+    r.structure r.threads r.stalled r.ops r.throughput r.avg_unreclaimed
+    r.max_unreclaimed
+
+let now () = Unix.gettimeofday ()
+
+let run ~(structure : Registry.structure) ~(scheme : Registry.scheme)
+    (p : params) =
+  if not (Registry.compatible ~structure ~scheme) then
+    invalid_arg
+      (Printf.sprintf "%s is not run on %s (per the paper's evaluation)"
+         scheme.Registry.s_name structure.Registry.d_name);
+  let module M = (val Registry.make_map structure scheme : Dstruct.Map_intf.S)
+  in
+  let total_threads = p.threads + p.stalled in
+  let cfg = { p.cfg with Smr.Config.nthreads = max 1 total_threads } in
+  let m = M.create ~cfg () in
+  if p.prefill * 2 > p.key_range then
+    invalid_arg "Driver.run: prefill must be at most half the key range";
+  (* Prefill from tid 0, trim-chained so limbo does not balloon. *)
+  let rng = Prims.Rng.create ~seed:p.seed in
+  M.enter m ~tid:0;
+  let filled = ref 0 in
+  while !filled < p.prefill do
+    let k = Prims.Rng.below rng p.key_range in
+    if M.insert m ~tid:0 k k then incr filled;
+    M.trim m ~tid:0
+  done;
+  M.leave m ~tid:0;
+  let stop = Atomic.make false in
+  let started = Atomic.make 0 in
+  let ops_of = Array.make (max 1 p.threads) 0 in
+  let draw_key rng =
+    match p.dist with
+    | None -> Prims.Rng.below rng p.key_range
+    | Some d -> Keydist.draw d rng
+  in
+  let worker tid () =
+    let rng = Prims.Rng.create ~seed:(p.seed + (7919 * (tid + 1))) in
+    Atomic.incr started;
+    let ops = ref 0 in
+    if p.use_trim then M.enter m ~tid;
+    while not (Atomic.get stop) do
+      let k = draw_key rng in
+      let pct = Prims.Rng.below rng 100 in
+      if not p.use_trim then M.enter m ~tid;
+      (if pct < p.mix.insert_pct then ignore (M.insert m ~tid k k)
+       else if pct < p.mix.insert_pct + p.mix.delete_pct then
+         ignore (M.remove m ~tid k)
+       else if pct < p.mix.insert_pct + p.mix.delete_pct + p.mix.put_pct then
+         ignore (M.put m ~tid k k)
+       else ignore (M.get m ~tid k));
+      if p.use_trim then M.trim m ~tid else M.leave m ~tid;
+      incr ops
+    done;
+    if p.use_trim then M.leave m ~tid;
+    ops_of.(tid) <- !ops
+  in
+  (* A stalled thread enters, performs one protected read, then parks
+     inside its bracket until the window closes. *)
+  let stalled_worker tid () =
+    let rng = Prims.Rng.create ~seed:(p.seed + (104729 * (tid + 1))) in
+    M.enter m ~tid;
+    ignore (M.get m ~tid (Prims.Rng.below rng p.key_range));
+    Atomic.incr started;
+    while not (Atomic.get stop) do
+      Domain.cpu_relax ()
+    done;
+    M.leave m ~tid
+  in
+  let stats = M.stats m in
+  let domains =
+    List.init p.threads (fun tid -> Domain.spawn (worker tid))
+    @ List.init p.stalled (fun i ->
+          Domain.spawn (stalled_worker (p.threads + i)))
+  in
+  (* Wait for every thread to be on CPU before opening the window. *)
+  while Atomic.get started < total_threads do
+    Domain.cpu_relax ()
+  done;
+  let t0 = now () in
+  let deadline = t0 +. p.duration in
+  let sum_unreclaimed = ref 0.0 in
+  let max_unreclaimed = ref 0 in
+  let samples = ref 0 in
+  while now () < deadline do
+    Unix.sleepf p.sample_every;
+    let u = Smr.Stats.unreclaimed stats in
+    sum_unreclaimed := !sum_unreclaimed +. float_of_int u;
+    if u > !max_unreclaimed then max_unreclaimed := u;
+    incr samples
+  done;
+  Atomic.set stop true;
+  let t1 = now () in
+  List.iter Domain.join domains;
+  for tid = 0 to total_threads - 1 do
+    M.flush m ~tid
+  done;
+  let ops = Array.fold_left ( + ) 0 ops_of in
+  let duration = t1 -. t0 in
+  let s = Smr.Stats.snapshot stats in
+  {
+    scheme = scheme.Registry.s_name;
+    structure = structure.Registry.d_name;
+    threads = p.threads;
+    stalled = p.stalled;
+    ops;
+    duration;
+    throughput = float_of_int ops /. duration /. 1e6;
+    avg_unreclaimed =
+      (if !samples = 0 then 0.0
+       else !sum_unreclaimed /. float_of_int !samples);
+    max_unreclaimed = !max_unreclaimed;
+    retires = s.Smr.Stats.retires;
+    frees = s.Smr.Stats.frees;
+    samples = !samples;
+  }
+
+let run_many ~repeat ~structure ~scheme p =
+  if repeat <= 0 then invalid_arg "Driver.run_many: repeat <= 0";
+  let runs =
+    List.init repeat (fun i ->
+        run ~structure ~scheme { p with seed = p.seed + (i * 7717) })
+  in
+  let first = List.hd runs in
+  let fsum f = List.fold_left (fun a r -> a +. f r) 0.0 runs in
+  let isum f = List.fold_left (fun a r -> a + f r) 0 runs in
+  let imax f = List.fold_left (fun a r -> max a (f r)) min_int runs in
+  let ops = isum (fun r -> r.ops) in
+  let duration = fsum (fun r -> r.duration) in
+  {
+    first with
+    ops;
+    duration;
+    throughput = float_of_int ops /. duration /. 1e6;
+    avg_unreclaimed =
+      fsum (fun r -> r.avg_unreclaimed) /. float_of_int repeat;
+    max_unreclaimed = imax (fun r -> r.max_unreclaimed);
+    retires = isum (fun r -> r.retires);
+    frees = isum (fun r -> r.frees);
+    samples = isum (fun r -> r.samples);
+  }

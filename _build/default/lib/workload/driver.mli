@@ -1,0 +1,82 @@
+(** The benchmark driver: one call = one data point of a paper figure.
+
+    Reproduces the measurement loop of §6: prefill the structure with
+    [prefill] elements, then run [threads] workers for [duration]
+    seconds, each repeatedly drawing a uniform key from
+    [\[0, key_range)] and performing an operation drawn from [mix];
+    optionally park [stalled] additional threads mid-bracket (the
+    Figure 10a robustness scenario) and optionally chain operations
+    with [trim] instead of re-entering (Figure 10b).  A sampler thread
+    concurrently records the number of retired-but-not-freed blocks —
+    the paper's second metric (Figures 9/12/14/16). *)
+
+type mix = {
+  insert_pct : int;  (** percent of operations that are inserts *)
+  delete_pct : int;  (** percent that are deletes *)
+  put_pct : int;  (** percent that are puts; the rest are gets *)
+}
+
+val write_heavy : mix
+(** 50% insert / 50% delete — §6's main workload. *)
+
+val read_mostly : mix
+(** 90% get / 10% put — the Appendix A workload. *)
+
+type params = {
+  threads : int;
+  stalled : int;
+  duration : float;  (** seconds *)
+  prefill : int;
+  key_range : int;
+  mix : mix;
+  dist : Keydist.t option;
+      (** key distribution for worker draws; [None] = uniform over
+          [key_range].  Prefill is always uniform. *)
+  use_trim : bool;
+  cfg : Smr.Config.t;  (** scheme parameters; [nthreads] is overridden *)
+  seed : int;
+  sample_every : float;  (** sampler period, seconds *)
+}
+
+val default_params : params
+(** Laptop-scale defaults: 10 000 prefill over a 20 000-key range,
+    1 s duration, paper's scheme parameters. *)
+
+val paper_params : params
+(** The paper's §6 settings: 50 000 prefill, 100 000-key range, 10 s
+    duration.  Slow on one core. *)
+
+type result = {
+  scheme : string;
+  structure : string;
+  threads : int;
+  stalled : int;
+  ops : int;  (** completed operations *)
+  duration : float;  (** measured wall time *)
+  throughput : float;  (** M ops/s *)
+  avg_unreclaimed : float;  (** mean retired-not-freed over samples *)
+  max_unreclaimed : int;
+  retires : int;
+  frees : int;
+  samples : int;
+}
+
+val pp_result_header : Format.formatter -> unit -> unit
+val pp_result : Format.formatter -> result -> unit
+
+val run :
+  structure:Registry.structure -> scheme:Registry.scheme -> params -> result
+(** Execute one data point.  Spawns [threads + stalled] domains plus a
+    sampler; joins everything before returning (stalled threads are
+    released at the end of the measurement window). *)
+
+val run_many :
+  repeat:int ->
+  structure:Registry.structure ->
+  scheme:Registry.scheme ->
+  params ->
+  result
+(** [run_many ~repeat ...] executes the data point [repeat] times (the
+    paper runs each 5 times) and reports the aggregate: summed ops over
+    summed wall time, mean of the per-run unreclaimed averages, max of
+    maxima. *)

@@ -1,0 +1,368 @@
+(** Experiment definitions: one entry per table/figure of the paper's
+    evaluation (§6 Figures 8-10, Appendix A Figures 11-16, Table 1).
+
+    Each figure is a list of {!Driver} runs; the same run yields both
+    the throughput figure and its companion unreclaimed-objects figure
+    (8/9, 11/12, 13/14, 15/16 are printed from one pass, as in the
+    paper where both metrics come from the same executions). *)
+
+type scale = {
+  label : string;
+  threads : int list;  (** thread counts to sweep *)
+  stalled : int list;  (** stalled-thread counts for Figure 10a *)
+  duration : float;
+  prefill : int;  (** for hashmap/bonsai/nmtree *)
+  key_range : int;
+  list_prefill : int;  (** the O(n) list gets a smaller working set *)
+  list_key_range : int;
+  repeats : int;  (** runs per data point; the paper averages 5 *)
+}
+
+(* One-core-container scale: small enough that the whole suite runs in
+   minutes; the paper scale is available behind --paper. *)
+let quick =
+  {
+    label = "quick";
+    threads = [ 1; 2; 4 ];
+    stalled = [ 0; 1; 2; 4 ];
+    duration = 0.5;
+    prefill = 10_000;
+    key_range = 20_000;
+    list_prefill = 500;
+    list_key_range = 1_000;
+    repeats = 1;
+  }
+
+let paper =
+  {
+    label = "paper";
+    threads = [ 1; 2; 4; 8; 16; 32; 64; 72; 96; 144 ];
+    stalled = [ 0; 1; 2; 4; 8; 16; 32; 57; 64 ];
+    duration = 10.0;
+    prefill = 50_000;
+    key_range = 100_000;
+    list_prefill = 50_000;
+    list_key_range = 100_000;
+    repeats = 5;
+  }
+
+(* The scheme line-up of Figures 8/9/11/12 (HP and HE dropped on
+   bonsai, as in the paper). *)
+let figure8_schemes =
+  [
+    "Leaky"; "Epoch"; "HP"; "HE"; "IBR"; "Hyaline"; "Hyaline-1"; "Hyaline-S";
+    "Hyaline-1S";
+  ]
+
+(* The "PowerPC" line-up (Figures 13-16): the Hyaline family running
+   over the emulated single-width LL/SC backend of §4.4, next to the
+   baselines (whose algorithms never needed a wide CAS). *)
+let ppc_schemes =
+  [
+    "Leaky"; "Epoch"; "HP"; "HE"; "IBR"; "Hyaline(llsc)"; "Hyaline-S(llsc)";
+    "Hyaline-1"; "Hyaline-1S";
+  ]
+
+(* Figure 10a: robustness.  The paper plots Epoch and basic Hyaline
+   exploding, HP/HE/IBR/Hyaline-1S flat, capped Hyaline-S flat until
+   slots run out, adaptive Hyaline-S flat throughout. *)
+let fig10a_schemes =
+  [ "Epoch"; "Hyaline"; "HP"; "HE"; "IBR"; "Hyaline-S"; "Hyaline-1S" ]
+
+let params_for (sc : scale) ~(structure : Registry.structure) ~threads
+    ~stalled ~mix ~use_trim ~cfg : Driver.params =
+  let is_list = structure.Registry.d_name = "list" in
+  {
+    Driver.threads;
+    stalled;
+    duration = sc.duration;
+    prefill = (if is_list then sc.list_prefill else sc.prefill);
+    key_range = (if is_list then sc.list_key_range else sc.key_range);
+    mix;
+    dist = None;
+    use_trim;
+    cfg;
+    seed = 2024;
+    sample_every = 0.005;
+  }
+
+type row = Driver.result
+
+(* Run one throughput/unreclaimed sweep (Figures 8/9, 11/12, 13/14,
+   15/16 depending on [mix] and [schemes]). *)
+let sweep ~(sc : scale) ~structure_name ~schemes ~mix ~emit =
+  let structure = Registry.find_structure structure_name in
+  List.iter
+    (fun threads ->
+      List.iter
+        (fun sname ->
+          let scheme = Registry.find_scheme sname in
+          if Registry.compatible ~structure ~scheme then begin
+            let cfg = Smr.Config.paper ~nthreads:threads in
+            let p =
+              params_for sc ~structure ~threads ~stalled:0 ~mix
+                ~use_trim:false ~cfg
+            in
+            emit (Driver.run_many ~repeat:sc.repeats ~structure ~scheme p)
+          end)
+        schemes)
+    sc.threads
+
+(* Figure 10a: fixed worker count, sweep stalled threads, hashmap.
+   Run capped Hyaline-S and (separately) adaptive Hyaline-S.
+
+   The window is 4x the scale's: the robust schemes' backlog is a
+   plateau (one-time pinning of blocks born before the stall, times
+   the batch amplification of Theorem 4's (k+1) factor) while the
+   non-robust schemes' grows with the operation count — distinguishing
+   a plateau from growth needs enough operations past the transient. *)
+let robustness ~(sc : scale) ~active ~emit =
+  let sc = { sc with duration = sc.duration *. 4.0 } in
+  let structure = Registry.find_structure "hashmap" in
+  List.iter
+    (fun stalled ->
+      List.iter
+        (fun sname ->
+          let scheme = Registry.find_scheme sname in
+          let cfg = Smr.Config.paper ~nthreads:(active + stalled) in
+          let p =
+            params_for sc ~structure ~threads:active ~stalled
+              ~mix:Driver.write_heavy ~use_trim:false ~cfg
+          in
+          emit (Driver.run_many ~repeat:sc.repeats ~structure ~scheme p))
+        fig10a_schemes;
+      (* adaptive Hyaline-S, small slot cap so adaptation matters *)
+      let scheme = Registry.find_scheme "Hyaline-S" in
+      let cfg =
+        { (Smr.Config.paper ~nthreads:(active + stalled)) with
+          Smr.Config.adaptive = true;
+          slots = 8;
+        }
+      in
+      let p =
+        params_for sc ~structure ~threads:active ~stalled
+          ~mix:Driver.write_heavy ~use_trim:false ~cfg
+      in
+      let r = Driver.run_many ~repeat:sc.repeats ~structure ~scheme p in
+      emit { r with Driver.scheme = "Hyaline-S(adapt)" })
+    sc.stalled
+
+(* Figure 10b: trimming with a small slot cap (32 in the paper), the
+   Hyaline variants with and without trim. *)
+let trimming ~(sc : scale) ~emit =
+  let structure = Registry.find_structure "hashmap" in
+  let hyalines = [ "Hyaline"; "Hyaline-1"; "Hyaline-S"; "Hyaline-1S" ] in
+  List.iter
+    (fun threads ->
+      List.iter
+        (fun sname ->
+          let scheme = Registry.find_scheme sname in
+          List.iter
+            (fun use_trim ->
+              let cfg =
+                { (Smr.Config.paper ~nthreads:threads) with
+                  Smr.Config.slots = 32;
+                }
+              in
+              let p =
+                params_for sc ~structure ~threads ~stalled:0
+                  ~mix:Driver.write_heavy ~use_trim ~cfg
+              in
+              let r = Driver.run_many ~repeat:sc.repeats ~structure ~scheme p in
+              let tag = if use_trim then "+trim" else "" in
+              emit { r with Driver.scheme = r.Driver.scheme ^ tag })
+            [ false; true ])
+        hyalines)
+    sc.threads
+
+(* Table 1: qualitative properties, printed from the modules
+   themselves so the table cannot drift from the code. *)
+let table1 ppf =
+  Format.fprintf ppf "%-16s %-8s %-12s %-14s@." "scheme" "robust"
+    "transparent" "reclamation";
+  let reclam = function
+    | "HP" | "HE" -> "O(mn) scan"
+    | "Epoch" | "IBR" -> "O(n) scan"
+    | "Leaky" -> "none"
+    | s when String.length s >= 7 && String.sub s 0 7 = "Hyaline" -> "~O(1)"
+    | _ -> "?"
+  in
+  List.iter
+    (fun (s : Registry.scheme) ->
+      let module T = (val s.Registry.s_mod : Smr.Tracker.S) in
+      Format.fprintf ppf "%-16s %-8b %-12b %-14s@." T.name T.robust
+        T.transparent (reclam s.Registry.s_name))
+    Registry.schemes;
+  (* LFRC does not fit the tracker interface (it is intrusive); its
+     row comes from the standalone Smr.Lfrc module, exercised by the
+     Table 1 microbenchmarks and test suite. *)
+  Format.fprintf ppf "%-16s %-8b %-12s %-14s@." "LFRC" true
+    "partially" "O(1), intrusive"
+
+(* ------------------------------------------------------------------ *)
+(* Ablations: the design knobs §3.2-§4.3 discuss, each swept in
+   isolation on the hash map.  Not paper figures — these quantify the
+   trade-offs the paper states qualitatively. *)
+
+let tagged r tag = { r with Driver.scheme = r.Driver.scheme ^ tag }
+
+(* The first measured run of a process pays one-time costs (heap
+   growth, page faults); a discarded warm-up run keeps single-knob
+   sweeps comparable row to row. *)
+let warmup ~(sc : scale) ~structure ~scheme =
+  let cfg = Smr.Config.paper ~nthreads:2 in
+  let p =
+    params_for
+      { sc with duration = 0.1 }
+      ~structure ~threads:2 ~stalled:0 ~mix:Driver.write_heavy
+      ~use_trim:false ~cfg
+  in
+  ignore (Driver.run ~structure ~scheme p)
+
+(* Batch size: §3.2 likens it to the epoch-increment frequency — large
+   batches amortize retire cost but hold more garbage; §6 notes the
+   pre-peak gap "can be eliminated by further increasing batch
+   sizes". *)
+let ablate_batch ~(sc : scale) ~emit =
+  let structure = Registry.find_structure "hashmap" in
+  let scheme = Registry.find_scheme "Hyaline" in
+  warmup ~sc ~structure ~scheme;
+  List.iter
+    (fun threads ->
+      List.iter
+        (fun batch_min ->
+          (* k = 8 so the effective batch size max(b, k+1) is the
+             swept value, not the 128-slot minimum. *)
+          let cfg =
+            { (Smr.Config.paper ~nthreads:threads) with
+              Smr.Config.batch_min;
+              slots = 8;
+            }
+          in
+          let p =
+            params_for sc ~structure ~threads ~stalled:0
+              ~mix:Driver.write_heavy ~use_trim:false ~cfg
+          in
+          emit
+            (tagged
+               (Driver.run_many ~repeat:sc.repeats ~structure ~scheme p)
+               (Printf.sprintf "[b=%d]" batch_min)))
+        [ 16; 64; 256; 1024 ])
+    sc.threads
+
+(* Slot count: k = 1 is the §3.1 single-list version (maximal Head
+   contention); the paper caps k at 128 ~ next_pow2(cores). *)
+let ablate_slots ~(sc : scale) ~emit =
+  let structure = Registry.find_structure "hashmap" in
+  let scheme = Registry.find_scheme "Hyaline" in
+  warmup ~sc ~structure ~scheme;
+  List.iter
+    (fun threads ->
+      List.iter
+        (fun slots ->
+          let cfg =
+            { (Smr.Config.paper ~nthreads:threads) with Smr.Config.slots }
+          in
+          let p =
+            params_for sc ~structure ~threads ~stalled:0
+              ~mix:Driver.write_heavy ~use_trim:false ~cfg
+          in
+          emit
+            (tagged
+               (Driver.run_many ~repeat:sc.repeats ~structure ~scheme p)
+               (Printf.sprintf "[k=%d]" slots)))
+        [ 1; 8; 32; 128 ])
+    sc.threads
+
+(* Era frequency (Fig. 5's Freq): how often allocation advances the
+   era clock.  Rare advances -> coarse eras -> more batches pinned by
+   a stalled slot (Theorem 4's bound is proportional to Freq). *)
+let ablate_freq ~(sc : scale) ~emit =
+  (* Longer window and smaller prefill: the freq-dependent term of
+     Theorem 4's bound must emerge from under the one-time pinning of
+     pre-stall blocks. *)
+  let sc = { sc with duration = sc.duration *. 4.0; prefill = 2_000 } in
+  let structure = Registry.find_structure "hashmap" in
+  let scheme = Registry.find_scheme "Hyaline-S" in
+  warmup ~sc ~structure ~scheme;
+  List.iter
+    (fun epoch_freq ->
+      let threads = List.hd (List.rev sc.threads) in
+      let cfg =
+        { (Smr.Config.paper ~nthreads:(threads + 1)) with
+          Smr.Config.epoch_freq;
+        }
+      in
+      let p =
+        params_for sc ~structure ~threads ~stalled:1 ~mix:Driver.write_heavy
+          ~use_trim:false ~cfg
+      in
+      emit
+        (tagged
+           (Driver.run_many ~repeat:sc.repeats ~structure ~scheme p)
+           (Printf.sprintf "[freq=%d]" epoch_freq)))
+    [ 10; 150; 1000; 10_000 ]
+
+(* Spurious SC failure rate of the emulated LL/SC backend (§4.4): how
+   much weak-CAS retrying costs the llsc port. *)
+let ablate_spurious ~(sc : scale) ~emit =
+  let structure = Registry.find_structure "hashmap" in
+  let scheme = Registry.find_scheme "Hyaline(llsc)" in
+  warmup ~sc ~structure ~scheme;
+  List.iter
+    (fun threads ->
+      List.iter
+        (fun rate ->
+          Hyaline_core.Llsc_head.spurious_every := rate;
+          Fun.protect
+            ~finally:(fun () -> Hyaline_core.Llsc_head.spurious_every := 0)
+            (fun () ->
+              let cfg = Smr.Config.paper ~nthreads:threads in
+              let p =
+                params_for sc ~structure ~threads ~stalled:0
+                  ~mix:Driver.write_heavy ~use_trim:false ~cfg
+              in
+              emit
+                (tagged
+                   (Driver.run_many ~repeat:sc.repeats ~structure ~scheme p)
+                   (if rate = 0 then "[sc-fail=none]"
+                    else Printf.sprintf "[sc-fail=1/%d]" rate))))
+        [ 0; 16; 4; 2 ])
+    sc.threads
+
+(* Key skew (extension, not a paper figure): Zipfian draws concentrate
+   contention and retirement on hot keys; compares how the schemes
+   cope with a skewed update stream. *)
+let ablate_skew ~(sc : scale) ~emit =
+  let structure = Registry.find_structure "hashmap" in
+  List.iter
+    (fun sname ->
+      let scheme = Registry.find_scheme sname in
+      warmup ~sc ~structure ~scheme;
+      List.iter
+        (fun dist ->
+          let threads = List.hd (List.rev sc.threads) in
+          let cfg = Smr.Config.paper ~nthreads:threads in
+          let p =
+            {
+              (params_for sc ~structure ~threads ~stalled:0
+                 ~mix:Driver.write_heavy ~use_trim:false ~cfg)
+              with
+              Driver.dist = dist;
+            }
+          in
+          let label =
+            match dist with
+            | None -> "[uniform]"
+            | Some d -> "[" ^ Keydist.describe d ^ "]"
+          in
+          emit
+            (tagged
+               (Driver.run_many ~repeat:sc.repeats ~structure ~scheme p)
+               label))
+        [
+          None;
+          Some (Keydist.zipf ~theta:0.99 ~range:sc.key_range ());
+          Some (Keydist.zipf ~theta:1.3 ~range:sc.key_range ());
+        ])
+    [ "Epoch"; "Hyaline"; "Hyaline-1"; "Hyaline-S" ]

@@ -1,0 +1,94 @@
+(** Experiment definitions — one entry per table/figure of the paper's
+    evaluation (§6 Figures 8-10, Appendix A Figures 11-16, Table 1).
+
+    Both front-ends ([bin/experiments.exe] and [bench/main.exe]) drive
+    figures through this module, so the experiment definitions cannot
+    drift between them. *)
+
+type scale = {
+  label : string;
+  threads : int list;
+  stalled : int list;
+  duration : float;
+  prefill : int;
+  key_range : int;
+  list_prefill : int;
+      (** the O(n)-per-op list gets a smaller working set *)
+  list_key_range : int;
+  repeats : int;  (** runs averaged per data point (paper: 5) *)
+}
+
+val quick : scale
+(** Scaled to a small/one-core machine; minutes for the whole suite. *)
+
+val paper : scale
+(** The paper's §6 parameters (50k prefill, 10 s windows, thread
+    sweep up to 144).  Very slow off the paper's 72-core testbed. *)
+
+val figure8_schemes : string list
+(** Scheme line-up of Figures 8/9/11/12. *)
+
+val ppc_schemes : string list
+(** Line-up for the Appendix "PowerPC" figures 13-16: the Hyaline
+    family over the emulated LL/SC backend (§4.4) next to the
+    baselines. *)
+
+val fig10a_schemes : string list
+
+val params_for :
+  scale ->
+  structure:Registry.structure ->
+  threads:int ->
+  stalled:int ->
+  mix:Driver.mix ->
+  use_trim:bool ->
+  cfg:Smr.Config.t ->
+  Driver.params
+
+type row = Driver.result
+
+val sweep :
+  sc:scale ->
+  structure_name:string ->
+  schemes:string list ->
+  mix:Driver.mix ->
+  emit:(row -> unit) ->
+  unit
+(** One throughput/unreclaimed sweep: every scheme at every thread
+    count (Figures 8/9, 11/12, 13/14, 15/16 depending on [mix] and
+    [schemes]). *)
+
+val robustness : sc:scale -> active:int -> emit:(row -> unit) -> unit
+(** Figure 10a: [active] workers plus a sweep of stalled threads on
+    the hash map, including capped and adaptive Hyaline-S. *)
+
+val trimming : sc:scale -> emit:(row -> unit) -> unit
+(** Figure 10b: the Hyaline variants, 32 slots, with and without
+    [trim]-chained operations. *)
+
+val table1 : Format.formatter -> unit
+(** Table 1's qualitative columns, printed from the scheme modules
+    themselves. *)
+
+(** {2 Ablations}
+
+    Not paper figures: each sweeps one design knob the paper discusses
+    qualitatively (§3.2-§4.4), on the hash map.  Row scheme names are
+    tagged with the knob value, e.g. ["Hyaline[b=256]"]. *)
+
+val ablate_batch : sc:scale -> emit:(row -> unit) -> unit
+(** Hyaline batch size 16..1024: retire amortization vs held garbage. *)
+
+val ablate_slots : sc:scale -> emit:(row -> unit) -> unit
+(** Hyaline slot count k = 1 (the §3.1 single list) .. 128. *)
+
+val ablate_freq : sc:scale -> emit:(row -> unit) -> unit
+(** Hyaline-S era frequency under one stalled thread: Theorem 4's
+    bound grows with [Freq]. *)
+
+val ablate_spurious : sc:scale -> emit:(row -> unit) -> unit
+(** Injected SC failure rate of the LL/SC backend (§4.4). *)
+
+val ablate_skew : sc:scale -> emit:(row -> unit) -> unit
+(** Extension: uniform vs Zipfian key draws — skew concentrates
+    contention and retirement on hot nodes. *)

@@ -1,0 +1,41 @@
+type t =
+  | Uniform of int
+  | Zipf of { range : int; theta : float; cdf : float array }
+
+let uniform ~range =
+  if range <= 0 then invalid_arg "Keydist.uniform: range <= 0";
+  Uniform range
+
+let zipf ?(theta = 0.99) ~range () =
+  if range <= 0 then invalid_arg "Keydist.zipf: range <= 0";
+  if theta < 0.0 then invalid_arg "Keydist.zipf: theta < 0";
+  let cdf = Array.make range 0.0 in
+  let acc = ref 0.0 in
+  for r = 0 to range - 1 do
+    acc := !acc +. (1.0 /. Float.pow (float_of_int (r + 1)) theta);
+    cdf.(r) <- !acc
+  done;
+  let total = !acc in
+  for r = 0 to range - 1 do
+    cdf.(r) <- cdf.(r) /. total
+  done;
+  Zipf { range; theta; cdf }
+
+let draw t rng =
+  match t with
+  | Uniform n -> Prims.Rng.below rng n
+  | Zipf { cdf; range; _ } ->
+      let u = Prims.Rng.float rng in
+      (* First index with cdf >= u. *)
+      let lo = ref 0 and hi = ref (range - 1) in
+      while !lo < !hi do
+        let mid = (!lo + !hi) / 2 in
+        if cdf.(mid) >= u then hi := mid else lo := mid + 1
+      done;
+      !lo
+
+let range = function Uniform n -> n | Zipf { range; _ } -> range
+
+let describe = function
+  | Uniform _ -> "uniform"
+  | Zipf { theta; _ } -> Printf.sprintf "zipf(%.2f)" theta

@@ -1,0 +1,27 @@
+(** Key distributions for the workload driver.
+
+    The paper draws keys uniformly (§6); real caches and indexes are
+    skewed, and skew concentrates both contention and retirement
+    traffic on a few hot nodes — a regime worth measuring as an
+    extension (the [ablate-skew] experiment).  The Zipfian sampler
+    uses an exact inverse-CDF table: O(range) setup, O(log range) per
+    draw, deterministic given the generator. *)
+
+type t
+
+val uniform : range:int -> t
+(** Uniform over [\[0, range)]. *)
+
+val zipf : ?theta:float -> range:int -> unit -> t
+(** Zipfian with exponent [theta] (default 0.99, the YCSB choice):
+    rank-[r] key drawn with probability proportional to
+    [1/(r+1)^theta].
+    @raise Invalid_argument if [theta < 0.] or [range <= 0]. *)
+
+val draw : t -> Prims.Rng.t -> int
+(** Sample a key. *)
+
+val range : t -> int
+
+val describe : t -> string
+(** ["uniform"] or ["zipf(0.99)"], for row labels. *)

@@ -1,0 +1,84 @@
+type series = { label : string; points : (float * float) list }
+
+let render ?(width = 64) ?(height = 16) ?(logy = false) ~title ~ylabel ~xlabel
+    series =
+  let buf = Buffer.create 4096 in
+  let all_pts = List.concat_map (fun s -> s.points) series in
+  if all_pts = [] then begin
+    Buffer.add_string buf (title ^ ": (no data)\n");
+    Buffer.contents buf
+  end
+  else begin
+    let xs = List.map fst all_pts and ys = List.map snd all_pts in
+    let fmin l = List.fold_left min infinity l
+    and fmax l = List.fold_left max neg_infinity l in
+    let xmin = fmin xs and xmax = fmax xs in
+    let tr_y y = if logy then log10 (max y 1.0) else y in
+    let ymin_raw = if logy then 1.0 else min 0.0 (fmin ys) in
+    let ymin = tr_y ymin_raw in
+    let ymax =
+      let m = tr_y (fmax ys) in
+      if m <= ymin then ymin +. 1.0 else m
+    in
+    let xspan = if xmax > xmin then xmax -. xmin else 1.0 in
+    let col x =
+      int_of_float
+        (Float.round ((x -. xmin) /. xspan *. float_of_int (width - 1)))
+    in
+    let row y =
+      let t = (tr_y y -. ymin) /. (ymax -. ymin) in
+      let t = if t < 0.0 then 0.0 else if t > 1.0 then 1.0 else t in
+      height - 1 - int_of_float (Float.round (t *. float_of_int (height - 1)))
+    in
+    let canvas = Array.make_matrix height width ' ' in
+    List.iteri
+      (fun i s ->
+        let marker = Char.chr (Char.code 'A' + (i mod 26)) in
+        List.iter
+          (fun (x, y) ->
+            let r = row y and c = col x in
+            canvas.(r).(c) <-
+              (if canvas.(r).(c) = ' ' || canvas.(r).(c) = marker then marker
+               else '*'))
+          s.points)
+      series;
+    Buffer.add_string buf (Printf.sprintf "%s\n" title);
+    let untr v = if logy then 10.0 ** v else v in
+    let ytick r =
+      let t = float_of_int (height - 1 - r) /. float_of_int (height - 1) in
+      untr (ymin +. (t *. (ymax -. ymin)))
+    in
+    let fmt_val v =
+      if Float.abs v >= 1_000_000.0 then Printf.sprintf "%.1fM" (v /. 1e6)
+      else if Float.abs v >= 1_000.0 then Printf.sprintf "%.1fk" (v /. 1e3)
+      else if Float.abs v >= 10.0 then Printf.sprintf "%.0f" v
+      else Printf.sprintf "%.2f" v
+    in
+    for r = 0 to height - 1 do
+      let label =
+        if r = 0 || r = height - 1 || r = height / 2 then
+          Printf.sprintf "%8s |" (fmt_val (ytick r))
+        else Printf.sprintf "%8s |" ""
+      in
+      Buffer.add_string buf label;
+      Buffer.add_string buf (String.init width (fun c -> canvas.(r).(c)));
+      Buffer.add_char buf '\n'
+    done;
+    Buffer.add_string buf
+      (Printf.sprintf "%8s +%s\n" "" (String.make width '-'));
+    Buffer.add_string buf
+      (Printf.sprintf "%8s  %-*s%*s\n" "" (width / 2) (fmt_val xmin)
+         (width - (width / 2))
+         (fmt_val xmax));
+    Buffer.add_string buf
+      (Printf.sprintf "%10s(x: %s, y: %s%s)\n" "" xlabel ylabel
+         (if logy then ", log scale" else ""));
+    List.iteri
+      (fun i s ->
+        Buffer.add_string buf
+          (Printf.sprintf "%10s%c = %s\n" ""
+             (Char.chr (Char.code 'A' + (i mod 26)))
+             s.label))
+      series;
+    Buffer.contents buf
+  end

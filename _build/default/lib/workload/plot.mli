@@ -1,0 +1,26 @@
+(** Terminal line charts for the figure harness.
+
+    The paper's results are figures, not tables; this renders each
+    sweep as a multi-series ASCII chart (one marker letter per scheme)
+    so the regenerated "figure" is visually comparable to the paper's
+    — who is on top, where lines cross, what explodes.  Pure string
+    output, deterministic, unit-testable. *)
+
+type series = { label : string; points : (float * float) list }
+(** One scheme's line: (x, y) pairs, e.g. (threads, Mops/s). *)
+
+val render :
+  ?width:int ->
+  ?height:int ->
+  ?logy:bool ->
+  title:string ->
+  ylabel:string ->
+  xlabel:string ->
+  series list ->
+  string
+(** [render ~title ~ylabel ~xlabel series] draws all series on one
+    canvas ([width] x [height] plot area, default 64 x 16), assigning
+    marker letters [A], [B], ... in order; colliding points print
+    ['*'].  [logy] uses a log10 y-axis (for the unreclaimed-objects
+    figures whose paper versions are log-scale).  Returns the chart
+    with an axis, tick labels and a legend, newline-terminated. *)

@@ -1,0 +1,76 @@
+(** The (scheme x structure) registry behind the benchmark harness:
+    every reclamation scheme the paper compares (§6) and every
+    benchmark structure, addressable by name. *)
+
+type scheme = {
+  s_name : string;
+  s_mod : Smr.Tracker.packed;
+  robust : bool;
+  (* HP-style per-pointer protection cannot cover Bonsai's snapshot
+     traversals; the paper omits HP and HE on that benchmark. *)
+  pointer_grained : bool;
+}
+
+let schemes : scheme list =
+  [
+    { s_name = "Leaky"; s_mod = (module Smr.Leaky); robust = false; pointer_grained = false };
+    { s_name = "Epoch"; s_mod = (module Smr.Ebr); robust = false; pointer_grained = false };
+    { s_name = "HP"; s_mod = (module Smr.Hp); robust = true; pointer_grained = true };
+    { s_name = "HE"; s_mod = (module Smr.He); robust = true; pointer_grained = true };
+    { s_name = "IBR"; s_mod = (module Smr.Ibr); robust = true; pointer_grained = false };
+    { s_name = "Hyaline"; s_mod = (module Hyaline_core.Hyaline); robust = false; pointer_grained = false };
+    { s_name = "Hyaline-1"; s_mod = (module Hyaline_core.Hyaline1); robust = false; pointer_grained = false };
+    { s_name = "Hyaline-S"; s_mod = (module Hyaline_core.Hyaline_s); robust = true; pointer_grained = false };
+    { s_name = "Hyaline-1S"; s_mod = (module Hyaline_core.Hyaline1s); robust = true; pointer_grained = false };
+    {
+      s_name = "Hyaline(llsc)";
+      s_mod = (module Hyaline_core.Hyaline.Llsc);
+      robust = false;
+      pointer_grained = false;
+    };
+    {
+      s_name = "Hyaline-S(llsc)";
+      s_mod = (module Hyaline_core.Hyaline_s.Llsc);
+      robust = true;
+      pointer_grained = false;
+    };
+  ]
+
+type structure = {
+  d_name : string;
+  d_mod : (module Dstruct.Map_intf.MAKER);
+  hp_compatible : bool;
+}
+
+let structures : structure list =
+  [
+    { d_name = "list"; d_mod = (module Dstruct.Harris_list.Make); hp_compatible = true };
+    { d_name = "hashmap"; d_mod = (module Dstruct.Hash_map.Make); hp_compatible = true };
+    { d_name = "bonsai"; d_mod = (module Dstruct.Bonsai.Make); hp_compatible = false };
+    { d_name = "nmtree"; d_mod = (module Dstruct.Nm_tree.Make); hp_compatible = true };
+  ]
+
+let find_scheme name =
+  match List.find_opt (fun s -> String.lowercase_ascii s.s_name = String.lowercase_ascii name) schemes with
+  | Some s -> s
+  | None ->
+      invalid_arg
+        (Printf.sprintf "unknown scheme %S (known: %s)" name
+           (String.concat ", " (List.map (fun s -> s.s_name) schemes)))
+
+let find_structure name =
+  match List.find_opt (fun d -> d.d_name = String.lowercase_ascii name) structures with
+  | Some d -> d
+  | None ->
+      invalid_arg
+        (Printf.sprintf "unknown structure %S (known: %s)" name
+           (String.concat ", " (List.map (fun d -> d.d_name) structures)))
+
+let compatible ~structure ~scheme =
+  structure.hp_compatible || not scheme.pointer_grained
+
+(** Instantiate a benchmark map for a (structure, scheme) pair. *)
+let make_map (d : structure) (s : scheme) : (module Dstruct.Map_intf.S) =
+  let module Mk = (val d.d_mod : Dstruct.Map_intf.MAKER) in
+  let module T = (val s.s_mod : Smr.Tracker.S) in
+  (module Mk (T))

@@ -1,0 +1,34 @@
+(** The (scheme x structure) registry behind the benchmark harness:
+    every reclamation scheme the paper compares in §6 and every
+    benchmark structure, addressable by name. *)
+
+type scheme = {
+  s_name : string;
+  s_mod : Smr.Tracker.packed;
+  robust : bool;
+  pointer_grained : bool;
+      (** HP-style per-pointer protection; such schemes are not run on
+          the Bonsai tree, as in the paper. *)
+}
+
+val schemes : scheme list
+
+type structure = {
+  d_name : string;
+  d_mod : (module Dstruct.Map_intf.MAKER);
+  hp_compatible : bool;
+}
+
+val structures : structure list
+
+val find_scheme : string -> scheme
+(** Case-insensitive lookup. @raise Invalid_argument if unknown. *)
+
+val find_structure : string -> structure
+(** @raise Invalid_argument if unknown. *)
+
+val compatible : structure:structure -> scheme:scheme -> bool
+(** Whether the paper's evaluation runs this pair. *)
+
+val make_map : structure -> scheme -> (module Dstruct.Map_intf.S)
+(** Instantiate the benchmark map for a pair. *)

@@ -1,0 +1,1 @@
+test/test_dstruct.ml: Alcotest Config Domain Dstruct Ebr Fun He Hp Hyaline_core Ibr Int Leaky List Map Prims Printf Smr Stats Tracker

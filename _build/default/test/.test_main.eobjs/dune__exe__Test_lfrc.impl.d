@@ -1,0 +1,1 @@
+test/test_lfrc.ml: Alcotest Atomic Domain Lfrc List QCheck QCheck_alcotest Smr

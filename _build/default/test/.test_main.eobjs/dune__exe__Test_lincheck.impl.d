@@ -1,0 +1,1 @@
+test/test_lincheck.ml: Alcotest Dstruct History Hyaline_core Int Lincheck List Map Printf QCheck QCheck_alcotest Run Smr

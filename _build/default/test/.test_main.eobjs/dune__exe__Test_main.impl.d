@@ -1,0 +1,1 @@
+test/test_main.ml: Alcotest List Test_dstruct Test_hyaline Test_lfrc Test_lincheck Test_mpool Test_plot Test_prims Test_queue Test_schedcheck Test_smr Test_workload

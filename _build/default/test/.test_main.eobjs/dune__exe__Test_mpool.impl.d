@@ -1,0 +1,1 @@
+test/test_mpool.ml: Alcotest Domain Fun List Mpool Prims QCheck QCheck_alcotest

@@ -1,0 +1,1 @@
+test/test_prims.ml: Alcotest Array Atomic Backoff Domain List Prims Printf QCheck QCheck_alcotest Rng Xatomic

@@ -1,0 +1,1 @@
+test/test_queue.ml: Alcotest Array Atomic Config Domain Dstruct Fun Hyaline_core List Smr Stats Tracker

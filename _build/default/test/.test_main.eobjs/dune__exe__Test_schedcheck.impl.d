@@ -1,0 +1,1 @@
+test/test_schedcheck.ml: Alcotest Head_sched Hyaline_core Hyaline_model List Printf Sched Schedcheck Smr String Test_support

@@ -1,0 +1,1 @@
+test/test_smr.ml: Alcotest Atomic Blk Config Ebr Hdr He Hp Ibr Leaky List Pool Smr Test_support Unsafe_immediate

@@ -1,0 +1,1 @@
+test/test_support.ml: Alcotest Array Atomic Config Domain Hdr List Mpool Prims Printf Smr Stats Tracker

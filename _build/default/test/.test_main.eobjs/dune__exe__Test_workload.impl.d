@@ -1,0 +1,1 @@
+test/test_workload.ml: Alcotest Array Buffer Driver Dstruct Figures Format Keydist List Prims Printf Registry Smr String Workload

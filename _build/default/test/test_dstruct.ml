@@ -1,0 +1,241 @@
+(* Data-structure tests: sequential model checking against Stdlib.Map,
+   quiescent-reclamation accounting, disjoint-range concurrent
+   correctness, and mixed concurrent stress with the UAF detector
+   armed — across the (structure x scheme) matrix of the paper's
+   evaluation. *)
+
+open Smr
+
+module IntMap = Map.Make (Int)
+
+let cfg_base =
+  { Config.default with nthreads = 4; slots = 4; batch_min = 8; check_uaf = true }
+
+(* --- sequential model ------------------------------------------------ *)
+
+let model_test (module M : Dstruct.Map_intf.S) ~ops ~seed () =
+  let m = M.create ~cfg:cfg_base () in
+  let rng = Prims.Rng.create ~seed in
+  let model = ref IntMap.empty in
+  let key_range = 200 in
+  for _ = 1 to ops do
+    let k = Prims.Rng.below rng key_range in
+    let v = Prims.Rng.next rng in
+    M.enter m ~tid:0;
+    (match Prims.Rng.below rng 4 with
+    | 0 ->
+        let expected = not (IntMap.mem k !model) in
+        let got = M.insert m ~tid:0 k v in
+        if got then model := IntMap.add k v !model;
+        Alcotest.(check bool) "insert agrees" expected got
+    | 1 ->
+        let expected = IntMap.mem k !model in
+        let got = M.remove m ~tid:0 k in
+        if got then model := IntMap.remove k !model;
+        Alcotest.(check bool) "remove agrees" expected got
+    | 2 ->
+        let expected = IntMap.find_opt k !model in
+        let got = M.get m ~tid:0 k in
+        Alcotest.(check (option int)) "get agrees" expected got
+    | _ ->
+        let expected = not (IntMap.mem k !model) in
+        let got = M.put m ~tid:0 k v in
+        model := IntMap.add k v !model;
+        Alcotest.(check bool) "put agrees" expected got);
+    M.leave m ~tid:0
+  done;
+  M.check m;
+  let expected = IntMap.bindings !model in
+  Alcotest.(check (list (pair int int))) "final contents" expected
+    (M.to_sorted_list m);
+  Alcotest.(check int) "size" (IntMap.cardinal !model) (M.size m)
+
+(* --- quiescent reclamation ------------------------------------------- *)
+
+let reclaim_test (module M : Dstruct.Map_intf.S) () =
+  let m = M.create ~cfg:cfg_base () in
+  (* Fill, churn, then empty the structure completely. *)
+  for k = 0 to 299 do
+    M.enter m ~tid:0;
+    ignore (M.insert m ~tid:0 k k);
+    M.leave m ~tid:0
+  done;
+  for k = 0 to 299 do
+    M.enter m ~tid:0;
+    ignore (M.remove m ~tid:0 k);
+    M.leave m ~tid:0
+  done;
+  for tid = 0 to cfg_base.nthreads - 1 do
+    M.flush m ~tid;
+    M.flush m ~tid
+  done;
+  Alcotest.(check int) "structure empty" 0 (M.size m);
+  let s = Stats.snapshot (M.stats m) in
+  Alcotest.(check bool) "something was retired" true (s.Stats.retires > 0);
+  Alcotest.(check int) "all retired blocks freed" s.Stats.retires s.Stats.frees
+
+(* --- disjoint-range concurrency -------------------------------------- *)
+
+let disjoint_test (module M : Dstruct.Map_intf.S) () =
+  let m = M.create ~cfg:cfg_base () in
+  let per = 250 in
+  let worker tid () =
+    let base = tid * per in
+    for i = 0 to per - 1 do
+      M.enter m ~tid;
+      assert (M.insert m ~tid (base + i) tid);
+      M.leave m ~tid
+    done;
+    (* Everything this thread inserted is visible to it. *)
+    for i = 0 to per - 1 do
+      M.enter m ~tid;
+      assert (M.get m ~tid (base + i) = Some tid);
+      M.leave m ~tid
+    done;
+    (* Remove the even half. *)
+    for i = 0 to per - 1 do
+      if i mod 2 = 0 then begin
+        M.enter m ~tid;
+        assert (M.remove m ~tid (base + i));
+        M.leave m ~tid
+      end
+    done
+  in
+  let ds = List.init cfg_base.nthreads (fun tid -> Domain.spawn (worker tid)) in
+  List.iter Domain.join ds;
+  M.check m;
+  (* Exactly the odd keys of every range remain. *)
+  let expected =
+    List.concat_map
+      (fun tid ->
+        List.filter_map
+          (fun i -> if i mod 2 = 1 then Some ((tid * per) + i, tid) else None)
+          (List.init per Fun.id))
+      (List.init cfg_base.nthreads Fun.id)
+    |> List.sort compare
+  in
+  Alcotest.(check (list (pair int int))) "surviving bindings" expected
+    (M.to_sorted_list m)
+
+(* --- mixed concurrent stress ----------------------------------------- *)
+
+let stress_test (module M : Dstruct.Map_intf.S) ~leaky ~ops () =
+  let m = M.create ~cfg:cfg_base () in
+  let key_range = 512 in
+  let worker tid () =
+    let rng = Prims.Rng.create ~seed:(1000 + tid) in
+    for _ = 1 to ops do
+      let k = Prims.Rng.below rng key_range in
+      M.enter m ~tid;
+      (match Prims.Rng.below rng 10 with
+      | 0 | 1 | 2 | 3 -> ignore (M.insert m ~tid k tid)
+      | 4 | 5 | 6 | 7 -> ignore (M.remove m ~tid k)
+      | _ -> ignore (M.get m ~tid k));
+      M.leave m ~tid
+    done
+  in
+  let ds = List.init cfg_base.nthreads (fun tid -> Domain.spawn (worker tid)) in
+  List.iter Domain.join ds;
+  M.check m;
+  for tid = 0 to cfg_base.nthreads - 1 do
+    M.flush m ~tid;
+    M.flush m ~tid
+  done;
+  let s = Stats.snapshot (M.stats m) in
+  if not leaky then
+    Alcotest.(check int) "all retired blocks freed at quiescence"
+      s.Stats.retires s.Stats.frees;
+  (* The sorted view is coherent (strictly increasing keys). *)
+  let keys = List.map fst (M.to_sorted_list m) in
+  let rec sorted = function
+    | a :: (b :: _ as rest) -> a < b && sorted rest
+    | _ -> true
+  in
+  Alcotest.(check bool) "keys strictly sorted" true (sorted keys)
+
+(* --- trim-chained operation mode (Figure 10b's access pattern) ------- *)
+
+let trim_mode_test (module M : Dstruct.Map_intf.S) () =
+  let m = M.create ~cfg:cfg_base () in
+  (* One bracket around many operations, trim between them. *)
+  M.enter m ~tid:0;
+  for k = 0 to 199 do
+    ignore (M.insert m ~tid:0 k k);
+    M.trim m ~tid:0
+  done;
+  for k = 0 to 199 do
+    ignore (M.remove m ~tid:0 k);
+    M.trim m ~tid:0
+  done;
+  M.leave m ~tid:0;
+  M.flush m ~tid:0;
+  M.flush m ~tid:0;
+  Alcotest.(check int) "empty" 0 (M.size m);
+  let s = Stats.snapshot (M.stats m) in
+  Alcotest.(check int) "reclaimed through trim" s.Stats.retires s.Stats.frees
+
+(* --- matrix ----------------------------------------------------------- *)
+
+type maker = (module Dstruct.Map_intf.MAKER)
+
+let structures : (string * maker * bool (* hp_he_ok *)) list =
+  [
+    ("list", (module Dstruct.Harris_list.Make), true);
+    ("hashmap", (module Dstruct.Hash_map.Make), true);
+    ("bonsai", (module Dstruct.Bonsai.Make), false);
+    ("nmtree", (module Dstruct.Nm_tree.Make), true);
+  ]
+
+let schemes : (string * (module Tracker.S) * bool (* is_hp_like *)) list =
+  [
+    ("leaky", (module Leaky), false);
+    ("ebr", (module Ebr), false);
+    ("hp", (module Hp), true);
+    ("he", (module He), true);
+    ("ibr", (module Ibr), false);
+    ("hyaline", (module Hyaline_core.Hyaline), false);
+    ("hyaline-llsc", (module Hyaline_core.Hyaline.Llsc), false);
+    ("hyaline-1", (module Hyaline_core.Hyaline1), false);
+    ("hyaline-s", (module Hyaline_core.Hyaline_s), false);
+    ("hyaline-1s", (module Hyaline_core.Hyaline1s), false);
+  ]
+
+let suites =
+  List.concat_map
+    (fun (sname, (module Mk : Dstruct.Map_intf.MAKER), hp_ok) ->
+      let cases =
+        List.concat_map
+          (fun (tname, (module T : Tracker.S), is_hp_like) ->
+            if is_hp_like && not hp_ok then []
+            else
+              let map : (module Dstruct.Map_intf.S) = (module Mk (T)) in
+              let leaky = tname = "leaky" in
+              [
+                Alcotest.test_case
+                  (Printf.sprintf "%s: sequential model" tname)
+                  `Quick
+                  (model_test map ~ops:1_500 ~seed:42);
+              ]
+              @ (if leaky then []
+                 else
+                   [
+                     Alcotest.test_case
+                       (Printf.sprintf "%s: quiescent reclamation" tname)
+                       `Quick (reclaim_test map);
+                     Alcotest.test_case
+                       (Printf.sprintf "%s: trim-chained ops" tname)
+                       `Quick (trim_mode_test map);
+                   ])
+              @ [
+                  Alcotest.test_case
+                    (Printf.sprintf "%s: disjoint concurrent" tname)
+                    `Slow (disjoint_test map);
+                  Alcotest.test_case
+                    (Printf.sprintf "%s: mixed stress" tname)
+                    `Slow
+                    (stress_test map ~leaky ~ops:2_000);
+                ])
+          schemes
+      in
+      [ ("dstruct." ^ sname, cases) ])
+    structures

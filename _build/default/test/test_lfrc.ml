@@ -1,0 +1,212 @@
+(* LFRC (Table 1's counted-pointer row): reference algebra, stray
+   bump/undo safety, and a Treiber stack client exercising the full
+   intrusive protocol under concurrency. *)
+
+open Smr
+
+let qcheck = QCheck_alcotest.to_alcotest
+
+(* ------------------------------------------------------------------ *)
+(* Core algebra *)
+
+let test_create_release_frees () =
+  let freed = ref 0 in
+  let b = Lfrc.make_block 42 ~on_free:(fun _ -> incr freed) in
+  Alcotest.(check int) "value" 42 (Lfrc.value b);
+  Alcotest.(check int) "count 1" 1 (Lfrc.peek_count b);
+  Lfrc.release b;
+  Alcotest.(check int) "freed once" 1 !freed
+
+let test_acquire_release () =
+  let freed = ref 0 in
+  let b = Lfrc.make_block 7 ~on_free:(fun _ -> incr freed) in
+  let cell = Lfrc.link (Some b) in
+  (match Lfrc.acquire cell with
+  | Some b' ->
+      Alcotest.(check bool) "same block" true (b == b');
+      Alcotest.(check int) "count 2" 2 (Lfrc.peek_count b);
+      Lfrc.release b'
+  | None -> Alcotest.fail "acquire missed");
+  Alcotest.(check int) "not freed while linked" 0 !freed;
+  (* Unlink and drop the link's reference. *)
+  Alcotest.(check bool) "cas" true (Lfrc.cas cell ~expect:(Some b) None);
+  Lfrc.release b;
+  Alcotest.(check int) "freed after unlink" 1 !freed
+
+let test_acquire_empty () =
+  let cell : int Lfrc.cell = Lfrc.link None in
+  Alcotest.(check bool) "none" true (Lfrc.acquire cell = None)
+
+let test_reset_rearms () =
+  let freed = ref 0 in
+  let b = Lfrc.make_block 1 ~on_free:(fun _ -> incr freed) in
+  Lfrc.release b;
+  Alcotest.(check int) "freed" 1 !freed;
+  let b = Lfrc.reset b 2 in
+  Alcotest.(check int) "count rearmed" 1 (Lfrc.peek_count b);
+  Alcotest.(check int) "value" 2 (Lfrc.value b);
+  Lfrc.release b;
+  Alcotest.(check int) "freed again exactly once more" 2 !freed
+
+let test_cas_expect_mismatch () =
+  let a = Lfrc.make_block 1 ~on_free:ignore in
+  let b = Lfrc.make_block 2 ~on_free:ignore in
+  let cell = Lfrc.link (Some a) in
+  Alcotest.(check bool) "mismatch fails" false
+    (Lfrc.cas cell ~expect:(Some b) None);
+  Alcotest.(check bool) "match works" true
+    (Lfrc.cas cell ~expect:(Some a) (Some b))
+
+(* ------------------------------------------------------------------ *)
+(* Treiber stack over LFRC: the intrusive protocol end to end. *)
+
+module Stack = struct
+  type node = { v : int; next : node Lfrc.cell }
+  type t = { top : node Lfrc.cell; freed : int Atomic.t }
+
+  let node_free t blk =
+    (* A dying node releases its link to the successor. *)
+    (match Atomic.get (Lfrc.value blk).next with
+    | Some nxt -> Lfrc.release nxt
+    | None -> ());
+    Atomic.incr t.freed
+
+  let create () = { top = Lfrc.link None; freed = Atomic.make 0 }
+
+  let push t v =
+    (* One allocation per push; retries reuse the block (so the freed
+       counter counts exactly the published nodes). *)
+    let blk =
+      Lfrc.make_block { v; next = Lfrc.link None } ~on_free:(fun b ->
+          node_free t b)
+    in
+    let rec loop () =
+      let cur = Lfrc.acquire t.top in
+      (* We own the unpublished block: donate the acquired reference
+         to its next-link by plain store. *)
+      Atomic.set (Lfrc.value blk).next cur;
+      if Lfrc.cas t.top ~expect:cur (Some blk) then
+        (* The old top-link reference to [cur] is now ours to drop
+           (the new node's link carries its own). *)
+        match cur with Some c -> Lfrc.release c | None -> ()
+      else begin
+        (match cur with Some c -> Lfrc.release c | None -> ());
+        Atomic.set (Lfrc.value blk).next None;
+        loop ()
+      end
+    in
+    loop ()
+
+  let rec pop t =
+    match Lfrc.acquire t.top with
+    | None -> None
+    | Some blk ->
+        let nxt = Lfrc.acquire (Lfrc.value blk).next in
+        if Lfrc.cas t.top ~expect:(Some blk) nxt then begin
+          (* Donate our [nxt] acquisition to the top link; release both
+             the old top-link reference and our own acquisition of
+             [blk]. *)
+          let v = (Lfrc.value blk).v in
+          Lfrc.release blk;
+          Lfrc.release blk;
+          Some v
+        end
+        else begin
+          (match nxt with Some n -> Lfrc.release n | None -> ());
+          Lfrc.release blk;
+          pop t
+        end
+end
+
+let test_stack_sequential () =
+  let s = Stack.create () in
+  for i = 1 to 50 do
+    Stack.push s i
+  done;
+  for i = 50 downto 1 do
+    Alcotest.(check (option int)) "lifo" (Some i) (Stack.pop s)
+  done;
+  Alcotest.(check (option int)) "empty" None (Stack.pop s);
+  Alcotest.(check int) "all nodes freed" 50 (Atomic.get s.Stack.freed)
+
+let test_stack_interleaved_frees () =
+  let s = Stack.create () in
+  Stack.push s 1;
+  Stack.push s 2;
+  ignore (Stack.pop s);
+  Stack.push s 3;
+  ignore (Stack.pop s);
+  ignore (Stack.pop s);
+  Alcotest.(check int) "3 freed" 3 (Atomic.get s.Stack.freed);
+  Alcotest.(check (option int)) "empty" None (Stack.pop s)
+
+let test_stack_concurrent () =
+  let s = Stack.create () in
+  let producers = 2 and consumers = 2 in
+  let per = 4_000 in
+  let done_producing = Atomic.make 0 in
+  let popped = Atomic.make 0 in
+  let prod p () =
+    for i = 1 to per do
+      Stack.push s ((p * per) + i)
+    done;
+    Atomic.incr done_producing
+  in
+  let cons () =
+    let rec drain () =
+      match Stack.pop s with
+      | Some _ ->
+          Atomic.incr popped;
+          drain ()
+      | None ->
+          if Atomic.get done_producing < producers then begin
+            Domain.cpu_relax ();
+            drain ()
+          end
+          else (match Stack.pop s with
+            | Some _ ->
+                Atomic.incr popped;
+                drain ()
+            | None -> ())
+    in
+    drain ()
+  in
+  let ds =
+    List.init producers (fun p -> Domain.spawn (prod p))
+    @ List.init consumers (fun _ -> Domain.spawn cons)
+  in
+  List.iter Domain.join ds;
+  Alcotest.(check int) "every push popped" (producers * per)
+    (Atomic.get popped);
+  Alcotest.(check int) "every node freed exactly once" (producers * per)
+    (Atomic.get s.Stack.freed)
+
+let prop_push_pop_conserves =
+  QCheck.Test.make ~name:"lfrc stack conserves values" ~count:100
+    QCheck.(list small_int)
+    (fun xs ->
+      let s = Stack.create () in
+      List.iter (Stack.push s) xs;
+      let rec drain acc =
+        match Stack.pop s with Some v -> drain (v :: acc) | None -> acc
+      in
+      drain [] = xs && Atomic.get s.Stack.freed = List.length xs)
+
+let suites =
+  [
+    ( "lfrc",
+      [
+        Alcotest.test_case "create/release frees" `Quick
+          test_create_release_frees;
+        Alcotest.test_case "acquire/release" `Quick test_acquire_release;
+        Alcotest.test_case "acquire empty" `Quick test_acquire_empty;
+        Alcotest.test_case "reset rearms" `Quick test_reset_rearms;
+        Alcotest.test_case "cas expectations" `Quick test_cas_expect_mismatch;
+        Alcotest.test_case "stack sequential" `Quick test_stack_sequential;
+        Alcotest.test_case "stack interleaved frees" `Quick
+          test_stack_interleaved_frees;
+        Alcotest.test_case "stack concurrent conservation" `Slow
+          test_stack_concurrent;
+        qcheck prop_push_pop_conserves;
+      ] );
+  ]

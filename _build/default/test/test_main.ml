@@ -1,0 +1,16 @@
+let () =
+  Alcotest.run "hyaline-repro"
+    (List.concat
+       [
+         Test_prims.suites;
+         Test_mpool.suites;
+         Test_smr.suites;
+         Test_hyaline.suites;
+         Test_dstruct.suites;
+         Test_schedcheck.suites;
+         Test_workload.suites;
+         Test_plot.suites;
+         Test_lincheck.suites;
+         Test_queue.suites;
+         Test_lfrc.suites;
+       ])

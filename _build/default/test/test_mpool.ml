@@ -1,0 +1,170 @@
+(* Tests for the explicit memory pool substrate. *)
+
+let qcheck = QCheck_alcotest.to_alcotest
+
+(* A minimal poolable node that records its own lifecycle so tests can
+   observe what the pool did to it. *)
+module Node = struct
+  type t = {
+    index : int;
+    mutable live : bool;
+    mutable alloc_count : int;
+    mutable free_count : int;
+  }
+
+  let create ~index = { index; live = false; alloc_count = 0; free_count = 0 }
+  let index n = n.index
+
+  let on_alloc n =
+    assert (not n.live);
+    n.live <- true;
+    n.alloc_count <- n.alloc_count + 1
+
+  let on_free n =
+    if not n.live then failwith "double free detected by node hook";
+    n.live <- false;
+    n.free_count <- n.free_count + 1
+end
+
+module Pool = Mpool.Make (Node)
+
+let test_alloc_free_roundtrip () =
+  let p = Pool.create ~local_cache:0 () in
+  let n = Pool.alloc p in
+  Alcotest.(check bool) "live after alloc" true n.Node.live;
+  Pool.free p n;
+  Alcotest.(check bool) "dead after free" false n.Node.live;
+  let s = Pool.stats p in
+  Alcotest.(check int) "created" 1 s.Mpool.created;
+  Alcotest.(check int) "allocs" 1 s.Mpool.allocs;
+  Alcotest.(check int) "frees" 1 s.Mpool.frees
+
+let test_reuse () =
+  let p = Pool.create ~local_cache:0 () in
+  let n1 = Pool.alloc p in
+  Pool.free p n1;
+  let n2 = Pool.alloc p in
+  Alcotest.(check bool) "freed node is recycled" true (n1 == n2);
+  Alcotest.(check int) "only one node ever created" 1 (Pool.stats p).created
+
+let test_distinct_when_live () =
+  let p = Pool.create ~local_cache:0 () in
+  let n1 = Pool.alloc p in
+  let n2 = Pool.alloc p in
+  Alcotest.(check bool) "live nodes distinct" true (n1 != n2);
+  Alcotest.(check int) "two created" 2 (Pool.stats p).created
+
+let test_indices_dense_and_stable () =
+  let p = Pool.create ~local_cache:0 () in
+  let nodes = List.init 100 (fun _ -> Pool.alloc p) in
+  let indices = List.map Node.index nodes |> List.sort compare in
+  Alcotest.(check (list int)) "dense indices" (List.init 100 Fun.id) indices;
+  List.iter
+    (fun n ->
+      Alcotest.(check bool)
+        "lookup returns the node" true
+        (Pool.lookup p (Node.index n) == n))
+    nodes
+
+let test_lookup_out_of_range () =
+  let p = Pool.create () in
+  Alcotest.check_raises "negative"
+    (Invalid_argument "Mpool.lookup: index out of range") (fun () ->
+      ignore (Pool.lookup p (-1)));
+  Alcotest.check_raises "past end"
+    (Invalid_argument "Mpool.lookup: index out of range") (fun () ->
+      ignore (Pool.lookup p 0))
+
+let test_local_cache_spills () =
+  let p = Pool.create ~local_cache:4 () in
+  let nodes = List.init 32 (fun _ -> Pool.alloc p) in
+  List.iter (Pool.free p) nodes;
+  Alcotest.(check int) "all frees counted" 32 (Pool.stats p).frees;
+  (* Everything must be allocatable again without fresh creation. *)
+  let again = List.init 32 (fun _ -> Pool.alloc p) in
+  Alcotest.(check int) "no new nodes" 32 (Pool.stats p).created;
+  ignore again
+
+let test_live_counter () =
+  let p = Pool.create ~local_cache:0 () in
+  let a = Pool.alloc p in
+  let b = Pool.alloc p in
+  Alcotest.(check int) "live 2" 2 (Pool.live p);
+  Pool.free p a;
+  Alcotest.(check int) "live 1" 1 (Pool.live p);
+  Pool.free p b;
+  Alcotest.(check int) "live 0" 0 (Pool.live p)
+
+let test_concurrent_churn () =
+  (* Domains hammer alloc/free; afterwards the books must balance and
+     no node may be live. *)
+  let p = Pool.create ~local_cache:8 () in
+  let iters = 2_000 in
+  let domains =
+    List.init 4 (fun d ->
+        Domain.spawn (fun () ->
+            let r = Prims.Rng.create ~seed:d in
+            let held = ref [] in
+            for _ = 1 to iters do
+              if Prims.Rng.below r 2 = 0 then held := Pool.alloc p :: !held
+              else
+                match !held with
+                | [] -> held := [ Pool.alloc p ]
+                | n :: rest ->
+                    Pool.free p n;
+                    held := rest
+            done;
+            List.iter (Pool.free p) !held))
+  in
+  List.iter Domain.join domains;
+  let s = Pool.stats p in
+  Alcotest.(check int) "allocs = frees" s.Mpool.allocs s.Mpool.frees;
+  Alcotest.(check bool) "created <= allocs" true (s.created <= s.allocs)
+
+let prop_sequential_model =
+  (* Random alloc/free sequences against a simple model: the pool's
+     live count always equals (allocs - frees) of the model, and every
+     alloc returns a node that is not currently held. *)
+  QCheck.Test.make ~name:"pool matches alloc/free model" ~count:100
+    QCheck.(list bool)
+    (fun script ->
+      let p = Pool.create ~local_cache:0 () in
+      let held = ref [] in
+      let model_live = ref 0 in
+      List.iter
+        (fun is_alloc ->
+          if is_alloc then begin
+            let n = Pool.alloc p in
+            if List.memq n !held then failwith "pool handed out a held node";
+            held := n :: !held;
+            incr model_live
+          end
+          else
+            match !held with
+            | [] -> ()
+            | n :: rest ->
+                Pool.free p n;
+                held := rest;
+                decr model_live)
+        script;
+      Pool.live p = !model_live)
+
+let suites =
+  [
+    ( "mpool",
+      [
+        Alcotest.test_case "alloc/free roundtrip" `Quick
+          test_alloc_free_roundtrip;
+        Alcotest.test_case "freed nodes are reused" `Quick test_reuse;
+        Alcotest.test_case "live nodes distinct" `Quick
+          test_distinct_when_live;
+        Alcotest.test_case "indices dense+stable, lookup" `Quick
+          test_indices_dense_and_stable;
+        Alcotest.test_case "lookup out of range" `Quick
+          test_lookup_out_of_range;
+        Alcotest.test_case "local cache spills" `Quick test_local_cache_spills;
+        Alcotest.test_case "live counter" `Quick test_live_counter;
+        Alcotest.test_case "concurrent churn" `Slow test_concurrent_churn;
+        qcheck prop_sequential_model;
+      ] );
+  ]

@@ -1,0 +1,91 @@
+(* Deterministic tests for the ASCII chart renderer. *)
+
+open Workload
+
+let contains haystack needle =
+  let nh = String.length haystack and nn = String.length needle in
+  let rec go i =
+    i + nn <= nh && (String.sub haystack i nn = needle || go (i + 1))
+  in
+  nn = 0 || go 0
+
+let two_series =
+  [
+    { Plot.label = "up"; points = [ (1.0, 1.0); (2.0, 2.0); (4.0, 4.0) ] };
+    { Plot.label = "down"; points = [ (1.0, 4.0); (2.0, 2.5); (4.0, 1.0) ] };
+  ]
+
+let test_render_basic () =
+  let out =
+    Plot.render ~title:"t" ~ylabel:"y" ~xlabel:"x" two_series
+  in
+  List.iter
+    (fun needle ->
+      Alcotest.(check bool)
+        (Printf.sprintf "contains %S" needle)
+        true (contains out needle))
+    [ "t\n"; "A = up"; "B = down"; "(x: x, y: y)"; "+--" ]
+
+let test_render_deterministic () =
+  let a = Plot.render ~title:"t" ~ylabel:"y" ~xlabel:"x" two_series in
+  let b = Plot.render ~title:"t" ~ylabel:"y" ~xlabel:"x" two_series in
+  Alcotest.(check string) "same output" a b
+
+let test_markers_positioned () =
+  (* A single monotone series: the first column must carry the marker
+     near the bottom, the last column near the top. *)
+  let out =
+    Plot.render ~width:20 ~height:5 ~title:"m" ~ylabel:"y" ~xlabel:"x"
+      [ { Plot.label = "s"; points = [ (0.0, 0.0); (10.0, 10.0) ] } ]
+  in
+  let lines = String.split_on_char '\n' out in
+  (* line 1 is the top row of the canvas: marker in the LAST column;
+     the bottom row has it in the first canvas column. *)
+  let top = List.nth lines 1 and bottom = List.nth lines 5 in
+  Alcotest.(check bool) "top-right marker" true
+    (String.length top > 0 && top.[String.length top - 1] = 'A');
+  Alcotest.(check bool) "bottom-left marker" true (contains bottom "|A")
+
+let test_collision_star () =
+  let out =
+    Plot.render ~width:10 ~height:4 ~title:"c" ~ylabel:"y" ~xlabel:"x"
+      [
+        { Plot.label = "a"; points = [ (0.0, 1.0) ] };
+        { Plot.label = "b"; points = [ (0.0, 1.0) ] };
+      ]
+  in
+  Alcotest.(check bool) "collision rendered as *" true (contains out "*")
+
+let test_log_scale () =
+  let out =
+    Plot.render ~logy:true ~title:"l" ~ylabel:"y" ~xlabel:"x"
+      [ { Plot.label = "s"; points = [ (0.0, 1.0); (1.0, 1_000_000.0) ] } ]
+  in
+  Alcotest.(check bool) "log annotated" true (contains out "log scale");
+  Alcotest.(check bool) "megascale tick" true (contains out "1.0M")
+
+let test_empty () =
+  let out = Plot.render ~title:"e" ~ylabel:"y" ~xlabel:"x" [] in
+  Alcotest.(check bool) "no data notice" true (contains out "(no data)")
+
+let test_single_point () =
+  (* Degenerate spans must not divide by zero. *)
+  let out =
+    Plot.render ~title:"p" ~ylabel:"y" ~xlabel:"x"
+      [ { Plot.label = "s"; points = [ (5.0, 5.0) ] } ]
+  in
+  Alcotest.(check bool) "renders" true (String.length out > 0)
+
+let suites =
+  [
+    ( "workload.plot",
+      [
+        Alcotest.test_case "basic render" `Quick test_render_basic;
+        Alcotest.test_case "deterministic" `Quick test_render_deterministic;
+        Alcotest.test_case "marker positions" `Quick test_markers_positioned;
+        Alcotest.test_case "collision star" `Quick test_collision_star;
+        Alcotest.test_case "log scale" `Quick test_log_scale;
+        Alcotest.test_case "empty input" `Quick test_empty;
+        Alcotest.test_case "single point" `Quick test_single_point;
+      ] );
+  ]

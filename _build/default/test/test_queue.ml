@@ -1,0 +1,151 @@
+(* Michael-Scott queue: FIFO semantics, conservation under
+   concurrency, and reclamation accounting — across schemes. *)
+
+open Smr
+
+let cfg = { Config.default with nthreads = 4; check_uaf = true }
+
+module MakeTests (T : Tracker.S) = struct
+  module Q = Dstruct.Ms_queue.Make (T)
+
+  let test_fifo () =
+    let q = Q.create cfg in
+    for i = 1 to 100 do
+      Q.enqueue q ~tid:0 i
+    done;
+    Alcotest.(check int) "length" 100 (Q.length q);
+    for i = 1 to 100 do
+      Alcotest.(check (option int)) "fifo order" (Some i) (Q.dequeue q ~tid:0)
+    done;
+    Alcotest.(check (option int)) "empty" None (Q.dequeue q ~tid:0)
+
+  let test_interleaved () =
+    let q = Q.create cfg in
+    Q.enqueue q ~tid:0 1;
+    Q.enqueue q ~tid:0 2;
+    Alcotest.(check (option int)) "1" (Some 1) (Q.dequeue q ~tid:0);
+    Q.enqueue q ~tid:0 3;
+    Alcotest.(check (option int)) "2" (Some 2) (Q.dequeue q ~tid:0);
+    Alcotest.(check (option int)) "3" (Some 3) (Q.dequeue q ~tid:0);
+    Alcotest.(check (option int)) "none" None (Q.dequeue q ~tid:0)
+
+  let test_reclamation () =
+    let q = Q.create cfg in
+    for round = 1 to 5 do
+      for i = 1 to 200 do
+        Q.enqueue q ~tid:0 ((round * 1000) + i)
+      done;
+      for _ = 1 to 200 do
+        ignore (Q.dequeue q ~tid:0)
+      done
+    done;
+    Q.flush q ~tid:0;
+    Q.flush q ~tid:0;
+    let s = Stats.snapshot (Q.stats q) in
+    if T.name <> "Leaky" then begin
+      Alcotest.(check int) "all retired dummies freed" s.Stats.retires
+        s.Stats.frees;
+      Alcotest.(check bool) "plenty retired" true (s.Stats.retires >= 1000)
+    end
+
+  let test_concurrent_conservation () =
+    let q = Q.create cfg in
+    let producers = 2 and consumers = 2 in
+    let per_producer = 3_000 in
+    let consumed = Array.make consumers [] in
+    let produced_done = Atomic.make 0 in
+    let prod p () =
+      for i = 1 to per_producer do
+        Q.enqueue q ~tid:p ((p * per_producer) + i)
+      done;
+      Atomic.incr produced_done
+    in
+    let cons c () =
+      let tid = producers + c in
+      let acc = ref [] in
+      (* Drain until every producer has finished *and* a subsequent
+         dequeue (after observing that) comes back empty — a None seen
+         while producers may still enqueue is not final. *)
+      let rec drain () =
+        match Q.dequeue q ~tid with
+        | Some v ->
+            acc := v :: !acc;
+            drain ()
+        | None ->
+            if Atomic.get produced_done < producers then begin
+              Domain.cpu_relax ();
+              drain ()
+            end
+            else final ()
+      and final () =
+        match Q.dequeue q ~tid with
+        | Some v ->
+            acc := v :: !acc;
+            final ()
+        | None -> ()
+      in
+      drain ();
+      consumed.(c) <- !acc
+    in
+    let ds =
+      List.init producers (fun p -> Domain.spawn (prod p))
+      @ List.init consumers (fun c -> Domain.spawn (cons c))
+    in
+    List.iter Domain.join ds;
+    (* Conservation: every value dequeued exactly once. *)
+    let all = Array.to_list consumed |> List.concat |> List.sort compare in
+    let expected =
+      List.concat_map
+        (fun p -> List.init per_producer (fun i -> (p * per_producer) + i + 1))
+        (List.init producers Fun.id)
+      |> List.sort compare
+    in
+    Alcotest.(check int) "count conserved" (List.length expected)
+      (List.length all);
+    Alcotest.(check bool) "multiset conserved" true (all = expected);
+    (* Per-producer FIFO: each producer's values appear in order within
+       each consumer's stream. *)
+    Array.iter
+      (fun stream ->
+        let stream = List.rev stream in
+        List.iter
+          (fun p ->
+            let mine =
+              List.filter
+                (fun v ->
+                  v > p * per_producer && v <= (p + 1) * per_producer)
+                stream
+            in
+            let sorted = List.sort compare mine in
+            Alcotest.(check bool) "per-producer order" true (mine = sorted))
+          (List.init producers Fun.id))
+      consumed;
+    for tid = 0 to cfg.nthreads - 1 do
+      Q.flush q ~tid
+    done;
+    let s = Stats.snapshot (Q.stats q) in
+    if T.name <> "Leaky" then
+      Alcotest.(check int) "reclamation complete" s.Stats.retires s.Stats.frees
+
+  let tests =
+    [
+      Alcotest.test_case "fifo" `Quick test_fifo;
+      Alcotest.test_case "interleaved" `Quick test_interleaved;
+      Alcotest.test_case "reclamation" `Quick test_reclamation;
+      Alcotest.test_case "concurrent conservation" `Slow
+        test_concurrent_conservation;
+    ]
+end
+
+let suite name (module T : Tracker.S) =
+  let module Q = MakeTests (T) in
+  ("queue." ^ name, Q.tests)
+
+let suites =
+  [
+    suite "hyaline" (module Hyaline_core.Hyaline);
+    suite "hyaline-1s" (module Hyaline_core.Hyaline1s);
+    suite "hp" (module Smr.Hp);
+    suite "ebr" (module Smr.Ebr);
+    suite "ibr" (module Smr.Ibr);
+  ]

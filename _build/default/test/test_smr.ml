@@ -1,0 +1,121 @@
+(* Scheme-generic tests for the SMR framework and the baseline
+   trackers (battery machinery lives in Test_support). *)
+
+open Smr
+open Test_support
+
+(* ------------------------------------------------------------------ *)
+(* The use-after-free detector must fire when a broken scheme frees a
+   still-referenced block and a reader dereferences it again. *)
+
+let test_uaf_detector_fires () =
+  let cfg = { Config.default with nthreads = 2; check_uaf = true } in
+  let t = Unsafe_immediate.create cfg in
+  let pool = Pool.create ~local_cache:0 () in
+  Unsafe_immediate.enter t ~tid:0;
+  let b = Pool.alloc pool in
+  b.Blk.hdr.Hdr.free_hook <- (fun () -> Pool.free pool b);
+  Unsafe_immediate.alloc_hook t ~tid:0 b.Blk.hdr;
+  let link = Atomic.make b in
+  (* Bug under test: retiring while [link] still points at the block.
+     Unsafe_immediate frees instantly; the next tracked read must
+     trip the lifecycle check. *)
+  Unsafe_immediate.retire t ~tid:0 b.Blk.hdr;
+  (match Unsafe_immediate.read t ~tid:1 ~idx:0 link proj with
+  | exception Hdr.Lifecycle _ -> ()
+  | _ -> Alcotest.fail "use-after-free went undetected");
+  Unsafe_immediate.leave t ~tid:0
+
+(* ------------------------------------------------------------------ *)
+(* Hdr unit tests *)
+
+let test_hdr_lifecycle () =
+  let h = Hdr.create () in
+  Hdr.set_retired h;
+  Hdr.set_freed h;
+  Alcotest.(check bool) "freed" true (Hdr.is_freed h);
+  (match Hdr.set_freed h with
+  | exception Hdr.Lifecycle ("double-free", _) -> ()
+  | () -> Alcotest.fail "double free not detected");
+  Hdr.set_live h;
+  Alcotest.(check bool) "revived" false (Hdr.is_freed h)
+
+let test_hdr_nil () =
+  Alcotest.(check bool) "nil is nil" true (Hdr.is_nil Hdr.nil);
+  Alcotest.(check bool) "fresh not nil" false (Hdr.is_nil (Hdr.create ()));
+  Hdr.check_not_freed "test" Hdr.nil
+
+let test_hdr_uids_unique () =
+  let hs = List.init 64 (fun _ -> Hdr.create ()) in
+  let uids = List.map (fun h -> h.Hdr.uid) hs in
+  let sorted = List.sort_uniq compare uids in
+  Alcotest.(check int) "unique uids" 64 (List.length sorted)
+
+let test_hdr_set_live_resets () =
+  let h = Hdr.create () in
+  let other = Hdr.create () in
+  h.Hdr.next <- other;
+  h.Hdr.batch_link <- other;
+  h.Hdr.ref_node <- other;
+  Atomic.set h.Hdr.nref 42;
+  h.Hdr.birth <- 7;
+  h.Hdr.retire_era <- 9;
+  Hdr.set_live h;
+  Alcotest.(check bool) "next reset" true (Hdr.is_nil h.Hdr.next);
+  Alcotest.(check bool) "batch_link reset" true (Hdr.is_nil h.Hdr.batch_link);
+  Alcotest.(check bool) "ref_node reset" true (Hdr.is_nil h.Hdr.ref_node);
+  Alcotest.(check int) "nref reset" 0 (Atomic.get h.Hdr.nref);
+  Alcotest.(check int) "birth reset" 0 h.Hdr.birth;
+  Alcotest.(check int) "retire_era reset" 0 h.Hdr.retire_era
+
+(* ------------------------------------------------------------------ *)
+(* Config *)
+
+let test_config_validate () =
+  Config.validate Config.default;
+  Config.validate (Config.paper ~nthreads:72);
+  let bad = { Config.default with slots = 3 } in
+  (match Config.validate bad with
+  | exception Invalid_argument _ -> ()
+  | () -> Alcotest.fail "non-power-of-two slots accepted");
+  let bad = { Config.default with nthreads = 0 } in
+  match Config.validate bad with
+  | exception Invalid_argument _ -> ()
+  | () -> Alcotest.fail "zero threads accepted"
+
+(* ------------------------------------------------------------------ *)
+
+let suites =
+  [
+    ( "smr.hdr",
+      [
+        Alcotest.test_case "lifecycle" `Quick test_hdr_lifecycle;
+        Alcotest.test_case "nil sentinel" `Quick test_hdr_nil;
+        Alcotest.test_case "uids unique" `Quick test_hdr_uids_unique;
+        Alcotest.test_case "set_live resets fields" `Quick
+          test_hdr_set_live_resets;
+        Alcotest.test_case "config validation" `Quick test_config_validate;
+      ] );
+    scheme_suite "smr.leaky" (module Leaky)
+      ~expect:{ reclaims = false; protects = true };
+    scheme_suite "smr.ebr" (module Ebr)
+      ~expect:{ reclaims = true; protects = true };
+    scheme_suite "smr.ibr" (module Ibr)
+      ~expect:{ reclaims = true; protects = true };
+    scheme_suite "smr.he" (module He)
+      ~expect:{ reclaims = true; protects = true };
+    scheme_suite "smr.hp" (module Hp)
+      ~expect:{ reclaims = true; protects = true };
+    ( "smr.robustness",
+      [
+        Alcotest.test_case "HP bounded under stall" `Quick
+          (test_robust_bounded (module Hp));
+        Alcotest.test_case "HE bounded under stall" `Quick
+          (test_robust_bounded (module He));
+        Alcotest.test_case "IBR bounded under stall" `Quick
+          (test_robust_bounded (module Ibr));
+        Alcotest.test_case "Epoch pins under stall" `Quick
+          (test_nonrobust_pins (module Ebr));
+        Alcotest.test_case "UAF detector fires" `Quick test_uaf_detector_fires;
+      ] );
+  ]
