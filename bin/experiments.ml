@@ -4,6 +4,7 @@
      experiments table1
      experiments fig8  [--ds hashmap] [--paper] [--threads 1,2,4] [--plot]
      experiments fig10a [--active 2]
+     experiments lag [--ds hashmap] [--metrics-csv m.csv] [--prom m.prom]
      experiments ablate-batch | ablate-slots | ablate-freq | ablate-spurious
      experiments all
 
@@ -95,6 +96,69 @@ let csv_row oc title (r : Driver.result) =
     r.Driver.avg_unreclaimed r.Driver.max_unreclaimed r.Driver.retires
     r.Driver.frees
 
+(* Observability sinks for the instrumented `lag` figure: --metrics-csv
+   (one row per data point: lag percentiles, event totals, final
+   gauges) and --prom (concatenated Prometheus text dumps). *)
+let metrics_channel : out_channel option ref = ref None
+let prom_channel : out_channel option ref = ref None
+
+let metrics_header =
+  "figure,scheme,structure,threads,stalled,lag_count,lag_p50_ns,lag_p90_ns,lag_p99_ns,lag_max_ns,events_alloc,events_retire,events_free,events_enter,events_leave,events_trim,gauges\n"
+
+let metrics_row oc title ({ Figures.l_result = r; l_recorder } : Figures.lag_row)
+    =
+  let h = Obs.Recorder.lag_hist l_recorder in
+  let ev k = Obs.Recorder.events_total l_recorder k in
+  let gauges =
+    Obs.Recorder.gauges l_recorder
+    |> List.map (fun (n, v) -> Printf.sprintf "%s=%d" n v)
+    |> String.concat ";"
+  in
+  Printf.fprintf oc "%s,%s,%s,%d,%d,%d,%d,%d,%d,%d,%d,%d,%d,%d,%d,%d,%s\n"
+    (String.map (function ',' -> ';' | c -> c) title)
+    r.Driver.scheme r.Driver.structure r.Driver.threads r.Driver.stalled
+    (Obs.Hist.count h)
+    (Obs.Hist.percentile h 0.50)
+    (Obs.Hist.percentile h 0.90)
+    (Obs.Hist.percentile h 0.99)
+    (Obs.Hist.max_value h) (ev Obs.Ring.Alloc) (ev Obs.Ring.Retire)
+    (ev Obs.Ring.Free) (ev Obs.Ring.Enter) (ev Obs.Ring.Leave)
+    (ev Obs.Ring.Trim) gauges
+
+let emit_lag_rows ~plot title f =
+  Format.printf "## %s@." title;
+  Format.printf "%-18s %-8s %4s %4s %9s %9s %9s %9s %9s@." "scheme"
+    "structure" "thr" "stl" "frees" "lag-p50" "lag-p90" "lag-p99" "lag-max";
+  f (fun ({ Figures.l_result = r; l_recorder } as row) ->
+      let h = Obs.Recorder.lag_hist l_recorder in
+      Format.printf "%-18s %-8s %4d %4d %9d %9s %9s %9s %9s@."
+        r.Driver.scheme r.Driver.structure r.Driver.threads r.Driver.stalled
+        (Obs.Hist.count h)
+        (Plot.fmt_ns (Obs.Hist.percentile h 0.50))
+        (Plot.fmt_ns (Obs.Hist.percentile h 0.90))
+        (Plot.fmt_ns (Obs.Hist.percentile h 0.99))
+        (Plot.fmt_ns (Obs.Hist.max_value h));
+      if plot then
+        print_string
+          (Plot.histogram
+             ~title:
+               (Printf.sprintf "%s / %s, %d stalled — retire→free lag"
+                  r.Driver.scheme r.Driver.structure r.Driver.stalled)
+             (Obs.Hist.buckets h));
+      (match !metrics_channel with
+      | Some oc ->
+          metrics_row oc title row;
+          flush oc
+      | None -> ());
+      match !prom_channel with
+      | Some oc ->
+          Printf.fprintf oc "# run: %s scheme=%s structure=%s stalled=%d\n%s\n"
+            title r.Driver.scheme r.Driver.structure r.Driver.stalled
+            (Obs.Recorder.prometheus l_recorder);
+          flush oc
+      | None -> ());
+  Format.printf "@."
+
 let emit_rows ?(plot = `No) title f =
   Format.printf "## %s@." title;
   Driver.pp_result_header Format.std_formatter ();
@@ -123,12 +187,22 @@ let run_sweep ~plot ~sc ~ds ~schemes ~mix ~fig_label =
         (fun emit -> Figures.sweep ~sc ~structure_name ~schemes ~mix ~emit))
     ds
 
-let rec dispatch figure ds paper threads duration active plot csv repeat =
+let rec dispatch figure ds paper threads duration active plot csv metrics_csv
+    prom repeat =
   (match csv with
   | Some path when !csv_channel = None ->
       let oc = open_out path in
       output_string oc csv_header;
       csv_channel := Some oc
+  | _ -> ());
+  (match metrics_csv with
+  | Some path when !metrics_channel = None ->
+      let oc = open_out path in
+      output_string oc metrics_header;
+      metrics_channel := Some oc
+  | _ -> ());
+  (match prom with
+  | Some path when !prom_channel = None -> prom_channel := Some (open_out path)
   | _ -> ());
   let sc = scale_of ~paper ~threads ~duration ~repeat in
   let ds = match ds with "all" -> all_ds | d -> [ d ] in
@@ -180,10 +254,21 @@ let rec dispatch figure ds paper threads duration active plot csv repeat =
   | "ablate-skew" ->
       emit_rows "Ablation: key skew, uniform vs Zipf (hashmap)" (fun emit ->
           Figures.ablate_skew ~sc ~emit)
+  | "lag" ->
+      List.iter
+        (fun structure_name ->
+          emit_lag_rows ~plot
+            (Printf.sprintf "Reclamation lag (retire→free) — %s"
+               structure_name)
+            (fun emit ->
+              Figures.reclamation_lag ~sc ~structure_name
+                ~stalled_counts:[ 0; 1 ] ~emit ()))
+        ds
   | "ablate" | "ablations" ->
       List.iter
         (fun f ->
-          dispatch f "hashmap" paper threads duration active plot csv repeat)
+          dispatch f "hashmap" paper threads duration active plot csv
+            metrics_csv prom repeat)
         [
           "ablate-batch"; "ablate-slots"; "ablate-freq"; "ablate-spurious";
           "ablate-skew";
@@ -191,7 +276,7 @@ let rec dispatch figure ds paper threads duration active plot csv repeat =
   | "all" -> dispatch_all sc ds active plot
   | other ->
       Format.eprintf
-        "unknown figure %S (try table1, fig8..fig16, fig10a, fig10b, \
+        "unknown figure %S (try table1, fig8..fig16, fig10a, fig10b, lag, \
          ablate-batch, ablate-slots, ablate-freq, ablate-spurious, all)@."
         other;
       exit 2
@@ -284,6 +369,25 @@ let csv =
     & info [ "csv" ] ~docv:"FILE"
         ~doc:"Also append every data point to $(docv) as CSV.")
 
+let metrics_csv =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "metrics-csv" ] ~docv:"FILE"
+        ~doc:
+          "For instrumented figures (lag): append one CSV row per data \
+           point with lag percentiles, event totals and final gauges to \
+           $(docv).")
+
+let prom =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "prom" ] ~docv:"FILE"
+        ~doc:
+          "For instrumented figures (lag): append each run's \
+           Prometheus-format metrics dump to $(docv).")
+
 let repeat =
   Arg.(
     value
@@ -301,6 +405,6 @@ let cmd =
     (Cmd.info "experiments" ~doc)
     Term.(
       const dispatch $ figure $ ds $ paper $ threads $ duration $ active
-      $ plot $ csv $ repeat)
+      $ plot $ csv $ metrics_csv $ prom $ repeat)
 
 let () = exit (Cmd.eval cmd)

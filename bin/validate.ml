@@ -16,10 +16,11 @@
 
 open Workload
 
-let stress (module M : Dstruct.Map_intf.S) ~threads ~seconds ~seed =
+let stress (module M : Dstruct.Map_intf.S) ~threads ~stalled ~seconds ~seed =
+  let total = threads + stalled in
   let cfg =
     {
-      (Smr.Config.paper ~nthreads:threads) with
+      (Smr.Config.paper ~nthreads:total) with
       Smr.Config.slots = 8;
       batch_min = 16;
       check_uaf = true;
@@ -44,7 +45,21 @@ let stress (module M : Dstruct.Map_intf.S) ~threads ~seconds ~seed =
       done
     with e -> Atomic.set failure (Some (Printexc.to_string e))
   in
-  let domains = List.init threads (fun tid -> Domain.spawn (worker tid)) in
+  (* Stalled readers: enter, hold the reservation for the whole run,
+     leave only at shutdown — the robustness adversary of §2.3. *)
+  let stalled_worker tid () =
+    try
+      M.enter m ~tid;
+      while not (Atomic.get stop) do
+        Unix.sleepf 0.005
+      done;
+      M.leave m ~tid
+    with e -> Atomic.set failure (Some (Printexc.to_string e))
+  in
+  let domains =
+    List.init threads (fun tid -> Domain.spawn (worker tid))
+    @ List.init stalled (fun j -> Domain.spawn (stalled_worker (threads + j)))
+  in
   Unix.sleepf seconds;
   Atomic.set stop true;
   List.iter Domain.join domains;
@@ -52,7 +67,7 @@ let stress (module M : Dstruct.Map_intf.S) ~threads ~seconds ~seed =
   | Some msg -> failwith ("worker died: " ^ msg)
   | None -> ());
   M.check m;
-  for tid = 0 to threads - 1 do
+  for tid = 0 to total - 1 do
     M.flush m ~tid
   done;
   let s = Smr.Stats.snapshot (M.stats m) in
@@ -83,14 +98,29 @@ let linearizability (module M : Dstruct.Map_intf.S) ~seed =
   done
 
 let validate_pair ~(structure : Registry.structure)
-    ~(scheme : Registry.scheme) ~threads ~seconds ~seed =
+    ~(scheme : Registry.scheme) ~threads ~stalled ~seconds ~seed ~obs =
+  (* --obs: run the stress instrumented and report the retire→free lag
+     distribution next to the pass/fail verdict. *)
+  let recorder =
+    if obs then Some (Obs.Recorder.create ~nthreads:(threads + stalled) ())
+    else None
+  in
+  let scheme =
+    match recorder with
+    | None -> scheme
+    | Some r ->
+        {
+          scheme with
+          Registry.s_mod =
+            Smr.Instrument.wrap (Obs.Recorder.probe r) scheme.Registry.s_mod;
+        }
+  in
   let map = Registry.make_map structure scheme in
-  let retires = stress map ~threads ~seconds ~seed in
-  let module M = (val map) in
+  let retires = stress map ~threads ~stalled ~seconds ~seed in
   linearizability map ~seed;
-  retires
+  (retires, recorder)
 
-let run ds_filter scheme_filter threads seconds seed =
+let run ds_filter scheme_filter threads stalled seconds seed obs =
   let failures = ref 0 in
   let total = ref 0 in
   List.iter
@@ -112,9 +142,14 @@ let run ds_filter scheme_filter threads seconds seed =
             Printf.printf "%-10s x %-16s ... %!" d.Registry.d_name
               s.Registry.s_name;
             match
-              validate_pair ~structure:d ~scheme:s ~threads ~seconds ~seed
+              validate_pair ~structure:d ~scheme:s ~threads ~stalled ~seconds
+                ~seed ~obs
             with
-            | retires -> Printf.printf "ok (%d blocks recycled)\n%!" retires
+            | retires, Some r ->
+                Printf.printf "ok (%d blocks recycled; lag %s)\n%!" retires
+                  (Format.asprintf "%a" Obs.Hist.pp (Obs.Recorder.lag_hist r))
+            | retires, None ->
+                Printf.printf "ok (%d blocks recycled)\n%!" retires
             | exception e ->
                 incr failures;
                 Printf.printf "FAIL: %s\n%!" (Printexc.to_string e)
@@ -141,6 +176,14 @@ let scheme =
 let threads =
   Arg.(value & opt int 4 & info [ "threads" ] ~doc:"Stress worker count.")
 
+let stalled =
+  Arg.(
+    value & opt int 0
+    & info [ "stalled" ]
+        ~doc:
+          "Additional readers that enter and hold their reservation for \
+           the whole stress run (robustness adversary).")
+
 let seconds =
   Arg.(
     value & opt float 0.3
@@ -148,12 +191,20 @@ let seconds =
 
 let seed = Arg.(value & opt int 1 & info [ "seed" ] ~doc:"Random seed.")
 
+let obs =
+  Arg.(
+    value & flag
+    & info [ "obs" ]
+        ~doc:
+          "Instrument each stress run with the observability probe and \
+           report the retire→free lag distribution per pair.")
+
 let cmd =
   Cmd.v
     (Cmd.info "validate"
        ~doc:
          "Soak-test every (structure x scheme) pair with use-after-free \
           detection, quiescence audits and linearizability checking.")
-    Term.(const run $ ds $ scheme $ threads $ seconds $ seed)
+    Term.(const run $ ds $ scheme $ threads $ stalled $ seconds $ seed $ obs)
 
 let () = exit (Cmd.eval cmd)

@@ -44,6 +44,7 @@ module Make (T : Tracker.S) = struct
   type core = { cfg : Config.t; tracker : T.t; pool : Pool.t }
 
   let make_core cfg = { cfg; tracker = T.create cfg; pool = Pool.create () }
+  let gauges_of core = T.gauges core.tracker @ Pool.gauges core.pool
 
   let proj (l : link) =
     match l.succ with Some n -> n.hdr | None -> Hdr.nil

@@ -47,6 +47,12 @@ module type S = sig
   val stats : t -> Smr.Stats.t
   (** The underlying tracker's reclamation counters. *)
 
+  val gauges : t -> (string * int) list
+  (** Instantaneous occupancy gauges: the tracker's scheme-internal
+      figures ({!Smr.Tracker.S.gauges}) followed by the node pool's
+      ([mpool_live], [mpool_shared_free], [mpool_created]).  Racy
+      point samples, safe to poll concurrently. *)
+
   val size : t -> int
   (** Number of bindings.  Quiescent use only. *)
 

@@ -90,6 +90,7 @@ module Make (T : Tracker.S) : Map_intf.S = struct
   let trim t ~tid = T.trim t.tracker ~tid
   let flush t ~tid = T.flush t.tracker ~tid
   let stats t = T.stats t.tracker
+  let gauges t = T.gauges t.tracker @ Pool.gauges t.pool
 
   let proj (e : edge) =
     match e.child with Some n -> n.hdr | None -> Hdr.nil

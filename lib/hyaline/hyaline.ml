@@ -50,14 +50,14 @@ module Make (H : Head.OPS) : Tracker_ext.S = struct
     let reap = Internal.new_reap () in
     let _count = I.leave_slot t.heads.(slot) ~handle:t.handles.(tid) reap in
     t.handles.(tid) <- Hdr.nil;
-    Internal.drain t.stats reap
+    Internal.drain t.stats ~tid reap
 
   let trim t ~tid =
     let slot = t.slots_of.(tid) in
     let reap = Internal.new_reap () in
     let handle, _count = I.trim_slot t.heads.(slot) ~handle:t.handles.(tid) reap in
     t.handles.(tid) <- handle;
-    Internal.drain t.stats reap
+    Internal.drain t.stats ~tid reap
 
   let alloc_hook t ~tid:_ (_ : Hdr.t) = Stats.on_alloc t.stats
 
@@ -79,10 +79,10 @@ module Make (H : Head.OPS) : Tracker_ext.S = struct
       ~skip:(fun ~slot:_ -> false)
       ~after_insert:(fun ~slot:_ ~href:_ -> ())
       reap;
-    Internal.drain t.stats reap
+    Internal.drain t.stats ~tid reap
 
   let retire t ~tid hdr =
-    Tracker.retire_block t.stats hdr;
+    Tracker.retire_block t.stats ~tid hdr;
     Batch.add t.builders.(tid) hdr;
     if Batch.size t.builders.(tid) >= t.batch_size then retire_batch t ~tid
 
@@ -94,13 +94,27 @@ module Make (H : Head.OPS) : Tracker_ext.S = struct
     if not (Batch.is_empty builder) then begin
       while Batch.size builder < t.batch_size do
         let dummy = Hdr.create () in
-        Tracker.retire_block t.stats dummy;
+        Tracker.retire_block t.stats ~tid dummy;
         Batch.add builder dummy
       done;
       retire_batch t ~tid
     end
 
   let stats t = t.stats
+
+  let gauges t =
+    let pend_total = ref 0 and pend_max = ref 0 in
+    Array.iter
+      (fun b ->
+        let s = Batch.size b in
+        pend_total := !pend_total + s;
+        if s > !pend_max then pend_max := s)
+      t.builders;
+    [
+      ("slots", t.k);
+      ("batch_pending_total", !pend_total);
+      ("batch_pending_max", !pend_max);
+    ]
 end
 
 include Make (Head.Dwcas)

@@ -65,7 +65,7 @@ end) : Tracker_ext.S = struct
     (if not (Hdr.is_nil old.hptr) then
        ignore (Internal.traverse reap ~next:old.hptr ~handle:t.handles.(tid)));
     t.handles.(tid) <- Hdr.nil;
-    Internal.drain t.stats reap
+    Internal.drain t.stats ~tid reap
 
   (* Fig. 3-style trim: dereference everything below the current first
      node without touching the bit; the first node itself stays
@@ -79,7 +79,7 @@ end) : Tracker_ext.S = struct
          (Internal.traverse reap ~next:cur.hptr.Hdr.next
             ~handle:t.handles.(tid)));
     t.handles.(tid) <- cur.hptr;
-    Internal.drain t.stats reap
+    Internal.drain t.stats ~tid reap
 
   let alloc_hook t ~tid hdr =
     Stats.on_alloc t.stats;
@@ -154,10 +154,10 @@ end) : Tracker_ext.S = struct
        one reference; when all have traversed, the count returns to
        zero (immediately so if no slot was active). *)
     Internal.add_ref reap refnode !inserts;
-    Internal.drain t.stats reap
+    Internal.drain t.stats ~tid reap
 
   let retire t ~tid hdr =
-    Tracker.retire_block t.stats hdr;
+    Tracker.retire_block t.stats ~tid hdr;
     Batch.add t.builders.(tid) hdr;
     if Batch.size t.builders.(tid) >= t.batch_size then retire_batch t ~tid
 
@@ -167,11 +167,25 @@ end) : Tracker_ext.S = struct
       while Batch.size builder < t.batch_size do
         let dummy = Hdr.create () in
         if E.eras then dummy.Hdr.birth <- Atomic.get t.era;
-        Tracker.retire_block t.stats dummy;
+        Tracker.retire_block t.stats ~tid dummy;
         Batch.add builder dummy
       done;
       retire_batch t ~tid
     end
 
   let stats t = t.stats
+
+  let gauges t =
+    let pend_total = ref 0 and pend_max = ref 0 in
+    Array.iter
+      (fun b ->
+        let s = Batch.size b in
+        pend_total := !pend_total + s;
+        if s > !pend_max then pend_max := s)
+      t.builders;
+    [
+      ("slots", t.k);
+      ("batch_pending_total", !pend_total);
+      ("batch_pending_max", !pend_max);
+    ]
 end

@@ -87,7 +87,7 @@ module Make (H : Head.OPS) : Tracker_ext.S = struct
     if count > 0 then
       ignore (Atomic.fetch_and_add (Directory.get t.acks slot) (-count));
     t.handles.(tid) <- Hdr.nil;
-    Internal.drain t.stats reap
+    Internal.drain t.stats ~tid reap
 
   let trim t ~tid =
     let slot = t.slots_of.(tid) in
@@ -98,7 +98,7 @@ module Make (H : Head.OPS) : Tracker_ext.S = struct
     if count > 0 then
       ignore (Atomic.fetch_and_add (Directory.get t.acks slot) (-count));
     t.handles.(tid) <- handle;
-    Internal.drain t.stats reap
+    Internal.drain t.stats ~tid reap
 
   (* Fig. 5 init_node: advance the era clock every Freq allocations
      and stamp the block's birth. *)
@@ -144,10 +144,10 @@ module Make (H : Head.OPS) : Tracker_ext.S = struct
       ~after_insert:(fun ~slot ~href ->
         ignore (Atomic.fetch_and_add (Directory.get t.acks slot) href))
       reap;
-    Internal.drain t.stats reap
+    Internal.drain t.stats ~tid reap
 
   let retire t ~tid hdr =
-    Tracker.retire_block t.stats hdr;
+    Tracker.retire_block t.stats ~tid hdr;
     Batch.add t.builders.(tid) hdr;
     let k_now = Atomic.get t.k in
     if Batch.size t.builders.(tid) >= max t.cfg.batch_min (k_now + 1) then
@@ -163,13 +163,27 @@ module Make (H : Head.OPS) : Tracker_ext.S = struct
         (* Dummies are born now, so they never lower the batch's
            minimum birth era. *)
         dummy.Hdr.birth <- Atomic.get t.era;
-        Tracker.retire_block t.stats dummy;
+        Tracker.retire_block t.stats ~tid dummy;
         Batch.add builder dummy
       done;
       retire_batch t ~tid ~k_now
     end
 
   let stats t = t.stats
+
+  let gauges t =
+    let pend_total = ref 0 and pend_max = ref 0 in
+    Array.iter
+      (fun b ->
+        let s = Batch.size b in
+        pend_total := !pend_total + s;
+        if s > !pend_max then pend_max := s)
+      t.builders;
+    [
+      ("slots", Atomic.get t.k);
+      ("batch_pending_total", !pend_total);
+      ("batch_pending_max", !pend_max);
+    ]
 end
 
 include Make (Head.Dwcas)

@@ -12,19 +12,19 @@ let add_ref reap node v =
      once every slot's contribution has landed. *)
   if old + v = 0 then reap.batches <- refn :: reap.batches
 
-let free_batch stats refn =
+let free_batch stats ~tid refn =
   let rec go h =
     if not (Hdr.is_nil h) then begin
       (* The hook recycles the node, so grab the chain link first. *)
       let next = h.Hdr.batch_link in
-      Tracker.free_block stats h;
+      Tracker.free_block stats ~tid h;
       go next
     end
   in
   go refn
 
-let drain stats reap =
-  List.iter (free_batch stats) (List.rev reap.batches);
+let drain stats ~tid reap =
+  List.iter (free_batch stats ~tid) (List.rev reap.batches);
   reap.batches <- []
 
 let traverse reap ~next ~handle =

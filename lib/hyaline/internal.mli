@@ -24,9 +24,10 @@ val traverse : reap -> next:Smr.Hdr.t -> handle:Smr.Hdr.t -> int
     and {e including} [handle], dereferencing (-1) each node's batch.
     Returns the number of nodes visited (Hyaline-S's Ack counter). *)
 
-val drain : Smr.Stats.t -> reap -> unit
+val drain : Smr.Stats.t -> tid:int -> reap -> unit
 (** Free every queued batch (each node's [free_hook] runs exactly
-    once), oldest batch first. *)
+    once), oldest batch first.  [tid] is the draining thread, passed
+    to the free funnel for observability. *)
 
 module Make (H : Head.OPS) : sig
   val insert_batch :

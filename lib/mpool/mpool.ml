@@ -21,12 +21,18 @@ let chunk_size = 1 lsl chunk_bits
 let max_chunks = 1 lsl 16
 
 module Make (P : POOLABLE) = struct
+  (* Per-domain free cache.  [count] is maintained incrementally so
+     [free] never walks the list (spilling used to be O(cache) per
+     free). *)
+  type cache = { mutable count : int; mutable nodes : P.t list }
+
   type t = {
     next_index : int Atomic.t;
-    chunks : P.t array option Atomic.t array;
+    chunks : P.t option Atomic.t array option Atomic.t array;
     shared_free : P.t list Atomic.t;
+    shared_len : int Atomic.t;
     local_cache : int;
-    cache_key : P.t list ref Domain.DLS.key;
+    cache_key : cache Domain.DLS.key;
     created : int Atomic.t;
     allocs : int Atomic.t;
     frees : int Atomic.t;
@@ -38,8 +44,9 @@ module Make (P : POOLABLE) = struct
       next_index = Atomic.make 0;
       chunks = Array.init max_chunks (fun _ -> Atomic.make None);
       shared_free = Atomic.make [];
+      shared_len = Atomic.make 0;
       local_cache;
-      cache_key = Domain.DLS.new_key (fun () -> ref []);
+      cache_key = Domain.DLS.new_key (fun () -> { count = 0; nodes = [] });
       created = Atomic.make 0;
       allocs = Atomic.make 0;
       frees = Atomic.make 0;
@@ -47,16 +54,34 @@ module Make (P : POOLABLE) = struct
 
   let rec push_shared t node =
     let old = Atomic.get t.shared_free in
-    if not (Atomic.compare_and_set t.shared_free old (node :: old)) then
-      push_shared t node
+    if Atomic.compare_and_set t.shared_free old (node :: old) then
+      Atomic.incr t.shared_len
+    else push_shared t node
+
+  (* Spill a whole cache with a single successful CAS: splice the
+     spilled list in front of the shared list.  The splice is rebuilt
+     on a CAS failure, but each retry is O(spill) with spill bounded by
+     [local_cache] — versus the old one-CAS-per-node loop. *)
+  let rec splice_shared t spilled n =
+    let old = Atomic.get t.shared_free in
+    if Atomic.compare_and_set t.shared_free old (List.rev_append spilled old)
+    then ignore (Atomic.fetch_and_add t.shared_len n)
+    else splice_shared t spilled n
 
   let rec pop_shared t =
     match Atomic.get t.shared_free with
     | [] -> None
     | node :: rest as old ->
-        if Atomic.compare_and_set t.shared_free old rest then Some node
+        if Atomic.compare_and_set t.shared_free old rest then begin
+          Atomic.decr t.shared_len;
+          Some node
+        end
         else pop_shared t
 
+  (* Install [node] into its registry cell.  Cells are [None] until
+     their node is published, so a concurrent [lookup] can never
+     observe another index's node through a pre-filled placeholder; it
+     waits on the specific cell instead (see [lookup]). *)
   let publish t node =
     let i = P.index node in
     let c = i lsr chunk_bits in
@@ -65,14 +90,12 @@ module Make (P : POOLABLE) = struct
     (match Atomic.get slot with
     | Some _ -> ()
     | None ->
-        let arr = Array.make chunk_size node in
         (* Only one thread wins the install; losers just use the
-           winner's chunk.  Pre-filling with [node] is harmless: every
-           cell is overwritten before [lookup] can legitimately ask for
-           its index. *)
+           winner's chunk. *)
+        let arr = Array.init chunk_size (fun _ -> Atomic.make None) in
         ignore (Atomic.compare_and_set slot None (Some arr)));
     match Atomic.get slot with
-    | Some arr -> arr.(i land (chunk_size - 1)) <- node
+    | Some arr -> Atomic.set arr.(i land (chunk_size - 1)) (Some node)
     | None -> assert false
 
   let fresh t =
@@ -89,9 +112,10 @@ module Make (P : POOLABLE) = struct
         match pop_shared t with Some n -> n | None -> fresh t
       else
         let cache = Domain.DLS.get t.cache_key in
-        match !cache with
+        match cache.nodes with
         | n :: rest ->
-            cache := rest;
+            cache.nodes <- rest;
+            cache.count <- cache.count - 1;
             n
         | [] -> ( match pop_shared t with Some n -> n | None -> fresh t)
     in
@@ -104,21 +128,42 @@ module Make (P : POOLABLE) = struct
     if t.local_cache = 0 then push_shared t node
     else begin
       let cache = Domain.DLS.get t.cache_key in
-      cache := node :: !cache;
-      (* Spill the whole cache once it exceeds the bound; counting the
-         list here is fine because the bound is small. *)
-      if List.length !cache > t.local_cache then begin
-        List.iter (push_shared t) !cache;
-        cache := []
+      cache.nodes <- node :: cache.nodes;
+      cache.count <- cache.count + 1;
+      if cache.count > t.local_cache then begin
+        splice_shared t cache.nodes cache.count;
+        cache.nodes <- [];
+        cache.count <- 0
       end
     end
 
+  (* [fresh] reserves the index (the fetch-and-add on [next_index])
+     before [publish] installs the node, so an index below
+     [next_index] may designate a cell that is not yet — but is about
+     to be — filled.  Wait on that cell rather than racing it: the
+     publisher is a bounded number of instructions away from the
+     store. *)
   let lookup t i =
     if i < 0 || i >= Atomic.get t.next_index then
       invalid_arg "Mpool.lookup: index out of range";
-    match Atomic.get t.chunks.(i lsr chunk_bits) with
-    | Some arr -> arr.(i land (chunk_size - 1))
-    | None -> invalid_arg "Mpool.lookup: chunk not yet published"
+    let c = i lsr chunk_bits in
+    let rec cell () =
+      match Atomic.get t.chunks.(c) with
+      | Some arr -> arr.(i land (chunk_size - 1))
+      | None ->
+          (* Chunk install in flight on the publishing domain. *)
+          Domain.cpu_relax ();
+          cell ()
+    in
+    let cell = cell () in
+    let rec node () =
+      match Atomic.get cell with
+      | Some n -> n
+      | None ->
+          Domain.cpu_relax ();
+          node ()
+    in
+    node ()
 
   let stats t =
     {
@@ -127,5 +172,21 @@ module Make (P : POOLABLE) = struct
       frees = Atomic.get t.frees;
     }
 
-  let live t = Atomic.get t.allocs - Atomic.get t.frees
+  (* Read [frees] first: frees never outpace allocs, so this order
+     keeps the difference non-negative under concurrent updates. *)
+  let live t =
+    let f = Atomic.get t.frees in
+    let a = Atomic.get t.allocs in
+    max 0 (a - f)
+
+  (* Clamped: a pop's decrement can land before the matching push's
+     increment, leaving the counter transiently negative. *)
+  let shared_free_length t = max 0 (Atomic.get t.shared_len)
+
+  let gauges t =
+    [
+      ("mpool_live", live t);
+      ("mpool_shared_free", shared_free_length t);
+      ("mpool_created", Atomic.get t.created);
+    ]
 end

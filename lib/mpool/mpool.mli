@@ -71,13 +71,27 @@ module Make (P : POOLABLE) : sig
       twice (the node's own hooks are expected to check). *)
 
   val lookup : t -> int -> P.t
-  (** [lookup t i] returns the node with stable index [i].
-      @raise Invalid_argument if no node with that index was ever
-      created by this pool. *)
+  (** [lookup t i] returns the node with stable index [i].  If the
+      index has been reserved by a concurrent in-flight creation but
+      the node is not yet installed, [lookup] waits on that cell until
+      the publisher's store lands (a bounded number of instructions
+      away) — it never observes a placeholder for a different index.
+      @raise Invalid_argument if [i] is negative or was never handed
+      out by this pool. *)
 
   val stats : t -> stats
   (** Racy-but-consistent-enough snapshot of the counters. *)
 
   val live : t -> int
-  (** [live t] is [allocs - frees] at the moment of the call. *)
+  (** [live t] is [allocs - frees] at the moment of the call, clamped
+      at 0 (the counters are read free-side first so a racing
+      alloc/free pair cannot drive the difference negative). *)
+
+  val shared_free_length : t -> int
+  (** Current length of the shared free list (excludes per-domain
+      caches).  Maintained incrementally; racy but never negative. *)
+
+  val gauges : t -> (string * int) list
+  (** Occupancy gauges for the observability layer:
+      [mpool_live], [mpool_shared_free], [mpool_created]. *)
 end

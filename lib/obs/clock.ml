@@ -1,0 +1,14 @@
+(* Wall-clock nanoseconds.  [Unix.gettimeofday] is the only clock the
+   baked-in platform exposes; it can step backwards under NTP, so lag
+   computations must clamp differences at zero (Hist.add does). *)
+
+let default_source () = int_of_float (Unix.gettimeofday () *. 1e9)
+let source = ref default_source
+let now_ns () = !source ()
+
+let set_source = function
+  | None -> source := default_source
+  | Some f -> source := f
+
+let ns_to_us ns = float_of_int ns /. 1e3
+let ns_to_ms ns = float_of_int ns /. 1e6

@@ -1,0 +1,16 @@
+(** Timestamp source for the observability layer.
+
+    Timestamps are integer nanoseconds, so the event ring and lag
+    histograms never box a float on the hot path.  The default source
+    is [Unix.gettimeofday]; tests substitute a deterministic counter
+    via {!set_source}. *)
+
+val now_ns : unit -> int
+(** Current time in nanoseconds from the active source. *)
+
+val set_source : (unit -> int) option -> unit
+(** [set_source (Some f)] routes {!now_ns} through [f] (deterministic
+    tests); [set_source None] restores the wall clock. *)
+
+val ns_to_us : int -> float
+val ns_to_ms : int -> float

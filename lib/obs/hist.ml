@@ -1,0 +1,105 @@
+(* Log2-bucketed histogram with atomic counters: bucket 0 holds values
+   in {0, 1}; bucket b >= 1 holds [2^b, 2^(b+1)).  63 buckets cover
+   the whole non-negative OCaml int range, so [add] never branches on
+   overflow.  Multi-writer safe: every mutation is one fetch-and-add
+   (plus a CAS loop for the exact max). *)
+
+let n_buckets = 63
+
+type t = {
+  counts : int Atomic.t array;
+  total : int Atomic.t;
+  sum : int Atomic.t;
+  max_v : int Atomic.t;
+}
+
+let create () =
+  {
+    counts = Array.init n_buckets (fun _ -> Atomic.make 0);
+    total = Atomic.make 0;
+    sum = Atomic.make 0;
+    max_v = Atomic.make 0;
+  }
+
+let bucket_of_value v =
+  if v <= 1 then 0
+  else begin
+    (* floor(log2 v) by binary reduction; v fits in 62 value bits. *)
+    let b = ref 0 and v = ref v in
+    if !v >= 1 lsl 32 then begin b := !b + 32; v := !v lsr 32 end;
+    if !v >= 1 lsl 16 then begin b := !b + 16; v := !v lsr 16 end;
+    if !v >= 1 lsl 8 then begin b := !b + 8; v := !v lsr 8 end;
+    if !v >= 1 lsl 4 then begin b := !b + 4; v := !v lsr 4 end;
+    if !v >= 1 lsl 2 then begin b := !b + 2; v := !v lsr 2 end;
+    if !v >= 1 lsl 1 then b := !b + 1;
+    !b
+  end
+
+let bucket_lo b = if b = 0 then 0 else 1 lsl b
+let bucket_hi b = (1 lsl (b + 1)) - 1
+
+let rec store_max cell v =
+  let cur = Atomic.get cell in
+  if v > cur && not (Atomic.compare_and_set cell cur v) then store_max cell v
+
+let add t v =
+  let v = if v < 0 then 0 else v in
+  ignore (Atomic.fetch_and_add t.counts.(bucket_of_value v) 1);
+  ignore (Atomic.fetch_and_add t.total 1);
+  ignore (Atomic.fetch_and_add t.sum v);
+  store_max t.max_v v
+
+let count t = Atomic.get t.total
+let max_value t = Atomic.get t.max_v
+
+let sum t = Atomic.get t.sum
+
+let mean t =
+  let n = Atomic.get t.total in
+  if n = 0 then 0.0 else float_of_int (Atomic.get t.sum) /. float_of_int n
+
+(* Conservative percentile: the upper bound of the bucket containing
+   the rank-th smallest sample (clamped by the exact max), so a
+   reported p99 is never below the true p99. *)
+let percentile t q =
+  if q < 0.0 || q > 1.0 then invalid_arg "Hist.percentile: q outside [0,1]";
+  let n = Atomic.get t.total in
+  if n = 0 then 0
+  else begin
+    let rank = max 1 (int_of_float (ceil (q *. float_of_int n))) in
+    let rec walk b seen =
+      let seen = seen + Atomic.get t.counts.(b) in
+      if seen >= rank then min (bucket_hi b) (max_value t)
+      else if b + 1 >= n_buckets then max_value t
+      else walk (b + 1) seen
+    in
+    walk 0 0
+  end
+
+let buckets t =
+  let rec go b acc =
+    if b < 0 then acc
+    else
+      let c = Atomic.get t.counts.(b) in
+      go (b - 1) (if c = 0 then acc else (bucket_lo b, bucket_hi b, c) :: acc)
+  in
+  go (n_buckets - 1) []
+
+let merge ~into src =
+  for b = 0 to n_buckets - 1 do
+    let c = Atomic.get src.counts.(b) in
+    if c > 0 then ignore (Atomic.fetch_and_add into.counts.(b) c)
+  done;
+  ignore (Atomic.fetch_and_add into.total (Atomic.get src.total));
+  ignore (Atomic.fetch_and_add into.sum (Atomic.get src.sum));
+  store_max into.max_v (Atomic.get src.max_v)
+
+let clear t =
+  Array.iter (fun c -> Atomic.set c 0) t.counts;
+  Atomic.set t.total 0;
+  Atomic.set t.sum 0;
+  Atomic.set t.max_v 0
+
+let pp ppf t =
+  Format.fprintf ppf "n=%d p50=%d p90=%d p99=%d max=%d" (count t)
+    (percentile t 0.50) (percentile t 0.90) (percentile t 0.99) (max_value t)

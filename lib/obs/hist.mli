@@ -1,0 +1,48 @@
+(** Log-scaled latency histogram.
+
+    Reclamation lag (retire→free) spans six orders of magnitude in one
+    run — from a same-operation free under Hyaline to a whole-window
+    pin under a stalled EBR reader — so buckets grow geometrically:
+    bucket 0 holds values in [{0, 1}], bucket [b >= 1] holds
+    [[2^b, 2^(b+1))].  63 buckets cover every non-negative OCaml int.
+
+    All mutations are atomic; any number of domains may [add]
+    concurrently while others read percentiles (reads are racy
+    snapshots, exact at quiescence). *)
+
+type t
+
+val create : unit -> t
+
+val add : t -> int -> unit
+(** Record one sample.  Negative values clamp to 0 (a lag computed
+    from a stepping wall clock can be transiently negative). *)
+
+val count : t -> int
+val max_value : t -> int
+(** Exact largest sample (not a bucket bound). *)
+
+val mean : t -> float
+val sum : t -> int
+
+val percentile : t -> float -> int
+(** [percentile t q] for [q] in [[0, 1]]: an upper bound on the
+    q-quantile — the containing bucket's upper edge, clamped by the
+    exact max — so a reported p99 never understates the true p99.
+    0 when empty.  @raise Invalid_argument if [q] outside [[0, 1]]. *)
+
+val buckets : t -> (int * int * int) list
+(** Non-empty buckets as [(lo, hi, count)], ascending. *)
+
+val bucket_of_value : int -> int
+val bucket_lo : int -> int
+val bucket_hi : int -> int
+val n_buckets : int
+
+val merge : into:t -> t -> unit
+(** Add [src]'s counts into [into] (for cross-run aggregation). *)
+
+val clear : t -> unit
+
+val pp : Format.formatter -> t -> unit
+(** One-line [n/p50/p90/p99/max] summary. *)

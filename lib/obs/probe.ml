@@ -1,0 +1,20 @@
+type t = {
+  alloc : tid:int -> unit;
+  retire : tid:int -> unit;
+  free : tid:int -> lag_ns:int -> unit;
+  enter : tid:int -> unit;
+  leave : tid:int -> unit;
+  trim : tid:int -> unit;
+}
+
+let noop =
+  {
+    alloc = (fun ~tid:_ -> ());
+    retire = (fun ~tid:_ -> ());
+    free = (fun ~tid:_ ~lag_ns:_ -> ());
+    enter = (fun ~tid:_ -> ());
+    leave = (fun ~tid:_ -> ());
+    trim = (fun ~tid:_ -> ());
+  }
+
+let is_noop p = p == noop

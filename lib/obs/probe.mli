@@ -1,0 +1,29 @@
+(** Tracker instrumentation hook.
+
+    One record of callbacks, invoked by the SMR layer at each
+    reclamation lifecycle transition.  The default is {!noop}; code on
+    hot paths guards with {!is_noop} (a physical-equality test) before
+    doing any timestamp work, so an uninstrumented tracker — the
+    [bench/] configuration — pays one pointer comparison per
+    retire/free and nothing else.
+
+    [free] carries the block's retire→free lag in nanoseconds, measured
+    by the shared free funnel ({!Smr.Tracker.free_block}); [tid] on
+    [free] is the domain that ran the reclamation, which for Hyaline is
+    generally {e not} the domain that retired the block. *)
+
+type t = {
+  alloc : tid:int -> unit;
+  retire : tid:int -> unit;
+  free : tid:int -> lag_ns:int -> unit;
+  enter : tid:int -> unit;
+  leave : tid:int -> unit;
+  trim : tid:int -> unit;
+}
+
+val noop : t
+(** The do-nothing probe.  Physically unique: build instrumented
+    probes with a record literal, never by mutating this one. *)
+
+val is_noop : t -> bool
+(** Physical equality with {!noop} — the zero-cost guard. *)

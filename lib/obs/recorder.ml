@@ -1,0 +1,111 @@
+type gauge = { g_name : string; value : int Atomic.t }
+
+type t = {
+  rings : Ring.t array;
+  lag : Hist.t;
+  totals : int Atomic.t array; (* per Ring.kind, never wraps *)
+  mutable gauges : gauge list; (* registration order, appended under lock *)
+  lock : Mutex.t;
+}
+
+let create ?(ring_capacity = 4096) ~nthreads () =
+  if nthreads <= 0 then invalid_arg "Recorder.create: nthreads <= 0";
+  {
+    rings = Array.init nthreads (fun _ -> Ring.create ~capacity:ring_capacity);
+    lag = Hist.create ();
+    totals = Array.init Ring.n_kinds (fun _ -> Atomic.make 0);
+    gauges = [];
+    lock = Mutex.create ();
+  }
+
+let lag_hist t = t.lag
+let rings t = t.rings
+
+let events_total t kind = Atomic.get t.totals.(Ring.kind_to_int kind)
+
+let count t kind = ignore (Atomic.fetch_and_add t.totals.(Ring.kind_to_int kind) 1)
+
+let in_range t tid = tid >= 0 && tid < Array.length t.rings
+
+let probe t : Probe.t =
+  let record ~tid kind info =
+    count t kind;
+    if in_range t tid then
+      Ring.record t.rings.(tid) ~at:(Clock.now_ns ()) ~kind ~info
+  in
+  {
+    Probe.alloc = (fun ~tid -> record ~tid Ring.Alloc tid);
+    retire = (fun ~tid -> record ~tid Ring.Retire tid);
+    free =
+      (fun ~tid ~lag_ns ->
+        Hist.add t.lag lag_ns;
+        record ~tid Ring.Free lag_ns);
+    enter = (fun ~tid -> record ~tid Ring.Enter tid);
+    leave = (fun ~tid -> record ~tid Ring.Leave tid);
+    trim = (fun ~tid -> record ~tid Ring.Trim tid);
+  }
+
+let set_gauge t ~name v =
+  Mutex.lock t.lock;
+  (match List.find_opt (fun g -> g.g_name = name) t.gauges with
+  | Some g -> Atomic.set g.value v
+  | None -> t.gauges <- t.gauges @ [ { g_name = name; value = Atomic.make v } ]);
+  Mutex.unlock t.lock
+
+let gauge t ~name =
+  Mutex.lock t.lock;
+  let r = List.find_opt (fun g -> g.g_name = name) t.gauges in
+  Mutex.unlock t.lock;
+  Option.map (fun g -> Atomic.get g.value) r
+
+let gauges t =
+  Mutex.lock t.lock;
+  let r = List.map (fun g -> (g.g_name, Atomic.get g.value)) t.gauges in
+  Mutex.unlock t.lock;
+  r
+
+(* Prometheus metric names admit [a-zA-Z0-9_:]; gauge names arriving
+   from component gauges use [.] and [] freely. *)
+let sanitize name =
+  String.map
+    (fun c ->
+      match c with
+      | 'a' .. 'z' | 'A' .. 'Z' | '0' .. '9' | '_' | ':' -> c
+      | _ -> '_')
+    name
+
+let prometheus t =
+  let buf = Buffer.create 2048 in
+  let line fmt = Printf.ksprintf (fun s -> Buffer.add_string buf (s ^ "\n")) fmt in
+  line "# TYPE smr_events_total counter";
+  Array.iteri
+    (fun k total ->
+      line "smr_events_total{kind=%S} %d"
+        (Ring.kind_name (Ring.kind_of_int k))
+        (Atomic.get total))
+    t.totals;
+  line "# TYPE smr_reclamation_lag_ns histogram";
+  let cumulative = ref 0 in
+  List.iter
+    (fun (_, hi, c) ->
+      cumulative := !cumulative + c;
+      line "smr_reclamation_lag_ns_bucket{le=\"%d\"} %d" hi !cumulative)
+    (Hist.buckets t.lag);
+  line "smr_reclamation_lag_ns_bucket{le=\"+Inf\"} %d" (Hist.count t.lag);
+  line "smr_reclamation_lag_ns_sum %d" (Hist.sum t.lag);
+  line "smr_reclamation_lag_ns_count %d" (Hist.count t.lag);
+  let ring_events = Array.fold_left (fun a r -> a + Ring.length r) 0 t.rings in
+  let ring_dropped = Array.fold_left (fun a r -> a + Ring.dropped r) 0 t.rings in
+  line "# TYPE smr_ring_events gauge";
+  line "smr_ring_events %d" ring_events;
+  line "# TYPE smr_ring_dropped_total counter";
+  line "smr_ring_dropped_total %d" ring_dropped;
+  List.iter
+    (fun (name, v) ->
+      let name = sanitize name in
+      line "# TYPE %s gauge" name;
+      line "%s %d" name v)
+    (gauges t);
+  Buffer.contents buf
+
+let pp_lag ppf t = Hist.pp ppf t.lag

@@ -1,0 +1,44 @@
+(** The assembled observability surface for one instrumented run.
+
+    A recorder owns one {!Ring} per thread id (single-writer: only
+    events probed with that [tid] land in it), the retire→free lag
+    {!Hist}, per-event-kind totals, and a set of named gauges the
+    harness refreshes while sampling (mpool occupancy, shared-freelist
+    length, Hyaline batch depth, ...).
+
+    {!probe} adapts a recorder into the {!Probe.t} the SMR layer
+    consumes; everything else is read-side: percentile queries, the
+    Prometheus text exposition, CSV rows assembled by the caller. *)
+
+type t
+
+val create : ?ring_capacity:int -> nthreads:int -> unit -> t
+(** One ring of [ring_capacity] (default 4096) events per thread id in
+    [0 .. nthreads-1].  @raise Invalid_argument if [nthreads <= 0]. *)
+
+val probe : t -> Probe.t
+(** The recording probe.  Events probed with out-of-range [tid]s are
+    counted (and, for frees, added to the lag histogram) but not
+    written to any ring. *)
+
+val lag_hist : t -> Hist.t
+(** Retire→free lag in nanoseconds, one sample per freed block. *)
+
+val rings : t -> Ring.t array
+
+val events_total : t -> Ring.kind -> int
+(** Events of that kind ever probed (not capped by ring capacity). *)
+
+val set_gauge : t -> name:string -> int -> unit
+(** Create-or-update a named gauge (last-write-wins). *)
+
+val gauge : t -> name:string -> int option
+val gauges : t -> (string * int) list
+(** All gauges in first-registration order. *)
+
+val prometheus : t -> string
+(** Prometheus text exposition: [smr_events_total{kind=...}] counters,
+    the [smr_reclamation_lag_ns] cumulative histogram, ring occupancy,
+    and every gauge (names sanitized to the Prometheus charset). *)
+
+val pp_lag : Format.formatter -> t -> unit

@@ -1,0 +1,81 @@
+type kind = Alloc | Retire | Free | Enter | Leave | Trim
+
+let kind_to_int = function
+  | Alloc -> 0
+  | Retire -> 1
+  | Free -> 2
+  | Enter -> 3
+  | Leave -> 4
+  | Trim -> 5
+
+let kind_of_int = function
+  | 0 -> Alloc
+  | 1 -> Retire
+  | 2 -> Free
+  | 3 -> Enter
+  | 4 -> Leave
+  | 5 -> Trim
+  | n -> invalid_arg (Printf.sprintf "Ring.kind_of_int: %d" n)
+
+let kind_name = function
+  | Alloc -> "alloc"
+  | Retire -> "retire"
+  | Free -> "free"
+  | Enter -> "enter"
+  | Leave -> "leave"
+  | Trim -> "trim"
+
+let n_kinds = 6
+
+(* Fixed-size single-writer ring.  Each record is [stride] consecutive
+   ints in a flat preallocated array, so recording is three plain int
+   stores and a cursor bump — no allocation, no atomics.  Readers take
+   racy snapshots; a snapshot concurrent with the writer may contain a
+   record being overwritten, which is acceptable for an observability
+   sample (documented in the interface). *)
+
+let stride = 3 (* at, kind, info *)
+
+type t = {
+  capacity : int;
+  buf : int array;
+  mutable total : int; (* records ever written *)
+}
+
+type event = { at : int; kind : kind; info : int }
+
+let create ~capacity =
+  if capacity <= 0 then invalid_arg "Ring.create: capacity <= 0";
+  { capacity; buf = Array.make (capacity * stride) 0; total = 0 }
+
+let record t ~at ~kind ~info =
+  let base = t.total mod t.capacity * stride in
+  t.buf.(base) <- at;
+  t.buf.(base + 1) <- kind_to_int kind;
+  t.buf.(base + 2) <- info;
+  t.total <- t.total + 1
+
+let capacity t = t.capacity
+let total t = t.total
+let length t = min t.total t.capacity
+let dropped t = t.total - length t
+
+let snapshot t =
+  let n = length t in
+  let first = t.total - n in
+  Array.init n (fun i ->
+      let base = (first + i) mod t.capacity * stride in
+      {
+        at = t.buf.(base);
+        kind = kind_of_int t.buf.(base + 1);
+        info = t.buf.(base + 2);
+      })
+
+let counts_by_kind t =
+  let counts = Array.make n_kinds 0 in
+  Array.iter
+    (fun e ->
+      let k = kind_to_int e.kind in
+      counts.(k) <- counts.(k) + 1)
+    (snapshot t);
+  counts

@@ -1,0 +1,50 @@
+(** Per-domain reclamation event ring.
+
+    A fixed-size circular buffer of [(timestamp, kind, info)] records
+    backed by one flat int array: recording an event is three int
+    stores and a cursor bump — {e no allocation on the hot path}.
+
+    Ownership discipline: {e single writer} (the domain whose events it
+    records), snapshot readers.  [snapshot] taken while the writer is
+    active is a racy-but-memory-safe sample — at most the oldest few
+    records may be mid-overwrite; quiescent snapshots (after the run)
+    are exact.  This mirrors how the workload harness uses rings: hot
+    recording during the window, exact decoding afterwards. *)
+
+type kind = Alloc | Retire | Free | Enter | Leave | Trim
+
+val kind_to_int : kind -> int
+val kind_of_int : int -> kind
+val kind_name : kind -> string
+
+val n_kinds : int
+
+type t
+
+type event = { at : int;  (** Clock.now_ns timestamp *)
+               kind : kind;
+               info : int  (** kind-specific payload: tid, or lag for frees *) }
+
+val create : capacity:int -> t
+(** Ring holding the most recent [capacity] events.
+    @raise Invalid_argument if [capacity <= 0]. *)
+
+val record : t -> at:int -> kind:kind -> info:int -> unit
+(** Append one event, overwriting the oldest once full.  Writer-only. *)
+
+val capacity : t -> int
+
+val total : t -> int
+(** Events ever recorded (monotonic, not capped). *)
+
+val length : t -> int
+(** Events currently held: [min total capacity]. *)
+
+val dropped : t -> int
+(** Events lost to wraparound: [total - length]. *)
+
+val snapshot : t -> event array
+(** Held events, oldest first. *)
+
+val counts_by_kind : t -> int array
+(** Histogram of held events, indexed by {!kind_to_int}. *)

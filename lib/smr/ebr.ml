@@ -55,15 +55,25 @@ let scan t ~tid =
   let min_res = min_reservation t in
   Limbo.sweep t.limbo.(tid)
     ~keep:(fun h -> h.Hdr.retire_era >= min_res)
-    ~free:(Tracker.free_block t.stats)
+    ~free:(Tracker.free_block t.stats ~tid)
 
 let transfer _ ~tid:_ ~from_idx:_ ~to_idx:_ = ()
 
 let retire t ~tid hdr =
   hdr.Hdr.retire_era <- Atomic.get t.clock;
-  Tracker.retire_block t.stats hdr;
+  Tracker.retire_block t.stats ~tid hdr;
   Limbo.push t.limbo.(tid) hdr;
   if Limbo.should_scan t.limbo.(tid) ~every:t.cfg.empty_freq then scan t ~tid
 
 let flush t ~tid = scan t ~tid
 let stats t = t.stats
+
+let gauges t =
+  let total = ref 0 and deepest = ref 0 in
+  Array.iter
+    (fun l ->
+      let s = Limbo.size l in
+      total := !total + s;
+      if s > !deepest then deepest := s)
+    t.limbo;
+  [ ("limbo_total", !total); ("limbo_max", !deepest) ]

@@ -7,6 +7,7 @@ type t = {
   mutable adjs : int;
   mutable birth : int;
   mutable retire_era : int;
+  mutable retire_ns : int;
   mutable free_hook : unit -> unit;
   state : int Atomic.t;
 }
@@ -25,6 +26,7 @@ let rec nil =
     adjs = 0;
     birth = 0;
     retire_era = 0;
+    retire_ns = 0;
     free_hook = ignore;
     state = Atomic.make state_live;
   }
@@ -42,6 +44,7 @@ let create () =
     adjs = 0;
     birth = 0;
     retire_era = 0;
+    retire_ns = 0;
     free_hook = ignore;
     state = Atomic.make state_live;
   }
@@ -62,6 +65,7 @@ let set_live h =
   h.adjs <- 0;
   h.birth <- 0;
   h.retire_era <- 0;
+  h.retire_ns <- 0;
   Atomic.set h.state state_live
 
 let set_retired h =

@@ -44,6 +44,11 @@ type t = {
           batch was retired (paper §4.3). *)
   mutable birth : int;  (** birth era (HE / IBR / Hyaline-S) *)
   mutable retire_era : int;  (** retire era (HE / IBR) *)
+  mutable retire_ns : int;
+      (** Observability: wall timestamp of the retire, stamped by
+          {!Tracker.retire_block} only when a probe is installed; the
+          free funnel reports [now - retire_ns] as the block's
+          reclamation lag. *)
   mutable free_hook : unit -> unit;
       (** Returns the enclosing block to its pool.  Set once when the
           enclosing node is created. *)

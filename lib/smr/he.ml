@@ -87,13 +87,23 @@ let protected_by_someone t hdr =
 let scan t ~tid =
   Limbo.sweep t.limbo.(tid)
     ~keep:(fun h -> protected_by_someone t h)
-    ~free:(Tracker.free_block t.stats)
+    ~free:(Tracker.free_block t.stats ~tid)
 
 let retire t ~tid hdr =
   hdr.Hdr.retire_era <- Atomic.get t.clock;
-  Tracker.retire_block t.stats hdr;
+  Tracker.retire_block t.stats ~tid hdr;
   Limbo.push t.limbo.(tid) hdr;
   if Limbo.should_scan t.limbo.(tid) ~every:t.cfg.empty_freq then scan t ~tid
 
 let flush t ~tid = scan t ~tid
 let stats t = t.stats
+
+let gauges t =
+  let total = ref 0 and deepest = ref 0 in
+  Array.iter
+    (fun l ->
+      let s = Limbo.size l in
+      total := !total + s;
+      if s > !deepest then deepest := s)
+    t.limbo;
+  [ ("limbo_total", !total); ("limbo_max", !deepest) ]

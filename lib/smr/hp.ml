@@ -80,10 +80,10 @@ let scan t ~tid =
     t.hazards;
   Limbo.sweep t.limbo.(tid)
     ~keep:(fun h -> Hashtbl.mem protected_uids h.Hdr.uid)
-    ~free:(Tracker.free_block t.stats)
+    ~free:(Tracker.free_block t.stats ~tid)
 
 let retire t ~tid hdr =
-  Tracker.retire_block t.stats hdr;
+  Tracker.retire_block t.stats ~tid hdr;
   Limbo.push t.limbo.(tid) hdr;
   (* Michael's threshold: scan once the limbo outgrows the total
      number of protection slots by a constant factor. *)
@@ -95,3 +95,13 @@ let retire t ~tid hdr =
 
 let flush t ~tid = scan t ~tid
 let stats t = t.stats
+
+let gauges t =
+  let total = ref 0 and deepest = ref 0 in
+  Array.iter
+    (fun l ->
+      let s = Limbo.size l in
+      total := !total + s;
+      if s > !deepest then deepest := s)
+    t.limbo;
+  [ ("limbo_total", !total); ("limbo_max", !deepest) ]

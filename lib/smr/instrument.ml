@@ -1,0 +1,42 @@
+let wrap probe (packed : Tracker.packed) : Tracker.packed =
+  if Obs.Probe.is_noop probe then packed
+  else
+    let module M = (val packed) in
+    (module struct
+      type t = M.t
+
+      let name = M.name
+      let robust = M.robust
+      let transparent = M.transparent
+
+      (* Installing the probe into the scheme's [Stats.t] is what makes
+         the shared retire/free funnel start reporting; everything else
+         here only adds the bracket events. *)
+      let create cfg =
+        let t = M.create cfg in
+        Stats.set_probe (M.stats t) probe;
+        t
+
+      let enter t ~tid =
+        probe.Obs.Probe.enter ~tid;
+        M.enter t ~tid
+
+      let leave t ~tid =
+        M.leave t ~tid;
+        probe.Obs.Probe.leave ~tid
+
+      let trim t ~tid =
+        M.trim t ~tid;
+        probe.Obs.Probe.trim ~tid
+
+      let alloc_hook t ~tid hdr =
+        M.alloc_hook t ~tid hdr;
+        probe.Obs.Probe.alloc ~tid
+
+      let read = M.read
+      let transfer = M.transfer
+      let retire = M.retire
+      let flush = M.flush
+      let stats = M.stats
+      let gauges = M.gauges
+    end)

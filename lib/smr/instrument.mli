@@ -1,0 +1,19 @@
+(** Attach an observability probe to a packed tracker.
+
+    [wrap probe scheme] returns a tracker module with identical
+    reclamation behaviour whose bracket operations ([enter], [leave],
+    [trim]) and [alloc_hook] additionally fire the corresponding probe
+    events, and whose [create] installs [probe] into the scheme's
+    {!Stats.t} — which makes the shared {!Tracker.retire_block} /
+    {!Tracker.free_block} funnel report retires and frees (with
+    retire→free lag) for every block the scheme handles.
+
+    [read] and [transfer] are passed through untouched: they are the
+    traversal hot path, and per-dereference events would perturb the
+    very latencies being measured.
+
+    Wrapping with {!Obs.Probe.noop} returns the input module
+    physically unchanged, so an uninstrumented benchmark run pays
+    nothing — not even the extra closure layer. *)
+
+val wrap : Obs.Probe.t -> Tracker.packed -> Tracker.packed

@@ -11,6 +11,7 @@ let alloc_hook t ~tid:_ (_ : Hdr.t) = Stats.on_alloc t.stats
 let read _ ~tid:_ ~idx:_ a _proj = Atomic.get a
 let transfer _ ~tid:_ ~from_idx:_ ~to_idx:_ = ()
 
-let retire t ~tid:_ hdr = Tracker.retire_block t.stats hdr
+let retire t ~tid hdr = Tracker.retire_block t.stats ~tid hdr
 let flush _ ~tid:_ = ()
 let stats t = t.stats
+let gauges _ = []

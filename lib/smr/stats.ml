@@ -2,10 +2,16 @@ type t = {
   allocs : int Atomic.t;
   retires : int Atomic.t;
   frees : int Atomic.t;
+  mutable probe : Obs.Probe.t;
 }
 
 let create () =
-  { allocs = Atomic.make 0; retires = Atomic.make 0; frees = Atomic.make 0 }
+  {
+    allocs = Atomic.make 0;
+    retires = Atomic.make 0;
+    frees = Atomic.make 0;
+    probe = Obs.Probe.noop;
+  }
 
 let on_alloc t = Atomic.incr t.allocs
 let on_retire t = Atomic.incr t.retires
@@ -13,17 +19,37 @@ let on_free t = Atomic.incr t.frees
 let allocs t = Atomic.get t.allocs
 let retires t = Atomic.get t.retires
 let frees t = Atomic.get t.frees
-let unreclaimed t = Atomic.get t.retires - Atomic.get t.frees
+
+(* A block is freed only after it was retired, and both counters are
+   monotonic, so reading [frees] FIRST guarantees the [retires] read
+   that follows is at least as recent: the difference cannot go
+   negative however many retire+free pairs land in between.  (Reading
+   in the opposite order — the old code — let a sampler racing a
+   retire+free pair observe frees > retires and report a negative
+   backlog, which skewed the Fig. 9/10 minima.)  The clamp guards the
+   remaining case of a caller mixing reads from different moments. *)
+let unreclaimed t =
+  let f = Atomic.get t.frees in
+  let r = Atomic.get t.retires in
+  max 0 (r - f)
 
 type snapshot = { allocs : int; retires : int; frees : int }
 
+(* Same ordering discipline: frees, then retires (which covers frees),
+   then allocs (which covers retires, since a block is retired only
+   after it was allocated).  The resulting snapshot is internally
+   consistent: allocs >= retires >= frees always holds. *)
 let snapshot (t : t) =
-  {
-    allocs = Atomic.get t.allocs;
-    retires = Atomic.get t.retires;
-    frees = Atomic.get t.frees;
-  }
+  let frees = Atomic.get t.frees in
+  let retires = max frees (Atomic.get t.retires) in
+  let allocs = max retires (Atomic.get t.allocs) in
+  { allocs; retires; frees }
 
-let pp_snapshot ppf { allocs; retires; frees } =
+let unreclaimed_of { retires; frees; _ } = max 0 (retires - frees)
+
+let pp_snapshot ppf ({ allocs; retires; frees } as s) =
   Format.fprintf ppf "allocs=%d retires=%d frees=%d unreclaimed=%d" allocs
-    retires frees (retires - frees)
+    retires frees (unreclaimed_of s)
+
+let set_probe t probe = t.probe <- probe
+let probe t = t.probe

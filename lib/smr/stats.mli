@@ -3,7 +3,15 @@
     The paper's second metric (Figures 9, 12, 14, 16) is the average
     number of {e retired but not yet reclaimed} objects, sampled during
     the run; trackers bump these counters on each transition and the
-    workload harness samples [unreclaimed]. *)
+    workload harness samples [unreclaimed].
+
+    Read-side consistency: the counters are independent atomics, but
+    every read path here orders its loads [frees] before [retires]
+    before [allocs].  Since a block is allocated before it is retired
+    and retired before it is freed, that order makes the invariant
+    [allocs >= retires >= frees] hold for every value this interface
+    returns — a sampler racing a retire+free pair can no longer
+    observe a negative backlog. *)
 
 type t
 
@@ -19,9 +27,27 @@ val frees : t -> int
 
 val unreclaimed : t -> int
 (** [retires - frees] at the moment of the call: blocks whose storage
-    an unmanaged-heap program could not yet have returned to the OS. *)
+    an unmanaged-heap program could not yet have returned to the OS.
+    Never negative. *)
 
 type snapshot = { allocs : int; retires : int; frees : int }
 
 val snapshot : t -> snapshot
+(** Internally consistent sample: [allocs >= retires >= frees]. *)
+
+val unreclaimed_of : snapshot -> int
+(** The snapshot's retired-not-yet-freed backlog, clamped at 0. *)
+
 val pp_snapshot : Format.formatter -> snapshot -> unit
+
+(** {2 Instrumentation}
+
+    The stats block doubles as the per-tracker carrier of the
+    observability {!Obs.Probe.t}: the shared retire/free funnel
+    ({!Tracker.retire_block} / {!Tracker.free_block}) consults it, so
+    installing a probe instruments every scheme's reclamation path
+    without touching scheme internals.  Default: {!Obs.Probe.noop}
+    (one physical-equality check per transition, nothing else). *)
+
+val set_probe : t -> Obs.Probe.t -> unit
+val probe : t -> Obs.Probe.t

@@ -78,16 +78,27 @@ module type S = sig
       requires an active bracket if the partial batch is non-empty. *)
 
   val stats : t -> Stats.t
+
+  val gauges : t -> (string * int) list
+  (** Instantaneous scheme-internal occupancy figures for the
+      observability layer, as [(metric_name, value)] pairs — e.g. the
+      total and maximum per-thread limbo-list population for the
+      baselines, or slot count and pending-batch depth for Hyaline.
+      Values are racy point samples; names are stable identifiers
+      (lowercase, [_]-separated).  May be empty. *)
 end
 
 type packed = (module S)
 (** First-class scheme module, for tables indexed by scheme. *)
 
-val free_block : Stats.t -> Hdr.t -> unit
+val free_block : Stats.t -> tid:int -> Hdr.t -> unit
 (** Shared free path: mark the header freed (checking for double
     free), run the [free_hook] and count the free.  Every scheme's
-    reclamation funnels through here. *)
+    reclamation funnels through here; when a probe is installed in
+    [stats] it also reports the block's retire→free lag ([tid] is the
+    {e freeing} thread, not necessarily the retiring one). *)
 
-val retire_block : Stats.t -> Hdr.t -> unit
+val retire_block : Stats.t -> tid:int -> Hdr.t -> unit
 (** Shared retire entry: mark retired (checking for double retire) and
-    count. *)
+    count.  With a probe installed, additionally stamps
+    [hdr.retire_ns] so the matching {!free_block} can report lag. *)

@@ -20,9 +20,10 @@ let read t ~tid:_ ~idx:_ a proj =
 
 let transfer _ ~tid:_ ~from_idx:_ ~to_idx:_ = ()
 
-let retire t ~tid:_ hdr =
-  Tracker.retire_block t.stats hdr;
-  Tracker.free_block t.stats hdr
+let retire t ~tid hdr =
+  Tracker.retire_block t.stats ~tid hdr;
+  Tracker.free_block t.stats ~tid hdr
 
 let flush _ ~tid:_ = ()
 let stats t = t.stats
+let gauges _ = []

@@ -69,12 +69,24 @@ let pp_result ppf r =
 
 let now () = Unix.gettimeofday ()
 
-let run ~(structure : Registry.structure) ~(scheme : Registry.scheme)
-    (p : params) =
+let run ?recorder ~(structure : Registry.structure)
+    ~(scheme : Registry.scheme) (p : params) =
   if not (Registry.compatible ~structure ~scheme) then
     invalid_arg
       (Printf.sprintf "%s is not run on %s (per the paper's evaluation)"
          scheme.Registry.s_name structure.Registry.d_name);
+  let scheme =
+    (* Instrumented runs swap in the probe-firing wrapper; [None]
+       leaves the scheme module physically untouched. *)
+    match recorder with
+    | None -> scheme
+    | Some r ->
+        {
+          scheme with
+          Registry.s_mod =
+            Smr.Instrument.wrap (Obs.Recorder.probe r) scheme.Registry.s_mod;
+        }
+  in
   let module M = (val Registry.make_map structure scheme : Dstruct.Map_intf.S)
   in
   let total_threads = p.threads + p.stalled in
@@ -150,9 +162,18 @@ let run ~(structure : Registry.structure) ~(scheme : Registry.scheme)
   let samples = ref 0 in
   while now () < deadline do
     Unix.sleepf p.sample_every;
-    let u = Smr.Stats.unreclaimed stats in
+    (* One consistent snapshot per tick: counters ordered so the
+       backlog can never read negative (see Smr.Stats). *)
+    let s = Smr.Stats.snapshot stats in
+    let u = Smr.Stats.unreclaimed_of s in
     sum_unreclaimed := !sum_unreclaimed +. float_of_int u;
     if u > !max_unreclaimed then max_unreclaimed := u;
+    (match recorder with
+    | None -> ()
+    | Some r ->
+        Obs.Recorder.set_gauge r ~name:"unreclaimed" u;
+        List.iter (fun (name, v) -> Obs.Recorder.set_gauge r ~name v)
+          (M.gauges m));
     incr samples
   done;
   Atomic.set stop true;
@@ -181,11 +202,11 @@ let run ~(structure : Registry.structure) ~(scheme : Registry.scheme)
     samples = !samples;
   }
 
-let run_many ~repeat ~structure ~scheme p =
+let run_many ?recorder ~repeat ~structure ~scheme p =
   if repeat <= 0 then invalid_arg "Driver.run_many: repeat <= 0";
   let runs =
     List.init repeat (fun i ->
-        run ~structure ~scheme { p with seed = p.seed + (i * 7717) })
+        run ?recorder ~structure ~scheme { p with seed = p.seed + (i * 7717) })
   in
   let first = List.hd runs in
   let fsum f = List.fold_left (fun a r -> a +. f r) 0.0 runs in

@@ -65,12 +65,26 @@ val pp_result_header : Format.formatter -> unit -> unit
 val pp_result : Format.formatter -> result -> unit
 
 val run :
-  structure:Registry.structure -> scheme:Registry.scheme -> params -> result
+  ?recorder:Obs.Recorder.t ->
+  structure:Registry.structure ->
+  scheme:Registry.scheme ->
+  params ->
+  result
 (** Execute one data point.  Spawns [threads + stalled] domains plus a
     sampler; joins everything before returning (stalled threads are
-    released at the end of the measurement window). *)
+    released at the end of the measurement window).
+
+    With [?recorder], the scheme runs wrapped in
+    {!Smr.Instrument.wrap} — every alloc/retire/free/enter/leave/trim
+    lands in the recorder (including the retire→free lag histogram),
+    and each sampler tick refreshes the recorder's gauges from the
+    structure's {!Dstruct.Map_intf.S.gauges} plus an [unreclaimed]
+    gauge.  Create the recorder with [nthreads >= threads + stalled]
+    so no per-thread ring is missing.  Without it, nothing is
+    instrumented and nothing slows down. *)
 
 val run_many :
+  ?recorder:Obs.Recorder.t ->
   repeat:int ->
   structure:Registry.structure ->
   scheme:Registry.scheme ->

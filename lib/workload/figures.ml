@@ -303,6 +303,68 @@ let ablate_freq ~(sc : scale) ~emit =
            (Printf.sprintf "[freq=%d]" epoch_freq)))
     [ 10; 150; 1000; 10_000 ]
 
+(* ------------------------------------------------------------------ *)
+(* Reclamation lag (observability extension, not a paper figure): the
+   retire→free latency distribution per scheme, with and without
+   stalled readers.  This is the distributional view of Figure 10a: a
+   stalled reader does not merely grow a non-robust scheme's garbage
+   count, it stretches the lag tail to the whole measurement window
+   (pinned blocks free only at the end-of-run flush), while robust
+   schemes keep the tail bounded.
+
+   No prefill: the stalled reader publishes its reservation before the
+   workers start, so prefilled blocks are all born before it — and one
+   pre-stall node in a batch drags the whole batch's min-birth below
+   the stalled slot's access era, defeating the era skip and pinning
+   all of it (the one-time transient §6 notes for Figure 10a).  In a
+   short window that transient swamps the steady state.  Starting
+   empty, every block is born after the stall, which is exactly the
+   regime Theorem 4 bounds: robust schemes' lag stays flat, and the
+   Epoch/basic-Hyaline tail stretches to the window. *)
+
+type lag_row = { l_result : Driver.result; l_recorder : Obs.Recorder.t }
+
+let lag_schemes = fig10a_schemes
+
+let reclamation_lag ~(sc : scale) ~structure_name ?(schemes = lag_schemes)
+    ~stalled_counts ~emit () =
+  let structure = Registry.find_structure structure_name in
+  let threads = List.fold_left max 1 sc.threads in
+  List.iter
+    (fun stalled ->
+      List.iter
+        (fun sname ->
+          let scheme = Registry.find_scheme sname in
+          if Registry.compatible ~structure ~scheme then begin
+            let total = threads + stalled in
+            (* Latency-oriented scheme parameters, not the paper's
+               throughput-oriented ones: a block's lag is bounded below
+               by how long its batch takes to fill and how stale the
+               era clock runs, so the figure-8 settings (129-node
+               batches, era per 150 allocs) would put a ~100x floor
+               under every Hyaline distribution and amplify each
+               era-straddling node into a whole pinned batch. *)
+            let cfg =
+              { Smr.Config.default with Smr.Config.nthreads = total }
+            in
+            let recorder = Obs.Recorder.create ~nthreads:total () in
+            let p =
+              {
+                (params_for sc ~structure ~threads ~stalled
+                   ~mix:Driver.write_heavy ~use_trim:false ~cfg)
+                with
+                Driver.prefill = 0;
+              }
+            in
+            let r =
+              Driver.run_many ~recorder ~repeat:sc.repeats ~structure ~scheme
+                p
+            in
+            emit { l_result = r; l_recorder = recorder }
+          end)
+        schemes)
+    stalled_counts
+
 (* Spurious SC failure rate of the emulated LL/SC backend (§4.4): how
    much weak-CAS retrying costs the llsc port. *)
 let ablate_spurious ~(sc : scale) ~emit =

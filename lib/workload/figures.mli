@@ -70,6 +70,29 @@ val table1 : Format.formatter -> unit
 (** Table 1's qualitative columns, printed from the scheme modules
     themselves. *)
 
+(** {2 Reclamation lag (observability extension)} *)
+
+type lag_row = { l_result : Driver.result; l_recorder : Obs.Recorder.t }
+(** One instrumented data point: the usual result row plus the
+    recorder that captured it (lag histogram, event totals, gauges). *)
+
+val lag_schemes : string list
+(** Default line-up for {!reclamation_lag} (the Figure 10a schemes:
+    the robustness contrast is where the lag distributions differ). *)
+
+val reclamation_lag :
+  sc:scale ->
+  structure_name:string ->
+  ?schemes:string list ->
+  stalled_counts:int list ->
+  emit:(lag_row -> unit) ->
+  unit ->
+  unit
+(** Run every compatible scheme at the scale's largest thread count,
+    once per entry of [stalled_counts], with a fresh
+    {!Obs.Recorder.t} wired through {!Driver.run_many} — the
+    retire→free latency distribution per (scheme × stall level). *)
+
 (** {2 Ablations}
 
     Not paper figures: each sweeps one design knob the paper discusses

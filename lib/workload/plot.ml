@@ -1,5 +1,35 @@
 type series = { label : string; points : (float * float) list }
 
+let fmt_ns v =
+  if v >= 1_000_000_000 then Printf.sprintf "%.2gs" (float_of_int v /. 1e9)
+  else if v >= 1_000_000 then Printf.sprintf "%.3gms" (float_of_int v /. 1e6)
+  else if v >= 1_000 then Printf.sprintf "%.3gus" (float_of_int v /. 1e3)
+  else Printf.sprintf "%dns" v
+
+let histogram ?(width = 48) ~title buckets =
+  let buf = Buffer.create 1024 in
+  Buffer.add_string buf title;
+  Buffer.add_char buf '\n';
+  if buckets = [] then Buffer.add_string buf "  (no samples)\n"
+  else begin
+    let total = List.fold_left (fun a (_, _, c) -> a + c) 0 buckets in
+    let biggest = List.fold_left (fun a (_, _, c) -> max a c) 0 buckets in
+    List.iter
+      (fun (lo, hi, c) ->
+        let bar = c * width / max 1 biggest in
+        (* A non-empty bucket always shows at least one tick, so rare
+           outliers (the whole point of a latency histogram) remain
+           visible next to a dominant mode. *)
+        let bar = if c > 0 && bar = 0 then 1 else bar in
+        Buffer.add_string buf
+          (Printf.sprintf "  [%9s, %9s) %-*s %d (%.1f%%)\n" (fmt_ns lo)
+             (fmt_ns hi) width (String.make bar '#') c
+             (100.0 *. float_of_int c /. float_of_int (max 1 total))))
+      buckets;
+    Buffer.add_string buf (Printf.sprintf "  total: %d samples\n" total)
+  end;
+  Buffer.contents buf
+
 let render ?(width = 64) ?(height = 16) ?(logy = false) ~title ~ylabel ~xlabel
     series =
   let buf = Buffer.create 4096 in

@@ -9,6 +9,17 @@
 type series = { label : string; points : (float * float) list }
 (** One scheme's line: (x, y) pairs, e.g. (threads, Mops/s). *)
 
+val fmt_ns : int -> string
+(** Human-readable duration: ["840ns"], ["3.2us"], ["1.5ms"],
+    ["2.1s"]. *)
+
+val histogram : ?width:int -> title:string -> (int * int * int) list -> string
+(** [histogram ~title buckets] renders [(lo, hi, count)] buckets (as
+    produced by {!Obs.Hist.buckets}, values in nanoseconds) as
+    horizontal ['#'] bars scaled to the fullest bucket ([width] chars,
+    default 48); non-empty buckets always show at least one tick.
+    Newline-terminated. *)
+
 val render :
   ?width:int ->
   ?height:int ->

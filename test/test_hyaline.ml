@@ -251,7 +251,7 @@ let test_figure_2a () =
     ~skip:(fun ~slot:_ -> false)
     ~after_insert:(fun ~slot:_ ~href:_ -> ())
     reap;
-  Internal.drain stats reap;
+  Internal.drain stats ~tid:0 reap;
   Alcotest.(check bool) "(b) head -> n1" true ((H.read head).Snap.hptr == n1);
   Alcotest.(check int) "(b) B1 NRef = 0" 0 (Atomic.get r1.Hdr.nref);
   (* (c) Thread 2 enters. *)
@@ -273,27 +273,27 @@ let test_figure_2a () =
      negative and nothing is reclaimed yet. *)
   let reap = Internal.new_reap () in
   let _ = I.leave_slot head ~handle:handle1 reap in
-  Internal.drain stats reap;
+  Internal.drain stats ~tid:0 reap;
   Alcotest.(check int) "(f) HRef=2" 2 (href ());
   Alcotest.(check int) "(f) B1 NRef = -1" (-1) (Atomic.get r1.Hdr.nref);
   Alcotest.(check int) "(f) nothing freed" 0 (Hashtbl.length freed);
   (* (g) Thread 2 resumes and completes the adjustment for N1. *)
   let reap = Internal.new_reap () in
   Internal.add_ref reap n1 (n1.Hdr.ref_node.Hdr.adjs + stalled_href);
-  Internal.drain stats reap;
+  Internal.drain stats ~tid:0 reap;
   Alcotest.(check int) "(g) B1 NRef = 1" 1 (Atomic.get r1.Hdr.nref);
   Alcotest.(check int) "(g) still nothing freed" 0 (Hashtbl.length freed);
   (* (h) Thread 2 leaves and deallocates N1. *)
   let reap = Internal.new_reap () in
   let _ = I.leave_slot head ~handle:handle2 reap in
-  Internal.drain stats reap;
+  Internal.drain stats ~tid:0 reap;
   Alcotest.(check bool) "(h) n1 freed" true (Hashtbl.mem freed "n1");
   Alcotest.(check bool) "(h) r1 freed" true (Hashtbl.mem freed "r1");
   Alcotest.(check bool) "(h) B2 survives" false (Hashtbl.mem freed "n2");
   (* (i) Thread 3 leaves and deallocates N2. *)
   let reap = Internal.new_reap () in
   let _ = I.leave_slot head ~handle:handle3 reap in
-  Internal.drain stats reap;
+  Internal.drain stats ~tid:0 reap;
   Alcotest.(check bool) "(i) n2 freed" true (Hashtbl.mem freed "n2");
   Alcotest.(check bool) "(i) r2 freed" true (Hashtbl.mem freed "r2");
   Alcotest.(check int) "(i) HRef=0" 0 (href ());
@@ -328,7 +328,7 @@ let test_empty_slot_credits () =
     ~skip:(fun ~slot:_ -> false)
     ~after_insert:(fun ~slot:_ ~href:_ -> ())
     reap;
-  Internal.drain stats reap;
+  Internal.drain stats ~tid:0 reap;
   Alcotest.(check int) "all-empty batch freed immediately" (k + 1) !freed;
   (* One active thread in slot 2: pinned until it leaves. *)
   freed := 0;
@@ -338,11 +338,11 @@ let test_empty_slot_credits () =
     ~skip:(fun ~slot:_ -> false)
     ~after_insert:(fun ~slot:_ ~href:_ -> ())
     reap;
-  Internal.drain stats reap;
+  Internal.drain stats ~tid:0 reap;
   Alcotest.(check int) "pinned by slot 2" 0 !freed;
   let reap = Internal.new_reap () in
   let _ = I.leave_slot heads.(2) ~handle reap in
-  Internal.drain stats reap;
+  Internal.drain stats ~tid:0 reap;
   Alcotest.(check int) "freed once slot 2 leaves" (k + 1) !freed
 
 (* ------------------------------------------------------------------ *)

@@ -4,6 +4,7 @@ let () =
        [
          Test_prims.suites;
          Test_mpool.suites;
+         Test_obs.suites;
          Test_smr.suites;
          Test_hyaline.suites;
          Test_dstruct.suites;

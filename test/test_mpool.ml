@@ -121,6 +121,78 @@ let test_concurrent_churn () =
   Alcotest.(check int) "allocs = frees" s.Mpool.allocs s.Mpool.frees;
   Alcotest.(check bool) "created <= allocs" true (s.created <= s.allocs)
 
+let test_splice_accounting () =
+  (* Spilling is a whole-cache splice: with local_cache = 4 the fifth
+     free pushes all five cached nodes to the shared list in one CAS,
+     and the shared-length gauge tracks it exactly at quiescence. *)
+  let p = Pool.create ~local_cache:4 () in
+  let nodes = List.init 10 (fun _ -> Pool.alloc p) in
+  Alcotest.(check int) "nothing shared yet" 0 (Pool.shared_free_length p);
+  List.iter (Pool.free p) nodes;
+  Alcotest.(check int) "two spills of five" 10 (Pool.shared_free_length p);
+  let again = List.init 10 (fun _ -> Pool.alloc p) in
+  Alcotest.(check int) "shared drained" 0 (Pool.shared_free_length p);
+  Alcotest.(check int) "no fresh creation" 10 (Pool.stats p).created;
+  ignore again
+
+let test_lookup_vs_fresh_frontier () =
+  (* Regression for the reserve-then-publish race in [fresh]: the
+     index is reserved (fetch-and-add on [next_index]) strictly before
+     the node is installed in its registry cell, so a reader chasing
+     the frontier can pass the range check and hit a cell whose store
+     is still in flight.  The seed code either raised from the missing
+     chunk or returned a placeholder node with the wrong index;
+     post-fix [lookup] must wait on the specific cell and return the
+     node whose index is exactly the one asked for.  The only
+     tolerated failure is the range check itself (index not reserved
+     yet). *)
+  let p = Pool.create ~local_cache:0 () in
+  let stop = Atomic.make false in
+  let bad = Atomic.make None in
+  let producers =
+    List.init 2 (fun _ ->
+        Domain.spawn (fun () ->
+            while not (Atomic.get stop) do
+              ignore (Pool.alloc p)
+            done))
+  in
+  let consumer =
+    Domain.spawn (fun () ->
+        let i = ref 0 in
+        (try
+           while not (Atomic.get stop) do
+             match Pool.lookup p !i with
+             | n ->
+                 if Node.index n <> !i then begin
+                   Atomic.set bad
+                     (Some
+                        (Printf.sprintf "lookup %d returned node %d" !i
+                           (Node.index n)));
+                   Atomic.set stop true
+                 end
+                 else incr i
+             | exception Invalid_argument msg
+               when msg = "Mpool.lookup: index out of range" ->
+                 (* Frontier index not reserved yet — the only
+                    tolerated failure; anything else falls through to
+                    the outer handler and fails the test. *)
+                 Domain.cpu_relax ()
+           done
+         with e ->
+           Atomic.set bad (Some (Printexc.to_string e));
+           Atomic.set stop true);
+        !i)
+  in
+  Unix.sleepf 0.3;
+  Atomic.set stop true;
+  let chased = Domain.join consumer in
+  List.iter Domain.join producers;
+  (match Atomic.get bad with
+  | Some msg -> Alcotest.fail ("frontier race: " ^ msg)
+  | None -> ());
+  Alcotest.(check bool) "consumer chased a non-empty frontier" true
+    (chased > 0)
+
 let prop_sequential_model =
   (* Random alloc/free sequences against a simple model: the pool's
      live count always equals (allocs - frees) of the model, and every
@@ -165,6 +237,9 @@ let suites =
         Alcotest.test_case "local cache spills" `Quick test_local_cache_spills;
         Alcotest.test_case "live counter" `Quick test_live_counter;
         Alcotest.test_case "concurrent churn" `Slow test_concurrent_churn;
+        Alcotest.test_case "splice accounting" `Quick test_splice_accounting;
+        Alcotest.test_case "lookup vs fresh frontier" `Slow
+          test_lookup_vs_fresh_frontier;
         qcheck prop_sequential_model;
       ] );
   ]

@@ -1,0 +1,340 @@
+(* Tests for the observability layer: event rings, the log-scaled lag
+   histogram, the probe no-op contract, and the assembled recorder. *)
+
+let qcheck = QCheck_alcotest.to_alcotest
+
+(* ------------------------------------------------------------------ *)
+(* Ring                                                               *)
+
+let all_kinds =
+  [ Obs.Ring.Alloc; Retire; Free; Enter; Leave; Trim ]
+
+let test_ring_kind_roundtrip () =
+  List.iter
+    (fun k ->
+      Alcotest.(check bool)
+        (Obs.Ring.kind_name k) true
+        (Obs.Ring.kind_of_int (Obs.Ring.kind_to_int k) = k))
+    all_kinds;
+  Alcotest.(check int) "n_kinds" (List.length all_kinds) Obs.Ring.n_kinds
+
+let test_ring_fill_no_wrap () =
+  let r = Obs.Ring.create ~capacity:8 in
+  for i = 0 to 4 do
+    Obs.Ring.record r ~at:(100 + i) ~kind:Obs.Ring.Alloc ~info:i
+  done;
+  Alcotest.(check int) "total" 5 (Obs.Ring.total r);
+  Alcotest.(check int) "length" 5 (Obs.Ring.length r);
+  Alcotest.(check int) "dropped" 0 (Obs.Ring.dropped r);
+  let evs = Obs.Ring.snapshot r in
+  Alcotest.(check int) "snapshot size" 5 (Array.length evs);
+  Array.iteri
+    (fun i (e : Obs.Ring.event) ->
+      Alcotest.(check int) "at oldest-first" (100 + i) e.at;
+      Alcotest.(check int) "info" i e.info)
+    evs
+
+let test_ring_wraparound () =
+  (* Capacity 4, 10 records: the ring must hold exactly the last 4,
+     oldest first, and account for the 6 overwritten. *)
+  let r = Obs.Ring.create ~capacity:4 in
+  for i = 0 to 9 do
+    let kind = if i mod 2 = 0 then Obs.Ring.Retire else Obs.Ring.Free in
+    Obs.Ring.record r ~at:i ~kind ~info:(10 * i)
+  done;
+  Alcotest.(check int) "total" 10 (Obs.Ring.total r);
+  Alcotest.(check int) "length" 4 (Obs.Ring.length r);
+  Alcotest.(check int) "dropped" 6 (Obs.Ring.dropped r);
+  let evs = Obs.Ring.snapshot r in
+  Alcotest.(check (list int))
+    "last four, oldest first" [ 6; 7; 8; 9 ]
+    (Array.to_list evs |> List.map (fun (e : Obs.Ring.event) -> e.at));
+  Array.iter
+    (fun (e : Obs.Ring.event) ->
+      Alcotest.(check int) "info rides along" (10 * e.at) e.info;
+      Alcotest.(check bool)
+        "kind rides along" true
+        (e.kind = if e.at mod 2 = 0 then Obs.Ring.Retire else Obs.Ring.Free))
+    evs;
+  let counts = Obs.Ring.counts_by_kind r in
+  Alcotest.(check int)
+    "held retires" 2
+    counts.(Obs.Ring.kind_to_int Obs.Ring.Retire);
+  Alcotest.(check int)
+    "held frees" 2
+    counts.(Obs.Ring.kind_to_int Obs.Ring.Free)
+
+let test_ring_capacity_one () =
+  let r = Obs.Ring.create ~capacity:1 in
+  for i = 1 to 3 do
+    Obs.Ring.record r ~at:i ~kind:Obs.Ring.Enter ~info:0
+  done;
+  let evs = Obs.Ring.snapshot r in
+  Alcotest.(check int) "holds one" 1 (Array.length evs);
+  Alcotest.(check int) "the newest" 3 evs.(0).Obs.Ring.at;
+  Alcotest.check_raises "capacity 0 rejected"
+    (Invalid_argument "Ring.create: capacity <= 0") (fun () ->
+      ignore (Obs.Ring.create ~capacity:0))
+
+(* ------------------------------------------------------------------ *)
+(* Hist                                                               *)
+
+let test_hist_bucket_edges () =
+  (* Bucket 0 is {0, 1}; bucket b >= 1 is [2^b, 2^(b+1)). *)
+  Alcotest.(check int) "0" 0 (Obs.Hist.bucket_of_value 0);
+  Alcotest.(check int) "1" 0 (Obs.Hist.bucket_of_value 1);
+  Alcotest.(check int) "2" 1 (Obs.Hist.bucket_of_value 2);
+  Alcotest.(check int) "3" 1 (Obs.Hist.bucket_of_value 3);
+  Alcotest.(check int) "4" 2 (Obs.Hist.bucket_of_value 4);
+  Alcotest.(check int) "7" 2 (Obs.Hist.bucket_of_value 7);
+  Alcotest.(check int) "8" 3 (Obs.Hist.bucket_of_value 8);
+  (* max_int = 2^62 - 1 on 64-bit: top of bucket 61, inside range. *)
+  Alcotest.(check bool) "max_int fits a bucket" true
+    (Obs.Hist.bucket_of_value max_int < Obs.Hist.n_buckets);
+  Alcotest.(check int) "max_int shares 2^61's bucket"
+    (Obs.Hist.bucket_of_value (1 lsl 61))
+    (Obs.Hist.bucket_of_value max_int);
+  for b = 1 to 20 do
+    let lo = Obs.Hist.bucket_lo b and hi = Obs.Hist.bucket_hi b in
+    Alcotest.(check int) "lo = 2^b" (1 lsl b) lo;
+    Alcotest.(check int) "hi = 2^(b+1) - 1" ((1 lsl (b + 1)) - 1) hi;
+    Alcotest.(check int) "lo maps to b" b (Obs.Hist.bucket_of_value lo);
+    Alcotest.(check int) "hi maps to b" b (Obs.Hist.bucket_of_value hi)
+  done
+
+let test_hist_basic_stats () =
+  let h = Obs.Hist.create () in
+  Alcotest.(check int) "empty count" 0 (Obs.Hist.count h);
+  Alcotest.(check int) "empty percentile" 0 (Obs.Hist.percentile h 0.99);
+  List.iter (Obs.Hist.add h) [ 1; 100; 10_000 ];
+  Alcotest.(check int) "count" 3 (Obs.Hist.count h);
+  Alcotest.(check int) "sum" 10_101 (Obs.Hist.sum h);
+  Alcotest.(check int) "max exact" 10_000 (Obs.Hist.max_value h);
+  Alcotest.(check (float 0.001)) "mean" 3367.0 (Obs.Hist.mean h);
+  (* Negative samples clamp into bucket 0 rather than crashing. *)
+  Obs.Hist.add h (-5);
+  Alcotest.(check int) "negative clamps" 4 (Obs.Hist.count h);
+  let lo0, _, c0 = List.hd (Obs.Hist.buckets h) in
+  Alcotest.(check int) "bucket 0 lo" 0 lo0;
+  Alcotest.(check int) "bucket 0 holds 1 and the clamp" 2 c0
+
+let test_hist_percentile_conservative () =
+  (* The reported quantile is the containing bucket's upper edge
+     clamped by the exact max: never below the true quantile, and
+     never above the largest sample. *)
+  let h = Obs.Hist.create () in
+  let samples = List.init 100 (fun i -> (i + 1) * 10) in
+  List.iter (Obs.Hist.add h) samples;
+  let exact q =
+    List.nth samples
+      (max 0 (int_of_float (ceil (q *. 100.)) - 1))
+  in
+  List.iter
+    (fun q ->
+      let p = Obs.Hist.percentile h q in
+      Alcotest.(check bool)
+        (Printf.sprintf "p%.0f upper-bounds exact" (q *. 100.))
+        true
+        (p >= exact q);
+      Alcotest.(check bool)
+        (Printf.sprintf "p%.0f <= max" (q *. 100.))
+        true
+        (p <= Obs.Hist.max_value h))
+    [ 0.5; 0.9; 0.99; 1.0 ];
+  Alcotest.(check int) "p100 is the exact max" 1000
+    (Obs.Hist.percentile h 1.0);
+  Alcotest.check_raises "q out of range"
+    (Invalid_argument "Hist.percentile: q outside [0,1]") (fun () ->
+      ignore (Obs.Hist.percentile h 1.5))
+
+let test_hist_merge_clear () =
+  let a = Obs.Hist.create () and b = Obs.Hist.create () in
+  List.iter (Obs.Hist.add a) [ 5; 50 ];
+  List.iter (Obs.Hist.add b) [ 500; 5000 ];
+  Obs.Hist.merge ~into:a b;
+  Alcotest.(check int) "merged count" 4 (Obs.Hist.count a);
+  Alcotest.(check int) "merged sum" 5555 (Obs.Hist.sum a);
+  Alcotest.(check int) "merged max" 5000 (Obs.Hist.max_value a);
+  Alcotest.(check int) "src untouched" 2 (Obs.Hist.count b);
+  Obs.Hist.clear a;
+  Alcotest.(check int) "cleared count" 0 (Obs.Hist.count a);
+  Alcotest.(check int) "cleared max" 0 (Obs.Hist.max_value a);
+  Alcotest.(check (list (triple int int int))) "cleared buckets" []
+    (Obs.Hist.buckets a)
+
+let prop_hist_percentile_bounds =
+  QCheck.Test.make ~name:"hist percentile always in [true quantile, max]"
+    ~count:200
+    QCheck.(list_of_size Gen.(1 -- 50) (int_bound 1_000_000))
+    (fun samples ->
+      let h = Obs.Hist.create () in
+      List.iter (Obs.Hist.add h) samples;
+      let sorted = List.sort compare samples in
+      let n = List.length sorted in
+      List.for_all
+        (fun q ->
+          let p = Obs.Hist.percentile h q in
+          let rank = max 0 (int_of_float (ceil (q *. float_of_int n)) - 1) in
+          p >= List.nth sorted rank && p <= List.nth sorted (n - 1))
+        [ 0.0; 0.5; 0.9; 0.99; 1.0 ])
+
+(* ------------------------------------------------------------------ *)
+(* Probe                                                              *)
+
+let test_probe_noop () =
+  Alcotest.(check bool) "noop is noop" true (Obs.Probe.is_noop Obs.Probe.noop);
+  (* A structurally identical literal must NOT be the noop: the guard
+     is physical equality, so instrumented probes built as literals are
+     always detected as instrumented. *)
+  let look_alike =
+    {
+      Obs.Probe.alloc = (fun ~tid:_ -> ());
+      retire = (fun ~tid:_ -> ());
+      free = (fun ~tid:_ ~lag_ns:_ -> ());
+      enter = (fun ~tid:_ -> ());
+      leave = (fun ~tid:_ -> ());
+      trim = (fun ~tid:_ -> ());
+    }
+  in
+  Alcotest.(check bool) "literal is not noop" false
+    (Obs.Probe.is_noop look_alike)
+
+let test_instrument_wrap_noop_is_identity () =
+  (* The zero-cost contract: wrapping with the noop probe returns the
+     scheme module physically unchanged, so uninstrumented runs are
+     bit-identical to never having heard of lib/obs. *)
+  let packed = (Workload.Registry.find_scheme "Epoch").Workload.Registry.s_mod in
+  let wrapped = Smr.Instrument.wrap Obs.Probe.noop packed in
+  Alcotest.(check bool) "physically unchanged" true (wrapped == packed);
+  let r = Obs.Recorder.create ~nthreads:1 () in
+  let instrumented = Smr.Instrument.wrap (Obs.Recorder.probe r) packed in
+  Alcotest.(check bool) "real probe wraps" true (instrumented != packed)
+
+let test_instrument_wrap_records () =
+  (* Drive a wrapped tracker directly and check events flow into the
+     recorder: enter/leave per operation, retire/free per block, and a
+     non-garbage lag sample per free. *)
+  let r = Obs.Recorder.create ~nthreads:2 () in
+  let module T =
+    (val Smr.Instrument.wrap (Obs.Recorder.probe r)
+           (module Smr.Unsafe_immediate : Smr.Tracker.S))
+  in
+  let cfg = { Smr.Config.default with Smr.Config.nthreads = 2 } in
+  let t = T.create cfg in
+  let hdrs = Array.init 4 (fun _ -> Smr.Hdr.create ()) in
+  for tid = 0 to 1 do
+    T.enter t ~tid;
+    T.retire t ~tid hdrs.((2 * tid) + 0);
+    T.retire t ~tid hdrs.((2 * tid) + 1);
+    T.leave t ~tid
+  done;
+  Alcotest.(check int) "enters" 2 (Obs.Recorder.events_total r Obs.Ring.Enter);
+  Alcotest.(check int) "leaves" 2 (Obs.Recorder.events_total r Obs.Ring.Leave);
+  Alcotest.(check int) "retires" 4
+    (Obs.Recorder.events_total r Obs.Ring.Retire);
+  (* UnsafeImmediate frees at retire time, so all four are freed. *)
+  Alcotest.(check int) "frees" 4 (Obs.Recorder.events_total r Obs.Ring.Free);
+  let h = Obs.Recorder.lag_hist r in
+  Alcotest.(check int) "one lag sample per free" 4 (Obs.Hist.count h);
+  (* Immediate reclamation: lag must be tiny (well under a second). *)
+  Alcotest.(check bool) "lags sane" true
+    (Obs.Hist.max_value h < 1_000_000_000)
+
+(* ------------------------------------------------------------------ *)
+(* Recorder                                                           *)
+
+let test_recorder_rings_and_totals () =
+  let r = Obs.Recorder.create ~ring_capacity:8 ~nthreads:2 () in
+  let p = Obs.Recorder.probe r in
+  p.Obs.Probe.alloc ~tid:0;
+  p.Obs.Probe.alloc ~tid:1;
+  p.Obs.Probe.enter ~tid:0;
+  (* Out-of-range tids are counted but land in no ring. *)
+  p.Obs.Probe.alloc ~tid:7;
+  Alcotest.(check int) "alloc total includes stray tid" 3
+    (Obs.Recorder.events_total r Obs.Ring.Alloc);
+  let rings = Obs.Recorder.rings r in
+  Alcotest.(check int) "one ring per thread" 2 (Array.length rings);
+  Alcotest.(check int) "tid 0 ring" 2 (Obs.Ring.total rings.(0));
+  Alcotest.(check int) "tid 1 ring" 1 (Obs.Ring.total rings.(1));
+  p.Obs.Probe.free ~tid:0 ~lag_ns:4096;
+  Alcotest.(check int) "free lag sampled" 1
+    (Obs.Hist.count (Obs.Recorder.lag_hist r));
+  Alcotest.(check int) "free lag value" 4096
+    (Obs.Hist.max_value (Obs.Recorder.lag_hist r))
+
+let test_recorder_gauges () =
+  let r = Obs.Recorder.create ~nthreads:1 () in
+  Alcotest.(check (option int)) "absent" None
+    (Obs.Recorder.gauge r ~name:"limbo_total");
+  Obs.Recorder.set_gauge r ~name:"limbo_total" 17;
+  Obs.Recorder.set_gauge r ~name:"mpool_live" 3;
+  Obs.Recorder.set_gauge r ~name:"limbo_total" 21;
+  Alcotest.(check (option int)) "last write wins" (Some 21)
+    (Obs.Recorder.gauge r ~name:"limbo_total");
+  Alcotest.(check (list (pair string int)))
+    "first-registration order"
+    [ ("limbo_total", 21); ("mpool_live", 3) ]
+    (Obs.Recorder.gauges r)
+
+let test_recorder_prometheus () =
+  let r = Obs.Recorder.create ~nthreads:1 () in
+  let p = Obs.Recorder.probe r in
+  p.Obs.Probe.retire ~tid:0;
+  p.Obs.Probe.free ~tid:0 ~lag_ns:100;
+  Obs.Recorder.set_gauge r ~name:"batch pending.max" 5;
+  let text = Obs.Recorder.prometheus r in
+  let contains needle =
+    let nl = String.length needle and tl = String.length text in
+    let rec go i = i + nl <= tl && (String.sub text i nl = needle || go (i + 1)) in
+    go 0
+  in
+  List.iter
+    (fun needle ->
+      Alcotest.(check bool) ("contains " ^ needle) true (contains needle))
+    [
+      "smr_events_total{kind=\"retire\"} 1";
+      "smr_events_total{kind=\"free\"} 1";
+      "smr_reclamation_lag_ns";
+      "_count 1";
+      (* Gauge names are sanitized to the Prometheus charset. *)
+      "batch_pending_max 5";
+    ]
+
+let suites =
+  [
+    ( "obs.ring",
+      [
+        Alcotest.test_case "kind roundtrip" `Quick test_ring_kind_roundtrip;
+        Alcotest.test_case "fill without wrap" `Quick test_ring_fill_no_wrap;
+        Alcotest.test_case "wraparound keeps newest" `Quick
+          test_ring_wraparound;
+        Alcotest.test_case "capacity one / zero" `Quick test_ring_capacity_one;
+      ] );
+    ( "obs.hist",
+      [
+        Alcotest.test_case "bucket edges" `Quick test_hist_bucket_edges;
+        Alcotest.test_case "count/sum/max/mean, negative clamp" `Quick
+          test_hist_basic_stats;
+        Alcotest.test_case "percentile is a tight upper bound" `Quick
+          test_hist_percentile_conservative;
+        Alcotest.test_case "merge and clear" `Quick test_hist_merge_clear;
+        qcheck prop_hist_percentile_bounds;
+      ] );
+    ( "obs.probe",
+      [
+        Alcotest.test_case "noop identity" `Quick test_probe_noop;
+        Alcotest.test_case "wrap noop = physical identity" `Quick
+          test_instrument_wrap_noop_is_identity;
+        Alcotest.test_case "wrap records lifecycle events" `Quick
+          test_instrument_wrap_records;
+      ] );
+    ( "obs.recorder",
+      [
+        Alcotest.test_case "rings and totals" `Quick
+          test_recorder_rings_and_totals;
+        Alcotest.test_case "gauges" `Quick test_recorder_gauges;
+        Alcotest.test_case "prometheus exposition" `Quick
+          test_recorder_prometheus;
+      ] );
+  ]
