@@ -78,6 +78,34 @@ let lfrc_read_cost =
       | Some b -> Smr.Lfrc.release b
       | None -> ())
 
+(* ------------------------------------------------------------------ *)
+(* Service-layer costs: one wire round-trip of the codec (encode +
+   decode both directions, no transport) and one send/drain cycle of
+   the bounded mailbox (the control-plane overhead a request pays on
+   top of the map operation). *)
+
+let codec_roundtrip_cost =
+  let buf = Buffer.create 64 in
+  Staged.stage (fun () ->
+      Buffer.clear buf;
+      Service.Codec.encode_request buf
+        (Service.Codec.Cas { key = 7; expected = 1; desired = 2 });
+      let b = Buffer.to_bytes buf in
+      let payload = Bytes.sub b 4 (Bytes.length b - 4) in
+      ignore (Service.Codec.request_of_payload payload);
+      Buffer.clear buf;
+      Service.Codec.encode_reply buf Service.Codec.Cas_ok;
+      let b = Buffer.to_bytes buf in
+      let payload = Bytes.sub b 4 (Bytes.length b - 4) in
+      ignore (Service.Codec.reply_of_payload payload))
+
+let mailbox_cost (module T : Smr.Tracker.S) =
+  let module MB = Service.Mailbox.Make (T) in
+  let mb = MB.create ~cfg:cfg_bench ~capacity:64 () in
+  Staged.stage (fun () ->
+      ignore (MB.try_send mb ~tid:0 42);
+      ignore (MB.drain mb ~tid:1 ~max:1))
+
 let microbenches =
   Test.make_grouped ~name:"table1"
     [
@@ -85,6 +113,8 @@ let microbenches =
       scheme_group "bracket-cost" bracket_cost;
       scheme_group "read-cost" read_cost;
       Test.make ~name:"read-cost/LFRC" lfrc_read_cost;
+      Test.make ~name:"service/codec-roundtrip" codec_roundtrip_cost;
+      scheme_group "service/mailbox-cycle" mailbox_cost;
     ]
 
 let run_microbenches () =

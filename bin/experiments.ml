@@ -1,4 +1,5 @@
-(* CLI regenerating every table and figure of the paper's evaluation.
+(* CLI regenerating every table and figure of the paper's evaluation,
+   plus the service-layer sweep.
 
    Usage:
      experiments table1
@@ -6,6 +7,8 @@
      experiments fig10a [--active 2]
      experiments lag [--ds hashmap] [--metrics-csv m.csv] [--prom m.prom]
      experiments ablate-batch | ablate-slots | ablate-freq | ablate-spurious
+     experiments serve [--schemes ebr,hyaline,hyaline1s] [--shards 4]
+                       [--stalled-shards 1] [--rate 20000] [--prom m.prom]
      experiments all
 
    Each throughput figure shares its runs with its companion
@@ -17,7 +20,22 @@ open Workload
 
 let all_ds = [ "list"; "hashmap"; "bonsai"; "nmtree" ]
 
-let scale_of ~paper ~threads ~duration ~repeat =
+(* --dist {uniform,zipf[:theta]} -> the Figures.scale spec. *)
+let parse_dist s =
+  match String.lowercase_ascii s with
+  | "uniform" -> `Uniform
+  | "zipf" -> `Zipf 0.99
+  | ls when String.length ls > 5 && String.sub ls 0 5 = "zipf:" -> (
+      match float_of_string_opt (String.sub ls 5 (String.length ls - 5)) with
+      | Some theta when theta >= 0.0 -> `Zipf theta
+      | _ ->
+          Format.eprintf "bad --dist %S (theta must be a float >= 0)@." s;
+          exit 2)
+  | _ ->
+      Format.eprintf "unknown --dist %S (try uniform, zipf, zipf:0.8)@." s;
+      exit 2
+
+let scale_of ~paper ~threads ~duration ~repeat ~dist =
   let base = if paper then Figures.paper else Figures.quick in
   let base =
     match threads with
@@ -28,6 +46,11 @@ let scale_of ~paper ~threads ~duration ~repeat =
     match duration with
     | None -> base
     | Some d -> { base with Figures.duration = d }
+  in
+  let base =
+    match dist with
+    | None -> base
+    | Some s -> { base with Figures.dist = Some (parse_dist s) }
   in
   match repeat with
   | None -> base
@@ -187,12 +210,280 @@ let run_sweep ~plot ~sc ~ds ~schemes ~mix ~fig_label =
         (fun emit -> Figures.sweep ~sc ~structure_name ~schemes ~mix ~emit))
     ds
 
+(* ------------------------------------------------------------------ *)
+(* `experiments serve` — the lib/service sweep: clients x scheme x
+   shards against the sharded KV core, one row per run with completed
+   throughput, shed count, submit->reply latency tails and the
+   control-plane tracker's sampled unreclaimed ceiling.  With
+   --stalled-shards, the stalled consumers park inside a control-plane
+   bracket (the paper's §2.3 adversary aimed at the service's own
+   mailboxes): robust schemes keep ctl-max-unr bounded while the
+   surviving shards answer and the stalled ones shed. *)
+
+type serve_row = {
+  sv_scheme : string;
+  sv_structure : string;
+  sv_shards : int;
+  sv_clients : int;
+  sv_stalled : int;
+  sv_mode : string;
+  sv_res : Service.Loadgen.result;
+  sv_p50 : int;
+  sv_p99 : int;
+  sv_p999 : int;
+  sv_ctl_max : int;
+  sv_ctl : Smr.Stats.snapshot;
+}
+
+let serve_csv_header =
+  "figure,scheme,structure,shards,clients,stalled_shards,mode,duration_s,submitted,ops,sheds,errors,ops_per_s,p50_ns,p99_ns,p999_ns,ctl_max_unreclaimed,ctl_retires,ctl_frees\n"
+
+let serve_csv_row oc title (r : serve_row) =
+  Printf.fprintf oc "%s,%s,%s,%d,%d,%d,%s,%.4f,%d,%d,%d,%d,%.1f,%d,%d,%d,%d,%d,%d\n"
+    (String.map (function ',' -> ';' | c -> c) title)
+    r.sv_scheme r.sv_structure r.sv_shards r.sv_clients r.sv_stalled r.sv_mode
+    r.sv_res.Service.Loadgen.wall r.sv_res.Service.Loadgen.submitted
+    r.sv_res.Service.Loadgen.ops r.sv_res.Service.Loadgen.sheds
+    r.sv_res.Service.Loadgen.errors r.sv_res.Service.Loadgen.throughput
+    r.sv_p50 r.sv_p99 r.sv_p999 r.sv_ctl_max r.sv_ctl.Smr.Stats.retires
+    r.sv_ctl.Smr.Stats.frees
+
+let serve_pp_header () =
+  Format.printf "%-18s %3s %3s %3s %9s %8s %8s %8s %8s %8s %11s@." "scheme"
+    "shd" "cli" "stl" "ops" "sheds" "Kops/s" "p50" "p99" "p99.9" "ctl-max-unr"
+
+let serve_pp_row (r : serve_row) =
+  Format.printf "%-18s %3d %3d %3d %9d %8d %8.1f %8s %8s %8s %11d@."
+    r.sv_scheme r.sv_shards r.sv_clients r.sv_stalled
+    r.sv_res.Service.Loadgen.ops r.sv_res.Service.Loadgen.sheds
+    (r.sv_res.Service.Loadgen.throughput /. 1e3)
+    (Plot.fmt_ns r.sv_p50) (Plot.fmt_ns r.sv_p99) (Plot.fmt_ns r.sv_p999)
+    r.sv_ctl_max
+
+(* Prefill through the mailboxes with a bounded submission window:
+   async (a closed-loop prefill would pay a full round-trip per key on
+   one core) but never deep enough to shed. *)
+let serve_prefill (svc : Service.Shard.t) ~n ~range ~seed =
+  let rng = Prims.Rng.create ~seed in
+  let dist = Keydist.uniform ~range in
+  let completed = Atomic.make 0 in
+  let submitted = ref 0 in
+  while !submitted < n do
+    if !submitted - Atomic.get completed < 64 then begin
+      let k = Keydist.draw dist rng in
+      incr submitted;
+      svc.Service.Shard.submit ~tid:0
+        (Service.Codec.Put { key = k; value = k })
+        (fun _ -> Atomic.incr completed)
+    end
+    else Domain.cpu_relax ()
+  done;
+  while Atomic.get completed < n do Unix.sleepf 0.0002 done
+
+let serve_one ~(scheme : Registry.scheme) ~structure_name ~shards ~clients
+    ~stalled ~duration ~dist ~mode ~mix ~churn ~mailbox_cap ~prefill ~range
+    ~seed ~recorder : serve_row =
+  let structure = Registry.find_structure structure_name in
+  let scheme =
+    match recorder with
+    | None -> scheme
+    | Some r ->
+        (* Instrument the scheme itself so --prom also carries the
+           reclamation-side events/lag next to the service gauges. *)
+        { scheme with Registry.s_mod = Smr.Instrument.wrap (Obs.Recorder.probe r) scheme.Registry.s_mod }
+  in
+  let svc =
+    Service.Shard.create ~structure ~scheme
+      {
+        Service.Shard.default_config with
+        Service.Shard.shards;
+        clients;
+        mailbox_capacity = mailbox_cap;
+        seed;
+      }
+  in
+  serve_prefill svc ~n:prefill ~range ~seed:(seed + 17);
+  for i = 0 to stalled - 1 do
+    svc.Service.Shard.set_stalled ~shard:i true
+  done;
+  (* Sample the control-plane backlog while the load runs: the row's
+     robustness metric is the ceiling, not the (post-drain) final. *)
+  let sampling = Atomic.make true in
+  let ctl_max = Atomic.make 0 in
+  let sampler =
+    Domain.spawn (fun () ->
+        while Atomic.get sampling do
+          let u =
+            Smr.Stats.unreclaimed_of
+              (Smr.Stats.snapshot (svc.Service.Shard.control_stats ()))
+          in
+          if u > Atomic.get ctl_max then Atomic.set ctl_max u;
+          (match recorder with
+          | Some r ->
+              List.iter
+                (fun (name, v) -> Obs.Recorder.set_gauge r ~name v)
+                (svc.Service.Shard.gauges ())
+          | None -> ());
+          Unix.sleepf 0.005
+        done)
+  in
+  let res =
+    Service.Loadgen.run svc ~mode ~clients ~duration ~dist ~mix
+      ?churn_ops:churn ~seed ()
+  in
+  Atomic.set sampling false;
+  Domain.join sampler;
+  let ctl = Smr.Stats.snapshot (svc.Service.Shard.control_stats ()) in
+  let ctl_max =
+    max (Atomic.get ctl_max) (Smr.Stats.unreclaimed_of ctl)
+  in
+  for i = 0 to stalled - 1 do
+    svc.Service.Shard.set_stalled ~shard:i false
+  done;
+  let row =
+    {
+      sv_scheme = svc.Service.Shard.scheme_name;
+      sv_structure = structure_name;
+      sv_shards = shards;
+      sv_clients = clients;
+      sv_stalled = stalled;
+      sv_mode =
+        (match mode with
+        | Service.Loadgen.Closed -> "closed"
+        | Service.Loadgen.Open r -> Printf.sprintf "open@%.0f/s" r);
+      sv_res = res;
+      sv_p50 = Service.Slo.p50 svc.Service.Shard.slo;
+      sv_p99 = Service.Slo.p99 svc.Service.Shard.slo;
+      sv_p999 = Service.Slo.p999 svc.Service.Shard.slo;
+      sv_ctl_max = ctl_max;
+      sv_ctl = ctl;
+    }
+  in
+  (match recorder with
+  | Some r ->
+      Obs.Hist.merge
+        ~into:(Obs.Recorder.hist r ~name:"kv_request_latency_ns")
+        (Service.Slo.hist svc.Service.Shard.slo);
+      Obs.Hist.merge
+        ~into:(Obs.Recorder.hist r ~name:"kv_batch_size")
+        svc.Service.Shard.batch_hist;
+      List.iter
+        (fun (name, v) -> Obs.Recorder.set_gauge r ~name v)
+        (svc.Service.Shard.gauges ());
+      Obs.Recorder.set_gauge r ~name:"kv_ctl_max_unreclaimed_sampled" ctl_max
+  | None -> ());
+  svc.Service.Shard.stop ();
+  row
+
+let run_serve ~sc ~ds ~schemes ~shards ~stalled ~rate ~mixname ~churn
+    ~mailbox_cap ~plot =
+  let structure_name = match ds with "all" -> "hashmap" | d -> d in
+  let mix =
+    match String.lowercase_ascii mixname with
+    | "read" | "read-mostly" -> Service.Loadgen.read_mostly
+    | "write" | "write-heavy" -> Service.Loadgen.write_heavy
+    | other ->
+        Format.eprintf "unknown --mix %S (read or write)@." other;
+        exit 2
+  in
+  let mode =
+    match (rate, stalled) with
+    | Some r, _ -> Service.Loadgen.Open r
+    | None, 0 -> Service.Loadgen.Closed
+    | None, _ ->
+        (* A closed-loop client whose request is parked in a stalled
+           mailbox would wait out the whole run; open loop keeps the
+           arrivals coming, which is the regime shedding exists for. *)
+        Format.printf
+          "(stalled run: forcing open loop at 20000 req/s; override with \
+           --rate)@.";
+        Service.Loadgen.Open 20000.0
+  in
+  let range = sc.Figures.key_range in
+  let dist =
+    match sc.Figures.dist with
+    | None | Some `Uniform -> Keydist.uniform ~range
+    | Some (`Zipf theta) -> Keydist.zipf ~theta ~range ()
+  in
+  let prefill = min 2000 sc.Figures.prefill in
+  let title =
+    Printf.sprintf
+      "serve (%s, %s, %d shards, %d stalled, mix=%s, dist=%s)" structure_name
+      sc.Figures.label shards stalled mixname (Keydist.describe dist)
+  in
+  Format.printf "## %s@." title;
+  serve_pp_header ();
+  let rows = ref [] in
+  List.iter
+    (fun scheme_name ->
+      let scheme = Registry.find_scheme scheme_name in
+      List.iter
+        (fun clients ->
+          let recorder =
+            match !prom_channel with
+            | None -> None
+            | Some _ ->
+                Some (Obs.Recorder.create ~nthreads:(clients + shards) ())
+          in
+          let row =
+            serve_one ~scheme ~structure_name ~shards ~clients ~stalled
+              ~duration:sc.Figures.duration ~dist ~mode ~mix ~churn
+              ~mailbox_cap ~prefill ~range ~seed:4242 ~recorder
+          in
+          rows := row :: !rows;
+          serve_pp_row row;
+          (match !csv_channel with
+          | Some oc ->
+              serve_csv_row oc title row;
+              flush oc
+          | None -> ());
+          match (recorder, !prom_channel) with
+          | Some r, Some oc ->
+              Printf.fprintf oc
+                "# run: %s scheme=%s clients=%d stalled=%d\n%s\n" title
+                row.sv_scheme clients stalled (Obs.Recorder.prometheus r);
+              flush oc
+          | _ -> ())
+        sc.Figures.threads)
+    schemes;
+  Format.printf "@.";
+  if plot then begin
+    let series y =
+      let order = ref [] in
+      let tbl = Hashtbl.create 8 in
+      List.iter
+        (fun r ->
+          if not (Hashtbl.mem tbl r.sv_scheme) then begin
+            Hashtbl.add tbl r.sv_scheme [];
+            order := r.sv_scheme :: !order
+          end;
+          Hashtbl.replace tbl r.sv_scheme
+            ((float_of_int r.sv_clients, y r) :: Hashtbl.find tbl r.sv_scheme))
+        (List.rev !rows);
+      List.rev_map
+        (fun label -> { Plot.label; points = List.rev (Hashtbl.find tbl label) })
+        !order
+    in
+    print_string
+      (Plot.render ~title:(title ^ " — throughput") ~ylabel:"Kops/s"
+         ~xlabel:"clients"
+         (series (fun r -> r.sv_res.Service.Loadgen.throughput /. 1e3)));
+    print_newline ();
+    print_string
+      (Plot.render ~logy:true ~title:(title ^ " — p99 latency") ~ylabel:"ns"
+         ~xlabel:"clients"
+         (series (fun r -> float_of_int (max 1 r.sv_p99))))
+  end
+
 let rec dispatch figure ds paper threads duration active plot csv metrics_csv
-    prom repeat =
+    prom repeat dist schemes_arg shards_arg stalled_shards rate mixname churn
+    mailbox_cap =
   (match csv with
   | Some path when !csv_channel = None ->
       let oc = open_out path in
-      output_string oc csv_header;
+      output_string oc
+        (if String.lowercase_ascii figure = "serve" then serve_csv_header
+         else csv_header);
       csv_channel := Some oc
   | _ -> ());
   (match metrics_csv with
@@ -204,29 +495,37 @@ let rec dispatch figure ds paper threads duration active plot csv metrics_csv
   (match prom with
   | Some path when !prom_channel = None -> prom_channel := Some (open_out path)
   | _ -> ());
-  let sc = scale_of ~paper ~threads ~duration ~repeat in
-  let ds = match ds with "all" -> all_ds | d -> [ d ] in
+  let sc = scale_of ~paper ~threads ~duration ~repeat ~dist in
+  let ds_list = match ds with "all" -> all_ds | d -> [ d ] in
   let tplot = if plot then `Threads else `No in
   match String.lowercase_ascii figure with
+  | "serve" ->
+      let schemes =
+        match schemes_arg with
+        | [] -> [ "ebr"; "hyaline"; "hyaline1s" ]
+        | l -> l
+      in
+      run_serve ~sc ~ds ~schemes ~shards:shards_arg ~stalled:stalled_shards
+        ~rate ~mixname ~churn ~mailbox_cap ~plot
   | "table1" ->
       Format.printf "## Table 1 — scheme properties@.";
       Figures.table1 Format.std_formatter;
       Format.printf
         "@.(retire-cost microbenchmarks: `dune exec bench/main.exe`)@."
   | "fig8" | "fig9" ->
-      run_sweep ~plot ~sc ~ds ~schemes:Figures.figure8_schemes
+      run_sweep ~plot ~sc ~ds:ds_list ~schemes:Figures.figure8_schemes
         ~mix:Driver.write_heavy
         ~fig_label:"Fig. 8/9 (x86 write-heavy 50i/50d)"
   | "fig11" | "fig12" ->
-      run_sweep ~plot ~sc ~ds ~schemes:Figures.figure8_schemes
+      run_sweep ~plot ~sc ~ds:ds_list ~schemes:Figures.figure8_schemes
         ~mix:Driver.read_mostly
         ~fig_label:"Fig. 11/12 (x86 read-mostly 90g/10p)"
   | "fig13" | "fig14" ->
-      run_sweep ~plot ~sc ~ds ~schemes:Figures.ppc_schemes
+      run_sweep ~plot ~sc ~ds:ds_list ~schemes:Figures.ppc_schemes
         ~mix:Driver.write_heavy
         ~fig_label:"Fig. 13/14 (LL/SC backend, write-heavy)"
   | "fig15" | "fig16" ->
-      run_sweep ~plot ~sc ~ds ~schemes:Figures.ppc_schemes
+      run_sweep ~plot ~sc ~ds:ds_list ~schemes:Figures.ppc_schemes
         ~mix:Driver.read_mostly
         ~fig_label:"Fig. 15/16 (LL/SC backend, read-mostly)"
   | "fig10a" ->
@@ -263,17 +562,18 @@ let rec dispatch figure ds paper threads duration active plot csv metrics_csv
             (fun emit ->
               Figures.reclamation_lag ~sc ~structure_name
                 ~stalled_counts:[ 0; 1 ] ~emit ()))
-        ds
+        ds_list
   | "ablate" | "ablations" ->
       List.iter
         (fun f ->
           dispatch f "hashmap" paper threads duration active plot csv
-            metrics_csv prom repeat)
+            metrics_csv prom repeat dist schemes_arg shards_arg stalled_shards
+            rate mixname churn mailbox_cap)
         [
           "ablate-batch"; "ablate-slots"; "ablate-freq"; "ablate-spurious";
           "ablate-skew";
         ]
-  | "all" -> dispatch_all sc ds active plot
+  | "all" -> dispatch_all sc ds_list active plot
   | other ->
       Format.eprintf
         "unknown figure %S (try table1, fig8..fig16, fig10a, fig10b, lag, \
@@ -281,12 +581,12 @@ let rec dispatch figure ds paper threads duration active plot csv metrics_csv
         other;
       exit 2
 
-and dispatch_all sc ds active plot =
+and dispatch_all sc ds_list active plot =
   let tplot = if plot then `Threads else `No in
   Format.printf "## Table 1 — scheme properties@.";
   Figures.table1 Format.std_formatter;
   Format.printf "@.";
-  run_sweep ~plot ~sc ~ds ~schemes:Figures.figure8_schemes
+  run_sweep ~plot ~sc ~ds:ds_list ~schemes:Figures.figure8_schemes
     ~mix:Driver.write_heavy ~fig_label:"Fig. 8/9 (x86 write-heavy 50i/50d)";
   emit_rows
     ~plot:(if plot then `Stalled else `No)
@@ -295,11 +595,11 @@ and dispatch_all sc ds active plot =
     (fun emit -> Figures.robustness ~sc ~active ~emit);
   emit_rows ~plot:tplot "Fig. 10b (trimming, hashmap, 32 slots)" (fun emit ->
       Figures.trimming ~sc ~emit);
-  run_sweep ~plot ~sc ~ds ~schemes:Figures.figure8_schemes
+  run_sweep ~plot ~sc ~ds:ds_list ~schemes:Figures.figure8_schemes
     ~mix:Driver.read_mostly ~fig_label:"Fig. 11/12 (x86 read-mostly 90g/10p)";
-  run_sweep ~plot ~sc ~ds ~schemes:Figures.ppc_schemes ~mix:Driver.write_heavy
+  run_sweep ~plot ~sc ~ds:ds_list ~schemes:Figures.ppc_schemes ~mix:Driver.write_heavy
     ~fig_label:"Fig. 13/14 (LL/SC backend, write-heavy)";
-  run_sweep ~plot ~sc ~ds ~schemes:Figures.ppc_schemes ~mix:Driver.read_mostly
+  run_sweep ~plot ~sc ~ds:ds_list ~schemes:Figures.ppc_schemes ~mix:Driver.read_mostly
     ~fig_label:"Fig. 15/16 (LL/SC backend, read-mostly)";
   emit_rows ~plot:tplot "Ablation: Hyaline batch size (hashmap)" (fun emit ->
       Figures.ablate_batch ~sc ~emit);
@@ -320,7 +620,8 @@ let figure =
         ~doc:
           "Which result to regenerate: table1, fig8, fig9, fig10a, fig10b, \
            fig11..fig16, ablate-batch, ablate-slots, ablate-freq, \
-           ablate-spurious, ablate (all four), or all.")
+           ablate-spurious, ablate (all four), serve (the KV service \
+           sweep), or all.")
 
 let ds =
   Arg.(
@@ -396,6 +697,68 @@ let repeat =
         ~doc:
           "Runs averaged per data point (the paper uses 5; the quick            scale defaults to 1).")
 
+let dist =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "dist" ] ~docv:"DIST"
+        ~doc:
+          "Key distribution for every run of the sweep: uniform, zipf \
+           (theta 0.99), or zipf:THETA.")
+
+let schemes_arg =
+  Arg.(
+    value
+    & opt (list string) []
+    & info [ "schemes" ] ~docv:"S,S,..."
+        ~doc:
+          "(serve) Schemes to sweep, e.g. ebr,hyaline,hyaline1s.  Default: \
+           ebr, hyaline, hyaline1s.")
+
+let shards_arg =
+  Arg.(
+    value & opt int 4
+    & info [ "shards" ] ~docv:"N" ~doc:"(serve) Partitions / consumer domains.")
+
+let stalled_shards =
+  Arg.(
+    value & opt int 0
+    & info [ "stalled-shards" ] ~docv:"N"
+        ~doc:
+          "(serve) Park this many shard consumers inside a control-plane \
+           bracket for the whole run (the robustness scenario: their \
+           mailboxes fill and shed while their reservation pins garbage).")
+
+let rate =
+  Arg.(
+    value
+    & opt (some float) None
+    & info [ "rate" ] ~docv:"REQ_PER_S"
+        ~doc:
+          "(serve) Open-loop arrival rate, pool-wide.  Without it the load \
+           is closed-loop (each client waits for its reply).")
+
+let mixname =
+  Arg.(
+    value & opt string "read"
+    & info [ "mix" ] ~docv:"MIX"
+        ~doc:"(serve) Operation mix: read (90/5/3/2) or write (40/30/20/10).")
+
+let churn =
+  Arg.(
+    value
+    & opt (some int) None
+    & info [ "churn" ] ~docv:"OPS"
+        ~doc:
+          "(serve) Worker churn: each client slot re-spawns its domain every \
+           $(docv) requests (transparency on the serving path).")
+
+let mailbox_cap =
+  Arg.(
+    value & opt int 256
+    & info [ "mailbox-cap" ] ~docv:"N"
+        ~doc:"(serve) Per-shard mailbox bound; a full mailbox sheds.")
+
 let cmd =
   let doc =
     "Regenerate the tables and figures of 'Hyaline: Fast and Transparent \
@@ -405,6 +768,7 @@ let cmd =
     (Cmd.info "experiments" ~doc)
     Term.(
       const dispatch $ figure $ ds $ paper $ threads $ duration $ active
-      $ plot $ csv $ metrics_csv $ prom $ repeat)
+      $ plot $ csv $ metrics_csv $ prom $ repeat $ dist $ schemes_arg
+      $ shards_arg $ stalled_shards $ rate $ mixname $ churn $ mailbox_cap)
 
 let () = exit (Cmd.eval cmd)

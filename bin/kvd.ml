@@ -1,0 +1,184 @@
+(* kvd — the sharded lock-free KV daemon over a Unix socket.
+
+   The serving stack is lib/service end to end: length-prefixed frames
+   (Codec) -> per-connection handler domain with a leased client tid
+   (Conn) -> hash-sharded mailboxes drained in batched SMR brackets
+   (Shard) over the scheme/structure pair picked on the command line.
+
+   `kvd --selftest` runs no socket at all: it drives the same stack
+   through the in-process loopback (every opcode round-trips, then a
+   short deterministic load burst) and exits nonzero on any failure —
+   the CI smoke test. *)
+
+let exercise_opcodes svc =
+  let tid = 0 in
+  let call = Service.Conn.Loopback.call in
+  let conn = Service.Conn.Loopback.connect svc ~tid in
+  let expect what expected got =
+    if got <> expected then
+      failwith
+        (Printf.sprintf "%s: expected %s, got %s" what
+           (Service.Codec.reply_to_string expected)
+           (Service.Codec.reply_to_string got))
+  in
+  expect "get missing" Service.Codec.Not_found (call conn (Service.Codec.Get 1));
+  expect "put fresh" Service.Codec.Created
+    (call conn (Service.Codec.Put { key = 1; value = 10 }));
+  expect "get present" (Service.Codec.Value 10) (call conn (Service.Codec.Get 1));
+  expect "put overwrite" Service.Codec.Updated
+    (call conn (Service.Codec.Put { key = 1; value = 11 }));
+  expect "cas mismatch" Service.Codec.Cas_fail
+    (call conn (Service.Codec.Cas { key = 1; expected = 10; desired = 99 }));
+  expect "cas match" Service.Codec.Cas_ok
+    (call conn (Service.Codec.Cas { key = 1; expected = 11; desired = 12 }));
+  expect "get after cas" (Service.Codec.Value 12)
+    (call conn (Service.Codec.Get 1));
+  expect "del present" Service.Codec.Deleted (call conn (Service.Codec.Del 1));
+  expect "del missing" Service.Codec.Not_found (call conn (Service.Codec.Del 1));
+  expect "cas missing" Service.Codec.Not_found
+    (call conn (Service.Codec.Cas { key = 1; expected = 0; desired = 0 }))
+
+let selftest ~scheme ~structure ~shards ~clients ~duration =
+  let svc =
+    Service.Shard.create
+      ~structure:(Workload.Registry.find_structure structure)
+      ~scheme:(Workload.Registry.find_scheme scheme)
+      { Service.Shard.default_config with Service.Shard.shards; clients }
+  in
+  Fun.protect
+    ~finally:(fun () -> svc.Service.Shard.stop ())
+    (fun () ->
+      exercise_opcodes svc;
+      let res =
+        Service.Loadgen.run svc ~mode:Service.Loadgen.Closed ~clients ~duration
+          ~dist:(Workload.Keydist.uniform ~range:4096)
+          ~mix:Service.Loadgen.read_mostly ~seed:7 ()
+      in
+      if res.Service.Loadgen.ops = 0 then failwith "selftest: no ops completed";
+      if res.Service.Loadgen.errors > 0 then
+        failwith
+          (Printf.sprintf "selftest: %d error replies"
+             res.Service.Loadgen.errors);
+      Printf.printf
+        "selftest ok: %s/%s, %d shards — opcodes round-tripped, %d ops in \
+         %.2fs (%.0f ops/s), %s\n"
+        svc.Service.Shard.scheme_name svc.Service.Shard.structure_name shards
+        res.Service.Loadgen.ops res.Service.Loadgen.wall
+        res.Service.Loadgen.throughput
+        (Service.Slo.report svc.Service.Shard.slo))
+
+let daemon ~socket ~scheme ~structure ~shards ~clients ~mailbox_cap ~batch =
+  let svc =
+    Service.Shard.create
+      ~structure:(Workload.Registry.find_structure structure)
+      ~scheme:(Workload.Registry.find_scheme scheme)
+      {
+        Service.Shard.default_config with
+        Service.Shard.shards;
+        clients;
+        mailbox_capacity = mailbox_cap;
+        batch;
+      }
+  in
+  let server = Service.Conn.serve_unix svc ~path:socket () in
+  Printf.printf "kvd: serving %s/%s with %d shards, %d client slots on %s\n%!"
+    svc.Service.Shard.scheme_name svc.Service.Shard.structure_name shards
+    clients socket;
+  let stop _ =
+    (* Runs on the main thread via the signal handler: tear down the
+       listener, then the service (queued requests get Error replies). *)
+    Printf.printf "kvd: shutting down (%d processed, %d shed, %s)\n%!"
+      (svc.Service.Shard.processed ())
+      (svc.Service.Shard.sheds ())
+      (Service.Slo.report svc.Service.Shard.slo);
+    Service.Conn.shutdown server;
+    svc.Service.Shard.stop ();
+    exit 0
+  in
+  Sys.set_signal Sys.sigint (Sys.Signal_handle stop);
+  Sys.set_signal Sys.sigterm (Sys.Signal_handle stop);
+  while true do
+    Unix.sleepf 3600.0
+  done
+
+let main socket scheme structure shards clients mailbox_cap batch selftest_flag
+    duration =
+  if selftest_flag then
+    match
+      selftest ~scheme ~structure ~shards ~clients ~duration
+    with
+    | () -> 0
+    | exception e ->
+        Printf.eprintf "kvd selftest FAILED: %s\n" (Printexc.to_string e);
+        1
+  else begin
+    daemon ~socket ~scheme ~structure ~shards ~clients ~mailbox_cap ~batch;
+    0
+  end
+
+open Cmdliner
+
+let socket =
+  Arg.(
+    value & opt string "/tmp/kvd.sock"
+    & info [ "socket" ] ~docv:"PATH" ~doc:"Unix socket path to listen on.")
+
+let scheme =
+  Arg.(
+    value & opt string "hyaline"
+    & info [ "scheme" ] ~docv:"SCHEME"
+        ~doc:
+          "Reclamation scheme for maps and mailboxes (leaky, ebr, hp, he, \
+           ibr, hyaline, hyaline1s, hyalines, ...).")
+
+let structure =
+  Arg.(
+    value & opt string "hashmap"
+    & info [ "ds" ] ~docv:"STRUCTURE"
+        ~doc:"Backing map: list, hashmap, bonsai, or nmtree.")
+
+let shards =
+  Arg.(
+    value & opt int 4
+    & info [ "shards" ] ~docv:"N" ~doc:"Partitions / consumer domains.")
+
+let clients =
+  Arg.(
+    value & opt int 8
+    & info [ "clients" ] ~docv:"N"
+        ~doc:"Client tid slots = max concurrent connections.")
+
+let mailbox_cap =
+  Arg.(
+    value & opt int 256
+    & info [ "mailbox-cap" ] ~docv:"N"
+        ~doc:"Per-shard mailbox bound; a full mailbox sheds.")
+
+let batch =
+  Arg.(
+    value & opt int 64
+    & info [ "batch" ] ~docv:"N"
+        ~doc:"Max requests executed per enter/leave bracket.")
+
+let selftest_flag =
+  Arg.(
+    value & flag
+    & info [ "selftest" ]
+        ~doc:
+          "Run the in-process loopback smoke test (every opcode plus a \
+           short closed-loop burst) instead of serving; exit 1 on failure.")
+
+let duration =
+  Arg.(
+    value & opt float 0.3
+    & info [ "duration" ] ~docv:"SECONDS"
+        ~doc:"Load-burst length for --selftest.")
+
+let cmd =
+  let doc = "Sharded lock-free KV daemon (lib/service over lib/smr)." in
+  Cmd.v (Cmd.info "kvd" ~doc)
+    Term.(
+      const main $ socket $ scheme $ structure $ shards $ clients
+      $ mailbox_cap $ batch $ selftest_flag $ duration)
+
+let () = exit (Cmd.eval' cmd)

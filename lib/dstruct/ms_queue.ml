@@ -43,7 +43,7 @@ module Make (T : Tracker.S) = struct
     T.alloc_hook t.tracker ~tid n.hdr;
     n
 
-  let create cfg =
+  let create ?tracker cfg =
     let dummy =
       {
         hdr = Hdr.create ();
@@ -54,11 +54,14 @@ module Make (T : Tracker.S) = struct
     in
     {
       cfg;
-      tracker = T.create cfg;
+      tracker =
+        (match tracker with Some t -> t | None -> T.create cfg);
       pool = Pool.create ();
       head = Atomic.make dummy;
       tail = Atomic.make dummy;
     }
+
+  let tracker t = t.tracker
 
   let enqueue t ~tid value =
     T.enter t.tracker ~tid;

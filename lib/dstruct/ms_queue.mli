@@ -11,7 +11,16 @@ module Make (T : Smr.Tracker.S) : sig
   type t
   (** An int queue (nodes come from a recycling pool). *)
 
-  val create : Smr.Config.t -> t
+  val create : ?tracker:T.t -> Smr.Config.t -> t
+  (** [?tracker] substitutes a caller-owned tracker for the private
+      one, so several queues can share one reclamation domain — a
+      reservation held while operating on any of them then pins
+      retired dummies of all of them (how the service layer's shard
+      mailboxes dogfood robustness: one stalled shard consumer
+      stresses the whole control plane's scheme). *)
+
+  val tracker : t -> T.t
+  (** The tracker protecting this queue (shared or private). *)
 
   val enqueue : t -> tid:int -> int -> unit
   (** Self-bracketing (performs its own [enter]/[leave]). *)

@@ -5,6 +5,7 @@ type t = {
   lag : Hist.t;
   totals : int Atomic.t array; (* per Ring.kind, never wraps *)
   mutable gauges : gauge list; (* registration order, appended under lock *)
+  mutable hists : (string * Hist.t) list; (* named histograms, same order *)
   lock : Mutex.t;
 }
 
@@ -15,6 +16,7 @@ let create ?(ring_capacity = 4096) ~nthreads () =
     lag = Hist.create ();
     totals = Array.init Ring.n_kinds (fun _ -> Atomic.make 0);
     gauges = [];
+    hists = [];
     lock = Mutex.create ();
   }
 
@@ -64,6 +66,29 @@ let gauges t =
   Mutex.unlock t.lock;
   r
 
+(* Named histograms: create-or-get under the lock, then the returned
+   Hist is lock-free to add to (callers keep the handle on hot
+   paths).  Used by the service layer for request-latency and
+   batch-size distributions next to the built-in lag histogram. *)
+let hist t ~name =
+  Mutex.lock t.lock;
+  let h =
+    match List.assoc_opt name t.hists with
+    | Some h -> h
+    | None ->
+        let h = Hist.create () in
+        t.hists <- t.hists @ [ (name, h) ];
+        h
+  in
+  Mutex.unlock t.lock;
+  h
+
+let hists t =
+  Mutex.lock t.lock;
+  let r = t.hists in
+  Mutex.unlock t.lock;
+  r
+
 (* Prometheus metric names admit [a-zA-Z0-9_:]; gauge names arriving
    from component gauges use [.] and [] freely. *)
 let sanitize name =
@@ -84,16 +109,21 @@ let prometheus t =
         (Ring.kind_name (Ring.kind_of_int k))
         (Atomic.get total))
     t.totals;
-  line "# TYPE smr_reclamation_lag_ns histogram";
-  let cumulative = ref 0 in
-  List.iter
-    (fun (_, hi, c) ->
-      cumulative := !cumulative + c;
-      line "smr_reclamation_lag_ns_bucket{le=\"%d\"} %d" hi !cumulative)
-    (Hist.buckets t.lag);
-  line "smr_reclamation_lag_ns_bucket{le=\"+Inf\"} %d" (Hist.count t.lag);
-  line "smr_reclamation_lag_ns_sum %d" (Hist.sum t.lag);
-  line "smr_reclamation_lag_ns_count %d" (Hist.count t.lag);
+  let emit_hist name h =
+    let name = sanitize name in
+    line "# TYPE %s histogram" name;
+    let cumulative = ref 0 in
+    List.iter
+      (fun (_, hi, c) ->
+        cumulative := !cumulative + c;
+        line "%s_bucket{le=\"%d\"} %d" name hi !cumulative)
+      (Hist.buckets h);
+    line "%s_bucket{le=\"+Inf\"} %d" name (Hist.count h);
+    line "%s_sum %d" name (Hist.sum h);
+    line "%s_count %d" name (Hist.count h)
+  in
+  emit_hist "smr_reclamation_lag_ns" t.lag;
+  List.iter (fun (name, h) -> emit_hist name h) (hists t);
   let ring_events = Array.fold_left (fun a r -> a + Ring.length r) 0 t.rings in
   let ring_dropped = Array.fold_left (fun a r -> a + Ring.dropped r) 0 t.rings in
   line "# TYPE smr_ring_events gauge";

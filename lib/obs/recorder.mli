@@ -36,9 +36,18 @@ val gauge : t -> name:string -> int option
 val gauges : t -> (string * int) list
 (** All gauges in first-registration order. *)
 
+val hist : t -> name:string -> Hist.t
+(** Create-or-get a named histogram (e.g. request latency, batch
+    sizes).  The handle is stable — callers keep it and [Hist.add]
+    lock-free on hot paths; only registration takes the lock. *)
+
+val hists : t -> (string * Hist.t) list
+(** All named histograms in first-registration order. *)
+
 val prometheus : t -> string
 (** Prometheus text exposition: [smr_events_total{kind=...}] counters,
-    the [smr_reclamation_lag_ns] cumulative histogram, ring occupancy,
-    and every gauge (names sanitized to the Prometheus charset). *)
+    the [smr_reclamation_lag_ns] cumulative histogram, every named
+    histogram, ring occupancy, and every gauge (names sanitized to the
+    Prometheus charset). *)
 
 val pp_lag : Format.formatter -> t -> unit

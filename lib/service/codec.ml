@@ -1,0 +1,174 @@
+type request =
+  | Get of int
+  | Put of { key : int; value : int }
+  | Del of int
+  | Cas of { key : int; expected : int; desired : int }
+
+type reply =
+  | Value of int
+  | Not_found
+  | Created
+  | Updated
+  | Deleted
+  | Cas_ok
+  | Cas_fail
+  | Shed
+  | Error of string
+
+exception Malformed of string
+
+let malformed fmt = Printf.ksprintf (fun s -> raise (Malformed s)) fmt
+
+(* Generous: the largest legitimate payload is CAS (1 + 3*8 bytes);
+   Error replies carry a message we cap well below this. *)
+let max_frame = 4096
+
+(* Opcodes.  Requests in 0x01..0x7f, replies with the high bit set, so
+   a stray reply fed to the request decoder fails loudly. *)
+let op_get = 0x01
+let op_put = 0x02
+let op_del = 0x03
+let op_cas = 0x04
+let op_value = 0x81
+let op_not_found = 0x82
+let op_created = 0x83
+let op_updated = 0x84
+let op_deleted = 0x85
+let op_cas_ok = 0x86
+let op_cas_fail = 0x87
+let op_shed = 0x88
+let op_error = 0x89
+
+(* OCaml ints are 63-bit; the wire carries 64-bit two's complement, so
+   every OCaml int round-trips exactly. *)
+let put_i64 buf v = Buffer.add_int64_be buf (Int64.of_int v)
+
+let frame buf payload_len fill =
+  Buffer.add_int32_be buf (Int32.of_int payload_len);
+  let before = Buffer.length buf in
+  fill ();
+  assert (Buffer.length buf - before = payload_len)
+
+let encode_request buf = function
+  | Get k ->
+      frame buf 9 (fun () ->
+          Buffer.add_uint8 buf op_get;
+          put_i64 buf k)
+  | Put { key; value } ->
+      frame buf 17 (fun () ->
+          Buffer.add_uint8 buf op_put;
+          put_i64 buf key;
+          put_i64 buf value)
+  | Del k ->
+      frame buf 9 (fun () ->
+          Buffer.add_uint8 buf op_del;
+          put_i64 buf k)
+  | Cas { key; expected; desired } ->
+      frame buf 25 (fun () ->
+          Buffer.add_uint8 buf op_cas;
+          put_i64 buf key;
+          put_i64 buf expected;
+          put_i64 buf desired)
+
+let encode_reply buf = function
+  | Value v ->
+      frame buf 9 (fun () ->
+          Buffer.add_uint8 buf op_value;
+          put_i64 buf v)
+  | Not_found -> frame buf 1 (fun () -> Buffer.add_uint8 buf op_not_found)
+  | Created -> frame buf 1 (fun () -> Buffer.add_uint8 buf op_created)
+  | Updated -> frame buf 1 (fun () -> Buffer.add_uint8 buf op_updated)
+  | Deleted -> frame buf 1 (fun () -> Buffer.add_uint8 buf op_deleted)
+  | Cas_ok -> frame buf 1 (fun () -> Buffer.add_uint8 buf op_cas_ok)
+  | Cas_fail -> frame buf 1 (fun () -> Buffer.add_uint8 buf op_cas_fail)
+  | Shed -> frame buf 1 (fun () -> Buffer.add_uint8 buf op_shed)
+  | Error msg ->
+      let msg =
+        if String.length msg > max_frame - 64 then
+          String.sub msg 0 (max_frame - 64)
+        else msg
+      in
+      frame buf
+        (1 + String.length msg)
+        (fun () ->
+          Buffer.add_uint8 buf op_error;
+          Buffer.add_string buf msg)
+
+let get_i64 payload off =
+  if Bytes.length payload < off + 8 then
+    malformed "truncated operand at offset %d" off;
+  Int64.to_int (Bytes.get_int64_be payload off)
+
+let expect_len payload n op =
+  if Bytes.length payload <> n then
+    malformed "opcode 0x%02x: payload %d bytes, expected %d" op
+      (Bytes.length payload) n
+
+let request_of_payload payload =
+  if Bytes.length payload < 1 then malformed "empty payload";
+  let op = Bytes.get_uint8 payload 0 in
+  if op = op_get then begin
+    expect_len payload 9 op;
+    Get (get_i64 payload 1)
+  end
+  else if op = op_put then begin
+    expect_len payload 17 op;
+    Put { key = get_i64 payload 1; value = get_i64 payload 9 }
+  end
+  else if op = op_del then begin
+    expect_len payload 9 op;
+    Del (get_i64 payload 1)
+  end
+  else if op = op_cas then begin
+    expect_len payload 25 op;
+    Cas
+      {
+        key = get_i64 payload 1;
+        expected = get_i64 payload 9;
+        desired = get_i64 payload 17;
+      }
+  end
+  else malformed "unknown request opcode 0x%02x" op
+
+let reply_of_payload payload =
+  if Bytes.length payload < 1 then malformed "empty payload";
+  let op = Bytes.get_uint8 payload 0 in
+  if op = op_value then begin
+    expect_len payload 9 op;
+    Value (get_i64 payload 1)
+  end
+  else if op = op_error then
+    Error (Bytes.sub_string payload 1 (Bytes.length payload - 1))
+  else begin
+    expect_len payload 1 op;
+    if op = op_not_found then Not_found
+    else if op = op_created then Created
+    else if op = op_updated then Updated
+    else if op = op_deleted then Deleted
+    else if op = op_cas_ok then Cas_ok
+    else if op = op_cas_fail then Cas_fail
+    else if op = op_shed then Shed
+    else malformed "unknown reply opcode 0x%02x" op
+  end
+
+let request_to_string = function
+  | Get k -> Printf.sprintf "GET %d" k
+  | Put { key; value } -> Printf.sprintf "PUT %d=%d" key value
+  | Del k -> Printf.sprintf "DEL %d" k
+  | Cas { key; expected; desired } ->
+      Printf.sprintf "CAS %d %d->%d" key expected desired
+
+let reply_to_string = function
+  | Value v -> Printf.sprintf "VALUE %d" v
+  | Not_found -> "NOT_FOUND"
+  | Created -> "CREATED"
+  | Updated -> "UPDATED"
+  | Deleted -> "DELETED"
+  | Cas_ok -> "CAS_OK"
+  | Cas_fail -> "CAS_FAIL"
+  | Shed -> "SHED"
+  | Error m -> "ERROR " ^ m
+
+let key_of_request = function
+  | Get k | Del k -> k
+  | Put { key; _ } | Cas { key; _ } -> key

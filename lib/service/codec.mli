@@ -1,0 +1,60 @@
+(** Wire protocol of the KV service: length-prefixed binary frames.
+
+    A frame is a 4-byte big-endian payload length followed by the
+    payload; a payload is a 1-byte opcode followed by fixed-width
+    operands (8-byte big-endian two's-complement ints) — except
+    {!reply-Error}, whose operand is the remaining payload as UTF-8.
+    Requests and replies share the framing, so one decoder loop serves
+    both directions; opcodes of replies have the high bit set.
+
+    Everything here is pure bytes-in/bytes-out — the unix-socket and
+    in-process loopback transports ({!Conn}) both go through these
+    functions, so a loopback test exercises the exact bytes a remote
+    client would put on the wire. *)
+
+type request =
+  | Get of int
+  | Put of { key : int; value : int }
+  | Del of int
+  | Cas of { key : int; expected : int; desired : int }
+      (** Compare-and-set: replace [key]'s value with [desired] iff it
+          is currently bound to [expected]. *)
+
+type reply =
+  | Value of int  (** GET hit *)
+  | Not_found  (** GET/DEL miss, or CAS on an unbound key *)
+  | Created  (** PUT bound a fresh key *)
+  | Updated  (** PUT replaced an existing binding *)
+  | Deleted  (** DEL removed the binding *)
+  | Cas_ok
+  | Cas_fail  (** bound, but not to [expected] *)
+  | Shed
+      (** Load-shed: the target shard's mailbox was full; the request
+          was {e not} executed.  Clients should back off and retry. *)
+  | Error of string  (** malformed request, server-side failure *)
+
+exception Malformed of string
+(** Raised by the decoders on truncated/unknown payloads. *)
+
+val max_frame : int
+(** Upper bound on accepted payload length (sanity limit; a length
+    prefix beyond it is treated as a framing error). *)
+
+val encode_request : Buffer.t -> request -> unit
+(** Append one framed request (length prefix included). *)
+
+val encode_reply : Buffer.t -> reply -> unit
+
+val request_of_payload : bytes -> request
+(** Decode a frame payload (no length prefix).  @raise Malformed *)
+
+val reply_of_payload : bytes -> reply
+(** @raise Malformed *)
+
+val request_to_string : request -> string
+(** ["GET 7"], ["CAS 7 1->2"], ... for logs and error messages. *)
+
+val reply_to_string : reply -> string
+
+val key_of_request : request -> int
+(** The key the request addresses — what the shard router hashes. *)

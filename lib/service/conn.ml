@@ -1,0 +1,211 @@
+exception Closed
+
+let read_exact fd buf off len =
+  let rec go off len =
+    if len > 0 then begin
+      let n = Unix.read fd buf off len in
+      if n = 0 then raise Closed;
+      go (off + n) (len - n)
+    end
+  in
+  go off len
+
+let read_frame fd =
+  let hdr = Bytes.create 4 in
+  let n = Unix.read fd hdr 0 4 in
+  if n = 0 then None
+  else begin
+    if n < 4 then read_exact fd hdr n (4 - n);
+    let len = Int32.to_int (Bytes.get_int32_be hdr 0) in
+    if len < 0 || len > Codec.max_frame then
+      raise
+        (Codec.Malformed (Printf.sprintf "frame length %d out of bounds" len));
+    let payload = Bytes.create len in
+    read_exact fd payload 0 len;
+    Some payload
+  end
+
+let write_frame fd buf =
+  let b = Buffer.to_bytes buf in
+  let len = Bytes.length b in
+  let off = ref 0 in
+  while !off < len do
+    let n = Unix.write fd b !off (len - !off) in
+    if n = 0 then raise Closed;
+    off := !off + n
+  done;
+  Buffer.clear buf
+
+let serve_conn svc ~tid fd =
+  let out = Buffer.create 64 in
+  (try
+     let rec loop () =
+       match read_frame fd with
+       | None -> ()
+       | Some payload -> (
+           match Codec.request_of_payload payload with
+           | req ->
+               Codec.encode_reply out (Shard.call svc ~tid req);
+               write_frame fd out;
+               loop ()
+           | exception Codec.Malformed m ->
+               (* Framing survived but the payload is garbage: answer,
+                  then drop the connection — we cannot trust the
+                  stream position any more. *)
+               Codec.encode_reply out (Codec.Error ("malformed: " ^ m));
+               write_frame fd out)
+     in
+     loop ()
+   with Closed | Codec.Malformed _ | Unix.Unix_error _ -> ());
+  try Unix.close fd with Unix.Unix_error _ -> ()
+
+(* ------------------------------------------------------------------ *)
+
+type conn = { c_fd : Unix.file_descr; mutable c_domain : unit Domain.t option }
+
+type server = {
+  svc : Shard.t;
+  listen_fd : Unix.file_descr;
+  path : string;
+  accepting : bool Atomic.t;
+  (* Free producer-tid slots; a connection leases one for its life —
+     transparent attach/detach, a slot reused as soon as its previous
+     connection is gone. *)
+  tids : int list Atomic.t;
+  conns : conn list ref;
+  lock : Mutex.t;
+  mutable acceptor : unit Domain.t option;
+  stopped : bool Atomic.t;
+}
+
+let rec pop_tid srv =
+  match Atomic.get srv.tids with
+  | [] -> None
+  | t :: rest as old ->
+      if Atomic.compare_and_set srv.tids old rest then Some t
+      else pop_tid srv
+
+let rec push_tid srv t =
+  let old = Atomic.get srv.tids in
+  if not (Atomic.compare_and_set srv.tids old (t :: old)) then push_tid srv t
+
+let shed_and_close fd =
+  let out = Buffer.create 8 in
+  Codec.encode_reply out Codec.Shed;
+  (try write_frame fd out with Closed | Unix.Unix_error _ -> ());
+  try Unix.close fd with Unix.Unix_error _ -> ()
+
+let accept_loop srv () =
+  while Atomic.get srv.accepting do
+    match Unix.accept srv.listen_fd with
+    | exception Unix.Unix_error _ -> ()
+    | fd, _ ->
+        if not (Atomic.get srv.accepting) then (
+          try Unix.close fd with Unix.Unix_error _ -> ())
+        else begin
+          match pop_tid srv with
+          | None ->
+              (* Every client slot is leased: connection-level
+                 backpressure, same contract as a full mailbox. *)
+              shed_and_close fd
+          | Some tid ->
+              let conn = { c_fd = fd; c_domain = None } in
+              Mutex.lock srv.lock;
+              srv.conns := conn :: !(srv.conns);
+              Mutex.unlock srv.lock;
+              conn.c_domain <-
+                Some
+                  (Domain.spawn (fun () ->
+                       serve_conn srv.svc ~tid fd;
+                       push_tid srv tid))
+        end
+  done
+
+let serve_unix svc ~path ?(backlog = 16) () =
+  (try Unix.unlink path with Unix.Unix_error _ -> ());
+  let listen_fd = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+  Unix.bind listen_fd (Unix.ADDR_UNIX path);
+  Unix.listen listen_fd backlog;
+  let srv =
+    {
+      svc;
+      listen_fd;
+      path;
+      accepting = Atomic.make true;
+      tids = Atomic.make (List.init svc.Shard.clients Fun.id);
+      conns = ref [];
+      lock = Mutex.create ();
+      acceptor = None;
+      stopped = Atomic.make false;
+    }
+  in
+  srv.acceptor <- Some (Domain.spawn (accept_loop srv));
+  srv
+
+let connect_unix ~path =
+  let fd = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+  Unix.connect fd (Unix.ADDR_UNIX path);
+  fd
+
+let shutdown srv =
+  if Atomic.compare_and_set srv.stopped false true then begin
+    Atomic.set srv.accepting false;
+    (* Wake a blocked accept: shutdown the listener, and self-connect
+       in case the platform's accept does not notice the shutdown. *)
+    (try Unix.shutdown srv.listen_fd Unix.SHUTDOWN_ALL
+     with Unix.Unix_error _ -> ());
+    (try Unix.close (connect_unix ~path:srv.path) with
+    | Unix.Unix_error _ -> ());
+    (match srv.acceptor with
+    | Some d ->
+        Domain.join d;
+        srv.acceptor <- None
+    | None -> ());
+    (try Unix.close srv.listen_fd with Unix.Unix_error _ -> ());
+    (* The acceptor is joined, so the connection list is final and
+       every c_domain is set. *)
+    List.iter
+      (fun c ->
+        try Unix.shutdown c.c_fd Unix.SHUTDOWN_ALL
+        with Unix.Unix_error _ -> ())
+      !(srv.conns);
+    List.iter
+      (fun c -> match c.c_domain with Some d -> Domain.join d | None -> ())
+      !(srv.conns);
+    srv.conns := [];
+    try Unix.unlink srv.path with Unix.Unix_error _ -> ()
+  end
+
+let call_fd fd req =
+  let out = Buffer.create 32 in
+  Codec.encode_request out req;
+  write_frame fd out;
+  match read_frame fd with
+  | Some payload -> Codec.reply_of_payload payload
+  | None -> raise Closed
+
+(* ------------------------------------------------------------------ *)
+
+module Loopback = struct
+  type client = { svc : Shard.t; tid : int; buf : Buffer.t }
+
+  let connect svc ~tid =
+    if tid < 0 || tid >= svc.Shard.clients then
+      invalid_arg "Loopback.connect: tid outside the client range";
+    { svc; tid; buf = Buffer.create 64 }
+
+  let strip_frame b = Bytes.sub b 4 (Bytes.length b - 4)
+
+  let call c req =
+    (* The full wire path, in memory: encode the request, decode it as
+       the server would, execute, encode the reply, decode it as the
+       client would.  A codec regression fails here exactly as it
+       would over a socket. *)
+    Buffer.clear c.buf;
+    Codec.encode_request c.buf req;
+    let req = Codec.request_of_payload (strip_frame (Buffer.to_bytes c.buf)) in
+    let reply = Shard.call c.svc ~tid:c.tid req in
+    Buffer.clear c.buf;
+    Codec.encode_reply c.buf reply;
+    Codec.reply_of_payload (strip_frame (Buffer.to_bytes c.buf))
+end

@@ -1,0 +1,60 @@
+(** Transports for the {!Codec} wire protocol.
+
+    Two transports, one byte format:
+
+    - {!Loopback}: in-process, deterministic — each call runs the
+      request through the {e full} encode→decode→execute→encode→decode
+      path, so tests exercise the exact bytes a remote peer would see,
+      without sockets or nondeterministic interleaving in the
+      transport itself.
+    - Unix-domain sockets ({!serve_unix}/{!connect_unix}): the real
+      daemon path used by [bin/kvd.exe], one handler domain per
+      connection, producer tids leased from the service's client-slot
+      pool (connection churn exercises transparent attach/detach). *)
+
+exception Closed
+(** Peer hung up mid-frame. *)
+
+val read_frame : Unix.file_descr -> bytes option
+(** One payload (length prefix stripped); [None] on clean EOF at a
+    frame boundary.  @raise Closed on mid-frame EOF,
+    [Codec.Malformed] on an insane length prefix. *)
+
+val write_frame : Unix.file_descr -> Buffer.t -> unit
+(** Write the buffer (already framed by a [Codec.encode_*]) fully,
+    then clear it. *)
+
+val serve_conn : Shard.t -> tid:int -> Unix.file_descr -> unit
+(** Request/reply loop on an accepted connection until EOF; malformed
+    frames get an [Error] reply, then the connection closes.  Closes
+    the descriptor.  Never raises. *)
+
+type server
+
+val serve_unix :
+  Shard.t -> path:string -> ?backlog:int -> unit -> server
+(** Bind+listen on a unix-domain socket (unlinking any stale file) and
+    accept in a background domain; each connection gets a handler
+    domain holding a leased client tid.  When all [Shard.t.clients]
+    tids are in use, new connections are immediately answered with one
+    [Shed] reply and closed (connection-level backpressure). *)
+
+val shutdown : server -> unit
+(** Stop accepting, wake the accept loop, join handler domains,
+    unlink the socket path.  Idempotent.  Does NOT stop the service. *)
+
+val connect_unix : path:string -> Unix.file_descr
+
+val call_fd : Unix.file_descr -> Codec.request -> Codec.reply
+(** Blocking client call over any connected descriptor.
+    @raise Closed if the server hung up. *)
+
+module Loopback : sig
+  type client
+
+  val connect : Shard.t -> tid:int -> client
+  (** [tid] must be an unused client slot in [[0, clients)]. *)
+
+  val call : client -> Codec.request -> Codec.reply
+  (** Full wire round-trip in memory; blocking. *)
+end

@@ -1,0 +1,140 @@
+type mix = { get_pct : int; put_pct : int; del_pct : int; cas_pct : int }
+
+let read_mostly = { get_pct = 90; put_pct = 5; del_pct = 3; cas_pct = 2 }
+let write_heavy = { get_pct = 40; put_pct = 30; del_pct = 20; cas_pct = 10 }
+
+let check_mix m =
+  if m.get_pct + m.put_pct + m.del_pct + m.cas_pct <> 100 then
+    invalid_arg "Loadgen: mix percentages must sum to 100";
+  if m.get_pct < 0 || m.put_pct < 0 || m.del_pct < 0 || m.cas_pct < 0 then
+    invalid_arg "Loadgen: negative mix percentage"
+
+type mode = Closed | Open of float
+
+type result = {
+  submitted : int;
+  ops : int;
+  sheds : int;
+  errors : int;
+  wall : float;
+  throughput : float;
+}
+
+(* Same salt discipline as Driver's workers: independent streams per
+   tid, reproducible across runs. *)
+let client_seed ~seed ~tid = seed + (7919 * (tid + 1))
+
+let gen_request rng ~dist ~mix =
+  let k = Workload.Keydist.draw dist rng in
+  let pct = Prims.Rng.below rng 100 in
+  if pct < mix.get_pct then Codec.Get k
+  else if pct < mix.get_pct + mix.put_pct then
+    Codec.Put { key = k; value = Prims.Rng.below rng 1_000_000 }
+  else if pct < mix.get_pct + mix.put_pct + mix.del_pct then Codec.Del k
+  else
+    Codec.Cas
+      {
+        key = k;
+        expected = Prims.Rng.below rng 1_000_000;
+        desired = Prims.Rng.below rng 1_000_000;
+      }
+
+let request_stream ~seed ~tid ~dist ~mix ~n =
+  check_mix mix;
+  let rng = Prims.Rng.create ~seed:(client_seed ~seed ~tid) in
+  List.init n (fun _ -> gen_request rng ~dist ~mix)
+
+let now () = Unix.gettimeofday ()
+
+let run (svc : Shard.t) ~mode ~clients ~duration ~dist ~mix ?churn_ops ~seed
+    () =
+  check_mix mix;
+  if clients <= 0 then invalid_arg "Loadgen.run: clients <= 0";
+  if clients > svc.Shard.clients then
+    invalid_arg "Loadgen.run: more clients than service client slots";
+  (match churn_ops with
+  | Some n when n <= 0 -> invalid_arg "Loadgen.run: churn_ops <= 0"
+  | _ -> ());
+  (match mode with
+  | Open r when r <= 0.0 -> invalid_arg "Loadgen.run: open-loop rate <= 0"
+  | _ -> ());
+  let submitted = Atomic.make 0 in
+  let ok = Atomic.make 0 in
+  let sheds = Atomic.make 0 in
+  let errors = Atomic.make 0 in
+  let count_reply = function
+    | Codec.Shed -> Atomic.incr sheds
+    | Codec.Error _ -> Atomic.incr errors
+    | _ -> Atomic.incr ok
+  in
+  let deadline = ref infinity in
+  (* One client life: up to [max_ops] requests or the deadline,
+     whichever first.  The rng travels with the tid slot, not the
+     domain, so churn does not perturb the request stream. *)
+  let life_closed tid rng max_ops () =
+    let n = ref 0 in
+    while now () < !deadline && !n < max_ops do
+      let req = gen_request rng ~dist ~mix in
+      Atomic.incr submitted;
+      count_reply (Shard.call svc ~tid req);
+      incr n
+    done
+  in
+  let life_open tid rng max_ops interval next () =
+    let n = ref 0 in
+    while now () < !deadline && !n < max_ops do
+      let t = now () in
+      if t < !next then Unix.sleepf (Float.min (!next -. t) 0.001)
+      else begin
+        let req = gen_request rng ~dist ~mix in
+        Atomic.incr submitted;
+        svc.Shard.submit ~tid req count_reply;
+        next := !next +. interval;
+        incr n
+      end
+    done
+  in
+  let supervisor tid () =
+    let rng = Prims.Rng.create ~seed:(client_seed ~seed ~tid) in
+    let life max_ops =
+      match mode with
+      | Closed -> life_closed tid rng max_ops
+      | Open rate ->
+          (* Pool-wide rate split evenly; each client keeps its own
+             schedule so a slow reply cannot slow arrivals. *)
+          let interval = float_of_int clients /. rate in
+          life_open tid rng max_ops interval (ref (now ()))
+    in
+    match churn_ops with
+    | None -> life max_int ()
+    | Some n ->
+        (* Worker churn: a fresh domain per slice of the stream.
+           Nothing attaches or detaches from any tracker — the tid
+           slot is the only identity (transparency on the serving
+           path). *)
+        while now () < !deadline do
+          Domain.join (Domain.spawn (life n))
+        done
+  in
+  let t0 = now () in
+  deadline := t0 +. duration;
+  let domains = List.init clients (fun tid -> Domain.spawn (supervisor tid)) in
+  List.iter Domain.join domains;
+  let t1 = now () in
+  (* Open loop: let in-flight submissions complete (consumers are
+     still running); bounded grace so a stalled shard cannot hang the
+     harness. *)
+  let grace = now () +. 1.0 in
+  let counted () = Atomic.get ok + Atomic.get sheds + Atomic.get errors in
+  while counted () < Atomic.get submitted && now () < grace do
+    Unix.sleepf 0.001
+  done;
+  let wall = t1 -. t0 in
+  {
+    submitted = Atomic.get submitted;
+    ops = Atomic.get ok;
+    sheds = Atomic.get sheds;
+    errors = Atomic.get errors;
+    wall;
+    throughput = (if wall > 0.0 then float_of_int (Atomic.get ok) /. wall else 0.0);
+  }

@@ -1,0 +1,69 @@
+(** Open- and closed-loop client pools for the KV service.
+
+    Request streams are deterministic: client [tid] of a run seeded
+    [s] draws from [Prims.Rng.create ~seed:(client_seed ~seed:s ~tid)]
+    through {!gen_request}, so the n-th request of each client is a
+    pure function of [(seed, tid, n)] — {!request_stream} reproduces
+    it without running anything (the fixed-seed determinism test).
+
+    Worker churn exercises the paper's transparency claim on the
+    serving path: with [~churn_ops:n], each client slot runs its
+    stream as a {e succession of short-lived domains} (a fresh OS
+    thread every [n] requests, joined before the next starts), and no
+    one registers or unregisters anything with the trackers — the tid
+    slot is the only identity, reused the instant its previous owner
+    is gone.
+
+    Closed loop measures capacity (each client waits for its reply);
+    open loop fixes the arrival rate regardless of replies, which is
+    what pushes a backlogged shard into sustained shedding — the
+    regime the SLO histogram and backpressure exist for. *)
+
+type mix = { get_pct : int; put_pct : int; del_pct : int; cas_pct : int }
+(** Percentages, must sum to 100. *)
+
+val read_mostly : mix
+(** 90 GET / 5 PUT / 3 DEL / 2 CAS — the service-shaped analogue of
+    the paper's 90/10 mix. *)
+
+val write_heavy : mix
+(** 40 GET / 30 PUT / 20 DEL / 10 CAS. *)
+
+type mode =
+  | Closed  (** each client: submit, wait, repeat *)
+  | Open of float  (** total arrival rate, requests/second, pool-wide *)
+
+type result = {
+  submitted : int;
+  ops : int;  (** completed with a non-shed, non-error reply *)
+  sheds : int;
+  errors : int;
+  wall : float;  (** measured window, seconds *)
+  throughput : float;  (** completed ops per second *)
+}
+
+val client_seed : seed:int -> tid:int -> int
+
+val gen_request : Prims.Rng.t -> dist:Workload.Keydist.t -> mix:mix -> Codec.request
+
+val request_stream :
+  seed:int -> tid:int -> dist:Workload.Keydist.t -> mix:mix -> n:int ->
+  Codec.request list
+(** The first [n] requests client [tid] of a [seed]ed run will issue —
+    pure, no service needed. *)
+
+val run :
+  Shard.t ->
+  mode:mode ->
+  clients:int ->
+  duration:float ->
+  dist:Workload.Keydist.t ->
+  mix:mix ->
+  ?churn_ops:int ->
+  seed:int ->
+  unit ->
+  result
+(** Drive the service for [duration] seconds with [clients] worker
+    slots (must be <= the service's client-slot count).  Latency lands
+    in the service's own {!Slo}; this result carries the count/shed
+    side.  @raise Invalid_argument on bad [clients]/[mix]/rate. *)

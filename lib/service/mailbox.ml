@@ -1,0 +1,84 @@
+module Make (T : Smr.Tracker.S) = struct
+  module Q = Dstruct.Ms_queue.Make (T)
+
+  type 'a t = {
+    slots : 'a option Atomic.t array;
+    (* Free slot indices as an immutable list under one Atomic: a
+       Treiber stack of boxed cons cells.  No ABA — the GC keeps a
+       popped cell alive while any CAS still holds it — and popping
+       empty is the O(1) "mailbox full" verdict. *)
+    free : int list Atomic.t;
+    queue : Q.t;
+    depth : int Atomic.t;
+    sent : int Atomic.t;
+    rejected : int Atomic.t;
+  }
+
+  let create ?tracker ~cfg ~capacity () =
+    if capacity <= 0 then invalid_arg "Mailbox.create: capacity <= 0";
+    {
+      slots = Array.init capacity (fun _ -> Atomic.make None);
+      free = Atomic.make (List.init capacity Fun.id);
+      queue = Q.create ?tracker cfg;
+      depth = Atomic.make 0;
+      sent = Atomic.make 0;
+      rejected = Atomic.make 0;
+    }
+
+  let rec pop_free t =
+    match Atomic.get t.free with
+    | [] -> None
+    | i :: rest as old ->
+        if Atomic.compare_and_set t.free old rest then Some i
+        else begin
+          Domain.cpu_relax ();
+          pop_free t
+        end
+
+  let rec push_free t i =
+    let old = Atomic.get t.free in
+    if not (Atomic.compare_and_set t.free old (i :: old)) then begin
+      Domain.cpu_relax ();
+      push_free t i
+    end
+
+  let try_send t ~tid v =
+    match pop_free t with
+    | None ->
+        Atomic.incr t.rejected;
+        false
+    | Some i ->
+        Atomic.set t.slots.(i) (Some v);
+        (* The slot write is an Atomic.set, so the consumer's read
+           after dequeuing [i] is ordered after it. *)
+        Q.enqueue t.queue ~tid i;
+        Atomic.incr t.depth;
+        Atomic.incr t.sent;
+        true
+
+  let drain t ~tid ~max =
+    let rec go n acc =
+      if n >= max then List.rev acc
+      else
+        match Q.dequeue t.queue ~tid with
+        | None -> List.rev acc
+        | Some i ->
+            let v =
+              match Atomic.exchange t.slots.(i) None with
+              | Some v -> v
+              | None -> assert false (* single consumer *)
+            in
+            Atomic.decr t.depth;
+            push_free t i;
+            go (n + 1) (v :: acc)
+    in
+    go 0 []
+
+  let depth t = Atomic.get t.depth
+  let capacity t = Array.length t.slots
+  let sent t = Atomic.get t.sent
+  let rejected t = Atomic.get t.rejected
+  let tracker t = Q.tracker t.queue
+  let stats t = Q.stats t.queue
+  let flush t ~tid = Q.flush t.queue ~tid
+end

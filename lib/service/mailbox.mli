@@ -1,0 +1,47 @@
+(** Bounded lock-free MPSC request mailbox.
+
+    The FIFO spine is {!Dstruct.Ms_queue} — the canonical SMR client —
+    carrying indices into a fixed slot table; the slot free-list bounds
+    depth, so a full mailbox rejects sends in O(1) without touching
+    the queue (that rejection is the service's load-shedding reply).
+    The queue is protected by the functor's [T], and several mailboxes
+    can share one tracker (see [?tracker]): the service's own control
+    plane runs on the reclamation scheme under test.
+
+    Any number of producers may [try_send] concurrently; [drain] is
+    single-consumer (one shard worker owns each mailbox). *)
+
+module Make (T : Smr.Tracker.S) : sig
+  type 'a t
+
+  val create : ?tracker:T.t -> cfg:Smr.Config.t -> capacity:int -> unit -> 'a t
+  (** [capacity] bounds the number of in-flight payloads.  [?tracker]
+      shares a caller-owned tracker across mailboxes (its config must
+      cover every producing/consuming [tid]).
+      @raise Invalid_argument if [capacity <= 0]. *)
+
+  val try_send : 'a t -> tid:int -> 'a -> bool
+  (** Enqueue, or return [false] immediately if the mailbox is at
+      capacity (backpressure — the caller sheds).  Lock-free. *)
+
+  val drain : 'a t -> tid:int -> max:int -> 'a list
+  (** Dequeue up to [max] payloads in FIFO order (possibly fewer, [[]]
+      if empty).  Single consumer only. *)
+
+  val depth : 'a t -> int
+  (** Instantaneous occupancy (racy gauge, in [[0, capacity]]). *)
+
+  val capacity : 'a t -> int
+
+  val sent : 'a t -> int
+  (** Payloads accepted by {!try_send} so far (monotonic). *)
+
+  val rejected : 'a t -> int
+  (** {!try_send} calls bounced at capacity (monotonic). *)
+
+  val tracker : 'a t -> T.t
+  val stats : 'a t -> Smr.Stats.t
+  (** Reclamation counters of the spine queue's tracker. *)
+
+  val flush : 'a t -> tid:int -> unit
+end

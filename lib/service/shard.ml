@@ -1,0 +1,282 @@
+type config = {
+  shards : int;
+  clients : int;
+  mailbox_capacity : int;
+  batch : int;
+  trim_every : int;
+  smr : Smr.Config.t;
+  objectives : Slo.objective list;
+  seed : int;
+}
+
+let default_config =
+  {
+    shards = 4;
+    clients = 8;
+    mailbox_capacity = 256;
+    batch = 64;
+    trim_every = 16;
+    smr = Smr.Config.default;
+    objectives = [];
+    seed = 2024;
+  }
+
+type t = {
+  submit : tid:int -> Codec.request -> (Codec.reply -> unit) -> unit;
+  nshards : int;
+  clients : int;
+  shard_of_key : int -> int;
+  shard_depth : int -> int;
+  sheds : unit -> int;
+  processed : unit -> int;
+  slo : Slo.t;
+  batch_hist : Obs.Hist.t;
+  gauges : unit -> (string * int) list;
+  control_stats : unit -> Smr.Stats.t;
+  data_stats : unit -> Smr.Stats.t list;
+  set_stalled : shard:int -> bool -> unit;
+  is_stalled : int -> bool;
+  stop : unit -> unit;
+  scheme_name : string;
+  structure_name : string;
+}
+
+type env = {
+  req : Codec.request;
+  born_ns : int;
+  reply : Codec.reply -> unit;
+}
+
+(* SplitMix-style finalizer (truncated to OCaml's 63-bit ints):
+   adjacent hot keys (Zipf ranks 0,1,2…) must not land on one shard. *)
+let mix_key k =
+  let h = k * 0x2545F4914F6CDD1D in
+  let h = h lxor (h lsr 29) in
+  let h = h * 0x1E3779B97F4A7C15 in
+  (h lxor (h lsr 32)) land max_int
+
+module Core (T : Smr.Tracker.S) (Mk : Dstruct.Map_intf.MAKER) = struct
+  module Map = Mk (T)
+  module MB = Mailbox.Make (T)
+
+  type shard = {
+    idx : int;
+    map : Map.t;
+    mailbox : env MB.t;
+    stall_flag : bool Atomic.t;
+    shard_processed : int Atomic.t;
+    mutable consumer : unit Domain.t option;
+  }
+
+  let exec map (req : Codec.request) : Codec.reply =
+    let tid = 0 in
+    match req with
+    | Codec.Get k -> (
+        match Map.get map ~tid k with
+        | Some v -> Codec.Value v
+        | None -> Codec.Not_found)
+    | Codec.Put { key; value } ->
+        if Map.put map ~tid key value then Codec.Created else Codec.Updated
+    | Codec.Del k -> if Map.remove map ~tid k then Codec.Deleted else Codec.Not_found
+    | Codec.Cas { key; expected; desired } -> (
+        (* The consumer is this map's only mutator, so the
+           read-test-write below is atomic by construction. *)
+        match Map.get map ~tid key with
+        | None -> Codec.Not_found
+        | Some v when v <> expected -> Codec.Cas_fail
+        | Some _ ->
+            ignore (Map.put map ~tid key desired);
+            Codec.Cas_ok)
+
+  let make ~scheme_name ~structure_name (c : config) : t =
+    if c.shards <= 0 then invalid_arg "Shard.create: shards <= 0";
+    if c.clients <= 0 then invalid_arg "Shard.create: clients <= 0";
+    if c.batch <= 0 then invalid_arg "Shard.create: batch <= 0";
+    if c.trim_every <= 0 then invalid_arg "Shard.create: trim_every <= 0";
+    let ctl_cfg = { c.smr with Smr.Config.nthreads = c.clients + c.shards } in
+    let ctl_tracker = T.create ctl_cfg in
+    (* Each map has exactly one operating thread: its consumer. *)
+    let map_cfg = { c.smr with Smr.Config.nthreads = 1 } in
+    let running = Atomic.make true in
+    let stopped = Atomic.make false in
+    let sheds = Atomic.make 0 in
+    let slo = Slo.create ~objectives:c.objectives () in
+    let batch_hist = Obs.Hist.create () in
+    let shards =
+      Array.init c.shards (fun idx ->
+          {
+            idx;
+            map = Map.create ~seed:(c.seed + idx) ~cfg:map_cfg ();
+            mailbox =
+              MB.create ~tracker:ctl_tracker ~cfg:ctl_cfg
+                ~capacity:c.mailbox_capacity ();
+            stall_flag = Atomic.make false;
+            shard_processed = Atomic.make 0;
+            consumer = None;
+          })
+    in
+    let shard_of_key k = mix_key k mod c.shards in
+    let run_batch sh batch =
+      Obs.Hist.add batch_hist (List.length batch);
+      (* One bracket per drained run — enter/leave amortized across
+         the batch, reservation refreshed with the cheaper trim
+         (Figure 10b's discipline) so a long run does not pin its own
+         early retirements for the whole bracket. *)
+      Map.enter sh.map ~tid:0;
+      let i = ref 0 in
+      List.iter
+        (fun env ->
+          incr i;
+          if !i mod c.trim_every = 0 then Map.trim sh.map ~tid:0;
+          let reply =
+            try exec sh.map env.req
+            with e -> Codec.Error (Printexc.to_string e)
+          in
+          Atomic.incr sh.shard_processed;
+          Slo.record slo ~ns:(Obs.Clock.now_ns () - env.born_ns);
+          env.reply reply)
+        batch;
+      Map.leave sh.map ~tid:0
+    in
+    let consumer sh () =
+      let qtid = c.clients + sh.idx in
+      let idle = ref 0 in
+      while Atomic.get running do
+        if Atomic.get sh.stall_flag then begin
+          (* Park inside a control-plane bracket: a reservation that
+             never advances while the other shards keep mailing — the
+             paper's stalled adversary, aimed at our own plumbing. *)
+          T.enter ctl_tracker ~tid:qtid;
+          while Atomic.get sh.stall_flag && Atomic.get running do
+            Domain.cpu_relax ()
+          done;
+          T.leave ctl_tracker ~tid:qtid
+        end;
+        match MB.drain sh.mailbox ~tid:qtid ~max:c.batch with
+        | [] ->
+            incr idle;
+            (* Briefly spin, then sleep: on an oversubscribed core a
+               hot empty-poll loop would starve the producers that
+               would fill this mailbox. *)
+            if !idle > 64 then begin
+              Unix.sleepf 0.0002;
+              idle := 0
+            end
+            else Domain.cpu_relax ()
+        | batch ->
+            idle := 0;
+            run_batch sh batch
+      done;
+      (* Fail whatever is still queued so no submitter waits forever. *)
+      List.iter
+        (fun env -> env.reply (Codec.Error "service stopped"))
+        (MB.drain sh.mailbox ~tid:qtid ~max:max_int);
+      MB.flush sh.mailbox ~tid:qtid
+    in
+    Array.iter (fun sh -> sh.consumer <- Some (Domain.spawn (consumer sh))) shards;
+    let submit ~tid req reply =
+      if not (Atomic.get running) then reply (Codec.Error "service stopped")
+      else begin
+        let sh = shards.(shard_of_key (Codec.key_of_request req)) in
+        let env = { req; born_ns = Obs.Clock.now_ns (); reply } in
+        if not (MB.try_send sh.mailbox ~tid env) then begin
+          Atomic.incr sheds;
+          reply Codec.Shed
+        end
+      end
+    in
+    let processed () =
+      Array.fold_left (fun a sh -> a + Atomic.get sh.shard_processed) 0 shards
+    in
+    let gauges () =
+      let per_shard =
+        Array.to_list shards
+        |> List.concat_map (fun sh ->
+               [
+                 (Printf.sprintf "kv_shard%d_depth" sh.idx, MB.depth sh.mailbox);
+                 ( Printf.sprintf "kv_shard%d_processed" sh.idx,
+                   Atomic.get sh.shard_processed );
+                 ( Printf.sprintf "kv_shard%d_stalled" sh.idx,
+                   if Atomic.get sh.stall_flag then 1 else 0 );
+               ])
+      in
+      per_shard
+      @ [
+          ("kv_shed_total", Atomic.get sheds);
+          ("kv_processed_total", processed ());
+          ( "kv_ctl_unreclaimed",
+            Smr.Stats.unreclaimed_of (Smr.Stats.snapshot (T.stats ctl_tracker))
+          );
+        ]
+      @ List.map (fun (n, v) -> ("kv_ctl_" ^ n, v)) (T.gauges ctl_tracker)
+    in
+    let stop () =
+      if Atomic.compare_and_set stopped false true then begin
+        Atomic.set running false;
+        Array.iter
+          (fun sh ->
+            match sh.consumer with
+            | Some d ->
+                Domain.join d;
+                sh.consumer <- None
+            | None -> ())
+          shards;
+        Array.iter (fun sh -> Map.flush sh.map ~tid:0) shards;
+        for tid = 0 to ctl_cfg.Smr.Config.nthreads - 1 do
+          T.flush ctl_tracker ~tid
+        done
+      end
+    in
+    {
+      submit;
+      nshards = c.shards;
+      clients = c.clients;
+      shard_of_key;
+      shard_depth = (fun i -> MB.depth shards.(i).mailbox);
+      sheds = (fun () -> Atomic.get sheds);
+      processed;
+      slo;
+      batch_hist;
+      gauges;
+      control_stats = (fun () -> T.stats ctl_tracker);
+      data_stats =
+        (fun () -> Array.to_list shards |> List.map (fun sh -> Map.stats sh.map));
+      set_stalled =
+        (fun ~shard v -> Atomic.set shards.(shard).stall_flag v);
+      is_stalled = (fun i -> Atomic.get shards.(i).stall_flag);
+      stop;
+      scheme_name;
+      structure_name;
+    }
+end
+
+let create ~(structure : Workload.Registry.structure)
+    ~(scheme : Workload.Registry.scheme) (c : config) : t =
+  if not (Workload.Registry.compatible ~structure ~scheme) then
+    invalid_arg
+      (Printf.sprintf "Shard.create: %s is not run on %s"
+         scheme.Workload.Registry.s_name structure.Workload.Registry.d_name);
+  let module T = (val scheme.Workload.Registry.s_mod : Smr.Tracker.S) in
+  let module Mk = (val structure.Workload.Registry.d_mod : Dstruct.Map_intf.MAKER)
+  in
+  let module C = Core (T) (Mk) in
+  C.make ~scheme_name:scheme.Workload.Registry.s_name
+    ~structure_name:structure.Workload.Registry.d_name c
+
+let call t ~tid req =
+  let cell = Atomic.make None in
+  t.submit ~tid req (fun r -> Atomic.set cell (Some r));
+  let spins = ref 0 in
+  let rec wait () =
+    match Atomic.get cell with
+    | Some r -> r
+    | None ->
+        incr spins;
+        (* Spin briefly, then yield the core: with more domains than
+           cores a pure spin-wait would steal the consumer's whole
+           quantum. *)
+        if !spins land 255 = 0 then Unix.sleepf 0.0001
+        else Domain.cpu_relax ();
+        wait ()
+  in
+  wait ()

@@ -1,0 +1,89 @@
+(** The sharded, batched KV service core.
+
+    A hash-partitioned router over N {!Dstruct.Map_intf.S} instances.
+    Each shard owns one map plus a bounded {!Mailbox}; producers
+    ({!val-submit}) hash the request key to a shard and try to mail it,
+    shedding with an immediate {!Codec.Shed} reply when the mailbox is
+    at capacity — overload degrades to explicit rejections, never to
+    an unbounded queue.  One consumer domain per shard drains its
+    mailbox in runs and executes the run under a {e single}
+    [enter]/[leave] bracket with [trim] chained inside — the paper's
+    batching insight (amortize reservation traffic) applied to the
+    serving path, at the Figure-10b trimming discipline.
+
+    All shard mailboxes share one control-plane tracker of the same
+    scheme as the data plane, so the service's own plumbing dogfoods
+    reclamation: {!set_stalled} parks a shard consumer {e inside} a
+    control-plane bracket, turning it into the paper's §2.3 stalled
+    adversary against the service itself.  Robust schemes bound the
+    resulting [control_stats] backlog; non-robust ones let it grow
+    with the surviving shards' traffic.
+
+    Because a shard's map has exactly one mutator (its consumer), a
+    multi-operation request like {!Codec.Cas} is trivially atomic —
+    sharding buys linearizable read-modify-write without adding a CAS
+    primitive to the maps. *)
+
+type config = {
+  shards : int;  (** number of partitions / consumer domains *)
+  clients : int;
+      (** producer tid slots: every concurrent submitter needs its own
+          [tid] in [[0, clients)] (transparent attach/detach — a tid
+          may be reused as soon as its previous owner is gone) *)
+  mailbox_capacity : int;  (** per-shard bound; full = shed *)
+  batch : int;  (** max requests drained per bracket *)
+  trim_every : int;  (** [trim] chained every this many requests *)
+  smr : Smr.Config.t;
+      (** scheme knobs; [nthreads] is overridden internally *)
+  objectives : Slo.objective list;
+  seed : int;
+}
+
+val default_config : config
+(** 4 shards, 8 clients, capacity 256, batch 64, trim every 16. *)
+
+type t = {
+  submit : tid:int -> Codec.request -> (Codec.reply -> unit) -> unit;
+      (** Route and mail the request; the callback fires exactly once
+          — from the shard consumer on completion, or synchronously
+          with {!Codec.Shed} ([Error] after {!val-stop}).  [tid] is the
+          producer's control-plane slot. *)
+  nshards : int;
+  clients : int;
+  shard_of_key : int -> int;
+  shard_depth : int -> int;  (** mailbox occupancy gauge *)
+  sheds : unit -> int;  (** total shed replies *)
+  processed : unit -> int;  (** total executed requests *)
+  slo : Slo.t;  (** submit→reply latency, queueing included *)
+  batch_hist : Obs.Hist.t;  (** drained-run lengths *)
+  gauges : unit -> (string * int) list;
+      (** [kv_shard<i>_depth]/[_processed]/[_stalled], totals, and the
+          control-plane tracker's scheme gauges ([kv_ctl_*]). *)
+  control_stats : unit -> Smr.Stats.t;
+      (** Shared mailbox tracker's reclamation counters. *)
+  data_stats : unit -> Smr.Stats.t list;  (** one per shard map *)
+  set_stalled : shard:int -> bool -> unit;
+      (** Park/unpark a shard consumer inside a control-plane bracket
+          (robustness scenario).  Its mailbox keeps accepting until
+          full, then sheds; other shards are unaffected. *)
+  is_stalled : int -> bool;
+  stop : unit -> unit;
+      (** Stop consumers, fail queued requests with [Error], join
+          domains, flush every tracker.  Idempotent. *)
+  scheme_name : string;
+  structure_name : string;
+}
+
+val create :
+  structure:Workload.Registry.structure ->
+  scheme:Workload.Registry.scheme ->
+  config ->
+  t
+(** Instantiate maps and mailboxes for the (structure, scheme) pair
+    and start one consumer domain per shard.
+    @raise Invalid_argument on a non-positive config field or an
+    incompatible pair (pointer-grained scheme on bonsai). *)
+
+val call : t -> tid:int -> Codec.request -> Codec.reply
+(** Synchronous {!t.submit}: block (spin, then politely sleep) until
+    the reply lands.  The closed-loop client primitive. *)

@@ -1,0 +1,51 @@
+type objective = { quantile : float; limit_ns : int }
+type t = { hist : Obs.Hist.t; objectives : objective list }
+
+let create ?(objectives = []) () =
+  List.iter
+    (fun o ->
+      if o.quantile < 0.0 || o.quantile > 1.0 then
+        invalid_arg "Slo.create: quantile outside [0, 1]")
+    objectives;
+  { hist = Obs.Hist.create (); objectives }
+
+let record t ~ns = Obs.Hist.add t.hist ns
+let hist t = t.hist
+let count t = Obs.Hist.count t.hist
+let p50 t = Obs.Hist.percentile t.hist 0.50
+let p99 t = Obs.Hist.percentile t.hist 0.99
+let p999 t = Obs.Hist.percentile t.hist 0.999
+
+let check t =
+  List.map
+    (fun o ->
+      let measured = Obs.Hist.percentile t.hist o.quantile in
+      (o, measured, measured <= o.limit_ns))
+    t.objectives
+
+let violated t = List.exists (fun (_, _, ok) -> not ok) (check t)
+
+let report t =
+  let base =
+    Printf.sprintf "n=%d p50=%s p99=%s p99.9=%s max=%s"
+      (Obs.Hist.count t.hist)
+      (Workload.Plot.fmt_ns (p50 t))
+      (Workload.Plot.fmt_ns (p99 t))
+      (Workload.Plot.fmt_ns (p999 t))
+      (Workload.Plot.fmt_ns (Obs.Hist.max_value t.hist))
+  in
+  match t.objectives with
+  | [] -> base
+  | _ ->
+      let bad =
+        check t
+        |> List.filter_map (fun (o, measured, ok) ->
+               if ok then None
+               else
+                 Some
+                   (Printf.sprintf "p%g=%s>%s" (o.quantile *. 100.0)
+                      (Workload.Plot.fmt_ns measured)
+                      (Workload.Plot.fmt_ns o.limit_ns)))
+      in
+      if bad = [] then base ^ " SLO:ok"
+      else base ^ " SLO:VIOLATED(" ^ String.concat "," bad ^ ")"

@@ -1,0 +1,38 @@
+(** Request-latency SLO tracking on top of {!Obs.Hist}.
+
+    One histogram of end-to-end request latency (submit → reply,
+    nanoseconds; queueing included) plus optional latency objectives
+    checked against its conservative percentiles.  Because
+    {!Obs.Hist.percentile} reports a bucket upper bound, an objective
+    reported as met is really met — the check errs toward violation,
+    never toward false health. *)
+
+type objective = { quantile : float; limit_ns : int }
+(** E.g. [{ quantile = 0.99; limit_ns = 5_000_000 }]: p99 <= 5 ms. *)
+
+type t
+
+val create : ?objectives:objective list -> unit -> t
+(** @raise Invalid_argument on a quantile outside [[0, 1]]. *)
+
+val record : t -> ns:int -> unit
+(** Thread-safe; called by shard consumers on every completed reply. *)
+
+val hist : t -> Obs.Hist.t
+val count : t -> int
+
+val p50 : t -> int
+val p99 : t -> int
+val p999 : t -> int
+(** Conservative percentile bounds in nanoseconds (0 when empty). *)
+
+val check : t -> (objective * int * bool) list
+(** Each objective with the measured bound and whether it holds. *)
+
+val violated : t -> bool
+(** [true] iff any objective fails (always [false] with none set). *)
+
+val report : t -> string
+(** One line: ["n=... p50=... p99=... p99.9=... max=..."], with a
+    [" SLO:ok"]/[" SLO:VIOLATED(...)"] suffix when objectives are
+    set. *)

@@ -16,6 +16,11 @@ type scale = {
   list_prefill : int;  (** the O(n) list gets a smaller working set *)
   list_key_range : int;
   repeats : int;  (** runs per data point; the paper averages 5 *)
+  dist : [ `Uniform | `Zipf of float ] option;
+      (** key distribution override ([--dist]); [None] keeps the
+          driver's default uniform draw.  Kept as a spec, not a
+          {!Keydist.t}, because the concrete range differs per
+          structure (the list's working set is smaller). *)
 }
 
 (* One-core-container scale: small enough that the whole suite runs in
@@ -31,6 +36,7 @@ let quick =
     list_prefill = 500;
     list_key_range = 1_000;
     repeats = 1;
+    dist = None;
   }
 
 let paper =
@@ -44,6 +50,7 @@ let paper =
     list_prefill = 50_000;
     list_key_range = 100_000;
     repeats = 5;
+    dist = None;
   }
 
 (* The scheme line-up of Figures 8/9/11/12 (HP and HE dropped on
@@ -72,14 +79,22 @@ let fig10a_schemes =
 let params_for (sc : scale) ~(structure : Registry.structure) ~threads
     ~stalled ~mix ~use_trim ~cfg : Driver.params =
   let is_list = structure.Registry.d_name = "list" in
+  let key_range = if is_list then sc.list_key_range else sc.key_range in
   {
     Driver.threads;
     stalled;
     duration = sc.duration;
     prefill = (if is_list then sc.list_prefill else sc.prefill);
-    key_range = (if is_list then sc.list_key_range else sc.key_range);
+    key_range;
     mix;
-    dist = None;
+    dist =
+      (match sc.dist with
+      | None -> None
+      | Some `Uniform -> Some (Keydist.uniform ~range:key_range)
+      | Some (`Zipf theta) ->
+          (* The inverse-CDF table is cached by (theta, range), so
+             instantiating per data point costs a hash lookup. *)
+          Some (Keydist.zipf ~theta ~range:key_range ()));
     use_trim;
     cfg;
     seed = 2024;

@@ -16,6 +16,11 @@ type scale = {
       (** the O(n)-per-op list gets a smaller working set *)
   list_key_range : int;
   repeats : int;  (** runs averaged per data point (paper: 5) *)
+  dist : [ `Uniform | `Zipf of float ] option;
+      (** key-distribution override for every run of the sweep
+          ([--dist] on the CLI); [None] = the driver's uniform
+          default.  A spec rather than a {!Keydist.t} because the
+          concrete key range differs per structure. *)
 }
 
 val quick : scale

@@ -6,9 +6,16 @@ let uniform ~range =
   if range <= 0 then invalid_arg "Keydist.uniform: range <= 0";
   Uniform range
 
-let zipf ?(theta = 0.99) ~range () =
-  if range <= 0 then invalid_arg "Keydist.zipf: range <= 0";
-  if theta < 0.0 then invalid_arg "Keydist.zipf: theta < 0";
+(* The inverse-CDF table costs O(range) to build but is a pure
+   function of (theta, range), so identical distributions — every
+   worker of a sweep point, every shard of a service run — share one
+   table instead of rebuilding it.  Tables are immutable after
+   publication; the lock covers only the (rare) build-or-lookup. *)
+let zipf_cache : (int * float, float array) Hashtbl.t = Hashtbl.create 8
+let zipf_cache_lock = Mutex.create ()
+let zipf_builds = ref 0
+
+let build_zipf_cdf ~theta ~range =
   let cdf = Array.make range 0.0 in
   let acc = ref 0.0 in
   for r = 0 to range - 1 do
@@ -19,7 +26,30 @@ let zipf ?(theta = 0.99) ~range () =
   for r = 0 to range - 1 do
     cdf.(r) <- cdf.(r) /. total
   done;
+  cdf
+
+let zipf ?(theta = 0.99) ~range () =
+  if range <= 0 then invalid_arg "Keydist.zipf: range <= 0";
+  if theta < 0.0 then invalid_arg "Keydist.zipf: theta < 0";
+  let key = (range, theta) in
+  Mutex.lock zipf_cache_lock;
+  let cdf =
+    match Hashtbl.find_opt zipf_cache key with
+    | Some cdf -> cdf
+    | None ->
+        let cdf = build_zipf_cdf ~theta ~range in
+        incr zipf_builds;
+        Hashtbl.add zipf_cache key cdf;
+        cdf
+  in
+  Mutex.unlock zipf_cache_lock;
   Zipf { range; theta; cdf }
+
+let zipf_cache_builds () =
+  Mutex.lock zipf_cache_lock;
+  let n = !zipf_builds in
+  Mutex.unlock zipf_cache_lock;
+  n
 
 let draw t rng =
   match t with

@@ -15,8 +15,15 @@ val uniform : range:int -> t
 val zipf : ?theta:float -> range:int -> unit -> t
 (** Zipfian with exponent [theta] (default 0.99, the YCSB choice):
     rank-[r] key drawn with probability proportional to
-    [1/(r+1)^theta].
+    [1/(r+1)^theta].  The O(range) inverse-CDF table is built once per
+    distinct [(theta, range)] and shared (thread-safe; the table is
+    immutable), so per-worker construction is cheap.
     @raise Invalid_argument if [theta < 0.] or [range <= 0]. *)
+
+val zipf_cache_builds : unit -> int
+(** How many distinct inverse-CDF tables have ever been built —
+    repeated {!zipf} calls with identical parameters do not raise it
+    (observable cache effectiveness; used by tests). *)
 
 val draw : t -> Prims.Rng.t -> int
 (** Sample a key. *)

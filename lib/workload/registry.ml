@@ -50,8 +50,26 @@ let structures : structure list =
     { d_name = "nmtree"; d_mod = (module Dstruct.Nm_tree.Make); hp_compatible = true };
   ]
 
+(* Scheme lookup is forgiving about punctuation ("hyaline-1s",
+   "Hyaline_1S" and "hyaline1s" are the same name) and accepts the
+   literature's usual aliases, so CLI flags like
+   --schemes ebr,hyaline,hyaline1s resolve without the user knowing
+   our canonical spelling. *)
+let normalize_scheme_name name =
+  let b = Buffer.create (String.length name) in
+  String.iter
+    (fun c ->
+      match Char.lowercase_ascii c with
+      | ('a' .. 'z' | '0' .. '9') as c -> Buffer.add_char b c
+      | _ -> ())
+    name;
+  match Buffer.contents b with "ebr" -> "epoch" | n -> n
+
 let find_scheme name =
-  match List.find_opt (fun s -> String.lowercase_ascii s.s_name = String.lowercase_ascii name) schemes with
+  let wanted = normalize_scheme_name name in
+  match
+    List.find_opt (fun s -> normalize_scheme_name s.s_name = wanted) schemes
+  with
   | Some s -> s
   | None ->
       invalid_arg

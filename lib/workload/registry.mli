@@ -22,7 +22,9 @@ type structure = {
 val structures : structure list
 
 val find_scheme : string -> scheme
-(** Case-insensitive lookup. @raise Invalid_argument if unknown. *)
+(** Case- and punctuation-insensitive lookup (["hyaline1s"] and
+    ["Hyaline-1S"] are the same scheme), with the alias ["ebr"] for
+    ["Epoch"].  @raise Invalid_argument if unknown. *)
 
 val find_structure : string -> structure
 (** @raise Invalid_argument if unknown. *)

@@ -14,4 +14,5 @@ let () =
          Test_lincheck.suites;
          Test_queue.suites;
          Test_lfrc.suites;
+         Test_service.suites;
        ])

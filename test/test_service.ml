@@ -1,0 +1,311 @@
+(* The KV service layer: codec round-trips, mailbox bounds, loopback
+   round-trips of every opcode against a live sharded service, load
+   shedding at capacity, fixed-seed loadgen determinism, and the
+   Zipf inverse-CDF cache. *)
+
+let strip_frame buf =
+  let b = Buffer.to_bytes buf in
+  Bytes.sub b 4 (Bytes.length b - 4)
+
+(* ------------------------------------------------------------------ *)
+(* Codec *)
+
+let roundtrip_request req =
+  let buf = Buffer.create 32 in
+  Service.Codec.encode_request buf req;
+  Service.Codec.request_of_payload (strip_frame buf)
+
+let roundtrip_reply rep =
+  let buf = Buffer.create 32 in
+  Service.Codec.encode_reply buf rep;
+  Service.Codec.reply_of_payload (strip_frame buf)
+
+let test_codec_requests () =
+  List.iter
+    (fun req ->
+      Alcotest.(check bool)
+        (Service.Codec.request_to_string req)
+        true
+        (roundtrip_request req = req))
+    [
+      Service.Codec.Get 0;
+      Service.Codec.Get max_int;
+      Service.Codec.Get min_int;
+      Service.Codec.Put { key = 42; value = -42 };
+      Service.Codec.Put { key = max_int; value = min_int };
+      Service.Codec.Del 7;
+      Service.Codec.Cas { key = 3; expected = -1; desired = max_int };
+    ]
+
+let test_codec_replies () =
+  List.iter
+    (fun rep ->
+      Alcotest.(check bool)
+        (Service.Codec.reply_to_string rep)
+        true
+        (roundtrip_reply rep = rep))
+    [
+      Service.Codec.Value 99;
+      Service.Codec.Value min_int;
+      Service.Codec.Not_found;
+      Service.Codec.Created;
+      Service.Codec.Updated;
+      Service.Codec.Deleted;
+      Service.Codec.Cas_ok;
+      Service.Codec.Cas_fail;
+      Service.Codec.Shed;
+      Service.Codec.Error "shard on fire: \xe2\x98\x83";
+      Service.Codec.Error "";
+    ]
+
+let test_codec_malformed () =
+  let raises b =
+    match Service.Codec.request_of_payload b with
+    | _ -> false
+    | exception Service.Codec.Malformed _ -> true
+  in
+  Alcotest.(check bool) "empty payload" true (raises Bytes.empty);
+  Alcotest.(check bool) "unknown opcode" true (raises (Bytes.make 9 '\xff'));
+  Alcotest.(check bool)
+    "truncated operand" true
+    (raises (Bytes.make 5 '\x01'));
+  (match Service.Codec.reply_of_payload (Bytes.make 3 '\x7f') with
+  | _ -> Alcotest.fail "reply decoder accepted garbage"
+  | exception Service.Codec.Malformed _ -> ())
+
+(* ------------------------------------------------------------------ *)
+(* Mailbox *)
+
+module MB = Service.Mailbox.Make (Smr.Ebr)
+
+let test_mailbox_bounds () =
+  let cfg = { Smr.Config.default with Smr.Config.nthreads = 2 } in
+  let mb = MB.create ~cfg ~capacity:4 () in
+  for i = 1 to 4 do
+    Alcotest.(check bool)
+      (Printf.sprintf "send %d" i)
+      true
+      (MB.try_send mb ~tid:0 i)
+  done;
+  Alcotest.(check bool) "full mailbox sheds" false (MB.try_send mb ~tid:0 5);
+  Alcotest.(check int) "depth" 4 (MB.depth mb);
+  Alcotest.(check int) "rejected" 1 (MB.rejected mb);
+  Alcotest.(check (list int)) "fifo drain" [ 1; 2 ] (MB.drain mb ~tid:1 ~max:2);
+  Alcotest.(check bool) "slot freed" true (MB.try_send mb ~tid:0 6);
+  Alcotest.(check (list int))
+    "rest in order" [ 3; 4; 6 ]
+    (MB.drain mb ~tid:1 ~max:100);
+  Alcotest.(check (list int)) "empty" [] (MB.drain mb ~tid:1 ~max:100);
+  Alcotest.(check int) "sent total" 5 (MB.sent mb);
+  MB.flush mb ~tid:1
+
+(* ------------------------------------------------------------------ *)
+(* Live service: loopback, shedding, sockets *)
+
+let make_svc ?(shards = 2) ?(clients = 2) ?(mailbox_capacity = 64)
+    ?(scheme = "hyaline") () =
+  Service.Shard.create
+    ~structure:(Workload.Registry.find_structure "hashmap")
+    ~scheme:(Workload.Registry.find_scheme scheme)
+    {
+      Service.Shard.default_config with
+      Service.Shard.shards;
+      clients;
+      mailbox_capacity;
+    }
+
+let test_loopback_opcodes () =
+  let svc = make_svc () in
+  Fun.protect
+    ~finally:(fun () -> svc.Service.Shard.stop ())
+    (fun () ->
+      let conn = Service.Conn.Loopback.connect svc ~tid:0 in
+      let call = Service.Conn.Loopback.call conn in
+      let check name expected req =
+        Alcotest.(check string)
+          name
+          (Service.Codec.reply_to_string expected)
+          (Service.Codec.reply_to_string (call req))
+      in
+      check "get missing" Service.Codec.Not_found (Service.Codec.Get 1);
+      check "put fresh" Service.Codec.Created
+        (Service.Codec.Put { key = 1; value = 10 });
+      check "get hit" (Service.Codec.Value 10) (Service.Codec.Get 1);
+      check "put overwrite" Service.Codec.Updated
+        (Service.Codec.Put { key = 1; value = 11 });
+      check "cas mismatch" Service.Codec.Cas_fail
+        (Service.Codec.Cas { key = 1; expected = 10; desired = 99 });
+      check "cas match" Service.Codec.Cas_ok
+        (Service.Codec.Cas { key = 1; expected = 11; desired = 12 });
+      check "get after cas" (Service.Codec.Value 12) (Service.Codec.Get 1);
+      check "del hit" Service.Codec.Deleted (Service.Codec.Del 1);
+      check "del missing" Service.Codec.Not_found (Service.Codec.Del 1);
+      check "cas missing" Service.Codec.Not_found
+        (Service.Codec.Cas { key = 1; expected = 0; desired = 0 }))
+
+let test_shed_at_capacity () =
+  (* One shard, tiny mailbox, parked consumer: submissions queue until
+     the free-list runs dry, then shed synchronously.  Unparking
+     drains the backlog — nothing is lost, nothing double-replied. *)
+  let svc = make_svc ~shards:1 ~mailbox_capacity:2 () in
+  Fun.protect
+    ~finally:(fun () -> svc.Service.Shard.stop ())
+    (fun () ->
+      svc.Service.Shard.set_stalled ~shard:0 true;
+      Alcotest.(check bool) "stalled gauge" true (svc.Service.Shard.is_stalled 0);
+      let sheds = Atomic.make 0 in
+      let done_ = Atomic.make 0 in
+      let submitted = ref 0 in
+      let deadline = Unix.gettimeofday () +. 10.0 in
+      while Atomic.get sheds = 0 && Unix.gettimeofday () < deadline do
+        incr submitted;
+        svc.Service.Shard.submit ~tid:0
+          (Service.Codec.Get !submitted)
+          (function
+            | Service.Codec.Shed -> Atomic.incr sheds
+            | _ -> Atomic.incr done_);
+        Unix.sleepf 0.001
+      done;
+      Alcotest.(check bool) "observed a shed reply" true (Atomic.get sheds > 0);
+      Alcotest.(check bool)
+        "service counted the sheds" true
+        (svc.Service.Shard.sheds () > 0);
+      svc.Service.Shard.set_stalled ~shard:0 false;
+      let deadline = Unix.gettimeofday () +. 10.0 in
+      while
+        Atomic.get done_ + Atomic.get sheds < !submitted
+        && Unix.gettimeofday () < deadline
+      do
+        Unix.sleepf 0.001
+      done;
+      Alcotest.(check int)
+        "every submission answered exactly once" !submitted
+        (Atomic.get done_ + Atomic.get sheds);
+      (* Backlog cleared: the shard serves again. *)
+      match Service.Shard.call svc ~tid:0 (Service.Codec.Get 1) with
+      | Service.Codec.Value _ | Service.Codec.Not_found -> ()
+      | r ->
+          Alcotest.failf "unstalled shard answered %s"
+            (Service.Codec.reply_to_string r))
+
+let test_unix_socket () =
+  let path =
+    Filename.concat
+      (Filename.get_temp_dir_name ())
+      (Printf.sprintf "kvd-test-%d.sock" (Unix.getpid ()))
+  in
+  let svc = make_svc () in
+  let server = Service.Conn.serve_unix svc ~path () in
+  Fun.protect
+    ~finally:(fun () ->
+      Service.Conn.shutdown server;
+      svc.Service.Shard.stop ())
+    (fun () ->
+      let fd = Service.Conn.connect_unix ~path in
+      Fun.protect
+        ~finally:(fun () -> try Unix.close fd with Unix.Unix_error _ -> ())
+        (fun () ->
+          Alcotest.(check string)
+            "put over socket" "CREATED"
+            (Service.Codec.reply_to_string
+               (Service.Conn.call_fd fd
+                  (Service.Codec.Put { key = 5; value = 55 })));
+          Alcotest.(check string)
+            "get over socket" "VALUE 55"
+            (Service.Codec.reply_to_string
+               (Service.Conn.call_fd fd (Service.Codec.Get 5)))))
+
+(* ------------------------------------------------------------------ *)
+(* Loadgen determinism and the Zipf table cache *)
+
+let test_loadgen_determinism () =
+  let dist = Workload.Keydist.zipf ~theta:0.9 ~range:1000 () in
+  let mix = Service.Loadgen.read_mostly in
+  let stream tid =
+    Service.Loadgen.request_stream ~seed:99 ~tid ~dist ~mix ~n:200
+  in
+  Alcotest.(check bool)
+    "same (seed, tid) reproduces the stream" true
+    (stream 0 = stream 0);
+  Alcotest.(check bool) "different tids differ" true (stream 0 <> stream 1);
+  let other =
+    Service.Loadgen.request_stream ~seed:100 ~tid:0 ~dist ~mix ~n:200
+  in
+  Alcotest.(check bool) "different seeds differ" true (stream 0 <> other)
+
+let test_zipf_cache () =
+  let before = Workload.Keydist.zipf_cache_builds () in
+  let d1 = Workload.Keydist.zipf ~theta:0.77 ~range:4321 () in
+  let after_first = Workload.Keydist.zipf_cache_builds () in
+  Alcotest.(check int) "first build" (before + 1) after_first;
+  let d2 = Workload.Keydist.zipf ~theta:0.77 ~range:4321 () in
+  Alcotest.(check int)
+    "identical params hit the cache" after_first
+    (Workload.Keydist.zipf_cache_builds ());
+  ignore (Workload.Keydist.zipf ~theta:0.78 ~range:4321 ());
+  Alcotest.(check int)
+    "new theta builds" (after_first + 1)
+    (Workload.Keydist.zipf_cache_builds ());
+  (* Cached and fresh tables draw identically. *)
+  let r1 = Prims.Rng.create ~seed:5 and r2 = Prims.Rng.create ~seed:5 in
+  for _ = 1 to 100 do
+    Alcotest.(check int)
+      "same draws" (Workload.Keydist.draw d1 r1)
+      (Workload.Keydist.draw d2 r2)
+  done
+
+let test_scheme_aliases () =
+  Alcotest.(check string)
+    "ebr aliases Epoch" "Epoch"
+    (Workload.Registry.find_scheme "ebr").Workload.Registry.s_name;
+  Alcotest.(check string)
+    "hyaline1s normalizes" "Hyaline-1S"
+    (Workload.Registry.find_scheme "hyaline1s").Workload.Registry.s_name
+
+let test_slo () =
+  let slo =
+    Service.Slo.create
+      ~objectives:[ { Service.Slo.quantile = 0.99; limit_ns = 1_000_000 } ]
+      ()
+  in
+  for _ = 1 to 1000 do
+    Service.Slo.record slo ~ns:1000
+  done;
+  Alcotest.(check bool) "meets objective" false (Service.Slo.violated slo);
+  Alcotest.(check bool)
+    "p50 bound is conservative" true
+    (Service.Slo.p50 slo >= 1000);
+  (* 30 outliers: comfortably past both the 99th and 99.9th ranks. *)
+  for _ = 1 to 30 do
+    Service.Slo.record slo ~ns:50_000_000
+  done;
+  Alcotest.(check bool)
+    "p99.9 sees the outliers" true
+    (Service.Slo.p999 slo >= 10_000_000);
+  Alcotest.(check bool) "objective now violated" true (Service.Slo.violated slo)
+
+let suites =
+  [
+    ( "service.codec",
+      [
+        Alcotest.test_case "request round-trips" `Quick test_codec_requests;
+        Alcotest.test_case "reply round-trips" `Quick test_codec_replies;
+        Alcotest.test_case "malformed payloads" `Quick test_codec_malformed;
+      ] );
+    ( "service.mailbox",
+      [ Alcotest.test_case "bounds and FIFO" `Quick test_mailbox_bounds ] );
+    ( "service.shard",
+      [
+        Alcotest.test_case "loopback opcodes" `Quick test_loopback_opcodes;
+        Alcotest.test_case "shed at capacity" `Quick test_shed_at_capacity;
+        Alcotest.test_case "unix socket round-trip" `Quick test_unix_socket;
+      ] );
+    ( "service.loadgen",
+      [
+        Alcotest.test_case "fixed-seed determinism" `Quick
+          test_loadgen_determinism;
+        Alcotest.test_case "zipf table cache" `Quick test_zipf_cache;
+        Alcotest.test_case "scheme aliases" `Quick test_scheme_aliases;
+        Alcotest.test_case "slo percentiles" `Quick test_slo;
+      ] );
+  ]
