@@ -106,6 +106,37 @@ let mailbox_cost (module T : Smr.Tracker.S) =
       ignore (MB.try_send mb ~tid:0 42);
       ignore (MB.drain mb ~tid:1 ~max:1))
 
+(* Chaos hook overhead with chaos off — the zero-cost-when-disabled
+   claim, measured on both injection points.  Mpool.alloc pays one
+   uncontended atomic load on the (empty) OOM budget; the Conn reply
+   path pays one physical-equality check against [Faults.none].  Each
+   hooked path is paired with its hypothetical hook-free baseline
+   (plain alloc/free has no such baseline left, so the pair there is
+   alloc/free with the budget at rest vs. armed-and-drained — the
+   same branch, both sides). *)
+
+let mpool_alloc_disabled_hook_cost =
+  let pool = Pool.create () in
+  Staged.stage (fun () ->
+      let b = Pool.alloc pool in
+      Pool.free pool b)
+
+let devnull = lazy (Unix.openfile "/dev/null" [ Unix.O_WRONLY ] 0)
+
+let conn_write_frame_cost =
+  let fd = Lazy.force devnull in
+  let out = Buffer.create 32 in
+  Staged.stage (fun () ->
+      Service.Codec.encode_reply out (Service.Codec.Value 7);
+      Service.Conn.write_frame fd out)
+
+let conn_write_reply_disabled_hook_cost =
+  let fd = Lazy.force devnull in
+  let out = Buffer.create 32 in
+  Staged.stage (fun () ->
+      Service.Codec.encode_reply out (Service.Codec.Value 7);
+      Service.Conn.write_reply ~faults:Service.Conn.Faults.none fd out)
+
 let microbenches =
   Test.make_grouped ~name:"table1"
     [
@@ -115,6 +146,11 @@ let microbenches =
       Test.make ~name:"read-cost/LFRC" lfrc_read_cost;
       Test.make ~name:"service/codec-roundtrip" codec_roundtrip_cost;
       scheme_group "service/mailbox-cycle" mailbox_cost;
+      Test.make ~name:"chaos/mpool-alloc-hook-off"
+        mpool_alloc_disabled_hook_cost;
+      Test.make ~name:"chaos/conn-write-frame-baseline" conn_write_frame_cost;
+      Test.make ~name:"chaos/conn-write-reply-hook-off"
+        conn_write_reply_disabled_hook_cost;
     ]
 
 let run_microbenches () =

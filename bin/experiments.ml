@@ -475,15 +475,217 @@ let run_serve ~sc ~ds ~schemes ~shards ~stalled ~rate ~mixname ~churn
          (series (fun r -> float_of_int (max 1 r.sv_p99))))
   end
 
+(* ------------------------------------------------------------------ *)
+(* chaos: the lib/chaos fault-injection matrix.  Everything printed to
+   stdout and --csv is a deterministic function of (plan, scheme) —
+   replaying a seed must be byte-identical — so wall-clock figures
+   (recovery ns, peak backlog magnitude, run seconds) go only to
+   --prom. *)
+
+let chaos_csv_header =
+  "class,scheme,structure,steps,prompt,deferred,shed,availability_pct,\
+   oom_injected,net_faults,churns,crashes,recoveries,recovery_steps,\
+   mem_verdict,bound,oracle,oracle_checked,gen_trips\n"
+
+let chaos_mem_verdict (r : Chaos.Engine.result) =
+  match r.Chaos.Engine.r_mem_bounded with
+  | None -> "n/a"
+  | Some true -> "bounded"
+  | Some false -> "EXCEEDED"
+
+let chaos_oracle_verdict (r : Chaos.Engine.result) =
+  if r.Chaos.Engine.r_oracle.Chaos.Oracle.ok then "pass" else "FAIL"
+
+let chaos_pp_header () =
+  Format.printf
+    "%-6s %-11s %5s %6s %5s %5s %7s %4s %4s %5s %5s %4s %6s %-8s %s@."
+    "class" "scheme" "steps" "prompt" "defer" "shed" "avail" "oom" "net"
+    "churn" "crash" "rec" "recst" "memory" "oracle"
+
+let chaos_row_string cls (r : Chaos.Engine.result) =
+  let open Chaos.Engine in
+  Printf.sprintf
+    "%-6s %-11s %5d %6d %5d %5d %6.1f%% %4d %4d %5d %5d %4d %6d %-8s %s" cls
+    r.r_scheme r.r_steps r.r_prompt r.r_deferred r.r_shed (availability r)
+    r.r_oom_injected r.r_net_faults r.r_churns r.r_crashes r.r_recoveries
+    r.r_recovery_steps (chaos_mem_verdict r) (chaos_oracle_verdict r)
+
+let chaos_csv_row oc cls (r : Chaos.Engine.result) =
+  let open Chaos.Engine in
+  Printf.fprintf oc
+    "%s,%s,%s,%d,%d,%d,%d,%.1f,%d,%d,%d,%d,%d,%d,%s,%d,%s,%d,%d\n" cls
+    r.r_scheme r.r_structure r.r_steps r.r_prompt r.r_deferred r.r_shed
+    (availability r) r.r_oom_injected r.r_net_faults r.r_churns r.r_crashes
+    r.r_recoveries r.r_recovery_steps (chaos_mem_verdict r) r.r_bound
+    (chaos_oracle_verdict r)
+    r.r_oracle.Chaos.Oracle.checked r.r_oracle.Chaos.Oracle.gen_trips
+
+let chaos_emit cls (r : Chaos.Engine.result) =
+  List.iter (fun l -> Format.printf "  %s@." l) r.Chaos.Engine.r_trace;
+  List.iter
+    (fun f -> Format.printf "  ! %s@." f)
+    r.Chaos.Engine.r_oracle.Chaos.Oracle.failures;
+  Format.printf "%s@." (chaos_row_string cls r);
+  (match !csv_channel with
+  | Some oc ->
+      chaos_csv_row oc cls r;
+      flush oc
+  | None -> ());
+  match !prom_channel with
+  | Some oc ->
+      Printf.fprintf oc
+        "# chaos class=%s scheme=%s structure=%s\n\
+         chaos_peak_ctl_unreclaimed %d\n\
+         chaos_recovery_ns %d\n\
+         chaos_wall_seconds %.3f\n"
+        cls r.Chaos.Engine.r_scheme r.Chaos.Engine.r_structure
+        r.Chaos.Engine.r_peak_ctl r.Chaos.Engine.r_recovery_ns
+        r.Chaos.Engine.r_wall_s;
+      flush oc
+  | None -> ()
+
+let chaos_run_one ~cls ~scheme_name ~structure ~shards ~bound plan =
+  let scheme = Registry.find_scheme scheme_name in
+  let cfg =
+    {
+      (Chaos.Engine.default_cfg ~scheme ~structure) with
+      Chaos.Engine.shards;
+      bound;
+    }
+  in
+  let r = Chaos.Engine.run cfg plan in
+  (String.concat "\n" r.Chaos.Engine.r_trace, chaos_row_string cls r, r)
+
+let chaos_plot cls rows =
+  let downsample series =
+    let n = Array.length series in
+    let stride = max 1 (n / 64) in
+    let pts = ref [] in
+    let i = ref 0 in
+    while !i < n do
+      pts := (float_of_int !i, float_of_int series.(!i)) :: !pts;
+      i := !i + stride
+    done;
+    List.rev !pts
+  in
+  print_string
+    (Plot.render
+       ~title:(Printf.sprintf "chaos %s — ctl unreclaimed over time" cls)
+       ~ylabel:"blocks" ~xlabel:"step"
+       (List.rev_map
+          (fun (label, r) ->
+            { Plot.label; points = downsample r.Chaos.Engine.r_series })
+          rows));
+  print_newline ()
+
+let run_chaos ~ds ~schemes ~classes ~steps ~seed ~bound ~shards ~smoke ~plot =
+  let structure =
+    Registry.find_structure (match ds with "all" -> "hashmap" | d -> d)
+  in
+  let detect =
+    (Chaos.Engine.default_cfg
+       ~scheme:(Registry.find_scheme "ebr")
+       ~structure)
+      .Chaos.Engine.detect
+  in
+  if smoke then begin
+    (* The CI gate: the fixed crash+oom+net plan, each scheme run
+       twice.  Replays must be byte-identical; the robust scheme must
+       keep its control-plane backlog bounded across the crash window
+       while EBR must not; the oracle must pass for both. *)
+    let plan = Chaos.Fault.smoke ~nshards:shards ~detect in
+    Format.printf
+      "## chaos --smoke (fixed plan: crash + oom + net, %d steps, detect \
+       %d, bound %d, %s)@."
+      plan.Chaos.Fault.steps detect bound structure.Registry.d_name;
+    chaos_pp_header ();
+    let problems = ref [] in
+    let check c msg = if not c then problems := msg :: !problems in
+    let run name =
+      let t1, row1, r1 =
+        chaos_run_one ~cls:"smoke" ~scheme_name:name ~structure ~shards ~bound
+          plan
+      in
+      let t2, row2, _ =
+        chaos_run_one ~cls:"smoke" ~scheme_name:name ~structure ~shards ~bound
+          plan
+      in
+      check
+        (t1 = t2 && row1 = row2)
+        (name ^ ": replay of the same plan diverged");
+      chaos_emit "smoke" r1;
+      r1
+    in
+    let robust = run "hyalines" in
+    let ebr = run "ebr" in
+    check
+      (robust.Chaos.Engine.r_mem_bounded = Some true)
+      "hyaline-s: ctl backlog exceeded the bound across the crash window";
+    check robust.Chaos.Engine.r_oracle.Chaos.Oracle.ok "hyaline-s: oracle failed";
+    check
+      (ebr.Chaos.Engine.r_mem_bounded = Some false)
+      "ebr: expected the abandoned bracket to pin the ctl backlog past the \
+       bound";
+    check ebr.Chaos.Engine.r_oracle.Chaos.Oracle.ok "ebr: oracle failed";
+    if !problems <> [] then begin
+      List.iter
+        (fun m -> Format.eprintf "chaos smoke FAILED: %s@." m)
+        (List.rev !problems);
+      exit 1
+    end
+    else
+      Format.printf
+        "chaos smoke ok: replays identical, %s bounded + oracle pass, %s \
+         unbounded as expected@."
+        robust.Chaos.Engine.r_scheme ebr.Chaos.Engine.r_scheme
+  end
+  else
+    List.iter
+      (fun cls_name ->
+        let classes =
+          match Chaos.Fault.classes_named cls_name with
+          | Some c -> c
+          | None ->
+              Format.eprintf "unknown fault class %S (try %s)@." cls_name
+                (String.concat ", " Chaos.Fault.class_names);
+              exit 2
+        in
+        let events = max 3 (steps / 80) in
+        let plan =
+          Chaos.Fault.generate ~seed ~steps ~nshards:shards ~classes ~events
+            ~crash_window:(detect + 48)
+        in
+        Format.printf
+          "## chaos %s (seed %d, %d steps, %d events, bound %d, %s)@."
+          cls_name seed steps
+          (List.length plan.Chaos.Fault.events)
+          bound structure.Registry.d_name;
+        chaos_pp_header ();
+        let rows = ref [] in
+        List.iter
+          (fun scheme_name ->
+            let _, _, r =
+              chaos_run_one ~cls:cls_name ~scheme_name ~structure ~shards
+                ~bound plan
+            in
+            chaos_emit cls_name r;
+            rows := (r.Chaos.Engine.r_scheme, r) :: !rows)
+          schemes;
+        Format.printf "@.";
+        if plot then chaos_plot cls_name (List.rev !rows))
+      classes
+
 let rec dispatch figure ds paper threads duration active plot csv metrics_csv
     prom repeat dist schemes_arg shards_arg stalled_shards rate mixname churn
-    mailbox_cap =
+    mailbox_cap chaos_steps chaos_seed faults_arg bound smoke =
   (match csv with
   | Some path when !csv_channel = None ->
       let oc = open_out path in
       output_string oc
-        (if String.lowercase_ascii figure = "serve" then serve_csv_header
-         else csv_header);
+        (match String.lowercase_ascii figure with
+        | "serve" -> serve_csv_header
+        | "chaos" -> chaos_csv_header
+        | _ -> csv_header);
       csv_channel := Some oc
   | _ -> ());
   (match metrics_csv with
@@ -507,6 +709,14 @@ let rec dispatch figure ds paper threads duration active plot csv metrics_csv
       in
       run_serve ~sc ~ds ~schemes ~shards:shards_arg ~stalled:stalled_shards
         ~rate ~mixname ~churn ~mailbox_cap ~plot
+  | "chaos" ->
+      let schemes =
+        match schemes_arg with
+        | [] -> [ "ebr"; "hyalines"; "hyaline1s" ]
+        | l -> l
+      in
+      run_chaos ~ds ~schemes ~classes:faults_arg ~steps:chaos_steps
+        ~seed:chaos_seed ~bound ~shards:shards_arg ~smoke ~plot
   | "table1" ->
       Format.printf "## Table 1 — scheme properties@.";
       Figures.table1 Format.std_formatter;
@@ -568,7 +778,8 @@ let rec dispatch figure ds paper threads duration active plot csv metrics_csv
         (fun f ->
           dispatch f "hashmap" paper threads duration active plot csv
             metrics_csv prom repeat dist schemes_arg shards_arg stalled_shards
-            rate mixname churn mailbox_cap)
+            rate mixname churn mailbox_cap chaos_steps chaos_seed faults_arg
+            bound smoke)
         [
           "ablate-batch"; "ablate-slots"; "ablate-freq"; "ablate-spurious";
           "ablate-skew";
@@ -577,7 +788,8 @@ let rec dispatch figure ds paper threads duration active plot csv metrics_csv
   | other ->
       Format.eprintf
         "unknown figure %S (try table1, fig8..fig16, fig10a, fig10b, lag, \
-         ablate-batch, ablate-slots, ablate-freq, ablate-spurious, all)@."
+         ablate-batch, ablate-slots, ablate-freq, ablate-spurious, serve, \
+         chaos, all)@."
         other;
       exit 2
 
@@ -621,7 +833,7 @@ let figure =
           "Which result to regenerate: table1, fig8, fig9, fig10a, fig10b, \
            fig11..fig16, ablate-batch, ablate-slots, ablate-freq, \
            ablate-spurious, ablate (all four), serve (the KV service \
-           sweep), or all.")
+           sweep), chaos (the fault-injection matrix), or all.")
 
 let ds =
   Arg.(
@@ -759,6 +971,48 @@ let mailbox_cap =
     & info [ "mailbox-cap" ] ~docv:"N"
         ~doc:"(serve) Per-shard mailbox bound; a full mailbox sheds.")
 
+let chaos_steps =
+  Arg.(
+    value & opt int 600
+    & info [ "chaos-steps" ] ~docv:"N"
+        ~doc:"(chaos) Virtual steps per run (one request per step).")
+
+let chaos_seed =
+  Arg.(
+    value & opt int 42
+    & info [ "chaos-seed" ] ~docv:"SEED"
+        ~doc:
+          "(chaos) Plan + workload seed.  The same seed replays the same \
+           faults at the same virtual timestamps with byte-identical trace \
+           and matrix output.")
+
+let faults_arg =
+  Arg.(
+    value
+    & opt (list string) [ "mixed" ]
+    & info [ "faults" ] ~docv:"CLASS,..."
+        ~doc:
+          "(chaos) Fault classes to run, each a matrix section: stall, \
+           crash, oom, net, churn, or mixed.")
+
+let bound =
+  Arg.(
+    value & opt int 96
+    & info [ "bound" ] ~docv:"BLOCKS"
+        ~doc:
+          "(chaos) Robustness bound: max tolerated control-plane \
+           retired-unreclaimed backlog measured when a crash is detected.")
+
+let smoke =
+  Arg.(
+    value & flag
+    & info [ "smoke" ]
+        ~doc:
+          "(chaos) CI gate: run the fixed crash+oom+net plan twice against \
+           hyaline-s and ebr; exit 1 unless replays are identical, \
+           hyaline-s stays within --bound with a passing oracle, and ebr \
+           exceeds it.")
+
 let cmd =
   let doc =
     "Regenerate the tables and figures of 'Hyaline: Fast and Transparent \
@@ -769,6 +1023,7 @@ let cmd =
     Term.(
       const dispatch $ figure $ ds $ paper $ threads $ duration $ active
       $ plot $ csv $ metrics_csv $ prom $ repeat $ dist $ schemes_arg
-      $ shards_arg $ stalled_shards $ rate $ mixname $ churn $ mailbox_cap)
+      $ shards_arg $ stalled_shards $ rate $ mixname $ churn $ mailbox_cap
+      $ chaos_steps $ chaos_seed $ faults_arg $ bound $ smoke)
 
 let () = exit (Cmd.eval cmd)

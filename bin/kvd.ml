@@ -68,6 +68,9 @@ let selftest ~scheme ~structure ~shards ~clients ~duration =
         (Service.Slo.report svc.Service.Shard.slo))
 
 let daemon ~socket ~scheme ~structure ~shards ~clients ~mailbox_cap ~batch =
+  (* A client vanishing mid-reply must cost its connection, not the
+     daemon: EPIPE on that fd instead of process death. *)
+  Service.Conn.ignore_sigpipe ();
   let svc =
     Service.Shard.create
       ~structure:(Workload.Registry.find_structure structure)

@@ -1,0 +1,60 @@
+(** The chaos engine: one (scheme, structure) service, one fault plan,
+    full accounting.
+
+    A single-driver closed loop over virtual time (the step counter is
+    the plan's timestamp domain).  Requests to healthy shards are
+    awaited in-step; requests to stalled/dead shards are left deferred
+    or shed by the mailbox bound.  Before every shard-addressed fault
+    the engine barriers on an idle shard, so the deferred/shed split —
+    and with it the whole trace and matrix row — is a deterministic
+    function of (plan, scheme).  Wall-clock measurements are kept in
+    result fields the deterministic outputs never print. *)
+
+type cfg = {
+  scheme : Workload.Registry.scheme;
+  structure : Workload.Registry.structure;
+  shards : int;
+  clients : int;  (** [>= 3]; the driver owns the top tid slot *)
+  mailbox_capacity : int;
+  batch : int;
+  key_range : int;  (** normal keys in [[0, key_range)]; OOM probes above *)
+  detect : int;  (** reaper polls between a crash and its recovery *)
+  bound : int;  (** robustness bound on the ctl backlog at detection *)
+  socket_path : string option;
+}
+
+val default_cfg :
+  scheme:Workload.Registry.scheme ->
+  structure:Workload.Registry.structure ->
+  cfg
+
+type result = {
+  r_scheme : string;
+  r_structure : string;
+  r_steps : int;
+  r_prompt : int;
+  r_deferred : int;
+  r_shed : int;
+  r_oom_injected : int;
+  r_net_faults : int;
+  r_churns : int;
+  r_crashes : int;
+  r_recoveries : int;
+  r_recovery_steps : int;
+  r_mem_bounded : bool option;
+  r_peak_ctl : int;
+  r_bound : int;
+  r_recovery_ns : int;
+  r_wall_s : float;
+  r_series : int array;
+  r_oracle : Oracle.verdict;
+  r_trace : string list;
+}
+
+val availability : result -> float
+(** Percent of normal requests not shed (prompt + deferred). *)
+
+val run : cfg -> Fault.plan -> result
+(** Create the service, drive the plan, heal, sweep the key range,
+    stop, and run the {!Oracle}.  Owns the service for its whole
+    lifetime.  @raise Invalid_argument if [cfg.clients < 3]. *)

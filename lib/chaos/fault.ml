@@ -1,0 +1,132 @@
+(* Declarative fault plans.
+
+   A plan is data, not behaviour: a seed, a virtual-step count, and a
+   sorted list of events, each addressed to a shard and a virtual
+   timestamp (the index of the driver's next request — see Engine).
+   Everything downstream (trace lines, shed/deferred counts, oracle
+   verdicts) is a deterministic function of the plan, so replaying the
+   same plan against the same scheme yields byte-identical output. *)
+
+type net = Truncate_reply | Close_mid_frame | Delayed_read
+
+type kind =
+  | Stall of int  (** park the consumer in a ctl bracket for N steps *)
+  | Crash  (** kill the consumer mid-bracket (§2.3 dead thread) *)
+  | Oom of int  (** next N map allocations on this shard fail *)
+  | Net of net  (** transport fault on one socket exchange *)
+  | Churn  (** abrupt client disconnect mid-request-frame *)
+
+type event = { at : int; shard : int; kind : kind }
+type plan = { seed : int; steps : int; events : event list }
+
+type fault_class = Stalls | Crashes | Ooms | Nets | Churns
+
+let classes_named = function
+  | "stall" -> Some [ Stalls ]
+  | "crash" -> Some [ Crashes ]
+  | "oom" -> Some [ Ooms ]
+  | "net" -> Some [ Nets ]
+  | "churn" -> Some [ Churns ]
+  | "mixed" -> Some [ Stalls; Crashes; Ooms; Nets; Churns ]
+  | _ -> None
+
+let class_names = [ "stall"; "crash"; "oom"; "net"; "churn"; "mixed" ]
+
+let net_to_string = function
+  | Truncate_reply -> "net truncate-reply"
+  | Close_mid_frame -> "net close-mid-frame"
+  | Delayed_read -> "net delayed-read"
+
+let kind_to_string = function
+  | Stall d -> Printf.sprintf "stall for %d steps" d
+  | Crash -> "crash consumer mid-bracket"
+  | Oom n -> Printf.sprintf "inject %d alloc failures" n
+  | Net n -> net_to_string n
+  | Churn -> "churn: abrupt disconnect mid-frame"
+
+let event_to_string e =
+  Printf.sprintf "[t=%04d] shard %d: %s" e.at e.shard (kind_to_string e.kind)
+
+let pp_plan ppf p =
+  Format.fprintf ppf "plan seed=%d steps=%d events=%d@." p.seed p.steps
+    (List.length p.events);
+  List.iter (fun e -> Format.fprintf ppf "  %s@." (event_to_string e)) p.events
+
+let uses_net p =
+  List.exists (fun e -> match e.kind with Net _ | Churn -> true | _ -> false)
+    p.events
+
+let has_crash p = List.exists (fun e -> e.kind = Crash) p.events
+
+(* Generate a plan from a seed.  Per-shard busy-until bookkeeping keeps
+   shard faults non-overlapping: a shard is stalled, dead, or healthy —
+   never two at once — so the Engine can barrier on a healthy shard
+   before every injection and the shed/deferred accounting stays
+   deterministic.  [crash_window] must cover the reaper's detection
+   threshold plus drain slack, so every crash recovers inside the plan. *)
+let generate ~seed ~steps ~nshards ~classes ~events ~crash_window =
+  if steps <= 0 then invalid_arg "Fault.generate: steps <= 0";
+  if nshards <= 0 then invalid_arg "Fault.generate: nshards <= 0";
+  if classes = [] then invalid_arg "Fault.generate: no fault classes";
+  let rng = Prims.Rng.create ~seed in
+  let busy_until = Array.make nshards 0 in
+  let menu = Array.of_list classes in
+  let acc = ref [] in
+  let at = ref (8 + Prims.Rng.below rng 8) in
+  let gap = max 4 (steps / max 1 (2 * events)) in
+  let n = ref 0 in
+  while !n < events && !at < steps - 8 do
+    let shard = Prims.Rng.below rng nshards in
+    let cls = menu.(Prims.Rng.below rng (Array.length menu)) in
+    let kind, busy =
+      match cls with
+      | Stalls ->
+          let d = 16 + Prims.Rng.below rng 32 in
+          (Some (Stall d), !at + d + 8)
+      | Crashes -> (Some Crash, !at + crash_window + 32)
+      | Ooms -> (Some (Oom (1 + Prims.Rng.below rng 3)), !at + 4)
+      | Nets ->
+          let nf =
+            match Prims.Rng.below rng 3 with
+            | 0 -> Truncate_reply
+            | 1 -> Close_mid_frame
+            | _ -> Delayed_read
+          in
+          (Some (Net nf), !at)
+      | Churns -> (Some Churn, !at)
+    in
+    (match kind with
+    | Some k
+      when busy_until.(shard) <= !at
+           && (k <> Crash || !at + crash_window + 16 < steps)
+           && (match k with
+              | Stall d -> !at + d + 8 < steps
+              | _ -> true) ->
+        acc := { at = !at; shard; kind = k } :: !acc;
+        busy_until.(shard) <- busy;
+        incr n
+    | _ -> ());
+    at := !at + 1 + Prims.Rng.below rng gap
+  done;
+  let events = List.sort (fun a b -> compare (a.at, a.shard) (b.at, b.shard))
+      (List.rev !acc)
+  in
+  { seed; steps; events }
+
+(* The CI smoke plan: one crash, one OOM burst, one net fault — fixed
+   by hand so the smoke test exercises exactly the acceptance trio
+   regardless of seed.  [detect] is the reaper threshold the engine
+   will run with; the crash lands early enough to recover in-plan. *)
+let smoke ~nshards ~detect =
+  let steps = detect + 160 in
+  let ev at shard kind = { at; shard; kind } in
+  {
+    seed = 42;
+    steps;
+    events =
+      [
+        ev 24 0 Crash;
+        ev 40 (min 1 (nshards - 1)) (Oom 2);
+        ev 56 (min 1 (nshards - 1)) (Net Truncate_reply);
+      ];
+  }

@@ -1,0 +1,62 @@
+(** Declarative, replayable fault plans.
+
+    A plan is pure data: a seed, a virtual-step budget, and a list of
+    events sorted by virtual timestamp, each addressed to a shard.
+    The {!Engine} consumes one plan against one (scheme, structure)
+    pair; since the plan fixes {e what} happens and the engine's
+    barriers fix {e when}, two runs of the same plan produce
+    byte-identical fault traces and matrix rows. *)
+
+type net = Truncate_reply | Close_mid_frame | Delayed_read
+
+type kind =
+  | Stall of int
+      (** Park the shard consumer inside a control-plane bracket for N
+          virtual steps — the paper's §2.3 stalled adversary. *)
+  | Crash
+      (** Kill the shard consumer mid-bracket ({!Service.Shard.t.crash});
+          the abandoned reservation pins retirements until the
+          {!Reaper} recovers it. *)
+  | Oom of int
+      (** The next N node allocations of the shard's map raise
+          [Mpool.Injected_oom]. *)
+  | Net of net  (** Transport fault on one socket exchange. *)
+  | Churn  (** Abrupt client disconnect mid-request-frame. *)
+
+type event = { at : int; shard : int; kind : kind }
+type plan = { seed : int; steps : int; events : event list }
+
+type fault_class = Stalls | Crashes | Ooms | Nets | Churns
+
+val classes_named : string -> fault_class list option
+(** ["stall"], ["crash"], ["oom"], ["net"], ["churn"], or ["mixed"]
+    (all five). *)
+
+val class_names : string list
+
+val kind_to_string : kind -> string
+val event_to_string : event -> string
+(** The deterministic trace line: ["[t=0123] shard 2: ..."]. *)
+
+val pp_plan : Format.formatter -> plan -> unit
+val uses_net : plan -> bool
+(** Whether the engine needs a socket server for this plan. *)
+
+val has_crash : plan -> bool
+
+val generate :
+  seed:int ->
+  steps:int ->
+  nshards:int ->
+  classes:fault_class list ->
+  events:int ->
+  crash_window:int ->
+  plan
+(** Seeded plan generator.  Per-shard busy-until bookkeeping keeps
+    shard faults non-overlapping (a shard is stalled, dead, or healthy
+    — never two at once), and crashes land at least [crash_window]
+    steps before the end so the reaper recovers them in-plan. *)
+
+val smoke : nshards:int -> detect:int -> plan
+(** The fixed CI plan: one crash + one OOM burst + one net fault,
+    sized to the reaper's [detect] threshold. *)

@@ -1,0 +1,134 @@
+(* The invariant oracle: replay acknowledged responses against a
+   sequential model.
+
+   Why a sequential model is exact here: the engine is a single-driver
+   closed loop — one request in flight per virtual step — and each
+   shard owns a disjoint key partition drained FIFO by one consumer.
+   So the global submission order IS a linearization, and a plain
+   Hashtbl replay of it must reproduce every acknowledged reply and
+   the surviving map state.  Replies that by contract did not execute
+   (Shed, injected-OOM Error) are no-ops in the model; any other Error
+   — in particular one carrying a generation-check "Lifecycle" trip —
+   is an invariant violation. *)
+
+type verdict = {
+  ok : bool;
+  checked : int;  (** replies validated against the model *)
+  gen_trips : int;  (** Error replies carrying a Hdr lifecycle trip *)
+  failures : string list;  (** first few divergences, oldest first *)
+}
+
+let contains s sub =
+  let n = String.length s and m = String.length sub in
+  let rec go i = i + m <= n && (String.sub s i m = sub || go (i + 1)) in
+  m = 0 || go 0
+
+let is_injected_oom = function
+  | Service.Codec.Error m -> contains m "Injected_oom"
+  | _ -> false
+
+let is_gen_trip = function
+  | Service.Codec.Error m -> contains m "Lifecycle"
+  | _ -> false
+
+let max_failures = 8
+
+(* The model's reply to [req], applying its effect. *)
+let apply model req =
+  let open Service.Codec in
+  match req with
+  | Get k -> (
+      match Hashtbl.find_opt model k with
+      | Some v -> Value v
+      | None -> Not_found)
+  | Put { key; value } ->
+      let existed = Hashtbl.mem model key in
+      Hashtbl.replace model key value;
+      if existed then Updated else Created
+  | Del k ->
+      if Hashtbl.mem model k then begin
+        Hashtbl.remove model k;
+        Deleted
+      end
+      else Not_found
+  | Cas { key; expected; desired } -> (
+      match Hashtbl.find_opt model key with
+      | None -> Not_found
+      | Some v when v <> expected -> Cas_fail
+      | Some _ ->
+          Hashtbl.replace model key desired;
+          Cas_ok)
+
+(* [ops]: every acknowledged (request, reply) in submission order.
+   [final]: the post-quiesce Get sweep over the whole key range.
+   [ctl_unreclaimed]/[data_unreclaimed]: tracker backlogs after
+   [stop] flushed everything — robust or not, a quiesced tracker must
+   have reclaimed every retirement. *)
+let run ~ops ~final ~ctl_unreclaimed ~data_unreclaimed =
+  let model = Hashtbl.create 1024 in
+  let checked = ref 0 in
+  let gen_trips = ref 0 in
+  let failures = ref [] in
+  let fail msg =
+    if List.length !failures < max_failures then failures := msg :: !failures
+  in
+  List.iter
+    (fun (req, reply) ->
+      if is_gen_trip reply then begin
+        incr gen_trips;
+        fail
+          (Printf.sprintf "generation trip on %s: %s"
+             (Service.Codec.request_to_string req)
+             (Service.Codec.reply_to_string reply))
+      end
+      else
+        match reply with
+        | Service.Codec.Shed -> ()
+        | Service.Codec.Error _ when is_injected_oom reply ->
+            (* By the injection contract the request failed before any
+               mutation: the model skips it too. *)
+            ()
+        | Service.Codec.Error m ->
+            fail
+              (Printf.sprintf "error reply on %s: %s"
+                 (Service.Codec.request_to_string req)
+                 m)
+        | reply ->
+            incr checked;
+            let expected = apply model req in
+            if reply <> expected then
+              fail
+                (Printf.sprintf "%s: got %s, model says %s"
+                   (Service.Codec.request_to_string req)
+                   (Service.Codec.reply_to_string reply)
+                   (Service.Codec.reply_to_string expected)))
+    ops;
+  List.iter
+    (fun (key, reply) ->
+      incr checked;
+      let expected =
+        match Hashtbl.find_opt model key with
+        | Some v -> Service.Codec.Value v
+        | None -> Service.Codec.Not_found
+      in
+      if reply <> expected then
+        fail
+          (Printf.sprintf "final sweep key %d: got %s, model says %s" key
+             (Service.Codec.reply_to_string reply)
+             (Service.Codec.reply_to_string expected)))
+    final;
+  if ctl_unreclaimed <> 0 then
+    fail
+      (Printf.sprintf "post-stop control-plane backlog: %d unreclaimed"
+         ctl_unreclaimed);
+  List.iteri
+    (fun i u ->
+      if u <> 0 then
+        fail (Printf.sprintf "post-stop shard %d map backlog: %d unreclaimed" i u))
+    data_unreclaimed;
+  {
+    ok = !failures = [] && !gen_trips = 0;
+    checked = !checked;
+    gen_trips = !gen_trips;
+    failures = List.rev !failures;
+  }

@@ -1,0 +1,28 @@
+(** Post-run invariant oracle: sequential replay of acknowledged
+    responses, plus reclamation-quiescence checks.
+
+    The engine's closed single-driver loop over per-shard FIFOs with
+    disjoint key partitions makes the global submission order a
+    linearization, so a plain [Hashtbl] replay must reproduce every
+    acknowledged reply and the surviving map state exactly.  [Shed]
+    and injected-OOM [Error] replies are no-ops by contract; any other
+    [Error] — notably one carrying a generation-check ["Lifecycle"]
+    trip — is a violation, as is any retired-but-unreclaimed block
+    surviving [stop]. *)
+
+type verdict = {
+  ok : bool;
+  checked : int;
+  gen_trips : int;
+  failures : string list;
+}
+
+val is_injected_oom : Service.Codec.reply -> bool
+val is_gen_trip : Service.Codec.reply -> bool
+
+val run :
+  ops:(Service.Codec.request * Service.Codec.reply) list ->
+  final:(int * Service.Codec.reply) list ->
+  ctl_unreclaimed:int ->
+  data_unreclaimed:int list ->
+  verdict

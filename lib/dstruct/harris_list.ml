@@ -23,6 +23,7 @@ module Make (T : Smr.Tracker.S) : Map_intf.S = struct
   let put t ~tid k v = C.put_in t.core ~tid ~head:t.head k v
   let stats t = T.stats t.core.C.tracker
   let gauges t = C.gauges_of t.core
+  let inject_alloc_failures t ~n = C.inject_alloc_failures_in t.core ~n
   let size t = C.size_in ~head:t.head
   let to_sorted_list t = C.to_list_in ~head:t.head
   let check t = C.check_in ~head:t.head

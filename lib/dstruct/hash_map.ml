@@ -37,6 +37,7 @@ module Make (T : Smr.Tracker.S) : Map_intf.S = struct
   let put t ~tid k v = C.put_in t.core ~tid ~head:(bucket t k) k v
   let stats t = T.stats t.core.C.tracker
   let gauges t = C.gauges_of t.core
+  let inject_alloc_failures t ~n = C.inject_alloc_failures_in t.core ~n
 
   let size t =
     Array.fold_left (fun acc head -> acc + C.size_in ~head) 0 t.buckets

@@ -45,6 +45,7 @@ module Make (T : Tracker.S) = struct
 
   let make_core cfg = { cfg; tracker = T.create cfg; pool = Pool.create () }
   let gauges_of core = T.gauges core.tracker @ Pool.gauges core.pool
+  let inject_alloc_failures_in core ~n = Pool.inject_failures core.pool ~n
 
   let proj (l : link) =
     match l.succ with Some n -> n.hdr | None -> Hdr.nil

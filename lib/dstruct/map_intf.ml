@@ -53,6 +53,13 @@ module type S = sig
       ([mpool_live], [mpool_shared_free], [mpool_created]).  Racy
       point samples, safe to poll concurrently. *)
 
+  val inject_alloc_failures : t -> n:int -> unit
+  (** Chaos hook: arm the node pool so its next [n] allocations raise
+      [Mpool.Injected_oom] (see {!Mpool.Make.inject_failures}).  An
+      affected operation fails {e before} mutating the structure —
+      every implementation allocates ahead of its first published
+      write — so an injected failure is always a clean rejection. *)
+
   val size : t -> int
   (** Number of bindings.  Quiescent use only. *)
 

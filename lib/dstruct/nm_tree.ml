@@ -91,6 +91,7 @@ module Make (T : Tracker.S) : Map_intf.S = struct
   let flush t ~tid = T.flush t.tracker ~tid
   let stats t = T.stats t.tracker
   let gauges t = T.gauges t.tracker @ Pool.gauges t.pool
+  let inject_alloc_failures t ~n = Pool.inject_failures t.pool ~n
 
   let proj (e : edge) =
     match e.child with Some n -> n.hdr | None -> Hdr.nil

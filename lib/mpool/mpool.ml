@@ -7,6 +7,8 @@ module type POOLABLE = sig
   val on_free : t -> unit
 end
 
+exception Injected_oom
+
 type stats = { created : int; allocs : int; frees : int }
 
 let pp_stats ppf { created; allocs; frees } =
@@ -36,6 +38,11 @@ module Make (P : POOLABLE) = struct
     created : int Atomic.t;
     allocs : int Atomic.t;
     frees : int Atomic.t;
+    (* Fault-injection budget: while positive, each [alloc] consumes
+       one unit and raises [Injected_oom] instead of handing out a
+       node.  Disabled (0) costs one relaxed load on the alloc path —
+       see the bench/main.ml hook-overhead group. *)
+    oom_budget : int Atomic.t;
   }
 
   let create ?(local_cache = 64) () =
@@ -50,7 +57,22 @@ module Make (P : POOLABLE) = struct
       created = Atomic.make 0;
       allocs = Atomic.make 0;
       frees = Atomic.make 0;
+      oom_budget = Atomic.make 0;
     }
+
+  let inject_failures t ~n =
+    if n < 0 then invalid_arg "Mpool.inject_failures: n < 0";
+    ignore (Atomic.fetch_and_add t.oom_budget n)
+
+  let injected_failures_pending t = max 0 (Atomic.get t.oom_budget)
+
+  (* Claim one unit of the armed budget; the CAS loop resolves races
+     between concurrent allocators so exactly [n] allocations fail. *)
+  let rec take_oom t =
+    let n = Atomic.get t.oom_budget in
+    if n <= 0 then false
+    else if Atomic.compare_and_set t.oom_budget n (n - 1) then true
+    else take_oom t
 
   let rec push_shared t node =
     let old = Atomic.get t.shared_free in
@@ -106,6 +128,7 @@ module Make (P : POOLABLE) = struct
     node
 
   let alloc t =
+    if Atomic.get t.oom_budget > 0 && take_oom t then raise Injected_oom;
     Atomic.incr t.allocs;
     let node =
       if t.local_cache = 0 then

@@ -21,6 +21,12 @@
     repository reproduces Hyaline-1's "pointer with a squeezed-in bit"
     single-width-CAS representation on a runtime without raw pointers. *)
 
+exception Injected_oom
+(** Raised by {!Make.alloc} while an {!Make.inject_failures} budget is
+    armed — the chaos subsystem's allocation-failure fault.  Shared by
+    every pool instantiation so fault-handling code can match on it
+    without knowing the node type. *)
+
 module type POOLABLE = sig
   type t
   (** The pooled node type. *)
@@ -63,7 +69,20 @@ module Make (P : POOLABLE) : sig
 
   val alloc : t -> P.t
   (** [alloc t] returns a node, recycling a freed one when available.
-      Runs [P.on_alloc] before returning. *)
+      Runs [P.on_alloc] before returning.
+      @raise Injected_oom while a fault-injection budget is armed (the
+      failed call consumes one budget unit and does not count as an
+      alloc, so [live] stays exact). *)
+
+  val inject_failures : t -> n:int -> unit
+  (** Arm the allocation fault-injection hook: the next [n] calls to
+      {!alloc} (pool-wide, any domain) raise {!Injected_oom}.
+      Cumulative with any budget still pending.  The disabled hook
+      costs a single uncontended atomic load per [alloc].
+      @raise Invalid_argument if [n < 0]. *)
+
+  val injected_failures_pending : t -> int
+  (** Remaining armed failure budget (0 = hook disabled). *)
 
   val free : t -> P.t -> unit
   (** [free t n] returns [n] to the pool for reuse.  Runs [P.on_free].

@@ -1,9 +1,28 @@
 exception Closed
 
+(* A signal landing mid-syscall must not surface as a connection
+   error: retry the call.  (The daemon installs handlers for
+   SIGINT/SIGTERM, and chaos runs deliver churn while signals fly.) *)
+let rec read_retry fd buf off len =
+  try Unix.read fd buf off len
+  with Unix.Unix_error (Unix.EINTR, _, _) -> read_retry fd buf off len
+
+let rec write_retry fd buf off len =
+  try Unix.write fd buf off len
+  with Unix.Unix_error (Unix.EINTR, _, _) -> write_retry fd buf off len
+
+(* A client vanishing mid-reply must cost its connection, never the
+   daemon: with SIGPIPE ignored, writes to a hung-up peer fail with
+   EPIPE, which the per-connection handler already treats as a
+   disconnect.  Idempotent; no-op where SIGPIPE does not exist. *)
+let ignore_sigpipe () =
+  try Sys.set_signal Sys.sigpipe Sys.Signal_ignore
+  with Invalid_argument _ | Sys_error _ -> ()
+
 let read_exact fd buf off len =
   let rec go off len =
     if len > 0 then begin
-      let n = Unix.read fd buf off len in
+      let n = read_retry fd buf off len in
       if n = 0 then raise Closed;
       go (off + n) (len - n)
     end
@@ -12,7 +31,7 @@ let read_exact fd buf off len =
 
 let read_frame fd =
   let hdr = Bytes.create 4 in
-  let n = Unix.read fd hdr 0 4 in
+  let n = read_retry fd hdr 0 4 in
   if n = 0 then None
   else begin
     if n < 4 then read_exact fd hdr n (4 - n);
@@ -30,30 +49,97 @@ let write_frame fd buf =
   let len = Bytes.length b in
   let off = ref 0 in
   while !off < len do
-    let n = Unix.write fd b !off (len - !off) in
+    let n = write_retry fd b !off (len - !off) in
     if n = 0 then raise Closed;
     off := !off + n
   done;
   Buffer.clear buf
 
-let serve_conn svc ~tid fd =
+(* ------------------------------------------------------------------ *)
+(* Chaos injection points on the server's reply/read paths.  The
+   disabled state is the distinguished [Faults.none] instance, checked
+   by physical equality before anything else — the same
+   zero-cost-when-off discipline as [Obs.Probe.is_noop] /
+   [Smr.Instrument.wrap] (benchmarked in bench/main.ml). *)
+
+module Faults = struct
+  type t = {
+    truncate_replies : int Atomic.t;
+    close_mid_frame : int Atomic.t;
+    delayed_reads : int Atomic.t;
+    delay_s : float;
+  }
+
+  let create ?(delay_s = 0.002) () =
+    {
+      truncate_replies = Atomic.make 0;
+      close_mid_frame = Atomic.make 0;
+      delayed_reads = Atomic.make 0;
+      delay_s;
+    }
+
+  let none = create ()
+  let is_none t = t == none
+
+  let arm counter n =
+    if n < 0 then invalid_arg "Conn.Faults.arm: n < 0";
+    ignore (Atomic.fetch_and_add counter n)
+
+  let arm_truncate_reply t n = arm t.truncate_replies n
+  let arm_close_mid_frame t n = arm t.close_mid_frame n
+  let arm_delayed_read t n = arm t.delayed_reads n
+
+  (* Claim one armed unit, resolving races between handler domains. *)
+  let rec take counter =
+    let n = Atomic.get counter in
+    if n <= 0 then false
+    else if Atomic.compare_and_set counter n (n - 1) then true
+    else take counter
+end
+
+(* Deliver the reply under the armed fault, if any.  Both faults write
+   a deliberately incomplete frame and hang up, so the client observes
+   a mid-frame EOF — [close_mid_frame] cuts after the length prefix,
+   [truncate_reply] halfway through the payload. *)
+let write_reply ~faults fd out =
+  if Faults.is_none faults then write_frame fd out
+  else if Faults.take faults.Faults.close_mid_frame then begin
+    let b = Buffer.to_bytes out in
+    ignore (write_retry fd b 0 (min 4 (Bytes.length b)));
+    Buffer.clear out;
+    raise Closed
+  end
+  else if Faults.take faults.Faults.truncate_replies then begin
+    let b = Buffer.to_bytes out in
+    let cut = min (Bytes.length b) (4 + ((Bytes.length b - 4) / 2)) in
+    ignore (write_retry fd b 0 cut);
+    Buffer.clear out;
+    raise Closed
+  end
+  else write_frame fd out
+
+let serve_conn ?(faults = Faults.none) svc ~tid fd =
   let out = Buffer.create 64 in
   (try
      let rec loop () =
+       if
+         (not (Faults.is_none faults))
+         && Faults.take faults.Faults.delayed_reads
+       then Unix.sleepf faults.Faults.delay_s;
        match read_frame fd with
        | None -> ()
        | Some payload -> (
            match Codec.request_of_payload payload with
            | req ->
                Codec.encode_reply out (Shard.call svc ~tid req);
-               write_frame fd out;
+               write_reply ~faults fd out;
                loop ()
            | exception Codec.Malformed m ->
                (* Framing survived but the payload is garbage: answer,
                   then drop the connection — we cannot trust the
                   stream position any more. *)
                Codec.encode_reply out (Codec.Error ("malformed: " ^ m));
-               write_frame fd out)
+               write_reply ~faults fd out)
      in
      loop ()
    with Closed | Codec.Malformed _ | Unix.Unix_error _ -> ());
@@ -76,7 +162,10 @@ type server = {
   lock : Mutex.t;
   mutable acceptor : unit Domain.t option;
   stopped : bool Atomic.t;
+  faults : Faults.t;
 }
+
+let faults srv = srv.faults
 
 let rec pop_tid srv =
   match Atomic.get srv.tids with
@@ -116,12 +205,13 @@ let accept_loop srv () =
               conn.c_domain <-
                 Some
                   (Domain.spawn (fun () ->
-                       serve_conn srv.svc ~tid fd;
+                       serve_conn ~faults:srv.faults srv.svc ~tid fd;
                        push_tid srv tid))
         end
   done
 
-let serve_unix svc ~path ?(backlog = 16) () =
+let serve_unix svc ~path ?(backlog = 16) ?(faults = Faults.none) () =
+  ignore_sigpipe ();
   (try Unix.unlink path with Unix.Unix_error _ -> ());
   let listen_fd = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
   Unix.bind listen_fd (Unix.ADDR_UNIX path);
@@ -137,6 +227,7 @@ let serve_unix svc ~path ?(backlog = 16) () =
       lock = Mutex.create ();
       acceptor = None;
       stopped = Atomic.make false;
+      faults;
     }
   in
   srv.acceptor <- Some (Domain.spawn (accept_loop srv));

@@ -15,6 +15,46 @@
 exception Closed
 (** Peer hung up mid-frame. *)
 
+val ignore_sigpipe : unit -> unit
+(** Ignore [SIGPIPE] process-wide so a peer vanishing mid-reply
+    surfaces as an [EPIPE] write error on that connection instead of
+    killing the daemon.  Called by {!serve_unix}; daemons should also
+    call it at startup.  Idempotent; no-op where unsupported.
+    Reads and writes additionally retry [EINTR], so signal delivery
+    never masquerades as a connection error. *)
+
+module Faults : sig
+  (** Chaos injection points on the server side of the transport.
+      The disabled state is the distinguished {!none} instance,
+      recognized by physical equality before any counter is read —
+      the hook costs nothing when chaos is off (same discipline as
+      [Obs.Probe.is_noop]; measured in bench/main.ml). *)
+
+  type t
+
+  val create : ?delay_s:float -> unit -> t
+  (** Fresh fault block, nothing armed.  [delay_s] (default 2ms) is
+      the pause used by delayed reads. *)
+
+  val none : t
+  (** The permanently-disabled instance every server starts with. *)
+
+  val is_none : t -> bool
+
+  val arm_truncate_reply : t -> int -> unit
+  (** The next [n] replies (across all connections) are cut halfway
+      through the payload, then the connection closes: the client
+      observes a mid-frame EOF ({!Closed}). *)
+
+  val arm_close_mid_frame : t -> int -> unit
+  (** The next [n] replies are cut right after the 4-byte length
+      prefix, then the connection closes. *)
+
+  val arm_delayed_read : t -> int -> unit
+  (** The next [n] request reads are preceded by a [delay_s] pause
+      (a slow peer; the reply itself stays intact). *)
+end
+
 val read_frame : Unix.file_descr -> bytes option
 (** One payload (length prefix stripped); [None] on clean EOF at a
     frame boundary.  @raise Closed on mid-frame EOF,
@@ -24,15 +64,28 @@ val write_frame : Unix.file_descr -> Buffer.t -> unit
 (** Write the buffer (already framed by a [Codec.encode_*]) fully,
     then clear it. *)
 
-val serve_conn : Shard.t -> tid:int -> Unix.file_descr -> unit
+val write_reply : faults:Faults.t -> Unix.file_descr -> Buffer.t -> unit
+(** {!write_frame} under the armed fault, if any: truncate-reply and
+    close-mid-frame write a deliberately incomplete frame and raise
+    {!Closed}.  With {!Faults.none} this is one physical-equality
+    check on top of {!write_frame} (benchmarked in bench/main.ml). *)
+
+val serve_conn :
+  ?faults:Faults.t -> Shard.t -> tid:int -> Unix.file_descr -> unit
 (** Request/reply loop on an accepted connection until EOF; malformed
     frames get an [Error] reply, then the connection closes.  Closes
-    the descriptor.  Never raises. *)
+    the descriptor.  Never raises.  [faults] (default {!Faults.none})
+    injects server-side transport faults. *)
 
 type server
 
 val serve_unix :
-  Shard.t -> path:string -> ?backlog:int -> unit -> server
+  Shard.t ->
+  path:string ->
+  ?backlog:int ->
+  ?faults:Faults.t ->
+  unit ->
+  server
 (** Bind+listen on a unix-domain socket (unlinking any stale file) and
     accept in a background domain; each connection gets a handler
     domain holding a leased client tid.  When all [Shard.t.clients]
@@ -42,6 +95,9 @@ val serve_unix :
 val shutdown : server -> unit
 (** Stop accepting, wake the accept loop, join handler domains,
     unlink the socket path.  Idempotent.  Does NOT stop the service. *)
+
+val faults : server -> Faults.t
+(** The server's fault block (arm counters on it mid-run). *)
 
 val connect_unix : path:string -> Unix.file_descr
 

@@ -36,6 +36,12 @@ type t = {
   data_stats : unit -> Smr.Stats.t list;
   set_stalled : shard:int -> bool -> unit;
   is_stalled : int -> bool;
+  is_parked : int -> bool;
+  crash : shard:int -> unit;
+  recover : shard:int -> unit;
+  consumer_alive : int -> bool;
+  heartbeat : int -> int;
+  inject_oom : shard:int -> n:int -> unit;
   stop : unit -> unit;
   scheme_name : string;
   structure_name : string;
@@ -64,6 +70,19 @@ module Core (T : Smr.Tracker.S) (Mk : Dstruct.Map_intf.MAKER) = struct
     map : Map.t;
     mailbox : env MB.t;
     stall_flag : bool Atomic.t;
+    (* Set by the consumer while it is spinning inside its stall
+       bracket: lets a fault injector wait for the park to be
+       effective (mailbox guaranteed undrained from here on). *)
+    parked : bool Atomic.t;
+    (* Chaos: when set, the consumer takes a control-plane reservation
+       and terminates without leaving it — the paper's §2.3 dead
+       thread.  [dead] records that the bracket is abandoned until
+       [recover] force-exits it. *)
+    crash_flag : bool Atomic.t;
+    dead : bool Atomic.t;
+    (* Bumped once per consumer loop iteration; freezes exactly when
+       the consumer stalls or dies (the reaper's detection signal). *)
+    heartbeat : int Atomic.t;
     shard_processed : int Atomic.t;
     mutable consumer : unit Domain.t option;
   }
@@ -111,6 +130,10 @@ module Core (T : Smr.Tracker.S) (Mk : Dstruct.Map_intf.MAKER) = struct
               MB.create ~tracker:ctl_tracker ~cfg:ctl_cfg
                 ~capacity:c.mailbox_capacity ();
             stall_flag = Atomic.make false;
+            parked = Atomic.make false;
+            crash_flag = Atomic.make false;
+            dead = Atomic.make false;
+            heartbeat = Atomic.make 0;
             shard_processed = Atomic.make 0;
             consumer = None;
           })
@@ -141,37 +164,60 @@ module Core (T : Smr.Tracker.S) (Mk : Dstruct.Map_intf.MAKER) = struct
     let consumer sh () =
       let qtid = c.clients + sh.idx in
       let idle = ref 0 in
-      while Atomic.get running do
-        if Atomic.get sh.stall_flag then begin
-          (* Park inside a control-plane bracket: a reservation that
-             never advances while the other shards keep mailing — the
-             paper's stalled adversary, aimed at our own plumbing. *)
+      let crashed = ref false in
+      while Atomic.get running && not !crashed do
+        Atomic.incr sh.heartbeat;
+        if Atomic.get sh.crash_flag then begin
+          (* Die mid-bracket: take a control-plane reservation and
+             terminate without leaving it.  The heartbeat freezes
+             here; queued requests stay queued; the reservation pins
+             everything retired after it until [recover] force-exits
+             the bracket — the paper's §2.3 dead-thread adversary. *)
           T.enter ctl_tracker ~tid:qtid;
-          while Atomic.get sh.stall_flag && Atomic.get running do
-            Domain.cpu_relax ()
-          done;
-          T.leave ctl_tracker ~tid:qtid
-        end;
-        match MB.drain sh.mailbox ~tid:qtid ~max:c.batch with
-        | [] ->
-            incr idle;
-            (* Briefly spin, then sleep: on an oversubscribed core a
-               hot empty-poll loop would starve the producers that
-               would fill this mailbox. *)
-            if !idle > 64 then begin
-              Unix.sleepf 0.0002;
-              idle := 0
-            end
-            else Domain.cpu_relax ()
-        | batch ->
-            idle := 0;
-            run_batch sh batch
+          crashed := true
+        end
+        else begin
+          if Atomic.get sh.stall_flag then begin
+            (* Park inside a control-plane bracket: a reservation that
+               never advances while the other shards keep mailing —
+               the paper's stalled adversary, aimed at our own
+               plumbing. *)
+            T.enter ctl_tracker ~tid:qtid;
+            Atomic.set sh.parked true;
+            while
+              Atomic.get sh.stall_flag
+              && Atomic.get running
+              && not (Atomic.get sh.crash_flag)
+            do
+              Domain.cpu_relax ()
+            done;
+            Atomic.set sh.parked false;
+            T.leave ctl_tracker ~tid:qtid
+          end;
+          match MB.drain sh.mailbox ~tid:qtid ~max:c.batch with
+          | [] ->
+              incr idle;
+              (* Briefly spin, then sleep: on an oversubscribed core a
+                 hot empty-poll loop would starve the producers that
+                 would fill this mailbox. *)
+              if !idle > 64 then begin
+                Unix.sleepf 0.0002;
+                idle := 0
+              end
+              else Domain.cpu_relax ()
+          | batch ->
+              idle := 0;
+              run_batch sh batch
+        end
       done;
-      (* Fail whatever is still queued so no submitter waits forever. *)
-      List.iter
-        (fun env -> env.reply (Codec.Error "service stopped"))
-        (MB.drain sh.mailbox ~tid:qtid ~max:max_int);
-      MB.flush sh.mailbox ~tid:qtid
+      if not !crashed then begin
+        (* Fail whatever is still queued so no submitter waits
+           forever. *)
+        List.iter
+          (fun env -> env.reply (Codec.Error "service stopped"))
+          (MB.drain sh.mailbox ~tid:qtid ~max:max_int);
+        MB.flush sh.mailbox ~tid:qtid
+      end
     in
     Array.iter (fun sh -> sh.consumer <- Some (Domain.spawn (consumer sh))) shards;
     let submit ~tid req reply =
@@ -188,6 +234,37 @@ module Core (T : Smr.Tracker.S) (Mk : Dstruct.Map_intf.MAKER) = struct
     let processed () =
       Array.fold_left (fun a sh -> a + Atomic.get sh.shard_processed) 0 shards
     in
+    let crash ~shard =
+      let sh = shards.(shard) in
+      if Atomic.get sh.dead then
+        invalid_arg "Shard.crash: consumer already crashed";
+      Atomic.set sh.crash_flag true;
+      (* Join so death is synchronous: when [crash] returns, the
+         consumer domain is gone and its control-plane bracket is
+         provably abandoned — a deterministic starting point for
+         whatever the caller injects next. *)
+      (match sh.consumer with
+      | Some d ->
+          Domain.join d;
+          sh.consumer <- None
+      | None -> ());
+      Atomic.set sh.dead true
+    in
+    let recover ~shard =
+      let sh = shards.(shard) in
+      if not (Atomic.get sh.dead) then
+        invalid_arg "Shard.recover: consumer is not crashed";
+      let qtid = c.clients + sh.idx in
+      (* Force-exit the abandoned bracket on behalf of the dead
+         domain.  Safe: the owner is joined, so nothing races on the
+         tid's scheme state, and [tid] is only an index — the slot is
+         transparently reusable afterwards (paper §2.4). *)
+      T.leave ctl_tracker ~tid:qtid;
+      Atomic.set sh.crash_flag false;
+      Atomic.set sh.dead false;
+      (* Respawn; the new consumer drains the backlog naturally. *)
+      sh.consumer <- Some (Domain.spawn (consumer sh))
+    in
     let gauges () =
       let per_shard =
         Array.to_list shards
@@ -198,6 +275,10 @@ module Core (T : Smr.Tracker.S) (Mk : Dstruct.Map_intf.MAKER) = struct
                    Atomic.get sh.shard_processed );
                  ( Printf.sprintf "kv_shard%d_stalled" sh.idx,
                    if Atomic.get sh.stall_flag then 1 else 0 );
+                 ( Printf.sprintf "kv_shard%d_heartbeat" sh.idx,
+                   Atomic.get sh.heartbeat );
+                 ( Printf.sprintf "kv_shard%d_dead" sh.idx,
+                   if Atomic.get sh.dead then 1 else 0 );
                ])
       in
       per_shard
@@ -220,6 +301,22 @@ module Core (T : Smr.Tracker.S) (Mk : Dstruct.Map_intf.MAKER) = struct
                 Domain.join d;
                 sh.consumer <- None
             | None -> ())
+          shards;
+        (* Crashed-and-never-recovered shards: their dead consumer
+           could not run the shutdown path above — exit the abandoned
+           bracket, fail the backlog, and flush in its stead. *)
+        Array.iter
+          (fun sh ->
+            if Atomic.get sh.dead then begin
+              let qtid = c.clients + sh.idx in
+              T.leave ctl_tracker ~tid:qtid;
+              List.iter
+                (fun env -> env.reply (Codec.Error "service stopped"))
+                (MB.drain sh.mailbox ~tid:qtid ~max:max_int);
+              MB.flush sh.mailbox ~tid:qtid;
+              Atomic.set sh.dead false;
+              Atomic.set sh.crash_flag false
+            end)
           shards;
         Array.iter (fun sh -> Map.flush sh.map ~tid:0) shards;
         for tid = 0 to ctl_cfg.Smr.Config.nthreads - 1 do
@@ -244,6 +341,13 @@ module Core (T : Smr.Tracker.S) (Mk : Dstruct.Map_intf.MAKER) = struct
       set_stalled =
         (fun ~shard v -> Atomic.set shards.(shard).stall_flag v);
       is_stalled = (fun i -> Atomic.get shards.(i).stall_flag);
+      is_parked = (fun i -> Atomic.get shards.(i).parked);
+      crash;
+      recover;
+      consumer_alive = (fun i -> not (Atomic.get shards.(i).dead));
+      heartbeat = (fun i -> Atomic.get shards.(i).heartbeat);
+      inject_oom =
+        (fun ~shard ~n -> Map.inject_alloc_failures shards.(shard).map ~n);
       stop;
       scheme_name;
       structure_name;

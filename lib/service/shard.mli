@@ -67,6 +67,37 @@ type t = {
           (robustness scenario).  Its mailbox keeps accepting until
           full, then sheds; other shards are unaffected. *)
   is_stalled : int -> bool;
+  is_parked : int -> bool;
+      (** [true] once a stalled consumer is actually spinning inside
+          its stall bracket — from this point the mailbox is
+          guaranteed undrained until unstall.  Fault injectors wait on
+          this for deterministic shed accounting. *)
+  crash : shard:int -> unit;
+      (** Chaos fault: the consumer takes a control-plane reservation
+          and its domain terminates {e without leaving it} — the
+          paper's §2.3 dead thread, aimed at the service's own
+          control plane.  Joins the domain, so on return the death is
+          complete: the heartbeat is frozen, queued requests stay
+          queued (new ones accepted until the mailbox sheds), and the
+          abandoned bracket pins retirements until {!t.recover}.
+          @raise Invalid_argument if already crashed. *)
+  recover : shard:int -> unit;
+      (** Crash recovery (the reaper's action): force-exit the dead
+          consumer's abandoned control-plane bracket — its tid slot is
+          reclaimed and transparently reused — then respawn the
+          consumer, which drains the backlog.
+          @raise Invalid_argument if the shard is not crashed. *)
+  consumer_alive : int -> bool;
+      (** [false] iff crashed and not yet recovered. *)
+  heartbeat : int -> int;
+      (** Monotonic per-shard consumer liveness counter (bumped every
+          loop iteration); freezes on crash or stall — the reaper's
+          detection gauge, also exported as [kv_shard<i>_heartbeat]. *)
+  inject_oom : shard:int -> n:int -> unit;
+      (** Chaos fault: the next [n] node allocations of this shard's
+          map raise [Mpool.Injected_oom]; the affected requests get a
+          clean [Error] reply with no state mutation (maps allocate
+          before their first published write). *)
   stop : unit -> unit;
       (** Stop consumers, fail queued requests with [Error], join
           domains, flush every tracker.  Idempotent. *)

@@ -1,0 +1,310 @@
+(* Tests for the lib/chaos fault-injection subsystem: plan generation,
+   crash/recover on the service, reaper determinism, and the engine +
+   oracle end to end.  Everything runs at container scale — small
+   detect windows, few steps — because virtual time makes the
+   contracts size-independent. *)
+
+let small_cfg ?(shards = 2) ?(detect = 24) ?(bound = 96) ~scheme () =
+  {
+    (Chaos.Engine.default_cfg
+       ~scheme:(Workload.Registry.find_scheme scheme)
+       ~structure:(Workload.Registry.find_structure "hashmap"))
+    with
+    Chaos.Engine.shards;
+    clients = 3;
+    key_range = 64;
+    detect;
+    bound;
+  }
+
+let crash_plan =
+  {
+    Chaos.Fault.seed = 11;
+    steps = 100;
+    events =
+      [
+        { Chaos.Fault.at = 8; shard = 0; kind = Chaos.Fault.Crash };
+        { Chaos.Fault.at = 20; shard = 1; kind = Chaos.Fault.Oom 2 };
+        { Chaos.Fault.at = 60; shard = 1; kind = Chaos.Fault.Stall 12 };
+      ];
+  }
+
+(* ------------------------------------------------------------------ *)
+(* Fault plans *)
+
+let test_generate_deterministic () =
+  let gen () =
+    Chaos.Fault.generate ~seed:5 ~steps:400 ~nshards:4
+      ~classes:[ Chaos.Fault.Stalls; Chaos.Fault.Crashes; Chaos.Fault.Ooms ]
+      ~events:6 ~crash_window:80
+  in
+  let p1 = gen () and p2 = gen () in
+  Alcotest.(check bool) "same seed, same plan" true (p1 = p2);
+  Alcotest.(check bool)
+    "plan is non-trivial" true
+    (List.length p1.Chaos.Fault.events >= 3);
+  let p3 =
+    Chaos.Fault.generate ~seed:6 ~steps:400 ~nshards:4
+      ~classes:[ Chaos.Fault.Stalls; Chaos.Fault.Crashes; Chaos.Fault.Ooms ]
+      ~events:6 ~crash_window:80
+  in
+  Alcotest.(check bool) "different seed, different plan" true (p1 <> p3)
+
+let test_generate_no_overlap () =
+  (* Per shard, fault windows must not overlap: the engine barriers on
+     a healthy shard before every injection. *)
+  let p =
+    Chaos.Fault.generate ~seed:123 ~steps:1000 ~nshards:3
+      ~classes:[ Chaos.Fault.Stalls; Chaos.Fault.Crashes ]
+      ~events:12 ~crash_window:60
+  in
+  let busy = Array.make 3 0 in
+  List.iter
+    (fun (e : Chaos.Fault.event) ->
+      Alcotest.(check bool)
+        (Printf.sprintf "event at %d on busy shard %d" e.Chaos.Fault.at
+           e.Chaos.Fault.shard)
+        true
+        (busy.(e.Chaos.Fault.shard) <= e.Chaos.Fault.at);
+      match e.Chaos.Fault.kind with
+      | Chaos.Fault.Stall d ->
+          busy.(e.Chaos.Fault.shard) <- e.Chaos.Fault.at + d
+      | Chaos.Fault.Crash -> busy.(e.Chaos.Fault.shard) <- e.Chaos.Fault.at + 60
+      | _ -> ())
+    p.Chaos.Fault.events
+
+(* ------------------------------------------------------------------ *)
+(* Shard crash / recover primitive *)
+
+let test_crash_recover_roundtrip () =
+  let svc =
+    Service.Shard.create
+      ~structure:(Workload.Registry.find_structure "hashmap")
+      ~scheme:(Workload.Registry.find_scheme "hyalines")
+      {
+        Service.Shard.default_config with
+        Service.Shard.shards = 2;
+        clients = 2;
+        mailbox_capacity = 4;
+      }
+  in
+  Fun.protect
+    ~finally:(fun () -> svc.Service.Shard.stop ())
+    (fun () ->
+      Alcotest.(check bool)
+        "alive before crash" true
+        (svc.Service.Shard.consumer_alive 0);
+      svc.Service.Shard.crash ~shard:0;
+      Alcotest.(check bool)
+        "dead after crash" false
+        (svc.Service.Shard.consumer_alive 0);
+      let hb = svc.Service.Shard.heartbeat 0 in
+      Unix.sleepf 0.02;
+      Alcotest.(check int)
+        "heartbeat frozen" hb
+        (svc.Service.Shard.heartbeat 0);
+      (* Double crash is a caller error. *)
+      (match svc.Service.Shard.crash ~shard:0 with
+      | () -> Alcotest.fail "double crash accepted"
+      | exception Invalid_argument _ -> ());
+      (* The other shard keeps serving while the dead one queues. *)
+      let k1 = ref 0 in
+      while svc.Service.Shard.shard_of_key !k1 <> 1 do
+        incr k1
+      done;
+      (match
+         Service.Shard.call svc ~tid:0
+           (Service.Codec.Put { key = !k1; value = 9 })
+       with
+      | Service.Codec.Created -> ()
+      | r ->
+          Alcotest.failf "surviving shard answered %s"
+            (Service.Codec.reply_to_string r));
+      svc.Service.Shard.recover ~shard:0;
+      Alcotest.(check bool)
+        "alive after recover" true
+        (svc.Service.Shard.consumer_alive 0);
+      (match svc.Service.Shard.recover ~shard:0 with
+      | () -> Alcotest.fail "recover of a live shard accepted"
+      | exception Invalid_argument _ -> ());
+      let k0 = ref 0 in
+      while svc.Service.Shard.shard_of_key !k0 <> 0 do
+        incr k0
+      done;
+      match Service.Shard.call svc ~tid:0 (Service.Codec.Get !k0) with
+      | Service.Codec.Not_found | Service.Codec.Value _ -> ()
+      | r ->
+          Alcotest.failf "recovered shard answered %s"
+            (Service.Codec.reply_to_string r))
+
+(* A crash with queued requests: recovery must drain the backlog and
+   answer every deferred request exactly once. *)
+let test_recovery_drains_backlog () =
+  let svc =
+    Service.Shard.create
+      ~structure:(Workload.Registry.find_structure "hashmap")
+      ~scheme:(Workload.Registry.find_scheme "hyaline1s")
+      {
+        Service.Shard.default_config with
+        Service.Shard.shards = 1;
+        clients = 2;
+        mailbox_capacity = 8;
+      }
+  in
+  Fun.protect
+    ~finally:(fun () -> svc.Service.Shard.stop ())
+    (fun () ->
+      svc.Service.Shard.crash ~shard:0;
+      let answered = Atomic.make 0 in
+      let sheds = Atomic.make 0 in
+      for k = 0 to 11 do
+        svc.Service.Shard.submit ~tid:0
+          (Service.Codec.Put { key = k; value = k })
+          (fun r ->
+            match r with
+            | Service.Codec.Shed -> Atomic.incr sheds
+            | _ -> Atomic.incr answered)
+      done;
+      Alcotest.(check int)
+        "mailbox bound sheds the overflow" 4 (Atomic.get sheds);
+      Alcotest.(check int) "nothing drained yet" 0 (Atomic.get answered);
+      svc.Service.Shard.recover ~shard:0;
+      let deadline = Unix.gettimeofday () +. 10.0 in
+      while Atomic.get answered < 8 && Unix.gettimeofday () < deadline do
+        Unix.sleepf 0.005
+      done;
+      Alcotest.(check int)
+        "all accepted requests answered after recovery" 8
+        (Atomic.get answered))
+
+(* ------------------------------------------------------------------ *)
+(* Engine end to end *)
+
+let test_engine_deterministic_replay () =
+  let run () =
+    Chaos.Engine.run (small_cfg ~scheme:"hyalines" ()) crash_plan
+  in
+  let r1 = run () and r2 = run () in
+  Alcotest.(check (list string))
+    "identical fault traces" r1.Chaos.Engine.r_trace r2.Chaos.Engine.r_trace;
+  Alcotest.(check bool)
+    "identical deterministic counters" true
+    ((r1.Chaos.Engine.r_prompt, r1.Chaos.Engine.r_deferred,
+      r1.Chaos.Engine.r_shed, r1.Chaos.Engine.r_oom_injected,
+      r1.Chaos.Engine.r_crashes, r1.Chaos.Engine.r_recoveries,
+      r1.Chaos.Engine.r_recovery_steps)
+    = (r2.Chaos.Engine.r_prompt, r2.Chaos.Engine.r_deferred,
+       r2.Chaos.Engine.r_shed, r2.Chaos.Engine.r_oom_injected,
+       r2.Chaos.Engine.r_crashes, r2.Chaos.Engine.r_recoveries,
+       r2.Chaos.Engine.r_recovery_steps))
+
+let test_engine_reaper_latency_exact () =
+  let r = Chaos.Engine.run (small_cfg ~detect:16 ~scheme:"hyalines" ()) crash_plan in
+  (* Detection counts polls from the confirmed death: latency is
+     exactly detect - 1 steps after the crash step's own poll. *)
+  Alcotest.(check int) "one crash" 1 r.Chaos.Engine.r_crashes;
+  Alcotest.(check int) "one recovery" 1 r.Chaos.Engine.r_recoveries;
+  Alcotest.(check int)
+    "recovery latency = detect window" 15 r.Chaos.Engine.r_recovery_steps;
+  Alcotest.(check bool)
+    "oracle passes" true r.Chaos.Engine.r_oracle.Chaos.Oracle.ok
+
+let test_engine_oracle_all_robust_schemes () =
+  List.iter
+    (fun scheme ->
+      let r = Chaos.Engine.run (small_cfg ~scheme ()) crash_plan in
+      Alcotest.(check bool)
+        (scheme ^ ": oracle passes under crash+oom+stall")
+        true r.Chaos.Engine.r_oracle.Chaos.Oracle.ok;
+      Alcotest.(check int)
+        (scheme ^ ": no generation trips")
+        0 r.Chaos.Engine.r_oracle.Chaos.Oracle.gen_trips)
+    [ "hyalines"; "hyaline1s"; "hp"; "he"; "ibr" ]
+
+let test_engine_oom_only_mutates_nothing () =
+  let plan =
+    {
+      Chaos.Fault.seed = 3;
+      steps = 40;
+      events = [ { Chaos.Fault.at = 5; shard = 0; kind = Chaos.Fault.Oom 3 } ];
+    }
+  in
+  let r = Chaos.Engine.run (small_cfg ~scheme:"hyaline" ()) plan in
+  Alcotest.(check int) "three injected failures" 3 r.Chaos.Engine.r_oom_injected;
+  Alcotest.(check bool)
+    "oracle validates the surviving state" true
+    r.Chaos.Engine.r_oracle.Chaos.Oracle.ok;
+  Alcotest.(check int) "no sheds in a calm run" 0 r.Chaos.Engine.r_shed
+
+(* ------------------------------------------------------------------ *)
+(* Oracle unit behaviour *)
+
+let test_oracle_flags_divergence () =
+  let open Service.Codec in
+  let ok =
+    Chaos.Oracle.run
+      ~ops:
+        [
+          (Put { key = 1; value = 5 }, Created);
+          (Get 1, Value 5);
+          (Put { key = 2; value = 7 }, Error "Mpool.Injected_oom");
+          (Get 2, Not_found);
+          (Del 9, Shed);
+        ]
+      ~final:[ (1, Value 5); (2, Not_found) ] ~ctl_unreclaimed:0
+      ~data_unreclaimed:[ 0 ]
+  in
+  Alcotest.(check bool) "consistent history passes" true ok.Chaos.Oracle.ok;
+  let bad =
+    Chaos.Oracle.run
+      ~ops:[ (Put { key = 1; value = 5 }, Created); (Get 1, Value 6) ]
+      ~final:[] ~ctl_unreclaimed:0 ~data_unreclaimed:[]
+  in
+  Alcotest.(check bool) "stale read flagged" false bad.Chaos.Oracle.ok;
+  let trip =
+    Chaos.Oracle.run
+      ~ops:[ (Get 1, Error "Smr.Hdr.Lifecycle(\"use-after-free: read\", _)") ]
+      ~final:[] ~ctl_unreclaimed:0 ~data_unreclaimed:[]
+  in
+  Alcotest.(check int) "generation trip counted" 1 trip.Chaos.Oracle.gen_trips;
+  Alcotest.(check bool) "generation trip fails the run" false
+    trip.Chaos.Oracle.ok;
+  let leak =
+    Chaos.Oracle.run ~ops:[] ~final:[] ~ctl_unreclaimed:4 ~data_unreclaimed:[]
+  in
+  Alcotest.(check bool) "post-stop backlog fails the run" false
+    leak.Chaos.Oracle.ok
+
+let suites =
+  [
+    ( "chaos.fault",
+      [
+        Alcotest.test_case "seeded plans are deterministic" `Quick
+          test_generate_deterministic;
+        Alcotest.test_case "per-shard fault windows never overlap" `Quick
+          test_generate_no_overlap;
+      ] );
+    ( "chaos.shard",
+      [
+        Alcotest.test_case "crash/recover roundtrip" `Quick
+          test_crash_recover_roundtrip;
+        Alcotest.test_case "recovery drains the backlog" `Quick
+          test_recovery_drains_backlog;
+      ] );
+    ( "chaos.engine",
+      [
+        Alcotest.test_case "replaying a plan is byte-identical" `Slow
+          test_engine_deterministic_replay;
+        Alcotest.test_case "reaper detection latency is exact" `Quick
+          test_engine_reaper_latency_exact;
+        Alcotest.test_case "oracle passes for every robust scheme" `Slow
+          test_engine_oracle_all_robust_schemes;
+        Alcotest.test_case "injected oom mutates nothing" `Quick
+          test_engine_oom_only_mutates_nothing;
+      ] );
+    ( "chaos.oracle",
+      [
+        Alcotest.test_case "divergence, trips and leaks flagged" `Quick
+          test_oracle_flags_divergence;
+      ] );
+  ]

@@ -15,4 +15,5 @@ let () =
          Test_queue.suites;
          Test_lfrc.suites;
          Test_service.suites;
+         Test_chaos.suites;
        ])

@@ -193,6 +193,92 @@ let test_lookup_vs_fresh_frontier () =
   Alcotest.(check bool) "consumer chased a non-empty frontier" true
     (chased > 0)
 
+let test_inject_failures () =
+  let p = Pool.create ~local_cache:0 () in
+  Pool.inject_failures p ~n:2;
+  Alcotest.(check int) "budget armed" 2 (Pool.injected_failures_pending p);
+  (match Pool.alloc p with
+  | _ -> Alcotest.fail "first alloc should have failed"
+  | exception Mpool.Injected_oom -> ());
+  (match Pool.alloc p with
+  | _ -> Alcotest.fail "second alloc should have failed"
+  | exception Mpool.Injected_oom -> ());
+  Alcotest.(check int) "budget drained" 0 (Pool.injected_failures_pending p);
+  let n = Pool.alloc p in
+  Alcotest.(check bool) "third alloc succeeds" true n.Node.live;
+  (* Failed allocations must not leak into the books: live stays exact
+     and only the successful alloc is counted. *)
+  let s = Pool.stats p in
+  Alcotest.(check int) "failed allocs not counted" 1 s.Mpool.allocs;
+  Alcotest.(check int) "live exact" 1 (Pool.live p);
+  Alcotest.check_raises "negative budget rejected"
+    (Invalid_argument "Mpool.inject_failures: n < 0") (fun () ->
+      Pool.inject_failures p ~n:(-1))
+
+(* ------------------------------------------------------------------ *)
+(* Node reuse under Leaky vs the Hdr generation check.
+
+   Leaky never frees, so a retired node stays reachable forever; if
+   storage is recycled anyway (the unsafe-reclamation adversary), a
+   reader still holding the old pointer commits a use-after-free.  The
+   checked build must catch exactly that: the shared free funnel marks
+   the header freed, and a stale dereference trips [Lifecycle] before
+   the pool hands the node out again. *)
+
+module Blk = struct
+  type t = { hdr : Smr.Hdr.t; index : int }
+
+  let create ~index = { hdr = Smr.Hdr.create (); index }
+  let index b = b.index
+  let on_alloc b = Smr.Hdr.set_live b.hdr
+  let on_free _ = ()
+end
+
+module Bpool = Mpool.Make (Blk)
+
+let contains s sub =
+  let n = String.length s and m = String.length sub in
+  let rec go i = i + m <= n && (String.sub s i m = sub || go (i + 1)) in
+  m = 0 || go 0
+
+let test_leaky_reuse_trips_generation_check () =
+  let t = Smr.Leaky.create Smr.Config.default in
+  let pool = Bpool.create ~local_cache:0 () in
+  Smr.Leaky.enter t ~tid:0;
+  let a = Bpool.alloc pool in
+  a.Blk.hdr.Smr.Hdr.free_hook <- (fun () -> Bpool.free pool a);
+  Smr.Leaky.alloc_hook t ~tid:0 a.Blk.hdr;
+  Smr.Leaky.retire t ~tid:0 a.Blk.hdr;
+  Smr.Leaky.leave t ~tid:0;
+  Alcotest.(check int)
+    "leaky never reclaims" 1
+    (Smr.Stats.unreclaimed (Smr.Leaky.stats t));
+  (* Force the reclamation Leaky refuses to do, through the shared
+     funnel every scheme frees with: header freed, storage recycled. *)
+  Smr.Tracker.free_block (Smr.Leaky.stats t) ~tid:0 a.Blk.hdr;
+  (* A reader still holding the stale pointer dereferences it. *)
+  (match Smr.Hdr.check_not_freed "stale deref" a.Blk.hdr with
+  | () -> Alcotest.fail "stale dereference after free went undetected"
+  | exception Smr.Hdr.Lifecycle (msg, h) ->
+      Alcotest.(check bool)
+        "violation names the dereference context" true
+        (contains msg "stale deref");
+      Alcotest.(check bool) "violation carries the header" true
+        (h == a.Blk.hdr));
+  (* Freeing the same block again is its own violation. *)
+  (match Smr.Tracker.free_block (Smr.Leaky.stats t) ~tid:0 a.Blk.hdr with
+  | () -> Alcotest.fail "double free went undetected"
+  | exception Smr.Hdr.Lifecycle (msg, _) ->
+      Alcotest.(check bool) "double free named" true (contains msg "double-free"));
+  (* The free hook really recycled the storage: the next allocation is
+     the same node, relabelled live — which is why the stale pointer
+     above was dangerous and the trip mandatory. *)
+  let b = Bpool.alloc pool in
+  Alcotest.(check bool) "retired node physically reused" true (a == b);
+  Alcotest.(check bool)
+    "reused header reads as live again" false
+    (Smr.Hdr.is_freed b.Blk.hdr)
+
 let prop_sequential_model =
   (* Random alloc/free sequences against a simple model: the pool's
      live count always equals (allocs - frees) of the model, and every
@@ -240,6 +326,10 @@ let suites =
         Alcotest.test_case "splice accounting" `Quick test_splice_accounting;
         Alcotest.test_case "lookup vs fresh frontier" `Slow
           test_lookup_vs_fresh_frontier;
+        Alcotest.test_case "injected alloc failures" `Quick
+          test_inject_failures;
+        Alcotest.test_case "leaky reuse trips the generation check" `Quick
+          test_leaky_reuse_trips_generation_check;
         qcheck prop_sequential_model;
       ] );
   ]

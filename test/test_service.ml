@@ -215,6 +215,54 @@ let test_unix_socket () =
             (Service.Codec.reply_to_string
                (Service.Conn.call_fd fd (Service.Codec.Get 5)))))
 
+(* A client that vanishes mid-request-frame must cost nothing durable:
+   the handler observes the EOF, and the leased tid slot goes back to
+   the pool.  With only 2 slots, 8 abrupt disconnects would wedge the
+   server into answering Shed forever if any lease leaked. *)
+let test_abrupt_disconnect_releases_tids () =
+  let path =
+    Filename.concat
+      (Filename.get_temp_dir_name ())
+      (Printf.sprintf "kvd-churn-%d.sock" (Unix.getpid ()))
+  in
+  let svc = make_svc ~clients:2 () in
+  let server = Service.Conn.serve_unix svc ~path () in
+  Fun.protect
+    ~finally:(fun () ->
+      Service.Conn.shutdown server;
+      svc.Service.Shard.stop ())
+    (fun () ->
+      for _ = 1 to 8 do
+        let fd = Service.Conn.connect_unix ~path in
+        (* Half a length prefix, then gone. *)
+        (try ignore (Unix.write fd (Bytes.make 2 '\007') 0 2)
+         with Unix.Unix_error _ -> ());
+        try Unix.close fd with Unix.Unix_error _ -> ()
+      done;
+      let deadline = Unix.gettimeofday () +. 10.0 in
+      let rec attempt () =
+        let fd = Service.Conn.connect_unix ~path in
+        let r =
+          try Some (Service.Conn.call_fd fd (Service.Codec.Get 3))
+          with Service.Conn.Closed -> None
+        in
+        (try Unix.close fd with Unix.Unix_error _ -> ());
+        match r with
+        | Some Service.Codec.Not_found -> ()
+        | Some Service.Codec.Shed | None ->
+            if Unix.gettimeofday () > deadline then
+              Alcotest.fail
+                "client slots never released after abrupt disconnects"
+            else begin
+              Unix.sleepf 0.02;
+              attempt ()
+            end
+        | Some r ->
+            Alcotest.failf "unexpected reply %s"
+              (Service.Codec.reply_to_string r)
+      in
+      attempt ())
+
 (* ------------------------------------------------------------------ *)
 (* Loadgen determinism and the Zipf table cache *)
 
@@ -299,6 +347,8 @@ let suites =
         Alcotest.test_case "loopback opcodes" `Quick test_loopback_opcodes;
         Alcotest.test_case "shed at capacity" `Quick test_shed_at_capacity;
         Alcotest.test_case "unix socket round-trip" `Quick test_unix_socket;
+        Alcotest.test_case "abrupt disconnects release client slots" `Quick
+          test_abrupt_disconnect_releases_tids;
       ] );
     ( "service.loadgen",
       [
