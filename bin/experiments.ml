@@ -676,8 +676,15 @@ let run_chaos ~ds ~schemes ~classes ~steps ~seed ~bound ~shards ~smoke ~plot =
       classes
 
 let rec dispatch figure ds paper threads duration active plot csv metrics_csv
-    prom repeat dist schemes_arg shards_arg stalled_shards rate mixname churn
-    mailbox_cap chaos_steps chaos_seed faults_arg bound smoke =
+    prom repeat dist schemes_arg head_backend shards_arg stalled_shards rate
+    mixname churn mailbox_cap chaos_steps chaos_seed faults_arg bound smoke =
+  (* --head-backend: rebase every Hyaline entry of a sweep list onto
+     the requested Head backend (dwcas|llsc|packed); baselines and
+     schemes without that variant pass through unchanged. *)
+  let rebase names =
+    if head_backend = "default" then names
+    else List.map (Registry.scheme_with_backend ~backend:head_backend) names
+  in
   (match csv with
   | Some path when !csv_channel = None ->
       let oc = open_out path in
@@ -703,17 +710,19 @@ let rec dispatch figure ds paper threads duration active plot csv metrics_csv
   match String.lowercase_ascii figure with
   | "serve" ->
       let schemes =
-        match schemes_arg with
-        | [] -> [ "ebr"; "hyaline"; "hyaline1s" ]
-        | l -> l
+        rebase
+          (match schemes_arg with
+          | [] -> [ "ebr"; "hyaline"; "hyaline1s" ]
+          | l -> l)
       in
       run_serve ~sc ~ds ~schemes ~shards:shards_arg ~stalled:stalled_shards
         ~rate ~mixname ~churn ~mailbox_cap ~plot
   | "chaos" ->
       let schemes =
-        match schemes_arg with
-        | [] -> [ "ebr"; "hyalines"; "hyaline1s" ]
-        | l -> l
+        rebase
+          (match schemes_arg with
+          | [] -> [ "ebr"; "hyalines"; "hyaline1s" ]
+          | l -> l)
       in
       run_chaos ~ds ~schemes ~classes:faults_arg ~steps:chaos_steps
         ~seed:chaos_seed ~bound ~shards:shards_arg ~smoke ~plot
@@ -723,19 +732,19 @@ let rec dispatch figure ds paper threads duration active plot csv metrics_csv
       Format.printf
         "@.(retire-cost microbenchmarks: `dune exec bench/main.exe`)@."
   | "fig8" | "fig9" ->
-      run_sweep ~plot ~sc ~ds:ds_list ~schemes:Figures.figure8_schemes
+      run_sweep ~plot ~sc ~ds:ds_list ~schemes:(rebase Figures.figure8_schemes)
         ~mix:Driver.write_heavy
         ~fig_label:"Fig. 8/9 (x86 write-heavy 50i/50d)"
   | "fig11" | "fig12" ->
-      run_sweep ~plot ~sc ~ds:ds_list ~schemes:Figures.figure8_schemes
+      run_sweep ~plot ~sc ~ds:ds_list ~schemes:(rebase Figures.figure8_schemes)
         ~mix:Driver.read_mostly
         ~fig_label:"Fig. 11/12 (x86 read-mostly 90g/10p)"
   | "fig13" | "fig14" ->
-      run_sweep ~plot ~sc ~ds:ds_list ~schemes:Figures.ppc_schemes
+      run_sweep ~plot ~sc ~ds:ds_list ~schemes:(rebase Figures.ppc_schemes)
         ~mix:Driver.write_heavy
         ~fig_label:"Fig. 13/14 (LL/SC backend, write-heavy)"
   | "fig15" | "fig16" ->
-      run_sweep ~plot ~sc ~ds:ds_list ~schemes:Figures.ppc_schemes
+      run_sweep ~plot ~sc ~ds:ds_list ~schemes:(rebase Figures.ppc_schemes)
         ~mix:Driver.read_mostly
         ~fig_label:"Fig. 15/16 (LL/SC backend, read-mostly)"
   | "fig10a" ->
@@ -777,9 +786,9 @@ let rec dispatch figure ds paper threads duration active plot csv metrics_csv
       List.iter
         (fun f ->
           dispatch f "hashmap" paper threads duration active plot csv
-            metrics_csv prom repeat dist schemes_arg shards_arg stalled_shards
-            rate mixname churn mailbox_cap chaos_steps chaos_seed faults_arg
-            bound smoke)
+            metrics_csv prom repeat dist schemes_arg head_backend shards_arg
+            stalled_shards rate mixname churn mailbox_cap chaos_steps
+            chaos_seed faults_arg bound smoke)
         [
           "ablate-batch"; "ablate-slots"; "ablate-freq"; "ablate-spurious";
           "ablate-skew";
@@ -927,6 +936,17 @@ let schemes_arg =
           "(serve) Schemes to sweep, e.g. ebr,hyaline,hyaline1s.  Default: \
            ebr, hyaline, hyaline1s.")
 
+let head_backend_arg =
+  Arg.(
+    value
+    & opt string "default"
+    & info [ "head-backend" ] ~docv:"B"
+        ~doc:
+          "Rebase the Hyaline schemes of the selected figure/serve/chaos \
+           sweep onto this Head backend: dwcas (the default pairs), llsc, \
+           or packed.  Baselines and schemes without the variant are left \
+           unchanged.")
+
 let shards_arg =
   Arg.(
     value & opt int 4
@@ -1023,7 +1043,8 @@ let cmd =
     Term.(
       const dispatch $ figure $ ds $ paper $ threads $ duration $ active
       $ plot $ csv $ metrics_csv $ prom $ repeat $ dist $ schemes_arg
-      $ shards_arg $ stalled_shards $ rate $ mixname $ churn $ mailbox_cap
-      $ chaos_steps $ chaos_seed $ faults_arg $ bound $ smoke)
+      $ head_backend_arg $ shards_arg $ stalled_shards $ rate $ mixname
+      $ churn $ mailbox_cap $ chaos_steps $ chaos_seed $ faults_arg $ bound
+      $ smoke)
 
 let () = exit (Cmd.eval cmd)

@@ -12,10 +12,11 @@ module Make (H : Head.OPS) : Tracker_ext.S = struct
     handles : Hdr.t array; (* per tid; owner-written *)
     slots_of : int array; (* slot chosen by the tid's last enter *)
     builders : Batch.t array; (* per tid local batches *)
+    reaps : Internal.reap array; (* per tid, reused; drain empties them *)
     stats : Stats.t;
   }
 
-  let name = if H.backend = "dwcas" then "Hyaline" else "Hyaline(llsc)"
+  let name = if H.backend = "dwcas" then "Hyaline" else "Hyaline(" ^ H.backend ^ ")"
   let robust = false
   let transparent = true
 
@@ -33,6 +34,7 @@ module Make (H : Head.OPS) : Tracker_ext.S = struct
       handles = Array.make cfg.nthreads Hdr.nil;
       slots_of = Array.make cfg.nthreads 0;
       builders = Array.init cfg.nthreads (fun _ -> Batch.create ());
+      reaps = Array.init cfg.nthreads (fun _ -> Internal.new_reap ());
       stats = Stats.create ();
     }
 
@@ -43,18 +45,18 @@ module Make (H : Head.OPS) : Tracker_ext.S = struct
     let slot = tid land (t.k - 1) in
     let snap = H.enter_faa t.heads.(slot) in
     t.slots_of.(tid) <- slot;
-    t.handles.(tid) <- snap.Snap.hptr
+    t.handles.(tid) <- H.hptr snap
 
   let leave t ~tid =
     let slot = t.slots_of.(tid) in
-    let reap = Internal.new_reap () in
+    let reap = t.reaps.(tid) in
     let _count = I.leave_slot t.heads.(slot) ~handle:t.handles.(tid) reap in
     t.handles.(tid) <- Hdr.nil;
     Internal.drain t.stats ~tid reap
 
   let trim t ~tid =
     let slot = t.slots_of.(tid) in
-    let reap = Internal.new_reap () in
+    let reap = t.reaps.(tid) in
     let handle, _count = I.trim_slot t.heads.(slot) ~handle:t.handles.(tid) reap in
     t.handles.(tid) <- handle;
     Internal.drain t.stats ~tid reap
@@ -72,7 +74,7 @@ module Make (H : Head.OPS) : Tracker_ext.S = struct
 
   let retire_batch t ~tid =
     let refnode = Batch.seal t.builders.(tid) ~adjs:t.adjs in
-    let reap = Internal.new_reap () in
+    let reap = t.reaps.(tid) in
     I.insert_batch
       (fun s -> t.heads.(s))
       ~k:t.k refnode
@@ -119,3 +121,4 @@ end
 
 include Make (Head.Dwcas)
 module Llsc = Make (Llsc_head)
+module Packed = Make (Head.Packed)

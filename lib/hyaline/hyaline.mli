@@ -20,8 +20,8 @@
     version of §3.1. *)
 
 module Make (H : Head.OPS) : Tracker_ext.S
-(** Build Hyaline over a Head backend ({!Head.Dwcas} or
-    {!Llsc_head}). *)
+(** Build Hyaline over a Head backend ({!Head.Dwcas}, {!Head.Packed}
+    or {!Llsc_head}). *)
 
 include Tracker_ext.S
 (** Hyaline over double-width CAS — the paper's default. *)
@@ -29,3 +29,9 @@ include Tracker_ext.S
 module Llsc : Tracker_ext.S
 (** Hyaline over emulated single-width LL/SC (§4.4) — the PPC/MIPS
     port used for the Appendix-A figures. *)
+
+module Packed : Tracker_ext.S
+(** Hyaline over the packed single-word head ({!Head.Packed}): a true
+    wait-free fetch-and-add [enter] and an allocation-free uncontended
+    bracket — the Figure 4 fast path.  See docs/HEAD_BACKENDS.md for
+    choosing a backend. *)

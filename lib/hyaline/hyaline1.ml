@@ -1,3 +1,12 @@
-include Hyaline1_core.Make (struct
-  let eras = false
-end)
+include Hyaline1_core.Make
+          (struct
+            let eras = false
+          end)
+          (Hyaline1_core.Boxed_word)
+
+module Packed =
+  Hyaline1_core.Make
+    (struct
+      let eras = false
+    end)
+    (Hyaline1_core.Packed_word)

@@ -10,11 +10,14 @@
     list it detaches on [leave].
 
     OCaml has no untagged pointer word to squeeze a bit into, so the
-    merged word is modelled as one [Atomic.t] holding an immutable
-    [{active; hptr}] pair: [leave]'s detach is a genuinely wait-free
-    [Atomic.exchange]; [enter] is a plain publication store (nothing
-    races an inactive slot).  The per-thread-slot structure — the
-    actual algorithmic content of Hyaline-1 — is exact.
+    default merged word is modelled as one [Atomic.t] holding an
+    immutable [{active; hptr}] pair: [leave]'s detach is a genuinely
+    wait-free [Atomic.exchange]; [enter] is a plain publication store
+    (nothing races an inactive slot).  The per-thread-slot structure —
+    the actual algorithmic content of Hyaline-1 — is exact.  {!Packed}
+    instead packs the bit and a [uid + 1] index into one immediate
+    int ([Hyaline1_core.Packed_word]), making the whole bracket
+    allocation-free.
 
     Requires [tid]s to be dense in [0 .. Config.nthreads - 1]; "almost"
     transparent in the paper's terms: threads need a unique slot but
@@ -24,3 +27,7 @@
     [Config] fields used: [nthreads] (= k), [batch_min], [check_uaf]. *)
 
 include Tracker_ext.S
+
+module Packed : Tracker_ext.S
+(** Hyaline-1 over the packed immediate word — the Figure 4 fast
+    path; see docs/HEAD_BACKENDS.md. *)

@@ -1,29 +1,116 @@
 open Smr
 
 (* The merged single word of Fig. 4: the owner's presence bit packed
-   with the list head.  Immutable pairs in one Atomic model the
-   paper's (ptr | bit) word; see Hyaline1's interface comment. *)
+   with the list head.  Two representations implement {!WORD}:
+   immutable pairs in one Atomic ({!Boxed_word}, the historical
+   default) and a genuinely packed immediate int ({!Packed_word});
+   see Hyaline1's interface comment. *)
 type word = { active : bool; hptr : Hdr.t }
 
 let idle = { active = false; hptr = Hdr.nil }
+let active_empty = { active = true; hptr = Hdr.nil }
 
-module Make (E : sig
-  val eras : bool
-end) : Tracker_ext.S = struct
+module type WORD = sig
+  type t
+  type word
+
+  val backend : string
+  val make : unit -> t
+  val get : t -> word
+
+  val exchange_active : t -> word
+  (** Swap in [{active = true; hptr = nil}]; return the old word
+      (enter's wait-free publication). *)
+
+  val exchange_idle : t -> word
+  (** Swap in [{active = false; hptr = nil}]; return the old word
+      (leave's wait-free detach). *)
+
+  val cas_insert : t -> expected:word -> Hdr.t -> bool
+  (** Replace the pointer field, keeping the bit, if the word still
+      equals [expected] (retire's insertion). *)
+
+  val active : word -> bool
+
+  val empty : word -> bool
+  (** [empty w] iff [hptr w] is nil — but without materializing the
+      pointer, so the packed backend's empty-bracket hot path stays a
+      single int comparison (no registry decode, no nil load). *)
+
+  val hptr : word -> Hdr.t
+end
+
+module Boxed_word : WORD = struct
+  type nonrec word = word
+  type t = word Atomic.t
+
+  let backend = "boxed"
+  let make () = Atomic.make idle
+  let get = Atomic.get
+  let exchange_active t = Atomic.exchange t active_empty
+  let exchange_idle t = Atomic.exchange t idle
+
+  (* Physical equality on the immutable box, as in Head.Dwcas. *)
+  let cas_insert t ~expected n =
+    Atomic.compare_and_set t expected { expected with hptr = n }
+
+  let active w = w.active
+  let empty w = Hdr.is_nil w.hptr
+  let hptr w = w.hptr
+end
+
+(* Fig. 4's word for real: bit 0 is the presence bit, the upper bits
+   hold [uid + 1] (0 = nil), decoded through the wait-free
+   [Hdr.of_uid] registry.  Enter/leave are single-word exchanges of
+   constants and nothing allocates.  The CAS is value-based; safe
+   because uids permanently denote one physical header and the
+   credit arithmetic only depends on the word's value (the paper's
+   own hardware-CAS argument — see DESIGN.md §1). *)
+module Packed_word : WORD = struct
+  type t = int Atomic.t
+  type word = int
+
+  let backend = "packed"
+  let make () = Atomic.make 0
+  let get = Atomic.get
+  let exchange_active t = Atomic.exchange t 1
+  let exchange_idle t = Atomic.exchange t 0
+  let index_of (h : Hdr.t) = h.Hdr.uid + 1
+
+  let cas_insert t ~expected n =
+    Atomic.compare_and_set t expected ((index_of n lsl 1) lor (expected land 1))
+
+  let active w = w land 1 = 1
+  let empty w = w lsr 1 = 0
+
+  let hptr w =
+    let i = w lsr 1 in
+    if i = 0 then Hdr.nil else Hdr.of_uid (i - 1)
+end
+
+module Make
+    (E : sig
+      val eras : bool
+    end)
+    (W : WORD) : Tracker_ext.S = struct
   type t = {
     cfg : Config.t;
     k : int; (* = nthreads: one slot per thread *)
     batch_size : int;
-    heads : word Atomic.t array;
+    heads : W.t array;
     accesses : int Atomic.t array; (* 1S: per-slot access eras *)
     era : int Atomic.t;
     alloc_count : int array;
     handles : Hdr.t array;
     builders : Batch.t array;
+    reaps : Internal.reap array; (* per tid, reused; drain empties them *)
     stats : Stats.t;
   }
 
-  let name = if E.eras then "Hyaline-1S" else "Hyaline-1"
+  let name =
+    (if E.eras then "Hyaline-1S" else "Hyaline-1")
+    ^ if W.backend = "boxed" then "" else "(" ^ W.backend ^ ")"
+
   let robust = E.eras
   let transparent = false (* "almost": needs a dedicated slot per thread *)
 
@@ -34,12 +121,13 @@ end) : Tracker_ext.S = struct
       cfg;
       k;
       batch_size = max cfg.batch_min (k + 1);
-      heads = Array.init k (fun _ -> Atomic.make idle);
+      heads = Array.init k (fun _ -> W.make ());
       accesses = Array.init k (fun _ -> Atomic.make 0);
       era = Atomic.make 1;
       alloc_count = Array.make k 0;
       handles = Array.make k Hdr.nil;
       builders = Array.init k (fun _ -> Batch.create ());
+      reaps = Array.init k (fun _ -> Internal.new_reap ());
       stats = Stats.create ();
     }
 
@@ -47,10 +135,10 @@ end) : Tracker_ext.S = struct
   let pending t ~tid = Batch.size t.builders.(tid)
 
   (* Wait-free: an inactive slot is touched by nobody else (retire
-     skips it), so publication is a plain store. *)
+     skips it), so publication is a plain exchange of a constant. *)
   let enter t ~tid =
-    let old = Atomic.exchange t.heads.(tid) { active = true; hptr = Hdr.nil } in
-    assert ((not old.active) && Hdr.is_nil old.hptr);
+    let old = W.exchange_active t.heads.(tid) in
+    assert ((not (W.active old)) && W.empty old);
     t.handles.(tid) <- Hdr.nil
 
   (* Wait-free: detach the whole list and drop the bit in one
@@ -59,11 +147,14 @@ end) : Tracker_ext.S = struct
      the handle node is deliberately kept referenced by trim so a
      recycled node can never masquerade as the traversal boundary). *)
   let leave t ~tid =
-    let old = Atomic.exchange t.heads.(tid) idle in
-    assert old.active;
-    let reap = Internal.new_reap () in
-    (if not (Hdr.is_nil old.hptr) then
-       ignore (Internal.traverse reap ~next:old.hptr ~handle:t.handles.(tid)));
+    let old = W.exchange_idle t.heads.(tid) in
+    assert (W.active old);
+    let reap = t.reaps.(tid) in
+    (* [empty] keeps the uncontended bracket free of the pointer
+       decode: the packed registry lookup only happens when there is
+       a detached list to traverse. *)
+    (if not (W.empty old) then
+       ignore (Internal.traverse reap ~next:(W.hptr old) ~handle:t.handles.(tid)));
     t.handles.(tid) <- Hdr.nil;
     Internal.drain t.stats ~tid reap
 
@@ -72,13 +163,12 @@ end) : Tracker_ext.S = struct
      undecremented and becomes the new handle, exactly like the
      multi-slot trim. *)
   let trim t ~tid =
-    let cur = Atomic.get t.heads.(tid) in
-    let reap = Internal.new_reap () in
-    (if cur.hptr != t.handles.(tid) then
+    let cur = W.hptr (W.get t.heads.(tid)) in
+    let reap = t.reaps.(tid) in
+    (if cur != t.handles.(tid) then
        ignore
-         (Internal.traverse reap ~next:cur.hptr.Hdr.next
-            ~handle:t.handles.(tid)));
-    t.handles.(tid) <- cur.hptr;
+         (Internal.traverse reap ~next:cur.Hdr.next ~handle:t.handles.(tid)));
+    t.handles.(tid) <- cur;
     Internal.drain t.stats ~tid reap
 
   let alloc_hook t ~tid hdr =
@@ -122,33 +212,38 @@ end) : Tracker_ext.S = struct
     (* No Adjs arithmetic in Hyaline-1: the batch's count is simply
        the number of slots it reaches (Fig. 4). *)
     let refnode = Batch.seal t.builders.(tid) ~adjs:0 in
-    let reap = Internal.new_reap () in
+    let reap = t.reaps.(tid) in
     let inserts = ref 0 in
     let node = ref refnode.Hdr.batch_link in
+    (* As in Internal.insert_batch, the backoff record is created only
+       after a first lost CAS, so uncontended retires allocate none. *)
+    let attempt head slot =
+      let cur = W.get head in
+      let skip =
+        (not (W.active cur))
+        || (E.eras && Atomic.get t.accesses.(slot) < min_birth)
+      in
+      if skip then true
+      else begin
+        let n = !node in
+        assert (not (Hdr.is_nil n));
+        n.Hdr.next <- W.hptr cur;
+        if W.cas_insert head ~expected:cur n then begin
+          node := n.Hdr.batch_link;
+          incr inserts;
+          true
+        end
+        else false
+      end
+    in
+    let rec retry head slot b =
+      Prims.Backoff.once b;
+      if not (attempt head slot) then retry head slot b
+    in
     for slot = 0 to t.k - 1 do
       let head = t.heads.(slot) in
-      let b = Prims.Backoff.create () in
-      let rec attempt () =
-        let cur = Atomic.get head in
-        let skip =
-          (not cur.active)
-          || (E.eras && Atomic.get t.accesses.(slot) < min_birth)
-        in
-        if not skip then begin
-          let n = !node in
-          assert (not (Hdr.is_nil n));
-          n.Hdr.next <- cur.hptr;
-          if Atomic.compare_and_set head cur { cur with hptr = n } then begin
-            node := n.Hdr.batch_link;
-            incr inserts
-          end
-          else begin
-            Prims.Backoff.once b;
-            attempt ()
-          end
-        end
-      in
-      attempt ()
+      if not (attempt head slot) then
+        retry head slot (Prims.Backoff.create ())
     done;
     (* Final adjustment: the owners of the [inserts] slots each hold
        one reference; when all have traversed, the count returns to

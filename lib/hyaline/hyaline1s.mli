@@ -12,3 +12,7 @@
     [check_uaf]. *)
 
 include Tracker_ext.S
+
+module Packed : Tracker_ext.S
+(** Hyaline-1S over the packed immediate word
+    ([Hyaline1_core.Packed_word]); allocation-free brackets. *)

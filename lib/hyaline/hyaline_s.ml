@@ -14,10 +14,12 @@ module Make (H : Head.OPS) : Tracker_ext.S = struct
     handles : Hdr.t array;
     slots_of : int array;
     builders : Batch.t array;
+    reaps : Internal.reap array; (* per tid, reused; drain empties them *)
     stats : Stats.t;
   }
 
-  let name = if H.backend = "dwcas" then "Hyaline-S" else "Hyaline-S(llsc)"
+  let name =
+    if H.backend = "dwcas" then "Hyaline-S" else "Hyaline-S(" ^ H.backend ^ ")"
   let robust = true
   let transparent = true
 
@@ -35,6 +37,7 @@ module Make (H : Head.OPS) : Tracker_ext.S = struct
       handles = Array.make cfg.nthreads Hdr.nil;
       slots_of = Array.init cfg.nthreads (fun tid -> tid land (kmin - 1));
       builders = Array.init cfg.nthreads (fun _ -> Batch.create ());
+      reaps = Array.init cfg.nthreads (fun _ -> Internal.new_reap ());
       stats = Stats.create ();
     }
 
@@ -55,32 +58,35 @@ module Make (H : Head.OPS) : Tracker_ext.S = struct
      occupied by stalled threads; if every slot is marked, either
      grow (§4.3) or — capped mode — settle for the current slot (the
      interference regime of Figure 10a). *)
+  (* Top-level rather than a local closure so the enter path does not
+     allocate (the packed backend's bracket is allocation-free end to
+     end). *)
+  let rec scan_slot t slot attempts k =
+    if Atomic.get (Directory.get t.acks slot) < t.cfg.ack_threshold then slot
+    else if attempts + 1 >= k then
+      if t.cfg.adaptive then begin
+        grow t;
+        let k' = Atomic.get t.k in
+        (* Fresh slots have Ack = 0; restart the scan in the new
+           region. *)
+        scan_slot t (k land (k' - 1)) 0 k'
+      end
+      else slot
+    else scan_slot t ((slot + 1) land (k - 1)) (attempts + 1) k
+
   let pick_slot t ~tid =
-    let rec scan slot attempts k =
-      if Atomic.get (Directory.get t.acks slot) < t.cfg.ack_threshold then slot
-      else if attempts + 1 >= k then
-        if t.cfg.adaptive then begin
-          grow t;
-          let k' = Atomic.get t.k in
-          (* Fresh slots have Ack = 0; restart the scan in the new
-             region. *)
-          scan (k land (k' - 1)) 0 k'
-        end
-        else slot
-      else scan ((slot + 1) land (k - 1)) (attempts + 1) k
-    in
     let k = Atomic.get t.k in
-    scan (t.slots_of.(tid) land (k - 1)) 0 k
+    scan_slot t (t.slots_of.(tid) land (k - 1)) 0 k
 
   let enter t ~tid =
     let slot = pick_slot t ~tid in
     t.slots_of.(tid) <- slot;
     let snap = H.enter_faa (Directory.get t.heads slot) in
-    t.handles.(tid) <- snap.Snap.hptr
+    t.handles.(tid) <- H.hptr snap
 
   let leave t ~tid =
     let slot = t.slots_of.(tid) in
-    let reap = Internal.new_reap () in
+    let reap = t.reaps.(tid) in
     let count =
       I.leave_slot (Directory.get t.heads slot) ~handle:t.handles.(tid) reap
     in
@@ -91,7 +97,7 @@ module Make (H : Head.OPS) : Tracker_ext.S = struct
 
   let trim t ~tid =
     let slot = t.slots_of.(tid) in
-    let reap = Internal.new_reap () in
+    let reap = t.reaps.(tid) in
     let handle, count =
       I.trim_slot (Directory.get t.heads slot) ~handle:t.handles.(tid) reap
     in
@@ -133,7 +139,7 @@ module Make (H : Head.OPS) : Tracker_ext.S = struct
   let retire_batch t ~tid ~k_now =
     let min_birth = Batch.min_birth t.builders.(tid) in
     let refnode = Batch.seal t.builders.(tid) ~adjs:(Adjs.of_k k_now) in
-    let reap = Internal.new_reap () in
+    let reap = t.reaps.(tid) in
     I.insert_batch
       (fun s -> Directory.get t.heads s)
       ~k:k_now refnode
@@ -188,3 +194,4 @@ end
 
 include Make (Head.Dwcas)
 module Llsc = Make (Llsc_head)
+module Packed = Make (Head.Packed)

@@ -30,3 +30,8 @@ include Tracker_ext.S
 
 module Llsc : Tracker_ext.S
 (** Hyaline-S over emulated single-width LL/SC (§4.4). *)
+
+module Packed : Tracker_ext.S
+(** Hyaline-S over the packed single-word head ({!Head.Packed}):
+    wait-free fetch-and-add [enter] and an allocation-free uncontended
+    bracket. *)

@@ -23,22 +23,29 @@ let free_batch stats ~tid refn =
   in
   go refn
 
+(* Empty-guarded so a bracket that reaped nothing — the common case —
+   allocates neither the partial application nor the reversal; reaps
+   are reused per thread, so clear {e before} freeing (an exception
+   from a free hook must not leave batches behind to double-free). *)
 let drain stats ~tid reap =
-  List.iter (free_batch stats ~tid) (List.rev reap.batches);
-  reap.batches <- []
+  match reap.batches with
+  | [] -> ()
+  | batches ->
+      reap.batches <- [];
+      List.iter (free_batch stats ~tid) (List.rev batches)
 
-let traverse reap ~next ~handle =
-  let count = ref 0 in
-  let rec go curr =
-    if not (Hdr.is_nil curr) then begin
-      let next = curr.Hdr.next in
-      incr count;
-      add_ref reap curr (-1);
-      if curr != handle then go next
-    end
-  in
-  go next;
-  !count
+(* Top-level (not a local closure) so callers on the bracket path
+   allocate nothing. *)
+let rec traverse_go reap handle curr count =
+  if Hdr.is_nil curr then count
+  else begin
+    let next = curr.Hdr.next in
+    add_ref reap curr (-1);
+    if curr != handle then traverse_go reap handle next (count + 1)
+    else count + 1
+  end
+
+let traverse reap ~next ~handle = traverse_go reap handle next 0
 
 module Make (H : Head.OPS) = struct
   let insert_batch heads ~k refnode ~skip ~after_insert reap =
@@ -46,81 +53,95 @@ module Make (H : Head.OPS) = struct
     let do_adj = ref false in
     let node = ref refnode.Hdr.batch_link in
     let adjs = refnode.Hdr.adjs in
+    (* [attempt] finishes the slot (inserted, or credited empty) or
+       returns [false] on a lost CAS; only then does [retry] create
+       the backoff record, so an uncontended retire allocates no
+       backoff at all. *)
+    let attempt head slot =
+      let snap = H.read head in
+      if H.href snap = 0 || skip ~slot then begin
+        (* No thread in this slot can reference the batch: credit
+           the slot's Adjs directly (REF #1# / Fig. 5's era skip). *)
+        do_adj := true;
+        empty := !empty + adjs;
+        true
+      end
+      else begin
+        let n = !node in
+        assert (not (Hdr.is_nil n));
+        let prev = H.hptr snap in
+        n.Hdr.next <- prev;
+        if H.cas_ptr head ~expected:snap n then begin
+          node := n.Hdr.batch_link;
+          after_insert ~slot ~href:(H.href snap);
+          (* REF #2#: the displaced predecessor is complete for this
+             slot — credit its batch's own Adjs plus the snapshot of
+             threads that will dereference it on leave. *)
+          if not (Hdr.is_nil prev) then
+            add_ref reap prev (prev.Hdr.ref_node.Hdr.adjs + H.href snap);
+          true
+        end
+        else false
+      end
+    in
+    let rec retry head slot b =
+      Prims.Backoff.once b;
+      if not (attempt head slot) then retry head slot b
+    in
     for slot = 0 to k - 1 do
       let head = heads slot in
-      let b = Prims.Backoff.create () in
-      let rec attempt () =
-        let snap = H.read head in
-        if snap.Snap.href = 0 || skip ~slot then begin
-          (* No thread in this slot can reference the batch: credit
-             the slot's Adjs directly (REF #1# / Fig. 5's era skip). *)
-          do_adj := true;
-          empty := !empty + adjs
-        end
-        else begin
-          let n = !node in
-          assert (not (Hdr.is_nil n));
-          n.Hdr.next <- snap.Snap.hptr;
-          if H.cas_ptr head ~expected:snap n then begin
-            node := n.Hdr.batch_link;
-            after_insert ~slot ~href:snap.Snap.href;
-            (* REF #2#: the displaced predecessor is complete for this
-               slot — credit its batch's own Adjs plus the snapshot of
-               threads that will dereference it on leave. *)
-            if not (Hdr.is_nil snap.Snap.hptr) then
-              add_ref reap snap.Snap.hptr
-                (snap.Snap.hptr.Hdr.ref_node.Hdr.adjs + snap.Snap.href)
-          end
-          else begin
-            Prims.Backoff.once b;
-            attempt ()
-          end
-        end
-      in
-      attempt ()
+      if not (attempt head slot) then
+        retry head slot (Prims.Backoff.create ())
     done;
     (* REF #3#: all skipped slots' credits in a single adjustment.
        When every slot was empty this is k * Adjs = 0 and the FAA
        observes zero immediately — the batch frees on the spot. *)
     if !do_adj then add_ref reap refnode !empty
 
+  (* We were the last thread out: detach the list, treating the first
+     node as a predecessor (Fig. 3 lines 16-17).  Strong CAS: retry
+     while the head still reads [{0, curr}] so a spurious SC failure
+     (§4.4) cannot leak the list. *)
+  let rec detach head curr reap =
+    let s = H.read head in
+    if H.href s = 0 && H.hptr s == curr then
+      if H.cas_ptr head ~expected:s Hdr.nil then
+        add_ref reap curr curr.Hdr.ref_node.Hdr.adjs
+      else detach head curr reap
+
+  (* One decrement attempt; returns the traversal count, or -1 when
+     the CAS lost.  Decomposed from the retry loop so the uncontended
+     leave — first CAS lands — allocates nothing end to end: no
+     snapshot box (immediate-snap backends), no backoff record, no
+     intermediate tuple. *)
+  let leave_attempt head ~handle reap =
+    let snap = H.read head in
+    assert (H.href snap > 0);
+    let curr = H.hptr snap in
+    (* Reading the successor is safe only while our HRef reference
+       pins the first node; the pair-validating CAS below confirms
+       nothing moved in between (the reason Fig. 3 reads Next inside
+       the CAS loop). *)
+    let next = if curr != handle then curr.Hdr.next else Hdr.nil in
+    if H.cas_ref head ~expected:snap (H.href snap - 1) then begin
+      if H.href snap = 1 && not (Hdr.is_nil curr) then detach head curr reap;
+      if curr != handle then traverse reap ~next ~handle else 0
+    end
+    else -1
+
+  let rec leave_retry head ~handle reap b =
+    Prims.Backoff.once b;
+    let n = leave_attempt head ~handle reap in
+    if n >= 0 then n else leave_retry head ~handle reap b
+
   let leave_slot head ~handle reap =
-    let b = Prims.Backoff.create () in
-    let rec dec () =
-      let snap = H.read head in
-      assert (snap.Snap.href > 0);
-      let curr = snap.Snap.hptr in
-      (* Reading the successor is safe only while our HRef reference
-         pins the first node; the pair-validating CAS below confirms
-         nothing moved in between (the reason Fig. 3 reads Next inside
-         the CAS loop). *)
-      let next = if curr != handle then curr.Hdr.next else Hdr.nil in
-      if H.cas_ref head ~expected:snap (snap.Snap.href - 1) then
-        (snap, curr, next)
-      else begin
-        Prims.Backoff.once b;
-        dec ()
-      end
-    in
-    let snap, curr, next = dec () in
-    (if snap.Snap.href = 1 && not (Hdr.is_nil curr) then
-       (* We were the last thread out: detach the list, treating the
-          first node as a predecessor (Fig. 3 lines 16-17).  Strong
-          CAS: retry while the head still reads [{0, curr}] so a
-          spurious SC failure (§4.4) cannot leak the list. *)
-       let rec detach () =
-         let s = H.read head in
-         if s.Snap.href = 0 && s.Snap.hptr == curr then
-           if H.cas_ptr head ~expected:s Hdr.nil then
-             add_ref reap curr curr.Hdr.ref_node.Hdr.adjs
-           else detach ()
-       in
-       detach ());
-    if curr != handle then traverse reap ~next ~handle else 0
+    let n = leave_attempt head ~handle reap in
+    if n >= 0 then n
+    else leave_retry head ~handle reap (Prims.Backoff.create ())
 
   let trim_slot head ~handle reap =
     let snap = H.read head in
-    let curr = snap.Snap.hptr in
+    let curr = H.hptr snap in
     let count =
       if curr != handle then traverse reap ~next:curr.Hdr.next ~handle else 0
     in

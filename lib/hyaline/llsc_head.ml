@@ -1,4 +1,5 @@
 type t = Granule.t
+type snap = Snap.t
 
 let backend = "llsc"
 let spurious_every = ref 0
@@ -31,3 +32,6 @@ let cas_ptr t ~expected hptr =
   let tok = Granule.ll t in
   if not (matches tok expected) then false
   else Granule.sc t tok ~href:(Granule.href tok) ~hptr
+
+let href (s : Snap.t) = s.Snap.href
+let hptr (s : Snap.t) = s.Snap.hptr

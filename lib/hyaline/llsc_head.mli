@@ -17,4 +17,4 @@ val spurious_every : int ref
 (** Injection rate handed to granules created after the assignment;
     exposed so stress tests can crank failure injection up. *)
 
-include Head.OPS
+include Head.OPS with type snap = Snap.t

@@ -100,6 +100,45 @@ module Make (P : POOLABLE) = struct
         end
         else pop_shared t
 
+  (* Cache-miss path: grab the whole shared list in one [exchange] —
+     no CAS loop, so a refill cannot livelock against concurrent
+     pushers — keep up to [local_cache] nodes for this domain's cache,
+     and splice the surplus back.  A miss used to pay one CAS per
+     node popped; now a burst of misses on one domain pays one RMW
+     per [local_cache] allocations.  The cheap empty-check load comes
+     first so idle domains don't bounce the line with useless RMWs. *)
+  let refill t cache =
+    if Atomic.get t.shared_free == [] then None
+    else
+      match Atomic.exchange t.shared_free [] with
+      | [] -> None
+      | node :: rest ->
+          let rec keep acc n = function
+            | x :: xs when n < t.local_cache -> keep (x :: acc) (n + 1) xs
+            | surplus -> (acc, n, surplus)
+          in
+          let kept, n_kept, surplus = keep [] 0 rest in
+          cache.nodes <- kept;
+          cache.count <- n_kept;
+          (match surplus with
+          | [] -> ignore (Atomic.fetch_and_add t.shared_len (-(1 + n_kept)))
+          | _ ->
+              (* The exchange removed the whole list but [shared_len]
+                 still counts it, so after splicing the surplus back
+                 only what this domain took needs deducting.  The list
+                 is a free list: order is irrelevant, [rev_append] is
+                 fine. *)
+              let rec put back =
+                let old = Atomic.get t.shared_free in
+                if
+                  Atomic.compare_and_set t.shared_free old
+                    (List.rev_append back old)
+                then ignore (Atomic.fetch_and_add t.shared_len (-(1 + n_kept)))
+                else put back
+              in
+              put surplus);
+          Some node
+
   (* Install [node] into its registry cell.  Cells are [None] until
      their node is published, so a concurrent [lookup] can never
      observe another index's node through a pre-filled placeholder; it
@@ -140,7 +179,7 @@ module Make (P : POOLABLE) = struct
             cache.nodes <- rest;
             cache.count <- cache.count - 1;
             n
-        | [] -> ( match pop_shared t with Some n -> n | None -> fresh t)
+        | [] -> ( match refill t cache with Some n -> n | None -> fresh t)
     in
     P.on_alloc node;
     node

@@ -69,7 +69,11 @@ module Make (P : POOLABLE) : sig
 
   val alloc : t -> P.t
   (** [alloc t] returns a node, recycling a freed one when available.
-      Runs [P.on_alloc] before returning.
+      Runs [P.on_alloc] before returning.  On a local-cache miss the
+      whole shared free list is taken in one atomic exchange and up to
+      [local_cache] nodes are kept locally (surplus is spliced back),
+      so a burst of misses pays one shared-list RMW per [local_cache]
+      allocations rather than one per node.
       @raise Injected_oom while a fault-injection budget is armed (the
       failed call consumes one budget unit and does not count as an
       alloc, so [live] stays exact). *)

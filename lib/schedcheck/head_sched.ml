@@ -1,6 +1,7 @@
 module Snap = Hyaline_core.Snap
 
 type t = Snap.t Sched.Shared.t
+type snap = Snap.t
 
 let backend = "sched"
 let make () = Sched.Shared.make Snap.zero
@@ -19,3 +20,6 @@ let cas_ref t ~expected href =
 
 let cas_ptr t ~expected hptr =
   Sched.Shared.compare_and_set t expected { expected with Snap.hptr }
+
+let href (s : Snap.t) = s.Snap.href
+let hptr (s : Snap.t) = s.Snap.hptr

@@ -16,4 +16,4 @@
     Only usable from inside scheduler fibers (plus scenario setup and
     end-of-schedule checks, which run under a pass-through handler). *)
 
-include Hyaline_core.Head.OPS
+include Hyaline_core.Head.OPS with type snap = Hyaline_core.Snap.t

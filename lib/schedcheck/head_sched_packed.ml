@@ -1,0 +1,18 @@
+module Packed = Hyaline_core.Head.Packed
+
+type t = int Sched.Shared.t
+type snap = int
+
+let backend = "packed"
+let make () = Sched.Shared.make 0
+let read = Sched.Shared.get
+let enter_faa t = Sched.Shared.fetch_and_add t Packed.unit_href
+
+let cas_ref t ~expected href =
+  Sched.Shared.compare_and_set t expected (Packed.with_href expected href)
+
+let cas_ptr t ~expected h =
+  Sched.Shared.compare_and_set t expected (Packed.with_hptr expected h)
+
+let href = Packed.href
+let hptr = Packed.hptr

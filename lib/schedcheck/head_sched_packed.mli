@@ -1,0 +1,12 @@
+(** {!Head_sched}'s sibling for the packed single-word backend: the
+    {e same} immediate-int encoding as [Hyaline_core.Head.Packed]
+    (its [with_href]/[with_hptr]/[unit_href] word arithmetic and its
+    [Hdr.of_uid] decode are reused verbatim), but the word lives in a
+    {!Sched.Shared} cell, so [enter_faa] is one scheduling point — a
+    genuine single fetch-and-add, unlike the boxed backend's CAS loop
+    — and the value-based CAS semantics of the packed word are what
+    the scheduler explores.  Running
+    [Hyaline_core.Hyaline.Make (Schedcheck.Head_sched_packed)] model-
+    checks the production algorithm over the production encoding. *)
+
+include Hyaline_core.Head.OPS with type snap = int

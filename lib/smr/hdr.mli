@@ -63,7 +63,43 @@ val is_nil : t -> bool
 
 val create : unit -> t
 (** [create ()] returns a fresh header in the {e live} state with all
-    links set to {!nil} and a no-op [free_hook]. *)
+    links set to {!nil} and a no-op [free_hook].  The header is
+    published in the uid registry (see {!of_uid}) before it is
+    returned.
+    @raise Failure if the registry's index space ({!uid_capacity}
+    headers) is exhausted. *)
+
+(** {2 Uid registry}
+
+    A wait-free [uid -> header] directory used by the packed
+    single-word Head backend, which encodes a header pointer as
+    [uid + 1] inside an immediate int.  Uids are assigned once by
+    {!create} and survive pool recycling ([set_live] never reassigns
+    them), so a uid denotes the same physical header for that header's
+    whole existence — the property that makes value-based CAS on
+    packed words ABA-safe.  The registry's reference is strong while
+    the header is live or retired (a packed head may be the only thing
+    keeping a retirement list reachable); {!set_freed} drops it, so a
+    freed header is retained only by its pool and an abandoned pool is
+    collectable, headers and all. *)
+
+val uid_capacity : int
+(** Total number of uids the registry can hold (2{^28}); {!create}
+    raises beyond it.  Well under the packed backend's 40-bit index
+    budget, so registry exhaustion — not encoding overflow — is the
+    binding limit. *)
+
+val of_uid : int -> t
+(** [of_uid i] returns the header whose [uid] is [i].  Wait-free up to
+    an in-flight publication: {!create} reserves the uid strictly
+    before publishing the header, so [of_uid] may briefly spin on the
+    specific cell of a header whose creation is in progress.  If the
+    header is currently freed the result is a dead sentinel instead;
+    that can only happen when decoding a stale snapshot of a head
+    word (the node left the head before it could be freed, so the
+    snapshot's CAS is bound to fail and the decode is discarded).
+    @raise Invalid_argument if [i] is negative or beyond the last
+    reserved uid. *)
 
 (** {2:lifecycle Lifecycle}
 
@@ -77,14 +113,16 @@ exception Lifecycle of string * t
     ["double-free"], ["use-after-free"]). *)
 
 val set_live : t -> unit
-(** Reset to live on (re)allocation; also clears links and eras. *)
+(** Reset to live on (re)allocation; also clears links and eras and
+    republishes the header in the uid registry. *)
 
 val set_retired : t -> unit
 (** @raise Lifecycle on double retire or retire-after-free. *)
 
 val set_freed : t -> unit
 (** Transition to freed; legal from both [retired] (the normal SMR
-    path) and [live] (direct teardown of never-retired blocks).
+    path) and [live] (direct teardown of never-retired blocks).  Drops
+    the uid registry's strong reference (see {!of_uid}).
     @raise Lifecycle on double free. *)
 
 val check_not_freed : string -> t -> unit

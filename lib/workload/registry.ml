@@ -34,6 +34,30 @@ let schemes : scheme list =
       robust = true;
       pointer_grained = false;
     };
+    {
+      s_name = "Hyaline(packed)";
+      s_mod = (module Hyaline_core.Hyaline.Packed);
+      robust = false;
+      pointer_grained = false;
+    };
+    {
+      s_name = "Hyaline-S(packed)";
+      s_mod = (module Hyaline_core.Hyaline_s.Packed);
+      robust = true;
+      pointer_grained = false;
+    };
+    {
+      s_name = "Hyaline-1(packed)";
+      s_mod = (module Hyaline_core.Hyaline1.Packed);
+      robust = false;
+      pointer_grained = false;
+    };
+    {
+      s_name = "Hyaline-1S(packed)";
+      s_mod = (module Hyaline_core.Hyaline1s.Packed);
+      robust = true;
+      pointer_grained = false;
+    };
   ]
 
 type structure = {
@@ -75,6 +99,36 @@ let find_scheme name =
       invalid_arg
         (Printf.sprintf "unknown scheme %S (known: %s)" name
            (String.concat ", " (List.map (fun s -> s.s_name) schemes)))
+
+(* Head-backend selection: map a scheme to its sibling over another
+   backend ("Hyaline-S" -> "Hyaline-S(packed)").  The base name (no
+   suffix) is each family's default backend — dwcas for the slotted
+   schemes, the boxed word for Hyaline-1/1S — so [~backend:"default"]
+   strips any suffix.  Schemes without the requested variant (the
+   baselines; Hyaline-1 under llsc) are returned unchanged: a sweep
+   stays total over its scheme list. *)
+let with_backend (s : scheme) ~backend =
+  let base =
+    match String.index_opt s.s_name '(' with
+    | Some i -> String.sub s.s_name 0 i
+    | None -> s.s_name
+  in
+  let wanted =
+    match backend with
+    | "default" | "dwcas" | "boxed" -> base
+    | b -> base ^ "(" ^ b ^ ")"
+  in
+  let wanted = normalize_scheme_name wanted in
+  match
+    List.find_opt (fun s -> normalize_scheme_name s.s_name = wanted) schemes
+  with
+  | Some s -> s
+  | None -> s
+
+(* Name-level [with_backend] for CLI sweep lists ([Figures] addresses
+   schemes by name). *)
+let scheme_with_backend name ~backend =
+  (with_backend (find_scheme name) ~backend).s_name
 
 let find_structure name =
   match List.find_opt (fun d -> d.d_name = String.lowercase_ascii name) structures with

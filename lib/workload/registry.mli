@@ -26,6 +26,19 @@ val find_scheme : string -> scheme
     ["Hyaline-1S"] are the same scheme), with the alias ["ebr"] for
     ["Epoch"].  @raise Invalid_argument if unknown. *)
 
+val with_backend : scheme -> backend:string -> scheme
+(** [with_backend s ~backend] is the scheme implementing [s]'s
+    algorithm over the given head backend (["dwcas"], ["llsc"],
+    ["packed"]; ["default"] strips any suffix), e.g. ["Hyaline-S"]
+    with [~backend:"packed"] is ["Hyaline-S(packed)"].  Schemes with
+    no such variant — the non-Hyaline baselines, Hyaline-1 under
+    [llsc] — are returned unchanged, so mapping a whole sweep list
+    stays total. *)
+
+val scheme_with_backend : string -> backend:string -> string
+(** {!with_backend} on scheme names, for CLI sweep lists.
+    @raise Invalid_argument if the base name is unknown. *)
+
 val find_structure : string -> structure
 (** @raise Invalid_argument if unknown. *)
 

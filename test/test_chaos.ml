@@ -221,6 +221,41 @@ let test_engine_oracle_all_robust_schemes () =
         0 r.Chaos.Engine.r_oracle.Chaos.Oracle.gen_trips)
     [ "hyalines"; "hyaline1s"; "hp"; "he"; "ibr" ]
 
+let test_engine_backend_parity () =
+  (* Figure rows must not depend on the head backend: the packed and
+     dwcas backends implement the same algorithm, and everything the
+     plan determines must come out identical — every fault counter and
+     the trace byte for byte.  The unreclaimed-gauge samples
+     ([r_series], [r_peak_ctl]) are NOT plan-determined: they race the
+     consumer domains' drain progress, so across runs only their
+     invariants hold, not their values. *)
+  let r1 = Chaos.Engine.run (small_cfg ~scheme:"Hyaline-S" ()) crash_plan in
+  let r2 =
+    Chaos.Engine.run (small_cfg ~scheme:"Hyaline-S(packed)" ()) crash_plan
+  in
+  let open Chaos.Engine in
+  Alcotest.(check string) "dwcas scheme name" "Hyaline-S" r1.r_scheme;
+  Alcotest.(check string) "packed scheme name" "Hyaline-S(packed)" r2.r_scheme;
+  Alcotest.(check int) "steps" r1.r_steps r2.r_steps;
+  Alcotest.(check int) "prompt" r1.r_prompt r2.r_prompt;
+  Alcotest.(check int) "deferred" r1.r_deferred r2.r_deferred;
+  Alcotest.(check int) "shed" r1.r_shed r2.r_shed;
+  Alcotest.(check int) "oom injected" r1.r_oom_injected r2.r_oom_injected;
+  Alcotest.(check int) "net faults" r1.r_net_faults r2.r_net_faults;
+  Alcotest.(check int) "churns" r1.r_churns r2.r_churns;
+  Alcotest.(check int) "crashes" r1.r_crashes r2.r_crashes;
+  Alcotest.(check int) "recoveries" r1.r_recoveries r2.r_recoveries;
+  Alcotest.(check int) "recovery steps" r1.r_recovery_steps r2.r_recovery_steps;
+  Alcotest.(check (option bool)) "dwcas mem bounded" (Some true) r1.r_mem_bounded;
+  Alcotest.(check (option bool)) "packed mem bounded" (Some true) r2.r_mem_bounded;
+  Alcotest.(check bool) "dwcas peak ctl sampled" true (r1.r_peak_ctl >= 0);
+  Alcotest.(check bool) "packed peak ctl sampled" true (r2.r_peak_ctl >= 0);
+  Alcotest.(check int)
+    "series lengths match" (Array.length r1.r_series) (Array.length r2.r_series);
+  Alcotest.(check (list string)) "trace byte-identical" r1.r_trace r2.r_trace;
+  Alcotest.(check bool) "dwcas oracle ok" true r1.r_oracle.Chaos.Oracle.ok;
+  Alcotest.(check bool) "packed oracle ok" true r2.r_oracle.Chaos.Oracle.ok
+
 let test_engine_oom_only_mutates_nothing () =
   let plan =
     {
@@ -301,6 +336,8 @@ let suites =
           test_engine_oracle_all_robust_schemes;
         Alcotest.test_case "injected oom mutates nothing" `Quick
           test_engine_oom_only_mutates_nothing;
+        Alcotest.test_case "packed backend result parity" `Slow
+          test_engine_backend_parity;
       ] );
     ( "chaos.oracle",
       [

@@ -166,6 +166,91 @@ let test_llsc_faa_with_spurious () =
   done
 
 (* ------------------------------------------------------------------ *)
+(* Packed head backend: the single-word encoding and its bit budget.
+   A snap is an immediate int, so pack/unpack must roundtrip exactly
+   at every field-width boundary and the overflow guard must reject
+   anything the 22-bit reference count or 40-bit index cannot hold. *)
+
+let test_packed_roundtrip () =
+  let module P = Head.Packed in
+  let href_err = Invalid_argument "Head.Packed.pack: href out of range" in
+  let index_err = Invalid_argument "Head.Packed.pack: index out of range" in
+  List.iter
+    (fun href ->
+      List.iter
+        (fun index ->
+          let s = P.pack_raw ~href ~index in
+          Alcotest.(check int)
+            (Printf.sprintf "href roundtrip %d/%d" href index)
+            href (P.href s);
+          Alcotest.(check int)
+            (Printf.sprintf "index roundtrip %d/%d" href index)
+            index (P.index s))
+        [ 0; 1; P.max_index - 1; P.max_index ])
+    [ 0; 1; P.max_href - 1; P.max_href ];
+  Alcotest.check_raises "href overflow" href_err (fun () ->
+      ignore (P.pack_raw ~href:(P.max_href + 1) ~index:0));
+  Alcotest.check_raises "href negative" href_err (fun () ->
+      ignore (P.pack_raw ~href:(-1) ~index:0));
+  Alcotest.check_raises "index overflow" index_err (fun () ->
+      ignore (P.pack_raw ~href:0 ~index:(P.max_index + 1)));
+  Alcotest.check_raises "index negative" index_err (fun () ->
+      ignore (P.pack_raw ~href:0 ~index:(-1)));
+  (* Index 0 is the nil sentinel; real headers decode through the uid
+     registry to the exact same physical header. *)
+  Alcotest.(check bool) "index 0 decodes to nil" true
+    (Hdr.is_nil (P.hptr (P.pack_raw ~href:5 ~index:0)));
+  let h = Hdr.create () in
+  let s = P.pack ~href:3 h in
+  Alcotest.(check bool) "hptr roundtrip is physical" true (P.hptr s == h);
+  Alcotest.(check int) "href rides along" 3 (P.href s)
+
+let test_packed_head_ops () =
+  let module P = Head.Packed in
+  let head = P.make () in
+  let s0 = P.read head in
+  Alcotest.(check int) "initial href" 0 (P.href s0);
+  Alcotest.(check bool) "initial hptr nil" true (Hdr.is_nil (P.hptr s0));
+  let old = P.enter_faa head in
+  Alcotest.(check int) "faa returns old" 0 (P.href old);
+  Alcotest.(check int) "faa incremented" 1 (P.href (P.read head));
+  let cur = P.read head in
+  let n = Hdr.create () in
+  Alcotest.(check bool) "cas_ptr ok" true (P.cas_ptr head ~expected:cur n);
+  let cur' = P.read head in
+  Alcotest.(check bool) "hptr swung" true (P.hptr cur' == n);
+  Alcotest.(check int) "href preserved across cas_ptr" 1 (P.href cur');
+  Alcotest.(check bool) "stale cas_ref fails" false
+    (P.cas_ref head ~expected:cur 7);
+  Alcotest.(check bool) "cas_ref ok" true (P.cas_ref head ~expected:cur' 0);
+  let final = P.read head in
+  Alcotest.(check int) "href updated" 0 (P.href final);
+  Alcotest.(check bool) "hptr preserved across cas_ref" true
+    (P.hptr final == n)
+
+(* The tentpole's raison d'être: an uncontended enter/leave bracket on
+   the packed backend performs no minor-heap allocation.  1_000
+   brackets must allocate fewer than 1_000 words total — sub-one word
+   per bracket proves the steady-state path is allocation-free (the
+   slack absorbs the [Gc.minor_words] float boxing and any one-off
+   lazy initialization). *)
+let test_packed_bracket_zero_alloc (module T : Tracker.S) () =
+  let t = T.create { Config.default with nthreads = 2 } in
+  for _ = 1 to 100 do
+    T.enter t ~tid:0;
+    T.leave t ~tid:0
+  done;
+  let before = Gc.minor_words () in
+  for _ = 1 to 1_000 do
+    T.enter t ~tid:0;
+    T.leave t ~tid:0
+  done;
+  let after = Gc.minor_words () in
+  let per_bracket = (after -. before) /. 1_000. in
+  if after -. before >= 1_000. then
+    Alcotest.failf "packed bracket allocates: %.2f words/bracket" per_bracket
+
+(* ------------------------------------------------------------------ *)
 (* Batch *)
 
 let test_batch_seal_structure () =
@@ -366,6 +451,10 @@ let robustness_tests =
       (test_robust_bounded (module Hyaline1s));
     Alcotest.test_case "Hyaline-S(llsc) bounded under stall" `Quick
       (test_robust_bounded (module Hyaline_s.Llsc));
+    Alcotest.test_case "Hyaline-S(packed) bounded under stall" `Quick
+      (test_robust_bounded (module Hyaline_s.Packed));
+    Alcotest.test_case "Hyaline-1S(packed) bounded under stall" `Quick
+      (test_robust_bounded (module Hyaline1s.Packed));
   ]
 
 (* ------------------------------------------------------------------ *)
@@ -584,6 +673,16 @@ let suites =
         Alcotest.test_case "dwFAA rides spurious failures" `Quick
           test_llsc_faa_with_spurious;
       ] );
+    ( "hyaline.packed-head",
+      [
+        Alcotest.test_case "pack/unpack boundary roundtrip" `Quick
+          test_packed_roundtrip;
+        Alcotest.test_case "head ops" `Quick test_packed_head_ops;
+        Alcotest.test_case "Hyaline(packed) bracket allocation-free" `Quick
+          (test_packed_bracket_zero_alloc (module Hyaline.Packed));
+        Alcotest.test_case "Hyaline-1(packed) bracket allocation-free" `Quick
+          (test_packed_bracket_zero_alloc (module Hyaline1.Packed));
+      ] );
     ( "hyaline.batch",
       [
         Alcotest.test_case "seal structure" `Quick test_batch_seal_structure;
@@ -604,6 +703,14 @@ let suites =
     scheme_suite "hyaline-s.llsc-backend" (module Hyaline_s.Llsc)
       ~expect:hyaline_expect;
     scheme_suite "hyaline-1s" (module Hyaline1s) ~expect:hyaline_expect;
+    scheme_suite "hyaline.packed-backend" (module Hyaline.Packed)
+      ~expect:hyaline_expect;
+    scheme_suite "hyaline-s.packed-backend" (module Hyaline_s.Packed)
+      ~expect:hyaline_expect;
+    scheme_suite "hyaline-1.packed-backend" (module Hyaline1.Packed)
+      ~expect:hyaline_expect;
+    scheme_suite "hyaline-1s.packed-backend" (module Hyaline1s.Packed)
+      ~expect:hyaline_expect;
     ("hyaline.robustness", robustness_tests);
     ( "hyaline.adaptive",
       [
@@ -625,6 +732,10 @@ let suites =
         qcheck (prop_script (module Hyaline1));
         qcheck (prop_script (module Hyaline_s));
         qcheck (prop_script (module Hyaline1s));
+        qcheck (prop_script (module Hyaline.Packed));
+        qcheck (prop_script (module Hyaline_s.Packed));
+        qcheck (prop_script (module Hyaline1.Packed));
+        qcheck (prop_script (module Hyaline1s.Packed));
       ] );
   ]
 

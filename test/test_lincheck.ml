@@ -174,6 +174,7 @@ let live_check name (module M : Dstruct.Map_intf.S) () =
   done
 
 module Hashmap_hyaline = Dstruct.Hash_map.Make (Hyaline_core.Hyaline)
+module Hashmap_hyaline_packed = Dstruct.Hash_map.Make (Hyaline_core.Hyaline.Packed)
 module Hashmap_hp = Dstruct.Hash_map.Make (Smr.Hp)
 module List_hyaline_s = Dstruct.Harris_list.Make (Hyaline_core.Hyaline_s)
 module List_ebr = Dstruct.Harris_list.Make (Smr.Ebr)
@@ -207,6 +208,8 @@ let suites =
       [
         Alcotest.test_case "hashmap/Hyaline" `Slow
           (live_check "hashmap/Hyaline" (module Hashmap_hyaline));
+        Alcotest.test_case "hashmap/Hyaline(packed)" `Slow
+          (live_check "hashmap/Hyaline(packed)" (module Hashmap_hyaline_packed));
         Alcotest.test_case "hashmap/HP" `Slow
           (live_check "hashmap/HP" (module Hashmap_hp));
         Alcotest.test_case "list/Hyaline-S" `Slow

@@ -135,6 +135,71 @@ let test_splice_accounting () =
   Alcotest.(check int) "no fresh creation" 10 (Pool.stats p).created;
   ignore again
 
+let test_exchange_refill () =
+  (* The cache-miss path refills by exchanging the whole shared list:
+     one domain manufactures 20 nodes and spills them all, then a
+     second domain's single allocation must grab [1 + local_cache]
+     nodes in one go (no fresh creation) and splice the surplus back.
+     Domains run sequentially so the accounting is exact. *)
+  let p = Pool.create ~local_cache:4 () in
+  Domain.join
+    (Domain.spawn (fun () ->
+         let nodes = List.init 20 (fun _ -> Pool.alloc p) in
+         List.iter (Pool.free p) nodes));
+  Alcotest.(check int) "producer spilled everything" 20
+    (Pool.shared_free_length p);
+  Domain.join
+    (Domain.spawn (fun () ->
+         ignore (Pool.alloc p);
+         Alcotest.(check int)
+           "one miss took 1 + local_cache nodes" 15
+           (Pool.shared_free_length p);
+         (* The next [local_cache] allocations are pure cache hits. *)
+         for _ = 1 to 4 do
+           ignore (Pool.alloc p)
+         done;
+         Alcotest.(check int)
+           "cache hits leave the shared list alone" 15
+           (Pool.shared_free_length p);
+         ignore (Pool.alloc p);
+         Alcotest.(check int)
+           "next miss refills again" 10
+           (Pool.shared_free_length p)));
+  Alcotest.(check int) "no fresh creation on the refill path" 20
+    (Pool.stats p).created
+
+let test_refill_under_contention () =
+  (* Two domains alternating miss-heavy allocation against a shared
+     pile: refills (exchange) race refills and splices (CAS); the
+     books must balance at quiescence and nothing may be lost or
+     duplicated. *)
+  let p = Pool.create ~local_cache:2 () in
+  Domain.join
+    (Domain.spawn (fun () ->
+         let nodes = List.init 64 (fun _ -> Pool.alloc p) in
+         List.iter (Pool.free p) nodes));
+  let worker seed =
+    Domain.spawn (fun () ->
+        let r = Prims.Rng.create ~seed in
+        let held = ref [] in
+        for _ = 1 to 2_000 do
+          if Prims.Rng.below r 2 = 0 then held := Pool.alloc p :: !held
+          else
+            match !held with
+            | [] -> held := [ Pool.alloc p ]
+            | n :: rest ->
+                Pool.free p n;
+                held := rest
+        done;
+        List.iter (Pool.free p) !held)
+  in
+  let d1 = worker 1 and d2 = worker 2 in
+  Domain.join d1;
+  Domain.join d2;
+  let s = Pool.stats p in
+  Alcotest.(check int) "allocs = frees" s.Mpool.allocs s.Mpool.frees;
+  Alcotest.(check int) "live 0" 0 (Pool.live p)
+
 let test_lookup_vs_fresh_frontier () =
   (* Regression for the reserve-then-publish race in [fresh]: the
      index is reserved (fetch-and-add on [next_index]) strictly before
@@ -324,6 +389,10 @@ let suites =
         Alcotest.test_case "live counter" `Quick test_live_counter;
         Alcotest.test_case "concurrent churn" `Slow test_concurrent_churn;
         Alcotest.test_case "splice accounting" `Quick test_splice_accounting;
+        Alcotest.test_case "exchange refill, two domains" `Quick
+          test_exchange_refill;
+        Alcotest.test_case "refill under contention" `Slow
+          test_refill_under_contention;
         Alcotest.test_case "lookup vs fresh frontier" `Slow
           test_lookup_vs_fresh_frontier;
         Alcotest.test_case "injected alloc failures" `Quick

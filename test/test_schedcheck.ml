@@ -227,6 +227,13 @@ let suites =
 module Real = Hyaline_core.Hyaline.Make (Head_sched)
 module Real_s = Hyaline_core.Hyaline_s.Make (Head_sched)
 
+(* The packed single-word backend under the scheduler.  Its schedule
+   tree differs from dwcas (enter is one FAA step, not a CAS loop), so
+   no schedule-count equality is asserted — only that every explored
+   or sampled schedule ends fully reclaimed, violation-free. *)
+module Real_packed = Hyaline_core.Hyaline.Make (Head_sched_packed)
+module Real_s_packed = Hyaline_core.Hyaline_s.Make (Head_sched_packed)
+
 let real_cfg nthreads =
   {
     Smr.Config.default with
@@ -298,6 +305,35 @@ let test_real_hyaline_s_sampled () =
   in
   Alcotest.(check int) "ran" 2_000 st.Sched.schedules
 
+let test_real_packed_systematic () =
+  let budget = 40_000 in
+  let st =
+    Sched.explore ~max_schedules:budget
+      ~scenario:(real_scenario (module Real_packed) ~fibers:2 ~retires:3)
+      ()
+  in
+  Alcotest.(check bool)
+    (Printf.sprintf "explored %d schedules violation-free (max depth %d)"
+       st.Sched.schedules st.Sched.max_depth)
+    true
+    (st.Sched.schedules > 0)
+
+let test_real_packed_sampled_3fibers () =
+  let st =
+    Sched.sample ~seed:11 ~runs:2_500
+      ~scenario:(real_scenario (module Real_packed) ~fibers:3 ~retires:4)
+      ()
+  in
+  Alcotest.(check int) "ran" 2_500 st.Sched.schedules
+
+let test_real_s_packed_sampled () =
+  let st =
+    Sched.sample ~seed:23 ~runs:2_000
+      ~scenario:(real_scenario (module Real_s_packed) ~fibers:3 ~retires:4)
+      ()
+  in
+  Alcotest.(check int) "ran" 2_000 st.Sched.schedules
+
 (* Interleave brackets with trim under the scheduler. *)
 let real_trim_scenario () =
   let cfg = real_cfg 2 in
@@ -343,6 +379,12 @@ let real_suites =
           test_real_hyaline_s_sampled;
         Alcotest.test_case "Hyaline trim chains (2.5k random schedules)" `Slow
           test_real_trim_sampled;
+        Alcotest.test_case "Hyaline(packed) 2 fibers (systematic)" `Slow
+          test_real_packed_systematic;
+        Alcotest.test_case "Hyaline(packed) 3 fibers (2.5k random schedules)"
+          `Slow test_real_packed_sampled_3fibers;
+        Alcotest.test_case "Hyaline-S(packed) 3 fibers (2k random schedules)"
+          `Slow test_real_s_packed_sampled;
       ] );
   ]
 

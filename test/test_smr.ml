@@ -69,6 +69,125 @@ let test_hdr_set_live_resets () =
   Alcotest.(check int) "retire_era reset" 0 h.Hdr.retire_era
 
 (* ------------------------------------------------------------------ *)
+(* Uid registry: the decode side of the packed head backend.  Every
+   header is registered at creation under its uid; [of_uid] must
+   return that exact header, reject out-of-range indices, and — the
+   racy case — wait out a concurrent registration whose uid has been
+   reserved but whose cell store has not landed yet (mirror of the
+   mpool lookup-vs-fresh frontier race). *)
+
+let test_hdr_of_uid_roundtrip () =
+  let hs = List.init 100 (fun _ -> Hdr.create ()) in
+  List.iter
+    (fun h ->
+      Alcotest.(check bool)
+        "of_uid returns the registered header" true
+        (Hdr.of_uid h.Hdr.uid == h))
+    hs
+
+let test_hdr_of_uid_out_of_range () =
+  let h = Hdr.create () in
+  ignore h;
+  Alcotest.check_raises "negative"
+    (Invalid_argument "Hdr.of_uid: uid out of range") (fun () ->
+      ignore (Hdr.of_uid (-1)));
+  Alcotest.check_raises "past frontier"
+    (Invalid_argument "Hdr.of_uid: uid out of range") (fun () ->
+      ignore (Hdr.of_uid max_int))
+
+let test_hdr_of_uid_vs_create_frontier () =
+  (* [create] reserves the uid (fetch-and-add) strictly before the
+     registry cell is written, so a reader chasing the frontier can
+     pass the range check and hit a cell still holding the nil
+     placeholder.  [of_uid] must wait on that cell, never return nil
+     or a wrong header.  Tolerated failure: the range check itself. *)
+  let stop = Atomic.make false in
+  let bad = Atomic.make None in
+  let base = (Hdr.create ()).Hdr.uid + 1 in
+  let producers =
+    List.init 2 (fun _ ->
+        Domain.spawn (fun () ->
+            while not (Atomic.get stop) do
+              ignore (Hdr.create ())
+            done))
+  in
+  let consumer =
+    Domain.spawn (fun () ->
+        let i = ref base in
+        (try
+           while not (Atomic.get stop) do
+             match Hdr.of_uid !i with
+             | h ->
+                 if h.Hdr.uid <> !i then begin
+                   Atomic.set bad
+                     (Some
+                        (Printf.sprintf "of_uid %d returned header %d" !i
+                           h.Hdr.uid));
+                   Atomic.set stop true
+                 end
+                 else if Hdr.is_nil h then begin
+                   Atomic.set bad (Some "of_uid returned nil");
+                   Atomic.set stop true
+                 end
+                 else incr i
+             | exception Invalid_argument msg
+               when msg = "Hdr.of_uid: uid out of range" ->
+                 Domain.cpu_relax ()
+           done
+         with e ->
+           Atomic.set bad (Some (Printexc.to_string e));
+           Atomic.set stop true);
+        !i - base)
+  in
+  Unix.sleepf 0.3;
+  Atomic.set stop true;
+  let chased = Domain.join consumer in
+  List.iter Domain.join producers;
+  (match Atomic.get bad with
+  | Some msg -> Alcotest.fail ("registry frontier race: " ^ msg)
+  | None -> ());
+  Alcotest.(check bool) "consumer chased a non-empty frontier" true
+    (chased > 0)
+
+let test_hdr_registry_tombstone_and_republish () =
+  (* [set_freed] swaps the registry cell to a dead sentinel (a freed
+     uid is only ever decoded from a stale head-word snapshot, whose
+     CAS is bound to fail); [set_live] republishes on recycling. *)
+  let h = Hdr.create () in
+  let u = h.Hdr.uid in
+  Hdr.set_retired h;
+  Hdr.set_freed h;
+  let s = Hdr.of_uid u in
+  Alcotest.(check bool) "freed uid no longer decodes to the header" true
+    (s != h);
+  Alcotest.(check bool) "freed uid decodes to a freed sentinel" true
+    (Hdr.is_freed s);
+  Hdr.set_live h;
+  Alcotest.(check bool) "recycled uid decodes to the header again" true
+    (Hdr.of_uid u == h)
+
+(* Allocate-and-free in its own function so no stack slot keeps the
+   header reachable after return. *)
+let[@inline never] weak_freed_header () =
+  let w = Weak.create 1 in
+  let h = Hdr.create () in
+  Weak.set w 0 (Some h);
+  Hdr.set_retired h;
+  Hdr.set_freed h;
+  w
+
+let test_hdr_registry_releases_freed () =
+  (* The regression behind the rule: with the registry holding freed
+     headers strongly, every header — and through its free hook, its
+     whole pool — was immortal, so anything that created trackers and
+     pools in a loop (the schedule checker explores tens of thousands
+     of them per test) grew without bound. *)
+  let w = weak_freed_header () in
+  Gc.full_major ();
+  Alcotest.(check bool) "freed header is collectable" true
+    (Weak.get w 0 = None)
+
+(* ------------------------------------------------------------------ *)
 (* Config *)
 
 let test_config_validate () =
@@ -94,6 +213,16 @@ let suites =
         Alcotest.test_case "uids unique" `Quick test_hdr_uids_unique;
         Alcotest.test_case "set_live resets fields" `Quick
           test_hdr_set_live_resets;
+        Alcotest.test_case "uid registry roundtrip" `Quick
+          test_hdr_of_uid_roundtrip;
+        Alcotest.test_case "uid registry range check" `Quick
+          test_hdr_of_uid_out_of_range;
+        Alcotest.test_case "uid registry vs create frontier" `Slow
+          test_hdr_of_uid_vs_create_frontier;
+        Alcotest.test_case "uid registry tombstone + republish" `Quick
+          test_hdr_registry_tombstone_and_republish;
+        Alcotest.test_case "uid registry releases freed headers" `Quick
+          test_hdr_registry_releases_freed;
         Alcotest.test_case "config validation" `Quick test_config_validate;
       ] );
     scheme_suite "smr.leaky" (module Leaky)

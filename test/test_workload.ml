@@ -31,7 +31,7 @@ let test_registry_lookup () =
   | _ -> Alcotest.fail "unknown structure accepted"
 
 let test_registry_counts () =
-  Alcotest.(check int) "11 schemes" 11 (List.length Registry.schemes);
+  Alcotest.(check int) "15 schemes" 15 (List.length Registry.schemes);
   Alcotest.(check int) "4 structures" 4 (List.length Registry.structures)
 
 let test_registry_names_unique () =
@@ -39,6 +39,28 @@ let test_registry_names_unique () =
   Alcotest.(check int) "unique scheme names"
     (List.length names)
     (List.length (List.sort_uniq compare names))
+
+let test_with_backend () =
+  let check name backend expect =
+    Alcotest.(check string)
+      (Printf.sprintf "%s + %s" name backend)
+      expect
+      (Registry.scheme_with_backend name ~backend)
+  in
+  check "Hyaline" "packed" "Hyaline(packed)";
+  check "Hyaline-S" "packed" "Hyaline-S(packed)";
+  check "Hyaline-1" "packed" "Hyaline-1(packed)";
+  check "Hyaline-1S" "packed" "Hyaline-1S(packed)";
+  check "Hyaline" "llsc" "Hyaline(llsc)";
+  (* Re-basing a suffixed scheme swaps the backend, not stacks it. *)
+  check "Hyaline(llsc)" "packed" "Hyaline(packed)";
+  check "Hyaline(packed)" "default" "Hyaline";
+  check "Hyaline" "dwcas" "Hyaline";
+  (* Schemes without the variant pass through unchanged so mapping a
+     sweep list stays total. *)
+  check "Epoch" "packed" "Epoch";
+  check "HP" "packed" "HP";
+  check "Hyaline-1" "llsc" "Hyaline-1"
 
 let test_compatibility_matrix () =
   let bonsai = Registry.find_structure "bonsai" in
@@ -235,6 +257,7 @@ let suites =
         Alcotest.test_case "lookup" `Quick test_registry_lookup;
         Alcotest.test_case "counts" `Quick test_registry_counts;
         Alcotest.test_case "unique names" `Quick test_registry_names_unique;
+        Alcotest.test_case "backend selection" `Quick test_with_backend;
         Alcotest.test_case "compatibility matrix" `Quick
           test_compatibility_matrix;
         Alcotest.test_case "all pairs instantiate" `Quick
