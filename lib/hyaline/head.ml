@@ -56,10 +56,12 @@ end
    Unlike [Dwcas], the CAS here is value-based, exactly like the
    hardware cmpxchg16b the paper assumes — and safe for the paper's
    own reason: a uid denotes the same physical header forever
-   (Hdr.of_uid; uids survive pool recycling), and a node at the head
-   of a retirement list cannot be freed while any thread that could
-   still hold a snapshot of it is accounted in HRef.  See DESIGN.md §1
-   for the full argument. *)
+   (Hdr.of_uid; uids survive pool recycling), so a decoded [hptr] is
+   the very node the word denotes even across free/recycle ABA.  The
+   one exception is a decode landing inside the freed window, which
+   yields the registry's tombstone; the insert paths test
+   Hdr.is_tombstone and retry rather than CAS (Internal.insert_batch).
+   See DESIGN.md §1 and docs/HEAD_BACKENDS.md for the full argument. *)
 module Packed = struct
   type t = int Atomic.t
   type snap = int
@@ -91,7 +93,16 @@ module Packed = struct
   let with_hptr s h = s land lnot max_index lor index_of h
   let make () = Atomic.make 0
   let read = Atomic.get
-  let enter_faa t = Atomic.fetch_and_add t unit_href
+
+  (* Range-checking the FAA would destroy its wait-freedom, so the
+     release hot path is unchecked; the debug assert makes an href
+     overflow (2^22 simultaneous brackets in one slot) fail loudly in
+     checked builds — schedcheck/chaos runs — instead of silently
+     carrying into the index bits and decoding a wrong uid. *)
+  let enter_faa t =
+    let s = Atomic.fetch_and_add t unit_href in
+    assert (s lsr index_bits < max_href);
+    s
 
   let cas_ref t ~expected href =
     Atomic.compare_and_set t expected (with_href expected href)

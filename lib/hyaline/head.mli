@@ -52,7 +52,11 @@ module type OPS = sig
   val hptr : snap -> Smr.Hdr.t
   (** The snapshot's list head ([Hdr.nil] when empty).  Never
       allocates; {!Packed} decodes through the wait-free
-      [Smr.Hdr.of_uid] registry. *)
+      [Smr.Hdr.of_uid] registry, and on a stale snapshot whose head
+      node has since been freed the decode yields the registry's dead
+      sentinel — callers that CAS against the snapshot must test
+      [Smr.Hdr.is_tombstone] and retry from a fresh read (a value CAS
+      can ABA-succeed even on a stale snapshot). *)
 end
 
 module Dwcas : OPS with type snap = Snap.t
@@ -110,7 +114,10 @@ end
     index through the wait-free [Smr.Hdr.of_uid] registry.  The CAS
     is value-based like the hardware [cmpxchg16b] it models; uid
     permanence (uids are never reassigned, even across pool
-    recycling) gives it the same ABA argument as the paper's.  What
-    the 63-bit budget gives up vs [cmpxchg16b]: 22-bit HRef
-    (4M simultaneous threads per slot) and 40-bit index space, both
-    checked — see DESIGN.md §1. *)
+    recycling) gives it the same ABA argument as the paper's, with
+    the tombstone-decode window closed by the callers (see {!OPS.hptr}).
+    What the 63-bit budget gives up vs [cmpxchg16b]: 22-bit HRef
+    (4M simultaneous threads per slot) and 40-bit index space — the
+    CAS paths check via [pack]; [enter_faa] cannot be range-checked
+    without losing its wait-freedom, so it asserts in checked builds
+    instead.  See DESIGN.md §1. *)

@@ -65,7 +65,9 @@ end
    constants and nothing allocates.  The CAS is value-based; safe
    because uids permanently denote one physical header and the
    credit arithmetic only depends on the word's value (the paper's
-   own hardware-CAS argument — see DESIGN.md §1). *)
+   own hardware-CAS argument — see DESIGN.md §1), modulo the one
+   tombstone window the retire path re-checks (see [Make]'s attempt
+   and Hdr.is_tombstone). *)
 module Packed_word : WORD = struct
   type t = int Atomic.t
   type word = int
@@ -227,13 +229,23 @@ module Make
       else begin
         let n = !node in
         assert (not (Hdr.is_nil n));
-        n.Hdr.next <- W.hptr cur;
-        if W.cas_insert head ~expected:cur n then begin
-          node := n.Hdr.batch_link;
-          incr inserts;
-          true
+        let prev = W.hptr cur in
+        (* Same tombstone window as Internal.insert_batch: a stale
+           word whose head node was freed after [get] decodes to the
+           shared sentinel, and the packed backend's value CAS could
+           still ABA-succeed (the uid survives recycling, the word can
+           revisit its old bits).  Fail the attempt and re-read; a
+           non-tombstone decode is ABA-safe by uid permanence. *)
+        if Hdr.is_tombstone prev then false
+        else begin
+          n.Hdr.next <- prev;
+          if W.cas_insert head ~expected:cur n then begin
+            node := n.Hdr.batch_link;
+            incr inserts;
+            true
+          end
+          else false
         end
-        else false
       end
     in
     let rec retry head slot b =

@@ -70,18 +70,29 @@ module Make (H : Head.OPS) = struct
         let n = !node in
         assert (not (Hdr.is_nil n));
         let prev = H.hptr snap in
-        n.Hdr.next <- prev;
-        if H.cas_ptr head ~expected:snap n then begin
-          node := n.Hdr.batch_link;
-          after_insert ~slot ~href:(H.href snap);
-          (* REF #2#: the displaced predecessor is complete for this
-             slot — credit its batch's own Adjs plus the snapshot of
-             threads that will dereference it on leave. *)
-          if not (Hdr.is_nil prev) then
-            add_ref reap prev (prev.Hdr.ref_node.Hdr.adjs + H.href snap);
-          true
+        (* A tombstone decode means the snapshot went stale — the head's
+           first node was freed after [read] — yet the value CAS below
+           could still ABA-succeed (the uid survives recycling and the
+           word can revisit its old bit pattern), which would link the
+           shared sentinel into a live list.  Fail the attempt and
+           retry from a fresh read; a non-tombstone decode is the same
+           physical header the word denotes (uid permanence), so
+           proceeding is ABA-safe.  See Hdr.is_tombstone. *)
+        if Hdr.is_tombstone prev then false
+        else begin
+          n.Hdr.next <- prev;
+          if H.cas_ptr head ~expected:snap n then begin
+            node := n.Hdr.batch_link;
+            after_insert ~slot ~href:(H.href snap);
+            (* REF #2#: the displaced predecessor is complete for this
+               slot — credit its batch's own Adjs plus the snapshot of
+               threads that will dereference it on leave. *)
+            if not (Hdr.is_nil prev) then
+              add_ref reap prev (prev.Hdr.ref_node.Hdr.adjs + H.href snap);
+            true
+          end
+          else false
         end
-        else false
       end
     in
     let rec retry head slot b =

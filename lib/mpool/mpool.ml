@@ -106,7 +106,12 @@ module Make (P : POOLABLE) = struct
      and splice the surplus back.  A miss used to pay one CAS per
      node popped; now a burst of misses on one domain pays one RMW
      per [local_cache] allocations.  The cheap empty-check load comes
-     first so idle domains don't bounce the line with useless RMWs. *)
+     first so idle domains don't bounce the line with useless RMWs.
+     Deliberate transient: between the exchange and the splice-back,
+     other domains see an empty list and fall through to [fresh], and
+     [shared_len] overcounts until the deferred adjustment lands —
+     both are benign (extra created nodes / a gauge upper bound; see
+     the .mli) and the price of the livelock-free exchange. *)
   let refill t cache =
     if Atomic.get t.shared_free == [] then None
     else

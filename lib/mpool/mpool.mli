@@ -73,7 +73,12 @@ module Make (P : POOLABLE) : sig
       whole shared free list is taken in one atomic exchange and up to
       [local_cache] nodes are kept locally (surplus is spliced back),
       so a burst of misses pays one shared-list RMW per [local_cache]
-      allocations rather than one per node.
+      allocations rather than one per node.  Between the exchange and
+      the splice-back, other domains observe an empty shared list and
+      may construct fresh nodes despite free ones existing — a
+      deliberate trade of occasional extra [created] nodes for a
+      refill that cannot livelock against concurrent pushers (node
+      reuse is a performance property here, never a correctness one).
       @raise Injected_oom while a fault-injection budget is armed (the
       failed call consumes one budget unit and does not count as an
       alloc, so [live] stays exact). *)
@@ -112,7 +117,11 @@ module Make (P : POOLABLE) : sig
 
   val shared_free_length : t -> int
   (** Current length of the shared free list (excludes per-domain
-      caches).  Maintained incrementally; racy but never negative. *)
+      caches).  Maintained incrementally; racy but never negative.
+      While a refill's splice-back is in flight the gauge transiently
+      {e over}counts (the exchange empties the list before the length
+      is adjusted), so invariant checks — e.g. the chaos oracles —
+      should treat it as an upper bound, not an exact census. *)
 
   val gauges : t -> (string * int) list
   (** Occupancy gauges for the observability layer:

@@ -6,7 +6,12 @@ type snap = int
 let backend = "packed"
 let make () = Sched.Shared.make 0
 let read = Sched.Shared.get
-let enter_faa t = Sched.Shared.fetch_and_add t Packed.unit_href
+(* Mirror of Head.Packed.enter_faa's debug guard: an href overflow
+   must fail loudly under the scheduler, not decode a wrong uid. *)
+let enter_faa t =
+  let s = Sched.Shared.fetch_and_add t Packed.unit_href in
+  assert (s lsr Packed.index_bits < Packed.max_href);
+  s
 
 let cas_ref t ~expected href =
   Sched.Shared.compare_and_set t expected (Packed.with_href expected href)

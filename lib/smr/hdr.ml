@@ -50,6 +50,8 @@ let rec tombstone =
     state = Atomic.make state_freed;
   }
 
+let is_tombstone h = h == tombstone
+
 let uid_counter = Atomic.make 0
 
 (* ------------------------------------------------------------------ *)
@@ -75,13 +77,18 @@ let uid_counter = Atomic.make 0
    freed header is retained only by whatever recycles it (its pool) —
    dropping a pool reclaims its headers instead of pinning them (and,
    through their free hooks, the pool itself) forever.  Decoding a
-   freed uid is possible only from a stale snapshot of a head word:
-   the node left the head before it could be freed, so the word
-   changed and the snapshot's CAS is bound to fail; the tombstone it
-   decodes to is discarded with it.  A uid still denotes the same
-   physical header for that header's whole existence (set_live does
-   not reassign it) — the reason uid-as-index is ABA-safe where
-   Mpool-index-as-index would not be (see DESIGN.md §1). *)
+   freed uid is possible only from a stale snapshot of a head word
+   (the node left the head before it could be freed), but staleness
+   does {e not} make the snapshot's value CAS fail: the uid can be
+   recycled ([set_live]) and re-inserted, and the word can revisit its
+   old bit pattern, so the CAS may ABA-succeed while the decode — if
+   it raced the freed window — returned [tombstone].  Decoders that go
+   on to CAS against the snapshot must therefore test [is_tombstone]
+   and retry on a fresh read; a {e non}-tombstone decode is ABA-safe,
+   because a uid denotes the same physical header for that header's
+   whole existence (set_live does not reassign it) — the reason
+   uid-as-index works where Mpool-index-as-index would not
+   (see DESIGN.md §1). *)
 
 let chunk_bits = 12
 let chunk_size = 1 lsl chunk_bits

@@ -81,25 +81,49 @@ val create : unit -> t
     the header is live or retired (a packed head may be the only thing
     keeping a retirement list reachable); {!set_freed} drops it, so a
     freed header is retained only by its pool and an abandoned pool is
-    collectable, headers and all. *)
+    collectable, headers and all.
+
+    Two costs of that design to keep in mind for long-running
+    processes: only {!set_freed} unpins, so headers that are still
+    live or retired when a structure is abandoned — including {e
+    every} header managed by a non-reclaiming scheme such as [Leaky]
+    — stay rooted by the registry for the life of the process; and
+    every {!create} permanently consumes one of the {!uid_capacity}
+    uids (recycling reuses headers, it does not mint uids back), after
+    which [create] raises.  Tear trackers down by driving them to full
+    reclamation (flush + final frees) and recycle headers through
+    pools rather than creating fresh ones per short-lived structure —
+    see the teardown note in [Tracker]. *)
 
 val uid_capacity : int
 (** Total number of uids the registry can hold (2{^28}); {!create}
     raises beyond it.  Well under the packed backend's 40-bit index
     budget, so registry exhaustion — not encoding overflow — is the
-    binding limit. *)
+    binding limit.  Uids are never returned: see the pinning note
+    above. *)
 
 val of_uid : int -> t
 (** [of_uid i] returns the header whose [uid] is [i].  Wait-free up to
     an in-flight publication: {!create} reserves the uid strictly
     before publishing the header, so [of_uid] may briefly spin on the
     specific cell of a header whose creation is in progress.  If the
-    header is currently freed the result is a dead sentinel instead;
-    that can only happen when decoding a stale snapshot of a head
-    word (the node left the head before it could be freed, so the
-    snapshot's CAS is bound to fail and the decode is discarded).
+    header is currently freed the result is the dead sentinel
+    ({!is_tombstone}); that can only happen when decoding a stale
+    snapshot of a head word (the node left the head before it could
+    be freed).  Staleness does {e not} guarantee a later value CAS
+    against that snapshot fails — the uid can be recycled and the
+    word can revisit its old bit pattern — so callers intending to
+    CAS must check {!is_tombstone} first and retry from a fresh read.
     @raise Invalid_argument if [i] is negative or beyond the last
     reserved uid. *)
+
+val is_tombstone : t -> bool
+(** Whether a header obtained from {!of_uid} is the dead sentinel
+    standing in for a currently-freed uid.  Packed-head insert paths
+    must test this before using a decoded predecessor in a CAS: the
+    tombstone marks the one window in which the snapshot is provably
+    stale yet its value CAS could still ABA-succeed (never retire,
+    free or link the sentinel). *)
 
 (** {2:lifecycle Lifecycle}
 

@@ -12,7 +12,21 @@
     family) use [tid] only to index scratch handles — any number of
     concurrent entities may share them; registration-based schemes
     (EBR, HP, HE, IBR) genuinely reserve per-[tid] state, which is
-    precisely the transparency gap the paper describes (§2.4). *)
+    precisely the transparency gap the paper describes (§2.4).
+
+    Teardown: the uid registry behind the packed head backends
+    ([Hdr.of_uid]) holds a process-global strong reference to every
+    header from [Hdr.create] until [Hdr.set_freed], and each [create]
+    permanently consumes one of the [Hdr.uid_capacity] uids.  A
+    tracker (plus its pools and blocks) is therefore only collectable
+    once its blocks have actually been freed — abandon a structure by
+    draining it ([flush] every tid, then [leave] all brackets so
+    deferred batches reclaim), not by dropping the reference.  Schemes
+    that never free ([Leaky]) pin their headers for the life of the
+    process by design; long-running processes should recycle blocks
+    through pools rather than create fresh headers per short-lived
+    structure, or uid exhaustion eventually turns [Hdr.create] into a
+    hard failure. *)
 
 module type S = sig
   type t

@@ -251,6 +251,124 @@ let test_packed_bracket_zero_alloc (module T : Tracker.S) () =
     Alcotest.failf "packed bracket allocates: %.2f words/bracket" per_bracket
 
 (* ------------------------------------------------------------------ *)
+(* Regression for the packed tombstone/ABA window: a stale snapshot
+   whose head node was freed in between decodes to the registry's
+   tombstone, yet the value-based CAS can still ABA-succeed (the uid
+   survives recycling and the word can revisit its old bits) — which
+   used to link the shared sentinel into a live retirement list,
+   sending traverse into an infinite loop (tombstone.next ==
+   tombstone) and corrupting its nref.  Mock backends reproduce the
+   interleaving deterministically: the first decode yields the real
+   tombstone, every CAS "succeeds" (the ABA revisit).  The insert
+   paths must reject the tombstone and retry from a fresh read, so
+   the successful insertion links the real predecessor. *)
+
+let fresh_tombstone () =
+  let h = Hdr.create () in
+  Hdr.set_retired h;
+  Hdr.set_freed h;
+  let t = Hdr.of_uid h.Hdr.uid in
+  Hdr.set_live h;
+  t
+
+let test_insert_batch_tombstone_retry () =
+  let tomb = fresh_tombstone () in
+  Alcotest.(check bool) "mock sentinel is the tombstone" true
+    (Hdr.is_tombstone tomb);
+  let prev = Hdr.create () in
+  prev.Hdr.ref_node <- prev;
+  let decodes = ref 0 in
+  let linked = ref Hdr.nil in
+  let module Aba = struct
+    type t = unit
+    type snap = int
+
+    let backend = "aba-mock"
+    let make () = ()
+    let read () = 1 (* href = 1: the slot looks occupied, so insert *)
+    let enter_faa _ = assert false
+    let cas_ref _ ~expected:_ _ = assert false
+
+    (* Always succeed — the ABA revisit a value CAS cannot detect. *)
+    let cas_ptr _ ~expected:_ n =
+      Alcotest.(check bool) "tombstone never linked" false
+        (Hdr.is_tombstone n.Hdr.next);
+      linked := n;
+      true
+
+    let href s = s
+
+    (* The first decode races the freed window; any re-read decodes
+       the (recycled) real predecessor, as uid permanence
+       guarantees. *)
+    let hptr _ =
+      incr decodes;
+      if !decodes = 1 then tomb else prev
+  end in
+  let module I = Internal.Make (Aba) in
+  let b = Batch.create () in
+  List.iter (Batch.add b) [ Hdr.create (); Hdr.create () ];
+  let refnode = Batch.seal b ~adjs:0 in
+  let reap = Internal.new_reap () in
+  I.insert_batch
+    (fun _ -> ())
+    ~k:1 refnode
+    ~skip:(fun ~slot:_ -> false)
+    ~after_insert:(fun ~slot:_ ~href:_ -> ())
+    reap;
+  Alcotest.(check int) "tombstone decode retried exactly once" 2 !decodes;
+  Alcotest.(check bool) "inserted node links the real predecessor" true
+    (!linked.Hdr.next == prev)
+
+let test_hyaline1_retire_tombstone_retry () =
+  let tomb = fresh_tombstone () in
+  let prev = Hdr.create () in
+  prev.Hdr.ref_node <- prev;
+  let decodes = ref 0 in
+  let linked = ref Hdr.nil in
+  let module W : Hyaline1_core.WORD = struct
+    type t = unit
+    type word = int
+
+    let backend = "aba-mock"
+    let make () = ()
+
+    (* Bit 0 = presence, as in Packed_word: the slot reads active and
+       non-empty, so retire takes the insert path. *)
+    let get () = 3
+    let exchange_active () = 0
+    let exchange_idle () = 1
+
+    let cas_insert _ ~expected:_ n =
+      Alcotest.(check bool) "tombstone never linked" false
+        (Hdr.is_tombstone n.Hdr.next);
+      linked := n;
+      true
+
+    let active w = w land 1 = 1
+    let empty w = w lsr 1 = 0
+
+    let hptr _ =
+      incr decodes;
+      if !decodes = 1 then tomb else prev
+  end in
+  let module T =
+    Hyaline1_core.Make
+      (struct
+        let eras = false
+      end)
+      (W)
+  in
+  let t = T.create { Config.default with nthreads = 1; batch_min = 2 } in
+  T.enter t ~tid:0;
+  T.retire t ~tid:0 (Hdr.create ());
+  T.retire t ~tid:0 (Hdr.create ());
+  Alcotest.(check int) "tombstone decode retried exactly once" 2 !decodes;
+  Alcotest.(check bool) "inserted node links the real predecessor" true
+    (!linked.Hdr.next == prev);
+  T.leave t ~tid:0
+
+(* ------------------------------------------------------------------ *)
 (* Batch *)
 
 let test_batch_seal_structure () =
@@ -682,6 +800,10 @@ let suites =
           (test_packed_bracket_zero_alloc (module Hyaline.Packed));
         Alcotest.test_case "Hyaline-1(packed) bracket allocation-free" `Quick
           (test_packed_bracket_zero_alloc (module Hyaline1.Packed));
+        Alcotest.test_case "insert_batch rejects tombstone decode" `Quick
+          test_insert_batch_tombstone_retry;
+        Alcotest.test_case "hyaline-1 retire rejects tombstone decode" `Quick
+          test_hyaline1_retire_tombstone_retry;
       ] );
     ( "hyaline.batch",
       [

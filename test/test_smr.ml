@@ -150,11 +150,15 @@ let test_hdr_of_uid_vs_create_frontier () =
     (chased > 0)
 
 let test_hdr_registry_tombstone_and_republish () =
-  (* [set_freed] swaps the registry cell to a dead sentinel (a freed
-     uid is only ever decoded from a stale head-word snapshot, whose
-     CAS is bound to fail); [set_live] republishes on recycling. *)
+  (* [set_freed] swaps the registry cell to a dead sentinel — a freed
+     uid is only ever decoded from a stale head-word snapshot, and
+     because the packed CAS is value-based the decoder must detect the
+     sentinel ([is_tombstone]) and retry rather than CAS (the word can
+     ABA-revisit its old bits); [set_live] republishes on recycling. *)
   let h = Hdr.create () in
   let u = h.Hdr.uid in
+  Alcotest.(check bool) "live header is not the tombstone" false
+    (Hdr.is_tombstone (Hdr.of_uid u));
   Hdr.set_retired h;
   Hdr.set_freed h;
   let s = Hdr.of_uid u in
@@ -162,9 +166,15 @@ let test_hdr_registry_tombstone_and_republish () =
     (s != h);
   Alcotest.(check bool) "freed uid decodes to a freed sentinel" true
     (Hdr.is_freed s);
+  Alcotest.(check bool) "freed uid decodes to the tombstone" true
+    (Hdr.is_tombstone s);
+  Alcotest.(check bool) "nil is not the tombstone" false
+    (Hdr.is_tombstone Hdr.nil);
   Hdr.set_live h;
   Alcotest.(check bool) "recycled uid decodes to the header again" true
-    (Hdr.of_uid u == h)
+    (Hdr.of_uid u == h);
+  Alcotest.(check bool) "recycled uid is not the tombstone" false
+    (Hdr.is_tombstone (Hdr.of_uid u))
 
 (* Allocate-and-free in its own function so no stack slot keeps the
    header reachable after return. *)
