@@ -140,6 +140,69 @@ let conn_write_reply_disabled_hook_cost =
       Service.Codec.encode_reply out (Service.Codec.Value 7);
       Service.Conn.write_reply ~faults:Service.Conn.Faults.none fd out)
 
+(* lib/replica durability costs: the checksum, one record encode/
+   decode, the WAL write path at both batching extremes (a 1-record
+   group commit pays the whole sync; a 64-record commit amortizes it),
+   and the ack-tap pair — a shard call with the hook disabled (one
+   physical-equality check) vs the same call group-committing to the
+   deterministic mem store. *)
+
+let crc32_cost =
+  let s = String.init 64 Char.chr in
+  fun () -> ignore (Service.Codec.crc32 s ~pos:0 ~len:64)
+
+let wal_record_roundtrip_cost =
+  let buf = Buffer.create 64 in
+  fun () ->
+    Buffer.clear buf;
+    Service.Codec.encode_wal_record buf ~seq:123456
+      (Service.Codec.Set { key = 7; value = 70 });
+    let b = Buffer.to_bytes buf in
+    let payload = Bytes.sub b 4 (Bytes.length b - 4) in
+    ignore (Service.Codec.decode_wal_record payload)
+
+(* Keep the log bounded under the calibrated iteration counts: drop
+   the committed prefix (and its dead segments) every few thousand
+   records, like a primary snapshotting would. *)
+let wal_trim w =
+  let c = Replica.Wal.committed_seq w in
+  if c land 4095 = 0 then Replica.Wal.truncate_upto w ~seq:c
+
+let wal_commit_cost ~batch =
+  let store, _ = Replica.Store.Mem.create () in
+  let w, _ = Replica.Wal.open_ ~store ~shard:0 () in
+  fun () ->
+    for k = 1 to batch do
+      ignore (Replica.Wal.append w (Service.Codec.Set { key = k; value = k }))
+    done;
+    Replica.Wal.commit w;
+    wal_trim w
+
+let shard_call_hook_off_cost =
+  let svc =
+    Service.Shard.create
+      ~structure:(Workload.Registry.find_structure "hashmap")
+      ~scheme:(Workload.Registry.find_scheme "hyaline")
+      { Service.Shard.default_config with Service.Shard.shards = 1; clients = 1 }
+  in
+  fun () ->
+    ignore (Service.Shard.call svc ~tid:0 (Service.Codec.Put { key = 7; value = 1 }))
+
+let shard_call_mem_wal_cost =
+  let store, _ = Replica.Store.Mem.create () in
+  let p, _ =
+    Replica.Primary.create
+      ~structure:(Workload.Registry.find_structure "hashmap")
+      ~scheme:(Workload.Registry.find_scheme "hyaline")
+      { Service.Shard.default_config with Service.Shard.shards = 1; clients = 1 }
+      ~store ()
+  in
+  fun () ->
+    ignore
+      (Service.Shard.call p.Replica.Primary.svc ~tid:0
+         (Service.Codec.Put { key = 7; value = 1 }));
+    wal_trim p.Replica.Primary.wals.(0)
+
 let microbenches () =
   scheme_rows "retire-cost" retire_cost
   @ scheme_rows "bracket-cost" bracket_cost
@@ -154,6 +217,12 @@ let microbenches () =
       ("table1/chaos/conn-write-frame-baseline", conn_write_frame_cost);
       ("table1/chaos/conn-write-reply-hook-off",
        conn_write_reply_disabled_hook_cost);
+      ("table1/replica/crc32-64B", crc32_cost);
+      ("table1/replica/wal-record-roundtrip", wal_record_roundtrip_cost);
+      ("table1/replica/wal-commit-1rec", wal_commit_cost ~batch:1);
+      ("table1/replica/wal-commit-64rec", wal_commit_cost ~batch:64);
+      ("table1/replica/shard-call-hook-off", shard_call_hook_off_cost);
+      ("table1/replica/shard-call-mem-wal", shard_call_mem_wal_cost);
     ]
 
 (* Machine-readable Table 1 rows ([BENCH_JSON=path] or [--json path]):

@@ -675,6 +675,473 @@ let run_chaos ~ds ~schemes ~classes ~steps ~seed ~bound ~shards ~smoke ~plot =
         if plot then chaos_plot cls_name (List.rev !rows))
       classes
 
+(* ------------------------------------------------------------------ *)
+(* `experiments replicate` — the lib/replica matrix, per scheme:
+     A. WAL cost: closed-loop write-heavy throughput with the ack hook
+        disabled vs a Primary group-committing to a mem store.
+     B. The snapshot long-reader adversary: a gated snapshot holds its
+        bracket while churn retires nodes under it; the row is the
+        shard's unreclaimed ceiling (EBR balloons, Hyaline-S stays
+        bounded — the serving-path twin of fig10a).
+     C. Replication lag: an in-process follower chases the committed
+        record stream under load; max observed lag + apply p99, then a
+        convergence sweep.
+     D. Failover: acked history -> snapshots+truncation -> follower ->
+        more acked history -> torn group commit kills shard 0 ->
+        process death -> confirmed-death detection -> promotion from
+        the shared store.  Judge: Chaos.Oracle.replay_state of exactly
+        the acked history, compared byte-for-byte against both the
+        promoted follower and a fresh primary recovered from the same
+        store.
+   Everything runs on the deterministic mem store, so the torn tail is
+   exact and recovery/truncation byte counts can be asserted. *)
+
+let rep_csv_header = "phase,scheme,structure,shards,metric,value\n"
+
+let rep_emit ~phase ~scheme ~structure ~shards metrics =
+  (match !csv_channel with
+  | Some oc ->
+      List.iter
+        (fun (metric, v) ->
+          Printf.fprintf oc "%s,%s,%s,%d,%s,%.1f\n" phase scheme structure
+            shards metric v)
+        metrics;
+      flush oc
+  | None -> ());
+  match !prom_channel with
+  | Some oc ->
+      List.iter
+        (fun (metric, v) ->
+          Printf.fprintf oc "replicate_%s{phase=%S,scheme=%S} %.1f\n" metric
+            phase scheme v)
+        metrics;
+      flush oc
+  | None -> ()
+
+let rep_throughput ~scheme ~structure_name ~shards ~clients ~duration ~seed =
+  let structure = Registry.find_structure structure_name in
+  let dist = Keydist.uniform ~range:4096 in
+  let svc_off =
+    Service.Shard.create ~structure ~scheme
+      { Service.Shard.default_config with Service.Shard.shards; clients; seed }
+  in
+  let off =
+    Service.Loadgen.run svc_off ~mode:Service.Loadgen.Closed ~clients ~duration
+      ~dist ~mix:Service.Loadgen.write_heavy ~seed ()
+  in
+  svc_off.Service.Shard.stop ();
+  let store, _ = Replica.Store.Mem.create () in
+  let p, _ =
+    Replica.Primary.create ~structure ~scheme
+      { Service.Shard.default_config with Service.Shard.shards; clients; seed }
+      ~store ()
+  in
+  let fsync_sum () =
+    Array.fold_left (fun a w -> a + Replica.Wal.fsyncs w) 0 p.Replica.Primary.wals
+  in
+  let before = fsync_sum () in
+  let on =
+    Service.Loadgen.run p.Replica.Primary.svc ~mode:Service.Loadgen.Closed
+      ~clients ~duration ~dist ~mix:Service.Loadgen.write_heavy ~seed ()
+  in
+  let fsyncs = fsync_sum () - before in
+  let fsync_p99 =
+    Array.fold_left
+      (fun a w -> max a (Obs.Hist.percentile (Replica.Wal.fsync_hist w) 0.99))
+      0 p.Replica.Primary.wals
+  in
+  Replica.Primary.stop p;
+  (off, on, fsyncs, fsync_p99)
+
+(* Phase B: hold a snapshot bracket open at the gate while fresh-key
+   put/del churn retires nodes in the same shard, then read the
+   shard's unreclaimed backlog BEFORE releasing the reader. *)
+let rep_snapshot_reader ~scheme ~structure_name ~shards ~churn =
+  let structure = Registry.find_structure structure_name in
+  let svc =
+    Service.Shard.create ~structure ~scheme
+      { Service.Shard.default_config with Service.Shard.shards; clients = 2 }
+  in
+  let prefill = ref 0 in
+  let k = ref 0 in
+  while !prefill < 64 do
+    if svc.Service.Shard.shard_of_key !k = 0 then begin
+      ignore
+        (Service.Shard.call svc ~tid:0
+           (Service.Codec.Put { key = !k; value = !k }));
+      incr prefill
+    end;
+    incr k
+  done;
+  let entered = Atomic.make false in
+  let release = Atomic.make false in
+  let gate i =
+    if i = 0 then begin
+      Atomic.set entered true;
+      while not (Atomic.get release) do
+        Domain.cpu_relax ()
+      done
+    end
+  in
+  let snap =
+    Domain.spawn (fun () -> svc.Service.Shard.snapshot ~shard:0 ~gate)
+  in
+  while not (Atomic.get entered) do
+    Domain.cpu_relax ()
+  done;
+  let kk = ref 1_000_000 in
+  let churned = ref 0 in
+  while !churned < churn do
+    if svc.Service.Shard.shard_of_key !kk = 0 then begin
+      ignore
+        (Service.Shard.call svc ~tid:0
+           (Service.Codec.Put { key = !kk; value = 1 }));
+      ignore (Service.Shard.call svc ~tid:0 (Service.Codec.Del !kk));
+      churned := !churned + 2
+    end;
+    incr kk
+  done;
+  let unr =
+    Smr.Stats.unreclaimed_of
+      (Smr.Stats.snapshot (List.nth (svc.Service.Shard.data_stats ()) 0))
+  in
+  Atomic.set release true;
+  ignore (Domain.join snap);
+  svc.Service.Shard.stop ();
+  unr
+
+let rep_pull_of p ~shard ~from ~max =
+  match
+    Replica.Primary.handle p (Service.Codec.Rep_pull { shard; from; max })
+  with
+  | Some r -> r
+  | None -> Service.Codec.Error "pull: not a replication request"
+
+let rep_lag ~scheme ~structure_name ~shards ~clients ~duration ~seed =
+  let structure = Registry.find_structure structure_name in
+  let store, _ = Replica.Store.Mem.create () in
+  let p, _ =
+    Replica.Primary.create ~structure ~scheme
+      { Service.Shard.default_config with Service.Shard.shards; clients; seed }
+      ~store ()
+  in
+  let f, _ =
+    Replica.Follower.create ~structure ~scheme
+      { Service.Shard.default_config with Service.Shard.shards; clients = 2; seed }
+      ~pull:(rep_pull_of p) ()
+  in
+  let running = Atomic.make true in
+  let max_lag = Atomic.make 0 in
+  let samples = ref [] in
+  let stepper =
+    Domain.spawn (fun () ->
+        let i = ref 0 in
+        while Atomic.get running do
+          for shard = 0 to shards - 1 do
+            ignore (Replica.Follower.step f ~shard ())
+          done;
+          let l = Array.fold_left max 0 (Replica.Follower.lag f) in
+          if l > Atomic.get max_lag then Atomic.set max_lag l;
+          incr i;
+          if !i mod 64 = 0 then samples := (!i, l) :: !samples;
+          Domain.cpu_relax ()
+        done)
+  in
+  let res =
+    Service.Loadgen.run p.Replica.Primary.svc ~mode:Service.Loadgen.Closed
+      ~clients ~duration
+      ~dist:(Keydist.uniform ~range:4096)
+      ~mix:Service.Loadgen.write_heavy ~seed ()
+  in
+  Atomic.set running false;
+  Domain.join stepper;
+  ignore (Replica.Follower.sync f);
+  let converged = ref true in
+  for shard = 0 to shards - 1 do
+    if Replica.Primary.sweep p ~shard <> Replica.Follower.sweep f ~shard then
+      converged := false
+  done;
+  let apply_p99 = Obs.Hist.percentile (Replica.Follower.apply_hist f) 0.99 in
+  Replica.Primary.stop p;
+  Replica.Follower.stop f;
+  (res, Atomic.get max_lag, apply_p99, !converged, List.rev !samples)
+
+type rep_fo = {
+  fo_ops : int;
+  fo_confirm_polls : int;
+  fo_torn_bytes : int;
+  fo_caught_up : int;
+  fo_late_acks : int;
+  fo_promoted_ok : bool;
+  fo_recovered_ok : bool;
+  fo_boot2_truncated : int;
+}
+
+let rep_failover ~scheme ~structure_name ~shards ~rounds ~seed =
+  let structure = Registry.find_structure structure_name in
+  let store, _ = Replica.Store.Mem.create () in
+  let cfg =
+    { Service.Shard.default_config with Service.Shard.shards; clients = 4; seed }
+  in
+  let p, _ = Replica.Primary.create ~structure ~scheme cfg ~store () in
+  let svc = p.Replica.Primary.svc in
+  let rng = Prims.Rng.create ~seed:(seed + 99) in
+  let ops = ref [] in
+  let range = 512 in
+  (* Closed single-driver loop: the submission order is a
+     linearization, so Oracle.replay_state of [ops] is exact. *)
+  let drive n =
+    for _ = 1 to n do
+      let key = Prims.Rng.below rng range in
+      let req =
+        match Prims.Rng.below rng 10 with
+        | 0 | 1 | 2 | 3 ->
+            Service.Codec.Put { key; value = Prims.Rng.below rng 1000 }
+        | 4 | 5 -> Service.Codec.Del key
+        | 6 ->
+            Service.Codec.Cas
+              {
+                key;
+                expected = Prims.Rng.below rng 1000;
+                desired = Prims.Rng.below rng 1000;
+              }
+        | _ -> Service.Codec.Get key
+      in
+      let reply = Service.Shard.call svc ~tid:0 req in
+      ops := (req, reply) :: !ops
+    done
+  in
+  let third = max 1 (rounds / 3) in
+  drive third;
+  (* Mid-history snapshots with truncation: later bootstraps must go
+     snapshot-then-log, and Rep_pull from 0 is now legitimately
+     Too_old. *)
+  for shard = 0 to shards - 1 do
+    ignore (Replica.Primary.snapshot_shard p ~shard ())
+  done;
+  drive third;
+  (* Follower cold-starts from the shared store (snapshot + read-only
+     log scan), then catches the stream up over pulls. *)
+  let f, _ =
+    Replica.Follower.create ~structure ~scheme
+      { cfg with Service.Shard.clients = 2 }
+      ~pull:(rep_pull_of p) ~store ()
+  in
+  ignore (Replica.Follower.sync f);
+  (* Acked history the follower has NOT pulled: promotion must recover
+     it from the shared store, not lose it. *)
+  drive (max 1 (rounds - (2 * third)));
+  (* Arm the torn commit and throw un-ackable work at shard 0: its
+     next group commit dies writing the final record halfway. *)
+  Replica.Primary.arm_torn_commit p ~shard:0;
+  let late_acks = Atomic.make 0 in
+  let submitted = ref 0 in
+  let kk = ref (range + 1) in
+  while !submitted < 32 do
+    if svc.Service.Shard.shard_of_key !kk = 0 then begin
+      incr submitted;
+      svc.Service.Shard.submit ~tid:1
+        (Service.Codec.Put { key = !kk; value = !kk })
+        (function
+          | Service.Codec.Shed | Service.Codec.Error _ ->
+              (* shed or failed at stop: correctly never acked *)
+              ()
+          | _ -> Atomic.incr late_acks)
+    end;
+    incr kk
+  done;
+  let spins = ref 0 in
+  while svc.Service.Shard.consumer_alive 0 && !spins < 50_000_000 do
+    incr spins;
+    Domain.cpu_relax ()
+  done;
+  if svc.Service.Shard.consumer_alive 0 then
+    failwith "replicate: armed shard did not crash on its torn commit";
+  Replica.Primary.kill p;
+  let mon =
+    Replica.Failover.monitor
+      ~alive:(fun () -> Replica.Primary.alive p)
+      ~heartbeat:svc.Service.Shard.heartbeat ~nshards:shards ()
+  in
+  let polls = ref 0 in
+  while (not (Replica.Failover.poll mon)) && !polls < 10_000 do
+    incr polls;
+    Unix.sleepf 0.001
+  done;
+  if not (Replica.Failover.confirmed mon) then
+    failwith "replicate: primary death was never confirmed";
+  let prom = Replica.Failover.promote f ~store in
+  let promoted_state =
+    List.concat
+      (List.init shards (fun shard -> Replica.Follower.sweep f ~shard))
+    |> List.sort compare
+  in
+  (* A fresh primary recovered from the same store must agree too —
+     and its recovery must truncate exactly the bytes the promotion
+     scan reported as torn. *)
+  let p2, boot2 = Replica.Primary.create ~structure ~scheme cfg ~store () in
+  let recovered_state =
+    List.concat
+      (List.init shards (fun shard -> Replica.Primary.sweep p2 ~shard))
+    |> List.sort compare
+  in
+  Replica.Primary.stop p2;
+  Replica.Primary.stop p;
+  Replica.Follower.stop f;
+  let expected = Chaos.Oracle.replay_state ~ops:(List.rev !ops) in
+  {
+    fo_ops = List.length !ops;
+    fo_confirm_polls =
+      (match Replica.Failover.confirmed_at mon with Some n -> n | None -> -1);
+    fo_torn_bytes = Array.fold_left ( + ) 0 prom.Replica.Failover.p_torn_bytes;
+    fo_caught_up = Array.fold_left ( + ) 0 prom.Replica.Failover.p_caught_up;
+    fo_late_acks = Atomic.get late_acks;
+    fo_promoted_ok = promoted_state = expected;
+    fo_recovered_ok = recovered_state = expected;
+    fo_boot2_truncated =
+      Array.fold_left
+        (fun a (r : Replica.Wal.recovery) -> a + r.Replica.Wal.r_truncated_bytes)
+        0 boot2.Replica.Primary.b_recovery;
+  }
+
+let run_replicate ~sc ~ds ~schemes ~shards ~smoke ~plot =
+  let structure_name = match ds with "all" -> "hashmap" | d -> d in
+  let clients = 8 in
+  let seed = 4242 in
+  let duration = if smoke then 0.15 else Float.max 0.3 sc.Figures.duration in
+  let churn = if smoke then 1500 else 4000 in
+  let bound = churn / 4 in
+  let rounds = if smoke then 1200 else 3000 in
+  Format.printf
+    "## replicate (%s, %d shards, mem store, churn %d, %d acked rounds%s)@."
+    structure_name shards churn rounds
+    (if smoke then ", smoke" else "");
+  Format.printf "%-18s %8s %8s %7s %9s %12s %8s %7s %6s %6s %3s@." "scheme"
+    "off-Kops" "on-Kops" "fsyncs" "fsync-p99" "snap-max-unr" "max-lag"
+    "caught" "polls" "torn" "ok";
+  let problems = ref [] in
+  let check c msg = if not c then problems := msg :: !problems in
+  let snap_unr = ref [] in
+  let lag_series = ref [] in
+  List.iter
+    (fun scheme_name ->
+      let scheme = Registry.find_scheme scheme_name in
+      let off, on, fsyncs, fsync_p99 =
+        rep_throughput ~scheme ~structure_name ~shards ~clients ~duration ~seed
+      in
+      let unr = rep_snapshot_reader ~scheme ~structure_name ~shards ~churn in
+      snap_unr := (scheme_name, unr) :: !snap_unr;
+      let _lres, max_lag, apply_p99, converged, samples =
+        rep_lag ~scheme ~structure_name ~shards ~clients ~duration ~seed
+      in
+      check converged
+        (scheme_name ^ ": follower state diverged from the primary after sync");
+      lag_series :=
+        {
+          Plot.label = scheme_name;
+          points =
+            List.map (fun (i, l) -> (float_of_int i, float_of_int l)) samples;
+        }
+        :: !lag_series;
+      let fo = rep_failover ~scheme ~structure_name ~shards ~rounds ~seed in
+      check (fo.fo_late_acks = 0)
+        (scheme_name ^ ": non-durable work was acknowledged");
+      check fo.fo_promoted_ok
+        (scheme_name ^ ": promoted follower diverged from the oracle replay");
+      check fo.fo_recovered_ok
+        (scheme_name ^ ": recovered primary diverged from the oracle replay");
+      check (fo.fo_torn_bytes > 0)
+        (scheme_name ^ ": the torn commit left no torn tail");
+      check
+        (fo.fo_boot2_truncated = fo.fo_torn_bytes)
+        (scheme_name
+       ^ ": recovery truncated a different byte count than the scan observed");
+      Format.printf "%-18s %8.1f %8.1f %7d %9s %12d %8d %7d %6d %6d %3s@."
+        scheme_name
+        (off.Service.Loadgen.throughput /. 1e3)
+        (on.Service.Loadgen.throughput /. 1e3)
+        fsyncs
+        (Plot.fmt_ns fsync_p99)
+        unr max_lag fo.fo_caught_up fo.fo_confirm_polls fo.fo_torn_bytes
+        (if
+           fo.fo_promoted_ok && fo.fo_recovered_ok && fo.fo_late_acks = 0
+           && converged
+         then "ok"
+         else "DIV");
+      rep_emit ~phase:"throughput" ~scheme:scheme_name ~structure:structure_name
+        ~shards
+        [
+          ("off_kops", off.Service.Loadgen.throughput /. 1e3);
+          ("on_kops", on.Service.Loadgen.throughput /. 1e3);
+          ("fsyncs", float_of_int fsyncs);
+          ("fsync_p99_ns", float_of_int fsync_p99);
+        ];
+      rep_emit ~phase:"snapshot" ~scheme:scheme_name ~structure:structure_name
+        ~shards
+        [
+          ("snap_max_unreclaimed", float_of_int unr);
+          ("bound", float_of_int bound);
+        ];
+      rep_emit ~phase:"lag" ~scheme:scheme_name ~structure:structure_name
+        ~shards
+        [
+          ("max_lag_frames", float_of_int max_lag);
+          ("apply_p99_ns", float_of_int apply_p99);
+          ("converged", if converged then 1.0 else 0.0);
+        ];
+      rep_emit ~phase:"failover" ~scheme:scheme_name ~structure:structure_name
+        ~shards
+        [
+          ("acked_ops", float_of_int fo.fo_ops);
+          ("confirm_polls", float_of_int fo.fo_confirm_polls);
+          ("torn_bytes", float_of_int fo.fo_torn_bytes);
+          ("caught_up", float_of_int fo.fo_caught_up);
+          ("late_acks", float_of_int fo.fo_late_acks);
+          ("promoted_oracle_ok", if fo.fo_promoted_ok then 1.0 else 0.0);
+          ("recovered_oracle_ok", if fo.fo_recovered_ok then 1.0 else 0.0);
+        ])
+    schemes;
+  Format.printf "@.";
+  (* The robustness contrast: the snapshot reader is the paper's
+     stalled adversary wearing service clothes.  EBR must blow the
+     bound; a Hyaline-S-family scheme must stay under it. *)
+  let is_robust n =
+    String.length n >= 8 && String.sub n 0 8 = "hyalines"
+  in
+  (match List.assoc_opt "ebr" !snap_unr with
+  | Some u ->
+      check (u > bound)
+        (Printf.sprintf
+           "ebr: snapshot reader pinned only %d nodes (bound %d) — expected \
+            unbounded growth"
+           u bound)
+  | None -> if smoke then check false "smoke needs ebr in --schemes");
+  (match List.find_opt (fun (n, _) -> is_robust n) !snap_unr with
+  | Some (n, u) ->
+      check (u <= bound)
+        (Printf.sprintf "%s: snapshot-reader backlog %d exceeded the bound %d"
+           n u bound)
+  | None -> if smoke then check false "smoke needs hyalines in --schemes");
+  if plot && !lag_series <> [] then begin
+    print_string
+      (Plot.render ~title:"replicate — follower lag while loaded"
+         ~ylabel:"frames" ~xlabel:"stepper sample"
+         (List.rev !lag_series));
+    print_newline ()
+  end;
+  if !problems <> [] then begin
+    List.iter
+      (fun m -> Format.eprintf "replicate%s FAILED: %s@."
+          (if smoke then " smoke" else "") m)
+      (List.rev !problems);
+    exit 1
+  end
+  else if smoke then
+    Format.printf
+      "replicate smoke ok: acks durable, torn tails truncated, promoted and \
+       recovered states oracle-identical, snapshot reader bounded only under \
+       the robust scheme@."
+
 let rec dispatch figure ds paper threads duration active plot csv metrics_csv
     prom repeat dist schemes_arg head_backend shards_arg stalled_shards rate
     mixname churn mailbox_cap chaos_steps chaos_seed faults_arg bound smoke =
@@ -692,6 +1159,7 @@ let rec dispatch figure ds paper threads duration active plot csv metrics_csv
         (match String.lowercase_ascii figure with
         | "serve" -> serve_csv_header
         | "chaos" -> chaos_csv_header
+        | "replicate" -> rep_csv_header
         | _ -> csv_header);
       csv_channel := Some oc
   | _ -> ());
@@ -726,6 +1194,12 @@ let rec dispatch figure ds paper threads duration active plot csv metrics_csv
       in
       run_chaos ~ds ~schemes ~classes:faults_arg ~steps:chaos_steps
         ~seed:chaos_seed ~bound ~shards:shards_arg ~smoke ~plot
+  | "replicate" ->
+      let schemes =
+        rebase
+          (match schemes_arg with [] -> [ "ebr"; "hyalines" ] | l -> l)
+      in
+      run_replicate ~sc ~ds ~schemes ~shards:shards_arg ~smoke ~plot
   | "table1" ->
       Format.printf "## Table 1 — scheme properties@.";
       Figures.table1 Format.std_formatter;
@@ -798,7 +1272,7 @@ let rec dispatch figure ds paper threads duration active plot csv metrics_csv
       Format.eprintf
         "unknown figure %S (try table1, fig8..fig16, fig10a, fig10b, lag, \
          ablate-batch, ablate-slots, ablate-freq, ablate-spurious, serve, \
-         chaos, all)@."
+         chaos, replicate, all)@."
         other;
       exit 2
 

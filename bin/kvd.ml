@@ -67,35 +67,71 @@ let selftest ~scheme ~structure ~shards ~clients ~duration =
         res.Service.Loadgen.throughput
         (Service.Slo.report svc.Service.Shard.slo))
 
-let daemon ~socket ~scheme ~structure ~shards ~clients ~mailbox_cap ~batch =
+let daemon ~socket ~scheme ~structure ~shards ~clients ~mailbox_cap ~batch
+    ~wal =
   (* A client vanishing mid-reply must cost its connection, not the
      daemon: EPIPE on that fd instead of process death. *)
   Service.Conn.ignore_sigpipe ();
-  let svc =
-    Service.Shard.create
-      ~structure:(Workload.Registry.find_structure structure)
-      ~scheme:(Workload.Registry.find_scheme scheme)
-      {
-        Service.Shard.default_config with
-        Service.Shard.shards;
-        clients;
-        mailbox_capacity = mailbox_cap;
-        batch;
-      }
+  let cfg =
+    {
+      Service.Shard.default_config with
+      Service.Shard.shards;
+      clients;
+      mailbox_capacity = mailbox_cap;
+      batch;
+    }
   in
-  let server = Service.Conn.serve_unix svc ~path:socket () in
-  Printf.printf "kvd: serving %s/%s with %d shards, %d client slots on %s\n%!"
+  let structure = Workload.Registry.find_structure structure in
+  let scheme = Workload.Registry.find_scheme scheme in
+  let svc, primary =
+    match wal with
+    | None -> (Service.Shard.create ~structure ~scheme cfg, None)
+    | Some dir ->
+        let store = Replica.Store.fs ~dir in
+        let p, boot = Replica.Primary.create ~structure ~scheme cfg ~store () in
+        Array.iteri
+          (fun shard (r : Replica.Wal.recovery) ->
+            Printf.printf
+              "kvd: shard %d wal: %d records (last seq %d), %d snapshot \
+               bindings, %d replayed%s\n"
+              shard r.Replica.Wal.r_records r.Replica.Wal.r_last_seq
+              boot.Replica.Primary.b_snap_bindings.(shard)
+              boot.Replica.Primary.b_replayed.(shard)
+              (match r.Replica.Wal.r_truncated_segment with
+              | Some seg ->
+                  Printf.sprintf ", torn tail: %d bytes truncated from %s"
+                    r.Replica.Wal.r_truncated_bytes seg
+              | None -> ""))
+          boot.Replica.Primary.b_recovery;
+        (p.Replica.Primary.svc, Some p)
+  in
+  let ext = Option.map (fun p req -> Replica.Primary.handle p req) primary in
+  let server = Service.Conn.serve_unix svc ~path:socket ?ext () in
+  Printf.printf
+    "kvd: serving %s/%s with %d shards, %d client slots on %s%s\n%!"
     svc.Service.Shard.scheme_name svc.Service.Shard.structure_name shards
-    clients socket;
+    clients socket
+    (match wal with
+    | Some dir -> Printf.sprintf " (wal: %s, group commit)" dir
+    | None -> "");
   let stop _ =
     (* Runs on the main thread via the signal handler: tear down the
-       listener, then the service (queued requests get Error replies). *)
+       listener, then the service (queued requests get Error replies).
+       With a WAL, snapshot every shard first so the next boot replays
+       a short log instead of the whole history. *)
     Printf.printf "kvd: shutting down (%d processed, %d shed, %s)\n%!"
       (svc.Service.Shard.processed ())
       (svc.Service.Shard.sheds ())
       (Service.Slo.report svc.Service.Shard.slo);
     Service.Conn.shutdown server;
-    svc.Service.Shard.stop ();
+    (match primary with
+    | Some p ->
+        for shard = 0 to shards - 1 do
+          let file, seq = Replica.Primary.snapshot_shard p ~shard () in
+          Printf.printf "kvd: shard %d snapshot %s (seq %d)\n%!" shard file seq
+        done;
+        Replica.Primary.stop p
+    | None -> svc.Service.Shard.stop ());
     exit 0
   in
   Sys.set_signal Sys.sigint (Sys.Signal_handle stop);
@@ -104,8 +140,76 @@ let daemon ~socket ~scheme ~structure ~shards ~clients ~mailbox_cap ~batch =
     Unix.sleepf 3600.0
   done
 
+(* Follower mode: connect to a live kvd --wal daemon, discover its
+   shard count from Rep_info, then chase the committed record stream
+   with pulls, applying into a local service of the same shape. *)
+let follow ~target ~scheme ~structure ~clients =
+  Service.Conn.ignore_sigpipe ();
+  let fd = Service.Conn.connect_unix ~path:target in
+  let nshards =
+    match Service.Conn.call_fd fd Service.Codec.Rep_info with
+    | Service.Codec.Rep_state committed -> Array.length committed
+    | Service.Codec.Error m ->
+        failwith (Printf.sprintf "%s is not serving a WAL (%s)" target m)
+    | r ->
+        failwith
+          ("unexpected Rep_info reply " ^ Service.Codec.reply_to_string r)
+  in
+  let pull ~shard ~from ~max =
+    Service.Conn.call_fd fd (Service.Codec.Rep_pull { shard; from; max })
+  in
+  let f, _ =
+    Replica.Follower.create
+      ~structure:(Workload.Registry.find_structure structure)
+      ~scheme:(Workload.Registry.find_scheme scheme)
+      {
+        Service.Shard.default_config with
+        Service.Shard.shards = nshards;
+        clients = max 2 clients;
+      }
+      ~pull ()
+  in
+  Printf.printf "kvd: following %s (%d shards) into %s/%s\n%!" target nshards
+    scheme structure;
+  let running = ref true in
+  let stop _ = running := false in
+  Sys.set_signal Sys.sigint (Sys.Signal_handle stop);
+  Sys.set_signal Sys.sigterm (Sys.Signal_handle stop);
+  let last_report = ref (Unix.gettimeofday ()) in
+  let report () =
+    let applied = Replica.Follower.applied f in
+    let lag = Replica.Follower.lag f in
+    Printf.printf "kvd: applied %s, lag %s frames\n%!"
+      (String.concat "," (Array.to_list (Array.map string_of_int applied)))
+      (String.concat "," (Array.to_list (Array.map string_of_int lag)))
+  in
+  (try
+     while !running do
+       let idle = ref true in
+       for shard = 0 to nshards - 1 do
+         match Replica.Follower.step f ~shard () with
+         | `Applied _ -> idle := false
+         | `Uptodate -> ()
+         | `Err m -> failwith ("pull: " ^ m)
+       done;
+       let now = Unix.gettimeofday () in
+       if now -. !last_report > 2.0 then begin
+         last_report := now;
+         report ()
+       end;
+       if !idle then Unix.sleepf 0.005
+     done
+   with
+  | Service.Conn.Closed ->
+      Printf.eprintf "kvd: primary hung up; follower state kept to here\n%!"
+  | Unix.Unix_error (e, _, _) ->
+      Printf.eprintf "kvd: lost the primary: %s\n%!" (Unix.error_message e));
+  report ();
+  (try Unix.close fd with Unix.Unix_error _ -> ());
+  Replica.Follower.stop f
+
 let main socket scheme structure shards clients mailbox_cap batch selftest_flag
-    duration =
+    duration wal follow_target =
   if selftest_flag then
     match
       selftest ~scheme ~structure ~shards ~clients ~duration
@@ -114,10 +218,31 @@ let main socket scheme structure shards clients mailbox_cap batch selftest_flag
     | exception e ->
         Printf.eprintf "kvd selftest FAILED: %s\n" (Printexc.to_string e);
         1
-  else begin
-    daemon ~socket ~scheme ~structure ~shards ~clients ~mailbox_cap ~batch;
-    0
-  end
+  else
+    match follow_target with
+    | Some target -> (
+        match follow ~target ~scheme ~structure ~clients with
+        | () -> 0
+        | exception e ->
+            Printf.eprintf "kvd follower FAILED: %s\n" (Printexc.to_string e);
+            1)
+    | None -> (
+        match daemon ~socket ~scheme ~structure ~shards ~clients ~mailbox_cap
+                ~batch ~wal
+        with
+        | () -> 0
+        | exception Service.Conn.Addr_in_use path ->
+            Printf.eprintf
+              "kvd: %s is owned by a live daemon (connect probe answered) — \
+               pick another --socket or stop the incumbent\n"
+              path;
+            1
+        | exception (Replica.Wal.Corrupt { shard; segment; seq; reason } as e)
+          ->
+            Printf.eprintf
+              "kvd: wal corrupt (shard %d, %s, seq %d): %s\n%s\n" shard
+              segment seq reason (Printexc.to_string e);
+            1)
 
 open Cmdliner
 
@@ -177,11 +302,32 @@ let duration =
     & info [ "duration" ] ~docv:"SECONDS"
         ~doc:"Load-burst length for --selftest.")
 
+let wal =
+  Arg.(
+    value & opt (some string) None
+    & info [ "wal" ] ~docv:"DIR"
+        ~doc:
+          "Durable mode: group-commit every acked mutation to per-shard \
+           write-ahead logs under $(docv) (created if missing), recover \
+           from the newest snapshot plus the log on boot, and serve the \
+           replication opcodes (Rep_info/Rep_pull) to followers.  SIGINT \
+           snapshots each shard before exiting.")
+
+let follow_target =
+  Arg.(
+    value & opt (some string) None
+    & info [ "follow" ] ~docv:"SOCKET"
+        ~doc:
+          "Follower mode: connect to a live $(b,kvd --wal) daemon on \
+           $(docv), discover its shard count, and continuously pull and \
+           apply its committed record stream into a local service of the \
+           same shape.  Prints applied seqs and lag every 2s.")
+
 let cmd =
   let doc = "Sharded lock-free KV daemon (lib/service over lib/smr)." in
   Cmd.v (Cmd.info "kvd" ~doc)
     Term.(
       const main $ socket $ scheme $ structure $ shards $ clients
-      $ mailbox_cap $ batch $ selftest_flag $ duration)
+      $ mailbox_cap $ batch $ selftest_flag $ duration $ wal $ follow_target)
 
 let () = exit (Cmd.eval' cmd)

@@ -58,6 +58,24 @@ let apply model req =
       | Some _ ->
           Hashtbl.replace model key desired;
           Cas_ok)
+  | Rep_info | Rep_pull _ ->
+      (* Replication opcodes never reach the data path in a correct
+         run; treat one as a divergence-visible error. *)
+      Error "oracle: replication request in acked history"
+
+(* Sequential replay of the acked history alone, yielding the model's
+   final bindings — what a promoted replica (or a primary recovered
+   from its WAL) must be byte-identical to.  Shed and Error replies
+   executed nothing by contract, so they apply nothing. *)
+let replay_state ~ops =
+  let model = Hashtbl.create 1024 in
+  List.iter
+    (fun (req, reply) ->
+      match reply with
+      | Service.Codec.Shed | Service.Codec.Error _ -> ()
+      | _ -> ignore (apply model req))
+    ops;
+  Hashtbl.fold (fun k v acc -> (k, v) :: acc) model [] |> List.sort compare
 
 (* [ops]: every acknowledged (request, reply) in submission order.
    [final]: the post-quiesce Get sweep over the whole key range.

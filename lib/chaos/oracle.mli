@@ -20,6 +20,14 @@ type verdict = {
 val is_injected_oom : Service.Codec.reply -> bool
 val is_gen_trip : Service.Codec.reply -> bool
 
+val replay_state :
+  ops:(Service.Codec.request * Service.Codec.reply) list -> (int * int) list
+(** Sequential replay of the acked history alone: the model's final
+    bindings, sorted by key.  The replication failover gate compares a
+    promoted follower's (or recovered primary's) swept state against
+    exactly this — acked-but-lost or lost-but-unacked work shows up as
+    a byte difference.  [Shed]/[Error] replies apply nothing. *)
+
 val run :
   ops:(Service.Codec.request * Service.Codec.reply) list ->
   final:(int * Service.Codec.reply) list ->

@@ -286,6 +286,20 @@ module Make (T : Tracker.S) : Map_intf.S = struct
     in
     loop ()
 
+  (* Live traversal (Map_intf.fold): bonsai is only ever paired with
+     bracket-protection schemes (the registry rejects HP/HE on it), so
+     the caller's bracket covers the whole walk; [rd] keeps the reads
+     going through the tracker like every other traversal. *)
+  let fold_live t ~tid f acc =
+    let rec go acc = function
+      | None -> acc
+      | Some n ->
+          let acc = go acc (rd t ~tid n.left) in
+          let acc = f acc n.key n.value in
+          go acc (rd t ~tid n.right)
+    in
+    go acc (rd t ~tid t.root)
+
   (* Quiescent helpers *)
 
   let fold t f acc =
@@ -318,4 +332,8 @@ module Make (T : Tracker.S) : Map_intf.S = struct
           n.weight
     in
     ignore (go min_int max_int (Atomic.get t.root))
+
+  (* The exported Map_intf.fold is the live, bracketed one; the
+     quiescent [fold] above stays internal (size/to_sorted_list). *)
+  let fold = fold_live
 end

@@ -21,6 +21,7 @@ module Make (T : Smr.Tracker.S) : Map_intf.S = struct
   let remove t ~tid k = C.remove_in t.core ~tid ~head:t.head k
   let get t ~tid k = C.get_in t.core ~tid ~head:t.head k
   let put t ~tid k v = C.put_in t.core ~tid ~head:t.head k v
+  let fold t ~tid f acc = C.fold_live_in t.core ~tid ~head:t.head f acc
   let stats t = T.stats t.core.C.tracker
   let gauges t = C.gauges_of t.core
   let inject_alloc_failures t ~n = C.inject_alloc_failures_in t.core ~n

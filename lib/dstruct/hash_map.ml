@@ -35,6 +35,11 @@ module Make (T : Smr.Tracker.S) : Map_intf.S = struct
   let remove t ~tid k = C.remove_in t.core ~tid ~head:(bucket t k) k
   let get t ~tid k = C.get_in t.core ~tid ~head:(bucket t k) k
   let put t ~tid k v = C.put_in t.core ~tid ~head:(bucket t k) k v
+  let fold t ~tid f acc =
+    Array.fold_left
+      (fun acc head -> C.fold_live_in t.core ~tid ~head f acc)
+      acc t.buckets
+
   let stats t = T.stats t.core.C.tracker
   let gauges t = C.gauges_of t.core
   let inject_alloc_failures t ~n = C.inject_alloc_failures_in t.core ~n

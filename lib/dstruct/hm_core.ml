@@ -178,6 +178,30 @@ module Make (T : Tracker.S) = struct
     in
     loop ()
 
+  (* Live traversal for the snapshot path: the same hand-over-hand
+     rotating-slot protection as [search] (prev/curr/next always
+     covered, so this is safe under every scheme, HP/HE included),
+     but strictly read-only — marked nodes are skipped, never
+     unlinked, so a snapshot reader on another tid cannot race the
+     single-mutator discipline of the serving consumer. *)
+  let fold_live_in core ~tid ~head f acc =
+    let tracker = core.tracker in
+    let d = ref 0 in
+    let read_link cell =
+      let l = T.read tracker ~tid ~idx:(!d mod 3) cell proj in
+      incr d;
+      l
+    in
+    let rec go acc (l : link) =
+      match l.succ with
+      | None -> acc
+      | Some c ->
+          let c_link = read_link c.next in
+          let acc = if c_link.marked then acc else f acc c.key c.value in
+          go acc c_link
+    in
+    go acc (read_link head)
+
   (* Quiescent helpers. *)
 
   let fold_in ~head f acc =

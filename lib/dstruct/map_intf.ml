@@ -42,6 +42,21 @@ module type S = sig
   val put : t -> tid:int -> int -> int -> bool
   (** Insert-or-update; [true] if a new binding was created. *)
 
+  val fold : t -> tid:int -> ('a -> int -> int -> 'a) -> 'a -> 'a
+  (** [fold t ~tid f acc] folds [f acc key value] over the {e live}
+      map, inside the caller's bracket, while other threads keep
+      operating — the long-running-reader traversal behind the
+      replication snapshot.  The result is a {e fuzzy} snapshot:
+      concurrent mutations may or may not be reflected (each visited
+      binding was live at its visit), so consumers must reconcile via
+      an idempotent replay (see lib/replica).  List-shaped structures
+      (list, hashmap) protect hand-over-hand through the same rotating
+      read slots as their searches, safe under every scheme; tree
+      folds keep only a bounded window of the descent protected, so
+      under the slot-protected schemes (HP/HE) they are safe only
+      quiescently — bracket-protection schemes (EBR, IBR, the Hyaline
+      family) cover the whole traversal by the bracket itself. *)
+
   (** {2 Observation} *)
 
   val stats : t -> Smr.Stats.t

@@ -439,4 +439,27 @@ module Make (T : Tracker.S) : Map_intf.S = struct
       end
     in
     go min_int max_int t.s
+
+  (* Live traversal (Map_intf.fold): in-order walk under S's left
+     edge with every edge read going through rotating protected
+     slots.  Only a bounded window of the descent is slot-covered, so
+     under HP/HE this is quiescent-only (Map_intf caveat); the
+     bracket-protection schemes cover the whole walk via the caller's
+     bracket. *)
+  let fold t ~tid f acc =
+    let d = ref 0 in
+    let rd cell =
+      let e = T.read t.tracker ~tid ~idx:(!d mod 3) cell proj in
+      incr d;
+      e
+    in
+    let rec go acc n =
+      if n.is_leaf then if n.key >= inf0 then acc else f acc n.key n.value
+      else
+        let gol =
+          match (rd n.left).child with Some c -> go acc c | None -> acc
+        in
+        match (rd n.right).child with Some c -> go gol c | None -> gol
+    in
+    go acc t.s
 end

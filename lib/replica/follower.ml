@@ -1,0 +1,175 @@
+(* The follower replays the primary's committed record stream through
+   its own shard service.  Mutations are absolute, so applying them in
+   seq order (continuity-checked) converges the follower's maps to the
+   primary's no matter where bootstrap left off. *)
+
+module Codec = Service.Codec
+module Shard = Service.Shard
+
+type pull = shard:int -> from:int -> max:int -> Codec.reply
+
+type t = {
+  svc : Shard.t;
+  pull : pull;
+  applied : int Atomic.t array;
+  lag_ : int Atomic.t array;
+  hist : Obs.Hist.t;
+  pulls : int Atomic.t;
+}
+
+type boot = {
+  b_snap_bindings : int array;
+  b_replayed : int array;
+  b_torn_bytes : int array;
+}
+
+let apply_mutation svc m =
+  let req =
+    match m with
+    | Codec.Set { key; value } -> Codec.Put { key; value }
+    | Codec.Unset key -> Codec.Del key
+  in
+  match Shard.call svc ~tid:0 req with
+  | Codec.Created | Codec.Updated | Codec.Deleted | Codec.Not_found -> ()
+  | r ->
+      failwith
+        (Printf.sprintf "replica: follower apply of %s answered %s"
+           (Codec.mutation_to_string m)
+           (Codec.reply_to_string r))
+
+let create ~structure ~scheme (cfg : Shard.config) ~pull ?store () =
+  let svc = Shard.create ~structure ~scheme { cfg with Shard.hook = Shard.no_hook } in
+  let n = cfg.Shard.shards in
+  let t =
+    {
+      svc;
+      pull;
+      applied = Array.init n (fun _ -> Atomic.make 0);
+      lag_ = Array.init n (fun _ -> Atomic.make 0);
+      hist = Obs.Hist.create ();
+      pulls = Atomic.make 0;
+    }
+  in
+  let b_snap = Array.make n 0 in
+  let b_rep = Array.make n 0 in
+  let b_torn = Array.make n 0 in
+  (match store with
+  | None -> ()
+  | Some store ->
+      for shard = 0 to n - 1 do
+        let snap_seq =
+          match Snapshot.load_latest ~store ~shard with
+          | None -> 0
+          | Some (bindings, seq, _) ->
+              List.iter
+                (fun (key, value) ->
+                  apply_mutation svc (Codec.Set { key; value }))
+                bindings;
+              b_snap.(shard) <- List.length bindings;
+              seq
+        in
+        let records, r = Wal.scan ~store ~shard in
+        b_torn.(shard) <- r.Wal.r_truncated_bytes;
+        let tail = List.filter (fun (seq, _) -> seq > snap_seq) records in
+        (match tail with
+        | (first, _) :: _ when first > snap_seq + 1 ->
+            failwith
+              (Printf.sprintf
+                 "replica: shard %d wal starts at seq %d but its newest \
+                  snapshot covers only up to %d"
+                 shard first snap_seq)
+        | _ -> ());
+        List.iter (fun (_, m) -> apply_mutation svc m) tail;
+        b_rep.(shard) <- List.length tail;
+        Atomic.set t.applied.(shard) (max snap_seq r.Wal.r_last_seq)
+      done);
+  (t, { b_snap_bindings = b_snap; b_replayed = b_rep; b_torn_bytes = b_torn })
+
+let apply_records t ~shard records =
+  let n = ref 0 in
+  List.iter
+    (fun (seq, m) ->
+      let cur = Atomic.get t.applied.(shard) in
+      if seq <= cur then ()  (* already applied: an overlapping pull *)
+      else if seq <> cur + 1 then
+        failwith
+          (Printf.sprintf
+             "replica: shard %d stream gap: got seq %d after applied %d" shard
+             seq cur)
+      else begin
+        apply_mutation t.svc m;
+        Atomic.set t.applied.(shard) seq;
+        incr n
+      end)
+    records;
+  !n
+
+let step t ~shard ?(max = Codec.rep_batch_max) () =
+  let from = Atomic.get t.applied.(shard) in
+  match t.pull ~shard ~from ~max with
+  | Codec.Rep_batch { last; records } ->
+      Atomic.incr t.pulls;
+      let t0 = Obs.Clock.now_ns () in
+      let n = apply_records t ~shard records in
+      if n > 0 then Obs.Hist.add t.hist (Obs.Clock.now_ns () - t0);
+      let applied = Atomic.get t.applied.(shard) in
+      Atomic.set t.lag_.(shard) (if last > applied then last - applied else 0);
+      if n = 0 && last <= applied then `Uptodate else `Applied n
+  | Codec.Error m -> `Err m
+  | r -> `Err ("unexpected pull reply " ^ Codec.reply_to_string r)
+
+let sync ?(max_rounds = 1_000_000) t =
+  let total = ref 0 in
+  let rounds = ref 0 in
+  let quiet = ref false in
+  while not !quiet do
+    incr rounds;
+    if !rounds > max_rounds then
+      failwith "replica: Follower.sync did not converge";
+    quiet := true;
+    for shard = 0 to t.svc.Shard.nshards - 1 do
+      match step t ~shard () with
+      | `Applied n ->
+          total := !total + n;
+          quiet := false
+      | `Uptodate -> ()
+      | `Err m -> failwith ("replica: Follower.sync: " ^ m)
+    done
+  done;
+  !total
+
+let apply_catchup t ~shard records =
+  let applied = Atomic.get t.applied.(shard) in
+  (match List.filter (fun (seq, _) -> seq > applied) records with
+  | (first, _) :: _ when first > applied + 1 ->
+      failwith
+        (Printf.sprintf
+           "replica: shard %d catch-up starts at seq %d but follower applied \
+            only %d — snapshot bootstrap required"
+           shard first applied)
+  | _ -> ());
+  let n = apply_records t ~shard records in
+  Atomic.set t.lag_.(shard) 0;
+  n
+
+let applied t = Array.map Atomic.get t.applied
+let lag t = Array.map Atomic.get t.lag_
+let nshards t = t.svc.Shard.nshards
+let sweep t ~shard = t.svc.Shard.snapshot ~shard ~gate:(fun _ -> ())
+let apply_hist t = t.hist
+
+let gauges t =
+  let acc = ref [] in
+  Array.iteri
+    (fun i a ->
+      acc := (Printf.sprintf "replica_applied_seq%d" i, Atomic.get a) :: !acc)
+    t.applied;
+  Array.iteri
+    (fun i a ->
+      acc := (Printf.sprintf "replica_lag_frames%d" i, Atomic.get a) :: !acc)
+    t.lag_;
+  ("replica_pulls", Atomic.get t.pulls)
+  :: ("replica_apply_p99_ns", Obs.Hist.percentile t.hist 0.99)
+  :: List.rev !acc
+
+let stop t = t.svc.Shard.stop ()

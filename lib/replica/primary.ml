@@ -1,0 +1,149 @@
+(* The durable primary: Shard service + per-shard WAL, glued by the
+   ack hook.  The hook closes over [logging] so bootstrap replay —
+   which pushes recovered mutations through the normal shard path —
+   never re-appends what it just read from disk. *)
+
+module Codec = Service.Codec
+module Shard = Service.Shard
+
+type t = {
+  svc : Shard.t;
+  store : Store.t;
+  wals : Wal.t array;
+  alive : bool Atomic.t;
+  logging : bool Atomic.t;
+}
+
+type boot = {
+  b_recovery : Wal.recovery array;
+  b_snap_bindings : int array;
+  b_replayed : int array;
+}
+
+(* Recovered mutations re-enter through the data path (same hashing,
+   same shard, same map discipline).  Any reply outside the expected
+   set means the replayed history is inconsistent — fail loudly. *)
+let apply_mutation svc m =
+  let req =
+    match m with
+    | Codec.Set { key; value } -> Codec.Put { key; value }
+    | Codec.Unset key -> Codec.Del key
+  in
+  match Shard.call svc ~tid:0 req with
+  | Codec.Created | Codec.Updated | Codec.Deleted | Codec.Not_found -> ()
+  | r ->
+      failwith
+        (Printf.sprintf "replica: replay of %s answered %s"
+           (Codec.mutation_to_string m)
+           (Codec.reply_to_string r))
+
+let create ~structure ~scheme (cfg : Shard.config) ~store ?segment_bytes () =
+  let opened =
+    Array.init cfg.Shard.shards (fun i ->
+        Wal.open_ ~store ~shard:i ?segment_bytes ())
+  in
+  let wals = Array.map fst opened in
+  let logging = Atomic.make false in
+  let hook =
+    {
+      Shard.h_mutation =
+        (fun ~shard m ->
+          if Atomic.get logging then ignore (Wal.append wals.(shard) m));
+      h_commit =
+        (fun ~shard -> if Atomic.get logging then Wal.commit wals.(shard));
+    }
+  in
+  let svc = Shard.create ~structure ~scheme { cfg with Shard.hook } in
+  let b_snap = Array.make cfg.Shard.shards 0 in
+  let b_rep = Array.make cfg.Shard.shards 0 in
+  Array.iteri
+    (fun i wal ->
+      let snap_seq =
+        match Snapshot.load_latest ~store ~shard:i with
+        | None -> 0
+        | Some (bindings, seq, _) ->
+            List.iter
+              (fun (key, value) -> apply_mutation svc (Codec.Set { key; value }))
+              bindings;
+            b_snap.(i) <- List.length bindings;
+            seq
+      in
+      match Wal.read_from wal ~from:snap_seq ~max:max_int with
+      | `Batch (records, _) ->
+          List.iter (fun (_, m) -> apply_mutation svc m) records;
+          b_rep.(i) <- List.length records
+      | `Too_old base ->
+          failwith
+            (Printf.sprintf
+               "replica: shard %d wal starts after seq %d but its newest \
+                snapshot covers only up to %d"
+               i base snap_seq))
+    wals;
+  Atomic.set logging true;
+  ( { svc; store; wals; alive = Atomic.make true; logging },
+    { b_recovery = Array.map snd opened; b_snap_bindings = b_snap; b_replayed = b_rep } )
+
+let committed t = Array.map Wal.committed_seq t.wals
+
+let handle t req =
+  match req with
+  | Codec.Rep_info -> Some (Codec.Rep_state (committed t))
+  | Codec.Rep_pull { shard; from; max } ->
+      if shard < 0 || shard >= Array.length t.wals then
+        Some (Codec.Error (Printf.sprintf "rep: no such shard %d" shard))
+      else begin
+        let cap =
+          min (if max <= 0 then Codec.rep_batch_max else max) Codec.rep_batch_max
+        in
+        match Wal.read_from t.wals.(shard) ~from ~max:cap with
+        | `Batch (records, last) -> Some (Codec.Rep_batch { last; records })
+        | `Too_old base ->
+            Some
+              (Codec.Error
+                 (Printf.sprintf
+                    "rep: shard %d wal truncated (base %d > requested %d); \
+                     re-bootstrap from snapshot"
+                    shard base from))
+      end
+  | _ -> None
+
+let snapshot_shard t ~shard ?(gate = fun _ -> ()) ?(truncate = true) () =
+  (* Stamp BEFORE the traversal: everything <= seq is already in the
+     map (commit publishes after apply), and everything the fuzzy fold
+     may or may not see is > seq and gets replayed as an absolute
+     write. *)
+  let seq = Wal.committed_seq t.wals.(shard) in
+  let bindings = t.svc.Shard.snapshot ~shard ~gate in
+  let file = Snapshot.write ~store:t.store ~shard ~seq bindings in
+  if truncate then begin
+    Wal.truncate_upto t.wals.(shard) ~seq;
+    ignore (Snapshot.delete_older ~store:t.store ~shard ~keep_seq:seq)
+  end;
+  (file, seq)
+
+let sweep t ~shard = t.svc.Shard.snapshot ~shard ~gate:(fun _ -> ())
+let arm_torn_commit t ~shard = Wal.arm_torn_commit t.wals.(shard)
+
+let kill t =
+  if Atomic.compare_and_set t.alive true false then
+    for i = 0 to t.svc.Shard.nshards - 1 do
+      if t.svc.Shard.consumer_alive i then t.svc.Shard.crash ~shard:i
+    done
+
+let alive t = Atomic.get t.alive
+let fsync_hist t ~shard = Wal.fsync_hist t.wals.(shard)
+
+let gauges t =
+  let acc = ref [] in
+  Array.iteri
+    (fun i w ->
+      List.iter
+        (fun (k, v) -> acc := (Printf.sprintf "rep_shard%d_%s" i k, v) :: !acc)
+        (Wal.gauges w))
+    t.wals;
+  ("rep_primary_alive", if Atomic.get t.alive then 1 else 0) :: List.rev !acc
+
+let stop t =
+  Atomic.set t.alive false;
+  t.svc.Shard.stop ();
+  Array.iter Wal.close t.wals

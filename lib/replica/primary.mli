@@ -1,0 +1,86 @@
+(** The durable primary: a {!Service.Shard} service with per-shard
+    WALs wired through the consumer ack hook.
+
+    Group-commit discipline (enforced by the hook contract): inside a
+    drained run's bracket, every applied mutation is
+    {!Wal.append}ed; after the bracket closes, {!Wal.commit} syncs
+    once; only then do the run's acks fire.  So an acked mutation is
+    always durable, and a crash between apply and commit (the armed
+    torn commit) kills the shard consumer with {e nothing} from that
+    run acknowledged — recovery truncates the torn tail and replays
+    exactly the acked history.
+
+    Bootstrap on {!create}: newest snapshot (if any) then WAL replay
+    from its stamp seq, with logging disabled so recovery never
+    re-appends what it reads.  Replay applies absolute mutations
+    through the normal shard path, so it lands on the same shard the
+    original request did. *)
+
+type t = {
+  svc : Service.Shard.t;
+  store : Store.t;
+  wals : Wal.t array;
+  alive : bool Atomic.t;
+  logging : bool Atomic.t;
+}
+
+type boot = {
+  b_recovery : Wal.recovery array;
+  b_snap_bindings : int array;  (** bindings restored from snapshots *)
+  b_replayed : int array;  (** WAL records re-applied *)
+}
+
+val create :
+  structure:Workload.Registry.structure ->
+  scheme:Workload.Registry.scheme ->
+  Service.Shard.config ->
+  store:Store.t ->
+  ?segment_bytes:int ->
+  unit ->
+  t * boot
+(** The given config's [hook] field is replaced by the WAL hook.
+    Bootstrap uses client tid 0 synchronously before returning.
+    @raise Wal.Corrupt / {!Snapshot.Corrupt} on damaged acked history. *)
+
+val handle : t -> Service.Codec.request -> Service.Codec.reply option
+(** The {!Service.Conn} [ext] handler: answers [Rep_info] (per-shard
+    committed seqs) and [Rep_pull] (committed records, capped at
+    {!Service.Codec.rep_batch_max}); [None] for data requests. *)
+
+val committed : t -> int array
+
+val snapshot_shard :
+  t ->
+  shard:int ->
+  ?gate:(int -> unit) ->
+  ?truncate:bool ->
+  unit ->
+  string * int
+(** Stamp = committed seq read {e before} the traversal; traverse the
+    live map inside one bracket ({!Service.Shard.t.snapshot}, [gate]
+    forwarded); publish atomically.  With [truncate] (default) the
+    WAL then drops everything the snapshot covers and older snapshots
+    are deleted.  Returns [(file, seq)]. *)
+
+val sweep : t -> shard:int -> (int * int) list
+(** Ungated snapshot traversal — the oracle-comparison read. *)
+
+val arm_torn_commit : t -> shard:int -> unit
+(** The shard's next group commit dies mid-write ({!Wal.commit}'s
+    torn crash); the consumer dies as a crashed shard with that run
+    unacked. *)
+
+val kill : t -> unit
+(** Simulated process death: [alive] drops and every still-live shard
+    consumer is crashed ({!Service.Shard.t.crash} — heartbeats
+    freeze).  The store survives; a new primary or a promoted
+    follower recovers from it. *)
+
+val alive : t -> bool
+val fsync_hist : t -> shard:int -> Obs.Hist.t
+val gauges : t -> (string * int) list
+(** [rep_primary_alive] plus each WAL's gauges under
+    [rep_shard<i>_...]. *)
+
+val stop : t -> unit
+(** Graceful shutdown: stop the service, close the WALs. *)

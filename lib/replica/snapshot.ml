@@ -1,0 +1,99 @@
+(* Snapshot files: one header frame + N kv frames, all CRC-protected,
+   published atomically via the store's temp+rename write.  Atomic
+   publication is why the loader is strict: a torn or damaged
+   snapshot cannot be crash residue, so it is always a loud error —
+   the WAL's truncate-the-tail leniency does NOT apply here. *)
+
+module Codec = Service.Codec
+
+exception Corrupt of { file : string; reason : string }
+
+let snap_name ~shard ~seq = Printf.sprintf "snap-%d-%012d.snap" shard seq
+
+let parse_snap ~shard name =
+  let prefix = Printf.sprintf "snap-%d-" shard in
+  let plen = String.length prefix in
+  if
+    String.length name > plen + 5
+    && String.sub name 0 plen = prefix
+    && Filename.check_suffix name ".snap"
+  then int_of_string_opt (String.sub name plen (String.length name - plen - 5))
+  else None
+
+let write ~(store : Store.t) ~shard ~seq bindings =
+  let buf = Buffer.create (64 + (32 * List.length bindings)) in
+  Codec.encode_snap_head buf ~seq ~count:(List.length bindings);
+  List.iter (fun (key, value) -> Codec.encode_snap_kv buf ~key ~value) bindings;
+  let name = snap_name ~shard ~seq in
+  store.Store.s_write name (Buffer.contents buf);
+  name
+
+let load ~(store : Store.t) file =
+  let corrupt reason = raise (Corrupt { file; reason }) in
+  let data = store.Store.s_read file in
+  let frames, torn =
+    match
+      Codec.fold_frames (Codec.string_source data) (fun acc p -> p :: acc) []
+    with
+    | rev, torn -> (List.rev rev, torn)
+    | exception Codec.Malformed m -> corrupt m
+  in
+  (match torn with
+  | None -> ()
+  | Some got ->
+      corrupt
+        (Printf.sprintf
+           "torn tail (%d bytes) in an atomically-published snapshot" got));
+  match frames with
+  | [] -> corrupt "empty snapshot"
+  | head :: kvs ->
+      let seq, count =
+        try Codec.decode_snap_head head
+        with Codec.Malformed m -> corrupt m
+      in
+      if List.length kvs <> count then
+        corrupt
+          (Printf.sprintf "header says %d bindings, file carries %d" count
+             (List.length kvs));
+      let bindings =
+        List.map
+          (fun p ->
+            try Codec.decode_snap_kv p with Codec.Malformed m -> corrupt m)
+          kvs
+      in
+      (bindings, seq)
+
+let load_latest ~store ~shard =
+  let snaps =
+    List.filter_map
+      (fun n ->
+        match parse_snap ~shard n with Some s -> Some (n, s) | None -> None)
+      (store.Store.s_list ())
+    |> List.sort (fun (_, a) (_, b) -> compare b a)
+  in
+  match snaps with
+  | [] -> None
+  | (file, name_seq) :: _ ->
+      let bindings, seq = load ~store file in
+      if seq <> name_seq then
+        raise
+          (Corrupt
+             {
+               file;
+               reason =
+                 Printf.sprintf "file name says seq %d, header says %d"
+                   name_seq seq;
+             });
+      Some (bindings, seq, file)
+
+let delete_older ~(store : Store.t) ~shard ~keep_seq =
+  let victims =
+    List.filter_map
+      (fun n ->
+        match parse_snap ~shard n with
+        | Some s when s < keep_seq -> Some n
+        | _ -> None)
+      (store.Store.s_list ())
+  in
+  List.iter store.Store.s_delete victims;
+  List.length victims

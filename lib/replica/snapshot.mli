@@ -1,0 +1,27 @@
+(** Point-in-time shard snapshots: the WAL's truncation anchor.
+
+    A snapshot file [snap-<shard>-<seq>.snap] is a
+    {!Service.Codec.encode_snap_head} frame (the WAL seq it is stamped
+    with, and a binding count) followed by exactly that many
+    {!Service.Codec.encode_snap_kv} frames, each CRC-protected, and is
+    published atomically ({!Store.t.s_write}: temp + rename) — so
+    unlike the WAL there is {e no} legitimate torn snapshot: any
+    damage raises {!Corrupt} loudly.
+
+    The stamp seq is read from the WAL {e before} the traversal
+    starts, so the fuzzy bindings plus WAL replay from [seq + 1]
+    converge to the primary's state (mutations are absolute). *)
+
+exception Corrupt of { file : string; reason : string }
+
+val write :
+  store:Store.t -> shard:int -> seq:int -> (int * int) list -> string
+(** Publish a snapshot atomically; returns the file name. *)
+
+val load_latest :
+  store:Store.t -> shard:int -> ((int * int) list * int * string) option
+(** Highest-seq snapshot of the shard: [(bindings, seq, file)], or
+    [None] when the shard has never been snapshotted.  @raise Corrupt *)
+
+val delete_older : store:Store.t -> shard:int -> keep_seq:int -> int
+(** Delete snapshots with seq < [keep_seq]; returns how many. *)

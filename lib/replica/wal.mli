@@ -1,0 +1,108 @@
+(** Per-shard write-ahead log of acknowledged mutations.
+
+    Records are {!Service.Codec.encode_wal_record} frames (length
+    prefix, kind, seq, operands, CRC32) appended to segment files
+    [wal-<shard>-<firstseq>.seg].  Seqs are contiguous from 1.  The
+    write path is group commit: {!append} only buffers (assigning the
+    seq), {!commit} writes the whole buffered run and syncs {e once} —
+    the shard hook calls it after the drained run's bracket closes and
+    before any ack fires, so an acknowledged mutation is always
+    durable and a non-durable mutation is never acknowledged.
+
+    Recovery rule (the crash contract): a defective item — torn frame
+    or CRC-damaged record — at the {e very end of the last segment} is
+    the legitimate residue of a crash mid-group-commit; it was never
+    acked, so {!open_} silently truncates it (reported in
+    {!recovery.r_truncated_bytes}).  A defective item {e anywhere
+    else} is damage to acknowledged history: {!open_} and {!scan}
+    raise {!Corrupt} naming the expected seq — loud, never a silent
+    skip.
+
+    Committed records are also retained in memory (from
+    {!base_seq}+1) to serve follower {!read_from} pulls without
+    re-reading disk; {!truncate_upto} — called once a snapshot covers
+    a prefix — drops them and deletes whole segments. *)
+
+exception Crashed
+(** The log was killed by an armed torn commit (or closed); the owner
+    "process" is dead and must re-{!open_}. *)
+
+exception Corrupt of { shard : int; segment : string; seq : int; reason : string }
+(** Damage to acknowledged history: [seq] is the first record that
+    could not be recovered intact. *)
+
+type recovery = {
+  r_records : int;  (** complete records recovered *)
+  r_last_seq : int;  (** 0 when the log is empty *)
+  r_truncated_bytes : int;  (** torn-tail bytes dropped; 0 = clean *)
+  r_truncated_segment : string option;
+  r_segments : int;
+}
+
+type t
+
+val open_ :
+  store:Store.t -> shard:int -> ?segment_bytes:int -> unit -> t * recovery
+(** Scan, truncate a torn tail (rewriting the final segment to its
+    good prefix, atomically), and take the append head.
+    [segment_bytes] (default 64 KiB) is the soft rotation bound — a
+    commit never splits across segments.  @raise Corrupt *)
+
+val scan :
+  store:Store.t -> shard:int -> (int * Service.Codec.mutation) list * recovery
+(** Read-only recovery: every intact committed record in seq order,
+    tolerating (and reporting) a torn tail without rewriting anything
+    — follower bootstrap and failover catch-up read the shared store
+    through this.  @raise Corrupt *)
+
+val append : t -> Service.Codec.mutation -> int
+(** Buffer one record, returning its seq.  Not durable until
+    {!commit}.  @raise Crashed *)
+
+val commit : t -> unit
+(** Write all buffered records and sync once (a no-op when nothing is
+    buffered: an all-reads run costs no fsync).  On return they are
+    durable, {!committed_seq} has advanced, and the segment may have
+    rotated.  @raise Crashed — in particular when a torn commit was
+    armed: the sink receives a durable prefix ending mid-record, the
+    log is dead, and nothing was promoted to committed. *)
+
+val arm_torn_commit : t -> unit
+(** The next {!commit} simulates power loss mid-write: only the first
+    half of the run's {e first} record reaches the sink durably, then
+    {!Crashed} is raised.  No complete record of the unacked run hits
+    disk, so recovery truncates the partial frame and lands on exactly
+    the acked history.  Deterministic on any {!Store.t}. *)
+
+val committed_seq : t -> int
+(** Last durable seq; lock-free (an [Atomic] read), so followers and
+    gauges may call it from any domain. *)
+
+val base_seq : t -> int
+(** Seq before the first record still held in memory / on disk. *)
+
+val read_from :
+  t ->
+  from:int ->
+  max:int ->
+  [ `Batch of (int * Service.Codec.mutation) list * int | `Too_old of int ]
+(** Committed records with seq in [(from, committed]], at most [max]
+    of them, plus the committed seq at read time.  [`Too_old base]
+    when [from < base_seq] — the pull window was truncated away and
+    the follower must re-bootstrap from a snapshot. *)
+
+val truncate_upto : t -> seq:int -> unit
+(** Drop records [<= min seq committed_seq] from memory and delete
+    every segment wholly covered; the active segment always stays. *)
+
+val fsync_hist : t -> Obs.Hist.t
+(** Nanoseconds per {!commit} sync ([fsync_ns]). *)
+
+val fsyncs : t -> int
+val segments : t -> int
+val gauges : t -> (string * int) list
+(** [wal_committed_seq], [wal_base_seq], [wal_records],
+    [wal_segments], [wal_fsyncs], [wal_fsync_p99_ns]. *)
+
+val close : t -> unit
+(** Close the writer; further {!append}/{!commit} raise {!Crashed}. *)

@@ -1,8 +1,12 @@
+type mutation = Set of { key : int; value : int } | Unset of int
+
 type request =
   | Get of int
   | Put of { key : int; value : int }
   | Del of int
   | Cas of { key : int; expected : int; desired : int }
+  | Rep_info
+  | Rep_pull of { shard : int; from : int; max : int }
 
 type reply =
   | Value of int
@@ -14,6 +18,8 @@ type reply =
   | Cas_fail
   | Shed
   | Error of string
+  | Rep_state of int array
+  | Rep_batch of { last : int; records : (int * mutation) list }
 
 exception Malformed of string
 
@@ -29,6 +35,8 @@ let op_get = 0x01
 let op_put = 0x02
 let op_del = 0x03
 let op_cas = 0x04
+let op_rep_info = 0x05
+let op_rep_pull = 0x06
 let op_value = 0x81
 let op_not_found = 0x82
 let op_created = 0x83
@@ -38,16 +46,91 @@ let op_cas_ok = 0x86
 let op_cas_fail = 0x87
 let op_shed = 0x88
 let op_error = 0x89
+let op_rep_state = 0x8a
+let op_rep_batch = 0x8b
+
+(* Snapshot frame opcodes: disjoint from both wire opcode ranges so a
+   snapshot frame fed to a wire decoder (or vice versa) fails loudly.
+   WAL record payloads start with the mutation kind byte (0/1), also
+   outside both wire ranges. *)
+let op_snap_head = 0x13
+let op_snap_kv = 0x14
+
+(* Mutation records inside Rep_batch payloads and WAL frames:
+   [kind(1)][seq(8)][key(8)] plus [value(8)] for Set. *)
+let mutation_len = function Set _ -> 25 | Unset _ -> 17
+
+(* The largest number of records a Rep_batch can carry inside
+   max_frame: 1 (op) + 8 (last) + 2 (count) + n*25 <= 4096. *)
+let rep_batch_max = 150
 
 (* OCaml ints are 63-bit; the wire carries 64-bit two's complement, so
    every OCaml int round-trips exactly. *)
 let put_i64 buf v = Buffer.add_int64_be buf (Int64.of_int v)
+
+let get_i64 payload off =
+  if Bytes.length payload < off + 8 then
+    malformed "truncated operand at offset %d" off;
+  Int64.to_int (Bytes.get_int64_be payload off)
+
+let expect_len payload n op =
+  if Bytes.length payload <> n then
+    malformed "opcode 0x%02x: payload %d bytes, expected %d" op
+      (Bytes.length payload) n
 
 let frame buf payload_len fill =
   Buffer.add_int32_be buf (Int32.of_int payload_len);
   let before = Buffer.length buf in
   fill ();
   assert (Buffer.length buf - before = payload_len)
+
+(* ------------------------------------------------------------------ *)
+(* CRC32 (IEEE 802.3 reflected polynomial, the zlib one) for WAL and
+   snapshot records.  Table-driven; OCaml's 63-bit ints hold the
+   32-bit state without boxing. *)
+
+let crc_table =
+  lazy
+    (Array.init 256 (fun n ->
+         let c = ref n in
+         for _ = 0 to 7 do
+           c := if !c land 1 = 1 then 0xEDB88320 lxor (!c lsr 1) else !c lsr 1
+         done;
+         !c))
+
+let crc32 s ~pos ~len =
+  if pos < 0 || len < 0 || pos + len > String.length s then
+    invalid_arg "Codec.crc32: range out of bounds";
+  let t = Lazy.force crc_table in
+  let c = ref 0xFFFFFFFF in
+  for i = pos to pos + len - 1 do
+    c := t.((!c lxor Char.code (String.unsafe_get s i)) land 0xff) lxor (!c lsr 8)
+  done;
+  !c lxor 0xFFFFFFFF
+
+(* A checksummed frame: ordinary frame whose payload ends in the CRC32
+   of everything before it.  [fill] writes the body; the CRC is
+   appended here so encoders cannot forget it. *)
+let checked_frame buf body_len fill =
+  frame buf (body_len + 4) (fun () ->
+      let start = Buffer.length buf in
+      fill ();
+      assert (Buffer.length buf - start = body_len);
+      let body = Buffer.sub buf start body_len in
+      Buffer.add_int32_be buf (Int32.of_int (crc32 body ~pos:0 ~len:body_len)))
+
+(* Validate a checksummed payload; returns the body length.  The
+   [what] tag names the record kind in the failure message. *)
+let check_crc what payload =
+  let len = Bytes.length payload in
+  if len < 5 then malformed "%s: payload %d bytes, too short for a CRC" what len;
+  let body_len = len - 4 in
+  let stored = Int32.to_int (Bytes.get_int32_be payload body_len) land 0xFFFFFFFF in
+  let actual = crc32 (Bytes.unsafe_to_string payload) ~pos:0 ~len:body_len in
+  if stored <> actual then
+    malformed "%s: CRC mismatch (stored 0x%08x, computed 0x%08x)" what stored
+      actual;
+  body_len
 
 let encode_request buf = function
   | Get k ->
@@ -69,6 +152,39 @@ let encode_request buf = function
           put_i64 buf key;
           put_i64 buf expected;
           put_i64 buf desired)
+  | Rep_info -> frame buf 1 (fun () -> Buffer.add_uint8 buf op_rep_info)
+  | Rep_pull { shard; from; max } ->
+      frame buf 25 (fun () ->
+          Buffer.add_uint8 buf op_rep_pull;
+          put_i64 buf shard;
+          put_i64 buf from;
+          put_i64 buf max)
+
+let put_mutation buf seq (m : mutation) =
+  match m with
+  | Set { key; value } ->
+      Buffer.add_uint8 buf 1;
+      put_i64 buf seq;
+      put_i64 buf key;
+      put_i64 buf value
+  | Unset k ->
+      Buffer.add_uint8 buf 0;
+      put_i64 buf seq;
+      put_i64 buf k
+
+let get_mutation payload off =
+  if Bytes.length payload < off + 17 then
+    malformed "truncated mutation at offset %d" off;
+  let kind = Bytes.get_uint8 payload off in
+  let seq = get_i64 payload (off + 1) in
+  match kind with
+  | 0 -> ((seq, Unset (get_i64 payload (off + 9))), off + 17)
+  | 1 ->
+      if Bytes.length payload < off + 25 then
+        malformed "truncated Set mutation at offset %d" off;
+      ( (seq, Set { key = get_i64 payload (off + 9); value = get_i64 payload (off + 17) }),
+        off + 25 )
+  | k -> malformed "unknown mutation kind %d at offset %d" k off
 
 let encode_reply buf = function
   | Value v ->
@@ -93,16 +209,28 @@ let encode_reply buf = function
         (fun () ->
           Buffer.add_uint8 buf op_error;
           Buffer.add_string buf msg)
-
-let get_i64 payload off =
-  if Bytes.length payload < off + 8 then
-    malformed "truncated operand at offset %d" off;
-  Int64.to_int (Bytes.get_int64_be payload off)
-
-let expect_len payload n op =
-  if Bytes.length payload <> n then
-    malformed "opcode 0x%02x: payload %d bytes, expected %d" op
-      (Bytes.length payload) n
+  | Rep_state seqs ->
+      let n = Array.length seqs in
+      if 1 + (8 * n) > max_frame then
+        invalid_arg "Codec.encode_reply: Rep_state exceeds max_frame";
+      frame buf
+        (1 + (8 * n))
+        (fun () ->
+          Buffer.add_uint8 buf op_rep_state;
+          Array.iter (fun s -> put_i64 buf s) seqs)
+  | Rep_batch { last; records } ->
+      if List.length records > rep_batch_max then
+        invalid_arg "Codec.encode_reply: Rep_batch record count over cap";
+      let body =
+        List.fold_left (fun a (_, m) -> a + mutation_len m) 0 records
+      in
+      frame buf
+        (1 + 8 + 2 + body)
+        (fun () ->
+          Buffer.add_uint8 buf op_rep_batch;
+          put_i64 buf last;
+          Buffer.add_uint16_be buf (List.length records);
+          List.iter (fun (seq, m) -> put_mutation buf seq m) records)
 
 let request_of_payload payload =
   if Bytes.length payload < 1 then malformed "empty payload";
@@ -128,6 +256,19 @@ let request_of_payload payload =
         desired = get_i64 payload 17;
       }
   end
+  else if op = op_rep_info then begin
+    expect_len payload 1 op;
+    Rep_info
+  end
+  else if op = op_rep_pull then begin
+    expect_len payload 25 op;
+    Rep_pull
+      {
+        shard = get_i64 payload 1;
+        from = get_i64 payload 9;
+        max = get_i64 payload 17;
+      }
+  end
   else malformed "unknown request opcode 0x%02x" op
 
 let reply_of_payload payload =
@@ -139,6 +280,29 @@ let reply_of_payload payload =
   end
   else if op = op_error then
     Error (Bytes.sub_string payload 1 (Bytes.length payload - 1))
+  else if op = op_rep_state then begin
+    let body = Bytes.length payload - 1 in
+    if body mod 8 <> 0 then
+      malformed "Rep_state: body %d bytes not a multiple of 8" body;
+    Rep_state (Array.init (body / 8) (fun i -> get_i64 payload (1 + (8 * i))))
+  end
+  else if op = op_rep_batch then begin
+    if Bytes.length payload < 11 then
+      malformed "Rep_batch: payload %d bytes, expected >= 11"
+        (Bytes.length payload);
+    let last = get_i64 payload 1 in
+    let count = Bytes.get_uint16_be payload 9 in
+    let off = ref 11 in
+    let records =
+      List.init count (fun _ ->
+          let r, next = get_mutation payload !off in
+          off := next;
+          r)
+    in
+    if !off <> Bytes.length payload then
+      malformed "Rep_batch: %d trailing bytes" (Bytes.length payload - !off);
+    Rep_batch { last; records }
+  end
   else begin
     expect_len payload 1 op;
     if op = op_not_found then Not_found
@@ -157,6 +321,9 @@ let request_to_string = function
   | Del k -> Printf.sprintf "DEL %d" k
   | Cas { key; expected; desired } ->
       Printf.sprintf "CAS %d %d->%d" key expected desired
+  | Rep_info -> "REP_INFO"
+  | Rep_pull { shard; from; max } ->
+      Printf.sprintf "REP_PULL shard=%d from=%d max=%d" shard from max
 
 let reply_to_string = function
   | Value v -> Printf.sprintf "VALUE %d" v
@@ -168,7 +335,127 @@ let reply_to_string = function
   | Cas_fail -> "CAS_FAIL"
   | Shed -> "SHED"
   | Error m -> "ERROR " ^ m
+  | Rep_state seqs ->
+      Printf.sprintf "REP_STATE [%s]"
+        (String.concat ";" (Array.to_list (Array.map string_of_int seqs)))
+  | Rep_batch { last; records } ->
+      Printf.sprintf "REP_BATCH last=%d n=%d" last (List.length records)
 
 let key_of_request = function
   | Get k | Del k -> k
   | Put { key; _ } | Cas { key; _ } -> key
+  (* Replication requests are not routed by key; they are answered by
+     the replication handler before shard routing (Conn [ext]) and
+     rejected by [Shard.exec] if they slip past it. *)
+  | Rep_info | Rep_pull _ -> 0
+
+let mutation_of_exec req reply =
+  match (req, reply) with
+  | Put { key; value }, (Created | Updated) -> Some (Set { key; value })
+  | Del k, Deleted -> Some (Unset k)
+  (* A successful CAS logs as an absolute Set: replay must be
+     idempotent over a fuzzy snapshot, so conditionals never reach the
+     log — only their witnessed effect does. *)
+  | Cas { key; desired; _ }, Cas_ok -> Some (Set { key; value = desired })
+  | _ -> None
+
+let mutation_to_string = function
+  | Set { key; value } -> Printf.sprintf "SET %d=%d" key value
+  | Unset k -> Printf.sprintf "UNSET %d" k
+
+(* ------------------------------------------------------------------ *)
+(* Durable record formats: WAL records and snapshot frames.  Same
+   4-byte length framing as the wire, with a trailing CRC32 so torn or
+   bit-rotted log tails are detectable. *)
+
+let encode_wal_record buf ~seq (m : mutation) =
+  checked_frame buf (mutation_len m) (fun () -> put_mutation buf seq m)
+
+let decode_wal_record payload =
+  let len = Bytes.length payload in
+  if len < 17 + 4 then malformed "wal record: payload %d bytes, too short" len;
+  let body_len = len - 4 in
+  let stored = Int32.to_int (Bytes.get_int32_be payload body_len) land 0xFFFFFFFF in
+  let actual = crc32 (Bytes.unsafe_to_string payload) ~pos:0 ~len:body_len in
+  (* The seq field is reported best-effort even when the CRC fails:
+     recovery error messages must name the damaged record. *)
+  let seq_field = get_i64 payload 1 in
+  if stored <> actual then
+    malformed "wal record seq=%d: CRC mismatch (stored 0x%08x, computed 0x%08x)"
+      seq_field stored actual;
+  let (seq, m), next = get_mutation payload 0 in
+  if next <> body_len then
+    malformed "wal record seq=%d: %d trailing bytes" seq (body_len - next);
+  (seq, m)
+
+let encode_snap_head buf ~seq ~count =
+  checked_frame buf 17 (fun () ->
+      Buffer.add_uint8 buf op_snap_head;
+      put_i64 buf seq;
+      put_i64 buf count)
+
+let decode_snap_head payload =
+  let body_len = check_crc "snapshot header" payload in
+  if body_len <> 17 || Bytes.get_uint8 payload 0 <> op_snap_head then
+    malformed "snapshot header: bad opcode or length";
+  (get_i64 payload 1, get_i64 payload 9)
+
+let encode_snap_kv buf ~key ~value =
+  checked_frame buf 17 (fun () ->
+      Buffer.add_uint8 buf op_snap_kv;
+      put_i64 buf key;
+      put_i64 buf value)
+
+let decode_snap_kv payload =
+  let body_len = check_crc "snapshot binding" payload in
+  if body_len <> 17 || Bytes.get_uint8 payload 0 <> op_snap_kv then
+    malformed "snapshot binding: bad opcode or length";
+  (get_i64 payload 1, get_i64 payload 9)
+
+(* ------------------------------------------------------------------ *)
+(* Streaming frame reading over any pull source — the one frame loop
+   shared by the socket transport ([Conn]) and WAL/snapshot replay.
+   A source has the [Unix.read] shape: fill up to [len] bytes at
+   [off], return the count, 0 meaning end of stream. *)
+
+type source = bytes -> int -> int -> int
+type frame = Frame of bytes | Eof | Torn of { got : int }
+
+let read_full read buf off len =
+  let rec go got =
+    if got = len then got
+    else
+      let n = read buf (off + got) (len - got) in
+      if n = 0 then got else go (got + n)
+  in
+  go 0
+
+let read_frame_from ?(max_frame = max_frame) read =
+  let hdr = Bytes.create 4 in
+  match read_full read hdr 0 4 with
+  | 0 -> Eof
+  | n when n < 4 -> Torn { got = n }
+  | _ ->
+      let len = Int32.to_int (Bytes.get_int32_be hdr 0) in
+      if len < 0 || len > max_frame then
+        malformed "frame length %d out of bounds" len;
+      let payload = Bytes.create len in
+      let got = read_full read payload 0 len in
+      if got < len then Torn { got = 4 + got } else Frame payload
+
+let fold_frames ?max_frame read f acc =
+  let rec go acc =
+    match read_frame_from ?max_frame read with
+    | Eof -> (acc, None)
+    | Torn { got } -> (acc, Some got)
+    | Frame p -> go (f acc p)
+  in
+  go acc
+
+let string_source s =
+  let pos = ref 0 in
+  fun buf off len ->
+    let n = min len (String.length s - !pos) in
+    Bytes.blit_string s !pos buf off n;
+    pos := !pos + n;
+    n

@@ -12,6 +12,13 @@
     functions, so a loopback test exercises the exact bytes a remote
     client would put on the wire. *)
 
+type mutation = Set of { key : int; value : int } | Unset of int
+(** An {e applied} state change — what the WAL records and the
+    replication stream carries.  Mutations are absolute (no CAS, no
+    conditionals: a successful CAS logs as the [Set] it performed), so
+    replay is idempotent — replaying a suffix of the log over a fuzzy
+    snapshot converges to the primary's state. *)
+
 type request =
   | Get of int
   | Put of { key : int; value : int }
@@ -19,6 +26,10 @@ type request =
   | Cas of { key : int; expected : int; desired : int }
       (** Compare-and-set: replace [key]'s value with [desired] iff it
           is currently bound to [expected]. *)
+  | Rep_info  (** Replication: ask for per-shard last committed seqs. *)
+  | Rep_pull of { shard : int; from : int; max : int }
+      (** Replication: committed records of [shard] with seq > [from],
+          at most [min max rep_batch_max] of them. *)
 
 type reply =
   | Value of int  (** GET hit *)
@@ -32,6 +43,11 @@ type reply =
       (** Load-shed: the target shard's mailbox was full; the request
           was {e not} executed.  Clients should back off and retry. *)
   | Error of string  (** malformed request, server-side failure *)
+  | Rep_state of int array  (** per-shard last committed seq *)
+  | Rep_batch of { last : int; records : (int * mutation) list }
+      (** [records] are [(seq, mutation)] in seq order; [last] is the
+          shard's last committed seq at answer time, so
+          [last - applied] is the follower's lag in frames. *)
 
 exception Malformed of string
 (** Raised by the decoders on truncated/unknown payloads. *)
@@ -57,4 +73,77 @@ val request_to_string : request -> string
 val reply_to_string : reply -> string
 
 val key_of_request : request -> int
-(** The key the request addresses — what the shard router hashes. *)
+(** The key the request addresses — what the shard router hashes.
+    Replication requests return 0; they are answered before routing
+    (the transport's [ext] handler) and rejected by the shard
+    executor if they slip past it. *)
+
+val mutation_of_exec : request -> reply -> mutation option
+(** The applied state change witnessed by an executed (request, reply)
+    pair — what the durability hook appends to the WAL.  [None] for
+    reads, misses, failed CASes, sheds and errors. *)
+
+val mutation_to_string : mutation -> string
+
+val rep_batch_max : int
+(** Hard cap on records per {!reply-Rep_batch} so the reply fits
+    {!max_frame}. *)
+
+(** {2 Checksummed durable records}
+
+    WAL records and snapshot frames use the same 4-byte length framing
+    as the wire, with a trailing CRC32 over the payload body so torn
+    or bit-rotted bytes are detectable on replay. *)
+
+val crc32 : string -> pos:int -> len:int -> int
+(** IEEE-802.3 (zlib) CRC32 of the byte range, in [[0, 2^32)]. *)
+
+val encode_wal_record : Buffer.t -> seq:int -> mutation -> unit
+(** One framed log record: [kind, seq, key(, value), CRC32]. *)
+
+val decode_wal_record : bytes -> int * mutation
+(** Decode and CRC-check one record payload.  @raise Malformed on any
+    damage — the message includes the record's seq field (read
+    best-effort) so recovery errors name the damaged record. *)
+
+val encode_snap_head : Buffer.t -> seq:int -> count:int -> unit
+(** Snapshot header frame: the WAL seq the snapshot is stamped with
+    (replay resumes at [seq + 1]) and the number of binding frames
+    that follow. *)
+
+val decode_snap_head : bytes -> int * int
+(** [(seq, count)].  @raise Malformed *)
+
+val encode_snap_kv : Buffer.t -> key:int -> value:int -> unit
+val decode_snap_kv : bytes -> int * int
+
+(** {2 Streaming frame reading}
+
+    The one frame loop shared by the socket transport ({!Conn}) and
+    WAL/snapshot replay, over any pull source. *)
+
+type source = bytes -> int -> int -> int
+(** [read buf off len] fills up to [len] bytes at [off] and returns
+    the count; 0 means end of stream (the [Unix.read] shape). *)
+
+type frame =
+  | Frame of bytes  (** one complete payload, length prefix stripped *)
+  | Eof  (** source ended exactly at a frame boundary *)
+  | Torn of { got : int }
+      (** source ended {e inside} a frame with [got] of its bytes
+          (prefix included) present — a torn final record on disk, a
+          peer hanging up mid-frame on a socket *)
+
+val read_frame_from : ?max_frame:int -> source -> frame
+(** Read one frame.  @raise Malformed on an out-of-bounds length
+    prefix. *)
+
+val fold_frames : ?max_frame:int -> source -> ('a -> bytes -> 'a) -> 'a -> 'a * int option
+(** Fold [f] over every complete frame payload.  The second component
+    signals the tail explicitly: [None] = the source ended cleanly at
+    a frame boundary; [Some got] = it ended inside a final frame with
+    [got] bytes of it present (torn tail — WAL recovery truncates
+    exactly these bytes).  @raise Malformed as {!read_frame_from}. *)
+
+val string_source : string -> source
+(** Source over an in-memory byte string (WAL/snapshot replay). *)

@@ -19,30 +19,15 @@ let ignore_sigpipe () =
   try Sys.set_signal Sys.sigpipe Sys.Signal_ignore
   with Invalid_argument _ | Sys_error _ -> ()
 
-let read_exact fd buf off len =
-  let rec go off len =
-    if len > 0 then begin
-      let n = read_retry fd buf off len in
-      if n = 0 then raise Closed;
-      go (off + n) (len - n)
-    end
-  in
-  go off len
-
+(* All frame reading goes through the one streaming reader in Codec —
+   the same loop that replays WAL segments — with the descriptor as
+   the pull source.  A torn frame here is a peer hanging up
+   mid-frame. *)
 let read_frame fd =
-  let hdr = Bytes.create 4 in
-  let n = read_retry fd hdr 0 4 in
-  if n = 0 then None
-  else begin
-    if n < 4 then read_exact fd hdr n (4 - n);
-    let len = Int32.to_int (Bytes.get_int32_be hdr 0) in
-    if len < 0 || len > Codec.max_frame then
-      raise
-        (Codec.Malformed (Printf.sprintf "frame length %d out of bounds" len));
-    let payload = Bytes.create len in
-    read_exact fd payload 0 len;
-    Some payload
-  end
+  match Codec.read_frame_from (read_retry fd) with
+  | Codec.Frame payload -> Some payload
+  | Codec.Eof -> None
+  | Codec.Torn _ -> raise Closed
 
 let write_frame fd buf =
   let b = Buffer.to_bytes buf in
@@ -118,7 +103,7 @@ let write_reply ~faults fd out =
   end
   else write_frame fd out
 
-let serve_conn ?(faults = Faults.none) svc ~tid fd =
+let serve_conn ?(faults = Faults.none) ?ext svc ~tid fd =
   let out = Buffer.create 64 in
   (try
      let rec loop () =
@@ -131,7 +116,18 @@ let serve_conn ?(faults = Faults.none) svc ~tid fd =
        | Some payload -> (
            match Codec.request_of_payload payload with
            | req ->
-               Codec.encode_reply out (Shard.call svc ~tid req);
+               (* The extension handler (replication opcodes) answers
+                  before shard routing; [None] falls through to the
+                  data path. *)
+               let reply =
+                 match ext with
+                 | Some h -> (
+                     match h req with
+                     | Some r -> r
+                     | None -> Shard.call svc ~tid req)
+                 | None -> Shard.call svc ~tid req
+               in
+               Codec.encode_reply out reply;
                write_reply ~faults fd out;
                loop ()
            | exception Codec.Malformed m ->
@@ -163,6 +159,7 @@ type server = {
   mutable acceptor : unit Domain.t option;
   stopped : bool Atomic.t;
   faults : Faults.t;
+  ext : (Codec.request -> Codec.reply option) option;
 }
 
 let faults srv = srv.faults
@@ -205,14 +202,35 @@ let accept_loop srv () =
               conn.c_domain <-
                 Some
                   (Domain.spawn (fun () ->
-                       serve_conn ~faults:srv.faults srv.svc ~tid fd;
+                       serve_conn ~faults:srv.faults ?ext:srv.ext srv.svc ~tid
+                         fd;
                        push_tid srv tid))
         end
   done
 
-let serve_unix svc ~path ?(backlog = 16) ?(faults = Faults.none) () =
+exception Addr_in_use of string
+
+(* A crashed daemon leaves its socket file behind; a live one leaves
+   the same file.  Probe before touching it: a successful connect
+   means someone is serving — refuse to clobber them — while a
+   connection-refused (or any other failure) on an existing file
+   means the path is stale and safe to unlink. *)
+let claim_socket_path path =
+  if Sys.file_exists path then begin
+    let fd = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+    let live =
+      match Unix.connect fd (Unix.ADDR_UNIX path) with
+      | () -> true
+      | exception Unix.Unix_error _ -> false
+    in
+    (try Unix.close fd with Unix.Unix_error _ -> ());
+    if live then raise (Addr_in_use path);
+    try Unix.unlink path with Unix.Unix_error _ -> ()
+  end
+
+let serve_unix svc ~path ?(backlog = 16) ?(faults = Faults.none) ?ext () =
   ignore_sigpipe ();
-  (try Unix.unlink path with Unix.Unix_error _ -> ());
+  claim_socket_path path;
   let listen_fd = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
   Unix.bind listen_fd (Unix.ADDR_UNIX path);
   Unix.listen listen_fd backlog;
@@ -228,6 +246,7 @@ let serve_unix svc ~path ?(backlog = 16) ?(faults = Faults.none) () =
       acceptor = None;
       stopped = Atomic.make false;
       faults;
+      ext;
     }
   in
   srv.acceptor <- Some (Domain.spawn (accept_loop srv));

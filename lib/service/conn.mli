@@ -57,7 +57,9 @@ end
 
 val read_frame : Unix.file_descr -> bytes option
 (** One payload (length prefix stripped); [None] on clean EOF at a
-    frame boundary.  @raise Closed on mid-frame EOF,
+    frame boundary.  A thin wrapper over {!Codec.read_frame_from}
+    with the descriptor as the pull source — the same streaming
+    reader WAL replay uses.  @raise Closed on mid-frame EOF,
     [Codec.Malformed] on an insane length prefix. *)
 
 val write_frame : Unix.file_descr -> Buffer.t -> unit
@@ -71,26 +73,42 @@ val write_reply : faults:Faults.t -> Unix.file_descr -> Buffer.t -> unit
     check on top of {!write_frame} (benchmarked in bench/main.ml). *)
 
 val serve_conn :
-  ?faults:Faults.t -> Shard.t -> tid:int -> Unix.file_descr -> unit
+  ?faults:Faults.t ->
+  ?ext:(Codec.request -> Codec.reply option) ->
+  Shard.t ->
+  tid:int ->
+  Unix.file_descr ->
+  unit
 (** Request/reply loop on an accepted connection until EOF; malformed
     frames get an [Error] reply, then the connection closes.  Closes
     the descriptor.  Never raises.  [faults] (default {!Faults.none})
-    injects server-side transport faults. *)
+    injects server-side transport faults.  [ext] is consulted before
+    shard routing — a [Some] reply answers the request directly (the
+    replication opcodes are served this way, off the data path);
+    [None] falls through to [Shard.call]. *)
 
 type server
+
+exception Addr_in_use of string
+(** {!serve_unix}: the socket path is owned by a {e live} daemon (a
+    connect probe succeeded) — refusing to clobber it. *)
 
 val serve_unix :
   Shard.t ->
   path:string ->
   ?backlog:int ->
   ?faults:Faults.t ->
+  ?ext:(Codec.request -> Codec.reply option) ->
   unit ->
   server
-(** Bind+listen on a unix-domain socket (unlinking any stale file) and
-    accept in a background domain; each connection gets a handler
-    domain holding a leased client tid.  When all [Shard.t.clients]
-    tids are in use, new connections are immediately answered with one
-    [Shed] reply and closed (connection-level backpressure). *)
+(** Bind+listen on a unix-domain socket and accept in a background
+    domain; each connection gets a handler domain holding a leased
+    client tid.  When all [Shard.t.clients] tids are in use, new
+    connections are immediately answered with one [Shed] reply and
+    closed (connection-level backpressure).  An existing socket file
+    is connect-probed first: stale (crashed daemon) → unlinked and
+    claimed; live → {!Addr_in_use}, the incumbent keeps it.  [ext] is
+    passed to every {!serve_conn}. *)
 
 val shutdown : server -> unit
 (** Stop accepting, wake the accept loop, join handler domains,

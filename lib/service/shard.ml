@@ -1,3 +1,15 @@
+(* Durability tap on the consumer's execution path.  The disabled
+   state is the distinguished [no_hook] instance, recognized by
+   physical equality before anything else — the same
+   zero-cost-when-off discipline as [Conn.Faults.none] /
+   [Obs.Probe.is_noop] (measured in bench/main.ml, replica rows). *)
+type ack_hook = {
+  h_mutation : shard:int -> Codec.mutation -> unit;
+  h_commit : shard:int -> unit;
+}
+
+let no_hook = { h_mutation = (fun ~shard:_ _ -> ()); h_commit = (fun ~shard:_ -> ()) }
+
 type config = {
   shards : int;
   clients : int;
@@ -7,6 +19,7 @@ type config = {
   smr : Smr.Config.t;
   objectives : Slo.objective list;
   seed : int;
+  hook : ack_hook;
 }
 
 let default_config =
@@ -19,6 +32,7 @@ let default_config =
     smr = Smr.Config.default;
     objectives = [];
     seed = 2024;
+    hook = no_hook;
   }
 
 type t = {
@@ -42,6 +56,7 @@ type t = {
   consumer_alive : int -> bool;
   heartbeat : int -> int;
   inject_oom : shard:int -> n:int -> unit;
+  snapshot : shard:int -> gate:(int -> unit) -> (int * int) list;
   stop : unit -> unit;
   scheme_name : string;
   structure_name : string;
@@ -84,6 +99,8 @@ module Core (T : Smr.Tracker.S) (Mk : Dstruct.Map_intf.MAKER) = struct
        the consumer stalls or dies (the reaper's detection signal). *)
     heartbeat : int Atomic.t;
     shard_processed : int Atomic.t;
+    (* At most one snapshot reader holds the map's tid-1 bracket. *)
+    snap_busy : bool Atomic.t;
     mutable consumer : unit Domain.t option;
   }
 
@@ -106,6 +123,11 @@ module Core (T : Smr.Tracker.S) (Mk : Dstruct.Map_intf.MAKER) = struct
         | Some _ ->
             ignore (Map.put map ~tid key desired);
             Codec.Cas_ok)
+    | Codec.Rep_info | Codec.Rep_pull _ ->
+        (* Replication opcodes are answered by the transport's [ext]
+           handler (Conn) before shard routing; reaching the data path
+           means the daemon has no replication enabled. *)
+        Codec.Error "replication not enabled on this server"
 
   let make ~scheme_name ~structure_name (c : config) : t =
     if c.shards <= 0 then invalid_arg "Shard.create: shards <= 0";
@@ -114,8 +136,10 @@ module Core (T : Smr.Tracker.S) (Mk : Dstruct.Map_intf.MAKER) = struct
     if c.trim_every <= 0 then invalid_arg "Shard.create: trim_every <= 0";
     let ctl_cfg = { c.smr with Smr.Config.nthreads = c.clients + c.shards } in
     let ctl_tracker = T.create ctl_cfg in
-    (* Each map has exactly one operating thread: its consumer. *)
-    let map_cfg = { c.smr with Smr.Config.nthreads = 1 } in
+    (* Each map has exactly two operating threads: its consumer
+       (tid 0, the only mutator) and at most one snapshot reader
+       (tid 1, a read-only bracket-held traversal). *)
+    let map_cfg = { c.smr with Smr.Config.nthreads = 2 } in
     let running = Atomic.make true in
     let stopped = Atomic.make false in
     let sheds = Atomic.make 0 in
@@ -135,6 +159,7 @@ module Core (T : Smr.Tracker.S) (Mk : Dstruct.Map_intf.MAKER) = struct
             dead = Atomic.make false;
             heartbeat = Atomic.make 0;
             shard_processed = Atomic.make 0;
+            snap_busy = Atomic.make false;
             consumer = None;
           })
     in
@@ -146,20 +171,60 @@ module Core (T : Smr.Tracker.S) (Mk : Dstruct.Map_intf.MAKER) = struct
          (Figure 10b's discipline) so a long run does not pin its own
          early retirements for the whole bracket. *)
       Map.enter sh.map ~tid:0;
-      let i = ref 0 in
-      List.iter
-        (fun env ->
-          incr i;
-          if !i mod c.trim_every = 0 then Map.trim sh.map ~tid:0;
-          let reply =
-            try exec sh.map env.req
-            with e -> Codec.Error (Printexc.to_string e)
-          in
-          Atomic.incr sh.shard_processed;
-          Slo.record slo ~ns:(Obs.Clock.now_ns () - env.born_ns);
-          env.reply reply)
-        batch;
-      Map.leave sh.map ~tid:0
+      if c.hook == no_hook then begin
+        (* No durability tap: reply inline, as ever. *)
+        let i = ref 0 in
+        List.iter
+          (fun env ->
+            incr i;
+            if !i mod c.trim_every = 0 then Map.trim sh.map ~tid:0;
+            let reply =
+              try exec sh.map env.req
+              with e -> Codec.Error (Printexc.to_string e)
+            in
+            Atomic.incr sh.shard_processed;
+            Slo.record slo ~ns:(Obs.Clock.now_ns () - env.born_ns);
+            env.reply reply)
+          batch;
+        Map.leave sh.map ~tid:0
+      end
+      else begin
+        (* Group commit: execute the whole drained run, feeding every
+           applied mutation to the hook, then make the run durable
+           with ONE h_commit — the same amortization the bracket buys
+           for reservations, applied to the fsync — and only then fire
+           the acks.  An ack therefore always implies durability.  If
+           h_commit (or the tap) raises, nothing of this run is acked
+           and the exception propagates: the consumer dies as a
+           crashed primary, never acking what is not on disk. *)
+        let acked = ref [] in
+        (try
+           let i = ref 0 in
+           List.iter
+             (fun env ->
+               incr i;
+               if !i mod c.trim_every = 0 then Map.trim sh.map ~tid:0;
+               let reply =
+                 try exec sh.map env.req
+                 with e -> Codec.Error (Printexc.to_string e)
+               in
+               (match Codec.mutation_of_exec env.req reply with
+               | Some m -> c.hook.h_mutation ~shard:sh.idx m
+               | None -> ());
+               Atomic.incr sh.shard_processed;
+               acked := (env, reply) :: !acked)
+             batch
+         with e ->
+           Map.leave sh.map ~tid:0;
+           raise e);
+        Map.leave sh.map ~tid:0;
+        c.hook.h_commit ~shard:sh.idx;
+        List.iter
+          (fun (env, reply) ->
+            Slo.record slo ~ns:(Obs.Clock.now_ns () - env.born_ns);
+            env.reply reply)
+          (List.rev !acked)
+      end
     in
     let consumer sh () =
       let qtid = c.clients + sh.idx in
@@ -205,9 +270,22 @@ module Core (T : Smr.Tracker.S) (Mk : Dstruct.Map_intf.MAKER) = struct
                 idle := 0
               end
               else Domain.cpu_relax ()
-          | batch ->
+          | batch -> (
               idle := 0;
-              run_batch sh batch
+              try run_batch sh batch
+              with _ ->
+                (* The durability hook died mid-commit (torn write,
+                   full disk, injected crash): the run's acks are
+                   forfeit — they were never durable — and this
+                   consumer becomes a dead primary shard.  Same
+                   posture as [crash_flag]: take a control-plane
+                   reservation, freeze the heartbeat, terminate.
+                   Queued and un-acked requests stay unanswered until
+                   [recover]/[stop], exactly like a process kill. *)
+                T.enter ctl_tracker ~tid:qtid;
+                Atomic.set sh.crash_flag true;
+                Atomic.set sh.dead true;
+                crashed := true)
         end
       done;
       if not !crashed then begin
@@ -255,6 +333,14 @@ module Core (T : Smr.Tracker.S) (Mk : Dstruct.Map_intf.MAKER) = struct
       if not (Atomic.get sh.dead) then
         invalid_arg "Shard.recover: consumer is not crashed";
       let qtid = c.clients + sh.idx in
+      (* A consumer that died from a durability-hook failure (rather
+         than [crash]) terminated on its own: join it here so nothing
+         races on the tid's scheme state below. *)
+      (match sh.consumer with
+      | Some d ->
+          Domain.join d;
+          sh.consumer <- None
+      | None -> ());
       (* Force-exit the abandoned bracket on behalf of the dead
          domain.  Safe: the owner is joined, so nothing races on the
          tid's scheme state, and [tid] is only an index — the slot is
@@ -264,6 +350,38 @@ module Core (T : Smr.Tracker.S) (Mk : Dstruct.Map_intf.MAKER) = struct
       Atomic.set sh.dead false;
       (* Respawn; the new consumer drains the backlog naturally. *)
       sh.consumer <- Some (Domain.spawn (consumer sh))
+    in
+    let snapshot ~shard ~gate =
+      let sh = shards.(shard) in
+      if not (Atomic.compare_and_set sh.snap_busy false true) then
+        invalid_arg "Shard.snapshot: a snapshot of this shard is in progress";
+      Fun.protect ~finally:(fun () -> Atomic.set sh.snap_busy false)
+      @@ fun () ->
+      (* The long-running-reader adversary, on purpose: the whole
+         traversal runs inside ONE tid-1 bracket while the consumer
+         keeps mutating and retiring under tid 0.  Robust schemes
+         (Hyaline-S/1S) keep the shard's unreclaimed backlog bounded
+         for the duration; EBR's grows with the consumer's retirement
+         traffic (the `experiments replicate` snap column).  [gate] is
+         called with 0 after entering the bracket and with i before
+         binding i+1 — chaos hangs in it to stretch the bracket
+         deterministically. *)
+      Map.enter sh.map ~tid:1;
+      let bindings =
+        Fun.protect ~finally:(fun () -> Map.leave sh.map ~tid:1)
+        @@ fun () ->
+        gate 0;
+        let i = ref 0 in
+        Map.fold sh.map ~tid:1
+          (fun acc k v ->
+            incr i;
+            gate !i;
+            (k, v) :: acc)
+          []
+      in
+      (* Key order: the on-disk snapshot is deterministic for a given
+         state regardless of structure/bucket iteration order. *)
+      List.sort compare bindings
     in
     let gauges () =
       let per_shard =
@@ -318,7 +436,14 @@ module Core (T : Smr.Tracker.S) (Mk : Dstruct.Map_intf.MAKER) = struct
               Atomic.set sh.crash_flag false
             end)
           shards;
-        Array.iter (fun sh -> Map.flush sh.map ~tid:0) shards;
+        Array.iter
+          (fun sh ->
+            Map.flush sh.map ~tid:0;
+            (* tid 1 (snapshot reader) never retires, so its flush is
+               a no-op for Hyaline and a limbo scan for baselines —
+               safe outside a bracket either way. *)
+            Map.flush sh.map ~tid:1)
+          shards;
         for tid = 0 to ctl_cfg.Smr.Config.nthreads - 1 do
           T.flush ctl_tracker ~tid
         done
@@ -348,6 +473,7 @@ module Core (T : Smr.Tracker.S) (Mk : Dstruct.Map_intf.MAKER) = struct
       heartbeat = (fun i -> Atomic.get shards.(i).heartbeat);
       inject_oom =
         (fun ~shard ~n -> Map.inject_alloc_failures shards.(shard).map ~n);
+      snapshot;
       stop;
       scheme_name;
       structure_name;

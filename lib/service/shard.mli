@@ -24,6 +24,28 @@
     sharding buys linearizable read-modify-write without adding a CAS
     primitive to the maps. *)
 
+type ack_hook = {
+  h_mutation : shard:int -> Codec.mutation -> unit;
+      (** Called from the consumer, inside the run's bracket, for each
+          {e applied} mutation in execution order (reads, misses and
+          failed CASes produce none) — the WAL append tap. *)
+  h_commit : shard:int -> unit;
+      (** Called once per drained run, after the bracket closes and
+          {e before} any of the run's acks fire — the group-commit
+          fsync point.  If it raises, none of the run's replies are
+          delivered and the consumer dies as a crashed shard
+          (un-acked work is never durable, durable-but-unacked work is
+          re-derived from the log): see {!t.recover}. *)
+}
+(** Durability tap on the consumer path ([lib/replica]'s WAL wiring).
+    With the distinguished {!no_hook} instance the serving path is
+    byte-identical to the hookless one — a single physical-equality
+    check per drained run (measured in bench/main.ml, replica rows);
+    replies then fire inline instead of being deferred to commit. *)
+
+val no_hook : ack_hook
+(** The permanently-disabled instance; recognized by [==]. *)
+
 type config = {
   shards : int;  (** number of partitions / consumer domains *)
   clients : int;
@@ -37,10 +59,12 @@ type config = {
       (** scheme knobs; [nthreads] is overridden internally *)
   objectives : Slo.objective list;
   seed : int;
+  hook : ack_hook;  (** durability tap; {!no_hook} = disabled *)
 }
 
 val default_config : config
-(** 4 shards, 8 clients, capacity 256, batch 64, trim every 16. *)
+(** 4 shards, 8 clients, capacity 256, batch 64, trim every 16,
+    {!no_hook}. *)
 
 type t = {
   submit : tid:int -> Codec.request -> (Codec.reply -> unit) -> unit;
@@ -98,6 +122,20 @@ type t = {
           map raise [Mpool.Injected_oom]; the affected requests get a
           clean [Error] reply with no state mutation (maps allocate
           before their first published write). *)
+  snapshot : shard:int -> gate:(int -> unit) -> (int * int) list;
+      (** Traverse the shard's {e live} map inside ONE tid-1
+          enter/leave bracket while the consumer keeps serving — the
+          paper's long-running-reader adversary, run on purpose.
+          Returns the bindings sorted by key.  The traversal is a
+          fuzzy snapshot: concurrent mutations may or may not be
+          reflected, which is sound because WAL replay from the
+          snapshot's seq re-applies them as absolute writes.  [gate]
+          is called with 0 right after entering the bracket and with
+          [i] before visiting binding [i+1]; hanging in it stretches
+          the bracket deterministically (chaos uses this to pin a
+          reservation while churn retires nodes).  At most one
+          snapshot per shard at a time.
+          @raise Invalid_argument if one is already running. *)
   stop : unit -> unit;
       (** Stop consumers, fail queued requests with [Error], join
           domains, flush every tracker.  Idempotent. *)

@@ -15,5 +15,6 @@ let () =
          Test_queue.suites;
          Test_lfrc.suites;
          Test_service.suites;
+         Test_replica.suites;
          Test_chaos.suites;
        ])

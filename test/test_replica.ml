@@ -1,0 +1,730 @@
+(* lib/replica: checksummed record codec, the injectable store, WAL
+   group commit and crash recovery (including seeded corruption fuzz),
+   atomic snapshots, and the primary/follower/failover protocol with
+   Chaos.Oracle as the judge. *)
+
+module Codec = Service.Codec
+module Shard = Service.Shard
+module Store = Replica.Store
+module Wal = Replica.Wal
+module Snapshot = Replica.Snapshot
+module Primary = Replica.Primary
+module Follower = Replica.Follower
+module Failover = Replica.Failover
+
+(* ------------------------------------------------------------------ *)
+(* Codec: CRC, records, snapshot frames, fold_frames *)
+
+let test_crc32_vector () =
+  (* The IEEE-802.3 check value: crc32("123456789") = 0xCBF43926. *)
+  Alcotest.(check int)
+    "crc32 check vector" 0xCBF43926
+    (Codec.crc32 "123456789" ~pos:0 ~len:9)
+
+let frame_payloads s =
+  let payloads, tail =
+    Codec.fold_frames (Codec.string_source s) (fun acc p -> p :: acc) []
+  in
+  (List.rev payloads, tail)
+
+let test_wal_record_roundtrip () =
+  let cases =
+    [
+      (1, Codec.Set { key = 0; value = 0 });
+      (42, Codec.Set { key = -7; value = max_int });
+      (9999999, Codec.Unset min_int);
+      (2, Codec.Unset 17);
+    ]
+  in
+  let b = Buffer.create 64 in
+  List.iter (fun (seq, m) -> Codec.encode_wal_record b ~seq m) cases;
+  let payloads, tail = frame_payloads (Buffer.contents b) in
+  Alcotest.(check bool) "clean tail" true (tail = None);
+  Alcotest.(check int) "frame count" (List.length cases) (List.length payloads);
+  List.iter2
+    (fun (seq, m) payload ->
+      let seq', m' = Codec.decode_wal_record payload in
+      Alcotest.(check int) "seq" seq seq';
+      Alcotest.(check string) "mutation" (Codec.mutation_to_string m)
+        (Codec.mutation_to_string m'))
+    cases payloads
+
+let test_wal_record_detects_damage () =
+  let b = Buffer.create 64 in
+  Codec.encode_wal_record b ~seq:7 (Codec.Set { key = 5; value = 50 });
+  let payloads, _ = frame_payloads (Buffer.contents b) in
+  let payload = Bytes.copy (List.hd payloads) in
+  (* Flip one bit anywhere in the payload: the CRC must catch it. *)
+  for i = 0 to Bytes.length payload - 1 do
+    let p = Bytes.copy payload in
+    Bytes.set p i (Char.chr (Char.code (Bytes.get p i) lxor 0x10));
+    match Codec.decode_wal_record p with
+    | _ -> Alcotest.failf "bit flip at byte %d went undetected" i
+    | exception Codec.Malformed _ -> ()
+  done
+
+let test_mutation_of_exec () =
+  let put = Codec.Put { key = 1; value = 2 } in
+  let cas = Codec.Cas { key = 1; expected = 2; desired = 3 } in
+  let check name exp req rep =
+    let got =
+      Option.map Codec.mutation_to_string (Codec.mutation_of_exec req rep)
+    in
+    Alcotest.(check (option string))
+      name
+      (Option.map Codec.mutation_to_string exp)
+      got
+  in
+  check "put created" (Some (Codec.Set { key = 1; value = 2 })) put Codec.Created;
+  check "put updated" (Some (Codec.Set { key = 1; value = 2 })) put Codec.Updated;
+  check "del deleted" (Some (Codec.Unset 1)) (Codec.Del 1) Codec.Deleted;
+  check "cas ok logs its set" (Some (Codec.Set { key = 1; value = 3 })) cas
+    Codec.Cas_ok;
+  check "cas fail" None cas Codec.Cas_fail;
+  check "get" None (Codec.Get 1) (Codec.Value 9);
+  check "del miss" None (Codec.Del 1) Codec.Not_found;
+  check "shed" None put Codec.Shed
+
+let test_snap_frames_roundtrip () =
+  let b = Buffer.create 64 in
+  Codec.encode_snap_head b ~seq:123 ~count:2;
+  Codec.encode_snap_kv b ~key:7 ~value:70;
+  Codec.encode_snap_kv b ~key:(-1) ~value:0;
+  let payloads, tail = frame_payloads (Buffer.contents b) in
+  Alcotest.(check bool) "clean tail" true (tail = None);
+  match payloads with
+  | [ h; a; b' ] ->
+      Alcotest.(check (pair int int)) "head" (123, 2) (Codec.decode_snap_head h);
+      Alcotest.(check (pair int int)) "kv 1" (7, 70) (Codec.decode_snap_kv a);
+      Alcotest.(check (pair int int)) "kv 2" (-1, 0) (Codec.decode_snap_kv b')
+  | l -> Alcotest.failf "expected 3 frames, got %d" (List.length l)
+
+let test_fold_frames_torn_tail () =
+  let b = Buffer.create 64 in
+  for seq = 1 to 3 do
+    Codec.encode_wal_record b ~seq (Codec.Set { key = seq; value = seq })
+  done;
+  let whole = Buffer.contents b in
+  let payloads, _ = frame_payloads whole in
+  let last_len = 4 + Bytes.length (List.nth payloads 2) in
+  (* Chop k bytes off the final frame for every possible k: fold must
+     deliver the two complete frames and report the torn remainder. *)
+  for k = 1 to last_len do
+    let cut = String.sub whole 0 (String.length whole - k) in
+    let got, tail = frame_payloads cut in
+    if k = last_len then begin
+      Alcotest.(check int) "clean boundary" 2 (List.length got);
+      Alcotest.(check bool) "no tail at boundary" true (tail = None)
+    end
+    else begin
+      Alcotest.(check int) "frames before tear" 2 (List.length got);
+      Alcotest.(check (option int)) "torn bytes" (Some (last_len - k)) tail
+    end
+  done
+
+(* ------------------------------------------------------------------ *)
+(* Store: mem crash semantics, fs atomic publish *)
+
+let test_mem_store_crash () =
+  let store, h = Store.Mem.create () in
+  let w = store.Store.s_append "f" in
+  w.Store.w_append "synced";
+  w.Store.w_sync ();
+  w.Store.w_append "-pending";
+  Alcotest.(check string) "read sees pending" "synced-pending"
+    (store.Store.s_read "f");
+  Alcotest.(check int) "synced bytes" 6 (Store.Mem.synced_bytes h "f");
+  Alcotest.(check int) "pending bytes" 8 (Store.Mem.pending_bytes h "f");
+  Store.Mem.crash h;
+  Alcotest.(check string) "unsynced bytes vanished" "synced"
+    (store.Store.s_read "f");
+  Alcotest.(check int) "one sync counted" 1 (Store.Mem.syncs h);
+  (* Atomic publish is durable without an explicit sync. *)
+  store.Store.s_write "g" "published";
+  Store.Mem.crash h;
+  Alcotest.(check string) "publish survived crash" "published"
+    (store.Store.s_read "g");
+  Alcotest.(check (list string)) "list is sorted" [ "f"; "g" ]
+    (store.Store.s_list ())
+
+let with_tmp_dir f =
+  let dir =
+    Filename.concat
+      (Filename.get_temp_dir_name ())
+      (Printf.sprintf "replica-test-%d-%d" (Unix.getpid ()) (Random.bits ()))
+  in
+  Fun.protect
+    ~finally:(fun () ->
+      ignore (Sys.command (Printf.sprintf "rm -rf %s" (Filename.quote dir))))
+    (fun () -> f dir)
+
+let test_fs_store () =
+  with_tmp_dir @@ fun dir ->
+  let store = Store.fs ~dir in
+  let w = store.Store.s_append "a.seg" in
+  w.Store.w_append "hello ";
+  w.Store.w_append "world";
+  w.Store.w_sync ();
+  w.Store.w_close ();
+  Alcotest.(check string) "append + read" "hello world"
+    (store.Store.s_read "a.seg");
+  store.Store.s_write "b.snap" "bindings";
+  Alcotest.(check string) "atomic publish" "bindings"
+    (store.Store.s_read "b.snap");
+  Alcotest.(check (list string)) "sorted listing, no tmp"
+    [ "a.seg"; "b.snap" ] (store.Store.s_list ());
+  store.Store.s_delete "a.seg";
+  store.Store.s_delete "a.seg" (* idempotent *);
+  Alcotest.(check (list string)) "deleted" [ "b.snap" ] (store.Store.s_list ())
+
+(* ------------------------------------------------------------------ *)
+(* WAL: group commit, reopen, rotation, truncation, torn commit *)
+
+let mset k = Codec.Set { key = k; value = k * 10 }
+
+let append_run w lo hi =
+  for k = lo to hi do
+    ignore (Wal.append w (mset k))
+  done;
+  Wal.commit w
+
+let test_wal_group_commit () =
+  let store, h = Store.Mem.create () in
+  let w, r = Wal.open_ ~store ~shard:0 () in
+  Alcotest.(check int) "fresh log" 0 r.Wal.r_last_seq;
+  append_run w 1 4;
+  append_run w 5 7;
+  append_run w 8 10;
+  Alcotest.(check int) "one sync per commit, not per record" 3
+    (Store.Mem.syncs h);
+  Alcotest.(check int) "committed" 10 (Wal.committed_seq w);
+  Wal.commit w;
+  Alcotest.(check int) "empty commit costs no fsync" 3 (Store.Mem.syncs h);
+  (match Wal.read_from w ~from:0 ~max:5 with
+  | `Batch (records, last) ->
+      Alcotest.(check int) "read_from last" 10 last;
+      Alcotest.(check (list int)) "first five seqs" [ 1; 2; 3; 4; 5 ]
+        (List.map fst records)
+  | `Too_old _ -> Alcotest.fail "unexpected Too_old");
+  (match Wal.read_from w ~from:10 ~max:5 with
+  | `Batch ([], 10) -> ()
+  | _ -> Alcotest.fail "caught-up read should be an empty batch");
+  Wal.close w;
+  (* Reopen: everything committed is still there. *)
+  let w2, r2 = Wal.open_ ~store ~shard:0 () in
+  Alcotest.(check int) "reopen records" 10 r2.Wal.r_records;
+  Alcotest.(check int) "reopen last seq" 10 r2.Wal.r_last_seq;
+  Alcotest.(check int) "reopen truncated nothing" 0 r2.Wal.r_truncated_bytes;
+  append_run w2 11 11;
+  Alcotest.(check int) "seqs continue" 11 (Wal.committed_seq w2);
+  Wal.close w2
+
+let test_wal_rotation_and_truncate () =
+  let store, _ = Store.Mem.create () in
+  (* Tiny segments force rotation every couple of commits. *)
+  let w, _ = Wal.open_ ~store ~shard:3 ~segment_bytes:128 () in
+  for run = 0 to 9 do
+    append_run w ((run * 5) + 1) ((run + 1) * 5)
+  done;
+  Alcotest.(check bool) "rotated" true (Wal.segments w > 1);
+  Wal.close w;
+  let records, r = Wal.scan ~store ~shard:3 in
+  Alcotest.(check int) "scan sees all records" 50 (List.length records);
+  Alcotest.(check int) "scan last seq" 50 r.Wal.r_last_seq;
+  let w2, _ = Wal.open_ ~store ~shard:3 ~segment_bytes:128 () in
+  let segs_before = Wal.segments w2 in
+  Wal.truncate_upto w2 ~seq:40;
+  Alcotest.(check bool) "segments pruned" true (Wal.segments w2 < segs_before);
+  Alcotest.(check int) "base advanced" 40 (Wal.base_seq w2);
+  (match Wal.read_from w2 ~from:0 ~max:10 with
+  | `Too_old base -> Alcotest.(check int) "too old names the base" 40 base
+  | `Batch _ -> Alcotest.fail "truncated window must be Too_old");
+  (match Wal.read_from w2 ~from:40 ~max:100 with
+  | `Batch (records, 50) ->
+      Alcotest.(check (list int)) "tail intact"
+        [ 41; 42; 43; 44; 45; 46; 47; 48; 49; 50 ]
+        (List.map fst records)
+  | _ -> Alcotest.fail "tail read failed");
+  Wal.close w2
+
+let test_wal_torn_commit () =
+  let store, h = Store.Mem.create () in
+  let w, _ = Wal.open_ ~store ~shard:0 () in
+  append_run w 1 5;
+  Wal.arm_torn_commit w;
+  for k = 6 to 8 do
+    ignore (Wal.append w (mset k))
+  done;
+  (match Wal.commit w with
+  | () -> Alcotest.fail "armed commit must raise Crashed"
+  | exception Wal.Crashed -> ());
+  Alcotest.(check int) "nothing promoted" 5 (Wal.committed_seq w);
+  (match Wal.append w (mset 9) with
+  | _ -> Alcotest.fail "dead log must refuse appends"
+  | exception Wal.Crashed -> ());
+  Store.Mem.crash h;
+  let w2, r = Wal.open_ ~store ~shard:0 () in
+  Alcotest.(check int) "acked history only" 5 r.Wal.r_records;
+  Alcotest.(check bool) "torn tail truncated" true (r.Wal.r_truncated_bytes > 0);
+  Alcotest.(check bool) "truncated segment named" true
+    (r.Wal.r_truncated_segment <> None);
+  (* The log is writable again at the right seq. *)
+  append_run w2 6 6;
+  Alcotest.(check int) "resumes after acked" 6 (Wal.committed_seq w2);
+  Wal.close w2
+
+(* Seeded corruption fuzz: tail damage always truncates cleanly;
+   mid-log damage is always a loud Corrupt naming a seq. *)
+
+let build_fuzz_wal store =
+  let w, _ = Wal.open_ ~store ~shard:0 ~segment_bytes:256 () in
+  for run = 0 to 8 do
+    append_run w ((run * 5) + 1) ((run + 1) * 5)
+  done;
+  Wal.close w;
+  let segs =
+    List.filter (fun n -> Filename.check_suffix n ".seg") (store.Store.s_list ())
+  in
+  assert (List.length segs > 2);
+  segs
+
+let test_wal_fuzz_tail_corruption () =
+  for seed = 0 to 7 do
+    let rng = Prims.Rng.create ~seed:(1000 + seed) in
+    let store, _ = Store.Mem.create () in
+    let segs = build_fuzz_wal store in
+    let last = List.nth segs (List.length segs - 1) in
+    let data = store.Store.s_read last in
+    let len = String.length data in
+    (* A just-rotated (hence empty or short) active segment has no
+       frame to tear, so only the garbage-residue case applies. *)
+    (match if len < 24 then 2 else Prims.Rng.below rng 3 with
+    | 0 ->
+        (* Torn write: the final frame loses its suffix. *)
+        let cut = 1 + Prims.Rng.below rng (min 20 (len - 1)) in
+        store.Store.s_write last (String.sub data 0 (len - cut))
+    | 1 ->
+        (* Bit rot inside the final record's bytes. *)
+        let i = len - 1 - Prims.Rng.below rng (min 8 len) in
+        let b = Bytes.of_string data in
+        Bytes.set b i (Char.chr (Char.code (Bytes.get b i) lxor 0x40));
+        store.Store.s_write last (Bytes.to_string b)
+    | _ ->
+        (* Crash residue: garbage appended past the last frame. *)
+        let garbage =
+          String.init
+            (1 + Prims.Rng.below rng 16)
+            (fun _ -> Char.chr (Prims.Rng.below rng 256))
+        in
+        store.Store.s_write last (data ^ garbage));
+    match Wal.open_ ~store ~shard:0 ~segment_bytes:256 () with
+    | w, r ->
+        Alcotest.(check bool)
+          (Printf.sprintf "seed %d: truncated some tail bytes" seed)
+          true
+          (r.Wal.r_truncated_bytes > 0);
+        Alcotest.(check bool)
+          (Printf.sprintf "seed %d: most records survive" seed)
+          true
+          (r.Wal.r_records >= 35);
+        (* Recovery republished a clean log: a second scan is clean. *)
+        let _, r2 = Wal.scan ~store ~shard:0 in
+        Alcotest.(check int)
+          (Printf.sprintf "seed %d: rescan clean" seed)
+          0 r2.Wal.r_truncated_bytes;
+        Wal.close w
+    | exception Wal.Corrupt { reason; _ } ->
+        Alcotest.failf "seed %d: tail damage must truncate, got Corrupt: %s"
+          seed reason
+  done
+
+let test_wal_fuzz_midlog_corruption () =
+  for seed = 0 to 7 do
+    let rng = Prims.Rng.create ~seed:(2000 + seed) in
+    let store, _ = Store.Mem.create () in
+    let segs = build_fuzz_wal store in
+    (* Damage a non-final segment: acknowledged history. *)
+    let victim = List.nth segs (Prims.Rng.below rng (List.length segs - 1)) in
+    let data = store.Store.s_read victim in
+    let i = Prims.Rng.below rng (String.length data) in
+    let b = Bytes.of_string data in
+    Bytes.set b i (Char.chr (Char.code (Bytes.get b i) lxor 0x04));
+    store.Store.s_write victim (Bytes.to_string b);
+    (match Wal.scan ~store ~shard:0 with
+    | _ ->
+        Alcotest.failf "seed %d: mid-log damage in %s went unnoticed" seed
+          victim
+    | exception Wal.Corrupt { seq; segment; _ } ->
+        Alcotest.(check string)
+          (Printf.sprintf "seed %d: corrupt names the segment" seed)
+          victim segment;
+        Alcotest.(check bool)
+          (Printf.sprintf "seed %d: corrupt names a plausible seq" seed)
+          true
+          (seq >= 1 && seq <= 46));
+    match Wal.open_ ~store ~shard:0 ~segment_bytes:256 () with
+    | w, _ -> Wal.close w; Alcotest.failf "seed %d: open_ must refuse too" seed
+    | exception Wal.Corrupt _ -> ()
+  done
+
+(* A deleted segment is a hole in acked history, not a fresh log. *)
+let test_wal_missing_segment () =
+  let store, _ = Store.Mem.create () in
+  let segs = build_fuzz_wal store in
+  store.Store.s_delete (List.nth segs 1);
+  match Wal.scan ~store ~shard:0 with
+  | _ -> Alcotest.fail "missing segment went unnoticed"
+  | exception Wal.Corrupt { reason; _ } ->
+      Alcotest.(check bool) "reason mentions the gap" true
+        (String.length reason > 0)
+
+(* ------------------------------------------------------------------ *)
+(* Snapshots *)
+
+let test_snapshot_roundtrip () =
+  let store, _ = Store.Mem.create () in
+  Alcotest.(check bool) "no snapshot yet" true
+    (Snapshot.load_latest ~store ~shard:2 = None);
+  let bindings = [ (1, 10); (2, 20); (3, 30) ] in
+  let _ = Snapshot.write ~store ~shard:2 ~seq:5 bindings in
+  let _ = Snapshot.write ~store ~shard:2 ~seq:9 [ (1, 11) ] in
+  (* Another shard's snapshot must not shadow ours. *)
+  let _ = Snapshot.write ~store ~shard:0 ~seq:99 [] in
+  (match Snapshot.load_latest ~store ~shard:2 with
+  | Some (got, seq, _) ->
+      Alcotest.(check int) "latest seq wins" 9 seq;
+      Alcotest.(check (list (pair int int))) "bindings" [ (1, 11) ] got
+  | None -> Alcotest.fail "snapshot vanished");
+  let deleted = Snapshot.delete_older ~store ~shard:2 ~keep_seq:9 in
+  Alcotest.(check int) "older snapshot deleted" 1 deleted;
+  match Snapshot.load_latest ~store ~shard:2 with
+  | Some (_, 9, _) -> ()
+  | _ -> Alcotest.fail "kept snapshot must remain loadable"
+
+let test_snapshot_strict_loader () =
+  let store, _ = Store.Mem.create () in
+  let name = Snapshot.write ~store ~shard:1 ~seq:4 [ (1, 10); (2, 20) ] in
+  let data = store.Store.s_read name in
+  (* Bit rot. *)
+  let b = Bytes.of_string data in
+  Bytes.set b (String.length data - 2)
+    (Char.chr (Char.code (Bytes.get b (String.length data - 2)) lxor 1));
+  store.Store.s_write name (Bytes.to_string b);
+  (match Snapshot.load_latest ~store ~shard:1 with
+  | _ -> Alcotest.fail "bit-rotted snapshot loaded"
+  | exception Snapshot.Corrupt _ -> ());
+  (* Truncation: snapshots publish atomically, so a short file is
+     damage, never crash residue. *)
+  store.Store.s_write name (String.sub data 0 (String.length data - 3));
+  match Snapshot.load_latest ~store ~shard:1 with
+  | _ -> Alcotest.fail "truncated snapshot loaded"
+  | exception Snapshot.Corrupt _ -> ()
+
+(* ------------------------------------------------------------------ *)
+(* Primary / follower / failover *)
+
+let hashmap = Workload.Registry.find_structure "hashmap"
+let hyaline = Workload.Registry.find_scheme "hyaline"
+
+let mk_cfg ?(shards = 2) ?(clients = 4) () =
+  { Shard.default_config with Shard.shards; clients }
+
+let drive_ops svc ~seed ~rounds ~range ops =
+  let rng = Prims.Rng.create ~seed in
+  for _ = 1 to rounds do
+    let key = Prims.Rng.below rng range in
+    let req =
+      match Prims.Rng.below rng 10 with
+      | 0 | 1 | 2 | 3 ->
+          Codec.Put { key; value = Prims.Rng.below rng 1000 }
+      | 4 | 5 -> Codec.Del key
+      | 6 ->
+          Codec.Cas
+            {
+              key;
+              expected = Prims.Rng.below rng 1000;
+              desired = Prims.Rng.below rng 1000;
+            }
+      | _ -> Codec.Get key
+    in
+    let reply = Shard.call svc ~tid:0 req in
+    ops := (req, reply) :: !ops
+  done
+
+let primary_state p =
+  List.concat
+    (List.init p.Primary.svc.Shard.nshards (fun shard ->
+         Primary.sweep p ~shard))
+  |> List.sort compare
+
+let follower_state f =
+  List.concat
+    (List.init (Follower.nshards f) (fun shard -> Follower.sweep f ~shard))
+  |> List.sort compare
+
+let test_primary_recovery_cycle () =
+  let store, _ = Store.Mem.create () in
+  let ops = ref [] in
+  let p, boot = Primary.create ~structure:hashmap ~scheme:hyaline (mk_cfg ()) ~store () in
+  Alcotest.(check int) "fresh boot replays nothing" 0
+    (Array.fold_left ( + ) 0 boot.Primary.b_replayed);
+  drive_ops p.Primary.svc ~seed:11 ~rounds:300 ~range:64 ops;
+  (* Snapshot + truncate mid-history: recovery must go snapshot-then-log. *)
+  for shard = 0 to 1 do
+    ignore (Primary.snapshot_shard p ~shard ())
+  done;
+  drive_ops p.Primary.svc ~seed:12 ~rounds:300 ~range:64 ops;
+  let live = primary_state p in
+  Primary.stop p;
+  let p2, boot2 = Primary.create ~structure:hashmap ~scheme:hyaline (mk_cfg ()) ~store () in
+  Alcotest.(check bool) "bootstrap used a snapshot" true
+    (Array.fold_left ( + ) 0 boot2.Primary.b_snap_bindings > 0);
+  Alcotest.(check bool) "bootstrap replayed the log tail" true
+    (Array.fold_left ( + ) 0 boot2.Primary.b_replayed > 0);
+  let recovered = primary_state p2 in
+  Primary.stop p2;
+  let expected = Chaos.Oracle.replay_state ~ops:(List.rev !ops) in
+  Alcotest.(check (list (pair int int))) "live state = oracle" expected live;
+  Alcotest.(check (list (pair int int)))
+    "recovered state = oracle replay of acked history" expected recovered
+
+let test_torn_commit_acks_nothing () =
+  let store, _ = Store.Mem.create () in
+  let ops = ref [] in
+  let p, _ = Primary.create ~structure:hashmap ~scheme:hyaline (mk_cfg ()) ~store () in
+  let svc = p.Primary.svc in
+  drive_ops svc ~seed:21 ~rounds:200 ~range:64 ops;
+  Primary.arm_torn_commit p ~shard:0;
+  (* Un-ackable work for shard 0: its next group commit dies mid-record. *)
+  let late_acks = Atomic.make 0 in
+  let submitted = ref 0 in
+  let k = ref 1_000 in
+  while !submitted < 16 do
+    if svc.Shard.shard_of_key !k = 0 then begin
+      incr submitted;
+      svc.Shard.submit ~tid:1
+        (Codec.Put { key = !k; value = !k })
+        (function
+          | Codec.Shed | Codec.Error _ -> ()
+          | _ -> Atomic.incr late_acks)
+    end;
+    incr k
+  done;
+  let deadline = Unix.gettimeofday () +. 10.0 in
+  while svc.Shard.consumer_alive 0 && Unix.gettimeofday () < deadline do
+    Domain.cpu_relax ()
+  done;
+  Alcotest.(check bool) "armed shard died" false (svc.Shard.consumer_alive 0);
+  Alcotest.(check int) "nothing from the torn run was acked" 0
+    (Atomic.get late_acks);
+  Primary.kill p;
+  Alcotest.(check bool) "primary reports dead" false (Primary.alive p);
+  let p2, boot2 = Primary.create ~structure:hashmap ~scheme:hyaline (mk_cfg ()) ~store () in
+  Alcotest.(check bool) "recovery truncated the torn tail" true
+    (Array.fold_left
+       (fun a (r : Wal.recovery) -> a + r.Wal.r_truncated_bytes)
+       0 boot2.Primary.b_recovery
+    > 0);
+  let recovered = primary_state p2 in
+  Primary.stop p2;
+  Primary.stop p;
+  let expected = Chaos.Oracle.replay_state ~ops:(List.rev !ops) in
+  Alcotest.(check (list (pair int int)))
+    "recovered = acked history exactly" expected recovered
+
+let test_follower_sync_and_promote () =
+  let store, _ = Store.Mem.create () in
+  let ops = ref [] in
+  let p, _ = Primary.create ~structure:hashmap ~scheme:hyaline (mk_cfg ()) ~store () in
+  let svc = p.Primary.svc in
+  drive_ops svc ~seed:31 ~rounds:200 ~range:64 ops;
+  for shard = 0 to 1 do
+    ignore (Primary.snapshot_shard p ~shard ())
+  done;
+  drive_ops svc ~seed:32 ~rounds:200 ~range:64 ops;
+  (* The log was truncated, so a cold follower must bootstrap from the
+     shared store — a from-zero pull would be Too_old. *)
+  (match Primary.handle p (Codec.Rep_pull { shard = 0; from = 0; max = 10 }) with
+  | Some (Codec.Error _) -> ()
+  | r ->
+      Alcotest.failf "pull into the truncated window answered %s"
+        (match r with Some r -> Codec.reply_to_string r | None -> "None"));
+  let pull ~shard ~from ~max =
+    match Primary.handle p (Codec.Rep_pull { shard; from; max }) with
+    | Some r -> r
+    | None -> Codec.Error "not a replication request"
+  in
+  let f, fboot =
+    Follower.create ~structure:hashmap ~scheme:hyaline
+      (mk_cfg ~clients:2 ()) ~pull ~store ()
+  in
+  Alcotest.(check bool) "follower bootstrapped from the snapshot" true
+    (Array.fold_left ( + ) 0 fboot.Follower.b_snap_bindings > 0);
+  ignore (Follower.sync f);
+  Alcotest.(check (list (pair int int)))
+    "synced follower = primary" (primary_state p) (follower_state f);
+  Alcotest.(check (list int)) "lag is zero after sync" [ 0; 0 ]
+    (Array.to_list (Follower.lag f));
+  (* More acked history the follower does NOT pull, then the crash. *)
+  drive_ops svc ~seed:33 ~rounds:150 ~range:64 ops;
+  Primary.arm_torn_commit p ~shard:0;
+  let k = ref 1_000 in
+  let submitted = ref 0 in
+  while !submitted < 8 do
+    if svc.Shard.shard_of_key !k = 0 then begin
+      incr submitted;
+      svc.Shard.submit ~tid:1 (Codec.Put { key = !k; value = 1 }) (fun _ -> ())
+    end;
+    incr k
+  done;
+  let deadline = Unix.gettimeofday () +. 10.0 in
+  while svc.Shard.consumer_alive 0 && Unix.gettimeofday () < deadline do
+    Domain.cpu_relax ()
+  done;
+  Primary.kill p;
+  (* Confirmed-death detection, then promotion from the shared store. *)
+  let mon =
+    Failover.monitor
+      ~alive:(fun () -> Primary.alive p)
+      ~heartbeat:svc.Shard.heartbeat ~nshards:2 ()
+  in
+  let polls = ref 0 in
+  while (not (Failover.poll mon)) && !polls < 10_000 do
+    incr polls;
+    Unix.sleepf 0.001
+  done;
+  Alcotest.(check bool) "death confirmed" true (Failover.confirmed mon);
+  let prom = Failover.promote f ~store in
+  Alcotest.(check bool) "promotion recovered unpulled records" true
+    (Array.fold_left ( + ) 0 prom.Failover.p_caught_up > 0);
+  Alcotest.(check bool) "torn tail reported, not an error" true
+    (Array.fold_left ( + ) 0 prom.Failover.p_torn_bytes > 0);
+  let promoted = follower_state f in
+  Primary.stop p;
+  Follower.stop f;
+  let expected = Chaos.Oracle.replay_state ~ops:(List.rev !ops) in
+  Alcotest.(check (list (pair int int)))
+    "promoted follower = oracle replay of acked history" expected promoted
+
+let test_rep_opcodes_over_socket () =
+  let path =
+    Filename.concat
+      (Filename.get_temp_dir_name ())
+      (Printf.sprintf "replica-test-%d.sock" (Unix.getpid ()))
+  in
+  let store, _ = Store.Mem.create () in
+  let p, _ = Primary.create ~structure:hashmap ~scheme:hyaline (mk_cfg ()) ~store () in
+  let server =
+    Service.Conn.serve_unix p.Primary.svc ~path
+      ~ext:(fun req -> Primary.handle p req)
+      ()
+  in
+  Fun.protect
+    ~finally:(fun () ->
+      Service.Conn.shutdown server;
+      Primary.stop p)
+    (fun () ->
+      let fd = Service.Conn.connect_unix ~path in
+      Fun.protect
+        ~finally:(fun () -> try Unix.close fd with Unix.Unix_error _ -> ())
+        (fun () ->
+          (match Service.Conn.call_fd fd Codec.Rep_info with
+          | Codec.Rep_state committed ->
+              Alcotest.(check int) "one seq per shard" 2
+                (Array.length committed)
+          | r -> Alcotest.failf "Rep_info answered %s" (Codec.reply_to_string r));
+          (* A durable put, then pull its shard's stream. *)
+          (match Service.Conn.call_fd fd (Codec.Put { key = 7; value = 77 }) with
+          | Codec.Created -> ()
+          | r -> Alcotest.failf "put answered %s" (Codec.reply_to_string r));
+          let shard = p.Primary.svc.Shard.shard_of_key 7 in
+          match
+            Service.Conn.call_fd fd (Codec.Rep_pull { shard; from = 0; max = 10 })
+          with
+          | Codec.Rep_batch { last; records } ->
+              Alcotest.(check bool) "stream advanced" true (last >= 1);
+              Alcotest.(check bool) "the put is in the stream" true
+                (List.exists
+                   (fun (_, m) -> m = Codec.Set { key = 7; value = 77 })
+                   records)
+          | r -> Alcotest.failf "Rep_pull answered %s" (Codec.reply_to_string r)))
+
+let test_socket_claim () =
+  let path =
+    Filename.concat
+      (Filename.get_temp_dir_name ())
+      (Printf.sprintf "replica-claim-%d.sock" (Unix.getpid ()))
+  in
+  (* A stale path (here: a plain leftover file, same as a crashed
+     daemon's socket inode) is probed and claimed. *)
+  let oc = open_out path in
+  output_string oc "stale";
+  close_out oc;
+  let svc = Shard.create ~structure:hashmap ~scheme:hyaline (mk_cfg ()) in
+  let server = Service.Conn.serve_unix svc ~path () in
+  Fun.protect
+    ~finally:(fun () ->
+      Service.Conn.shutdown server;
+      svc.Shard.stop ())
+    (fun () ->
+      (* A live incumbent is never clobbered. *)
+      match Service.Conn.serve_unix svc ~path () with
+      | server2 ->
+          Service.Conn.shutdown server2;
+          Alcotest.fail "second daemon clobbered a live socket"
+      | exception Service.Conn.Addr_in_use p ->
+          Alcotest.(check string) "names the path" path p)
+
+let suites =
+  [
+    ( "replica codec",
+      [
+        Alcotest.test_case "crc32 check vector" `Quick test_crc32_vector;
+        Alcotest.test_case "wal record roundtrip" `Quick
+          test_wal_record_roundtrip;
+        Alcotest.test_case "every bit flip detected" `Quick
+          test_wal_record_detects_damage;
+        Alcotest.test_case "mutation_of_exec table" `Quick test_mutation_of_exec;
+        Alcotest.test_case "snapshot frames roundtrip" `Quick
+          test_snap_frames_roundtrip;
+        Alcotest.test_case "fold_frames reports torn tails" `Quick
+          test_fold_frames_torn_tail;
+      ] );
+    ( "replica store",
+      [
+        Alcotest.test_case "mem crash semantics" `Quick test_mem_store_crash;
+        Alcotest.test_case "fs append and atomic publish" `Quick test_fs_store;
+      ] );
+    ( "replica wal",
+      [
+        Alcotest.test_case "group commit + reopen" `Quick test_wal_group_commit;
+        Alcotest.test_case "rotation + truncation" `Quick
+          test_wal_rotation_and_truncate;
+        Alcotest.test_case "torn commit" `Quick test_wal_torn_commit;
+        Alcotest.test_case "fuzz: tail damage truncates" `Quick
+          test_wal_fuzz_tail_corruption;
+        Alcotest.test_case "fuzz: mid-log damage is loud" `Quick
+          test_wal_fuzz_midlog_corruption;
+        Alcotest.test_case "missing segment is loud" `Quick
+          test_wal_missing_segment;
+      ] );
+    ( "replica snapshot",
+      [
+        Alcotest.test_case "roundtrip + delete_older" `Quick
+          test_snapshot_roundtrip;
+        Alcotest.test_case "strict loader" `Quick test_snapshot_strict_loader;
+      ] );
+    ( "replica service",
+      [
+        Alcotest.test_case "recovery = oracle replay" `Quick
+          test_primary_recovery_cycle;
+        Alcotest.test_case "torn commit acks nothing" `Quick
+          test_torn_commit_acks_nothing;
+        Alcotest.test_case "follower sync + promote" `Quick
+          test_follower_sync_and_promote;
+        Alcotest.test_case "rep opcodes over a socket" `Quick
+          test_rep_opcodes_over_socket;
+        Alcotest.test_case "socket claim: stale vs live" `Quick
+          test_socket_claim;
+      ] );
+  ]
