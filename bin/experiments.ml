@@ -617,11 +617,17 @@ let run_chaos ~ds ~schemes ~classes ~steps ~seed ~bound ~shards ~smoke ~plot =
       r1
     in
     let robust = run "hyalines" in
+    let crystalline = run "crystalline" in
     let ebr = run "ebr" in
     check
       (robust.Chaos.Engine.r_mem_bounded = Some true)
       "hyaline-s: ctl backlog exceeded the bound across the crash window";
     check robust.Chaos.Engine.r_oracle.Chaos.Oracle.ok "hyaline-s: oracle failed";
+    check
+      (crystalline.Chaos.Engine.r_mem_bounded = Some true)
+      "crystalline: ctl backlog exceeded the bound across the crash window";
+    check crystalline.Chaos.Engine.r_oracle.Chaos.Oracle.ok
+      "crystalline: oracle failed";
     check
       (ebr.Chaos.Engine.r_mem_bounded = Some false)
       "ebr: expected the abandoned bracket to pin the ctl backlog past the \
@@ -635,9 +641,10 @@ let run_chaos ~ds ~schemes ~classes ~steps ~seed ~bound ~shards ~smoke ~plot =
     end
     else
       Format.printf
-        "chaos smoke ok: replays identical, %s bounded + oracle pass, %s \
-         unbounded as expected@."
-        robust.Chaos.Engine.r_scheme ebr.Chaos.Engine.r_scheme
+        "chaos smoke ok: replays identical, %s + %s bounded + oracle pass, \
+         %s unbounded as expected@."
+        robust.Chaos.Engine.r_scheme crystalline.Chaos.Engine.r_scheme
+        ebr.Chaos.Engine.r_scheme
   end
   else
     List.iter
@@ -1104,9 +1111,13 @@ let run_replicate ~sc ~ds ~schemes ~shards ~smoke ~plot =
   Format.printf "@.";
   (* The robustness contrast: the snapshot reader is the paper's
      stalled adversary wearing service clothes.  EBR must blow the
-     bound; a Hyaline-S-family scheme must stay under it. *)
+     bound; every robust scheme (Hyaline-S family, Crystalline) must
+     stay under it. *)
   let is_robust n =
-    String.length n >= 8 && String.sub n 0 8 = "hyalines"
+    let prefix p =
+      String.length n >= String.length p && String.sub n 0 (String.length p) = p
+    in
+    prefix "hyalines" || prefix "crystalline"
   in
   (match List.assoc_opt "ebr" !snap_unr with
   | Some u ->
@@ -1116,12 +1127,19 @@ let run_replicate ~sc ~ds ~schemes ~shards ~smoke ~plot =
             unbounded growth"
            u bound)
   | None -> if smoke then check false "smoke needs ebr in --schemes");
-  (match List.find_opt (fun (n, _) -> is_robust n) !snap_unr with
-  | Some (n, u) ->
-      check (u <= bound)
-        (Printf.sprintf "%s: snapshot-reader backlog %d exceeded the bound %d"
-           n u bound)
-  | None -> if smoke then check false "smoke needs hyalines in --schemes");
+  (match List.filter (fun (n, _) -> is_robust n) !snap_unr with
+  | [] ->
+      if smoke then
+        check false "smoke needs a robust scheme (hyalines/crystalline) in \
+                     --schemes"
+  | robusts ->
+      List.iter
+        (fun (n, u) ->
+          check (u <= bound)
+            (Printf.sprintf
+               "%s: snapshot-reader backlog %d exceeded the bound %d" n u
+               bound))
+        robusts);
   if plot && !lag_series <> [] then begin
     print_string
       (Plot.render ~title:"replicate — follower lag while loaded"
@@ -1180,7 +1198,7 @@ let rec dispatch figure ds paper threads duration active plot csv metrics_csv
       let schemes =
         rebase
           (match schemes_arg with
-          | [] -> [ "ebr"; "hyaline"; "hyaline1s" ]
+          | [] -> [ "ebr"; "hyaline"; "hyaline1s"; "crystalline" ]
           | l -> l)
       in
       run_serve ~sc ~ds ~schemes ~shards:shards_arg ~stalled:stalled_shards
@@ -1189,7 +1207,7 @@ let rec dispatch figure ds paper threads duration active plot csv metrics_csv
       let schemes =
         rebase
           (match schemes_arg with
-          | [] -> [ "ebr"; "hyalines"; "hyaline1s" ]
+          | [] -> [ "ebr"; "hyalines"; "hyaline1s"; "crystalline" ]
           | l -> l)
       in
       run_chaos ~ds ~schemes ~classes:faults_arg ~steps:chaos_steps
@@ -1197,7 +1215,9 @@ let rec dispatch figure ds paper threads duration active plot csv metrics_csv
   | "replicate" ->
       let schemes =
         rebase
-          (match schemes_arg with [] -> [ "ebr"; "hyalines" ] | l -> l)
+          (match schemes_arg with
+          | [] -> [ "ebr"; "hyalines"; "crystalline" ]
+          | l -> l)
       in
       run_replicate ~sc ~ds ~schemes ~shards:shards_arg ~smoke ~plot
   | "table1" ->

@@ -114,31 +114,49 @@ let daemon ~socket ~scheme ~structure ~shards ~clients ~mailbox_cap ~batch
     (match wal with
     | Some dir -> Printf.sprintf " (wal: %s, group commit)" dir
     | None -> "");
-  let stop _ =
-    (* Runs on the main thread via the signal handler: tear down the
-       listener, then the service (queued requests get Error replies).
-       With a WAL, snapshot every shard first so the next boot replays
-       a short log instead of the whole history. *)
-    Printf.printf "kvd: shutting down (%d processed, %d shed, %s)\n%!"
-      (svc.Service.Shard.processed ())
-      (svc.Service.Shard.sheds ())
-      (Service.Slo.report svc.Service.Shard.slo);
-    Service.Conn.shutdown server;
-    (match primary with
-    | Some p ->
-        for shard = 0 to shards - 1 do
-          let file, seq = Replica.Primary.snapshot_shard p ~shard () in
-          Printf.printf "kvd: shard %d snapshot %s (seq %d)\n%!" shard file seq
-        done;
-        Replica.Primary.stop p
-    | None -> svc.Service.Shard.stop ());
-    exit 0
+  (* Self-pipe shutdown: OCaml signal handlers run at allocation/poll
+     points on whichever domain trips them, so tearing down in the
+     handler itself (shutdown, snapshot fsyncs, Primary.stop's domain
+     joins) can deadlock on a channel or service lock the interrupted
+     domain holds.  The handler only flips a flag and writes one
+     pre-allocated byte; the main loop wakes from select and runs the
+     whole teardown in ordinary context. *)
+  let stopping = Atomic.make false in
+  let wake_rd, wake_wr = Unix.pipe ~cloexec:true () in
+  let wake_byte = Bytes.make 1 '!' in
+  let request_stop _ =
+    if not (Atomic.exchange stopping true) then
+      ignore (Unix.write wake_wr wake_byte 0 1)
   in
-  Sys.set_signal Sys.sigint (Sys.Signal_handle stop);
-  Sys.set_signal Sys.sigterm (Sys.Signal_handle stop);
-  while true do
-    Unix.sleepf 3600.0
-  done
+  Sys.set_signal Sys.sigint (Sys.Signal_handle request_stop);
+  Sys.set_signal Sys.sigterm (Sys.Signal_handle request_stop);
+  let rec wait () =
+    match Unix.select [ wake_rd ] [] [] (-1.0) with
+    | _ -> ()
+    | exception Unix.Unix_error (Unix.EINTR, _, _) ->
+        if not (Atomic.get stopping) then wait ()
+  in
+  wait ();
+  (* Teardown, on the main flow: stop the listener, then the service
+     (queued requests get Error replies).  With a WAL, snapshot every
+     shard first so the next boot replays a short log instead of the
+     whole history. *)
+  Printf.printf "kvd: shutting down (%d processed, %d shed, %s)\n%!"
+    (svc.Service.Shard.processed ())
+    (svc.Service.Shard.sheds ())
+    (Service.Slo.report svc.Service.Shard.slo);
+  Service.Conn.shutdown server;
+  (match primary with
+  | Some p ->
+      for shard = 0 to shards - 1 do
+        let file, seq = Replica.Primary.snapshot_shard p ~shard () in
+        Printf.printf "kvd: shard %d snapshot %s (seq %d)\n%!" shard file seq
+      done;
+      Replica.Primary.stop p
+  | None -> svc.Service.Shard.stop ());
+  List.iter
+    (fun fd -> try Unix.close fd with Unix.Unix_error _ -> ())
+    [ wake_rd; wake_wr ]
 
 (* Follower mode: connect to a live kvd --wal daemon, discover its
    shard count from Rep_info, then chase the committed record stream
@@ -171,8 +189,14 @@ let follow ~target ~scheme ~structure ~clients =
   in
   Printf.printf "kvd: following %s (%d shards) into %s/%s\n%!" target nshards
     scheme structure;
-  let running = ref true in
-  let stop _ = running := false in
+  (* Same handler discipline as [daemon]: the handler only flips the
+     flag (an Atomic — it may run on any domain); the loop notices
+     within one poll interval.  Every exit of [Follower.drive] is a
+     return — including pull errors and stream gaps, which previously
+     escaped as [Failure] past the handlers below and skipped this
+     cleanup, leaving the shard domains alive and the socket open. *)
+  let running = Atomic.make true in
+  let stop _ = Atomic.set running false in
   Sys.set_signal Sys.sigint (Sys.Signal_handle stop);
   Sys.set_signal Sys.sigterm (Sys.Signal_handle stop);
   let last_report = ref (Unix.gettimeofday ()) in
@@ -183,27 +207,24 @@ let follow ~target ~scheme ~structure ~clients =
       (String.concat "," (Array.to_list (Array.map string_of_int applied)))
       (String.concat "," (Array.to_list (Array.map string_of_int lag)))
   in
-  (try
-     while !running do
-       let idle = ref true in
-       for shard = 0 to nshards - 1 do
-         match Replica.Follower.step f ~shard () with
-         | `Applied _ -> idle := false
-         | `Uptodate -> ()
-         | `Err m -> failwith ("pull: " ^ m)
-       done;
-       let now = Unix.gettimeofday () in
-       if now -. !last_report > 2.0 then begin
-         last_report := now;
-         report ()
-       end;
-       if !idle then Unix.sleepf 0.005
-     done
+  let on_progress () =
+    let now = Unix.gettimeofday () in
+    if now -. !last_report > 2.0 then begin
+      last_report := now;
+      report ()
+    end
+  in
+  (match
+     Replica.Follower.drive f
+       ~running:(fun () -> Atomic.get running)
+       ~on_progress ()
    with
-  | Service.Conn.Closed ->
+  | `Stopped -> ()
+  | `Primary_gone ->
       Printf.eprintf "kvd: primary hung up; follower state kept to here\n%!"
-  | Unix.Unix_error (e, _, _) ->
-      Printf.eprintf "kvd: lost the primary: %s\n%!" (Unix.error_message e));
+  | `Io_error m -> Printf.eprintf "kvd: lost the primary: %s\n%!" m
+  | `Pull_error m ->
+      Printf.eprintf "kvd: pull failed (%s); follower state kept to here\n%!" m);
   report ();
   (try Unix.close fd with Unix.Unix_error _ -> ());
   Replica.Follower.stop f
@@ -257,7 +278,7 @@ let scheme =
     & info [ "scheme" ] ~docv:"SCHEME"
         ~doc:
           "Reclamation scheme for maps and mailboxes (leaky, ebr, hp, he, \
-           ibr, hyaline, hyaline1s, hyalines, ...).")
+           ibr, hyaline, hyaline1s, hyalines, crystalline, ...).")
 
 let structure =
   Arg.(

@@ -152,6 +152,42 @@ let apply_catchup t ~shard records =
   Atomic.set t.lag_.(shard) 0;
   n
 
+(* kvd's chase loop, here so its exit paths are testable: every way
+   the loop can end — stop flag, primary gone, I/O failure, a pull
+   error, a stream gap — RETURNS, so the caller's cleanup (report, fd
+   close, [stop]) cannot be skipped by an escaping exception.  The bug
+   this replaces: kvd turned [`Err] into [failwith], which matched
+   neither of its handlers and flew past the cleanup, leaving the
+   shard domains alive and the socket open. *)
+let drive t ~running ?(poll_interval = 0.005) ?(on_progress = fun () -> ()) ()
+    =
+  let n = t.svc.Shard.nshards in
+  let result = ref None in
+  while !result = None && running () do
+    try
+      let idle = ref true in
+      for shard = 0 to n - 1 do
+        match step t ~shard () with
+        | `Applied _ -> idle := false
+        | `Uptodate -> ()
+        | `Err m ->
+            result := Some (`Pull_error m);
+            raise Exit
+      done;
+      on_progress ();
+      if !idle then Unix.sleepf poll_interval
+    with
+    | Exit -> ()
+    | Service.Conn.Closed -> result := Some `Primary_gone
+    (* A signal landing in sleepf/step is not a failure: the while
+       condition re-checks [running]. *)
+    | Unix.Unix_error (Unix.EINTR, _, _) -> ()
+    | Unix.Unix_error (e, _, _) ->
+        result := Some (`Io_error (Unix.error_message e))
+    | Failure m -> result := Some (`Pull_error m)
+  done;
+  match !result with None -> `Stopped | Some r -> r
+
 let applied t = Array.map Atomic.get t.applied
 let lag t = Array.map Atomic.get t.lag_
 let nshards t = t.svc.Shard.nshards

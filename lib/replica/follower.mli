@@ -57,6 +57,22 @@ val apply_catchup :
     follower is too far behind the truncated log and needs a
     snapshot bootstrap instead. *)
 
+val drive :
+  t ->
+  running:(unit -> bool) ->
+  ?poll_interval:float ->
+  ?on_progress:(unit -> unit) ->
+  unit ->
+  [ `Stopped | `Primary_gone | `Io_error of string | `Pull_error of string ]
+(** The daemon's chase loop: step every shard, call [on_progress] per
+    round, sleep [poll_interval] (default 5ms) when idle, until
+    [running ()] is false or the stream ends.  Total: {e every} exit —
+    stop flag ([`Stopped]), primary hang-up ([`Primary_gone]), I/O
+    failure ([`Io_error]), error reply or stream gap ([`Pull_error]) —
+    is a return, never an escaping exception, so the caller's cleanup
+    ([stop], fd close) runs unconditionally.  [EINTR] is swallowed (a
+    signal is how [running] gets flipped). *)
+
 val applied : t -> int array
 val lag : t -> int array
 val nshards : t -> int

@@ -1,0 +1,52 @@
+(* Crystalline's reservation word over {!Sched.Shared} cells, so the
+   real [Crystalline.Make] functor runs under the deterministic
+   explorer — both representations, since they have different ABA
+   surfaces (physical-equality boxes vs the value CAS + tombstone
+   window of the packed int). *)
+
+module Boxed : Hyaline_core.Crystalline.WORD = struct
+  type word = { era : int; hptr : Smr.Hdr.t }
+  type t = word Sched.Shared.t
+
+  let idle = { era = 0; hptr = Smr.Hdr.nil }
+  let backend = "boxed"
+  let max_era = max_int
+  let make () = Sched.Shared.make idle
+  let get = Sched.Shared.get
+
+  let exchange t ~era =
+    Sched.Shared.exchange t (if era = 0 then idle else { era; hptr = Smr.Hdr.nil })
+
+  let cas_era t ~expected e =
+    Sched.Shared.compare_and_set t expected { expected with era = e }
+
+  let cas_insert t ~expected n =
+    Sched.Shared.compare_and_set t expected { expected with hptr = n }
+
+  let era w = w.era
+  let empty w = Smr.Hdr.is_nil w.hptr
+  let hptr w = w.hptr
+end
+
+module Packed : Hyaline_core.Crystalline.WORD = struct
+  module P = Hyaline_core.Head.Packed
+
+  type t = int Sched.Shared.t
+  type word = int
+
+  let backend = "packed"
+  let max_era = P.max_href
+  let make () = Sched.Shared.make 0
+  let get = Sched.Shared.get
+  let exchange t ~era = Sched.Shared.exchange t (P.with_href 0 era)
+
+  let cas_era t ~expected e =
+    Sched.Shared.compare_and_set t expected (P.with_href expected e)
+
+  let cas_insert t ~expected n =
+    Sched.Shared.compare_and_set t expected (P.with_hptr expected n)
+
+  let era = P.href
+  let empty w = P.index w = 0
+  let hptr = P.hptr
+end

@@ -1,0 +1,10 @@
+(** Crystalline reservation words over {!Sched.Shared} cells: plug
+    into [Hyaline_core.Crystalline.Make] to model-check the real
+    tracker under the deterministic explorer. *)
+
+module Boxed : Hyaline_core.Crystalline.WORD
+(** Immutable pair in a shared cell, physical-equality CAS. *)
+
+module Packed : Hyaline_core.Crystalline.WORD
+(** The packed-int word ([Head.Packed] layout) — exercises the
+    value-CAS/tombstone surface. *)

@@ -29,16 +29,26 @@ let read_frame fd =
   | Codec.Eof -> None
   | Codec.Torn _ -> raise Closed
 
+(* The buffer is snapshotted and cleared {e before} the first write,
+   not after the last: the caller's reply buffer must be clean on
+   every exit — return, [Closed] on a zero-length write, EPIPE from a
+   vanished peer, an injected fault — or the next [Codec.encode_reply]
+   on that buffer would prepend the stale reply bytes.  Today every
+   failing write also kills its connection (serve_conn's handler exits
+   its loop), so a dirty buffer would be latent rather than live;
+   clearing eagerly makes the invariant structural instead of
+   accidental.  The buffer is per-connection (created in [serve_conn]
+   / per call elsewhere), never shared across domains. *)
 let write_frame fd buf =
   let b = Buffer.to_bytes buf in
+  Buffer.clear buf;
   let len = Bytes.length b in
   let off = ref 0 in
   while !off < len do
     let n = write_retry fd b !off (len - !off) in
     if n = 0 then raise Closed;
     off := !off + n
-  done;
-  Buffer.clear buf
+  done
 
 (* ------------------------------------------------------------------ *)
 (* Chaos injection points on the server's reply/read paths.  The
@@ -89,16 +99,19 @@ end
 let write_reply ~faults fd out =
   if Faults.is_none faults then write_frame fd out
   else if Faults.take faults.Faults.close_mid_frame then begin
+    (* Clear before the partial write, as in [write_frame]: the write
+       itself can raise (EPIPE races the injected hang-up) and the
+       buffer must not keep the truncated reply either way. *)
     let b = Buffer.to_bytes out in
-    ignore (write_retry fd b 0 (min 4 (Bytes.length b)));
     Buffer.clear out;
+    ignore (write_retry fd b 0 (min 4 (Bytes.length b)));
     raise Closed
   end
   else if Faults.take faults.Faults.truncate_replies then begin
     let b = Buffer.to_bytes out in
+    Buffer.clear out;
     let cut = min (Bytes.length b) (4 + ((Bytes.length b - 4) / 2)) in
     ignore (write_retry fd b 0 cut);
-    Buffer.clear out;
     raise Closed
   end
   else write_frame fd out

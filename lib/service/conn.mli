@@ -63,14 +63,20 @@ val read_frame : Unix.file_descr -> bytes option
     [Codec.Malformed] on an insane length prefix. *)
 
 val write_frame : Unix.file_descr -> Buffer.t -> unit
-(** Write the buffer (already framed by a [Codec.encode_*]) fully,
-    then clear it. *)
+(** Write the buffer (already framed by a [Codec.encode_*]) fully.
+    The buffer is cleared on {e every} exit, including a raising one
+    ([Closed] on a zero-length write, [Unix_error] from a vanished
+    peer): it is snapshotted and cleared before the first byte goes
+    out, so a reused per-connection buffer can never prepend a stale
+    reply to the next one. *)
 
 val write_reply : faults:Faults.t -> Unix.file_descr -> Buffer.t -> unit
 (** {!write_frame} under the armed fault, if any: truncate-reply and
     close-mid-frame write a deliberately incomplete frame and raise
-    {!Closed}.  With {!Faults.none} this is one physical-equality
-    check on top of {!write_frame} (benchmarked in bench/main.ml). *)
+    {!Closed} — with the same clear-on-every-exit buffer contract as
+    {!write_frame}.  With {!Faults.none} this is one
+    physical-equality check on top of {!write_frame} (benchmarked in
+    bench/main.ml). *)
 
 val serve_conn :
   ?faults:Faults.t ->

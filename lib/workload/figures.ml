@@ -74,7 +74,7 @@ let ppc_schemes =
    exploding, HP/HE/IBR/Hyaline-1S flat, capped Hyaline-S flat until
    slots run out, adaptive Hyaline-S flat throughout. *)
 let fig10a_schemes =
-  [ "Epoch"; "Hyaline"; "HP"; "HE"; "IBR"; "Hyaline-S"; "Hyaline-1S" ]
+  [ "Epoch"; "Hyaline"; "HP"; "HE"; "IBR"; "Hyaline-S"; "Hyaline-1S"; "Crystalline" ]
 
 let params_for (sc : scale) ~(structure : Registry.structure) ~threads
     ~stalled ~mix ~use_trim ~cfg : Driver.params =
@@ -200,6 +200,8 @@ let table1 ppf =
     | "Epoch" | "IBR" -> "O(n) scan"
     | "Leaky" -> "none"
     | s when String.length s >= 7 && String.sub s 0 7 = "Hyaline" -> "~O(1)"
+    | s when String.length s >= 11 && String.sub s 0 11 = "Crystalline" ->
+        "O(k) pass"
     | _ -> "?"
   in
   List.iter

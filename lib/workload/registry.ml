@@ -58,6 +58,18 @@ let schemes : scheme list =
       robust = true;
       pointer_grained = false;
     };
+    {
+      s_name = "Crystalline";
+      s_mod = (module Hyaline_core.Crystalline);
+      robust = true;
+      pointer_grained = false;
+    };
+    {
+      s_name = "Crystalline(packed)";
+      s_mod = (module Hyaline_core.Crystalline.Packed);
+      robust = true;
+      pointer_grained = false;
+    };
   ]
 
 type structure = {

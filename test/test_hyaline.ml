@@ -368,6 +368,56 @@ let test_hyaline1_retire_tombstone_retry () =
     (!linked.Hdr.next == prev);
   T.leave t ~tid:0
 
+(* Same window in Crystalline's retire pass: the reservation word's
+   era says "insert", the stale pointer half decodes to the tombstone;
+   the value CAS would ABA-succeed, so the attempt must re-read. *)
+let test_crystalline_retire_tombstone_retry () =
+  let tomb = fresh_tombstone () in
+  let prev = Hdr.create () in
+  prev.Hdr.ref_node <- prev;
+  let decodes = ref 0 in
+  let linked = ref Hdr.nil in
+  let module W : Crystalline.WORD = struct
+    type t = int ref
+    type word = int
+
+    let backend = "aba-mock"
+    let max_era = max_int
+    let make () = ref 0
+
+    (* The word carries just the era; [hptr] plays the stale decode. *)
+    let get t = !t
+
+    let exchange t ~era =
+      let old = !t in
+      t := era;
+      old
+
+    let cas_era _ ~expected:_ _ = true
+
+    let cas_insert _ ~expected:_ n =
+      Alcotest.(check bool) "tombstone never linked" false
+        (Hdr.is_tombstone n.Hdr.next);
+      linked := n;
+      true
+
+    let era w = w
+    let empty _ = true
+
+    let hptr _ =
+      incr decodes;
+      if !decodes = 1 then tomb else prev
+  end in
+  let module T = Crystalline.Make (W) in
+  let t = T.create { Config.default with nthreads = 1; batch_min = 2 } in
+  T.enter t ~tid:0;
+  T.retire t ~tid:0 (Hdr.create ());
+  T.retire t ~tid:0 (Hdr.create ());
+  Alcotest.(check int) "tombstone decode retried exactly once" 2 !decodes;
+  Alcotest.(check bool) "inserted node links the real predecessor" true
+    (!linked.Hdr.next == prev);
+  T.leave t ~tid:0
+
 (* ------------------------------------------------------------------ *)
 (* Batch *)
 
@@ -573,6 +623,10 @@ let robustness_tests =
       (test_robust_bounded (module Hyaline_s.Packed));
     Alcotest.test_case "Hyaline-1S(packed) bounded under stall" `Quick
       (test_robust_bounded (module Hyaline1s.Packed));
+    Alcotest.test_case "Crystalline bounded under stall" `Quick
+      (test_robust_bounded (module Crystalline));
+    Alcotest.test_case "Crystalline(packed) bounded under stall" `Quick
+      (test_robust_bounded (module Crystalline.Packed));
   ]
 
 (* ------------------------------------------------------------------ *)
@@ -800,10 +854,14 @@ let suites =
           (test_packed_bracket_zero_alloc (module Hyaline.Packed));
         Alcotest.test_case "Hyaline-1(packed) bracket allocation-free" `Quick
           (test_packed_bracket_zero_alloc (module Hyaline1.Packed));
+        Alcotest.test_case "Crystalline(packed) bracket allocation-free" `Quick
+          (test_packed_bracket_zero_alloc (module Crystalline.Packed));
         Alcotest.test_case "insert_batch rejects tombstone decode" `Quick
           test_insert_batch_tombstone_retry;
         Alcotest.test_case "hyaline-1 retire rejects tombstone decode" `Quick
           test_hyaline1_retire_tombstone_retry;
+        Alcotest.test_case "crystalline retire rejects tombstone decode" `Quick
+          test_crystalline_retire_tombstone_retry;
       ] );
     ( "hyaline.batch",
       [
@@ -833,6 +891,9 @@ let suites =
       ~expect:hyaline_expect;
     scheme_suite "hyaline-1s.packed-backend" (module Hyaline1s.Packed)
       ~expect:hyaline_expect;
+    scheme_suite "crystalline" (module Crystalline) ~expect:hyaline_expect;
+    scheme_suite "crystalline.packed-backend" (module Crystalline.Packed)
+      ~expect:hyaline_expect;
     ("hyaline.robustness", robustness_tests);
     ( "hyaline.adaptive",
       [
@@ -858,6 +919,8 @@ let suites =
         qcheck (prop_script (module Hyaline_s.Packed));
         qcheck (prop_script (module Hyaline1.Packed));
         qcheck (prop_script (module Hyaline1s.Packed));
+        qcheck (prop_script (module Crystalline));
+        qcheck (prop_script (module Crystalline.Packed));
       ] );
   ]
 

@@ -182,6 +182,9 @@ module Bonsai_hyaline = Dstruct.Bonsai.Make (Hyaline_core.Hyaline)
 module Bonsai_ibr = Dstruct.Bonsai.Make (Smr.Ibr)
 module Nm_hyaline1s = Dstruct.Nm_tree.Make (Hyaline_core.Hyaline1s)
 module Nm_he = Dstruct.Nm_tree.Make (Smr.He)
+module Hashmap_crystalline = Dstruct.Hash_map.Make (Hyaline_core.Crystalline)
+module List_crystalline_packed =
+  Dstruct.Harris_list.Make (Hyaline_core.Crystalline.Packed)
 
 let suites =
   [
@@ -224,5 +227,10 @@ let suites =
           (live_check "nmtree/Hyaline-1S" (module Nm_hyaline1s));
         Alcotest.test_case "nmtree/HE" `Slow
           (live_check "nmtree/HE" (module Nm_he));
+        Alcotest.test_case "hashmap/Crystalline" `Slow
+          (live_check "hashmap/Crystalline" (module Hashmap_crystalline));
+        Alcotest.test_case "list/Crystalline(packed)" `Slow
+          (live_check "list/Crystalline(packed)"
+             (module List_crystalline_packed));
       ] );
   ]

@@ -606,6 +606,64 @@ let test_follower_sync_and_promote () =
   Alcotest.(check (list (pair int int)))
     "promoted follower = oracle replay of acked history" expected promoted
 
+(* Every exit path of the kvd chase loop must RETURN so the caller's
+   cleanup runs.  The regression: a [`Err] pull used to become
+   [failwith], matching neither handler in kvd and skipping the
+   report/close/stop sequence entirely. *)
+let test_follower_drive_exit_paths () =
+  let store, _ = Store.Mem.create () in
+  let ops = ref [] in
+  let p, _ =
+    Primary.create ~structure:hashmap ~scheme:hyaline (mk_cfg ()) ~store ()
+  in
+  drive_ops p.Primary.svc ~seed:41 ~rounds:100 ~range:64 ops;
+  let mode = ref `Ok in
+  let pull ~shard ~from ~max =
+    match !mode with
+    | `Ok -> (
+        match Primary.handle p (Codec.Rep_pull { shard; from; max }) with
+        | Some r -> r
+        | None -> Codec.Error "not a replication request")
+    | `Err -> Codec.Error "injected pull failure"
+    | `Gone -> raise Service.Conn.Closed
+  in
+  let f, _ =
+    Follower.create ~structure:hashmap ~scheme:hyaline (mk_cfg ~clients:2 ())
+      ~pull ~store ()
+  in
+  (* Happy path: catch up, then the stop flag ends the loop. *)
+  let progressed = ref 0 in
+  let budget = ref 50 in
+  let running () =
+    decr budget;
+    !budget > 0
+  in
+  (match
+     Follower.drive f ~running ~poll_interval:0.0005
+       ~on_progress:(fun () -> incr progressed)
+       ()
+   with
+  | `Stopped -> ()
+  | _ -> Alcotest.fail "flagged stop must return `Stopped");
+  Alcotest.(check bool) "drive made progress before stopping" true
+    (!progressed > 0);
+  Alcotest.(check (list (pair int int)))
+    "driven follower = primary" (primary_state p) (follower_state f);
+  (* A pull-level error is a return value, not an escaping exception. *)
+  mode := `Err;
+  (match Follower.drive f ~running:(fun () -> true) () with
+  | `Pull_error m ->
+      Alcotest.(check string) "error text surfaced" "injected pull failure" m
+  | _ -> Alcotest.fail "an `Err pull must return `Pull_error");
+  (* The primary hanging up is a return value too. *)
+  mode := `Gone;
+  (match Follower.drive f ~running:(fun () -> true) () with
+  | `Primary_gone -> ()
+  | _ -> Alcotest.fail "Closed must return `Primary_gone");
+  (* The cleanup the old code skipped is reachable after every exit. *)
+  Follower.stop f;
+  Primary.stop p
+
 let test_rep_opcodes_over_socket () =
   let path =
     Filename.concat
@@ -722,6 +780,8 @@ let suites =
           test_torn_commit_acks_nothing;
         Alcotest.test_case "follower sync + promote" `Quick
           test_follower_sync_and_promote;
+        Alcotest.test_case "follower drive exit paths" `Quick
+          test_follower_drive_exit_paths;
         Alcotest.test_case "rep opcodes over a socket" `Quick
           test_rep_opcodes_over_socket;
         Alcotest.test_case "socket claim: stale vs live" `Quick

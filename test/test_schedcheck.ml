@@ -334,6 +334,45 @@ let test_real_s_packed_sampled () =
   in
   Alcotest.(check int) "ran" 2_000 st.Sched.schedules
 
+(* Crystalline over scheduler-backed reservation words: the same
+   quiescent-leak/lifecycle oracle, exercising the era-raise CAS vs
+   insert race and the exchange-detach vs insert race — on both word
+   representations (the packed one adds the value-CAS/tombstone
+   surface). *)
+module Real_crystalline = Hyaline_core.Crystalline.Make (Crystalline_sched.Boxed)
+module Real_crystalline_packed =
+  Hyaline_core.Crystalline.Make (Crystalline_sched.Packed)
+
+let test_real_crystalline_systematic () =
+  let budget = 40_000 in
+  let st =
+    Sched.explore ~max_schedules:budget
+      ~scenario:(real_scenario (module Real_crystalline) ~fibers:2 ~retires:3)
+      ()
+  in
+  Alcotest.(check bool)
+    (Printf.sprintf "explored %d schedules violation-free (max depth %d)"
+       st.Sched.schedules st.Sched.max_depth)
+    true
+    (st.Sched.schedules > 0)
+
+let test_real_crystalline_sampled_3fibers () =
+  let st =
+    Sched.sample ~seed:17 ~runs:2_500
+      ~scenario:(real_scenario (module Real_crystalline) ~fibers:3 ~retires:4)
+      ()
+  in
+  Alcotest.(check int) "ran" 2_500 st.Sched.schedules
+
+let test_real_crystalline_packed_sampled () =
+  let st =
+    Sched.sample ~seed:19 ~runs:2_000
+      ~scenario:
+        (real_scenario (module Real_crystalline_packed) ~fibers:3 ~retires:4)
+      ()
+  in
+  Alcotest.(check int) "ran" 2_000 st.Sched.schedules
+
 (* Interleave brackets with trim under the scheduler. *)
 let real_trim_scenario () =
   let cfg = real_cfg 2 in
@@ -385,6 +424,12 @@ let real_suites =
           `Slow test_real_packed_sampled_3fibers;
         Alcotest.test_case "Hyaline-S(packed) 3 fibers (2k random schedules)"
           `Slow test_real_s_packed_sampled;
+        Alcotest.test_case "Crystalline 2 fibers (systematic)" `Slow
+          test_real_crystalline_systematic;
+        Alcotest.test_case "Crystalline 3 fibers (2.5k random schedules)"
+          `Slow test_real_crystalline_sampled_3fibers;
+        Alcotest.test_case "Crystalline(packed) 3 fibers (2k random schedules)"
+          `Slow test_real_crystalline_packed_sampled;
       ] );
   ]
 

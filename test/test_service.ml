@@ -263,6 +263,46 @@ let test_abrupt_disconnect_releases_tids () =
       in
       attempt ())
 
+(* The per-connection reply buffer must be empty after write_frame /
+   write_reply on EVERY exit — clean return, a peer vanishing
+   mid-write, an injected fault — or the next encode on the reused
+   buffer would prepend the stale bytes of the previous reply. *)
+let test_write_frame_clears_buffer () =
+  Service.Conn.ignore_sigpipe ();
+  let buf = Buffer.create 64 in
+  (* Clean write. *)
+  let a, b = Unix.socketpair Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+  Buffer.add_string buf "\005\000\000\000hello";
+  Service.Conn.write_frame a buf;
+  Alcotest.(check int) "cleared after a clean write" 0 (Buffer.length buf);
+  let tmp = Bytes.create 64 in
+  Alcotest.(check int) "peer got the frame" 9 (Unix.read b tmp 0 64);
+  (* Peer gone: the write raises, the buffer must still be clean. *)
+  Unix.close b;
+  Buffer.add_string buf (String.make (1 lsl 20) 'x');
+  (match Service.Conn.write_frame a buf with
+  | () -> Alcotest.fail "write to a closed peer should raise"
+  | exception (Service.Conn.Closed | Unix.Unix_error _) -> ());
+  Alcotest.(check int) "cleared when the write raises" 0 (Buffer.length buf);
+  Unix.close a;
+  (* Injected faults: both cut the frame and raise Closed; neither may
+     leave the truncated reply behind in the buffer. *)
+  List.iter
+    (fun arm ->
+      let a, b = Unix.socketpair Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+      let faults = Service.Conn.Faults.create () in
+      arm faults 1;
+      Buffer.add_string buf "\010\000\000\000truncated!";
+      (match Service.Conn.write_reply ~faults a buf with
+      | () -> Alcotest.fail "armed fault should raise Closed"
+      | exception Service.Conn.Closed -> ());
+      Alcotest.(check int) "cleared across the fault path" 0
+        (Buffer.length buf);
+      Unix.close a;
+      Unix.close b)
+    [ Service.Conn.Faults.arm_truncate_reply;
+      Service.Conn.Faults.arm_close_mid_frame ]
+
 (* ------------------------------------------------------------------ *)
 (* Loadgen determinism and the Zipf table cache *)
 
@@ -349,6 +389,8 @@ let suites =
         Alcotest.test_case "unix socket round-trip" `Quick test_unix_socket;
         Alcotest.test_case "abrupt disconnects release client slots" `Quick
           test_abrupt_disconnect_releases_tids;
+        Alcotest.test_case "reply buffer cleared on every write exit" `Quick
+          test_write_frame_clears_buffer;
       ] );
     ( "service.loadgen",
       [

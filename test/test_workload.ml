@@ -31,7 +31,7 @@ let test_registry_lookup () =
   | _ -> Alcotest.fail "unknown structure accepted"
 
 let test_registry_counts () =
-  Alcotest.(check int) "15 schemes" 15 (List.length Registry.schemes);
+  Alcotest.(check int) "17 schemes" 17 (List.length Registry.schemes);
   Alcotest.(check int) "4 structures" 4 (List.length Registry.structures)
 
 let test_registry_names_unique () =
@@ -215,8 +215,8 @@ let test_figures_robustness_emits () =
   Figures.robustness ~sc:tiny_scale ~active:1 ~emit:(fun r ->
       incr rows;
       if r.Driver.scheme = "Hyaline-S(adapt)" then adaptive_seen := true);
-  (* 7 named schemes + the adaptive extra, per stalled count (0 and 1). *)
-  Alcotest.(check int) "rows" 16 !rows;
+  (* 8 named schemes + the adaptive extra, per stalled count (0 and 1). *)
+  Alcotest.(check int) "rows" 18 !rows;
   Alcotest.(check bool) "adaptive variant present" true !adaptive_seen
 
 let test_figures_trimming_emits () =
