@@ -375,17 +375,22 @@ let serve_one ~(scheme : Registry.scheme) ~structure_name ~shards ~clients
   svc.Service.Shard.stop ();
   row
 
+let serve_mix_of mixname =
+  match String.lowercase_ascii mixname with
+  | "read" | "read-mostly" -> Service.Loadgen.read_mostly
+  | "write" | "write-heavy" -> Service.Loadgen.write_heavy
+  | "get" | "read-only" ->
+      (* Pure GETs: on the shm transport every one is a bracketed
+         in-process read — the zero-copy hot path in isolation. *)
+      { Service.Loadgen.get_pct = 100; put_pct = 0; del_pct = 0; cas_pct = 0 }
+  | other ->
+      Format.eprintf "unknown --mix %S (read, write, or get)@." other;
+      exit 2
+
 let run_serve ~sc ~ds ~schemes ~shards ~stalled ~rate ~mixname ~churn
     ~mailbox_cap ~plot =
   let structure_name = match ds with "all" -> "hashmap" | d -> d in
-  let mix =
-    match String.lowercase_ascii mixname with
-    | "read" | "read-mostly" -> Service.Loadgen.read_mostly
-    | "write" | "write-heavy" -> Service.Loadgen.write_heavy
-    | other ->
-        Format.eprintf "unknown --mix %S (read or write)@." other;
-        exit 2
-  in
+  let mix = serve_mix_of mixname in
   let mode =
     match (rate, stalled) with
     | Some r, _ -> Service.Loadgen.Open r
@@ -474,6 +479,321 @@ let run_serve ~sc ~ds ~schemes ~shards ~stalled ~rate ~mixname ~churn
          ~xlabel:"clients"
          (series (fun r -> float_of_int (max 1 r.sv_p99))))
   end
+
+(* ------------------------------------------------------------------ *)
+(* serve --transport: the same service behind the real wire.  The
+   inproc rows above measure the service core (submit→reply inside the
+   process); these measure what a client observes — full RTT through
+   the unix socket's syscall-per-frame path, or through the shm rings,
+   which cross no syscall per operation.  Same codec, same opcodes,
+   same seeded request streams. *)
+
+type transport_row = {
+  tp_transport : string;
+  tp_scheme : string;
+  tp_shards : int;
+  tp_clients : int;
+  tp_ops : int;
+  tp_wall : float;
+  tp_p50 : int;
+  tp_p99 : int;
+  tp_p999 : int;
+}
+
+let transport_csv_header =
+  "figure,transport,scheme,structure,shards,clients,duration_s,ops,ops_per_s,rtt_p50_ns,rtt_p99_ns,rtt_p999_ns\n"
+
+let transport_csv_row oc title structure_name (r : transport_row) =
+  Printf.fprintf oc "%s,%s,%s,%s,%d,%d,%.4f,%d,%.1f,%d,%d,%d\n"
+    (String.map (function ',' -> ';' | c -> c) title)
+    r.tp_transport r.tp_scheme structure_name r.tp_shards r.tp_clients
+    r.tp_wall r.tp_ops
+    (float_of_int r.tp_ops /. r.tp_wall)
+    r.tp_p50 r.tp_p99 r.tp_p999
+
+let transport_pp_header () =
+  Format.printf "%-6s %-18s %3s %3s %9s %8s %8s %8s %8s@." "wire" "scheme"
+    "shd" "cli" "ops" "Kops/s" "p50" "p99" "p99.9"
+
+let transport_pp_row (r : transport_row) =
+  Format.printf "%-6s %-18s %3d %3d %9d %8.1f %8s %8s %8s@." r.tp_transport
+    r.tp_scheme r.tp_shards r.tp_clients r.tp_ops
+    (float_of_int r.tp_ops /. r.tp_wall /. 1e3)
+    (Plot.fmt_ns r.tp_p50) (Plot.fmt_ns r.tp_p99) (Plot.fmt_ns r.tp_p999)
+
+let transport_path kind =
+  Filename.concat
+    (Filename.get_temp_dir_name ())
+    (Printf.sprintf "kv-serve-%d.%s" (Unix.getpid ()) kind)
+
+(* One client endpoint as a (call, close) pair, erasing the backend. *)
+let transport_connect kind ~path =
+  match kind with
+  | "unix" ->
+      let fd = Service.Conn.connect_unix ~path in
+      ((fun req -> Service.Conn.call_fd fd req), fun () -> Unix.close fd)
+  | "shm" ->
+      let c = Service.Shm_conn.connect ~path in
+      ( (fun req -> Service.Shm_conn.call c req),
+        fun () -> Service.Shm_conn.close c )
+  | k -> invalid_arg ("unknown transport " ^ k)
+
+let transport_serve kind svc ~path =
+  match kind with
+  | "unix" ->
+      let s = Service.Conn.serve_unix svc ~path () in
+      fun () -> Service.Conn.shutdown s
+  | "shm" ->
+      let s = Service.Shm_conn.serve svc ~path () in
+      fun () -> Service.Shm_conn.shutdown s
+  | k -> invalid_arg ("unknown transport " ^ k)
+
+let serve_transport_one ~kind ~(scheme : Registry.scheme) ~structure_name
+    ~shards ~clients ~duration ~dist ~mix ~mailbox_cap ~prefill ~range ~seed :
+    transport_row =
+  let svc =
+    Service.Shard.create
+      ~structure:(Registry.find_structure structure_name)
+      ~scheme
+      {
+        Service.Shard.default_config with
+        Service.Shard.shards;
+        clients;
+        mailbox_capacity = mailbox_cap;
+        seed;
+        (* Both transports get the same service shape; only shm's
+           multiplexer can actually use the zero-copy slot for inline
+           GETs — that asymmetry is the thing being measured. *)
+        zc_readers = 1;
+      }
+  in
+  serve_prefill svc ~n:prefill ~range ~seed:(seed + 17);
+  let path = transport_path kind in
+  let stop_server = transport_serve kind svc ~path in
+  let t0 = Unix.gettimeofday () in
+  let deadline_ns =
+    Obs.Clock.now_ns () + int_of_float (duration *. 1e9)
+  in
+  let worker tid =
+    let rng =
+      Prims.Rng.create ~seed:(Service.Loadgen.client_seed ~seed ~tid)
+    in
+    let call, close_conn = transport_connect kind ~path in
+    let h = Obs.Hist.create () in
+    let ops = ref 0 in
+    (* One clock read per op bounds both the loop and the RTT sample,
+       so the measurement itself adds no extra syscalls to the
+       syscall-free path under test. *)
+    let t = ref (Obs.Clock.now_ns ()) in
+    while !t < deadline_ns do
+      ignore (call (Service.Loadgen.gen_request rng ~dist ~mix));
+      let now = Obs.Clock.now_ns () in
+      Obs.Hist.add h (now - !t);
+      t := now;
+      incr ops
+    done;
+    close_conn ();
+    (h, !ops)
+  in
+  let results =
+    if clients = 1 then [ worker 0 ]
+    else
+      List.init clients (fun tid -> Domain.spawn (fun () -> worker tid))
+      |> List.map Domain.join
+  in
+  let wall = Unix.gettimeofday () -. t0 in
+  stop_server ();
+  svc.Service.Shard.stop ();
+  let hist = Obs.Hist.create () in
+  let ops =
+    List.fold_left
+      (fun acc (h, n) ->
+        Obs.Hist.merge ~into:hist h;
+        acc + n)
+      0 results
+  in
+  {
+    tp_transport = kind;
+    tp_scheme = svc.Service.Shard.scheme_name;
+    tp_shards = shards;
+    tp_clients = clients;
+    tp_ops = ops;
+    tp_wall = wall;
+    tp_p50 = Obs.Hist.percentile hist 0.50;
+    tp_p99 = Obs.Hist.percentile hist 0.99;
+    tp_p999 = Obs.Hist.percentile hist 0.999;
+  }
+
+let run_serve_transport ~sc ~ds ~schemes ~shards ~transport ~mixname
+    ~mailbox_cap =
+  let structure_name = match ds with "all" -> "hashmap" | d -> d in
+  let mix = serve_mix_of mixname in
+  let range = sc.Figures.key_range in
+  let dist = Keydist.uniform ~range in
+  let prefill = min 2000 sc.Figures.prefill in
+  let kinds =
+    match transport with "all" -> [ "unix"; "shm" ] | k -> [ k ]
+  in
+  let title =
+    Printf.sprintf "serve --transport %s (%s, %s, %d shards, mix=%s)"
+      transport structure_name sc.Figures.label shards mixname
+  in
+  Format.printf "## %s@." title;
+  transport_pp_header ();
+  List.iter
+    (fun scheme_name ->
+      let scheme = Registry.find_scheme scheme_name in
+      List.iter
+        (fun clients ->
+          List.iter
+            (fun kind ->
+              let row =
+                serve_transport_one ~kind ~scheme ~structure_name ~shards
+                  ~clients ~duration:sc.Figures.duration ~dist ~mix
+                  ~mailbox_cap ~prefill ~range ~seed:4242
+              in
+              transport_pp_row row;
+              match !csv_channel with
+              | Some oc ->
+                  transport_csv_row oc title structure_name row;
+                  flush oc
+              | None -> ())
+            kinds)
+        sc.Figures.threads)
+    schemes;
+  Format.printf "@."
+
+(* serve --smoke: the CI gate for the shm transport.
+   1. Roundtrip identity — the same seeded request stream through a
+      unix-socket client and an shm client against identically-built
+      services must produce byte-identical reply sequences (one codec,
+      two wires).
+   2. Stalled zero-copy reader — a client parks inside its
+      enter/leave bracket while writers churn; the robust scheme keeps
+      the unreclaimed backlog bounded, EBR pins everything retired
+      since the stall.  The bracket is the isolation boundary the shm
+      design leans on, so its robustness is a gate, not a figure. *)
+
+let smoke_reply_trace kind ~path stream =
+  let call, close_conn = transport_connect kind ~path in
+  let replies =
+    List.map (fun req -> Service.Codec.reply_to_string (call req)) stream
+  in
+  close_conn ();
+  replies
+
+let smoke_stalled_backlog ~scheme_name =
+  let svc =
+    Service.Shard.create
+      ~structure:(Registry.find_structure "hashmap")
+      ~scheme:(Registry.find_scheme scheme_name)
+      {
+        Service.Shard.default_config with
+        Service.Shard.shards = 1;
+        clients = 2;
+        zc_readers = 1;
+      }
+  in
+  Fun.protect ~finally:(fun () -> svc.Service.Shard.stop ())
+  @@ fun () ->
+  match Service.Conn.Zerocopy.connect svc ~tid:0 with
+  | None -> failwith "zc slot unavailable"
+  | Some zc ->
+      Fun.protect ~finally:(fun () -> Service.Conn.Zerocopy.close zc)
+      @@ fun () ->
+      Service.Conn.Zerocopy.enter zc;
+      let lc = Service.Conn.Loopback.connect svc ~tid:1 in
+      for i = 0 to 4999 do
+        ignore
+          (Service.Conn.Loopback.call lc
+             (Service.Codec.Put { key = i land 31; value = i }));
+        ignore (Service.Conn.Loopback.call lc (Service.Codec.Del (i land 31)))
+      done;
+      let backlog =
+        List.fold_left
+          (fun acc st -> acc + Smr.Stats.unreclaimed st)
+          0
+          (svc.Service.Shard.data_stats ())
+      in
+      Service.Conn.Zerocopy.leave zc;
+      backlog
+
+let run_serve_smoke () =
+  let problems = ref [] in
+  let fail fmt = Printf.ksprintf (fun m -> problems := m :: !problems) fmt in
+  (* 1: roundtrip identity, unix vs shm, same seed. *)
+  let mk_svc () =
+    Service.Shard.create
+      ~structure:(Registry.find_structure "hashmap")
+      ~scheme:(Registry.find_scheme "hyaline")
+      {
+        Service.Shard.default_config with
+        Service.Shard.shards = 2;
+        clients = 2;
+        seed = 7;
+        (* The shm server answers GETs inline through this slot; the
+           identity gate then proves the bracketed-read path and the
+           routed path give the same answers. *)
+        zc_readers = 1;
+      }
+  in
+  let stream =
+    Service.Loadgen.request_stream ~seed:4242 ~tid:0
+      ~dist:(Keydist.uniform ~range:256)
+      ~mix:Service.Loadgen.write_heavy ~n:400
+  in
+  let trace kind =
+    let svc = mk_svc () in
+    let path = transport_path ("smoke." ^ kind) in
+    let stop_server = transport_serve kind svc ~path in
+    let r = smoke_reply_trace kind ~path stream in
+    stop_server ();
+    svc.Service.Shard.stop ();
+    r
+  in
+  let unix_replies = trace "unix" in
+  let shm_replies = trace "shm" in
+  if unix_replies <> shm_replies then begin
+    let diverge =
+      let rec go i us ss =
+        match (us, ss) with
+        | u :: _, s :: _ when u <> s -> Printf.sprintf "op %d: %s vs %s" i u s
+        | _ :: us, _ :: ss -> go (i + 1) us ss
+        | _ -> "length mismatch"
+      in
+      go 0 unix_replies shm_replies
+    in
+    fail "transport identity: unix and shm reply traces diverge (%s)" diverge
+  end
+  else
+    Format.printf
+      "serve smoke: %d-op seeded stream — unix and shm reply traces \
+       identical@."
+      (List.length stream);
+  (* 2: stalled zero-copy reader. *)
+  let robust = smoke_stalled_backlog ~scheme_name:"hyalines" in
+  let ebr = smoke_stalled_backlog ~scheme_name:"ebr" in
+  Format.printf
+    "serve smoke: stalled zc reader over 10000 churn ops — hyalines backlog \
+     %d (%s), epoch backlog %d@."
+    robust
+    (if robust * 4 < ebr then "bounded" else "EXCEEDS")
+    ebr;
+  if robust * 4 >= ebr then
+    fail
+      "stalled zc reader: hyalines backlog %d not clearly bounded vs epoch \
+       %d"
+      robust ebr;
+  if !problems <> [] then begin
+    List.iter
+      (fun m -> Format.eprintf "serve smoke FAILED: %s@." m)
+      (List.rev !problems);
+    exit 1
+  end
+  else
+    Format.printf
+      "serve smoke ok: one codec over two wires answers identically, and a \
+       stalled zero-copy bracket pins only what the robust scheme bounds@."
 
 (* ------------------------------------------------------------------ *)
 (* chaos: the lib/chaos fault-injection matrix.  Everything printed to
@@ -1162,7 +1482,8 @@ let run_replicate ~sc ~ds ~schemes ~shards ~smoke ~plot =
 
 let rec dispatch figure ds paper threads duration active plot csv metrics_csv
     prom repeat dist schemes_arg head_backend shards_arg stalled_shards rate
-    mixname churn mailbox_cap chaos_steps chaos_seed faults_arg bound smoke =
+    mixname churn mailbox_cap chaos_steps chaos_seed faults_arg bound smoke
+    transport =
   (* --head-backend: rebase every Hyaline entry of a sweep list onto
      the requested Head backend (dwcas|llsc|packed); baselines and
      schemes without that variant pass through unchanged. *)
@@ -1175,6 +1496,7 @@ let rec dispatch figure ds paper threads duration active plot csv metrics_csv
       let oc = open_out path in
       output_string oc
         (match String.lowercase_ascii figure with
+        | "serve" when transport <> "inproc" -> transport_csv_header
         | "serve" -> serve_csv_header
         | "chaos" -> chaos_csv_header
         | "replicate" -> rep_csv_header
@@ -1198,11 +1520,19 @@ let rec dispatch figure ds paper threads duration active plot csv metrics_csv
       let schemes =
         rebase
           (match schemes_arg with
-          | [] -> [ "ebr"; "hyaline"; "hyaline1s"; "crystalline" ]
+          | [] ->
+              if transport = "inproc" then
+                [ "ebr"; "hyaline"; "hyaline1s"; "crystalline" ]
+              else [ "hyaline" ]
           | l -> l)
       in
-      run_serve ~sc ~ds ~schemes ~shards:shards_arg ~stalled:stalled_shards
-        ~rate ~mixname ~churn ~mailbox_cap ~plot
+      if smoke then run_serve_smoke ()
+      else if transport = "inproc" then
+        run_serve ~sc ~ds ~schemes ~shards:shards_arg ~stalled:stalled_shards
+          ~rate ~mixname ~churn ~mailbox_cap ~plot
+      else
+        run_serve_transport ~sc ~ds ~schemes ~shards:shards_arg ~transport
+          ~mixname ~mailbox_cap
   | "chaos" ->
       let schemes =
         rebase
@@ -1282,7 +1612,7 @@ let rec dispatch figure ds paper threads duration active plot csv metrics_csv
           dispatch f "hashmap" paper threads duration active plot csv
             metrics_csv prom repeat dist schemes_arg head_backend shards_arg
             stalled_shards rate mixname churn mailbox_cap chaos_steps
-            chaos_seed faults_arg bound smoke)
+            chaos_seed faults_arg bound smoke transport)
         [
           "ablate-batch"; "ablate-slots"; "ablate-freq"; "ablate-spurious";
           "ablate-skew";
@@ -1525,7 +1855,21 @@ let smoke =
           "(chaos) CI gate: run the fixed crash+oom+net plan twice against \
            hyaline-s and ebr; exit 1 unless replays are identical, \
            hyaline-s stays within --bound with a passing oracle, and ebr \
-           exceeds it.")
+           exceeds it.  (serve) CI gate: a seeded request stream must \
+           answer identically over the unix and shm transports, and a \
+           stalled zero-copy bracket must stay bounded under the robust \
+           scheme while epoch balloons.")
+
+let transport_arg =
+  Arg.(
+    value
+    & opt string "inproc"
+    & info [ "transport" ] ~docv:"KIND"
+        ~doc:
+          "(serve) Where the requests travel: $(b,inproc) (the mailbox \
+           sweep, no wire), $(b,unix) (socket RTT), $(b,shm) (mmap'd ring \
+           RTT, no syscall per op), or $(b,all) (unix and shm side by \
+           side).")
 
 let cmd =
   let doc =
@@ -1539,6 +1883,6 @@ let cmd =
       $ plot $ csv $ metrics_csv $ prom $ repeat $ dist $ schemes_arg
       $ head_backend_arg $ shards_arg $ stalled_shards $ rate $ mixname
       $ churn $ mailbox_cap $ chaos_steps $ chaos_seed $ faults_arg $ bound
-      $ smoke)
+      $ smoke $ transport_arg)
 
 let () = exit (Cmd.eval cmd)

@@ -67,8 +67,8 @@ let selftest ~scheme ~structure ~shards ~clients ~duration =
         res.Service.Loadgen.throughput
         (Service.Slo.report svc.Service.Shard.slo))
 
-let daemon ~socket ~scheme ~structure ~shards ~clients ~mailbox_cap ~batch
-    ~wal =
+let daemon ~socket ~transport ~scheme ~structure ~shards ~clients
+    ~mailbox_cap ~batch ~wal =
   (* A client vanishing mid-reply must cost its connection, not the
      daemon: EPIPE on that fd instead of process death. *)
   Service.Conn.ignore_sigpipe ();
@@ -79,6 +79,10 @@ let daemon ~socket ~scheme ~structure ~shards ~clients ~mailbox_cap ~batch
       clients;
       mailbox_capacity = mailbox_cap;
       batch;
+      (* The shm multiplexer answers GETs inline through a bracketed
+         zero-copy read when it has a slot; the socket path has no
+         single serving domain to lease one to. *)
+      zc_readers = (match transport with `Shm -> 1 | `Unix -> 0);
     }
   in
   let structure = Workload.Registry.find_structure structure in
@@ -106,11 +110,16 @@ let daemon ~socket ~scheme ~structure ~shards ~clients ~mailbox_cap ~batch
         (p.Replica.Primary.svc, Some p)
   in
   let ext = Option.map (fun p req -> Replica.Primary.handle p req) primary in
-  let server = Service.Conn.serve_unix svc ~path:socket ?ext () in
+  let server =
+    match transport with
+    | `Unix -> `Unix_srv (Service.Conn.serve_unix svc ~path:socket ?ext ())
+    | `Shm -> `Shm_srv (Service.Shm_conn.serve svc ~path:socket ?ext ())
+  in
   Printf.printf
-    "kvd: serving %s/%s with %d shards, %d client slots on %s%s\n%!"
+    "kvd: serving %s/%s with %d shards, %d client slots on %s (%s)%s\n%!"
     svc.Service.Shard.scheme_name svc.Service.Shard.structure_name shards
     clients socket
+    (match transport with `Unix -> "unix socket" | `Shm -> "shm rings")
     (match wal with
     | Some dir -> Printf.sprintf " (wal: %s, group commit)" dir
     | None -> "");
@@ -145,7 +154,13 @@ let daemon ~socket ~scheme ~structure ~shards ~clients ~mailbox_cap ~batch
     (svc.Service.Shard.processed ())
     (svc.Service.Shard.sheds ())
     (Service.Slo.report svc.Service.Shard.slo);
-  Service.Conn.shutdown server;
+  (* Either transport unlinks everything it put on disk: the socket
+     path, or the listen FIFO plus every live connection's segment file
+     and doorbell FIFOs — each segment stamped closed first so blocked
+     clients observe the close instead of hanging on a dead ring. *)
+  (match server with
+  | `Unix_srv s -> Service.Conn.shutdown s
+  | `Shm_srv s -> Service.Shm_conn.shutdown s);
   (match primary with
   | Some p ->
       for shard = 0 to shards - 1 do
@@ -229,8 +244,8 @@ let follow ~target ~scheme ~structure ~clients =
   (try Unix.close fd with Unix.Unix_error _ -> ());
   Replica.Follower.stop f
 
-let main socket scheme structure shards clients mailbox_cap batch selftest_flag
-    duration wal follow_target =
+let main socket transport scheme structure shards clients mailbox_cap batch
+    selftest_flag duration wal follow_target =
   if selftest_flag then
     match
       selftest ~scheme ~structure ~shards ~clients ~duration
@@ -248,8 +263,8 @@ let main socket scheme structure shards clients mailbox_cap batch selftest_flag
             Printf.eprintf "kvd follower FAILED: %s\n" (Printexc.to_string e);
             1)
     | None -> (
-        match daemon ~socket ~scheme ~structure ~shards ~clients ~mailbox_cap
-                ~batch ~wal
+        match daemon ~socket ~transport ~scheme ~structure ~shards ~clients
+                ~mailbox_cap ~batch ~wal
         with
         | () -> 0
         | exception Service.Conn.Addr_in_use path ->
@@ -270,7 +285,21 @@ open Cmdliner
 let socket =
   Arg.(
     value & opt string "/tmp/kvd.sock"
-    & info [ "socket" ] ~docv:"PATH" ~doc:"Unix socket path to listen on.")
+    & info [ "socket" ] ~docv:"PATH"
+        ~doc:
+          "Listen path: a unix socket, or with $(b,--transport shm) the \
+           rendezvous FIFO clients announce their segments to.")
+
+let transport =
+  Arg.(
+    value
+    & opt (enum [ ("unix", `Unix); ("shm", `Shm) ]) `Unix
+    & info [ "transport" ] ~docv:"KIND"
+        ~doc:
+          "Wire transport: $(b,unix) (socket, one handler domain per \
+           connection) or $(b,shm) (per-connection mmap'd ring pairs \
+           served by one multiplexer domain; no syscall per op under \
+           load).  Same frames, same opcodes.")
 
 let scheme =
   Arg.(
@@ -348,7 +377,7 @@ let cmd =
   let doc = "Sharded lock-free KV daemon (lib/service over lib/smr)." in
   Cmd.v (Cmd.info "kvd" ~doc)
     Term.(
-      const main $ socket $ scheme $ structure $ shards $ clients
+      const main $ socket $ transport $ scheme $ structure $ shards $ clients
       $ mailbox_cap $ batch $ selftest_flag $ duration $ wal $ follow_target)
 
 let () = exit (Cmd.eval' cmd)

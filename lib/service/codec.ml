@@ -430,22 +430,37 @@ let read_full read buf off len =
   in
   go 0
 
-let read_frame_from ?(max_frame = max_frame) read =
-  let hdr = Bytes.create 4 in
-  match read_full read hdr 0 4 with
+(* A persistent frame decoder over one source.  The length-prefix
+   scan lives here once, shared by every transport: the socket path
+   (a [Unix.read]-shaped source), the shared-memory ring path (whose
+   source may deliver a frame in two chunks when it wraps the ring
+   boundary), and WAL/snapshot replay.  Keeping the 4-byte header
+   scratch in the reader — rather than allocating it per frame, as
+   the original contiguous-buffer reader did — makes the per-frame
+   cost one payload allocation, with no staging copies on any path. *)
+type reader = { src : source; limit : int; hdr : bytes }
+
+let frame_reader ?(max_frame = max_frame) src =
+  { src; limit = max_frame; hdr = Bytes.create 4 }
+
+let next_frame r =
+  match read_full r.src r.hdr 0 4 with
   | 0 -> Eof
   | n when n < 4 -> Torn { got = n }
   | _ ->
-      let len = Int32.to_int (Bytes.get_int32_be hdr 0) in
-      if len < 0 || len > max_frame then
+      let len = Int32.to_int (Bytes.get_int32_be r.hdr 0) in
+      if len < 0 || len > r.limit then
         malformed "frame length %d out of bounds" len;
       let payload = Bytes.create len in
-      let got = read_full read payload 0 len in
+      let got = read_full r.src payload 0 len in
       if got < len then Torn { got = 4 + got } else Frame payload
 
+let read_frame_from ?max_frame read = next_frame (frame_reader ?max_frame read)
+
 let fold_frames ?max_frame read f acc =
+  let r = frame_reader ?max_frame read in
   let rec go acc =
-    match read_frame_from ?max_frame read with
+    match next_frame r with
     | Eof -> (acc, None)
     | Torn { got } -> (acc, Some got)
     | Frame p -> go (f acc p)

@@ -134,9 +134,23 @@ type frame =
           (prefix included) present — a torn final record on disk, a
           peer hanging up mid-frame on a socket *)
 
+type reader
+(** A persistent frame decoder over one source: the length-prefix
+    scan, shared by the socket transport, the shared-memory ring
+    (whose source may deliver a frame in two chunks around the ring
+    boundary), and WAL/snapshot replay.  Holds a reusable header
+    scratch so steady-state decoding costs one payload allocation per
+    frame and no staging copies. *)
+
+val frame_reader : ?max_frame:int -> source -> reader
+
+val next_frame : reader -> frame
+(** Decode the next frame.  @raise Malformed on an out-of-bounds
+    length prefix. *)
+
 val read_frame_from : ?max_frame:int -> source -> frame
-(** Read one frame.  @raise Malformed on an out-of-bounds length
-    prefix. *)
+(** One-shot {!next_frame} over a throwaway reader.  @raise Malformed
+    on an out-of-bounds length prefix. *)
 
 val fold_frames : ?max_frame:int -> source -> ('a -> bytes -> 'a) -> 'a -> 'a * int option
 (** Fold [f] over every complete frame payload.  The second component

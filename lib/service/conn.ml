@@ -19,15 +19,18 @@ let ignore_sigpipe () =
   try Sys.set_signal Sys.sigpipe Sys.Signal_ignore
   with Invalid_argument _ | Sys_error _ -> ()
 
-(* All frame reading goes through the one streaming reader in Codec —
-   the same loop that replays WAL segments — with the descriptor as
-   the pull source.  A torn frame here is a peer hanging up
-   mid-frame. *)
-let read_frame fd =
-  match Codec.read_frame_from (read_retry fd) with
+(* All frame reading goes through the one streaming decoder in Codec —
+   the same loop that replays WAL segments and drains shm rings — with
+   the descriptor as the pull source.  A torn frame here is a peer
+   hanging up mid-frame. *)
+let read_next rd =
+  match Codec.next_frame rd with
   | Codec.Frame payload -> Some payload
   | Codec.Eof -> None
   | Codec.Torn _ -> raise Closed
+
+let reader_of_fd fd = Codec.frame_reader (read_retry fd)
+let read_frame fd = read_next (reader_of_fd fd)
 
 (* The buffer is snapshotted and cleared {e before} the first write,
    not after the last: the caller's reply buffer must be clean on
@@ -90,6 +93,13 @@ module Faults = struct
     if n <= 0 then false
     else if Atomic.compare_and_set counter n (n - 1) then true
     else take counter
+
+  (* Claiming accessors for transports outside this module (the shm
+     multiplexer maps these onto ring-level damage). *)
+  let take_truncate_reply t = take t.truncate_replies
+  let take_close_mid_frame t = take t.close_mid_frame
+  let take_delayed_read t = take t.delayed_reads
+  let delay_s t = t.delay_s
 end
 
 (* Deliver the reply under the armed fault, if any.  Both faults write
@@ -118,13 +128,16 @@ let write_reply ~faults fd out =
 
 let serve_conn ?(faults = Faults.none) ?ext svc ~tid fd =
   let out = Buffer.create 64 in
+  (* One persistent decoder per connection: the header scratch lives
+     for the connection, not per frame. *)
+  let rd = reader_of_fd fd in
   (try
      let rec loop () =
        if
          (not (Faults.is_none faults))
          && Faults.take faults.Faults.delayed_reads
        then Unix.sleepf faults.Faults.delay_s;
-       match read_frame fd with
+       match read_next rd with
        | None -> ()
        | Some payload -> (
            match Codec.request_of_payload payload with
@@ -308,6 +321,72 @@ let call_fd fd req =
   | None -> raise Closed
 
 (* ------------------------------------------------------------------ *)
+
+(* In-process zero-copy reads: the client leases a Shard zero-copy
+   slot and reads the live maps from its own domain inside an
+   enter/leave bracket — GET never crosses the mailbox, is never
+   copied into a reply frame, and costs no syscall.  The SMR scheme
+   is the sender/receiver isolation: a transparent scheme needs no
+   per-read protection (the bracket alone licenses the read), and a
+   client that stalls inside its bracket can only pin what a robust
+   scheme bounds.  Writes still go through the ordinary submit path —
+   the consumer stays each map's only mutator. *)
+module Zerocopy = struct
+  type client = {
+    svc : Shard.t;
+    slot : int;
+    tid : int;
+    mutable in_bracket : bool;
+    mutable closed : bool;
+  }
+
+  let connect svc ~tid =
+    if tid < 0 || tid >= svc.Shard.clients then
+      invalid_arg "Zerocopy.connect: tid outside the client range";
+    match svc.Shard.zc_lease () with
+    | None -> None
+    | Some slot -> Some { svc; slot; tid; in_bracket = false; closed = false }
+
+  let check c =
+    if c.closed then invalid_arg "Zerocopy: client is closed"
+
+  let enter c =
+    check c;
+    if c.in_bracket then invalid_arg "Zerocopy.enter: bracket already open";
+    c.in_bracket <- true;
+    c.svc.Shard.zc_enter ~slot:c.slot
+
+  let leave c =
+    check c;
+    if not c.in_bracket then invalid_arg "Zerocopy.leave: no open bracket";
+    c.svc.Shard.zc_leave ~slot:c.slot;
+    c.in_bracket <- false
+
+  let get c k =
+    check c;
+    if not c.in_bracket then
+      invalid_arg "Zerocopy.get: read outside the bracket";
+    c.svc.Shard.zc_get ~slot:c.slot k
+
+  let with_bracket c f =
+    enter c;
+    Fun.protect ~finally:(fun () -> if c.in_bracket then leave c) f
+
+  (* The write path (and any non-GET request): the ordinary routed
+     call under the client's producer tid. *)
+  let call c req =
+    check c;
+    Shard.call c.svc ~tid:c.tid req
+
+  let close c =
+    if not c.closed then begin
+      if c.in_bracket then leave c;
+      c.closed <- true;
+      c.svc.Shard.zc_release c.slot
+    end
+
+  let slot c = c.slot
+end
 
 module Loopback = struct
   type client = { svc : Shard.t; tid : int; buf : Buffer.t }

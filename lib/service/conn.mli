@@ -1,6 +1,6 @@
 (** Transports for the {!Codec} wire protocol.
 
-    Two transports, one byte format:
+    One byte format, several transports:
 
     - {!Loopback}: in-process, deterministic — each call runs the
       request through the {e full} encode→decode→execute→encode→decode
@@ -10,7 +10,12 @@
     - Unix-domain sockets ({!serve_unix}/{!connect_unix}): the real
       daemon path used by [bin/kvd.exe], one handler domain per
       connection, producer tids leased from the service's client-slot
-      pool (connection churn exercises transparent attach/detach). *)
+      pool (connection churn exercises transparent attach/detach).
+    - Shared memory ([Shm_conn], its own module — same frames, over
+      mmap'd SPSC rings with no syscall per op on the hot path).
+    - {!Zerocopy}: in-process GETs that skip the codec entirely and
+      read the live maps inside a bracket — the SMR scheme as the
+      client/daemon isolation boundary. *)
 
 exception Closed
 (** Peer hung up mid-frame. *)
@@ -53,14 +58,30 @@ module Faults : sig
   val arm_delayed_read : t -> int -> unit
   (** The next [n] request reads are preceded by a [delay_s] pause
       (a slow peer; the reply itself stays intact). *)
+
+  (** Claiming accessors for other transports ([Shm_conn] maps the
+      armed counts onto ring-level damage with the same client-visible
+      outcome): atomically consume one armed unit, [false] if none. *)
+
+  val take_truncate_reply : t -> bool
+  val take_close_mid_frame : t -> bool
+  val take_delayed_read : t -> bool
+  val delay_s : t -> float
 end
 
-val read_frame : Unix.file_descr -> bytes option
+val reader_of_fd : Unix.file_descr -> Codec.reader
+(** Persistent frame decoder with the descriptor as the pull source
+    (EINTR-retrying) — the shared length-prefix scan WAL replay and
+    the shm ring path also use. *)
+
+val read_next : Codec.reader -> bytes option
 (** One payload (length prefix stripped); [None] on clean EOF at a
-    frame boundary.  A thin wrapper over {!Codec.read_frame_from}
-    with the descriptor as the pull source — the same streaming
-    reader WAL replay uses.  @raise Closed on mid-frame EOF,
+    frame boundary.  @raise Closed on mid-frame EOF,
     [Codec.Malformed] on an insane length prefix. *)
+
+val read_frame : Unix.file_descr -> bytes option
+(** One-shot {!read_next} over a throwaway {!reader_of_fd} (client
+    call paths; servers keep a persistent reader per connection). *)
 
 val write_frame : Unix.file_descr -> Buffer.t -> unit
 (** Write the buffer (already framed by a [Codec.encode_*]) fully.
@@ -128,6 +149,41 @@ val connect_unix : path:string -> Unix.file_descr
 val call_fd : Unix.file_descr -> Codec.request -> Codec.reply
 (** Blocking client call over any connected descriptor.
     @raise Closed if the server hung up. *)
+
+module Zerocopy : sig
+  (** In-process zero-copy reads.
+
+      The client leases a {!Shard} zero-copy slot and reads the live
+      maps from its own domain inside an enter/leave bracket: GET
+      never crosses a mailbox, is never encoded into a reply frame,
+      and costs no syscall.  The SMR scheme is the isolation — a
+      transparent scheme (Hyaline*/Crystalline) licenses the read
+      with the bracket alone, and a client that stalls inside its
+      bracket can only pin what a robust scheme bounds (the chaos
+      stalled-client check).  Writes go through the ordinary routed
+      {!call} — the shard consumer remains each map's only mutator.
+
+      Contract: [enter → get* → leave], brackets short and reads only
+      inside them.  {!get} outside a bracket raises. *)
+
+  type client
+
+  val connect : Shard.t -> tid:int -> client option
+  (** Lease a zero-copy slot ([None] = all [zc_readers] slots taken).
+      [tid] is the producer slot used by {!call} for writes. *)
+
+  val enter : client -> unit
+  val get : client -> int -> int option
+  val leave : client -> unit
+  val with_bracket : client -> (unit -> 'a) -> 'a
+  val call : client -> Codec.request -> Codec.reply
+  (** The non-read path (PUT/DEL/CAS/…): an ordinary routed call. *)
+
+  val close : client -> unit
+  (** Leave any open bracket and return the slot to the pool. *)
+
+  val slot : client -> int
+end
 
 module Loopback : sig
   type client

@@ -20,6 +20,7 @@ type config = {
   objectives : Slo.objective list;
   seed : int;
   hook : ack_hook;
+  zc_readers : int;
 }
 
 let default_config =
@@ -33,6 +34,7 @@ let default_config =
     objectives = [];
     seed = 2024;
     hook = no_hook;
+    zc_readers = 0;
   }
 
 type t = {
@@ -57,6 +59,12 @@ type t = {
   heartbeat : int -> int;
   inject_oom : shard:int -> n:int -> unit;
   snapshot : shard:int -> gate:(int -> unit) -> (int * int) list;
+  zc_readers : int;
+  zc_lease : unit -> int option;
+  zc_release : int -> unit;
+  zc_enter : slot:int -> unit;
+  zc_leave : slot:int -> unit;
+  zc_get : slot:int -> int -> int option;
   stop : unit -> unit;
   scheme_name : string;
   structure_name : string;
@@ -134,12 +142,15 @@ module Core (T : Smr.Tracker.S) (Mk : Dstruct.Map_intf.MAKER) = struct
     if c.clients <= 0 then invalid_arg "Shard.create: clients <= 0";
     if c.batch <= 0 then invalid_arg "Shard.create: batch <= 0";
     if c.trim_every <= 0 then invalid_arg "Shard.create: trim_every <= 0";
+    if c.zc_readers < 0 then invalid_arg "Shard.create: zc_readers < 0";
     let ctl_cfg = { c.smr with Smr.Config.nthreads = c.clients + c.shards } in
     let ctl_tracker = T.create ctl_cfg in
-    (* Each map has exactly two operating threads: its consumer
-       (tid 0, the only mutator) and at most one snapshot reader
-       (tid 1, a read-only bracket-held traversal). *)
-    let map_cfg = { c.smr with Smr.Config.nthreads = 2 } in
+    (* Each map's operating threads: its consumer (tid 0, the only
+       mutator), at most one snapshot reader (tid 1, a read-only
+       bracket-held traversal), and [zc_readers] zero-copy client
+       slots (tids 2..) that read the live map from {e outside} the
+       consumer, each inside its own enter/leave bracket. *)
+    let map_cfg = { c.smr with Smr.Config.nthreads = 2 + c.zc_readers } in
     let running = Atomic.make true in
     let stopped = Atomic.make false in
     let sheds = Atomic.make 0 in
@@ -383,6 +394,49 @@ module Core (T : Smr.Tracker.S) (Mk : Dstruct.Map_intf.MAKER) = struct
          state regardless of structure/bucket iteration order. *)
       List.sort compare bindings
     in
+    (* Zero-copy reader slots.  A leased slot owns map tid [2 + slot]
+       on EVERY shard map; [zc_enter] opens a bracket on each (the
+       reader does not know which shard its keys live on), after which
+       [zc_get] reads the live structure directly from the client's
+       own domain — no mailbox hop, no consumer mediation, no reply
+       copy.  Transparent schemes (Hyaline*/Crystalline) need nothing
+       per read — the bracket is the whole protocol; slot-protected
+       ones (HP/HE/IBR) take their per-dereference guards inside
+       [Map.get] under the slot's tid, so the same client code is
+       correct for every scheme in the registry.  A reader that stalls
+       inside its bracket is exactly the paper's §2.3 adversary: the
+       chaos check asserts robust schemes bound what it can pin. *)
+    let zc_slots = Atomic.make (List.init c.zc_readers Fun.id) in
+    let rec zc_lease () =
+      match Atomic.get zc_slots with
+      | [] -> None
+      | s :: rest as old ->
+          if Atomic.compare_and_set zc_slots old rest then Some s
+          else zc_lease ()
+    in
+    let rec zc_release s =
+      if s < 0 || s >= c.zc_readers then
+        invalid_arg "Shard.zc_release: slot out of range";
+      let old = Atomic.get zc_slots in
+      if not (Atomic.compare_and_set zc_slots old (s :: old)) then zc_release s
+    in
+    let zc_check slot =
+      if slot < 0 || slot >= c.zc_readers then
+        invalid_arg "Shard.zc: slot out of range"
+    in
+    let zc_enter ~slot =
+      zc_check slot;
+      Array.iter (fun sh -> Map.enter sh.map ~tid:(2 + slot)) shards
+    in
+    let zc_leave ~slot =
+      zc_check slot;
+      Array.iter (fun sh -> Map.leave sh.map ~tid:(2 + slot)) shards
+    in
+    let zc_get ~slot k =
+      zc_check slot;
+      let sh = shards.(shard_of_key k) in
+      Map.get sh.map ~tid:(2 + slot) k
+    in
     let gauges () =
       let per_shard =
         Array.to_list shards
@@ -438,11 +492,12 @@ module Core (T : Smr.Tracker.S) (Mk : Dstruct.Map_intf.MAKER) = struct
           shards;
         Array.iter
           (fun sh ->
-            Map.flush sh.map ~tid:0;
-            (* tid 1 (snapshot reader) never retires, so its flush is
-               a no-op for Hyaline and a limbo scan for baselines —
-               safe outside a bracket either way. *)
-            Map.flush sh.map ~tid:1)
+            (* tids 1.. (snapshot and zero-copy readers) never retire,
+               so their flushes are no-ops for Hyaline and limbo scans
+               for baselines — safe outside a bracket either way. *)
+            for tid = 0 to map_cfg.Smr.Config.nthreads - 1 do
+              Map.flush sh.map ~tid
+            done)
           shards;
         for tid = 0 to ctl_cfg.Smr.Config.nthreads - 1 do
           T.flush ctl_tracker ~tid
@@ -474,6 +529,12 @@ module Core (T : Smr.Tracker.S) (Mk : Dstruct.Map_intf.MAKER) = struct
       inject_oom =
         (fun ~shard ~n -> Map.inject_alloc_failures shards.(shard).map ~n);
       snapshot;
+      zc_readers = c.zc_readers;
+      zc_lease;
+      zc_release;
+      zc_enter;
+      zc_leave;
+      zc_get;
       stop;
       scheme_name;
       structure_name;

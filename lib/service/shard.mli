@@ -60,11 +60,15 @@ type config = {
   objectives : Slo.objective list;
   seed : int;
   hook : ack_hook;  (** durability tap; {!no_hook} = disabled *)
+  zc_readers : int;
+      (** zero-copy reader slots: in-process clients that read the
+          live maps directly from their own domains, each owning map
+          tid [2 + slot] on every shard (0 = feature off) *)
 }
 
 val default_config : config
 (** 4 shards, 8 clients, capacity 256, batch 64, trim every 16,
-    {!no_hook}. *)
+    {!no_hook}, no zero-copy readers. *)
 
 type t = {
   submit : tid:int -> Codec.request -> (Codec.reply -> unit) -> unit;
@@ -136,6 +140,28 @@ type t = {
           reservation while churn retires nodes).  At most one
           snapshot per shard at a time.
           @raise Invalid_argument if one is already running. *)
+  zc_readers : int;  (** configured zero-copy slot count *)
+  zc_lease : unit -> int option;
+      (** Lease a free zero-copy slot ([None] = all taken).  Slots are
+          transparently reusable: release returns the slot to the pool
+          with no quiescence step (paper §2.4). *)
+  zc_release : int -> unit;
+  zc_enter : slot:int -> unit;
+      (** Open the slot's bracket on {e every} shard map.  From here
+          until {!t.zc_leave}, values read via {!t.zc_get} are
+          guaranteed not to be reclaimed under the reader — for
+          transparent schemes (Hyaline*/Crystalline) the bracket is
+          the entire protocol, no per-read work; slot-protected
+          schemes take their per-dereference guards inside the read.
+          A stalled holder is the paper's §2.3 adversary: robust
+          schemes bound what it pins, EBR does not. *)
+  zc_leave : slot:int -> unit;
+  zc_get : slot:int -> int -> int option;
+      (** Read the live map in place from the calling domain — no
+          mailbox hop, no consumer mediation, no reply copy.  Must be
+          called between {!t.zc_enter} and {!t.zc_leave}.  Linearizes
+          with the consumer's writes at the node read (a concurrent
+          PUT may or may not be visible, as over any transport). *)
   stop : unit -> unit;
       (** Stop consumers, fail queued requests with [Error], join
           domains, flush every tracker.  Idempotent. *)

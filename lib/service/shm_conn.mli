@@ -1,0 +1,77 @@
+(** Shared-memory transport: {!Codec} frames over mmap'd SPSC rings.
+
+    The third [Conn] backend.  The daemon owns a listen FIFO (the
+    rendezvous name, what the socket path is to the unix transport);
+    a client creates its own segment file beside it — two rings plus
+    doorbell FIFOs, see [Shm.Seg] — and announces
+    ["<segpath> <generation>\n"] over the listen FIFO.  The daemon
+    validates the announced generation against the segment header on
+    attach, so a dead peer's leftover file is swept, not conversed
+    with.
+
+    One multiplexer domain serves every connection: it pumps request
+    rings, submits asynchronously to the shard service, and emits
+    replies in request order from a per-connection reorder window.
+    Under load neither side makes a syscall per operation — requests
+    and replies move purely through shared memory, and the doorbell
+    protocol (spin, publish a waiting flag, re-check, then a bounded
+    [select]) only reaches the kernel when a side actually sleeps. *)
+
+exception Unavailable of string
+(** Connect failed: no daemon on the listen FIFO (or it vanished
+    mid-handshake). *)
+
+(** {1 Client} *)
+
+type client
+
+val connect : path:string -> client
+(** Create a fresh segment, announce it to the daemon at [path].
+    @raise Unavailable if no daemon is listening.
+    Raises [Unix_error]/[Shm.Seg.Bad_segment] on filesystem trouble. *)
+
+val call : client -> Codec.request -> Codec.reply
+(** Blocking round trip over the rings.  @raise Conn.Closed once the
+    daemon stamped the segment closed (shutdown, shed, or a damaged
+    frame detected by either side's torn-write check). *)
+
+val close : client -> unit
+(** Stamp the segment closed and wake the daemon so it sweeps the
+    connection.  Idempotent. *)
+
+(** {1 Server} *)
+
+type server
+
+val serve :
+  Shard.t ->
+  path:string ->
+  ?faults:Conn.Faults.t ->
+  ?ext:(Codec.request -> Codec.reply option) ->
+  unit ->
+  server
+(** Claim [path] (same probe discipline as the unix transport: a FIFO
+    some live daemon reads raises [Conn.Addr_in_use]; a stale one is
+    swept along with leftover segments), create the listen FIFO, and
+    start the multiplexer domain.  Producer tids are leased per
+    connection from the service's client-slot pool; when all are
+    taken a new connection is answered with one [Shed] reply and
+    closed.  [faults] maps the [Conn.Faults] reply damage onto
+    ring-level torn writes — the client observes [Conn.Closed], as on
+    the socket path.  [ext] is consulted before shard routing.
+
+    If the service was built with [zc_readers >= 1], the server leases
+    one zero-copy slot and answers GETs inline from the multiplexer
+    domain — a bracketed read of the live map, skipping the mailbox
+    round trip — whenever the connection's reorder window is empty
+    (all earlier operations already answered, preserving per-client
+    program order).  Writes always take the routed path: the shard
+    consumer stays each map's only mutator. *)
+
+val shutdown : server -> unit
+(** Stop the multiplexer, stamp every connection's segment closed
+    (waking blocked clients), unlink all segment files and FIFOs,
+    including the listen FIFO.  Idempotent.  Does NOT stop the
+    service. *)
+
+val faults : server -> Conn.Faults.t

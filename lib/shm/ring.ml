@@ -1,0 +1,313 @@
+(* SPSC byte ring over a shared (usually mmap'd) bigarray window.
+
+   The ring carries length-prefixed messages — the same [u32-BE length
+   ‖ payload] convention as the service codec's wire frames, so a
+   codec-framed buffer goes into the ring verbatim — each followed by
+   a 4-byte commit stamp written after the message bytes:
+
+     [len:4][payload:len][stamp:4]
+
+   The stamp is a pure function of the per-ring message sequence
+   number and the payload length, so the reader can recompute it with
+   no shared state beyond the byte stream itself.  Because it is the
+   last thing the writer stores before publishing the tail index, any
+   prefix-torn write — a writer that died or was cut off partway
+   through a message, the only kind of tear a single writer can
+   produce — leaves stale bytes where the stamp belongs, and the
+   reader reports [`Torn] instead of handing garbage to the decoder.
+   (With the publish-last tail discipline a torn message is normally
+   invisible anyway: the stamp is the belt-and-braces layer for
+   weakly-ordered hardware, for crash-published pages, and for the
+   fault injection below, which deliberately publishes damaged
+   messages to prove the reader rejects them.)
+
+   Indices are monotonically increasing byte counts (63-bit, they
+   never wrap in practice); positions reduce to offsets with a
+   power-of-two mask, and messages wrap the data-area boundary
+   byte-wise — a message may split anywhere, including inside its
+   length prefix or stamp.  Each side caches the other's index and
+   refreshes it from shared memory only when the cached value is
+   insufficient (the classic SPSC optimization: an uncontended send
+   or receive touches only its own line).
+
+   Shared-memory visibility: the control words live in an [int]-kind
+   bigarray, so loads and stores compile to single aligned 8-byte
+   moves (no tearing), and every publish/consume pair brackets the
+   data copies with a full fence (an [Atomic.fetch_and_add] on a
+   process-local cell), which is a hardware fence regardless of the
+   OCaml memory model's silence on bigarray races. *)
+
+type ctrl = (int, Bigarray.int_elt, Bigarray.c_layout) Bigarray.Array1.t
+
+type data =
+  (char, Bigarray.int8_unsigned_elt, Bigarray.c_layout) Bigarray.Array1.t
+
+let fence_cell = Atomic.make 0
+let fence () = ignore (Atomic.fetch_and_add fence_cell 0)
+
+type t = {
+  ctrl : ctrl;
+  head_cell : int;
+  tail_cell : int;
+  data : data;
+  off : int;  (** data-area base offset within [data] *)
+  cap : int;
+  mask : int;
+  (* Writer-side state (single writer). *)
+  mutable cached_head : int;
+  mutable wseq : int;
+  mutable torn_stamp_armed : int;
+  mutable truncate_armed : int;
+  mutable msgs_sent : int;
+  mutable bytes_sent : int;
+  (* Reader-side state (single reader). *)
+  mutable cached_tail : int;
+  mutable rseq : int;
+  mutable broken : string option;
+  mutable msg_total : int;  (** bytes of the current message incl stamp *)
+  mutable msg_remaining : int;  (** unread [len‖payload] bytes *)
+  mutable msg_cursor : int;
+  mutable msgs_received : int;
+  source : bytes -> int -> int -> int;
+}
+
+let init ~ctrl ~head_cell ~tail_cell =
+  Bigarray.Array1.set ctrl head_cell 0;
+  Bigarray.Array1.set ctrl tail_cell 0
+
+let rec make_source cell buf off len =
+  match !cell with
+  | None -> 0
+  | Some t ->
+      let n = min len t.msg_remaining in
+      if n = 0 then 0
+      else begin
+        let pos = t.msg_cursor in
+        for i = 0 to n - 1 do
+          Bytes.unsafe_set buf (off + i)
+            (Bigarray.Array1.unsafe_get t.data (t.off + ((pos + i) land t.mask)))
+        done;
+        t.msg_cursor <- pos + n;
+        t.msg_remaining <- t.msg_remaining - n;
+        n
+      end
+
+and create ~ctrl ~head_cell ~tail_cell ~data ~off ~cap =
+  if cap <= 16 || cap land (cap - 1) <> 0 then
+    invalid_arg "Ring.create: capacity must be a power of two > 16";
+  if off < 0 || off + cap > Bigarray.Array1.dim data then
+    invalid_arg "Ring.create: data window out of bounds";
+  let cell = ref None in
+  let t =
+    {
+      ctrl;
+      head_cell;
+      tail_cell;
+      data;
+      off;
+      cap;
+      mask = cap - 1;
+      cached_head = Bigarray.Array1.get ctrl head_cell;
+      wseq = 0;
+      torn_stamp_armed = 0;
+      truncate_armed = 0;
+      msgs_sent = 0;
+      bytes_sent = 0;
+      cached_tail = Bigarray.Array1.get ctrl tail_cell;
+      rseq = 0;
+      broken = None;
+      msg_total = 0;
+      msg_remaining = 0;
+      msg_cursor = 0;
+      msgs_received = 0;
+      source = make_source cell;
+    }
+  in
+  cell := Some t;
+  t
+
+let capacity t = t.cap
+
+(* The largest payload a message can carry: [4 ‖ payload ‖ 4] must
+   leave at least one free byte so a full ring is distinguishable. *)
+let max_payload t = t.cap - 9
+
+let stamp ~seq ~len = ((seq * 0x9E3779B9) lxor len lxor 0x5EED1) land 0xFFFFFFFF
+
+let set8 t pos v =
+  Bigarray.Array1.unsafe_set t.data
+    (t.off + (pos land t.mask))
+    (Char.unsafe_chr (v land 0xff))
+
+let get8 t pos =
+  Char.code (Bigarray.Array1.unsafe_get t.data (t.off + (pos land t.mask)))
+
+let set_u32 t pos v =
+  set8 t pos (v lsr 24);
+  set8 t (pos + 1) (v lsr 16);
+  set8 t (pos + 2) (v lsr 8);
+  set8 t (pos + 3) v
+
+let get_u32 t pos =
+  (get8 t pos lsl 24)
+  lor (get8 t (pos + 1) lsl 16)
+  lor (get8 t (pos + 2) lsl 8)
+  lor get8 t (pos + 3)
+
+let blit_in t b ~pos ~len ~at =
+  for i = 0 to len - 1 do
+    Bigarray.Array1.unsafe_set t.data
+      (t.off + ((at + i) land t.mask))
+      (Bytes.unsafe_get b (pos + i))
+  done
+
+(* ------------------------------------------------------------------ *)
+(* Writer side. *)
+
+let send_space t =
+  let tail = Bigarray.Array1.get t.ctrl t.tail_cell in
+  t.cached_head <- Bigarray.Array1.get t.ctrl t.head_cell;
+  t.cap - (tail - t.cached_head)
+
+let arm_torn_stamp t n =
+  if n < 0 then invalid_arg "Ring.arm_torn_stamp: n < 0";
+  t.torn_stamp_armed <- t.torn_stamp_armed + n
+
+let arm_truncate t n =
+  if n < 0 then invalid_arg "Ring.arm_truncate: n < 0";
+  t.truncate_armed <- t.truncate_armed + n
+
+let try_send t b ~pos ~len =
+  if len < 4 then invalid_arg "Ring.try_send: message below its length prefix";
+  if pos < 0 || pos + len > Bytes.length b then
+    invalid_arg "Ring.try_send: range out of bounds";
+  let plen = len - 4 in
+  let embedded =
+    (Char.code (Bytes.get b pos) lsl 24)
+    lor (Char.code (Bytes.get b (pos + 1)) lsl 16)
+    lor (Char.code (Bytes.get b (pos + 2)) lsl 8)
+    lor Char.code (Bytes.get b (pos + 3))
+  in
+  if embedded <> plen then
+    invalid_arg "Ring.try_send: embedded length prefix disagrees with len";
+  let total = len + 4 in
+  if total >= t.cap then
+    invalid_arg "Ring.try_send: message exceeds ring capacity";
+  let tail = Bigarray.Array1.get t.ctrl t.tail_cell in
+  let fits =
+    t.cap - (tail - t.cached_head) >= total
+    || begin
+         t.cached_head <- Bigarray.Array1.get t.ctrl t.head_cell;
+         t.cap - (tail - t.cached_head) >= total
+       end
+  in
+  if not fits then false
+  else begin
+    let s = stamp ~seq:t.wseq ~len:plen in
+    (if t.truncate_armed > 0 then begin
+       (* Torn-write injection: stop partway through the payload and
+          never reach the stamp, but publish the full extent — the
+          dangerous interleaving a crashed writer on weakly-ordered
+          hardware could expose.  The stale bytes where the stamp
+          belongs make the reader report [`Torn]. *)
+       t.truncate_armed <- t.truncate_armed - 1;
+       blit_in t b ~pos ~len:(4 + (plen / 2)) ~at:tail
+     end
+     else if t.torn_stamp_armed > 0 then begin
+       t.torn_stamp_armed <- t.torn_stamp_armed - 1;
+       blit_in t b ~pos ~len ~at:tail;
+       set_u32 t (tail + len) (s lxor 0xDEAD)
+     end
+     else begin
+       blit_in t b ~pos ~len ~at:tail;
+       set_u32 t (tail + len) s
+     end);
+    fence ();
+    Bigarray.Array1.set t.ctrl t.tail_cell (tail + total);
+    t.wseq <- t.wseq + 1;
+    t.msgs_sent <- t.msgs_sent + 1;
+    t.bytes_sent <- t.bytes_sent + total;
+    true
+  end
+
+(* ------------------------------------------------------------------ *)
+(* Reader side. *)
+
+let break t msg =
+  t.broken <- Some msg;
+  `Torn msg
+
+let pending t =
+  match t.broken with
+  | Some m -> `Torn m
+  | None ->
+      if t.msg_remaining > 0 then
+        (* A begun message is consumed through [source] to the end
+           before the next [pending]. *)
+        `Msg (t.msg_total - 8)
+      else begin
+        let head = Bigarray.Array1.get t.ctrl t.head_cell in
+        let avail =
+          let a = t.cached_tail - head in
+          if a >= 4 then a
+          else begin
+            t.cached_tail <- Bigarray.Array1.get t.ctrl t.tail_cell;
+            fence ();
+            t.cached_tail - head
+          end
+        in
+        if avail = 0 then `Empty
+        else if avail < 4 then
+          (* The writer publishes whole messages; a committed region
+             smaller than a length prefix cannot come from this
+             protocol. *)
+          break t "committed region below a length prefix"
+        else begin
+          let plen = get_u32 t head in
+          if plen > max_payload t then
+            break t
+              (Printf.sprintf "insane message length %d (max %d)" plen
+                 (max_payload t))
+          else begin
+            let total = 4 + plen + 4 in
+            if avail < total then
+              (* Not yet fully committed (a peer publishing at finer
+                 grain than whole messages); wait. *)
+              `Empty
+            else begin
+              let stored = get_u32 t (head + 4 + plen) in
+              let expected = stamp ~seq:t.rseq ~len:plen in
+              if stored <> expected then
+                break t
+                  (Printf.sprintf
+                     "commit stamp mismatch on message %d (stored 0x%08x, \
+                      expected 0x%08x)"
+                     t.rseq stored expected)
+              else begin
+                t.msg_total <- total;
+                t.msg_remaining <- 4 + plen;
+                t.msg_cursor <- head;
+                `Msg plen
+              end
+            end
+          end
+        end
+      end
+
+let source t = t.source
+
+let finish_msg t =
+  if t.msg_total = 0 then invalid_arg "Ring.finish_msg: no message in progress";
+  if t.msg_remaining <> 0 then
+    invalid_arg "Ring.finish_msg: message not fully consumed";
+  let head = Bigarray.Array1.get t.ctrl t.head_cell in
+  fence ();
+  Bigarray.Array1.set t.ctrl t.head_cell (head + t.msg_total);
+  t.msg_total <- 0;
+  t.rseq <- t.rseq + 1;
+  t.msgs_received <- t.msgs_received + 1
+
+let msgs_sent t = t.msgs_sent
+let bytes_sent t = t.bytes_sent
+let msgs_received t = t.msgs_received
+let is_broken t = t.broken <> None

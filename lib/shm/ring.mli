@@ -1,0 +1,96 @@
+(** Length-prefixed SPSC byte ring over a shared bigarray window.
+
+    One writer process/domain, one reader process/domain.  Messages
+    are [u32-BE length ‖ payload] — the service codec's wire-frame
+    convention, so a codec-framed buffer enters the ring verbatim —
+    and each message is followed in the ring by a 4-byte commit stamp
+    (a function of the per-ring sequence number and the length) that
+    the writer stores last; stale bytes there make the reader report
+    {!pending} = [`Torn] instead of decoding garbage.  Messages wrap
+    the power-of-two data area byte-wise at any split point.
+
+    Head/tail indices are monotonic byte counts living in an
+    [int]-kind control bigarray (single aligned 8-byte moves, no
+    cross-process tearing); each side caches the peer's index and
+    rereads shared memory only when the cached value is insufficient. *)
+
+type ctrl = (int, Bigarray.int_elt, Bigarray.c_layout) Bigarray.Array1.t
+
+type data =
+  (char, Bigarray.int8_unsigned_elt, Bigarray.c_layout) Bigarray.Array1.t
+
+type t
+
+val init : ctrl:ctrl -> head_cell:int -> tail_cell:int -> unit
+(** Zero the index cells of a freshly created segment (creator only,
+    before the segment is published). *)
+
+val create :
+  ctrl:ctrl -> head_cell:int -> tail_cell:int -> data:data -> off:int ->
+  cap:int -> t
+(** Attach a ring view over [data.(off .. off+cap-1)] with its index
+    pair in [ctrl].  [cap] must be a power of two > 16.  Each side
+    builds its own [t] (per-side cached indices and sequence numbers
+    live here, not in shared memory); a given [t] may be used as
+    writer, reader, or both ends of the same ring in-process. *)
+
+val capacity : t -> int
+
+val max_payload : t -> int
+(** Largest payload a single message can carry: capacity minus the
+    length prefix, the commit stamp, and one distinguishing byte. *)
+
+(** {1 Writer side} *)
+
+val try_send : t -> bytes -> pos:int -> len:int -> bool
+(** Copy the already-framed message [b.(pos .. pos+len-1)] (its first
+    4 bytes must be the BE length prefix of the remaining [len - 4])
+    into the ring, append the commit stamp and publish the tail.
+    Returns [false] if the ring lacks space (retry after the reader
+    drains).  Raises [Invalid_argument] on a malformed frame or one
+    that can never fit. *)
+
+val send_space : t -> int
+(** Free bytes right now (refreshes the cached head). A message needs
+    [len + 4]. *)
+
+(** {1 Reader side} *)
+
+val pending : t -> [ `Empty | `Msg of int | `Torn of string ]
+(** What the ring holds: nothing, a complete stamped message of
+    [`Msg payload_len], or corruption.  [`Torn] is sticky — the ring
+    is unusable once damage is seen.  After [`Msg], consume exactly
+    [4 + payload_len] bytes through {!source}, then call
+    {!finish_msg}. *)
+
+val source : t -> bytes -> int -> int -> int
+(** A [Codec.source]-shaped reader over the current message's
+    [length ‖ payload] bytes (copies out of the ring, handling
+    wrap). Returns 0 when the message is exhausted.  The closure is
+    allocated once per ring, so it can be passed to a streaming
+    decoder on the hot path without per-message allocation. *)
+
+val finish_msg : t -> unit
+(** Retire the fully consumed message and publish the new head,
+    releasing its bytes to the writer. *)
+
+val is_broken : t -> bool
+
+(** {1 Fault injection (writer side, tests only)}
+
+    Parity with [Conn.Faults]: damage the next [n] sends to prove the
+    reader reports rather than corrupts. *)
+
+val arm_torn_stamp : t -> int -> unit
+(** Flip bits in the commit stamp of the next [n] messages. *)
+
+val arm_truncate : t -> int -> unit
+(** Write only the first half of the next [n] messages' payloads
+    (never reaching the stamp) yet publish their full extent —
+    a mid-frame truncation, as a crashed writer could leave. *)
+
+(** {1 Gauges} *)
+
+val msgs_sent : t -> int
+val bytes_sent : t -> int
+val msgs_received : t -> int

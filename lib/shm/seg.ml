@@ -1,0 +1,228 @@
+(* Shared-memory segment lifecycle for one client↔daemon connection.
+
+   A segment is a regular file, mmap'd by both sides:
+
+     page 0 (4096 B, mapped as an int bigarray — each cell an aligned
+             8-byte word so cross-process loads/stores never tear):
+       [0]  magic            [1] version
+       [2]  generation       [3] state (init → open → closed)
+       [4]  c2s capacity     [5] s2c capacity
+       [8]  c2s head         [16] c2s tail      (cells 64 B apart so
+       [24] s2c head         [32] s2c tail       each index owns a line)
+       [40] client-waiting   [48] server-waiting (doorbell flags)
+     bytes 4096 …            c2s ring data, then s2c ring data
+
+   The creator (the client) writes the whole header with state=init,
+   and flips state to `open` last, behind a fence — an attacher can
+   never observe a half-built header.  The generation is a fresh
+   random-ish stamp the client also announces out-of-band (over the
+   daemon's listen FIFO); the daemon refuses to attach a segment
+   whose generation does not match the announcement, so a name reused
+   after a crashed peer — or a leftover file from a dead daemon's
+   tree — is detected as [Bad_segment], not silently conversed with.
+   Teardown stamps state=closed *before* unlinking, so a peer that
+   still holds a mapping sees the close even though the name is gone.
+
+   Alongside the file live two doorbell FIFOs, "<path>.cli.bell" (the
+   client sleeps on it, the daemon rings) and "<path>.srv.bell" (vice
+   versa), created with the segment and unlinked with it. *)
+
+(* 6 bytes of ASCII "KVSHM1" — comfortably inside OCaml's 63-bit int;
+   an 8-byte magic would not survive the int bigarray round-trip. *)
+let magic = 0x4B5653484D31
+let version = 1
+let header_bytes = 4096
+let header_cells = header_bytes / 8
+
+let state_init = 0
+let state_open = 1
+let state_closed = 2
+
+(* Header cell indices. *)
+let c_magic = 0
+let c_version = 1
+let c_generation = 2
+let c_state = 3
+let c_c2s_cap = 4
+let c_s2c_cap = 5
+let c_c2s_head = 8
+let c_c2s_tail = 16
+let c_s2c_head = 24
+let c_s2c_tail = 32
+let c_cli_waiting = 40
+let c_srv_waiting = 48
+
+exception Bad_segment of string
+
+let bad fmt = Printf.ksprintf (fun s -> raise (Bad_segment s)) fmt
+
+type role = Client | Server
+
+type t = {
+  path : string;
+  role : role;
+  fd : Unix.file_descr;
+  ctrl : Ring.ctrl;
+  data : Ring.data;
+  generation : int;
+  c2s_cap : int;
+  s2c_cap : int;
+}
+
+let fence_cell = Atomic.make 0
+let fence () = ignore (Atomic.fetch_and_add fence_cell 0)
+
+let gen_counter = Atomic.make 0
+
+let fresh_generation () =
+  let t_us = int_of_float (Unix.gettimeofday () *. 1e6) in
+  let g =
+    (Unix.getpid () lsl 44)
+    lxor (t_us land 0xFFF_FFFF_FFFF)
+    lxor (Atomic.fetch_and_add gen_counter 1 lsl 20)
+  in
+  let g = g land max_int in
+  if g = 0 then 1 else g
+
+let cli_bell_path path = path ^ ".cli.bell"
+let srv_bell_path path = path ^ ".srv.bell"
+
+let map_views fd ~c2s_cap ~s2c_cap =
+  let ctrl =
+    Bigarray.array1_of_genarray
+      (Unix.map_file fd Bigarray.int Bigarray.c_layout true [| header_cells |])
+  in
+  let data =
+    Bigarray.array1_of_genarray
+      (Unix.map_file fd ~pos:(Int64.of_int header_bytes) Bigarray.char
+         Bigarray.c_layout true
+         [| c2s_cap + s2c_cap |])
+  in
+  (ctrl, data)
+
+let check_cap name cap =
+  if cap <= 16 || cap land (cap - 1) <> 0 then
+    invalid_arg (Printf.sprintf "Seg.create: %s must be a power of two > 16" name)
+
+let create ~path ?(c2s_cap = 1 lsl 16) ?(s2c_cap = 1 lsl 16) () =
+  check_cap "c2s_cap" c2s_cap;
+  check_cap "s2c_cap" s2c_cap;
+  let fd =
+    Unix.openfile path [ Unix.O_RDWR; Unix.O_CREAT; Unix.O_EXCL ] 0o600
+  in
+  match
+    Unix.ftruncate fd (header_bytes + c2s_cap + s2c_cap);
+    map_views fd ~c2s_cap ~s2c_cap
+  with
+  | ctrl, data ->
+      let generation = fresh_generation () in
+      Bigarray.Array1.set ctrl c_magic magic;
+      Bigarray.Array1.set ctrl c_version version;
+      Bigarray.Array1.set ctrl c_generation generation;
+      Bigarray.Array1.set ctrl c_state state_init;
+      Bigarray.Array1.set ctrl c_c2s_cap c2s_cap;
+      Bigarray.Array1.set ctrl c_s2c_cap s2c_cap;
+      Bigarray.Array1.set ctrl c_cli_waiting 0;
+      Bigarray.Array1.set ctrl c_srv_waiting 0;
+      Ring.init ~ctrl ~head_cell:c_c2s_head ~tail_cell:c_c2s_tail;
+      Ring.init ~ctrl ~head_cell:c_s2c_head ~tail_cell:c_s2c_tail;
+      ignore (Doorbell.create ~path:(cli_bell_path path));
+      ignore (Doorbell.create ~path:(srv_bell_path path));
+      fence ();
+      Bigarray.Array1.set ctrl c_state state_open;
+      { path; role = Client; fd; ctrl; data; generation; c2s_cap; s2c_cap }
+  | exception e ->
+      (try Unix.close fd with Unix.Unix_error _ -> ());
+      (try Unix.unlink path with Unix.Unix_error _ -> ());
+      raise e
+
+let attach ~path ?expect_gen () =
+  let fd =
+    match Unix.openfile path [ Unix.O_RDWR ] 0 with
+    | fd -> fd
+    | exception Unix.Unix_error (e, _, _) ->
+        bad "cannot open %s: %s" path (Unix.error_message e)
+  in
+  match
+    let size = (Unix.fstat fd).Unix.st_size in
+    if size < header_bytes then bad "%s: too small for a header" path;
+    let ctrl =
+      Bigarray.array1_of_genarray
+        (Unix.map_file fd Bigarray.int Bigarray.c_layout true [| header_cells |])
+    in
+    if Bigarray.Array1.get ctrl c_magic <> magic then
+      bad "%s: bad magic (not a kvd shm segment)" path;
+    if Bigarray.Array1.get ctrl c_version <> version then
+      bad "%s: segment version %d, expected %d" path
+        (Bigarray.Array1.get ctrl c_version)
+        version;
+    (match Bigarray.Array1.get ctrl c_state with
+    | s when s = state_open -> ()
+    | s when s = state_closed -> bad "%s: segment already closed" path
+    | _ -> bad "%s: segment not yet open" path);
+    let generation = Bigarray.Array1.get ctrl c_generation in
+    (match expect_gen with
+    | Some g when g <> generation ->
+        bad "%s: generation %#x does not match announced %#x (stale peer?)"
+          path generation g
+    | _ -> ());
+    let c2s_cap = Bigarray.Array1.get ctrl c_c2s_cap in
+    let s2c_cap = Bigarray.Array1.get ctrl c_s2c_cap in
+    check_cap "c2s_cap" c2s_cap;
+    check_cap "s2c_cap" s2c_cap;
+    if size < header_bytes + c2s_cap + s2c_cap then
+      bad "%s: file shorter than its declared rings" path;
+    let _, data = map_views fd ~c2s_cap ~s2c_cap in
+    { path; role = Server; fd; ctrl; data; generation; c2s_cap; s2c_cap }
+  with
+  | t -> t
+  | exception e ->
+      (try Unix.close fd with Unix.Unix_error _ -> ());
+      raise e
+
+let path t = t.path
+let role t = t.role
+let generation t = t.generation
+let state t = Bigarray.Array1.get t.ctrl c_state
+let is_open t = state t = state_open
+
+let c2s_ring t =
+  Ring.create ~ctrl:t.ctrl ~head_cell:c_c2s_head ~tail_cell:c_c2s_tail
+    ~data:t.data ~off:0 ~cap:t.c2s_cap
+
+let s2c_ring t =
+  Ring.create ~ctrl:t.ctrl ~head_cell:c_s2c_head ~tail_cell:c_s2c_tail
+    ~data:t.data ~off:t.c2s_cap ~cap:t.s2c_cap
+
+(* Doorbell flags.  The waiter's [announce] stores behind a fence;
+   the ringer's check loads after its own publish (which fenced). *)
+
+let set_waiting t cell b =
+  fence ();
+  Bigarray.Array1.set t.ctrl cell (if b then 1 else 0);
+  fence ()
+
+let set_client_waiting t b = set_waiting t c_cli_waiting b
+let set_server_waiting t b = set_waiting t c_srv_waiting b
+let client_waiting t = Bigarray.Array1.get t.ctrl c_cli_waiting <> 0
+let server_waiting t = Bigarray.Array1.get t.ctrl c_srv_waiting <> 0
+
+let cli_bell t = cli_bell_path t.path
+let srv_bell t = srv_bell_path t.path
+
+let mark_closed t =
+  fence ();
+  Bigarray.Array1.set t.ctrl c_state state_closed;
+  fence ()
+
+let detach t = try Unix.close t.fd with Unix.Unix_error _ -> ()
+
+let unlink t =
+  (try Unix.unlink t.path with Unix.Unix_error _ -> ());
+  (try Unix.unlink (cli_bell_path t.path) with Unix.Unix_error _ -> ());
+  (try Unix.unlink (srv_bell_path t.path) with Unix.Unix_error _ -> ())
+
+let unlink_path path =
+  (try Unix.unlink path with Unix.Unix_error _ -> ());
+  (try Unix.unlink (cli_bell_path path) with Unix.Unix_error _ -> ());
+  (try Unix.unlink (srv_bell_path path) with Unix.Unix_error _ -> ())

@@ -1,0 +1,67 @@
+(** Segment file lifecycle for one shared-memory connection.
+
+    A segment is an mmap'd regular file holding a header page (magic,
+    version, generation stamp, open/closed state, ring index words,
+    doorbell flags) and two SPSC ring data areas (client→server and
+    server→client), plus two doorbell FIFOs beside it on disk.
+
+    The creator publishes the header with [state = open] last, behind
+    a fence; {!attach} validates magic, version, state, and — when
+    the caller passes the generation it learned out-of-band — the
+    generation stamp, so attaching a dead peer's leftover file fails
+    fast with {!Bad_segment} instead of deadlocking on a ring nobody
+    serves.  Teardown stamps [closed] before unlinking so a peer
+    still holding the mapping observes the close. *)
+
+exception Bad_segment of string
+
+type role = Client | Server
+type t
+
+val create : path:string -> ?c2s_cap:int -> ?s2c_cap:int -> unit -> t
+(** Create and fully initialize a segment at [path] (O_EXCL — the
+    name must be fresh), including both doorbell FIFOs.  Capacities
+    are bytes per direction, powers of two (default 64 KiB each).
+    The caller is the [Client] end. *)
+
+val attach : path:string -> ?expect_gen:int -> unit -> t
+(** Map an existing open segment as the [Server] end.
+    @raise Bad_segment on bad magic/version, a closed or half-built
+    segment, an undersized file, or a generation mismatch. *)
+
+val path : t -> string
+val role : t -> role
+val generation : t -> int
+val is_open : t -> bool
+(** False once either side called {!mark_closed}. *)
+
+val c2s_ring : t -> Ring.t
+(** Client→server ring view (client writes, server reads).  Build one
+    per side; the view holds per-side cursor state. *)
+
+val s2c_ring : t -> Ring.t
+(** Server→client ring view (server writes, client reads). *)
+
+val cli_bell : t -> string
+(** FIFO path the client sleeps on (daemon rings it). *)
+
+val srv_bell : t -> string
+(** FIFO path the daemon sleeps on (client rings it). *)
+
+val set_client_waiting : t -> bool -> unit
+val client_waiting : t -> bool
+val set_server_waiting : t -> bool -> unit
+val server_waiting : t -> bool
+
+val mark_closed : t -> unit
+(** Stamp the header [closed] (visible to a peer that still holds the
+    mapping even after the file is unlinked). *)
+
+val detach : t -> unit
+(** Close this side's file descriptor (mappings stay valid). *)
+
+val unlink : t -> unit
+(** Remove the segment file and both FIFOs from the filesystem. *)
+
+val unlink_path : string -> unit
+(** [unlink] by name alone — sweep a segment without attaching it. *)

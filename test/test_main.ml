@@ -15,6 +15,7 @@ let () =
          Test_queue.suites;
          Test_lfrc.suites;
          Test_service.suites;
+         Test_shm.suites;
          Test_replica.suites;
          Test_chaos.suites;
        ])
