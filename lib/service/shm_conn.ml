@@ -66,15 +66,31 @@ let announce_client ~path ~seg =
     Printf.sprintf "%s %d\n" (Shm.Seg.path seg) (Shm.Seg.generation seg)
   in
   let b = Bytes.of_string line in
-  (* One short write: comfortably under PIPE_BUF, hence atomic even
-     with concurrent connectors. *)
-  let n =
-    try Unix.write fd b 0 (Bytes.length b)
-    with Unix.Unix_error (Unix.EPIPE, _, _) ->
-      raise (Unavailable (path ^ ": daemon went away during connect"))
+  (* The line is comfortably under PIPE_BUF, so the nonblocking write
+     is atomic even with concurrent connectors: all-or-EAGAIN on the
+     fast path.  EAGAIN means the listen FIFO is full under a connect
+     storm — retry briefly rather than surfacing a raw Unix_error.
+     The short-write loop is belt-and-braces (it cannot trigger for a
+     sub-PIPE_BUF line, but once any byte is out the line must be
+     completed or abandoned to a dead daemon). *)
+  let rec write_from off attempts =
+    if off < Bytes.length b then
+      match Unix.write fd b off (Bytes.length b - off) with
+      | n -> write_from (off + n) attempts
+      | exception Unix.Unix_error (Unix.EINTR, _, _) ->
+          write_from off attempts
+      | exception Unix.Unix_error (Unix.EPIPE, _, _) ->
+          raise (Unavailable (path ^ ": daemon went away during connect"))
+      | exception Unix.Unix_error ((Unix.EAGAIN | Unix.EWOULDBLOCK), _, _)
+        ->
+          if attempts >= 1000 then
+            raise (Unavailable (path ^ ": daemon announce queue is full"))
+          else begin
+            Unix.sleepf 0.001;
+            write_from off (attempts + 1)
+          end
   in
-  if n <> Bytes.length b then
-    raise (Unavailable (path ^ ": short announce write"))
+  write_from 0 0
 
 let connect ~path =
   let seg_path =
@@ -156,6 +172,11 @@ let rec recv_reply c =
   | `Torn _ ->
       client_dead c;
       raise Conn.Closed
+  | `Msg plen when plen > Codec.max_frame ->
+      (* Stamped consistently but over the codec limit: corruption (or
+         a hostile writer).  Same fate as [`Torn] — never decoded. *)
+      client_dead c;
+      raise Conn.Closed
   | `Msg _ -> (
       match Codec.next_frame c.rx_reader with
       | Codec.Frame payload ->
@@ -164,6 +185,9 @@ let rec recv_reply c =
       | Codec.Eof | Codec.Torn _ ->
           (* [pending] guaranteed a complete message; only header/ring
              corruption can land here. *)
+          client_dead c;
+          raise Conn.Closed
+      | exception Codec.Malformed _ ->
           client_dead c;
           raise Conn.Closed)
   | `Empty ->
@@ -427,6 +451,14 @@ let pump_in srv sc =
              dies, the client observes the closed segment. *)
           sc.sc_dying <- true;
           continue := false
+      | `Msg plen when plen > Codec.max_frame ->
+          (* A correctly-stamped frame over the codec limit is within
+             the ring's [max_payload] but can never be a legal request
+             — any same-uid ring writer can craft one (the stamp is a
+             pure function of seq/len), so damage must cost the
+             connection, not the multiplexer domain. *)
+          sc.sc_dying <- true;
+          continue := false
       | `Msg _ -> (
           if
             (not (Conn.Faults.is_none srv.faults))
@@ -439,13 +471,32 @@ let pump_in srv sc =
               handle_request srv sc payload
           | Codec.Eof | Codec.Torn _ ->
               sc.sc_dying <- true;
+              continue := false
+          | exception Codec.Malformed _ ->
+              sc.sc_dying <- true;
               continue := false)
   done;
   !progress
 
+(* Only names our own connecting clients generate — the listen path
+   plus the ".seg." infix and a slash-free suffix (the same predicate
+   [sweep_stale_segments] uses).  Anything else in an announce line is
+   ignored outright: the FIFO is same-uid writable, and acting on an
+   arbitrary path would let any local writer direct the daemon to mmap
+   or unlink files it has no business touching. *)
+let valid_seg_path srv seg_path =
+  let prefix = srv.path ^ ".seg." in
+  let plen = String.length prefix in
+  String.length seg_path > plen
+  && String.sub seg_path 0 plen = prefix
+  && not
+       (String.contains
+          (String.sub seg_path plen (String.length seg_path - plen))
+          '/')
+
 let attach_announced srv line =
   match String.split_on_char ' ' (String.trim line) with
-  | [ seg_path; gen_s ] -> (
+  | [ seg_path; gen_s ] when valid_seg_path srv seg_path -> (
       match int_of_string_opt gen_s with
       | None -> Shm.Seg.unlink_path seg_path
       | Some gen -> (
@@ -517,11 +568,15 @@ let pump_listen srv =
       |> List.iter (fun line -> if line <> "" then attach_announced srv line));
   !progress
 
-let mux_loop srv () =
-  let spin = ref 0 in
-  while Atomic.get srv.running do
-    let progress = ref false in
-    if pump_listen srv then progress := true;
+let mux_iter srv spin =
+  (* Baseline for the idle check below, taken BEFORE this pass's
+     pumping: a completion that lands mid-pass (after its connection's
+     pump_out, before we announce the sleep) must fail [still_idle],
+     because its [wake_mux] may have seen [mux_waiting] still false
+     and skipped the self-pipe. *)
+  let completions_before = Atomic.get srv.completions in
+  let progress = ref false in
+  if pump_listen srv then progress := true;
     let live, dead =
       List.partition
         (fun sc ->
@@ -553,7 +608,6 @@ let mux_loop srv () =
         spin := 0;
         List.iter (fun sc -> Shm.Seg.set_server_waiting sc.sc_seg true) srv.conns;
         Atomic.set srv.mux_waiting true;
-        let before = Atomic.get srv.completions in
         let still_idle =
           (not (pump_listen srv))
           && List.for_all
@@ -563,7 +617,7 @@ let mux_loop srv () =
                  | _ -> false)
                  && Shm.Seg.is_open sc.sc_seg)
                srv.conns
-          && Atomic.get srv.completions = before
+          && Atomic.get srv.completions = completions_before
         in
         if still_idle && Atomic.get srv.running then begin
           let fds =
@@ -583,6 +637,23 @@ let mux_loop srv () =
         drain_fd srv.pipe_rd
       end
     end
+
+let mux_loop srv () =
+  let spin = ref 0 in
+  let strikes = ref 0 in
+  while Atomic.get srv.running do
+    (* Nothing may kill the multiplexer domain: every connection hangs
+       off it, and a stored exception would otherwise hide until the
+       Domain.join in shutdown.  Per-connection damage is already
+       absorbed inside the pumps; anything that still escapes is a
+       daemon-level fault — report it, and give up serving only if it
+       repeats without a single clean pass in between. *)
+    match mux_iter srv spin with
+    | () -> strikes := 0
+    | exception e ->
+        incr strikes;
+        Printf.eprintf "shm mux: unexpected %s\n%!" (Printexc.to_string e);
+        if !strikes >= 100 then Atomic.set srv.running false
   done;
   (* Teardown (on the multiplexer domain, so connection state has a
      single owner to the end): stamp every segment closed, wake and

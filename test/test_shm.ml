@@ -518,6 +518,74 @@ let test_shm_conn_faults_parity () =
   | r -> Alcotest.failf "fresh conn: %s" (Codec.reply_to_string r));
   Service.Shm_conn.close c2
 
+(* The multiplexer survives a hostile ring writer.  A correctly
+   stamped frame with length in (Codec.max_frame, ring max_payload] is
+   craftable by any same-uid writer — the commit stamp is a pure
+   function of seq/len — and must cost that connection, never the
+   daemon (Codec.Malformed used to escape pump_in and kill the
+   multiplexer domain). *)
+let test_shm_conn_oversize_frame_kills_conn_not_daemon () =
+  with_server @@ fun ~path ~svc:_ ~srv:_ ->
+  let seg_path = Printf.sprintf "%s.seg.%d.999" path (Unix.getpid ()) in
+  let seg = Shm.Seg.create ~path:seg_path () in
+  let fd = Unix.openfile path [ Unix.O_WRONLY; Unix.O_NONBLOCK ] 0 in
+  let line = Printf.sprintf "%s %d\n" seg_path (Shm.Seg.generation seg) in
+  ignore (Unix.write_substring fd line 0 (String.length line));
+  Unix.close fd;
+  let tx = Shm.Seg.c2s_ring seg in
+  let plen = 2 * Codec.max_frame in
+  let frame = Bytes.create (4 + plen) in
+  Bytes.set_int32_be frame 0 (Int32.of_int plen);
+  Alcotest.(check bool)
+    "oversized frame enters the ring" true
+    (Shm.Ring.try_send tx frame ~pos:0 ~len:(4 + plen));
+  let srv_bell = Shm.Doorbell.attach ~path:(Shm.Seg.srv_bell seg) in
+  Shm.Doorbell.ring srv_bell;
+  (* The daemon stamps the connection closed rather than dying. *)
+  let deadline = Unix.gettimeofday () +. 5.0 in
+  while Shm.Seg.is_open seg && Unix.gettimeofday () < deadline do
+    Unix.sleepf 0.005
+  done;
+  Alcotest.(check bool) "hostile connection killed" false (Shm.Seg.is_open seg);
+  Shm.Doorbell.close srv_bell;
+  Shm.Seg.detach seg;
+  (* The multiplexer survived: a legitimate client still works. *)
+  let c = Service.Shm_conn.connect ~path in
+  (match Service.Shm_conn.call c (Codec.Put { key = 1; value = 1 }) with
+  | Codec.Created -> ()
+  | r -> Alcotest.failf "daemon after oversize frame: %s" (Codec.reply_to_string r));
+  Service.Shm_conn.close c
+
+(* Announce lines naming paths outside "<listen>.seg.*" are ignored:
+   the FIFO is same-uid writable, and the daemon must not mmap or
+   unlink an arbitrary path on a writer's say-so. *)
+let test_shm_conn_rejects_foreign_announce () =
+  with_server @@ fun ~path ~svc:_ ~srv:_ ->
+  let victim = tmp_name "victim" in
+  let oc = open_out victim in
+  output_string oc "precious";
+  close_out oc;
+  let fd = Unix.openfile path [ Unix.O_WRONLY; Unix.O_NONBLOCK ] 0 in
+  List.iter
+    (fun line ->
+      ignore (Unix.write_substring fd line 0 (String.length line)))
+    [
+      victim ^ " not-a-number\n";
+      victim ^ " 1\n";
+      (* Prefix-satisfying but slash-smuggling relative escape. *)
+      path ^ ".seg./../" ^ Filename.basename victim ^ " 1\n";
+    ];
+  Unix.close fd;
+  (* A later connect's announce rides the same FIFO, so a completed
+     call proves the foreign lines were already consumed. *)
+  let c = Service.Shm_conn.connect ~path in
+  (match Service.Shm_conn.call c (Codec.Put { key = 2; value = 2 }) with
+  | Codec.Created -> ()
+  | r -> Alcotest.failf "daemon after foreign announce: %s" (Codec.reply_to_string r));
+  Service.Shm_conn.close c;
+  Alcotest.(check bool) "victim file untouched" true (Sys.file_exists victim);
+  Sys.remove victim
+
 let test_shm_conn_stale_listen_claim () =
   (* A dead daemon's listen FIFO and segments are swept by the next
      serve, not deadlocked on. *)
@@ -684,6 +752,10 @@ let suites =
           test_shm_conn_shutdown_wakes_client;
         Alcotest.test_case "reply faults surface as Closed (parity)" `Quick
           test_shm_conn_faults_parity;
+        Alcotest.test_case "oversize stamped frame kills conn, not daemon"
+          `Quick test_shm_conn_oversize_frame_kills_conn_not_daemon;
+        Alcotest.test_case "foreign announce paths ignored" `Quick
+          test_shm_conn_rejects_foreign_announce;
         Alcotest.test_case "stale listen FIFO swept and reclaimed" `Quick
           test_shm_conn_stale_listen_claim;
       ] );
