@@ -71,6 +71,20 @@ let scheme_rows group f =
         f s.Workload.Registry.s_mod ))
     Workload.Registry.schemes
 
+(* The transparency baseline: the same dereference with no tracker in
+   the loop — one atomic load plus the projection.  Pairing this row
+   with table1/read-cost/<scheme> measures the whole price of
+   protection on the read path, Table 1's "transparent" column as a
+   number: for Hyaline-family schemes the pair should be within a few
+   ns (reads add no per-access bookkeeping), while LFRC's pair spreads
+   by two atomic RMWs. *)
+let plain_read_cost =
+  let pool = Pool.create () in
+  let b = Pool.alloc pool in
+  let link = Atomic.make b in
+  let proj (b : Blk.t) = b.Blk.hdr in
+  (fun () -> ignore (Sys.opaque_identity (proj (Atomic.get link))))
+
 (* LFRC's protected read: atomic bump + revalidate + atomic release —
    the "very slow (esp. reading)" row of Table 1, measured. *)
 let lfrc_read_cost =
@@ -202,6 +216,43 @@ let shard_call_mem_wal_cost =
       (Service.Shard.call p.Replica.Primary.svc ~tid:0
          (Service.Codec.Put { key = 7; value = 1 }));
     wal_trim p.Replica.Primary.wals.(0)
+
+(* ------------------------------------------------------------------ *)
+(* lib/cluster placement costs: the per-request ring hash, the full
+   virtual-node table build, and the ownership check + redirect a
+   mis-routed request pays at a node before any shard is touched (the
+   evloop pump answers it inline, so this is the whole server-side
+   cost of a Moved bounce). *)
+
+let ring_slot_cost =
+  let k = ref 0 in
+  fun () ->
+    incr k;
+    ignore (Sys.opaque_identity (Cluster.Ring.slot_of_key ~nslots:64 !k))
+
+let ring_assign_cost () =
+  ignore
+    (Sys.opaque_identity
+       (Cluster.Ring.assign ~seed:42 ~nslots:64 ~nodes:[ 0; 1; 2 ]))
+
+let node_redirect_cost =
+  let store, _ = Replica.Store.Mem.create () in
+  let p, _ =
+    Replica.Primary.create
+      ~structure:(Workload.Registry.find_structure "hashmap")
+      ~scheme:(Workload.Registry.find_scheme "hyaline")
+      { Service.Shard.default_config with Service.Shard.shards = 1; clients = 2 }
+      ~store ()
+  in
+  (* Every slot assigned to node 1 while this is node 0: every key
+     bounces, so the loop measures check + Moved construction only. *)
+  let node =
+    Cluster.Node.create ~node_id:0 ~nslots:64 ~owners:(Array.make 64 1)
+      ~apply_tid:1 p
+  in
+  fun () ->
+    ignore
+      (Sys.opaque_identity (Cluster.Node.handle node (Service.Codec.Get 7)))
 
 (* ------------------------------------------------------------------ *)
 (* lib/shm transport costs: the syscall-vs-memcpy substitution,
@@ -382,6 +433,7 @@ let microbenches () =
   @ scheme_rows "read-cost" read_cost
   @ [
       ("table1/read-cost/LFRC", lfrc_read_cost);
+      ("table1/transparency/plain-read", plain_read_cost);
       ("table1/service/codec-roundtrip", codec_roundtrip_cost);
     ]
   @ scheme_rows "service/mailbox-cycle" mailbox_cost
@@ -396,6 +448,9 @@ let microbenches () =
       ("table1/replica/wal-commit-64rec", wal_commit_cost ~batch:64);
       ("table1/replica/shard-call-hook-off", shard_call_hook_off_cost);
       ("table1/replica/shard-call-mem-wal", shard_call_mem_wal_cost);
+      ("cluster/ring/slot-of-key", ring_slot_cost);
+      ("cluster/ring/assign-64s-3n", ring_assign_cost);
+      ("cluster/node/redirect-check", node_redirect_cost);
     ]
   @ [
       ("serve/transport/frame-pass/shm-ring", ring_frame_pass_cost);

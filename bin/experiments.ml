@@ -1480,10 +1480,520 @@ let run_replicate ~sc ~ds ~schemes ~shards ~smoke ~plot =
        recovered states oracle-identical, snapshot reader bounded only under \
        the robust scheme@."
 
+(* ------------------------------------------------------------------ *)
+(* cluster: N consistent-hash members (each a durable Primary wrapped
+   in a Cluster.Node, served over the evloop Conn backend), a router
+   chasing redirects, live slot migrations under Zipf load, whole-node
+   kill/partition faults from a declarative plan, and the robustness
+   contrast measured while a migration snapshot reader is parked
+   mid-ship. *)
+
+let cluster_csv_header = "phase,scheme,structure,nodes,metric,value\n"
+
+let cluster_emit ~phase ~scheme ~structure ~nodes metrics =
+  (match !csv_channel with
+  | Some oc ->
+      List.iter
+        (fun (metric, v) ->
+          Printf.fprintf oc "%s,%s,%s,%d,%s,%.1f\n" phase scheme structure
+            nodes metric v)
+        metrics;
+      flush oc
+  | None -> ());
+  match !prom_channel with
+  | Some oc ->
+      List.iter
+        (fun (metric, v) ->
+          Printf.fprintf oc "cluster_%s{phase=%S,scheme=%S} %.1f\n" metric
+            phase scheme v)
+        metrics;
+      flush oc
+  | None -> ()
+
+type cluster_res = {
+  cr_acked : int;
+  cr_kops : float;
+  cr_failed : int;  (** routed calls that failed outside any outage *)
+  cr_unavailable : int;  (** routed calls that failed during an outage *)
+  cr_moved : int;
+  cr_shed : int;
+  cr_migrations : int;
+  cr_snap_kvs : int;
+  cr_snap_pages : int;
+  cr_catchup_records : int;
+  cr_catchup_rounds : int;
+  cr_snap_unr : int;  (** shard-0 backlog while the snap reader is parked *)
+  cr_reboots : int;
+  cr_partitions : int;
+  cr_table_kept : bool;
+  cr_oracle_ok : bool;
+}
+
+let cluster_run_one ~scheme_name ~structure_name ~nnodes ~seed ~churn ~nmig
+    ~plan =
+  let structure = Registry.find_structure structure_name in
+  let scheme = Registry.find_scheme scheme_name in
+  let nslots = Cluster.Ring.default_nslots in
+  let shards = 2 in
+  let apply_tid = 5 in
+  let keyrange = 256 in
+  let cfg =
+    { Service.Shard.default_config with Service.Shard.shards; clients = 6; seed }
+  in
+  let stores = Array.init nnodes (fun _ -> fst (Replica.Store.Mem.create ())) in
+  let mk_primary id =
+    fst (Replica.Primary.create ~structure ~scheme cfg ~store:stores.(id) ())
+  in
+  let owners0 =
+    Cluster.Ring.assign ~seed ~nslots ~nodes:(List.init nnodes Fun.id)
+  in
+  let prims = Array.init nnodes mk_primary in
+  let nodes =
+    Array.mapi
+      (fun id p ->
+        Cluster.Node.create ~node_id:id ~nslots ~owners:(Array.copy owners0)
+          ~apply_tid p)
+      prims
+  in
+  let paths =
+    Array.init nnodes (fun id ->
+        Filename.concat
+          (Filename.get_temp_dir_name ())
+          (Printf.sprintf "kvcluster-%d-%d.sock" (Unix.getpid ()) id))
+  in
+  let serve id =
+    Service.Conn.serve_unix prims.(id).Replica.Primary.svc ~path:paths.(id)
+      ~ext:(Cluster.Node.handle nodes.(id))
+      ~backend:(`Evloop `Auto) ()
+  in
+  let servers = Array.init nnodes serve in
+  let eps =
+    Array.init nnodes (fun id -> Cluster.Router.endpoint ~id ~path:paths.(id))
+  in
+  let router =
+    Cluster.Router.create ~nslots ~endpoints:(Array.to_list eps) ()
+  in
+  let dist = Keydist.zipf ~range:keyrange () in
+  let stop = Atomic.make false in
+  let hold = Atomic.make false in
+  let parked = Atomic.make false in
+  let outage = Atomic.make false in
+  let acked = Atomic.make 0 in
+  let failed = Atomic.make 0 in
+  let unavailable = Atomic.make 0 in
+  let t0 = Unix.gettimeofday () in
+  (* One sequential driver: each op is acked before the next is
+     issued, so the acked history is a linearization and
+     Oracle.replay_state of it is exact.  The hold/parked handshake
+     lets the fault injector operate with no request in flight —
+     a kill never leaves an applied-but-unacked write to argue about. *)
+  let driver =
+    Domain.spawn (fun () ->
+        let rng = Prims.Rng.create ~seed:(seed + 7) in
+        let history = ref [] in
+        while not (Atomic.get stop) do
+          if Atomic.get hold then begin
+            Atomic.set parked true;
+            while Atomic.get hold && not (Atomic.get stop) do
+              Domain.cpu_relax ()
+            done;
+            Atomic.set parked false
+          end
+          else begin
+            let key = Keydist.draw dist rng in
+            let req =
+              match Prims.Rng.below rng 10 with
+              | 0 | 1 | 2 | 3 ->
+                  Service.Codec.Put { key; value = Prims.Rng.below rng 1000 }
+              | 4 | 5 -> Service.Codec.Del key
+              | 6 ->
+                  Service.Codec.Cas
+                    {
+                      key;
+                      expected = Prims.Rng.below rng 1000;
+                      desired = Prims.Rng.below rng 1000;
+                    }
+              | _ -> Service.Codec.Get key
+            in
+            match Cluster.Router.call router req with
+            | Service.Codec.Error _ | Service.Codec.Shed
+            | Service.Codec.Moved _ ->
+                if Atomic.get outage then Atomic.incr unavailable
+                else Atomic.incr failed
+            | reply ->
+                history := (req, reply) :: !history;
+                Atomic.incr acked
+          end
+        done;
+        List.rev !history)
+  in
+  let joined = ref false in
+  Fun.protect
+    ~finally:(fun () ->
+      Atomic.set stop true;
+      Atomic.set hold false;
+      if not !joined then ignore (Domain.join driver);
+      Cluster.Router.close router;
+      Array.iter Service.Conn.shutdown servers;
+      Array.iter Replica.Primary.stop prims)
+    (fun () ->
+      let park () =
+        Atomic.set hold true;
+        while not (Atomic.get parked) do
+          Domain.cpu_relax ()
+        done
+      in
+      let release () = Atomic.set hold false in
+      let wait_acked n =
+        let deadline = Unix.gettimeofday () +. 30. in
+        while Atomic.get acked < n && Unix.gettimeofday () < deadline do
+          Unix.sleepf 0.001
+        done;
+        if Atomic.get acked < n then
+          failwith "cluster: the routed driver stopped making progress"
+      in
+      (* Phase 1: routed load builds against the boot table. *)
+      wait_acked 200;
+      (* Phase 2: migrate the hottest source-owned slots (the Zipf
+         head lives on the smallest keys) while the driver keeps
+         writing through them. *)
+      let mig_slots =
+        let seen = Hashtbl.create 8 in
+        let acc = ref [] in
+        let k = ref 0 in
+        while List.length !acc < nmig && !k < 100 * keyrange do
+          let s = Cluster.Ring.slot_of_key ~nslots !k in
+          if (not (Hashtbl.mem seen s)) && Cluster.Node.owns_slot nodes.(0) s
+          then begin
+            Hashtbl.add seen s ();
+            acc := s :: !acc
+          end;
+          incr k
+        done;
+        List.rev !acc
+      in
+      let mig_stats =
+        List.map
+          (fun slot ->
+            match
+              Cluster.Migrate.run ~src:eps.(0) ~dst:eps.(1) ~slot
+                ~nshards:shards ~nslots ~router ()
+            with
+            | Ok s -> s
+            | Error e ->
+                failwith (Printf.sprintf "cluster: migrating slot %d: %s" slot e))
+          mig_slots
+      in
+      (* Phase 3: the robustness window.  A migration's snapshot
+         consumer can stall mid-ship (a slow target draining Cl_snap
+         pages); the traversal's bracket then pins whatever the scheme
+         cannot reclaim.  Park exactly that traversal in-process (over
+         the wire a parked gate would stall the transport pump) and
+         churn fresh keys through the gated shard via the router, so
+         the retirements travel the full cluster data path. *)
+      let entered = Atomic.make false in
+      let release_snap = Atomic.make false in
+      let gate i =
+        if i = 0 then begin
+          Atomic.set entered true;
+          while not (Atomic.get release_snap) do
+            Domain.cpu_relax ()
+          done
+        end
+      in
+      let svc0 = prims.(0).Replica.Primary.svc in
+      let snap =
+        Domain.spawn (fun () -> svc0.Service.Shard.snapshot ~shard:0 ~gate)
+      in
+      let snap_unr =
+        Fun.protect
+          ~finally:(fun () ->
+            Atomic.set release_snap true;
+            ignore (Domain.join snap))
+          (fun () ->
+            while not (Atomic.get entered) do
+              Domain.cpu_relax ()
+            done;
+            let churned = ref 0 in
+            let kk = ref 1_000_000 in
+            while !churned < churn do
+              if
+                Cluster.Node.owns_slot nodes.(0)
+                  (Cluster.Ring.slot_of_key ~nslots !kk)
+                && svc0.Service.Shard.shard_of_key !kk = 0
+              then begin
+                ignore
+                  (Cluster.Router.call router
+                     (Service.Codec.Put { key = !kk; value = 1 }));
+                ignore (Cluster.Router.call router (Service.Codec.Del !kk));
+                churned := !churned + 2
+              end;
+              incr kk
+            done;
+            Smr.Stats.unreclaimed_of
+              (Smr.Stats.snapshot
+                 (List.nth (svc0.Service.Shard.data_stats ()) 0)))
+      in
+      (* Phase 4: whole-node faults.  Virtual time is the acked-op
+         counter; each event parks the driver, performs the surgery
+         with nothing in flight, and releases.  A kill reboots from
+         the node's own store — WAL recovery plus the persisted
+         ownership table; a partition only tears the transport down
+         and back up. *)
+      let base = Atomic.get acked in
+      let reboots = ref 0 in
+      let partitions = ref 0 in
+      let table_kept = ref true in
+      List.iter
+        (fun (e : Chaos.Fault.node_event) ->
+          let n = e.n_node in
+          let d =
+            match e.n_kind with
+            | Chaos.Fault.Node_kill d | Chaos.Fault.Node_partition d -> d
+          in
+          wait_acked (base + e.n_at);
+          park ();
+          Atomic.set outage true;
+          let pre_owners = Cluster.Node.owners nodes.(n) in
+          let pre_version = Cluster.Node.version nodes.(n) in
+          (match e.n_kind with
+          | Chaos.Fault.Node_kill _ ->
+              Service.Conn.shutdown servers.(n);
+              Replica.Primary.kill prims.(n);
+              Replica.Primary.stop prims.(n)
+          | Chaos.Fault.Node_partition _ -> Service.Conn.shutdown servers.(n));
+          release ();
+          wait_acked (base + e.n_at + d);
+          park ();
+          (match e.n_kind with
+          | Chaos.Fault.Node_kill _ ->
+              incr reboots;
+              prims.(n) <- mk_primary n;
+              nodes.(n) <-
+                Cluster.Node.create ~node_id:n ~nslots
+                  ~owners:(Array.make nslots 0) ~apply_tid prims.(n);
+              if
+                Cluster.Node.owners nodes.(n) <> pre_owners
+                || Cluster.Node.version nodes.(n) <> pre_version
+              then table_kept := false
+          | Chaos.Fault.Node_partition _ -> incr partitions);
+          servers.(n) <- serve n;
+          Atomic.set outage false;
+          release ())
+        plan;
+      (* Tail load with the cluster whole again, then the merged-history
+         oracle check: replay the acked history sequentially and compare
+         every key's value as the cluster serves it now. *)
+      let plan_end =
+        List.fold_left
+          (fun a (e : Chaos.Fault.node_event) ->
+            let d =
+              match e.n_kind with
+              | Chaos.Fault.Node_kill d | Chaos.Fault.Node_partition d -> d
+            in
+            max a (e.n_at + d))
+          0 plan
+      in
+      wait_acked (base + plan_end + 50);
+      Atomic.set stop true;
+      let history = Domain.join driver in
+      joined := true;
+      let dt = Unix.gettimeofday () -. t0 in
+      let expected = Chaos.Oracle.replay_state ~ops:history in
+      let final =
+        List.filter_map
+          (fun k ->
+            match Cluster.Router.call router (Service.Codec.Get k) with
+            | Service.Codec.Value v -> Some (k, v)
+            | Service.Codec.Not_found -> None
+            | r ->
+                failwith
+                  (Printf.sprintf "cluster: final get %d answered %s" k
+                     (Service.Codec.reply_to_string r)))
+          (List.init keyrange Fun.id)
+      in
+      let sum f = List.fold_left (fun a s -> a + f s) 0 mig_stats in
+      {
+        cr_acked = List.length history;
+        cr_kops = float_of_int (List.length history) /. dt /. 1e3;
+        cr_failed = Atomic.get failed;
+        cr_unavailable = Atomic.get unavailable;
+        cr_moved = Cluster.Router.moved_seen router;
+        cr_shed = Cluster.Router.shed_seen router;
+        cr_migrations = List.length mig_stats;
+        cr_snap_kvs = sum (fun s -> s.Cluster.Migrate.mg_snap_kvs);
+        cr_snap_pages = sum (fun s -> s.Cluster.Migrate.mg_snap_pages);
+        cr_catchup_records = sum (fun s -> s.Cluster.Migrate.mg_catchup_records);
+        cr_catchup_rounds = sum (fun s -> s.Cluster.Migrate.mg_catchup_rounds);
+        cr_snap_unr = snap_unr;
+        cr_reboots = !reboots;
+        cr_partitions = !partitions;
+        cr_table_kept = !table_kept;
+        cr_oracle_ok = expected = final;
+      })
+
+let run_cluster ~ds ~schemes ~nnodes ~seed ~smoke =
+  if nnodes < 2 then begin
+    Format.eprintf "cluster needs at least 2 nodes (--nodes)@.";
+    exit 2
+  end;
+  let structure_name = match ds with "all" -> "hashmap" | d -> d in
+  let churn = if smoke then 1200 else 4000 in
+  let bound = churn / 4 in
+  let nmig = if smoke then 2 else 4 in
+  (* The smoke plan is fixed by hand so CI always exercises both fault
+     shapes: the migration target dies (the grant must survive its
+     reboot) and the bulk owner partitions (availability dips, nothing
+     to recover). *)
+  let plan =
+    if smoke then
+      [
+        { Chaos.Fault.n_at = 40; n_node = 1; n_kind = Chaos.Fault.Node_kill 60 };
+        {
+          Chaos.Fault.n_at = 160;
+          n_node = 0;
+          n_kind = Chaos.Fault.Node_partition 60;
+        };
+      ]
+    else
+      Chaos.Fault.node_plan ~seed:(seed + 13) ~steps:600 ~nnodes ~events:3
+        ~outage:80
+  in
+  Format.printf
+    "## cluster (%s, %d nodes x 2 shards, %d slots, zipf, %d migrations, \
+     churn %d%s)@."
+    structure_name nnodes Cluster.Ring.default_nslots nmig churn
+    (if smoke then ", smoke" else "");
+  List.iter
+    (fun e -> Format.printf "   %s@." (Chaos.Fault.node_event_to_string e))
+    plan;
+  Format.printf "%-18s %6s %7s %5s %7s %6s %5s %8s %7s %8s %4s %4s %3s@."
+    "scheme" "Kops" "acked" "fail" "unavail" "moved" "shed" "snap-kvs"
+    "catchup" "snap-unr" "reb" "part" "ok";
+  let problems = ref [] in
+  let check c msg = if not c then problems := msg :: !problems in
+  let has_kill =
+    List.exists
+      (fun (e : Chaos.Fault.node_event) ->
+        match e.n_kind with Chaos.Fault.Node_kill _ -> true | _ -> false)
+      plan
+  in
+  let snap_unr = ref [] in
+  List.iter
+    (fun scheme_name ->
+      let r =
+        cluster_run_one ~scheme_name ~structure_name ~nnodes ~seed ~churn
+          ~nmig ~plan
+      in
+      snap_unr := (scheme_name, r.cr_snap_unr) :: !snap_unr;
+      check (r.cr_failed = 0)
+        (Printf.sprintf
+           "%s: %d routed calls failed outside an outage window" scheme_name
+           r.cr_failed);
+      check r.cr_oracle_ok
+        (scheme_name
+       ^ ": cluster state diverged from the oracle replay of the acked history");
+      check r.cr_table_kept
+        (scheme_name ^ ": a rebooted node lost its persisted ownership table");
+      check (r.cr_snap_kvs > 0)
+        (scheme_name ^ ": migration bootstrap shipped no bindings");
+      check
+        (r.cr_catchup_rounds >= r.cr_migrations)
+        (scheme_name ^ ": migrations ran without catch-up rounds");
+      check
+        ((not has_kill) || r.cr_reboots >= 1)
+        (scheme_name ^ ": the plan's kill never rebooted a node");
+      Format.printf "%-18s %6.1f %7d %5d %7d %6d %5d %8d %7d %8d %4d %4d %3s@."
+        scheme_name r.cr_kops r.cr_acked r.cr_failed r.cr_unavailable
+        r.cr_moved r.cr_shed r.cr_snap_kvs r.cr_catchup_records r.cr_snap_unr
+        r.cr_reboots r.cr_partitions
+        (if r.cr_failed = 0 && r.cr_oracle_ok && r.cr_table_kept then "ok"
+         else "DIV");
+      cluster_emit ~phase:"route" ~scheme:scheme_name ~structure:structure_name
+        ~nodes:nnodes
+        [
+          ("acked_kops", r.cr_kops);
+          ("acked_ops", float_of_int r.cr_acked);
+          ("failed", float_of_int r.cr_failed);
+          ("unavailable", float_of_int r.cr_unavailable);
+          ("moved", float_of_int r.cr_moved);
+          ("shed", float_of_int r.cr_shed);
+        ];
+      cluster_emit ~phase:"migrate" ~scheme:scheme_name
+        ~structure:structure_name ~nodes:nnodes
+        [
+          ("migrations", float_of_int r.cr_migrations);
+          ("snap_kvs", float_of_int r.cr_snap_kvs);
+          ("snap_pages", float_of_int r.cr_snap_pages);
+          ("catchup_records", float_of_int r.cr_catchup_records);
+          ("catchup_rounds", float_of_int r.cr_catchup_rounds);
+        ];
+      cluster_emit ~phase:"snapshot" ~scheme:scheme_name
+        ~structure:structure_name ~nodes:nnodes
+        [
+          ("snap_unreclaimed", float_of_int r.cr_snap_unr);
+          ("bound", float_of_int bound);
+        ];
+      cluster_emit ~phase:"faults" ~scheme:scheme_name
+        ~structure:structure_name ~nodes:nnodes
+        [
+          ("reboots", float_of_int r.cr_reboots);
+          ("partitions", float_of_int r.cr_partitions);
+          ("table_kept", if r.cr_table_kept then 1.0 else 0.0);
+          ("oracle_ok", if r.cr_oracle_ok then 1.0 else 0.0);
+        ])
+    schemes;
+  Format.printf "@.";
+  (* The robustness contrast: the parked snapshot shipper is the
+     paper's stalled adversary at cluster scale.  EBR must blow the
+     bound; every robust scheme must stay under it. *)
+  let is_robust n =
+    let prefix p =
+      String.length n >= String.length p && String.sub n 0 (String.length p) = p
+    in
+    prefix "hyalines" || prefix "crystalline"
+  in
+  (match List.assoc_opt "ebr" !snap_unr with
+  | Some u ->
+      check (u > bound)
+        (Printf.sprintf
+           "ebr: parked snapshot shipper pinned only %d nodes (bound %d) — \
+            expected unbounded growth"
+           u bound)
+  | None -> if smoke then check false "smoke needs ebr in --schemes");
+  (match List.filter (fun (n, _) -> is_robust n) !snap_unr with
+  | [] ->
+      if smoke then
+        check false
+          "smoke needs a robust scheme (hyalines/crystalline) in --schemes"
+  | robusts ->
+      List.iter
+        (fun (n, u) ->
+          check (u <= bound)
+            (Printf.sprintf
+               "%s: snapshot-shipping backlog %d exceeded the bound %d" n u
+               bound))
+        robusts);
+  if !problems <> [] then begin
+    List.iter
+      (fun m ->
+        Format.eprintf "cluster%s FAILED: %s@."
+          (if smoke then " smoke" else "")
+          m)
+      (List.rev !problems);
+    exit 1
+  end
+  else if smoke then
+    Format.printf
+      "cluster smoke ok: zero lost acks through live migration and node \
+       faults, merged acked history oracle-identical, cutover record kept \
+       across reboot, snapshot-shipping backlog bounded only under the \
+       robust schemes@."
+
 let rec dispatch figure ds paper threads duration active plot csv metrics_csv
     prom repeat dist schemes_arg head_backend shards_arg stalled_shards rate
     mixname churn mailbox_cap chaos_steps chaos_seed faults_arg bound smoke
-    transport =
+    transport nodes_arg =
   (* --head-backend: rebase every Hyaline entry of a sweep list onto
      the requested Head backend (dwcas|llsc|packed); baselines and
      schemes without that variant pass through unchanged. *)
@@ -1500,6 +2010,7 @@ let rec dispatch figure ds paper threads duration active plot csv metrics_csv
         | "serve" -> serve_csv_header
         | "chaos" -> chaos_csv_header
         | "replicate" -> rep_csv_header
+        | "cluster" -> cluster_csv_header
         | _ -> csv_header);
       csv_channel := Some oc
   | _ -> ());
@@ -1550,6 +2061,14 @@ let rec dispatch figure ds paper threads duration active plot csv metrics_csv
           | l -> l)
       in
       run_replicate ~sc ~ds ~schemes ~shards:shards_arg ~smoke ~plot
+  | "cluster" ->
+      let schemes =
+        rebase
+          (match schemes_arg with
+          | [] -> [ "ebr"; "hyalines"; "crystalline" ]
+          | l -> l)
+      in
+      run_cluster ~ds ~schemes ~nnodes:nodes_arg ~seed:chaos_seed ~smoke
   | "table1" ->
       Format.printf "## Table 1 — scheme properties@.";
       Figures.table1 Format.std_formatter;
@@ -1612,7 +2131,7 @@ let rec dispatch figure ds paper threads duration active plot csv metrics_csv
           dispatch f "hashmap" paper threads duration active plot csv
             metrics_csv prom repeat dist schemes_arg head_backend shards_arg
             stalled_shards rate mixname churn mailbox_cap chaos_steps
-            chaos_seed faults_arg bound smoke transport)
+            chaos_seed faults_arg bound smoke transport nodes_arg)
         [
           "ablate-batch"; "ablate-slots"; "ablate-freq"; "ablate-spurious";
           "ablate-skew";
@@ -1622,7 +2141,7 @@ let rec dispatch figure ds paper threads duration active plot csv metrics_csv
       Format.eprintf
         "unknown figure %S (try table1, fig8..fig16, fig10a, fig10b, lag, \
          ablate-batch, ablate-slots, ablate-freq, ablate-spurious, serve, \
-         chaos, replicate, all)@."
+         chaos, replicate, cluster, all)@."
         other;
       exit 2
 
@@ -1666,7 +2185,9 @@ let figure =
           "Which result to regenerate: table1, fig8, fig9, fig10a, fig10b, \
            fig11..fig16, ablate-batch, ablate-slots, ablate-freq, \
            ablate-spurious, ablate (all four), serve (the KV service \
-           sweep), chaos (the fault-injection matrix), or all.")
+           sweep), chaos (the fault-injection matrix), replicate (the \
+           durable-primary matrix), cluster (the multi-daemon migration \
+           matrix), or all.")
 
 let ds =
   Arg.(
@@ -1858,7 +2379,10 @@ let smoke =
            exceeds it.  (serve) CI gate: a seeded request stream must \
            answer identically over the unix and shm transports, and a \
            stalled zero-copy bracket must stay bounded under the robust \
-           scheme while epoch balloons.")
+           scheme while epoch balloons.  (cluster) CI gate: zero lost acks \
+           through a live migration plus node kill/partition, merged acked \
+           history oracle-identical, and the snapshot-shipping backlog \
+           bounded only under the robust schemes.")
 
 let transport_arg =
   Arg.(
@@ -1870,6 +2394,12 @@ let transport_arg =
            sweep, no wire), $(b,unix) (socket RTT), $(b,shm) (mmap'd ring \
            RTT, no syscall per op), or $(b,all) (unix and shm side by \
            side).")
+
+let nodes_arg =
+  Arg.(
+    value & opt int 2
+    & info [ "nodes" ] ~docv:"N"
+        ~doc:"(cluster) Daemon count in the consistent-hash ring.")
 
 let cmd =
   let doc =
@@ -1883,6 +2413,6 @@ let cmd =
       $ plot $ csv $ metrics_csv $ prom $ repeat $ dist $ schemes_arg
       $ head_backend_arg $ shards_arg $ stalled_shards $ rate $ mixname
       $ churn $ mailbox_cap $ chaos_steps $ chaos_seed $ faults_arg $ bound
-      $ smoke $ transport_arg)
+      $ smoke $ transport_arg $ nodes_arg)
 
 let () = exit (Cmd.eval cmd)

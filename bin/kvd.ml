@@ -67,7 +67,7 @@ let selftest ~scheme ~structure ~shards ~clients ~duration =
         res.Service.Loadgen.throughput
         (Service.Slo.report svc.Service.Shard.slo))
 
-let daemon ~socket ~transport ~scheme ~structure ~shards ~clients
+let daemon ~socket ~transport ~loop ~scheme ~structure ~shards ~clients
     ~mailbox_cap ~batch ~wal =
   (* A client vanishing mid-reply must cost its connection, not the
      daemon: EPIPE on that fd instead of process death. *)
@@ -112,14 +112,23 @@ let daemon ~socket ~transport ~scheme ~structure ~shards ~clients
   let ext = Option.map (fun p req -> Replica.Primary.handle p req) primary in
   let server =
     match transport with
-    | `Unix -> `Unix_srv (Service.Conn.serve_unix svc ~path:socket ?ext ())
+    | `Unix ->
+        `Unix_srv (Service.Conn.serve_unix svc ~path:socket ?ext ~backend:loop ())
     | `Shm -> `Shm_srv (Service.Shm_conn.serve svc ~path:socket ?ext ())
   in
   Printf.printf
     "kvd: serving %s/%s with %d shards, %d client slots on %s (%s)%s\n%!"
     svc.Service.Shard.scheme_name svc.Service.Shard.structure_name shards
     clients socket
-    (match transport with `Unix -> "unix socket" | `Shm -> "shm rings")
+    (match (transport, loop) with
+    | `Shm, _ -> "shm rings"
+    | `Unix, `Threaded -> "unix socket, thread per connection"
+    | `Unix, `Evloop p ->
+        Printf.sprintf "unix socket, event loop: %s"
+          (match p with
+          | `Epoll -> "epoll"
+          | `Select -> "select"
+          | `Auto -> if Service.Poller.available () then "epoll" else "select"))
     (match wal with
     | Some dir -> Printf.sprintf " (wal: %s, group commit)" dir
     | None -> "");
@@ -244,8 +253,24 @@ let follow ~target ~scheme ~structure ~clients =
   (try Unix.close fd with Unix.Unix_error _ -> ());
   Replica.Follower.stop f
 
-let main socket transport scheme structure shards clients mailbox_cap batch
-    selftest_flag duration wal follow_target =
+(* Instance scoping: --name stamps the listen path (and therefore the
+   shm segment/doorbell litter, which is swept by listen-path prefix)
+   so N daemons on one host never claim each other's files. *)
+let resolve_socket ~socket ~name =
+  match (socket, name) with
+  | Some s, _ -> s
+  | None, None -> "/tmp/kvd.sock"
+  | None, Some n ->
+      String.iter
+        (fun ch ->
+          match ch with
+          | 'a' .. 'z' | 'A' .. 'Z' | '0' .. '9' | '-' | '_' -> ()
+          | _ -> failwith (Printf.sprintf "kvd: bad --name %S (use [A-Za-z0-9_-])" n))
+        n;
+      Printf.sprintf "/tmp/kvd-%s.sock" n
+
+let main socket name transport loop scheme structure shards clients mailbox_cap
+    batch selftest_flag duration wal follow_target =
   if selftest_flag then
     match
       selftest ~scheme ~structure ~shards ~clients ~duration
@@ -263,10 +288,15 @@ let main socket transport scheme structure shards clients mailbox_cap batch
             Printf.eprintf "kvd follower FAILED: %s\n" (Printexc.to_string e);
             1)
     | None -> (
-        match daemon ~socket ~transport ~scheme ~structure ~shards ~clients
-                ~mailbox_cap ~batch ~wal
+        match
+          let socket = resolve_socket ~socket ~name in
+          daemon ~socket ~transport ~loop ~scheme ~structure ~shards ~clients
+            ~mailbox_cap ~batch ~wal
         with
         | () -> 0
+        | exception Failure m ->
+            Printf.eprintf "%s\n" m;
+            1
         | exception Service.Conn.Addr_in_use path ->
             Printf.eprintf
               "kvd: %s is owned by a live daemon (connect probe answered) — \
@@ -284,11 +314,42 @@ open Cmdliner
 
 let socket =
   Arg.(
-    value & opt string "/tmp/kvd.sock"
+    value & opt (some string) None
     & info [ "socket" ] ~docv:"PATH"
         ~doc:
           "Listen path: a unix socket, or with $(b,--transport shm) the \
-           rendezvous FIFO clients announce their segments to.")
+           rendezvous FIFO clients announce their segments to.  Default \
+           /tmp/kvd.sock, or /tmp/kvd-$(b,NAME).sock under $(b,--name).")
+
+let name_arg =
+  Arg.(
+    value & opt (some string) None
+    & info [ "name" ] ~docv:"NAME"
+        ~doc:
+          "Instance name: scopes the listen path (and, for shm, the \
+           segment/doorbell files swept on stale-socket claims) to \
+           /tmp/kvd-$(docv).*, so several daemons share a host without \
+           claiming each other's litter.  [A-Za-z0-9_-] only.")
+
+let loop =
+  Arg.(
+    value
+    & opt
+        (enum
+           [
+             ("threads", `Threaded);
+             ("epoll", (`Evloop `Epoll : Service.Conn.backend));
+             ("select", `Evloop `Select);
+             ("auto", `Evloop `Auto);
+           ])
+        `Threaded
+    & info [ "loop" ] ~docv:"BACKEND"
+        ~doc:
+          "Connection backend for $(b,--transport unix): $(b,threads) (one \
+           handler domain and one leased tid per connection), or an event \
+           loop — $(b,epoll), $(b,select), or $(b,auto) (epoll where \
+           available) — where a single pump domain holds every connection \
+           on one tid, so fan-in is bounded by fds, not domains.")
 
 let transport =
   Arg.(
@@ -377,7 +438,8 @@ let cmd =
   let doc = "Sharded lock-free KV daemon (lib/service over lib/smr)." in
   Cmd.v (Cmd.info "kvd" ~doc)
     Term.(
-      const main $ socket $ transport $ scheme $ structure $ shards $ clients
-      $ mailbox_cap $ batch $ selftest_flag $ duration $ wal $ follow_target)
+      const main $ socket $ name_arg $ transport $ loop $ scheme $ structure
+      $ shards $ clients $ mailbox_cap $ batch $ selftest_flag $ duration $ wal
+      $ follow_target)
 
 let () = exit (Cmd.eval' cmd)

@@ -113,6 +113,49 @@ let generate ~seed ~steps ~nshards ~classes ~events ~crash_window =
   in
   { seed; steps; events }
 
+(* ------------------------------------------------------------------ *)
+(* Node-level faults (cluster experiment): whole-daemon kill/partition
+   windows, same pure-data discipline as shard plans. *)
+
+type node_kind = Node_kill of int | Node_partition of int
+type node_event = { n_at : int; n_node : int; n_kind : node_kind }
+
+let node_event_to_string e =
+  match e.n_kind with
+  | Node_kill d ->
+      Printf.sprintf "[t=%04d] node %d: kill, reboot after %d" e.n_at e.n_node d
+  | Node_partition d ->
+      Printf.sprintf "[t=%04d] node %d: partition for %d" e.n_at e.n_node d
+
+let node_plan ~seed ~steps ~nnodes ~events ~outage =
+  if steps <= 0 then invalid_arg "Fault.node_plan: steps <= 0";
+  if nnodes <= 0 then invalid_arg "Fault.node_plan: nnodes <= 0";
+  if outage <= 0 then invalid_arg "Fault.node_plan: outage <= 0";
+  let rng = Prims.Rng.create ~seed in
+  let busy_until = Array.make nnodes 0 in
+  let acc = ref [] in
+  let at = ref (4 + Prims.Rng.below rng 8) in
+  let gap = max 2 (steps / max 1 (2 * events)) in
+  let n = ref 0 in
+  while !n < events && !at + outage + 8 < steps do
+    let node = Prims.Rng.below rng nnodes in
+    if busy_until.(node) <= !at then begin
+      let d = (outage / 2) + 1 + Prims.Rng.below rng outage in
+      if !at + d + 4 < steps then begin
+        let kind =
+          if Prims.Rng.below rng 2 = 0 then Node_kill d else Node_partition d
+        in
+        acc := { n_at = !at; n_node = node; n_kind = kind } :: !acc;
+        busy_until.(node) <- !at + d + 4;
+        incr n
+      end
+    end;
+    at := !at + 1 + Prims.Rng.below rng gap
+  done;
+  List.sort
+    (fun a b -> compare (a.n_at, a.n_node) (b.n_at, b.n_node))
+    (List.rev !acc)
+
 (* The CI smoke plan: one crash, one OOM burst, one net fault — fixed
    by hand so the smoke test exercises exactly the acceptance trio
    regardless of seed.  [detect] is the reaper threshold the engine

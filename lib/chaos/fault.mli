@@ -60,3 +60,37 @@ val generate :
 val smoke : nshards:int -> detect:int -> plan
 (** The fixed CI plan: one crash + one OOM burst + one net fault,
     sized to the reaper's [detect] threshold. *)
+
+(** {2 Node-level faults}
+
+    Whole-daemon events for the cluster experiment: a node dies (its
+    primary is killed and its server torn down) or partitions (its
+    socket stops answering) for a bounded window, then comes back via
+    the normal store-recovery boot.  Same discipline as shard plans —
+    pure data, seeded, non-overlapping per node. *)
+
+type node_kind =
+  | Node_kill of int
+      (** Kill the daemon; reboot it after N virtual steps.  Reboot
+          recovers WAL + snapshot + the persisted slot table. *)
+  | Node_partition of int
+      (** Drop the node's connectivity for N steps; the process keeps
+          running (nothing to recover — clients see redirect/retry
+          behaviour only). *)
+
+type node_event = { n_at : int; n_node : int; n_kind : node_kind }
+
+val node_event_to_string : node_event -> string
+
+val node_plan :
+  seed:int ->
+  steps:int ->
+  nnodes:int ->
+  events:int ->
+  outage:int ->
+  node_event list
+(** Seeded node-fault plan: [events] kill/partition events spread over
+    [steps] virtual timestamps, each outage lasting about [outage]
+    steps, at most one concurrent outage per node, and every outage
+    ending before [steps] — the cluster is whole again at plan end,
+    so the merged-history oracle check can read every key. *)

@@ -58,10 +58,11 @@ let apply model req =
       | Some _ ->
           Hashtbl.replace model key desired;
           Cas_ok)
-  | Rep_info | Rep_pull _ ->
-      (* Replication opcodes never reach the data path in a correct
-         run; treat one as a divergence-visible error. *)
-      Error "oracle: replication request in acked history"
+  | Rep_info | Rep_pull _ | Cl_info | Cl_grant _ | Cl_freeze _ | Cl_release _
+  | Cl_snap _ | Cl_apply _ ->
+      (* Replication/cluster-control opcodes never reach the data path
+         in a correct run; treat one as a divergence-visible error. *)
+      Error "oracle: control request in acked history"
 
 (* Sequential replay of the acked history alone, yielding the model's
    final bindings — what a promoted replica (or a primary recovered

@@ -1,0 +1,194 @@
+(* Wire-driven slot migration; see migrate.mli for the protocol and
+   the zero-lost-acks argument. *)
+
+module Codec = Service.Codec
+
+type stats = {
+  mg_slot : int;
+  mg_snap_kvs : int;
+  mg_snap_pages : int;
+  mg_catchup_records : int;
+  mg_catchup_rounds : int;
+  mg_version : int;
+}
+
+let ( let* ) = Result.bind
+
+let key_of_mutation = function
+  | Codec.Set { key; _ } -> key
+  | Codec.Unset key -> key
+
+(* Ship a batch of records to the target, [cl_apply_max] at a time.
+   [Cl_ok] certifies WAL durability at the target. *)
+let ship dst records =
+  let rec go = function
+    | [] -> Ok ()
+    | records ->
+        let rec take n acc = function
+          | rest when n = 0 -> (List.rev acc, rest)
+          | [] -> (List.rev acc, [])
+          | r :: rest -> take (n - 1) (r :: acc) rest
+        in
+        let batch, rest = take Codec.cl_apply_max [] records in
+        (match Router.endpoint_call dst (Codec.Cl_apply { records = batch }) with
+        | Codec.Cl_ok -> Ok ()
+        | Codec.Error e -> Error ("cl_apply: " ^ e)
+        | r -> Error ("cl_apply: unexpected " ^ Codec.reply_to_string r))
+        |> function
+        | Ok () -> go rest
+        | Error _ as e -> e
+  in
+  go records
+
+(* Page the source's bracket-protected traversal of (slot, shard) and
+   ingest every page at the target.  Returns the stamp seq plus page
+   and binding counts.  A transient "traversal already running" (an
+   in-process reader holds the shard's snapshot slot) retries
+   briefly. *)
+let snapshot_ship ~src ~dst ~slot ~shard =
+  let rec start tries =
+    match
+      Router.endpoint_call src
+        (Codec.Cl_snap { slot; shard; cursor = 0; max = Codec.cl_snap_max })
+    with
+    | Codec.Cl_snap_batch { seq; next; kvs } -> Ok (seq, next, kvs)
+    | Codec.Error e when tries > 0 ->
+        ignore e;
+        Unix.sleepf 0.002;
+        start (tries - 1)
+    | Codec.Error e -> Error ("cl_snap: " ^ e)
+    | r -> Error ("cl_snap: unexpected " ^ Codec.reply_to_string r)
+  in
+  let* stamp, first_next, first_kvs = start 250 in
+  let rec pages acc_kvs acc_pages cursor kvs =
+    let* () =
+      if kvs = [] then Ok ()
+      else
+        ship dst (List.map (fun (k, v) -> (0, Codec.Set { key = k; value = v })) kvs)
+    in
+    let acc_kvs = acc_kvs + List.length kvs and acc_pages = acc_pages + 1 in
+    if cursor < 0 then Ok (stamp, acc_kvs, acc_pages)
+    else
+      match
+        Router.endpoint_call src
+          (Codec.Cl_snap { slot; shard; cursor; max = Codec.cl_snap_max })
+      with
+      | Codec.Cl_snap_batch { next; kvs; _ } -> pages acc_kvs acc_pages next kvs
+      | Codec.Error e -> Error ("cl_snap page: " ^ e)
+      | r -> Error ("cl_snap page: unexpected " ^ Codec.reply_to_string r)
+  in
+  pages 0 0 first_next first_kvs
+
+(* One catch-up round: advance every shard's pull cursor to its
+   current committed seq, shipping the slot's records.  Returns how
+   many slot records this round shipped. *)
+let catchup_round ~src ~dst ~slot ~nslots ~nshards pulled =
+  let* committed =
+    match Router.endpoint_call src Codec.Rep_info with
+    | Codec.Rep_state c -> Ok c
+    | r -> Error ("rep_info: unexpected " ^ Codec.reply_to_string r)
+  in
+  if Array.length committed < nshards then Error "rep_info: short shard vector"
+  else
+    let shipped = ref 0 in
+    let rec shard_loop shard =
+      if shard >= nshards then Ok !shipped
+      else if pulled.(shard) >= committed.(shard) then shard_loop (shard + 1)
+      else
+        match
+          Router.endpoint_call src
+            (Codec.Rep_pull
+               { shard; from = pulled.(shard); max = Codec.rep_batch_max })
+        with
+        | Codec.Rep_batch { last; records } ->
+            let* () =
+              let mine =
+                List.filter
+                  (fun (_, m) ->
+                    Ring.slot_of_key ~nslots (key_of_mutation m) = slot)
+                  records
+              in
+              shipped := !shipped + List.length mine;
+              if mine = [] then Ok () else ship dst mine
+            in
+            pulled.(shard) <-
+              (match records with
+              | [] -> last  (* nothing after [from]: cursor is current *)
+              | rs -> fst (List.nth rs (List.length rs - 1)));
+            shard_loop shard
+        | Codec.Error e -> Error ("rep_pull: " ^ e)
+        | r -> Error ("rep_pull: unexpected " ^ Codec.reply_to_string r)
+    in
+    shard_loop 0
+
+let run ~src ~dst ~slot ~nshards ?(nslots = Ring.default_nslots) ?router () =
+  let dst_id = Router.endpoint_id dst in
+  (* Phase 1: per-shard snapshot bootstrap; record each stamp. *)
+  let pulled = Array.make nshards 0 in
+  let rec boot shard kvs pages =
+    if shard >= nshards then Ok (kvs, pages)
+    else
+      let* stamp, k, p = snapshot_ship ~src ~dst ~slot ~shard in
+      pulled.(shard) <- stamp;
+      boot (shard + 1) (kvs + k) (pages + p)
+  in
+  let* snap_kvs, snap_pages = boot 0 0 0 in
+  (* Phase 2: catch-up under load until a round ships nothing — the
+     live tail is then one in-flight window wide. *)
+  let rounds = ref 0 and cr = ref 0 in
+  let rec drain () =
+    incr rounds;
+    let* n = catchup_round ~src ~dst ~slot ~nslots ~nshards pulled in
+    cr := !cr + n;
+    if n > 0 && !rounds < 10_000 then drain () else Ok ()
+  in
+  let* () = drain () in
+  (* Phase 3: cutover.  Freeze persists the redirect at the source
+     before its ack; two empty post-freeze rounds collect the writes
+     that were already past the source's ownership check. *)
+  let* () =
+    match Router.endpoint_call src (Codec.Cl_freeze { slot; target = dst_id }) with
+    | Codec.Cl_ok -> Ok ()
+    | r -> Error ("cl_freeze: unexpected " ^ Codec.reply_to_string r)
+  in
+  let rec final_drain empties =
+    if empties >= 2 then Ok ()
+    else begin
+      incr rounds;
+      let* n = catchup_round ~src ~dst ~slot ~nslots ~nshards pulled in
+      cr := !cr + n;
+      if n = 0 then begin
+        Unix.sleepf 0.002;
+        final_drain (empties + 1)
+      end
+      else final_drain 0
+    end
+  in
+  let* () = final_drain 0 in
+  let* version =
+    match Router.endpoint_call src Codec.Cl_info with
+    | Codec.Cl_state { version; _ } -> Ok version
+    | r -> Error ("cl_info: unexpected " ^ Codec.reply_to_string r)
+  in
+  let* () =
+    match Router.endpoint_call dst (Codec.Cl_grant { slot; version }) with
+    | Codec.Cl_ok -> Ok ()
+    | r -> Error ("cl_grant: unexpected " ^ Codec.reply_to_string r)
+  in
+  let* () =
+    match Router.endpoint_call src (Codec.Cl_release { slot }) with
+    | Codec.Cl_ok -> Ok ()
+    | r -> Error ("cl_release: unexpected " ^ Codec.reply_to_string r)
+  in
+  (match router with
+  | Some rt -> Router.note_owner rt ~slot ~node:dst_id
+  | None -> ());
+  Ok
+    {
+      mg_slot = slot;
+      mg_snap_kvs = snap_kvs;
+      mg_snap_pages = snap_pages;
+      mg_catchup_records = !cr;
+      mg_catchup_rounds = !rounds;
+      mg_version = version;
+    }

@@ -1,0 +1,54 @@
+(** Live slot migration: snapshot bootstrap + WAL catch-up + atomic
+    cutover, driven entirely over the wire.
+
+    The driver owns no node internals — it speaks [Cl_snap]/[Cl_apply]
+    /[Rep_info]/[Rep_pull]/[Cl_freeze]/[Cl_grant]/[Cl_release] to the
+    two endpoints, so it can run anywhere a client can.  Phases:
+
+    + {b Snapshot ship}: for each source shard, page a
+      bracket-protected live traversal of the slot's keys ([Cl_snap];
+      the traversal is stamped with the shard's committed WAL seq {e
+      before} it starts) and ingest each page at the target
+      ([Cl_apply] — acked only when WAL-durable there).
+    + {b Catch-up}: pull committed records after each shard's stamp
+      ([Rep_pull]), filter to the slot client-side, ship them.  The
+      fuzzy snapshot plus absolute-mutation replay converges exactly
+      as follower bootstrap does.
+    + {b Cutover}: [Cl_freeze] makes the source persist
+      "slot → target" {e before} acking — from that ack on, new
+      writes bounce with [Moved] and are retried by routers.  Then
+      catch-up repeats until two consecutive rounds ship nothing (the
+      in-flight window: requests already past the source's ownership
+      check at freeze time still commit there, and those rounds
+      collect them), [Cl_grant] persists ownership at the target, and
+      [Cl_release] drops the source's snapshot cache.
+
+    Zero lost acks: a write acked before the freeze is WAL-committed
+    at the source, and every committed slot-record with seq above the
+    snapshot stamp is shipped before the grant.  A write arriving
+    after the freeze is never acked by the source at all — it bounces
+    to the target and is acked there, after the grant. *)
+
+type stats = {
+  mg_slot : int;
+  mg_snap_kvs : int;  (** bindings shipped in the bootstrap phase *)
+  mg_snap_pages : int;
+  mg_catchup_records : int;  (** slot records shipped from the WALs *)
+  mg_catchup_rounds : int;
+  mg_version : int;  (** ownership-table version after the grant *)
+}
+
+val run :
+  src:Router.endpoint ->
+  dst:Router.endpoint ->
+  slot:int ->
+  nshards:int ->
+  ?nslots:int ->
+  ?router:Router.t ->
+  unit ->
+  (stats, string) result
+(** Migrate [slot] from [src] to [dst] while both serve load.
+    [nshards] is the source's shard count (each shard snapshots
+    independently).  [router], when given, learns the new owner
+    immediately after the grant (staleness would self-correct through
+    [Moved], at the cost of redirects). *)

@@ -1,0 +1,253 @@
+(* Cluster member: ownership-checked primary + control opcodes.  See
+   node.mli for the cutover-record and durability contracts. *)
+
+module Codec = Service.Codec
+
+type cache = { sc_seq : int; sc_kvs : (int * int) array }
+
+type t = {
+  n_id : int;
+  n_nslots : int;
+  n_primary : Replica.Primary.t;
+  n_apply_tid : int;
+  n_owners : int array;  (* entry = owning node id; racy reads are
+                            benign (an int either old or new), every
+                            write happens under [n_lock] *)
+  mutable n_version : int;
+  n_snaps : (int * int, cache) Hashtbl.t;  (* (slot, shard) -> page cache *)
+  n_lock : Mutex.t;
+}
+
+let owners_file = "cluster-owners"
+
+(* ------------------------------------------------------------------ *)
+(* The persisted cutover record.  Plain text, one atomic [s_write]:
+   either the old table or the new one, never a blend. *)
+
+let encode_owners ~version owners =
+  let b = Buffer.create 256 in
+  Buffer.add_string b
+    (Printf.sprintf "clusterv1 %d %d\n" version (Array.length owners));
+  Array.iteri
+    (fun i o ->
+      if i > 0 then Buffer.add_char b ' ';
+      Buffer.add_string b (string_of_int o))
+    owners;
+  Buffer.add_char b '\n';
+  Buffer.contents b
+
+let decode_owners s =
+  try
+    Scanf.sscanf s "clusterv1 %d %d\n %[0-9 -]" (fun version n rest ->
+        let owners =
+          String.split_on_char ' ' (String.trim rest)
+          |> List.filter (fun t -> t <> "")
+          |> List.map int_of_string |> Array.of_list
+        in
+        if Array.length owners <> n then None else Some (version, owners))
+  with Scanf.Scan_failure _ | Failure _ | End_of_file -> None
+
+let persist t =
+  (Replica.Primary.(t.n_primary.store)).Replica.Store.s_write owners_file
+    (encode_owners ~version:t.n_version t.n_owners)
+
+let load store =
+  match store.Replica.Store.s_read owners_file with
+  | exception Sys_error _ -> None
+  | s -> decode_owners s
+
+(* ------------------------------------------------------------------ *)
+
+let create ~node_id ?(nslots = Ring.default_nslots) ~owners ~apply_tid primary =
+  if Array.length owners <> nslots then
+    invalid_arg "Node.create: owners length <> nslots";
+  let svc = primary.Replica.Primary.svc in
+  if apply_tid < 0 || apply_tid >= svc.Service.Shard.clients then
+    invalid_arg "Node.create: apply_tid out of range";
+  let version, owners =
+    match load primary.Replica.Primary.store with
+    | Some (v, persisted) when Array.length persisted = nslots -> (v, persisted)
+    | _ -> (0, Array.copy owners)
+  in
+  let t =
+    {
+      n_id = node_id;
+      n_nslots = nslots;
+      n_primary = primary;
+      n_apply_tid = apply_tid;
+      n_owners = owners;
+      n_version = version;
+      n_snaps = Hashtbl.create 8;
+      n_lock = Mutex.create ();
+    }
+  in
+  (* Make the boot table durable, so the very first reboot — before
+     any migration — also recovers a table instead of defaults. *)
+  persist t;
+  t
+
+let node_id t = t.n_id
+let nslots t = t.n_nslots
+let owners t = Array.copy t.n_owners
+let version t = t.n_version
+let owns_slot t slot = t.n_owners.(slot) = t.n_id
+let primary t = t.n_primary
+
+let with_lock t f =
+  Mutex.lock t.n_lock;
+  Fun.protect ~finally:(fun () -> Mutex.unlock t.n_lock) f
+
+(* ------------------------------------------------------------------ *)
+(* Migration ingest: pipeline the batch through the normal submit
+   path under the node's reserved tid, then wait for every reply —
+   the WAL hook defers replies past the group commit, so returning
+   [Cl_ok] here certifies durability.  [Shed] only ever fires
+   synchronously from [submit] (consumers never produce it), so the
+   retry loop reads its flag race-free. *)
+
+let req_of_mutation = function
+  | Codec.Set { key; value } -> Codec.Put { key; value }
+  | Codec.Unset key -> Codec.Del key
+
+let apply_records t records =
+  let svc = t.n_primary.Replica.Primary.svc in
+  let remaining = Atomic.make (List.length records) in
+  let failed = Atomic.make None in
+  List.iter
+    (fun (_seq, m) ->
+      let req = req_of_mutation m in
+      let rec submit () =
+        let shed = ref false in
+        svc.Service.Shard.submit ~tid:t.n_apply_tid req (fun reply ->
+            (match reply with
+            | Codec.Shed -> shed := true
+            | Codec.Error e ->
+                if Atomic.get failed = None then Atomic.set failed (Some e);
+                Atomic.decr remaining
+            | _ -> Atomic.decr remaining));
+        if !shed then begin
+          Unix.sleepf 0.0002;
+          submit ()
+        end
+      in
+      submit ())
+    records;
+  let spins = ref 0 in
+  while Atomic.get remaining > 0 do
+    incr spins;
+    if !spins land 63 = 0 then Unix.sleepf 0.0001 else Domain.cpu_relax ()
+  done;
+  match Atomic.get failed with
+  | None -> Codec.Cl_ok
+  | Some e -> Codec.Error ("cl_apply: " ^ e)
+
+(* ------------------------------------------------------------------ *)
+(* Snapshot shipping: cursor 0 stamps committed-before-traversal and
+   caches the slot's bindings; later cursors page the cache. *)
+
+let snap_page t ~slot ~shard ~cursor ~max =
+  let prim = t.n_primary in
+  let svc = prim.Replica.Primary.svc in
+  if shard < 0 || shard >= svc.Service.Shard.nshards then
+    Codec.Error "cl_snap: shard out of range"
+  else if slot < 0 || slot >= t.n_nslots then
+    Codec.Error "cl_snap: slot out of range"
+  else begin
+    let key = (slot, shard) in
+    let cache =
+      if cursor = 0 then begin
+        (* Stamp BEFORE the traversal: every mutation the fuzzy
+           snapshot might miss has seq > sc_seq, so catch-up pulls
+           resuming after the stamp re-apply it absolutely. *)
+        let seq = Replica.Wal.committed_seq prim.Replica.Primary.wals.(shard) in
+        match
+          svc.Service.Shard.snapshot ~shard ~gate:(fun _ -> ())
+        with
+        | exception Invalid_argument _ -> None  (* a traversal is live *)
+        | kvs ->
+            let kvs =
+              List.filter
+                (fun (k, _) -> Ring.slot_of_key ~nslots:t.n_nslots k = slot)
+                kvs
+              |> Array.of_list
+            in
+            let c = { sc_seq = seq; sc_kvs = kvs } in
+            Hashtbl.replace t.n_snaps key c;
+            Some c
+      end
+      else Hashtbl.find_opt t.n_snaps key
+    in
+    match cache with
+    | None ->
+        if cursor = 0 then Codec.Error "cl_snap: traversal already running"
+        else Codec.Error "cl_snap: no cached traversal (cursor without start)"
+    | Some c ->
+        let len = Array.length c.sc_kvs in
+        if cursor < 0 || cursor > len then Codec.Error "cl_snap: bad cursor"
+        else begin
+          let n =
+            min (if max <= 0 then Codec.cl_snap_max else min max Codec.cl_snap_max)
+              (len - cursor)
+          in
+          let kvs = Array.to_list (Array.sub c.sc_kvs cursor n) in
+          let next = if cursor + n >= len then -1 else cursor + n in
+          Codec.Cl_snap_batch { seq = c.sc_seq; next; kvs }
+        end
+  end
+
+(* ------------------------------------------------------------------ *)
+
+let handle t req =
+  match req with
+  | Codec.Get k | Codec.Del k ->
+      let slot = Ring.slot_of_key ~nslots:t.n_nslots k in
+      let owner = t.n_owners.(slot) in
+      if owner = t.n_id then None else Some (Codec.Moved { slot; node = owner })
+  | Codec.Put { key; _ } | Codec.Cas { key; _ } ->
+      let slot = Ring.slot_of_key ~nslots:t.n_nslots key in
+      let owner = t.n_owners.(slot) in
+      if owner = t.n_id then None else Some (Codec.Moved { slot; node = owner })
+  | Codec.Rep_info | Codec.Rep_pull _ -> Replica.Primary.handle t.n_primary req
+  | Codec.Cl_info ->
+      Some
+        (with_lock t (fun () ->
+             Codec.Cl_state
+               {
+                 version = t.n_version;
+                 node = t.n_id;
+                 owners = Array.copy t.n_owners;
+               }))
+  | Codec.Cl_grant { slot; version } ->
+      Some
+        (with_lock t (fun () ->
+             if slot < 0 || slot >= t.n_nslots then
+               Codec.Error "cl_grant: slot out of range"
+             else begin
+               t.n_owners.(slot) <- t.n_id;
+               t.n_version <- max t.n_version version;
+               (* Durable before the ack: the cutover record. *)
+               persist t;
+               Codec.Cl_ok
+             end))
+  | Codec.Cl_freeze { slot; target } ->
+      Some
+        (with_lock t (fun () ->
+             if slot < 0 || slot >= t.n_nslots then
+               Codec.Error "cl_freeze: slot out of range"
+             else begin
+               t.n_owners.(slot) <- target;
+               t.n_version <- t.n_version + 1;
+               persist t;
+               Codec.Cl_ok
+             end))
+  | Codec.Cl_release { slot } ->
+      Some
+        (with_lock t (fun () ->
+             Hashtbl.iter
+               (fun (s, sh) _ -> if s = slot then Hashtbl.remove t.n_snaps (s, sh))
+               (Hashtbl.copy t.n_snaps);
+             Codec.Cl_ok))
+  | Codec.Cl_snap { slot; shard; cursor; max } ->
+      Some (with_lock t (fun () -> snap_page t ~slot ~shard ~cursor ~max))
+  | Codec.Cl_apply { records } ->
+      Some (with_lock t (fun () -> apply_records t records))

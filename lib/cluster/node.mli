@@ -1,0 +1,58 @@
+(** One cluster member: a durable {!Replica.Primary} that also speaks
+    the cluster-control opcodes and enforces slot ownership.
+
+    The node's [handle] is a {!Service.Conn} [ext] handler.  Data
+    requests are ownership-checked first: a key whose slot this node
+    does not own gets {!Service.Codec.Moved} without touching a shard
+    — redirects are served off the data path, from whatever domain
+    runs the transport (the evloop pump included).  Owned keys fall
+    through ([None]) to the normal shard/WAL route.
+
+    The ownership table is the cluster's {e atomic cutover record}: it
+    is persisted through the store's [s_write] (write-temp-fsync-
+    rename) {e before} any [Cl_grant]/[Cl_freeze] ack fires, so a
+    node that crashes and reboots recovers exactly the slot set it
+    last acknowledged — a migration is never half-remembered.
+
+    Migration ingest ([Cl_apply]) bypasses the ownership check by
+    design (the target does not own the slot until the final grant)
+    and acks only once every record's normal submit path has
+    committed — the WAL ack hook defers replies past the group
+    commit, so [Cl_ok] means durable, same as any client ack.
+
+    Snapshot shipping ([Cl_snap]) pages a bracket-protected live
+    traversal: cursor 0 stamps the shard's committed WAL seq {e
+    before} traversing (catch-up resumes after that seq — the fuzzy
+    snapshot + absolute-replay convergence argument from
+    lib/replica), caches the result, and later cursors page it out in
+    {!Service.Codec.cl_snap_max} chunks. *)
+
+type t
+
+val create :
+  node_id:int ->
+  ?nslots:int ->
+  owners:int array ->
+  apply_tid:int ->
+  Replica.Primary.t ->
+  t
+(** Wrap a booted primary.  [owners] is the initial table (length
+    [nslots], default {!Ring.default_nslots}); a table persisted by a
+    previous life of this node in the primary's store takes
+    precedence — reboot keeps acknowledged cutovers.  [apply_tid] is
+    the producer tid [Cl_apply] ingests under; reserve it for the
+    node.  @raise Invalid_argument on a table/[nslots] length
+    mismatch. *)
+
+val handle : t -> Service.Codec.request -> Service.Codec.reply option
+(** The [ext] handler described above.  Control ops serialize on an
+    internal lock; the data-path ownership check is lock-free. *)
+
+val node_id : t -> int
+val nslots : t -> int
+val owners : t -> int array
+(** Snapshot copy of the current table. *)
+
+val version : t -> int
+val owns_slot : t -> int -> bool
+val primary : t -> Replica.Primary.t

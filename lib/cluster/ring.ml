@@ -1,0 +1,66 @@
+(* Consistent-hash placement; see ring.mli for the two-level design. *)
+
+(* SplitMix64 finalizer over OCaml's 63-bit ints.  The masks keep
+   every intermediate in the positive range so [mod] below never sees
+   a negative operand. *)
+let mix k =
+  let k = k land max_int in
+  let k = (k lxor (k lsr 30)) * 0x5851f42d4c957f2d land max_int in
+  let k = (k lxor (k lsr 27)) * 0x14057b7ef767814f land max_int in
+  k lxor (k lsr 31)
+
+let default_nslots = 64
+let vnodes = 128
+
+let slot_of_key ~nslots k =
+  if nslots <= 0 then invalid_arg "Ring.slot_of_key: nslots must be positive";
+  mix k mod nslots
+
+(* A point on the ring for (seed, a, b): one mix with the operands
+   folded in at distinct shifts, so vnode points and slot points draw
+   from the same space without colliding structurally. *)
+let point ~seed a b = mix (seed lxor (a * 0x1e3779b97f4a7c15) lxor (b + 1))
+
+let assign ~seed ~nslots ~nodes =
+  if nslots <= 0 then invalid_arg "Ring.assign: nslots must be positive";
+  if nodes = [] then invalid_arg "Ring.assign: no nodes";
+  let seen = Hashtbl.create 8 in
+  List.iter
+    (fun n ->
+      if Hashtbl.mem seen n then invalid_arg "Ring.assign: duplicate node id";
+      Hashtbl.replace seen n ())
+    nodes;
+  (* The ring: every node's vnode points, sorted.  Ties (astronomically
+     unlikely) break by node id so the table stays deterministic. *)
+  let ring =
+    List.concat_map
+      (fun node -> List.init vnodes (fun v -> (point ~seed node v, node)))
+      nodes
+    |> List.sort compare
+    |> Array.of_list
+  in
+  let npoints = Array.length ring in
+  (* Successor lookup: first vnode point >= the slot's point, wrapping
+     to ring.(0) past the end. *)
+  let successor p =
+    let lo = ref 0 and hi = ref npoints in
+    while !lo < !hi do
+      let mid = (!lo + !hi) / 2 in
+      if fst ring.(mid) < p then lo := mid + 1 else hi := mid
+    done;
+    snd ring.(if !lo = npoints then 0 else !lo)
+  in
+  Array.init nslots (fun s -> successor (point ~seed (-1) s))
+
+let moved a b =
+  if Array.length a <> Array.length b then
+    invalid_arg "Ring.moved: table sizes differ";
+  let n = ref 0 in
+  Array.iteri (fun i o -> if o <> b.(i) then incr n) a;
+  !n
+
+let spread owners ~nodes =
+  List.map
+    (fun node ->
+      (node, Array.fold_left (fun a o -> if o = node then a + 1 else a) 0 owners))
+    nodes

@@ -1,0 +1,54 @@
+(** Consistent-hash placement: keys → slots → nodes.
+
+    Placement is two-level, the classic sharded-cluster split:
+
+    - [slot_of_key] maps a key to one of [nslots] {e slots} with a
+      fixed avalanche mix — this level never changes, so a key's slot
+      is a pure function any client can compute offline.
+    - [assign] maps slots to node ids with a consistent-hash ring of
+      virtual nodes — this level changes when membership does, and
+      moves only the slots whose successor vnode changed (expected
+      [nslots/n] per joining node), never reshuffling the rest.
+
+    Slots, not keys, are the migration unit: shipping a slot moves a
+    stable 1/[nslots] fraction of the keyspace regardless of which
+    keys exist, and the ownership table ([int array] of length
+    [nslots]) is small enough to persist atomically as the cutover
+    record ({!Node}).
+
+    Everything is seeded and deterministic: same [seed], same nodes,
+    same table — experiment matrices replay placement exactly. *)
+
+val mix : int -> int
+(** SplitMix64-style avalanche finalizer (the same family the shard
+    router and WAL checksums use); bijective on 63-bit ints. *)
+
+val slot_of_key : nslots:int -> int -> int
+(** The key's slot, in [[0, nslots)].  Pure; independent of
+    membership. *)
+
+val default_nslots : int
+(** 64 — small enough that a migration matrix exercises a meaningful
+    fraction of slots, large enough that per-slot movement is ~1.5 %
+    of the keyspace. *)
+
+val assign : seed:int -> nslots:int -> nodes:int list -> int array
+(** Ownership table: entry [s] is the node id owning slot [s], chosen
+    as the successor virtual node of slot [s]'s point on the ring.
+    Each node projects {!vnodes} points.  Deterministic in [seed].
+    @raise Invalid_argument on an empty node list, non-positive
+    [nslots], or duplicate node ids. *)
+
+val vnodes : int
+(** Virtual nodes per physical node (128): balances the ring so the
+    heaviest node carries within ~2× the mean at small cluster
+    sizes. *)
+
+val moved : int array -> int array -> int
+(** Slots whose owner differs between two tables — the movement a
+    membership change costs ([assign]'s minimal-movement property is
+    asserted on this in the tests). *)
+
+val spread : int array -> nodes:int list -> (int * int) list
+(** [(node, slots owned)] per node, in [nodes] order — the balance
+    statistic the tests and the cluster experiment CSV report. *)

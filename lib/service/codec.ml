@@ -7,6 +7,12 @@ type request =
   | Cas of { key : int; expected : int; desired : int }
   | Rep_info
   | Rep_pull of { shard : int; from : int; max : int }
+  | Cl_info
+  | Cl_grant of { slot : int; version : int }
+  | Cl_freeze of { slot : int; target : int }
+  | Cl_release of { slot : int }
+  | Cl_snap of { slot : int; shard : int; cursor : int; max : int }
+  | Cl_apply of { records : (int * mutation) list }
 
 type reply =
   | Value of int
@@ -20,6 +26,10 @@ type reply =
   | Error of string
   | Rep_state of int array
   | Rep_batch of { last : int; records : (int * mutation) list }
+  | Moved of { slot : int; node : int }
+  | Cl_state of { version : int; node : int; owners : int array }
+  | Cl_snap_batch of { seq : int; next : int; kvs : (int * int) list }
+  | Cl_ok
 
 exception Malformed of string
 
@@ -37,6 +47,12 @@ let op_del = 0x03
 let op_cas = 0x04
 let op_rep_info = 0x05
 let op_rep_pull = 0x06
+let op_cl_info = 0x07
+let op_cl_grant = 0x08
+let op_cl_freeze = 0x09
+let op_cl_release = 0x0a
+let op_cl_snap = 0x0b
+let op_cl_apply = 0x0c
 let op_value = 0x81
 let op_not_found = 0x82
 let op_created = 0x83
@@ -48,6 +64,10 @@ let op_shed = 0x88
 let op_error = 0x89
 let op_rep_state = 0x8a
 let op_rep_batch = 0x8b
+let op_moved = 0x8c
+let op_cl_state = 0x8d
+let op_cl_snap_batch = 0x8e
+let op_cl_ok = 0x8f
 
 (* Snapshot frame opcodes: disjoint from both wire opcode ranges so a
    snapshot frame fed to a wire decoder (or vice versa) fails loudly.
@@ -63,6 +83,15 @@ let mutation_len = function Set _ -> 25 | Unset _ -> 17
 (* The largest number of records a Rep_batch can carry inside
    max_frame: 1 (op) + 8 (last) + 2 (count) + n*25 <= 4096. *)
 let rep_batch_max = 150
+
+(* Cl_apply shares the mutation record format: 1 + 2 + n*25 <= 4096
+   allows 163; capped at the Rep_batch figure so one pulled batch
+   always re-ships as one apply frame. *)
+let cl_apply_max = 150
+
+(* Cl_snap_batch bindings are 16 bytes each: 1 + 8 + 8 + 2 + n*16 <=
+   4096 allows 254; 200 leaves slack for future header fields. *)
+let cl_snap_max = 200
 
 (* OCaml ints are 63-bit; the wire carries 64-bit two's complement, so
    every OCaml int round-trips exactly. *)
@@ -132,6 +161,44 @@ let check_crc what payload =
       actual;
   body_len
 
+let put_mutation buf seq (m : mutation) =
+  match m with
+  | Set { key; value } ->
+      Buffer.add_uint8 buf 1;
+      put_i64 buf seq;
+      put_i64 buf key;
+      put_i64 buf value
+  | Unset k ->
+      Buffer.add_uint8 buf 0;
+      put_i64 buf seq;
+      put_i64 buf k
+
+let get_mutation payload off =
+  if Bytes.length payload < off + 17 then
+    malformed "truncated mutation at offset %d" off;
+  let kind = Bytes.get_uint8 payload off in
+  let seq = get_i64 payload (off + 1) in
+  match kind with
+  | 0 -> ((seq, Unset (get_i64 payload (off + 9))), off + 17)
+  | 1 ->
+      if Bytes.length payload < off + 25 then
+        malformed "truncated Set mutation at offset %d" off;
+      ( (seq, Set { key = get_i64 payload (off + 9); value = get_i64 payload (off + 17) }),
+        off + 25 )
+  | k -> malformed "unknown mutation kind %d at offset %d" k off
+
+let get_mutations payload ~off ~count =
+  let o = ref off in
+  let records =
+    List.init count (fun _ ->
+        let r, next = get_mutation payload !o in
+        o := next;
+        r)
+  in
+  if !o <> Bytes.length payload then
+    malformed "mutation batch: %d trailing bytes" (Bytes.length payload - !o);
+  records
+
 let encode_request buf = function
   | Get k ->
       frame buf 9 (fun () ->
@@ -159,32 +226,38 @@ let encode_request buf = function
           put_i64 buf shard;
           put_i64 buf from;
           put_i64 buf max)
-
-let put_mutation buf seq (m : mutation) =
-  match m with
-  | Set { key; value } ->
-      Buffer.add_uint8 buf 1;
-      put_i64 buf seq;
-      put_i64 buf key;
-      put_i64 buf value
-  | Unset k ->
-      Buffer.add_uint8 buf 0;
-      put_i64 buf seq;
-      put_i64 buf k
-
-let get_mutation payload off =
-  if Bytes.length payload < off + 17 then
-    malformed "truncated mutation at offset %d" off;
-  let kind = Bytes.get_uint8 payload off in
-  let seq = get_i64 payload (off + 1) in
-  match kind with
-  | 0 -> ((seq, Unset (get_i64 payload (off + 9))), off + 17)
-  | 1 ->
-      if Bytes.length payload < off + 25 then
-        malformed "truncated Set mutation at offset %d" off;
-      ( (seq, Set { key = get_i64 payload (off + 9); value = get_i64 payload (off + 17) }),
-        off + 25 )
-  | k -> malformed "unknown mutation kind %d at offset %d" k off
+  | Cl_info -> frame buf 1 (fun () -> Buffer.add_uint8 buf op_cl_info)
+  | Cl_grant { slot; version } ->
+      frame buf 17 (fun () ->
+          Buffer.add_uint8 buf op_cl_grant;
+          put_i64 buf slot;
+          put_i64 buf version)
+  | Cl_freeze { slot; target } ->
+      frame buf 17 (fun () ->
+          Buffer.add_uint8 buf op_cl_freeze;
+          put_i64 buf slot;
+          put_i64 buf target)
+  | Cl_release { slot } ->
+      frame buf 9 (fun () ->
+          Buffer.add_uint8 buf op_cl_release;
+          put_i64 buf slot)
+  | Cl_snap { slot; shard; cursor; max } ->
+      frame buf 33 (fun () ->
+          Buffer.add_uint8 buf op_cl_snap;
+          put_i64 buf slot;
+          put_i64 buf shard;
+          put_i64 buf cursor;
+          put_i64 buf max)
+  | Cl_apply { records } ->
+      if List.length records > cl_apply_max then
+        invalid_arg "Codec.encode_request: Cl_apply record count over cap";
+      let body =
+        List.fold_left (fun a (_, m) -> a + mutation_len m) 0 records
+      in
+      frame buf (1 + 2 + body) (fun () ->
+          Buffer.add_uint8 buf op_cl_apply;
+          Buffer.add_uint16_be buf (List.length records);
+          List.iter (fun (seq, m) -> put_mutation buf seq m) records)
 
 let encode_reply buf = function
   | Value v ->
@@ -231,6 +304,38 @@ let encode_reply buf = function
           put_i64 buf last;
           Buffer.add_uint16_be buf (List.length records);
           List.iter (fun (seq, m) -> put_mutation buf seq m) records)
+  | Moved { slot; node } ->
+      frame buf 17 (fun () ->
+          Buffer.add_uint8 buf op_moved;
+          put_i64 buf slot;
+          put_i64 buf node)
+  | Cl_state { version; node; owners } ->
+      let n = Array.length owners in
+      if 17 + (8 * n) > max_frame then
+        invalid_arg "Codec.encode_reply: Cl_state exceeds max_frame";
+      frame buf
+        (17 + (8 * n))
+        (fun () ->
+          Buffer.add_uint8 buf op_cl_state;
+          put_i64 buf version;
+          put_i64 buf node;
+          Array.iter (fun o -> put_i64 buf o) owners)
+  | Cl_snap_batch { seq; next; kvs } ->
+      if List.length kvs > cl_snap_max then
+        invalid_arg "Codec.encode_reply: Cl_snap_batch binding count over cap";
+      frame buf
+        (1 + 8 + 8 + 2 + (16 * List.length kvs))
+        (fun () ->
+          Buffer.add_uint8 buf op_cl_snap_batch;
+          put_i64 buf seq;
+          put_i64 buf next;
+          Buffer.add_uint16_be buf (List.length kvs);
+          List.iter
+            (fun (k, v) ->
+              put_i64 buf k;
+              put_i64 buf v)
+            kvs)
+  | Cl_ok -> frame buf 1 (fun () -> Buffer.add_uint8 buf op_cl_ok)
 
 let request_of_payload payload =
   if Bytes.length payload < 1 then malformed "empty payload";
@@ -269,6 +374,39 @@ let request_of_payload payload =
         max = get_i64 payload 17;
       }
   end
+  else if op = op_cl_info then begin
+    expect_len payload 1 op;
+    Cl_info
+  end
+  else if op = op_cl_grant then begin
+    expect_len payload 17 op;
+    Cl_grant { slot = get_i64 payload 1; version = get_i64 payload 9 }
+  end
+  else if op = op_cl_freeze then begin
+    expect_len payload 17 op;
+    Cl_freeze { slot = get_i64 payload 1; target = get_i64 payload 9 }
+  end
+  else if op = op_cl_release then begin
+    expect_len payload 9 op;
+    Cl_release { slot = get_i64 payload 1 }
+  end
+  else if op = op_cl_snap then begin
+    expect_len payload 33 op;
+    Cl_snap
+      {
+        slot = get_i64 payload 1;
+        shard = get_i64 payload 9;
+        cursor = get_i64 payload 17;
+        max = get_i64 payload 25;
+      }
+  end
+  else if op = op_cl_apply then begin
+    if Bytes.length payload < 3 then
+      malformed "Cl_apply: payload %d bytes, expected >= 3"
+        (Bytes.length payload);
+    let count = Bytes.get_uint16_be payload 1 in
+    Cl_apply { records = get_mutations payload ~off:3 ~count }
+  end
   else malformed "unknown request opcode 0x%02x" op
 
 let reply_of_payload payload =
@@ -292,16 +430,39 @@ let reply_of_payload payload =
         (Bytes.length payload);
     let last = get_i64 payload 1 in
     let count = Bytes.get_uint16_be payload 9 in
-    let off = ref 11 in
-    let records =
-      List.init count (fun _ ->
-          let r, next = get_mutation payload !off in
-          off := next;
-          r)
-    in
-    if !off <> Bytes.length payload then
-      malformed "Rep_batch: %d trailing bytes" (Bytes.length payload - !off);
-    Rep_batch { last; records }
+    Rep_batch { last; records = get_mutations payload ~off:11 ~count }
+  end
+  else if op = op_moved then begin
+    expect_len payload 17 op;
+    Moved { slot = get_i64 payload 1; node = get_i64 payload 9 }
+  end
+  else if op = op_cl_state then begin
+    let body = Bytes.length payload - 17 in
+    if body < 0 || body mod 8 <> 0 then
+      malformed "Cl_state: bad payload length %d" (Bytes.length payload);
+    Cl_state
+      {
+        version = get_i64 payload 1;
+        node = get_i64 payload 9;
+        owners = Array.init (body / 8) (fun i -> get_i64 payload (17 + (8 * i)));
+      }
+  end
+  else if op = op_cl_snap_batch then begin
+    if Bytes.length payload < 19 then
+      malformed "Cl_snap_batch: payload %d bytes, expected >= 19"
+        (Bytes.length payload);
+    let count = Bytes.get_uint16_be payload 17 in
+    if Bytes.length payload <> 19 + (16 * count) then
+      malformed "Cl_snap_batch: %d bindings but %d payload bytes" count
+        (Bytes.length payload);
+    Cl_snap_batch
+      {
+        seq = get_i64 payload 1;
+        next = get_i64 payload 9;
+        kvs =
+          List.init count (fun i ->
+              (get_i64 payload (19 + (16 * i)), get_i64 payload (27 + (16 * i))));
+      }
   end
   else begin
     expect_len payload 1 op;
@@ -312,6 +473,7 @@ let reply_of_payload payload =
     else if op = op_cas_ok then Cas_ok
     else if op = op_cas_fail then Cas_fail
     else if op = op_shed then Shed
+    else if op = op_cl_ok then Cl_ok
     else malformed "unknown reply opcode 0x%02x" op
   end
 
@@ -324,6 +486,17 @@ let request_to_string = function
   | Rep_info -> "REP_INFO"
   | Rep_pull { shard; from; max } ->
       Printf.sprintf "REP_PULL shard=%d from=%d max=%d" shard from max
+  | Cl_info -> "CL_INFO"
+  | Cl_grant { slot; version } ->
+      Printf.sprintf "CL_GRANT slot=%d v=%d" slot version
+  | Cl_freeze { slot; target } ->
+      Printf.sprintf "CL_FREEZE slot=%d target=%d" slot target
+  | Cl_release { slot } -> Printf.sprintf "CL_RELEASE slot=%d" slot
+  | Cl_snap { slot; shard; cursor; max } ->
+      Printf.sprintf "CL_SNAP slot=%d shard=%d cursor=%d max=%d" slot shard
+        cursor max
+  | Cl_apply { records } ->
+      Printf.sprintf "CL_APPLY n=%d" (List.length records)
 
 let reply_to_string = function
   | Value v -> Printf.sprintf "VALUE %d" v
@@ -340,14 +513,25 @@ let reply_to_string = function
         (String.concat ";" (Array.to_list (Array.map string_of_int seqs)))
   | Rep_batch { last; records } ->
       Printf.sprintf "REP_BATCH last=%d n=%d" last (List.length records)
+  | Moved { slot; node } -> Printf.sprintf "MOVED slot=%d node=%d" slot node
+  | Cl_state { version; node; owners } ->
+      Printf.sprintf "CL_STATE v=%d node=%d slots=%d" version node
+        (Array.length owners)
+  | Cl_snap_batch { seq; next; kvs } ->
+      Printf.sprintf "CL_SNAP_BATCH seq=%d next=%d n=%d" seq next
+        (List.length kvs)
+  | Cl_ok -> "CL_OK"
 
 let key_of_request = function
   | Get k | Del k -> k
   | Put { key; _ } | Cas { key; _ } -> key
-  (* Replication requests are not routed by key; they are answered by
-     the replication handler before shard routing (Conn [ext]) and
-     rejected by [Shard.exec] if they slip past it. *)
-  | Rep_info | Rep_pull _ -> 0
+  (* Replication and cluster-control requests are not routed by key;
+     they are answered by the replication/cluster handler before shard
+     routing (Conn [ext]) and rejected by [Shard.exec] if they slip
+     past it. *)
+  | Rep_info | Rep_pull _ | Cl_info | Cl_grant _ | Cl_freeze _ | Cl_release _
+  | Cl_snap _ | Cl_apply _ ->
+      0
 
 let mutation_of_exec req reply =
   match (req, reply) with

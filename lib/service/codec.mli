@@ -30,6 +30,31 @@ type request =
   | Rep_pull of { shard : int; from : int; max : int }
       (** Replication: committed records of [shard] with seq > [from],
           at most [min max rep_batch_max] of them. *)
+  | Cl_info  (** Cluster: ask for the node's slot-ownership table. *)
+  | Cl_grant of { slot : int; version : int }
+      (** Cluster: the node becomes [slot]'s owner at table [version]
+          (migration cutover, target side).  Persisted before the
+          [Cl_ok] ack. *)
+  | Cl_freeze of { slot : int; target : int }
+      (** Cluster: the node stops serving [slot] and redirects its
+          data requests to [target] with {!reply-Moved} (migration
+          cutover, source side).  Persisted before the ack — this
+          write is the atomic cutover record. *)
+  | Cl_release of { slot : int }
+      (** Cluster: the source forgets a migrated slot (drops its
+          snapshot cache; the redirect entry stays). *)
+  | Cl_snap of { slot : int; shard : int; cursor : int; max : int }
+      (** Cluster: one page of a bracket-protected live snapshot of
+          the node's local [shard], restricted to keys of [slot].
+          [cursor = 0] starts a fresh traversal (stamped with the
+          shard's committed WAL seq {e before} traversing); later
+          cursors page the cached result. *)
+  | Cl_apply of { records : (int * mutation) list }
+      (** Cluster: apply absolute mutations through the node's normal
+          submit path regardless of slot ownership — the migration
+          ingest op (snapshot bootstrap and WAL catch-up both ship
+          through it).  Acked with {!reply-Cl_ok} only once every
+          record is applied {e and} WAL-durable. *)
 
 type reply =
   | Value of int  (** GET hit *)
@@ -48,6 +73,18 @@ type reply =
       (** [records] are [(seq, mutation)] in seq order; [last] is the
           shard's last committed seq at answer time, so
           [last - applied] is the follower's lag in frames. *)
+  | Moved of { slot : int; node : int }
+      (** Cluster redirect: the key's [slot] is served by [node] —
+          retry there.  The request was {e not} executed. *)
+  | Cl_state of { version : int; node : int; owners : int array }
+      (** [Cl_info] answer: [owners.(slot)] is the node id responsible
+          for [slot], as this [node] currently believes at table
+          [version]. *)
+  | Cl_snap_batch of { seq : int; next : int; kvs : (int * int) list }
+      (** One [Cl_snap] page: [seq] is the WAL seq the traversal was
+          stamped with (catch-up pulls resume after it), [next] the
+          cursor for the following page ([-1] = done). *)
+  | Cl_ok  (** Cluster control op acknowledged. *)
 
 exception Malformed of string
 (** Raised by the decoders on truncated/unknown payloads. *)
@@ -88,6 +125,13 @@ val mutation_to_string : mutation -> string
 val rep_batch_max : int
 (** Hard cap on records per {!reply-Rep_batch} so the reply fits
     {!max_frame}. *)
+
+val cl_apply_max : int
+(** Hard cap on records per {!request-Cl_apply} (equals
+    {!rep_batch_max}, so a pulled batch re-ships as one frame). *)
+
+val cl_snap_max : int
+(** Hard cap on bindings per {!reply-Cl_snap_batch}. *)
 
 (** {2 Checksummed durable records}
 

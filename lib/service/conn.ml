@@ -126,7 +126,17 @@ let write_reply ~faults fd out =
   end
   else write_frame fd out
 
-let serve_conn ?(faults = Faults.none) ?ext svc ~tid fd =
+(* The request→reply step shared by both server backends: the
+   extension handler (replication / cluster-control opcodes) answers
+   before shard routing; [None] falls through to the data path. *)
+let exec_of ?ext svc ~tid =
+  match ext with
+  | Some h -> (
+      fun req ->
+        match h req with Some r -> r | None -> Shard.call svc ~tid req)
+  | None -> fun req -> Shard.call svc ~tid req
+
+let serve_conn_fn ?(faults = Faults.none) ~exec fd =
   let out = Buffer.create 64 in
   (* One persistent decoder per connection: the header scratch lives
      for the connection, not per frame. *)
@@ -142,18 +152,7 @@ let serve_conn ?(faults = Faults.none) ?ext svc ~tid fd =
        | Some payload -> (
            match Codec.request_of_payload payload with
            | req ->
-               (* The extension handler (replication opcodes) answers
-                  before shard routing; [None] falls through to the
-                  data path. *)
-               let reply =
-                 match ext with
-                 | Some h -> (
-                     match h req with
-                     | Some r -> r
-                     | None -> Shard.call svc ~tid req)
-                 | None -> Shard.call svc ~tid req
-               in
-               Codec.encode_reply out reply;
+               Codec.encode_reply out (exec req);
                write_reply ~faults fd out;
                loop ()
            | exception Codec.Malformed m ->
@@ -167,39 +166,38 @@ let serve_conn ?(faults = Faults.none) ?ext svc ~tid fd =
    with Closed | Codec.Malformed _ | Unix.Unix_error _ -> ());
   try Unix.close fd with Unix.Unix_error _ -> ()
 
+let serve_conn ?(faults = Faults.none) ?ext svc ~tid fd =
+  serve_conn_fn ~faults ~exec:(exec_of ?ext svc ~tid) fd
+
 (* ------------------------------------------------------------------ *)
 
 type conn = { c_fd : Unix.file_descr; mutable c_domain : unit Domain.t option }
 
-type server = {
-  svc : Shard.t;
-  listen_fd : Unix.file_descr;
-  path : string;
-  accepting : bool Atomic.t;
-  (* Free producer-tid slots; a connection leases one for its life —
-     transparent attach/detach, a slot reused as soon as its previous
-     connection is gone. *)
-  tids : int list Atomic.t;
-  conns : conn list ref;
-  lock : Mutex.t;
-  mutable acceptor : unit Domain.t option;
-  stopped : bool Atomic.t;
-  faults : Faults.t;
-  ext : (Codec.request -> Codec.reply option) option;
+(* Threaded backend: one handler domain per accepted connection, each
+   leasing an execution context — a producer tid for service-backed
+   servers, a concurrency token for handler-function servers — for the
+   connection's life. *)
+type tserver = {
+  t_listen_fd : Unix.file_descr;
+  t_path : string;
+  t_accepting : bool Atomic.t;
+  t_lease : unit -> ((Codec.request -> Codec.reply) * (unit -> unit)) option;
+  t_conns : conn list ref;
+  t_lock : Mutex.t;
+  mutable t_acceptor : unit Domain.t option;
+  t_stopped : bool Atomic.t;
+  t_faults : Faults.t;
 }
 
-let faults srv = srv.faults
-
-let rec pop_tid srv =
-  match Atomic.get srv.tids with
+let rec pop_slot slots =
+  match Atomic.get slots with
   | [] -> None
   | t :: rest as old ->
-      if Atomic.compare_and_set srv.tids old rest then Some t
-      else pop_tid srv
+      if Atomic.compare_and_set slots old rest then Some t else pop_slot slots
 
-let rec push_tid srv t =
-  let old = Atomic.get srv.tids in
-  if not (Atomic.compare_and_set srv.tids old (t :: old)) then push_tid srv t
+let rec push_slot slots t =
+  let old = Atomic.get slots in
+  if not (Atomic.compare_and_set slots old (t :: old)) then push_slot slots t
 
 let shed_and_close fd =
   let out = Buffer.create 8 in
@@ -208,29 +206,28 @@ let shed_and_close fd =
   try Unix.close fd with Unix.Unix_error _ -> ()
 
 let accept_loop srv () =
-  while Atomic.get srv.accepting do
-    match Unix.accept srv.listen_fd with
+  while Atomic.get srv.t_accepting do
+    match Unix.accept srv.t_listen_fd with
     | exception Unix.Unix_error _ -> ()
     | fd, _ ->
-        if not (Atomic.get srv.accepting) then (
+        if not (Atomic.get srv.t_accepting) then (
           try Unix.close fd with Unix.Unix_error _ -> ())
         else begin
-          match pop_tid srv with
+          match srv.t_lease () with
           | None ->
               (* Every client slot is leased: connection-level
                  backpressure, same contract as a full mailbox. *)
               shed_and_close fd
-          | Some tid ->
+          | Some (exec, release) ->
               let conn = { c_fd = fd; c_domain = None } in
-              Mutex.lock srv.lock;
-              srv.conns := conn :: !(srv.conns);
-              Mutex.unlock srv.lock;
+              Mutex.lock srv.t_lock;
+              srv.t_conns := conn :: !(srv.t_conns);
+              Mutex.unlock srv.t_lock;
               conn.c_domain <-
                 Some
                   (Domain.spawn (fun () ->
-                       serve_conn ~faults:srv.faults ?ext:srv.ext srv.svc ~tid
-                         fd;
-                       push_tid srv tid))
+                       serve_conn_fn ~faults:srv.t_faults ~exec fd;
+                       release ()))
         end
   done
 
@@ -254,28 +251,30 @@ let claim_socket_path path =
     try Unix.unlink path with Unix.Unix_error _ -> ()
   end
 
-let serve_unix svc ~path ?(backlog = 16) ?(faults = Faults.none) ?ext () =
+let bind_listen ~path ~backlog =
   ignore_sigpipe ();
   claim_socket_path path;
   let listen_fd = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
   Unix.bind listen_fd (Unix.ADDR_UNIX path);
   Unix.listen listen_fd backlog;
+  listen_fd
+
+let serve_threaded ~path ~backlog ~faults ~lease =
+  let listen_fd = bind_listen ~path ~backlog in
   let srv =
     {
-      svc;
-      listen_fd;
-      path;
-      accepting = Atomic.make true;
-      tids = Atomic.make (List.init svc.Shard.clients Fun.id);
-      conns = ref [];
-      lock = Mutex.create ();
-      acceptor = None;
-      stopped = Atomic.make false;
-      faults;
-      ext;
+      t_listen_fd = listen_fd;
+      t_path = path;
+      t_accepting = Atomic.make true;
+      t_lease = lease;
+      t_conns = ref [];
+      t_lock = Mutex.create ();
+      t_acceptor = None;
+      t_stopped = Atomic.make false;
+      t_faults = faults;
     }
   in
-  srv.acceptor <- Some (Domain.spawn (accept_loop srv));
+  srv.t_acceptor <- Some (Domain.spawn (accept_loop srv));
   srv
 
 let connect_unix ~path =
@@ -283,34 +282,608 @@ let connect_unix ~path =
   Unix.connect fd (Unix.ADDR_UNIX path);
   fd
 
-let shutdown srv =
-  if Atomic.compare_and_set srv.stopped false true then begin
-    Atomic.set srv.accepting false;
+let shutdown_threaded srv =
+  if Atomic.compare_and_set srv.t_stopped false true then begin
+    Atomic.set srv.t_accepting false;
     (* Wake a blocked accept: shutdown the listener, and self-connect
        in case the platform's accept does not notice the shutdown. *)
-    (try Unix.shutdown srv.listen_fd Unix.SHUTDOWN_ALL
+    (try Unix.shutdown srv.t_listen_fd Unix.SHUTDOWN_ALL
      with Unix.Unix_error _ -> ());
-    (try Unix.close (connect_unix ~path:srv.path) with
+    (try Unix.close (connect_unix ~path:srv.t_path) with
     | Unix.Unix_error _ -> ());
-    (match srv.acceptor with
+    (match srv.t_acceptor with
     | Some d ->
         Domain.join d;
-        srv.acceptor <- None
+        srv.t_acceptor <- None
     | None -> ());
-    (try Unix.close srv.listen_fd with Unix.Unix_error _ -> ());
+    (try Unix.close srv.t_listen_fd with Unix.Unix_error _ -> ());
     (* The acceptor is joined, so the connection list is final and
        every c_domain is set. *)
     List.iter
       (fun c ->
         try Unix.shutdown c.c_fd Unix.SHUTDOWN_ALL
         with Unix.Unix_error _ -> ())
-      !(srv.conns);
+      !(srv.t_conns);
     List.iter
       (fun c -> match c.c_domain with Some d -> Domain.join d | None -> ())
-      !(srv.conns);
-    srv.conns := [];
-    try Unix.unlink srv.path with Unix.Unix_error _ -> ()
+      !(srv.t_conns);
+    srv.t_conns := [];
+    try Unix.unlink srv.t_path with Unix.Unix_error _ -> ()
   end
+
+(* ------------------------------------------------------------------ *)
+(* Event-loop backend: one pump domain owns every connection — accept,
+   nonblocking reads into per-connection buffers, the shared
+   [Codec.frame_reader] state machine over those buffers, submission
+   to the shard mailboxes under a single leased producer tid, and
+   nonblocking ordered reply writes with short-write resume.  Shard
+   consumers hand completions back through a lock-free stack plus a
+   wake pipe, so the pump never blocks while work is pending.
+
+   Fan-in economics: the threaded backend costs a domain and a leased
+   tid per connection, capping daemons at tens of clients; here the
+   whole loop is one domain and one tid (the pump is one submitter —
+   transparent schemes need nothing more), so the connection count is
+   bounded by [max_conns] and fd limits, not by [Shard.t.clients] or
+   the runtime's domain cap. *)
+
+type econn = {
+  ec_fd : Unix.file_descr;
+  mutable ec_buf : bytes;  (* request bytes accumulated, [ec_pos, ec_len) *)
+  mutable ec_len : int;
+  mutable ec_pos : int;
+  mutable ec_rd : Codec.reader;  (* frame decoder over the window above *)
+  mutable ec_obuf : bytes;  (* encoded replies not yet on the wire *)
+  mutable ec_obeg : int;
+  mutable ec_oend : int;
+  mutable ec_next_seq : int;  (* request seqs assigned on this connection *)
+  mutable ec_flush_seq : int;  (* next seq whose reply goes on the wire *)
+  ec_done : (int, Codec.reply) Hashtbl.t;  (* completed out of order *)
+  ec_pending : (int * Codec.request) Queue.t;
+      (* parsed but not yet accepted by a shard mailbox (mailbox-full
+         backpressure); head-first retry preserves request order *)
+  mutable ec_eof : bool;  (* peer finished sending; flush then close *)
+  mutable ec_dead : bool;
+  mutable ec_want_write : bool;
+  mutable ec_reading : bool;  (* read interest currently registered *)
+  mutable ec_hard_close : bool;  (* injected fault: close after flush *)
+  mutable ec_delay_until : float;  (* injected fault: slow peer *)
+}
+
+type eserver = {
+  e_svc : Shard.t;
+  e_listen : Unix.file_descr;
+  e_path : string;
+  e_poll : Poller.t;
+  e_conns : (int, econn) Hashtbl.t;  (* raw fd -> conn; pump domain only *)
+  e_tid : int;
+  e_exec : Codec.request -> Codec.reply option;
+      (* the ext fast path; [None] falls through to an async submit *)
+  e_completions : (econn * int * Codec.reply) list Atomic.t;
+  e_wake_r : Unix.file_descr;
+  e_wake_w : Unix.file_descr;
+  e_wake_armed : bool Atomic.t;
+  e_stop : bool Atomic.t;
+  mutable e_pump : unit Domain.t option;
+  e_faults : Faults.t;
+  e_max_conns : int;
+  e_stopped : bool Atomic.t;
+  e_scratch : Buffer.t;  (* reply encode staging; pump domain only *)
+  mutable e_has_pending : bool;
+      (* some connection holds mailbox-refused requests; pump only *)
+}
+
+(* Out-buffer watermarks: a peer that pipelines requests without
+   reading replies grows [ec_obuf]; past [ec_high] the pump stops
+   reading from it (its kernel buffer backpressures the peer) and
+   resumes below [ec_low].  One misbehaving connection degrades only
+   itself. *)
+let ec_high = 256 * 1024
+let ec_low = 64 * 1024
+
+(* Pending-queue watermarks: a connection pipelining faster than its
+   shards drain accumulates parsed-but-unsubmitted requests.  All
+   connections share one producer tid here, so a full mailbox is the
+   norm under pipelining, not an overload signal the way it is for
+   threaded connections (one in-flight request per tid each) — the
+   pump therefore holds refused requests and retries in arrival order
+   rather than answering [Shed].  Past [ec_pending_high] it also
+   stops reading from the connection until the queue drains below
+   [ec_pending_low], so the backpressure reaches the peer's socket. *)
+let ec_pending_high = 1024
+let ec_pending_low = 256
+
+let enqueue_completion srv c seq reply =
+  let rec push () =
+    let old = Atomic.get srv.e_completions in
+    if not (Atomic.compare_and_set srv.e_completions old ((c, seq, reply) :: old))
+    then push ()
+  in
+  push ();
+  (* Wake the pump iff it is (or is about to go) blocking: [exchange]
+     claims the armed flag so concurrent completers write one byte,
+     not one each. *)
+  if Atomic.exchange srv.e_wake_armed false then
+    try ignore (Unix.write srv.e_wake_w (Bytes.make 1 '!') 0 1)
+    with Unix.Unix_error _ -> ()
+
+let ec_close srv c =
+  if not c.ec_dead then begin
+    c.ec_dead <- true;
+    Poller.remove srv.e_poll c.ec_fd;
+    Hashtbl.remove srv.e_conns (Poller.fd_int c.ec_fd);
+    try Unix.close c.ec_fd with Unix.Unix_error _ -> ()
+  end
+
+let ec_update_interest srv c =
+  if not c.ec_dead then begin
+    let backlog = c.ec_oend - c.ec_obeg in
+    let pend = Queue.length c.ec_pending in
+    let want_read =
+      if c.ec_eof then false
+      else if c.ec_reading then
+        backlog <= ec_high && pend <= ec_pending_high  (* pause above high *)
+      else backlog < ec_low && pend < ec_pending_low
+      (* resume below low: hysteresis *)
+    in
+    c.ec_reading <- want_read;
+    Poller.modify srv.e_poll c.ec_fd ~read:want_read ~write:c.ec_want_write
+  end
+
+(* Flush as much of [ec_obuf] as the socket accepts right now; EAGAIN
+   registers write interest and returns.  Any hard error costs exactly
+   this connection. *)
+let rec ec_flush srv c =
+  if (not c.ec_dead) && c.ec_oend > c.ec_obeg then begin
+    match Unix.write c.ec_fd c.ec_obuf c.ec_obeg (c.ec_oend - c.ec_obeg) with
+    | 0 -> ec_close srv c
+    | n ->
+        c.ec_obeg <- c.ec_obeg + n;
+        if c.ec_obeg = c.ec_oend then begin
+          c.ec_obeg <- 0;
+          c.ec_oend <- 0;
+          c.ec_want_write <- false;
+          ec_update_interest srv c;
+          if c.ec_hard_close then ec_close srv c
+          else if
+            c.ec_eof
+            && c.ec_next_seq = c.ec_flush_seq
+            && Hashtbl.length c.ec_done = 0
+          then ec_close srv c
+        end
+        else ec_flush srv c
+    | exception Unix.Unix_error ((Unix.EAGAIN | Unix.EWOULDBLOCK), _, _) ->
+        if not c.ec_want_write then begin
+          c.ec_want_write <- true;
+          ec_update_interest srv c
+        end
+    | exception Unix.Unix_error (Unix.EINTR, _, _) -> ec_flush srv c
+    | exception Unix.Unix_error _ -> ec_close srv c
+  end
+  else if
+    (not c.ec_dead) && c.ec_oend = c.ec_obeg
+    && (c.ec_hard_close
+       || c.ec_eof
+          && c.ec_next_seq = c.ec_flush_seq
+          && Hashtbl.length c.ec_done = 0)
+  then ec_close srv c
+
+let ec_append_out c b off len =
+  let need = c.ec_oend - c.ec_obeg + len in
+  let cap = Bytes.length c.ec_obuf in
+  if c.ec_oend + len > cap then
+    if need <= cap then begin
+      (* compact in place *)
+      Bytes.blit c.ec_obuf c.ec_obeg c.ec_obuf 0 (c.ec_oend - c.ec_obeg);
+      c.ec_oend <- c.ec_oend - c.ec_obeg;
+      c.ec_obeg <- 0
+    end
+    else begin
+      let ncap = max (cap * 2) (need + 4096) in
+      let nb = Bytes.create ncap in
+      Bytes.blit c.ec_obuf c.ec_obeg nb 0 (c.ec_oend - c.ec_obeg);
+      c.ec_obuf <- nb;
+      c.ec_oend <- c.ec_oend - c.ec_obeg;
+      c.ec_obeg <- 0
+    end;
+  Bytes.blit b off c.ec_obuf c.ec_oend len;
+  c.ec_oend <- c.ec_oend + len
+
+(* Stage [reply] for [seq] and move every now-contiguous reply from
+   the reorder window onto the out buffer, in request order — the
+   byte-trace contract with the threaded backend.  Injected reply
+   faults cut the frame exactly as the threaded [write_reply] does,
+   then close after the cut bytes drain. *)
+let ec_complete srv c seq reply =
+  if not c.ec_dead then begin
+    Hashtbl.replace c.ec_done seq reply;
+    let progressed = ref false in
+    let continue = ref true in
+    while !continue do
+      match Hashtbl.find_opt c.ec_done c.ec_flush_seq with
+      | None -> continue := false
+      | Some r ->
+          Hashtbl.remove c.ec_done c.ec_flush_seq;
+          c.ec_flush_seq <- c.ec_flush_seq + 1;
+          progressed := true;
+          let faults = srv.e_faults in
+          Buffer.clear srv.e_scratch;
+          Codec.encode_reply srv.e_scratch r;
+          let b = Buffer.to_bytes srv.e_scratch in
+          Buffer.clear srv.e_scratch;
+          if
+            (not (Faults.is_none faults))
+            && Faults.take faults.Faults.close_mid_frame
+          then begin
+            ec_append_out c b 0 (min 4 (Bytes.length b));
+            c.ec_hard_close <- true;
+            continue := false
+          end
+          else if
+            (not (Faults.is_none faults))
+            && Faults.take faults.Faults.truncate_replies
+          then begin
+            let cut = min (Bytes.length b) (4 + ((Bytes.length b - 4) / 2)) in
+            ec_append_out c b 0 cut;
+            c.ec_hard_close <- true;
+            continue := false
+          end
+          else ec_append_out c b 0 (Bytes.length b)
+    done;
+    if !progressed then begin
+      ec_flush srv c;
+      (* A still-growing backlog may cross the high watermark. *)
+      ec_update_interest srv c
+    end
+  end
+
+(* Feed the connection's pending queue into the shard mailboxes,
+   oldest first, stopping at the first refusal.  [Shard.submit]
+   invokes its callback with [Shed] only {e synchronously} (consumers
+   never produce it), so reading the flag after the call is race-free
+   on the pump; every other reply — including the synchronous
+   service-stopped error — flows through the completion stack like an
+   ordinary consumer-side reply. *)
+let ec_submit_pending srv c =
+  let continue = ref true in
+  while !continue && (not c.ec_dead) && not (Queue.is_empty c.ec_pending) do
+    let seq, req = Queue.peek c.ec_pending in
+    let shed = ref false in
+    srv.e_svc.Shard.submit ~tid:srv.e_tid req (fun reply ->
+        match reply with
+        | Codec.Shed -> shed := true
+        | r -> enqueue_completion srv c seq r);
+    if !shed then begin
+      srv.e_has_pending <- true;
+      continue := false
+    end
+    else ignore (Queue.pop c.ec_pending)
+  done
+
+(* Dispatch one decoded request.  The ext handler answers inline on
+   the pump (replication and cluster-control traffic — bounded work);
+   data requests go through the async submit under the pump's single
+   tid, completing from the shard consumer's domain. *)
+let ec_dispatch srv c payload =
+  let seq = c.ec_next_seq in
+  c.ec_next_seq <- seq + 1;
+  match Codec.request_of_payload payload with
+  | exception Codec.Malformed m ->
+      (* Same contract as the threaded path: answer, then drop the
+         connection — the stream position cannot be trusted. *)
+      c.ec_eof <- true;
+      ec_update_interest srv c;
+      ec_complete srv c seq (Codec.Error ("malformed: " ^ m))
+  | req -> (
+      match srv.e_exec req with
+      | Some r -> ec_complete srv c seq r
+      | None ->
+          Queue.push (seq, req) c.ec_pending;
+          ec_submit_pending srv c)
+
+(* Drain every complete frame currently buffered.  [next_frame] is
+   only entered when the 4-byte prefix and the full payload are
+   already in [ec_buf], so the pull source never starves mid-frame —
+   the same decoder instance a blocking transport would use. *)
+let ec_parse srv c =
+  let continue = ref true in
+  while !continue && not c.ec_dead do
+    let avail = c.ec_len - c.ec_pos in
+    if avail < 4 then continue := false
+    else
+      let len = Int32.to_int (Bytes.get_int32_be c.ec_buf c.ec_pos) in
+      if len < 0 || len > Codec.max_frame then begin
+        (* Framing is gone; nothing can be answered safely. *)
+        c.ec_eof <- true;
+        if c.ec_next_seq = c.ec_flush_seq then ec_close srv c
+        else ec_update_interest srv c;
+        continue := false
+      end
+      else if avail < 4 + len then continue := false
+      else begin
+        (match Codec.next_frame c.ec_rd with
+        | Codec.Frame payload -> ec_dispatch srv c payload
+        | Codec.Eof | Codec.Torn _ ->
+            (* Unreachable: the full frame is buffered. *)
+            ec_close srv c
+        | exception Codec.Malformed _ -> ec_close srv c);
+        if c.ec_eof then continue := false
+      end
+  done
+
+let ec_read srv c =
+  if not c.ec_dead then begin
+    (* Compact: parsed bytes make room before the next read. *)
+    if c.ec_pos > 0 then begin
+      if c.ec_len > c.ec_pos then
+        Bytes.blit c.ec_buf c.ec_pos c.ec_buf 0 (c.ec_len - c.ec_pos);
+      c.ec_len <- c.ec_len - c.ec_pos;
+      c.ec_pos <- 0
+    end;
+    if c.ec_len = Bytes.length c.ec_buf then begin
+      (* A frame larger than the buffer: grow to the framing bound. *)
+      let ncap = min (2 * Bytes.length c.ec_buf) (4 + Codec.max_frame) in
+      if ncap > Bytes.length c.ec_buf then begin
+        let nb = Bytes.create ncap in
+        Bytes.blit c.ec_buf 0 nb 0 c.ec_len;
+        c.ec_buf <- nb
+      end
+    end;
+    let space = Bytes.length c.ec_buf - c.ec_len in
+    if space > 0 then begin
+      match Unix.read c.ec_fd c.ec_buf c.ec_len space with
+      | 0 ->
+          c.ec_eof <- true;
+          ec_update_interest srv c;
+          (* Whatever is buffered still gets parsed and answered. *)
+          ec_parse srv c;
+          ec_flush srv c
+      | n ->
+          c.ec_len <- c.ec_len + n;
+          ec_parse srv c
+      | exception Unix.Unix_error ((Unix.EAGAIN | Unix.EWOULDBLOCK), _, _) ->
+          ()
+      | exception Unix.Unix_error (Unix.EINTR, _, _) -> ec_parse srv c
+      | exception Unix.Unix_error _ -> ec_close srv c
+    end
+  end
+
+let ec_handle_read srv c =
+  let faults = srv.e_faults in
+  if
+    (not (Faults.is_none faults))
+    && c.ec_delay_until <= Unix.gettimeofday ()
+    && Faults.take faults.Faults.delayed_reads
+  then c.ec_delay_until <- Unix.gettimeofday () +. Faults.delay_s faults;
+  (* A delayed connection leaves its bytes in the kernel buffer;
+     level-triggered polling revisits it once the pause elapses. *)
+  if c.ec_delay_until <= Unix.gettimeofday () then ec_read srv c
+
+let ec_accept_burst srv =
+  let continue = ref true in
+  while !continue do
+    match Unix.accept srv.e_listen with
+    | exception Unix.Unix_error ((Unix.EAGAIN | Unix.EWOULDBLOCK), _, _) ->
+        continue := false
+    | exception Unix.Unix_error (Unix.EINTR, _, _) -> ()
+    | exception Unix.Unix_error _ -> continue := false
+    | fd, _ ->
+        if
+          Atomic.get srv.e_stop
+          || Hashtbl.length srv.e_conns >= srv.e_max_conns
+        then shed_and_close fd
+        else begin
+          Unix.set_nonblock fd;
+          let c =
+            {
+              ec_fd = fd;
+              ec_buf = Bytes.create 4096;
+              ec_len = 0;
+              ec_pos = 0;
+              ec_rd = Codec.frame_reader (fun _ _ _ -> 0);
+              ec_obuf = Bytes.create 4096;
+              ec_obeg = 0;
+              ec_oend = 0;
+              ec_next_seq = 0;
+              ec_flush_seq = 0;
+              ec_done = Hashtbl.create 8;
+              ec_pending = Queue.create ();
+              ec_eof = false;
+              ec_dead = false;
+              ec_want_write = false;
+              ec_reading = true;
+              ec_hard_close = false;
+              ec_delay_until = 0.0;
+            }
+          in
+          (* The decoder's pull source is the connection's own buffer
+             window; [ec_parse] guarantees it is only pulled when a
+             whole frame is present. *)
+          c.ec_rd <-
+            Codec.frame_reader (fun b off len ->
+                let n = min len (c.ec_len - c.ec_pos) in
+                Bytes.blit c.ec_buf c.ec_pos b off n;
+                c.ec_pos <- c.ec_pos + n;
+                n);
+          Hashtbl.replace srv.e_conns (Poller.fd_int fd) c;
+          Poller.add srv.e_poll fd ~read:true ~write:false
+        end
+  done
+
+let ec_drain_completions srv =
+  let rec take () =
+    let old = Atomic.get srv.e_completions in
+    if old == [] then []
+    else if Atomic.compare_and_set srv.e_completions old [] then old
+    else take ()
+  in
+  match take () with
+  | [] -> ()
+  | batch ->
+      (* The stack yields newest-first; completions for one connection
+         reorder through the seq window anyway, so order here only
+         affects fairness, not correctness. *)
+      List.iter (fun (c, seq, reply) -> ec_complete srv c seq reply) batch
+
+let ec_pump srv () =
+  let drain = Bytes.create 64 in
+  while not (Atomic.get srv.e_stop) do
+    ec_drain_completions srv;
+    (* A drained completion means the consumer took envelopes off a
+       mailbox — the moment refused requests are worth retrying. *)
+    if srv.e_has_pending then begin
+      srv.e_has_pending <- false;
+      Hashtbl.iter
+        (fun _ c ->
+          if not (Queue.is_empty c.ec_pending) then begin
+            ec_submit_pending srv c;
+            ec_update_interest srv c
+          end)
+        srv.e_conns
+    end;
+    (* Sleep only with the wake armed, and only after a last look at
+       the completion stack — a completer that pushed before seeing
+       the armed flag is caught by the re-check, one that pushed after
+       writes the wake byte (the shm mux idle-race discipline). *)
+    Atomic.set srv.e_wake_armed true;
+    let timeout_ms =
+      if Atomic.get srv.e_completions != [] then 0
+      else if srv.e_has_pending then 1
+      else if not (Faults.is_none srv.e_faults) then 2
+      else 50
+    in
+    let listen_raw = Poller.fd_int srv.e_listen in
+    let wake_raw = Poller.fd_int srv.e_wake_r in
+    ignore
+      (Poller.wait srv.e_poll ~timeout_ms (fun fd ~readable ~writable ->
+           if Poller.fd_int fd = listen_raw then ec_accept_burst srv
+           else if Poller.fd_int fd = wake_raw then (
+             try ignore (Unix.read srv.e_wake_r drain 0 (Bytes.length drain))
+             with Unix.Unix_error _ -> ())
+           else
+             match Hashtbl.find_opt srv.e_conns (Poller.fd_int fd) with
+             | None -> ()
+             | Some c ->
+                 if writable then ec_flush srv c;
+                 if readable && not c.ec_dead then ec_handle_read srv c));
+    Atomic.set srv.e_wake_armed false;
+    (* Completions may have landed while handling events; faulted
+       delayed connections are revisited by the shortened timeout. *)
+    if not (Faults.is_none srv.e_faults) then
+      Hashtbl.iter
+        (fun _ c ->
+          if
+            c.ec_delay_until > 0.0
+            && c.ec_delay_until <= Unix.gettimeofday ()
+            && not c.ec_dead
+          then begin
+            c.ec_delay_until <- 0.0;
+            ec_read srv c
+          end)
+        (Hashtbl.copy srv.e_conns)
+  done;
+  (* Teardown on the pump: it owns every fd. *)
+  Hashtbl.iter (fun _ c -> ec_close srv c) (Hashtbl.copy srv.e_conns);
+  Poller.close srv.e_poll;
+  (try Unix.close srv.e_listen with Unix.Unix_error _ -> ());
+  (try Unix.close srv.e_wake_r with Unix.Unix_error _ -> ());
+  try Unix.close srv.e_wake_w with Unix.Unix_error _ -> ()
+
+let serve_evloop svc ~path ~backlog ~faults ?ext ~poller ~max_conns ~tid () =
+  if tid < 0 || tid >= svc.Shard.clients then
+    invalid_arg "Conn.serve_unix: evloop tid outside the client range";
+  let listen_fd = bind_listen ~path ~backlog in
+  Unix.set_nonblock listen_fd;
+  let wake_r, wake_w = Unix.pipe () in
+  Unix.set_nonblock wake_r;
+  Unix.set_nonblock wake_w;
+  let poll = Poller.create poller in
+  let exec =
+    match ext with Some h -> h | None -> fun _ -> None
+  in
+  let srv =
+    {
+      e_svc = svc;
+      e_listen = listen_fd;
+      e_path = path;
+      e_poll = poll;
+      e_conns = Hashtbl.create 64;
+      e_tid = tid;
+      e_exec = exec;
+      e_completions = Atomic.make [];
+      e_wake_r = wake_r;
+      e_wake_w = wake_w;
+      e_wake_armed = Atomic.make false;
+      e_stop = Atomic.make false;
+      e_pump = None;
+      e_faults = faults;
+      e_max_conns = max_conns;
+      e_stopped = Atomic.make false;
+      e_scratch = Buffer.create 64;
+      e_has_pending = false;
+    }
+  in
+  Poller.add poll listen_fd ~read:true ~write:false;
+  Poller.add poll wake_r ~read:true ~write:false;
+  srv.e_pump <- Some (Domain.spawn (ec_pump srv));
+  srv
+
+let shutdown_evloop srv =
+  if Atomic.compare_and_set srv.e_stopped false true then begin
+    Atomic.set srv.e_stop true;
+    (try ignore (Unix.write srv.e_wake_w (Bytes.make 1 '!') 0 1)
+     with Unix.Unix_error _ -> ());
+    (match srv.e_pump with
+    | Some d ->
+        Domain.join d;
+        srv.e_pump <- None
+    | None -> ());
+    try Unix.unlink srv.e_path with Unix.Unix_error _ -> ()
+  end
+
+(* ------------------------------------------------------------------ *)
+
+type server =
+  | Threaded of tserver * Faults.t
+  | Evloop of eserver
+
+type backend = [ `Threaded | `Evloop of Poller.backend ]
+
+let serve_unix svc ~path ?(backlog = 16) ?(faults = Faults.none) ?ext
+    ?(backend = `Threaded) ?(max_conns = 1024) ?(evloop_tid = 0) () =
+  match backend with
+  | `Threaded ->
+      let tids = Atomic.make (List.init svc.Shard.clients Fun.id) in
+      let lease () =
+        match pop_slot tids with
+        | None -> None
+        | Some tid ->
+            Some (exec_of ?ext svc ~tid, fun () -> push_slot tids tid)
+      in
+      Threaded (serve_threaded ~path ~backlog ~faults ~lease, faults)
+  | `Evloop poller ->
+      Evloop
+        (serve_evloop svc ~path ~backlog ~faults ?ext ~poller ~max_conns
+           ~tid:evloop_tid ())
+
+let serve_unix_fn ~handler ~path ?(backlog = 16) ?(faults = Faults.none)
+    ?(max_conns = 64) () =
+  (* Handler-function server (the cluster proxy): thread per
+     connection — the handler may block on upstream daemons — with a
+     token pool instead of tid leases. *)
+  let tokens = Atomic.make (List.init max_conns Fun.id) in
+  let lease () =
+    match pop_slot tokens with
+    | None -> None
+    | Some tok -> Some (handler, fun () -> push_slot tokens tok)
+  in
+  Threaded (serve_threaded ~path ~backlog ~faults ~lease, faults)
+
+let shutdown = function
+  | Threaded (t, _) -> shutdown_threaded t
+  | Evloop e -> shutdown_evloop e
+
+let faults = function Threaded (_, f) -> f | Evloop e -> e.e_faults
 
 let call_fd fd req =
   let out = Buffer.create 32 in

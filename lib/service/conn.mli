@@ -111,8 +111,17 @@ val serve_conn :
     the descriptor.  Never raises.  [faults] (default {!Faults.none})
     injects server-side transport faults.  [ext] is consulted before
     shard routing — a [Some] reply answers the request directly (the
-    replication opcodes are served this way, off the data path);
-    [None] falls through to [Shard.call]. *)
+    replication and cluster-control opcodes are served this way, off
+    the data path); [None] falls through to [Shard.call]. *)
+
+val serve_conn_fn :
+  ?faults:Faults.t ->
+  exec:(Codec.request -> Codec.reply) ->
+  Unix.file_descr ->
+  unit
+(** {!serve_conn} generalized over the request executor — the
+    blocking per-connection loop under any handler (the cluster proxy
+    serves its router through this). *)
 
 type server
 
@@ -120,25 +129,57 @@ exception Addr_in_use of string
 (** {!serve_unix}: the socket path is owned by a {e live} daemon (a
     connect probe succeeded) — refusing to clobber it. *)
 
+type backend = [ `Threaded | `Evloop of Poller.backend ]
+(** How the unix-socket server holds its connections:
+
+    - [`Threaded]: one handler domain per connection, each leasing a
+      producer tid for its life; all [Shard.t.clients] tids in use ⇒
+      new connections get one [Shed] reply and close.  Fan-in is
+      bounded by the tid pool and the runtime's domain count.
+    - [`Evloop p]: a single pump domain drives every connection
+      through a readiness poller [p] ({!Poller.backend}) —
+      nonblocking fds, per-connection {!Codec.frame_reader} state
+      machines, batched submits under {e one} leased tid, ordered
+      nonblocking reply writes with short-write resume and
+      per-connection error containment.  Fan-in is bounded by
+      [max_conns] and fd limits only; beyond [max_conns] new
+      connections get one [Shed] reply and close. *)
+
 val serve_unix :
   Shard.t ->
   path:string ->
   ?backlog:int ->
   ?faults:Faults.t ->
   ?ext:(Codec.request -> Codec.reply option) ->
+  ?backend:backend ->
+  ?max_conns:int ->
+  ?evloop_tid:int ->
   unit ->
   server
-(** Bind+listen on a unix-domain socket and accept in a background
-    domain; each connection gets a handler domain holding a leased
-    client tid.  When all [Shard.t.clients] tids are in use, new
-    connections are immediately answered with one [Shed] reply and
-    closed (connection-level backpressure).  An existing socket file
-    is connect-probed first: stale (crashed daemon) → unlinked and
-    claimed; live → {!Addr_in_use}, the incumbent keeps it.  [ext] is
-    passed to every {!serve_conn}. *)
+(** Bind+listen on a unix-domain socket and serve it with [backend]
+    (default [`Threaded]).  An existing socket file is connect-probed
+    first: stale (crashed daemon) → unlinked and claimed; live →
+    {!Addr_in_use}, the incumbent keeps it.  [ext] is consulted
+    before shard routing on every connection.  [max_conns] (default
+    1024) and [evloop_tid] (the pump's producer tid, default 0 —
+    reserve it for the server) apply to the [`Evloop] backend. *)
+
+val serve_unix_fn :
+  handler:(Codec.request -> Codec.reply) ->
+  path:string ->
+  ?backlog:int ->
+  ?faults:Faults.t ->
+  ?max_conns:int ->
+  unit ->
+  server
+(** A unix-socket server over a plain handler function instead of a
+    {!Shard.t} — thread per connection (the handler may block on
+    upstream daemons), at most [max_conns] (default 64) concurrent;
+    beyond that, connections get one [Shed] reply and close.  The
+    cluster proxy serves dumb clients through this. *)
 
 val shutdown : server -> unit
-(** Stop accepting, wake the accept loop, join handler domains,
+(** Stop accepting, wake the accept loop / pump, join server domains,
     unlink the socket path.  Idempotent.  Does NOT stop the service. *)
 
 val faults : server -> Faults.t

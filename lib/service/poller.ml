@@ -1,0 +1,149 @@
+type backend = [ `Auto | `Epoll | `Select ]
+
+external epoll_available : unit -> bool = "kv_epoll_available" [@@noalloc]
+external epoll_create : unit -> int = "kv_epoll_create"
+
+external epoll_ctl_raw : int -> int -> Unix.file_descr -> int -> unit
+  = "kv_epoll_ctl"
+
+type events =
+  (int, Bigarray.int_elt, Bigarray.c_layout) Bigarray.Array1.t
+
+external epoll_wait_raw : int -> int -> events -> int = "kv_epoll_wait"
+external epoll_close : int -> unit = "kv_epoll_close"
+external fd_int : Unix.file_descr -> int = "kv_fd_int" [@@noalloc]
+
+let available = epoll_available
+
+type entry = {
+  e_fd : Unix.file_descr;
+  mutable e_read : bool;
+  mutable e_write : bool;
+}
+
+type t =
+  | Epoll of {
+      ep : int;
+      buf : events;
+      (* raw fd -> registered interest; epoll results carry raw ints
+         that must map back to the registered descriptor. *)
+      tbl : (int, entry) Hashtbl.t;
+    }
+  | Select of { tbl : (int, entry) Hashtbl.t }
+
+let interest_bits e = (if e.e_read then 1 else 0) lor if e.e_write then 2 else 0
+
+let create (b : backend) =
+  match b with
+  | `Epoll ->
+      if not (epoll_available ()) then
+        failwith "Poller.create: epoll unavailable on this platform";
+      Epoll
+        {
+          ep = epoll_create ();
+          buf = Bigarray.Array1.create Bigarray.int Bigarray.c_layout 512;
+          tbl = Hashtbl.create 64;
+        }
+  | `Select -> Select { tbl = Hashtbl.create 64 }
+  | `Auto ->
+      if epoll_available () then
+        Epoll
+          {
+            ep = epoll_create ();
+            buf = Bigarray.Array1.create Bigarray.int Bigarray.c_layout 512;
+            tbl = Hashtbl.create 64;
+          }
+      else Select { tbl = Hashtbl.create 64 }
+
+let name = function Epoll _ -> "epoll" | Select _ -> "select"
+
+let add t fd ~read ~write =
+  let e = { e_fd = fd; e_read = read; e_write = write } in
+  match t with
+  | Epoll { ep; tbl; _ } ->
+      Hashtbl.replace tbl (fd_int fd) e;
+      epoll_ctl_raw ep 0 fd (interest_bits e)
+  | Select { tbl } -> Hashtbl.replace tbl (fd_int fd) e
+
+let modify t fd ~read ~write =
+  let key = fd_int fd in
+  let tbl = match t with Epoll { tbl; _ } -> tbl | Select { tbl } -> tbl in
+  match Hashtbl.find_opt tbl key with
+  | None -> invalid_arg "Poller.modify: fd not registered"
+  | Some e ->
+      if e.e_read <> read || e.e_write <> write then begin
+        e.e_read <- read;
+        e.e_write <- write;
+        match t with
+        | Epoll { ep; _ } -> epoll_ctl_raw ep 1 fd (interest_bits e)
+        | Select _ -> ()
+      end
+
+let remove t fd =
+  let key = fd_int fd in
+  match t with
+  | Epoll { ep; tbl; _ } ->
+      if Hashtbl.mem tbl key then begin
+        Hashtbl.remove tbl key;
+        (* The fd may already be closed (peer reset raced the close
+           path); deregistration of a dead fd is not an error. *)
+        try epoll_ctl_raw ep 2 fd 0 with Failure _ -> ()
+      end
+  | Select { tbl } -> Hashtbl.remove tbl key
+
+let wait t ~timeout_ms f =
+  match t with
+  | Epoll { ep; buf; tbl } -> (
+      match epoll_wait_raw ep timeout_ms buf with
+      | -1 -> 0 (* EINTR: the caller's loop just comes around again *)
+      | n ->
+          for i = 0 to n - 1 do
+            let packed = buf.{i} in
+            let raw = packed lsr 2 in
+            (* The entry may have been removed by an earlier callback
+               in this same batch (one connection's error handling
+               closing another); skip silently. *)
+            match Hashtbl.find_opt tbl raw with
+            | None -> ()
+            | Some e ->
+                f e.e_fd ~readable:(packed land 1 <> 0)
+                  ~writable:(packed land 2 <> 0)
+          done;
+          n)
+  | Select { tbl } -> (
+      let rd = ref [] and wr = ref [] in
+      Hashtbl.iter
+        (fun _ e ->
+          if e.e_read then rd := e.e_fd :: !rd;
+          if e.e_write then wr := e.e_fd :: !wr)
+        tbl;
+      let timeout =
+        if timeout_ms < 0 then -1.0 else float_of_int timeout_ms /. 1000.0
+      in
+      match Unix.select !rd !wr [] timeout with
+      | exception Unix.Unix_error (Unix.EINTR, _, _) -> 0
+      | exception Unix.Unix_error (Unix.EBADF, _, _) ->
+          (* A peer-closed fd raced deregistration; the owner notices
+             on its next read.  Report nothing this round. *)
+          0
+      | rds, wrs, _ ->
+          let wrset = List.map fd_int wrs in
+          let visited = Hashtbl.create 16 in
+          List.iter
+            (fun fd ->
+              Hashtbl.replace visited (fd_int fd) ();
+              f fd ~readable:true ~writable:(List.mem (fd_int fd) wrset))
+            rds;
+          List.iter
+            (fun fd ->
+              if not (Hashtbl.mem visited (fd_int fd)) then
+                f fd ~readable:false ~writable:true)
+            wrs;
+          List.length rds + List.length wrs)
+
+let close t =
+  match t with
+  | Epoll { ep; tbl; _ } ->
+      Hashtbl.reset tbl;
+      epoll_close ep
+  | Select { tbl } -> Hashtbl.reset tbl

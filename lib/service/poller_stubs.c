@@ -1,0 +1,140 @@
+/* epoll bindings for Service.Poller.
+ *
+ * Deliberately tiny: three calls, no allocation on the wait path.
+ * Readiness results are written into a caller-supplied Bigarray of
+ * OCaml ints (its data lives outside the OCaml heap, so it cannot
+ * move while the runtime lock is released around epoll_wait).  Each
+ * entry packs (fd << 2) | writable<<1 | readable.  Errors raise
+ * Failure rather than Unix_error to avoid a dependency on
+ * unixsupport.h; the OCaml side treats any failure as fatal for the
+ * poller instance.  On non-Linux builds every function reports
+ * unavailability and the OCaml side falls back to select. */
+
+#include <caml/mlvalues.h>
+#include <caml/alloc.h>
+#include <caml/memory.h>
+#include <caml/fail.h>
+#include <caml/bigarray.h>
+#include <caml/threads.h>
+
+#ifdef __linux__
+
+#include <sys/epoll.h>
+#include <unistd.h>
+#include <errno.h>
+#include <string.h>
+
+CAMLprim value kv_epoll_available(value unit)
+{
+  (void)unit;
+  return Val_true;
+}
+
+CAMLprim value kv_epoll_create(value unit)
+{
+  (void)unit;
+  int fd = epoll_create1(EPOLL_CLOEXEC);
+  if (fd < 0) caml_failwith("epoll_create1 failed");
+  return Val_int(fd);
+}
+
+/* op: 0 = add, 1 = mod, 2 = del.  interest: bit0 read, bit1 write.
+ * fd arguments are Unix.file_descr values, which are ints on Unix. */
+CAMLprim value kv_epoll_ctl(value vep, value vop, value vfd, value vinterest)
+{
+  struct epoll_event ev;
+  int sysop;
+  memset(&ev, 0, sizeof ev);
+  ev.events = 0;
+  if (Int_val(vinterest) & 1) ev.events |= EPOLLIN;
+  if (Int_val(vinterest) & 2) ev.events |= EPOLLOUT;
+  ev.data.fd = Int_val(vfd);
+  switch (Int_val(vop)) {
+  case 0: sysop = EPOLL_CTL_ADD; break;
+  case 1: sysop = EPOLL_CTL_MOD; break;
+  default: sysop = EPOLL_CTL_DEL; break;
+  }
+  if (epoll_ctl(Int_val(vep), sysop, Int_val(vfd), &ev) < 0)
+    caml_failwith("epoll_ctl failed");
+  return Val_unit;
+}
+
+/* Returns the number of ready entries written into [vba], or -1 on
+ * EINTR (the caller just retries).  HUP/ERR surface as both readable
+ * and writable so the event loop visits the fd and takes the error
+ * on the resulting read/write. */
+CAMLprim value kv_epoll_wait(value vep, value vtimeout_ms, value vba)
+{
+  struct epoll_event evs[512];
+  long *out = (long *)Caml_ba_data_val(vba);
+  intnat cap = Caml_ba_array_val(vba)->dim[0];
+  int ep = Int_val(vep);
+  int timeout = Int_val(vtimeout_ms);
+  int n, i;
+  if (cap > 512) cap = 512;
+  caml_release_runtime_system();
+  n = epoll_wait(ep, evs, (int)cap, timeout);
+  caml_acquire_runtime_system();
+  if (n < 0) {
+    if (errno == EINTR) return Val_int(-1);
+    caml_failwith("epoll_wait failed");
+  }
+  for (i = 0; i < n; i++) {
+    long flags = 0;
+    if (evs[i].events & (EPOLLIN | EPOLLHUP | EPOLLERR | EPOLLRDHUP))
+      flags |= 1;
+    if (evs[i].events & (EPOLLOUT | EPOLLHUP | EPOLLERR))
+      flags |= 2;
+    out[i] = (((long)evs[i].data.fd) << 2) | flags;
+  }
+  return Val_int(n);
+}
+
+CAMLprim value kv_epoll_close(value vep)
+{
+  close(Int_val(vep));
+  return Val_unit;
+}
+
+#else /* !__linux__ */
+
+CAMLprim value kv_epoll_available(value unit)
+{
+  (void)unit;
+  return Val_false;
+}
+
+CAMLprim value kv_epoll_create(value unit)
+{
+  (void)unit;
+  caml_failwith("epoll unavailable on this platform");
+}
+
+CAMLprim value kv_epoll_ctl(value vep, value vop, value vfd, value vinterest)
+{
+  (void)vep; (void)vop; (void)vfd; (void)vinterest;
+  caml_failwith("epoll unavailable on this platform");
+}
+
+CAMLprim value kv_epoll_wait(value vep, value vtimeout_ms, value vba)
+{
+  (void)vep; (void)vtimeout_ms; (void)vba;
+  caml_failwith("epoll unavailable on this platform");
+}
+
+CAMLprim value kv_epoll_close(value vep)
+{
+  (void)vep;
+  return Val_unit;
+}
+
+#endif
+
+/* Unix.file_descr is represented as an int on every Unix OCaml port;
+ * this identity witness keeps that assumption in one audited place
+ * (the poller needs the raw int as a table key and to round-trip
+ * through the packed epoll result words). */
+CAMLprim value kv_fd_int(value fd)
+{
+  return fd;
+}

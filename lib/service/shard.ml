@@ -136,6 +136,11 @@ module Core (T : Smr.Tracker.S) (Mk : Dstruct.Map_intf.MAKER) = struct
            handler (Conn) before shard routing; reaching the data path
            means the daemon has no replication enabled. *)
         Codec.Error "replication not enabled on this server"
+    | Codec.Cl_info | Codec.Cl_grant _ | Codec.Cl_freeze _ | Codec.Cl_release _
+    | Codec.Cl_snap _ | Codec.Cl_apply _ ->
+        (* Likewise for the cluster-control opcodes (Cluster.Node's
+           [ext] handler). *)
+        Codec.Error "clustering not enabled on this server"
 
   let make ~scheme_name ~structure_name (c : config) : t =
     if c.shards <= 0 then invalid_arg "Shard.create: shards <= 0";

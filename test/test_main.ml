@@ -17,5 +17,6 @@ let () =
          Test_service.suites;
          Test_shm.suites;
          Test_replica.suites;
+         Test_cluster.suites;
          Test_chaos.suites;
        ])

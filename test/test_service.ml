@@ -304,6 +304,283 @@ let test_write_frame_clears_buffer () =
       Service.Conn.Faults.arm_close_mid_frame ]
 
 (* ------------------------------------------------------------------ *)
+(* The event-loop backend: reply-trace identity with the threaded
+   backend, partial-frame reassembly, per-connection error
+   containment, and high fan-in. *)
+
+let tmp_sock tag =
+  Filename.concat
+    (Filename.get_temp_dir_name ())
+    (Printf.sprintf "kvd-%s-%d.sock" tag (Unix.getpid ()))
+
+(* A deterministic per-connection request stream over a private key
+   range, so each connection's reply sequence is independent of
+   cross-connection interleaving. *)
+let conn_stream ~conn ~n =
+  List.init n (fun i ->
+      let key = (conn * 1000) + (i mod 7) in
+      match i mod 4 with
+      | 0 -> Service.Codec.Put { key; value = (conn * 100_000) + i }
+      | 1 -> Service.Codec.Get key
+      | 2 ->
+          Service.Codec.Cas
+            { key; expected = (conn * 100_000) + i - 2; desired = i }
+      | _ -> Service.Codec.Del key)
+
+(* Run [nconns] lockstep round-trip clients against the server at
+   [path]; returns the reply payload trace (raw bytes) per conn. *)
+let drive_conns ~path ~nconns ~n =
+  let fds = Array.init nconns (fun _ -> Service.Conn.connect_unix ~path) in
+  let traces = Array.make nconns [] in
+  let out = Buffer.create 64 in
+  Fun.protect
+    ~finally:(fun () ->
+      Array.iter
+        (fun fd -> try Unix.close fd with Unix.Unix_error _ -> ())
+        fds)
+    (fun () ->
+      for i = 0 to n - 1 do
+        Array.iteri
+          (fun c fd ->
+            Buffer.clear out;
+            Service.Codec.encode_request out
+              (List.nth (conn_stream ~conn:c ~n) i);
+            Service.Conn.write_frame fd out)
+          fds;
+        Array.iteri
+          (fun c fd ->
+            match Service.Conn.read_frame fd with
+            | Some payload -> traces.(c) <- payload :: traces.(c)
+            | None -> Alcotest.failf "conn %d: eof at op %d" c i)
+          fds
+      done;
+      Array.map List.rev traces)
+
+let with_server ~backend ~tag ?(clients = 8) f =
+  let path = tmp_sock tag in
+  let svc = make_svc ~shards:2 ~clients () in
+  let server = Service.Conn.serve_unix svc ~path ~backend () in
+  Fun.protect
+    ~finally:(fun () ->
+      Service.Conn.shutdown server;
+      svc.Service.Shard.stop ())
+    (fun () -> f path)
+
+let test_evloop_trace_identity () =
+  (* The same 24-connection seeded load over both backends must
+     produce byte-identical per-connection reply traces.  (The
+     threaded run needs a tid per connection; the evloop holds every
+     connection on one.) *)
+  let nconns = 24 and n = 16 in
+  let threaded =
+    with_server ~backend:`Threaded ~tag:"evt" ~clients:(nconns + 1) (fun path ->
+        drive_conns ~path ~nconns ~n)
+  in
+  let evloop =
+    with_server ~backend:(`Evloop `Auto) ~tag:"eve" ~clients:2 (fun path ->
+        drive_conns ~path ~nconns ~n)
+  in
+  Array.iteri
+    (fun c t ->
+      let e = evloop.(c) in
+      Alcotest.(check int)
+        (Printf.sprintf "conn %d reply count" c)
+        (List.length t) (List.length e);
+      List.iteri
+        (fun i (a, b) ->
+          if not (Bytes.equal a b) then
+            Alcotest.failf "conn %d op %d: threaded %s vs evloop %s" c i
+              (Service.Codec.reply_to_string (Service.Codec.reply_of_payload a))
+              (Service.Codec.reply_to_string (Service.Codec.reply_of_payload b)))
+        (List.combine t e))
+    threaded
+
+let test_evloop_select_backend () =
+  (* The portable select fallback behind the same interface. *)
+  with_server ~backend:(`Evloop `Select) ~tag:"evs" ~clients:2 (fun path ->
+      let fd = Service.Conn.connect_unix ~path in
+      Fun.protect
+        ~finally:(fun () -> try Unix.close fd with Unix.Unix_error _ -> ())
+        (fun () ->
+          Alcotest.(check string)
+            "put" "CREATED"
+            (Service.Codec.reply_to_string
+               (Service.Conn.call_fd fd
+                  (Service.Codec.Put { key = 3; value = 33 })));
+          Alcotest.(check string)
+            "get" "VALUE 33"
+            (Service.Codec.reply_to_string
+               (Service.Conn.call_fd fd (Service.Codec.Get 3)))))
+
+let test_evloop_drip_feed () =
+  (* A slow client dribbling one byte at a time must be reassembled by
+     the per-connection frame reader; a second frame split across
+     writes likewise.  The loop must keep serving a fast client in
+     parallel the whole time. *)
+  with_server ~backend:(`Evloop `Auto) ~tag:"evd" ~clients:2 (fun path ->
+      let slow = Service.Conn.connect_unix ~path in
+      let fast = Service.Conn.connect_unix ~path in
+      Fun.protect
+        ~finally:(fun () ->
+          (try Unix.close slow with Unix.Unix_error _ -> ());
+          try Unix.close fast with Unix.Unix_error _ -> ())
+        (fun () ->
+          let buf = Buffer.create 32 in
+          Service.Codec.encode_request buf
+            (Service.Codec.Put { key = 9; value = 90 });
+          let b = Buffer.to_bytes buf in
+          Bytes.iteri
+            (fun i _ ->
+              ignore (Unix.write slow b i 1);
+              (* The fast client round-trips between every dripped
+                 byte: one stalled peer never blocks the loop. *)
+              ignore (Service.Conn.call_fd fast (Service.Codec.Get 0)))
+            b;
+          (match Service.Conn.read_frame slow with
+          | Some p ->
+              Alcotest.(check string)
+                "dripped put answered" "CREATED"
+                (Service.Codec.reply_to_string
+                   (Service.Codec.reply_of_payload p))
+          | None -> Alcotest.fail "dripped put: eof");
+          (* Two frames, split mid-header of the second. *)
+          Buffer.clear buf;
+          Service.Codec.encode_request buf (Service.Codec.Get 9);
+          Service.Codec.encode_request buf (Service.Codec.Get 9);
+          let b = Buffer.to_bytes buf in
+          let cut = (Bytes.length b / 2) + 2 in
+          ignore (Unix.write slow b 0 cut);
+          Unix.sleepf 0.02;
+          ignore (Unix.write slow b cut (Bytes.length b - cut));
+          for _ = 1 to 2 do
+            match Service.Conn.read_frame slow with
+            | Some p ->
+                Alcotest.(check string)
+                  "split-frame get" "VALUE 90"
+                  (Service.Codec.reply_to_string
+                     (Service.Codec.reply_of_payload p))
+            | None -> Alcotest.fail "split frame: eof"
+          done))
+
+let test_evloop_containment () =
+  (* A connection sending an insane length prefix is dropped; its
+     neighbour keeps being served by the same pump. *)
+  with_server ~backend:(`Evloop `Auto) ~tag:"evb" ~clients:2 (fun path ->
+      let bad = Service.Conn.connect_unix ~path in
+      let good = Service.Conn.connect_unix ~path in
+      Fun.protect
+        ~finally:(fun () ->
+          (try Unix.close bad with Unix.Unix_error _ -> ());
+          try Unix.close good with Unix.Unix_error _ -> ())
+        (fun () ->
+          ignore
+            (Service.Conn.call_fd good (Service.Codec.Put { key = 1; value = 2 }));
+          let junk = Bytes.of_string "\xff\xff\xff\xff garbage" in
+          ignore (Unix.write bad junk 0 (Bytes.length junk));
+          (* The server closes [bad]; reading it hits EOF. *)
+          Alcotest.(check bool)
+            "bad conn closed" true
+            (match Service.Conn.read_frame bad with
+            | None -> true
+            | Some _ -> false
+            | exception (Service.Conn.Closed | Unix.Unix_error _) -> true);
+          Alcotest.(check string)
+            "good conn survives" "VALUE 2"
+            (Service.Codec.reply_to_string
+               (Service.Conn.call_fd good (Service.Codec.Get 1)))))
+
+let test_evloop_pipelined_backpressure () =
+  (* One connection pipelines far more than a socket buffer of
+     requests while a separate domain consumes the replies: the
+     server's short-write resume and output watermarks carry the
+     backlog, and every reply arrives in request order. *)
+  with_server ~backend:(`Evloop `Auto) ~tag:"evp" ~clients:2 (fun path ->
+      let fd = Service.Conn.connect_unix ~path in
+      Fun.protect
+        ~finally:(fun () -> try Unix.close fd with Unix.Unix_error _ -> ())
+        (fun () ->
+          let n = 20_000 in
+          ignore
+            (Service.Conn.call_fd fd (Service.Codec.Put { key = 1; value = 7 }));
+          let reader =
+            Domain.spawn (fun () ->
+                let rd = Service.Conn.reader_of_fd fd in
+                let ok = ref 0 in
+                (try
+                   for _ = 1 to n do
+                     match Service.Conn.read_next rd with
+                     | Some p -> (
+                         match Service.Codec.reply_of_payload p with
+                         | Service.Codec.Value 7 -> incr ok
+                         | r ->
+                             Alcotest.failf "unexpected reply %s"
+                               (Service.Codec.reply_to_string r))
+                     | None -> ()
+                   done
+                 with Service.Conn.Closed -> ());
+                !ok)
+          in
+          let out = Buffer.create 64 in
+          for _ = 1 to n do
+            Service.Codec.encode_request out (Service.Codec.Get 1);
+            Service.Conn.write_frame fd out
+          done;
+          let ok = Domain.join reader in
+          Alcotest.(check int) "all pipelined replies arrived" n ok))
+
+let test_evloop_fanin_512 () =
+  (* ≥512 concurrent connections on one daemon, held by the single
+     pump domain — far beyond what thread-per-connection can hold —
+     with every reply byte-checked against the expected encoding. *)
+  let nconns = 512 and nops = 6 in
+  with_server ~backend:(`Evloop `Auto) ~tag:"evf" ~clients:2 (fun path ->
+      let fds = Array.init nconns (fun _ -> Service.Conn.connect_unix ~path) in
+      Fun.protect
+        ~finally:(fun () ->
+          Array.iter
+            (fun fd -> try Unix.close fd with Unix.Unix_error _ -> ())
+            fds)
+        (fun () ->
+          let ndrivers = 4 in
+          let per = nconns / ndrivers in
+          let driver d () =
+            let lo = d * per and hi = ((d + 1) * per) - 1 in
+            let out = Buffer.create 32 in
+            let bad = ref 0 in
+            for op = 0 to nops - 1 do
+              for c = lo to hi do
+                Buffer.clear out;
+                Service.Codec.encode_request out
+                  (match op mod 3 with
+                  | 0 -> Service.Codec.Put { key = c; value = c }
+                  | 1 -> Service.Codec.Get c
+                  | _ -> Service.Codec.Del c);
+                Service.Conn.write_frame fds.(c) out
+              done;
+              for c = lo to hi do
+                match Service.Conn.read_frame fds.(c) with
+                | Some payload ->
+                    let got = Service.Codec.reply_of_payload payload in
+                    let want =
+                      (* put/del alternate, so every put sees a fresh key *)
+                      match op mod 3 with
+                      | 0 -> Service.Codec.Created
+                      | 1 -> Service.Codec.Value c
+                      | _ -> Service.Codec.Deleted
+                    in
+                    if got <> want then incr bad
+                | None -> incr bad
+              done
+            done;
+            !bad
+          in
+          let domains =
+            List.init ndrivers (fun d -> Domain.spawn (driver d))
+          in
+          let bad = List.fold_left (fun a d -> a + Domain.join d) 0 domains in
+          Alcotest.(check int) "512-conn fan-in: every reply exact" 0 bad))
+
+(* ------------------------------------------------------------------ *)
 (* Loadgen determinism and the Zipf table cache *)
 
 let test_loadgen_determinism () =
@@ -391,6 +668,20 @@ let suites =
           test_abrupt_disconnect_releases_tids;
         Alcotest.test_case "reply buffer cleared on every write exit" `Quick
           test_write_frame_clears_buffer;
+      ] );
+    ( "service.evloop",
+      [
+        Alcotest.test_case "select backend round-trip" `Quick
+          test_evloop_select_backend;
+        Alcotest.test_case "reply-trace identity vs threaded" `Quick
+          test_evloop_trace_identity;
+        Alcotest.test_case "drip-feed partial frames" `Quick
+          test_evloop_drip_feed;
+        Alcotest.test_case "per-connection error containment" `Quick
+          test_evloop_containment;
+        Alcotest.test_case "pipelined backlog under backpressure" `Quick
+          test_evloop_pipelined_backpressure;
+        Alcotest.test_case "512-connection fan-in" `Quick test_evloop_fanin_512;
       ] );
     ( "service.loadgen",
       [
