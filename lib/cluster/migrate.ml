@@ -40,11 +40,21 @@ let ship dst records =
   in
   go records
 
+(* The only retryable [Cl_snap] start failure: another traversal holds
+   the shard's snapshot slot for the length of one bracket.  Anything
+   else (bad slot/shard, a crashed source) is permanent — retrying it
+   250 times just stretches the failure. *)
+let transient_snap_error e =
+  let needle = "traversal already running" in
+  let nl = String.length needle and el = String.length e in
+  let rec at i = i + nl <= el && (String.sub e i nl = needle || at (i + 1)) in
+  at 0
+
 (* Page the source's bracket-protected traversal of (slot, shard) and
    ingest every page at the target.  Returns the stamp seq plus page
    and binding counts.  A transient "traversal already running" (an
    in-process reader holds the shard's snapshot slot) retries
-   briefly. *)
+   briefly; every other error fails fast. *)
 let snapshot_ship ~src ~dst ~slot ~shard =
   let rec start tries =
     match
@@ -52,8 +62,7 @@ let snapshot_ship ~src ~dst ~slot ~shard =
         (Codec.Cl_snap { slot; shard; cursor = 0; max = Codec.cl_snap_max })
     with
     | Codec.Cl_snap_batch { seq; next; kvs } -> Ok (seq, next, kvs)
-    | Codec.Error e when tries > 0 ->
-        ignore e;
+    | Codec.Error e when tries > 0 && transient_snap_error e ->
         Unix.sleepf 0.002;
         start (tries - 1)
     | Codec.Error e -> Error ("cl_snap: " ^ e)
@@ -143,28 +152,49 @@ let run ~src ~dst ~slot ~nshards ?(nslots = Ring.default_nslots) ?router () =
     if n > 0 && !rounds < 10_000 then drain () else Ok ()
   in
   let* () = drain () in
-  (* Phase 3: cutover.  Freeze persists the redirect at the source
-     before its ack; two empty post-freeze rounds collect the writes
-     that were already past the source's ownership check. *)
+  (* Phase 3: cutover.  Freeze flips + persists the redirect at the
+     source and quiesces every shard before its ack, so each write
+     the source will ever ack on this slot is committed by the time
+     [Cl_ok] lands here.  The committed vector read AFTER that ack is
+     therefore a deterministic drain target: pull every shard past it
+     and the slot's acked history is fully shipped.  (The old scheme —
+     stop after two rounds that ship nothing — raced writes that were
+     in the source's queues, admitted pre-freeze, but not yet
+     committed when the empty rounds ran.) *)
   let* () =
     match Router.endpoint_call src (Codec.Cl_freeze { slot; target = dst_id }) with
     | Codec.Cl_ok -> Ok ()
+    | Codec.Error e -> Error ("cl_freeze: " ^ e)
     | r -> Error ("cl_freeze: unexpected " ^ Codec.reply_to_string r)
   in
-  let rec final_drain empties =
-    if empties >= 2 then Ok ()
+  let* watermark =
+    match Router.endpoint_call src Codec.Rep_info with
+    | Codec.Rep_state c when Array.length c >= nshards -> Ok c
+    | Codec.Rep_state _ -> Error "rep_info: short shard vector"
+    | r -> Error ("rep_info: unexpected " ^ Codec.reply_to_string r)
+  in
+  let reached () =
+    let ok = ref true in
+    for s = 0 to nshards - 1 do
+      if pulled.(s) < watermark.(s) then ok := false
+    done;
+    !ok
+  in
+  (* One round normally suffices: [catchup_round] pulls each shard to
+     the committed seq it reads at round start, which is >= the
+     watermark.  The bound guards against a source that keeps failing
+     pulls, not against a moving target. *)
+  let rec final_drain attempts =
+    if reached () then Ok ()
+    else if attempts <= 0 then Error "final drain: watermark not reached"
     else begin
       incr rounds;
       let* n = catchup_round ~src ~dst ~slot ~nslots ~nshards pulled in
       cr := !cr + n;
-      if n = 0 then begin
-        Unix.sleepf 0.002;
-        final_drain (empties + 1)
-      end
-      else final_drain 0
+      final_drain (attempts - 1)
     end
   in
-  let* () = final_drain 0 in
+  let* () = final_drain 100 in
   let* version =
     match Router.endpoint_call src Codec.Cl_info with
     | Codec.Cl_state { version; _ } -> Ok version

@@ -15,19 +15,27 @@
       fuzzy snapshot plus absolute-mutation replay converges exactly
       as follower bootstrap does.
     + {b Cutover}: [Cl_freeze] makes the source persist
-      "slot → target" {e before} acking — from that ack on, new
-      writes bounce with [Moved] and are retried by routers.  Then
-      catch-up repeats until two consecutive rounds ship nothing (the
-      in-flight window: requests already past the source's ownership
-      check at freeze time still commit there, and those rounds
-      collect them), [Cl_grant] persists ownership at the target, and
-      [Cl_release] drops the source's snapshot cache.
+      "slot → target" and then {e quiesce} — one barrier request
+      through every shard's FIFO mailbox, waited to completion —
+      before acking.  The ack therefore certifies that every write
+      the source will ever ack on the slot is already WAL-committed
+      there (writes still queued behind the barrier hit the source's
+      execution-time admission filter, answer [Moved], and are never
+      acked).  The driver then reads the source's committed vector
+      and pulls each shard past it — a deterministic drain target,
+      not a "rounds that ship nothing" heuristic — before [Cl_grant]
+      persists ownership at the target and [Cl_release] drops the
+      source's snapshot cache.
 
-    Zero lost acks: a write acked before the freeze is WAL-committed
-    at the source, and every committed slot-record with seq above the
-    snapshot stamp is shipped before the grant.  A write arriving
-    after the freeze is never acked by the source at all — it bounces
-    to the target and is acked there, after the grant. *)
+    Zero lost acks: a write acked by the source is WAL-committed
+    there with seq at or below the post-freeze committed vector, and
+    every committed slot-record with seq above the snapshot stamp and
+    up to that vector is shipped before the grant.  A write admitted
+    after the freeze barrier is never acked by the source at all — it
+    bounces with [Moved] to the target and is acked there, after the
+    grant.  [Cl_freeze] itself can fail (quiesce timeout on a stalled
+    source shard); the source then rolls the redirect back and the
+    driver surfaces the error rather than cutting over. *)
 
 type stats = {
   mg_slot : int;

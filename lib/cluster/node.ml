@@ -10,10 +10,16 @@ type t = {
   n_nslots : int;
   n_primary : Replica.Primary.t;
   n_apply_tid : int;
-  n_owners : int array;  (* entry = owning node id; racy reads are
-                            benign (an int either old or new), every
-                            write happens under [n_lock] *)
+  n_owners : int Atomic.t array;
+      (* entry = owning node id.  Reads are atomic because the
+         execution-time admit filter (installed in [create]) runs from
+         every shard consumer domain and must see a freeze's flip
+         promptly; writes only under [n_lock]. *)
   mutable n_version : int;
+  n_barrier_keys : int array;
+      (* one key per shard — the freeze quiesce submits a barrier Get
+         through each *)
+  n_quiesce_timeout : float;
   n_snaps : (int * int, cache) Hashtbl.t;  (* (slot, shard) -> page cache *)
   n_lock : Mutex.t;
 }
@@ -49,7 +55,7 @@ let decode_owners s =
 
 let persist t =
   (Replica.Primary.(t.n_primary.store)).Replica.Store.s_write owners_file
-    (encode_owners ~version:t.n_version t.n_owners)
+    (encode_owners ~version:t.n_version (Array.map Atomic.get t.n_owners))
 
 let load store =
   match store.Replica.Store.s_read owners_file with
@@ -58,7 +64,25 @@ let load store =
 
 (* ------------------------------------------------------------------ *)
 
-let create ~node_id ?(nslots = Ring.default_nslots) ~owners ~apply_tid primary =
+(* One key per shard: smallest non-negative keys covering every shard,
+   so the freeze quiesce can put a barrier request in every mailbox. *)
+let barrier_keys svc =
+  let n = svc.Service.Shard.nshards in
+  let keys = Array.make n (-1) in
+  let found = ref 0 in
+  let k = ref 0 in
+  while !found < n do
+    let s = svc.Service.Shard.shard_of_key !k in
+    if keys.(s) < 0 then begin
+      keys.(s) <- !k;
+      incr found
+    end;
+    incr k
+  done;
+  keys
+
+let create ~node_id ?(nslots = Ring.default_nslots) ?(quiesce_timeout = 5.0)
+    ~owners ~apply_tid primary =
   if Array.length owners <> nslots then
     invalid_arg "Node.create: owners length <> nslots";
   let svc = primary.Replica.Primary.svc in
@@ -75,12 +99,36 @@ let create ~node_id ?(nslots = Ring.default_nslots) ~owners ~apply_tid primary =
       n_nslots = nslots;
       n_primary = primary;
       n_apply_tid = apply_tid;
-      n_owners = owners;
+      n_owners = Array.map Atomic.make owners;
       n_version = version;
+      n_barrier_keys = barrier_keys svc;
+      n_quiesce_timeout = quiesce_timeout;
       n_snaps = Hashtbl.create 8;
       n_lock = Mutex.create ();
     }
   in
+  (* The authoritative ownership check: executed by each shard
+     consumer in the same serial stream as the mutations it gates, so
+     it cannot go stale between check and execution the way the
+     transport-side check in [handle] can (a request may sit in a
+     backpressure queue or a mailbox while a freeze flips the slot).
+     The node's own migration ingest and barrier tid is exempt — the
+     target legitimately writes slots it does not own yet. *)
+  let admit ~tid req =
+    if tid = t.n_apply_tid then None
+    else
+      let check key =
+        let slot = Ring.slot_of_key ~nslots:t.n_nslots key in
+        let owner = Atomic.get t.n_owners.(slot) in
+        if owner = t.n_id then None
+        else Some (Codec.Moved { slot; node = owner })
+      in
+      match req with
+      | Codec.Get k | Codec.Del k -> check k
+      | Codec.Put { key; _ } | Codec.Cas { key; _ } -> check key
+      | _ -> None
+  in
+  svc.Service.Shard.set_admit admit;
   (* Make the boot table durable, so the very first reboot — before
      any migration — also recovers a table instead of defaults. *)
   persist t;
@@ -88,9 +136,9 @@ let create ~node_id ?(nslots = Ring.default_nslots) ~owners ~apply_tid primary =
 
 let node_id t = t.n_id
 let nslots t = t.n_nslots
-let owners t = Array.copy t.n_owners
+let owners t = Array.map Atomic.get t.n_owners
 let version t = t.n_version
-let owns_slot t slot = t.n_owners.(slot) = t.n_id
+let owns_slot t slot = Atomic.get t.n_owners.(slot) = t.n_id
 let primary t = t.n_primary
 
 let with_lock t f =
@@ -140,6 +188,50 @@ let apply_records t records =
   match Atomic.get failed with
   | None -> Codec.Cl_ok
   | Some e -> Codec.Error ("cl_apply: " ^ e)
+
+(* ------------------------------------------------------------------ *)
+(* Freeze-time quiesce barrier.  After the ownership flip, submit one
+   Get per shard under the node's reserved tid and wait for every
+   reply.  Each shard mailbox is FIFO with a single consumer and the
+   WAL hook defers replies past the group commit, so a barrier reply
+   certifies that every write submitted to that shard before the
+   barrier has committed and acked; and any write executing after the
+   barrier reads the flipped table in the admit filter and answers
+   [Moved] — it is never acked here.  Freeze-ack therefore bounds the
+   set of acked writes on the frozen slot by the committed watermark
+   read right after it, which is what makes the migration driver's
+   final drain deterministic.  Returns [false] on timeout (a stalled
+   or dead consumer kept a barrier from landing). *)
+
+let quiesce t =
+  let svc = t.n_primary.Replica.Primary.svc in
+  let deadline = Unix.gettimeofday () +. t.n_quiesce_timeout in
+  let remaining = Atomic.make (Array.length t.n_barrier_keys) in
+  let timed_out = ref false in
+  (try
+     Array.iter
+       (fun key ->
+         let rec submit () =
+           let shed = ref false in
+           svc.Service.Shard.submit ~tid:t.n_apply_tid (Codec.Get key)
+             (fun reply ->
+               match reply with
+               | Codec.Shed -> shed := true
+               | _ -> Atomic.decr remaining);
+           if !shed then begin
+             if Unix.gettimeofday () > deadline then raise Exit;
+             Unix.sleepf 0.0002;
+             submit ()
+           end
+         in
+         submit ())
+       t.n_barrier_keys
+   with Exit -> timed_out := true);
+  while (not !timed_out) && Atomic.get remaining > 0 do
+    if Unix.gettimeofday () > deadline then timed_out := true
+    else Unix.sleepf 0.0001
+  done;
+  not !timed_out
 
 (* ------------------------------------------------------------------ *)
 (* Snapshot shipping: cursor 0 stamps committed-before-traversal and
@@ -197,15 +289,28 @@ let snap_page t ~slot ~shard ~cursor ~max =
 
 (* ------------------------------------------------------------------ *)
 
+(* Which requests an event-loop transport must hand to its worker
+   domain instead of running inline on the pump: everything that can
+   block for unbounded time (migration ingest spins on group commits,
+   snapshot paging traverses a full shard, replication pulls read WAL
+   segments, and all of them serialize on [n_lock], so even [Cl_info]
+   could convoy behind a freeze).  The data-path ownership check stays
+   inline — it is two atomic loads. *)
+let deferrable = function
+  | Codec.Cl_info | Codec.Cl_grant _ | Codec.Cl_freeze _ | Codec.Cl_release _
+  | Codec.Cl_snap _ | Codec.Cl_apply _ | Codec.Rep_info | Codec.Rep_pull _ ->
+      true
+  | _ -> false
+
 let handle t req =
   match req with
   | Codec.Get k | Codec.Del k ->
       let slot = Ring.slot_of_key ~nslots:t.n_nslots k in
-      let owner = t.n_owners.(slot) in
+      let owner = Atomic.get t.n_owners.(slot) in
       if owner = t.n_id then None else Some (Codec.Moved { slot; node = owner })
   | Codec.Put { key; _ } | Codec.Cas { key; _ } ->
       let slot = Ring.slot_of_key ~nslots:t.n_nslots key in
-      let owner = t.n_owners.(slot) in
+      let owner = Atomic.get t.n_owners.(slot) in
       if owner = t.n_id then None else Some (Codec.Moved { slot; node = owner })
   | Codec.Rep_info | Codec.Rep_pull _ -> Replica.Primary.handle t.n_primary req
   | Codec.Cl_info ->
@@ -215,7 +320,7 @@ let handle t req =
                {
                  version = t.n_version;
                  node = t.n_id;
-                 owners = Array.copy t.n_owners;
+                 owners = Array.map Atomic.get t.n_owners;
                }))
   | Codec.Cl_grant { slot; version } ->
       Some
@@ -223,7 +328,7 @@ let handle t req =
              if slot < 0 || slot >= t.n_nslots then
                Codec.Error "cl_grant: slot out of range"
              else begin
-               t.n_owners.(slot) <- t.n_id;
+               Atomic.set t.n_owners.(slot) t.n_id;
                t.n_version <- max t.n_version version;
                (* Durable before the ack: the cutover record. *)
                persist t;
@@ -235,10 +340,26 @@ let handle t req =
              if slot < 0 || slot >= t.n_nslots then
                Codec.Error "cl_freeze: slot out of range"
              else begin
-               t.n_owners.(slot) <- target;
+               let prev = Atomic.get t.n_owners.(slot) in
+               Atomic.set t.n_owners.(slot) target;
                t.n_version <- t.n_version + 1;
                persist t;
-               Codec.Cl_ok
+               (* The flip redirects what arrives from here on; the
+                  barrier flushes what is already inside the service.
+                  Only after both does the ack fire — see [quiesce]
+                  for why ack then bounds the slot's acked writes. *)
+               if quiesce t then Codec.Cl_ok
+               else begin
+                 (* A stalled or dead consumer kept a barrier from
+                    landing within the budget: un-flip so the slot
+                    keeps serving here, and fail the freeze — the
+                    driver aborts rather than cutting over a slot
+                    whose in-flight writes cannot be certified. *)
+                 Atomic.set t.n_owners.(slot) prev;
+                 t.n_version <- t.n_version + 1;
+                 persist t;
+                 Codec.Error "cl_freeze: quiesce timed out"
+               end
              end))
   | Codec.Cl_release { slot } ->
       Some

@@ -8,6 +8,26 @@
     runs the transport (the evloop pump included).  Owned keys fall
     through ([None]) to the normal shard/WAL route.
 
+    That transport-side check is a fast path only; the {e
+    authoritative} one is an execution-time admission filter
+    ({!Service.Shard.admit}, installed by {!create}) that each shard
+    consumer runs in the same serial stream as the mutations it
+    gates.  A write that passed the dispatch check and then sat in a
+    transport backpressure queue or a shard mailbox while its slot was
+    frozen is answered [Moved] at execution — it never mutates the
+    map, never reaches the WAL, and is never acked by the old owner.
+
+    [Cl_freeze] completes the other half of that argument: after
+    flipping and persisting the table it runs a {e quiesce barrier} —
+    one Get per shard through the FIFO mailboxes, waited to completion
+    — so its ack certifies that every write the node will ever ack on
+    the frozen slot is already committed.  The committed watermark
+    read after freeze-ack therefore bounds the migration driver's
+    final catch-up exactly.  If a stalled or dead consumer keeps a
+    barrier from landing within the quiesce budget, the freeze rolls
+    the flip back and answers [Error] instead of acking an
+    uncertifiable cutover.
+
     The ownership table is the cluster's {e atomic cutover record}: it
     is persisted through the store's [s_write] (write-temp-fsync-
     rename) {e before} any [Cl_grant]/[Cl_freeze] ack fires, so a
@@ -32,6 +52,7 @@ type t
 val create :
   node_id:int ->
   ?nslots:int ->
+  ?quiesce_timeout:float ->
   owners:int array ->
   apply_tid:int ->
   Replica.Primary.t ->
@@ -40,13 +61,28 @@ val create :
     [nslots], default {!Ring.default_nslots}); a table persisted by a
     previous life of this node in the primary's store takes
     precedence — reboot keeps acknowledged cutovers.  [apply_tid] is
-    the producer tid [Cl_apply] ingests under; reserve it for the
-    node.  @raise Invalid_argument on a table/[nslots] length
-    mismatch. *)
+    the producer tid migration ingest and the freeze barrier run
+    under; reserve it for the node (in particular it must differ from
+    the evloop backend's [evloop_tid]), because the admission filter
+    exempts it.  [quiesce_timeout] (seconds, default 5) bounds the
+    [Cl_freeze] barrier wait.  Installs the node's admission filter
+    on the primary's service ({!Service.Shard.t.set_admit}) — wire
+    the node before serving traffic.  @raise Invalid_argument on a
+    table/[nslots] length mismatch. *)
 
 val handle : t -> Service.Codec.request -> Service.Codec.reply option
 (** The [ext] handler described above.  Control ops serialize on an
-    internal lock; the data-path ownership check is lock-free. *)
+    internal lock; the data-path ownership check is two atomic
+    loads. *)
+
+val deferrable : Service.Codec.request -> bool
+(** The [ext_defer] classifier to pair with {!handle} on an event-loop
+    transport: [true] for the control and replication opcodes, whose
+    handling blocks (group-commit waits, full-shard traversals, WAL
+    segment reads, the node's control lock — a freeze holds it across
+    its whole quiesce).  Pass as [~ext_defer:(Node.deferrable)] to
+    {!Service.Conn.serve_unix} so they run on the loop's worker domain
+    instead of stalling the pump. *)
 
 val node_id : t -> int
 val nslots : t -> int

@@ -371,6 +371,15 @@ type eserver = {
   e_scratch : Buffer.t;  (* reply encode staging; pump domain only *)
   mutable e_has_pending : bool;
       (* some connection holds mailbox-refused requests; pump only *)
+  e_defer : Codec.request -> bool;
+      (* ext requests classified here run on the deferred-ext worker
+         domain, not inline on the pump: unbounded-work control ops
+         (cluster migration ingest, full-shard snapshot traversals)
+         must never stall every connection's reads and accepts *)
+  e_work : (econn * int * Codec.request) Queue.t;
+  e_work_lock : Mutex.t;
+  e_work_cond : Condition.t;
+  mutable e_worker : unit Domain.t option;
 }
 
 (* Out-buffer watermarks: a peer that pipelines requests without
@@ -537,33 +546,63 @@ let ec_complete srv c seq reply =
     end
   end
 
+(* Run the ext handler, never letting its exception reach the pump:
+   an ext that raises costs its request an [Error] reply, not the
+   event loop (parity with the threaded backend, where it would cost
+   at most its own connection's domain). *)
+let ec_exec_ext srv req =
+  match srv.e_exec req with
+  | r -> r
+  | exception e -> Some (Codec.Error ("ext: " ^ Printexc.to_string e))
+
 (* Feed the connection's pending queue into the shard mailboxes,
    oldest first, stopping at the first refusal.  [Shard.submit]
    invokes its callback with [Shed] only {e synchronously} (consumers
    never produce it), so reading the flag after the call is race-free
    on the pump; every other reply — including the synchronous
    service-stopped error — flows through the completion stack like an
-   ordinary consumer-side reply. *)
+   ordinary consumer-side reply.
+
+   The ext handler is re-consulted for every request popped here: a
+   request can park in [ec_pending] for an unbounded time under
+   mailbox backpressure, and the verdict that let it fall through at
+   dispatch may have flipped meanwhile (a cluster slot frozen by a
+   migration cutover must answer [Moved], not commit at the old
+   owner).  The re-check narrows that window to the submit itself;
+   the flip can still race it (ownership changes run on the deferred
+   worker), which is why the {e authoritative} gate is the service's
+   execution-time admission filter ([Shard.admit]) — the cutover's
+   quiesce barrier certifies anything that slips past this check.
+   The ext contract makes the double call safe: handlers must be
+   effect-free on requests they decline. *)
 let ec_submit_pending srv c =
   let continue = ref true in
   while !continue && (not c.ec_dead) && not (Queue.is_empty c.ec_pending) do
     let seq, req = Queue.peek c.ec_pending in
-    let shed = ref false in
-    srv.e_svc.Shard.submit ~tid:srv.e_tid req (fun reply ->
-        match reply with
-        | Codec.Shed -> shed := true
-        | r -> enqueue_completion srv c seq r);
-    if !shed then begin
-      srv.e_has_pending <- true;
-      continue := false
-    end
-    else ignore (Queue.pop c.ec_pending)
+    match ec_exec_ext srv req with
+    | Some r ->
+        ignore (Queue.pop c.ec_pending);
+        ec_complete srv c seq r
+    | None ->
+        let shed = ref false in
+        srv.e_svc.Shard.submit ~tid:srv.e_tid req (fun reply ->
+            match reply with
+            | Codec.Shed -> shed := true
+            | r -> enqueue_completion srv c seq r);
+        if !shed then begin
+          srv.e_has_pending <- true;
+          continue := false
+        end
+        else ignore (Queue.pop c.ec_pending)
   done
 
-(* Dispatch one decoded request.  The ext handler answers inline on
-   the pump (replication and cluster-control traffic — bounded work);
-   data requests go through the async submit under the pump's single
-   tid, completing from the shard consumer's domain. *)
+(* Dispatch one decoded request.  Deferred-classified ext requests
+   (unbounded work: migration ingest, snapshot traversals) go to the
+   worker domain and complete through the completion stack; the rest
+   of the ext handler answers inline on the pump (redirect checks,
+   table reads — bounded work); data requests go through the async
+   submit under the pump's single tid, completing from the shard
+   consumer's domain. *)
 let ec_dispatch srv c payload =
   let seq = c.ec_next_seq in
   c.ec_next_seq <- seq + 1;
@@ -574,12 +613,49 @@ let ec_dispatch srv c payload =
       c.ec_eof <- true;
       ec_update_interest srv c;
       ec_complete srv c seq (Codec.Error ("malformed: " ^ m))
-  | req -> (
-      match srv.e_exec req with
-      | Some r -> ec_complete srv c seq r
-      | None ->
-          Queue.push (seq, req) c.ec_pending;
-          ec_submit_pending srv c)
+  | req ->
+      if srv.e_defer req then begin
+        Mutex.lock srv.e_work_lock;
+        Queue.push (c, seq, req) srv.e_work;
+        Condition.signal srv.e_work_cond;
+        Mutex.unlock srv.e_work_lock
+      end
+      else (
+        match ec_exec_ext srv req with
+        | Some r -> ec_complete srv c seq r
+        | None ->
+            Queue.push (seq, req) c.ec_pending;
+            ec_submit_pending srv c)
+
+(* The deferred-ext worker: one domain draining [e_work] in order
+   (FIFO keeps one client's control ops serialized), completing
+   through the same stack as the shard consumers.  Replies for
+   since-dead connections are dropped by [ec_complete]. *)
+let ec_ext_worker srv () =
+  let rec next () =
+    Mutex.lock srv.e_work_lock;
+    let rec take () =
+      if Atomic.get srv.e_stop then None
+      else if Queue.is_empty srv.e_work then begin
+        Condition.wait srv.e_work_cond srv.e_work_lock;
+        take ()
+      end
+      else Some (Queue.pop srv.e_work)
+    in
+    let item = take () in
+    Mutex.unlock srv.e_work_lock;
+    match item with
+    | None -> ()
+    | Some (c, seq, req) ->
+        let reply =
+          match ec_exec_ext srv req with
+          | Some r -> r
+          | None -> Codec.Error "ext: deferred request not handled"
+        in
+        enqueue_completion srv c seq reply;
+        next ()
+  in
+  next ()
 
 (* Drain every complete frame currently buffered.  [next_frame] is
    only entered when the 4-byte prefix and the full payload are
@@ -671,6 +747,9 @@ let ec_accept_burst srv =
         if
           Atomic.get srv.e_stop
           || Hashtbl.length srv.e_conns >= srv.e_max_conns
+          || not (Poller.accepts srv.e_poll fd)
+          (* select backend: an fd value past FD_SETSIZE would fail
+             EINVAL inside the poller — shed it, don't register it *)
         then shed_and_close fd
         else begin
           Unix.set_nonblock fd;
@@ -725,9 +804,41 @@ let ec_drain_completions srv =
          affects fairness, not correctness. *)
       List.iter (fun (c, seq, reply) -> ec_complete srv c seq reply) batch
 
-let ec_pump srv () =
+let rec ec_pump srv () =
   let drain = Bytes.create 64 in
+  (* Exception barrier: no single pass may kill the pump silently —
+     the daemon would accept nothing while looking alive, with the
+     exception resurfacing only at [Domain.join] during shutdown.
+     A faulting pass is reported and the loop continues (per-
+     connection damage was already contained by the per-conn error
+     paths); only a persistent fault — every pass failing — stops the
+     server, loudly (the shm multiplexer's discipline). *)
+  let faulting = ref 0 in
   while not (Atomic.get srv.e_stop) do
+    match
+      ec_pump_pass srv drain
+    with
+    | () -> faulting := 0
+    | exception e ->
+        incr faulting;
+        Printf.eprintf "kv evloop: pump pass failed: %s\n%!"
+          (Printexc.to_string e);
+        if !faulting >= 100 then begin
+          Printf.eprintf
+            "kv evloop: %d consecutive failing passes; stopping the server\n%!"
+            !faulting;
+          Atomic.set srv.e_stop true
+        end
+  done;
+  (* Teardown on the pump: it owns every fd. *)
+  Hashtbl.iter (fun _ c -> ec_close srv c) (Hashtbl.copy srv.e_conns);
+  Poller.close srv.e_poll;
+  (try Unix.close srv.e_listen with Unix.Unix_error _ -> ());
+  (try Unix.close srv.e_wake_r with Unix.Unix_error _ -> ());
+  try Unix.close srv.e_wake_w with Unix.Unix_error _ -> ()
+
+and ec_pump_pass srv drain =
+  begin
     ec_drain_completions srv;
     (* A drained completion means the consumer took envelopes off a
        mailbox — the moment refused requests are worth retrying. *)
@@ -781,15 +892,10 @@ let ec_pump srv () =
             ec_read srv c
           end)
         (Hashtbl.copy srv.e_conns)
-  done;
-  (* Teardown on the pump: it owns every fd. *)
-  Hashtbl.iter (fun _ c -> ec_close srv c) (Hashtbl.copy srv.e_conns);
-  Poller.close srv.e_poll;
-  (try Unix.close srv.e_listen with Unix.Unix_error _ -> ());
-  (try Unix.close srv.e_wake_r with Unix.Unix_error _ -> ());
-  try Unix.close srv.e_wake_w with Unix.Unix_error _ -> ()
+  end
 
-let serve_evloop svc ~path ~backlog ~faults ?ext ~poller ~max_conns ~tid () =
+let serve_evloop svc ~path ~backlog ~faults ?ext ?ext_defer ~poller ~max_conns
+    ~tid () =
   if tid < 0 || tid >= svc.Shard.clients then
     invalid_arg "Conn.serve_unix: evloop tid outside the client range";
   let listen_fd = bind_listen ~path ~backlog in
@@ -798,6 +904,10 @@ let serve_evloop svc ~path ~backlog ~faults ?ext ~poller ~max_conns ~tid () =
   Unix.set_nonblock wake_r;
   Unix.set_nonblock wake_w;
   let poll = Poller.create poller in
+  (* The select fallback cannot watch fd values past FD_SETSIZE:
+     clamp the connection cap below the wall (accept re-checks the
+     actual fd value and sheds strays). *)
+  let max_conns = min max_conns (Poller.max_fds poll) in
   let exec =
     match ext with Some h -> h | None -> fun _ -> None
   in
@@ -821,11 +931,19 @@ let serve_evloop svc ~path ~backlog ~faults ?ext ~poller ~max_conns ~tid () =
       e_stopped = Atomic.make false;
       e_scratch = Buffer.create 64;
       e_has_pending = false;
+      e_defer = (match ext_defer with Some f -> f | None -> fun _ -> false);
+      e_work = Queue.create ();
+      e_work_lock = Mutex.create ();
+      e_work_cond = Condition.create ();
+      e_worker = None;
     }
   in
   Poller.add poll listen_fd ~read:true ~write:false;
   Poller.add poll wake_r ~read:true ~write:false;
   srv.e_pump <- Some (Domain.spawn (ec_pump srv));
+  (match ext_defer with
+  | Some _ -> srv.e_worker <- Some (Domain.spawn (ec_ext_worker srv))
+  | None -> ());
   srv
 
 let shutdown_evloop srv =
@@ -833,10 +951,20 @@ let shutdown_evloop srv =
     Atomic.set srv.e_stop true;
     (try ignore (Unix.write srv.e_wake_w (Bytes.make 1 '!') 0 1)
      with Unix.Unix_error _ -> ());
+    (* Wake the deferred-ext worker under its lock, so the stop flag
+       is seen by the wait it interrupts. *)
+    Mutex.lock srv.e_work_lock;
+    Condition.broadcast srv.e_work_cond;
+    Mutex.unlock srv.e_work_lock;
     (match srv.e_pump with
     | Some d ->
         Domain.join d;
         srv.e_pump <- None
+    | None -> ());
+    (match srv.e_worker with
+    | Some d ->
+        Domain.join d;
+        srv.e_worker <- None
     | None -> ());
     try Unix.unlink srv.e_path with Unix.Unix_error _ -> ()
   end
@@ -850,9 +978,14 @@ type server =
 type backend = [ `Threaded | `Evloop of Poller.backend ]
 
 let serve_unix svc ~path ?(backlog = 16) ?(faults = Faults.none) ?ext
-    ?(backend = `Threaded) ?(max_conns = 1024) ?(evloop_tid = 0) () =
+    ?ext_defer ?(backend = `Threaded) ?(max_conns = 1024) ?(evloop_tid = 0) ()
+    =
   match backend with
   | `Threaded ->
+      (* [ext_defer] is evloop-only: a threaded connection's handler
+         domain may block in the ext handler without stalling anyone
+         else. *)
+      ignore ext_defer;
       let tids = Atomic.make (List.init svc.Shard.clients Fun.id) in
       let lease () =
         match pop_slot tids with
@@ -863,8 +996,8 @@ let serve_unix svc ~path ?(backlog = 16) ?(faults = Faults.none) ?ext
       Threaded (serve_threaded ~path ~backlog ~faults ~lease, faults)
   | `Evloop poller ->
       Evloop
-        (serve_evloop svc ~path ~backlog ~faults ?ext ~poller ~max_conns
-           ~tid:evloop_tid ())
+        (serve_evloop svc ~path ~backlog ~faults ?ext ?ext_defer ~poller
+           ~max_conns ~tid:evloop_tid ())
 
 let serve_unix_fn ~handler ~path ?(backlog = 16) ?(faults = Faults.none)
     ?(max_conns = 64) () =

@@ -151,6 +151,7 @@ val serve_unix :
   ?backlog:int ->
   ?faults:Faults.t ->
   ?ext:(Codec.request -> Codec.reply option) ->
+  ?ext_defer:(Codec.request -> bool) ->
   ?backend:backend ->
   ?max_conns:int ->
   ?evloop_tid:int ->
@@ -161,8 +162,30 @@ val serve_unix :
     first: stale (crashed daemon) → unlinked and claimed; live →
     {!Addr_in_use}, the incumbent keeps it.  [ext] is consulted
     before shard routing on every connection.  [max_conns] (default
-    1024) and [evloop_tid] (the pump's producer tid, default 0 —
-    reserve it for the server) apply to the [`Evloop] backend. *)
+    1024, clamped below FD_SETSIZE on the select poller) and
+    [evloop_tid] (the pump's producer tid, default 0 — reserve it for
+    the server) apply to the [`Evloop] backend.
+
+    [`Evloop] contracts on [ext]:
+
+    - {b Purity on declined requests}: the handler may be consulted
+      more than once for a request it answers [None] — once at
+      dispatch, and again when the request is popped from the
+      backpressure queue, so a verdict that changed while the request
+      was parked (a cluster slot frozen mid-migration) is applied at
+      submission, not at arrival.  Handlers must therefore be
+      effect-free on the [None] path.
+    - {b Bounded work}, unless deferred: the handler runs inline on
+      the single pump domain.  [ext_defer] classifies requests whose
+      handling is {e not} bounded (migration ingest that waits on
+      group commits, full-shard snapshot traversals, anything taking
+      the node's control lock): they execute on a dedicated worker
+      domain, in arrival order, completing through the same
+      completion stack as the shard consumers — the pump never
+      blocks on them.  [ext_defer] is ignored by the [`Threaded]
+      backend (each connection's domain may block freely).
+    - An ext handler that raises costs that request an [Error] reply,
+      never the pump. *)
 
 val serve_unix_fn :
   handler:(Codec.request -> Codec.reply) ->

@@ -57,13 +57,30 @@ let create (b : backend) =
 
 let name = function Epoll _ -> "epoll" | Select _ -> "select"
 
+(* [Unix.select] fails with EINVAL for any descriptor whose {e value}
+   is >= FD_SETSIZE (1024 on Linux/glibc) — a bound on fd numbers, not
+   on how many are watched.  The select backend therefore refuses such
+   fds at registration ([accepts] lets servers shed the connection
+   instead of dying in the pump), and [max_fds] lets them clamp their
+   accept limit below the wall with headroom for the process's other
+   descriptors (WAL segments, listeners, pipes). *)
+let fd_setsize = 1024
+
+let accepts t fd =
+  match t with Epoll _ -> true | Select _ -> fd_int fd < fd_setsize
+
+let max_fds = function Epoll _ -> max_int | Select _ -> fd_setsize - 64
+
 let add t fd ~read ~write =
   let e = { e_fd = fd; e_read = read; e_write = write } in
   match t with
   | Epoll { ep; tbl; _ } ->
       Hashtbl.replace tbl (fd_int fd) e;
       epoll_ctl_raw ep 0 fd (interest_bits e)
-  | Select { tbl } -> Hashtbl.replace tbl (fd_int fd) e
+  | Select { tbl } ->
+      if fd_int fd >= fd_setsize then
+        invalid_arg "Poller.add: fd >= FD_SETSIZE on the select backend";
+      Hashtbl.replace tbl (fd_int fd) e
 
 let modify t fd ~read ~write =
   let key = fd_int fd in
@@ -122,17 +139,21 @@ let wait t ~timeout_ms f =
       in
       match Unix.select !rd !wr [] timeout with
       | exception Unix.Unix_error (Unix.EINTR, _, _) -> 0
-      | exception Unix.Unix_error (Unix.EBADF, _, _) ->
-          (* A peer-closed fd raced deregistration; the owner notices
-             on its next read.  Report nothing this round. *)
+      | exception Unix.Unix_error ((Unix.EBADF | Unix.EINVAL), _, _) ->
+          (* EBADF: a peer-closed fd raced deregistration; the owner
+             notices on its next read.  EINVAL: an fd value crossed
+             FD_SETSIZE despite the [add]-time gate (belt and braces —
+             never fatal to the calling pump).  Report nothing this
+             round. *)
           0
       | rds, wrs, _ ->
-          let wrset = List.map fd_int wrs in
+          let wrset = Hashtbl.create (List.length wrs) in
+          List.iter (fun fd -> Hashtbl.replace wrset (fd_int fd) ()) wrs;
           let visited = Hashtbl.create 16 in
           List.iter
             (fun fd ->
               Hashtbl.replace visited (fd_int fd) ();
-              f fd ~readable:true ~writable:(List.mem (fd_int fd) wrset))
+              f fd ~readable:true ~writable:(Hashtbl.mem wrset (fd_int fd)))
             rds;
           List.iter
             (fun fd ->

@@ -24,8 +24,23 @@ val create : backend -> t
 val name : t -> string
 (** ["epoll"] or ["select"] — for logs and CSV columns. *)
 
+val accepts : t -> Unix.file_descr -> bool
+(** Whether this backend can watch the descriptor at all.  Epoll
+    always can; select refuses fd {e values} >= FD_SETSIZE (1024) —
+    [Unix.select] would fail with EINVAL for them, regardless of how
+    few descriptors are watched.  Servers check this before {!add} and
+    shed the connection instead of poisoning the pump. *)
+
+val max_fds : t -> int
+(** Advisory cap on concurrently-watched descriptors: unbounded for
+    epoll, comfortably below FD_SETSIZE for select (headroom for the
+    process's other descriptors — WAL segments, listeners, pipes).
+    Event-loop servers clamp their [max_conns] with this. *)
+
 val add : t -> Unix.file_descr -> read:bool -> write:bool -> unit
-(** Register a descriptor with the given interest set. *)
+(** Register a descriptor with the given interest set.
+    @raise Invalid_argument on the select backend for an fd value
+    >= FD_SETSIZE (gate with {!accepts} first). *)
 
 val modify : t -> Unix.file_descr -> read:bool -> write:bool -> unit
 (** Change interest; a no-op when the set is unchanged.

@@ -10,6 +10,17 @@ type ack_hook = {
 
 let no_hook = { h_mutation = (fun ~shard:_ _ -> ()); h_commit = (fun ~shard:_ -> ()) }
 
+(* Execution-time admission filter, same zero-cost-when-off shape.
+   Unlike a transport-side check, this one runs on the consumer — in
+   the same serial stream as the requests it judges — so a verdict
+   cannot be stale by the time the request executes (the cluster's
+   cutover-atomicity hinge: an ownership freeze that reaches the
+   consumer before a request is executed is always seen by that
+   request's check). *)
+type admit = tid:int -> Codec.request -> Codec.reply option
+
+let admit_all : admit = fun ~tid:_ _ -> None
+
 type config = {
   shards : int;
   clients : int;
@@ -65,6 +76,7 @@ type t = {
   zc_enter : slot:int -> unit;
   zc_leave : slot:int -> unit;
   zc_get : slot:int -> int -> int option;
+  set_admit : admit -> unit;
   stop : unit -> unit;
   scheme_name : string;
   structure_name : string;
@@ -72,6 +84,7 @@ type t = {
 
 type env = {
   req : Codec.request;
+  tid : int;  (* producing tid, for the admission filter's exemptions *)
   born_ns : int;
   reply : Codec.reply -> unit;
 }
@@ -180,7 +193,18 @@ module Core (T : Smr.Tracker.S) (Mk : Dstruct.Map_intf.MAKER) = struct
           })
     in
     let shard_of_key k = mix_key k mod c.shards in
+    let admit_cell = Atomic.make admit_all in
     let run_batch sh batch =
+      (* One filter read per drained run: the filter is installed once
+         at wiring time (before traffic), never swapped under load. *)
+      let adm = Atomic.get admit_cell in
+      let exec_env env =
+        if adm == admit_all then exec sh.map env.req
+        else
+          match adm ~tid:env.tid env.req with
+          | Some r -> r
+          | None -> exec sh.map env.req
+      in
       Obs.Hist.add batch_hist (List.length batch);
       (* One bracket per drained run — enter/leave amortized across
          the batch, reservation refreshed with the cheaper trim
@@ -195,7 +219,7 @@ module Core (T : Smr.Tracker.S) (Mk : Dstruct.Map_intf.MAKER) = struct
             incr i;
             if !i mod c.trim_every = 0 then Map.trim sh.map ~tid:0;
             let reply =
-              try exec sh.map env.req
+              try exec_env env
               with e -> Codec.Error (Printexc.to_string e)
             in
             Atomic.incr sh.shard_processed;
@@ -221,7 +245,7 @@ module Core (T : Smr.Tracker.S) (Mk : Dstruct.Map_intf.MAKER) = struct
                incr i;
                if !i mod c.trim_every = 0 then Map.trim sh.map ~tid:0;
                let reply =
-                 try exec sh.map env.req
+                 try exec_env env
                  with e -> Codec.Error (Printexc.to_string e)
                in
                (match Codec.mutation_of_exec env.req reply with
@@ -318,7 +342,7 @@ module Core (T : Smr.Tracker.S) (Mk : Dstruct.Map_intf.MAKER) = struct
       if not (Atomic.get running) then reply (Codec.Error "service stopped")
       else begin
         let sh = shards.(shard_of_key (Codec.key_of_request req)) in
-        let env = { req; born_ns = Obs.Clock.now_ns (); reply } in
+        let env = { req; tid; born_ns = Obs.Clock.now_ns (); reply } in
         if not (MB.try_send sh.mailbox ~tid env) then begin
           Atomic.incr sheds;
           reply Codec.Shed
@@ -540,6 +564,7 @@ module Core (T : Smr.Tracker.S) (Mk : Dstruct.Map_intf.MAKER) = struct
       zc_enter;
       zc_leave;
       zc_get;
+      set_admit = (fun a -> Atomic.set admit_cell a);
       stop;
       scheme_name;
       structure_name;

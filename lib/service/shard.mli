@@ -46,6 +46,28 @@ type ack_hook = {
 val no_hook : ack_hook
 (** The permanently-disabled instance; recognized by [==]. *)
 
+type admit = tid:int -> Codec.request -> Codec.reply option
+(** Execution-time admission filter.  Consulted by the shard consumer
+    for every data request {e at execution}, in the same serial stream
+    as the mutations it gates: [Some r] answers the request with [r]
+    without touching the map (no mutation, no WAL record — the reply
+    rides the run's ordinary ack path, deferred past the group commit
+    like any other); [None] admits it.  [tid] is the producer slot the
+    request was submitted under, so a filter can exempt privileged
+    producers (the cluster's migration-ingest tid).
+
+    This is the only ownership check that cannot go stale between
+    check and execution: a transport-side check runs at dispatch, and
+    the request can then sit in a backpressure queue or a mailbox for
+    an unbounded time while ownership moves.  [Cluster.Node] installs
+    its slot-ownership check here so a frozen slot's parked writes
+    answer [Moved] instead of committing at the old owner. *)
+
+val admit_all : admit
+(** The permanently-open instance every service starts with;
+    recognized by [==] — one physical-equality check per drained run
+    when no filter is installed. *)
+
 type config = {
   shards : int;  (** number of partitions / consumer domains *)
   clients : int;
@@ -162,6 +184,12 @@ type t = {
           called between {!t.zc_enter} and {!t.zc_leave}.  Linearizes
           with the consumer's writes at the node read (a concurrent
           PUT may or may not be visible, as over any transport). *)
+  set_admit : admit -> unit;
+      (** Install the execution-time admission filter (see {!admit}).
+          Install once, at wiring time, before traffic: consumers read
+          the filter once per drained run, so a swap under load takes
+          effect on a run boundary.  Note that {!t.zc_get} reads do
+          not pass through the filter (they never produce acks). *)
   stop : unit -> unit;
       (** Stop consumers, fail queued requests with [Error], join
           domains, flush every tracker.  Idempotent. *)

@@ -175,6 +175,95 @@ let test_node_cutover_survives_reboot () =
         (Node.owns_slot node2 5);
       Alcotest.(check int) "version survives reboot" 3 (Node.version node2))
 
+let test_admit_filter_gates_execution () =
+  (* The execution-time admission filter installed by [Node.create]:
+     a request reaching a shard consumer for a slot the node does not
+     own answers [Moved] without mutating — even submitted straight
+     to the service, past every transport-side check (the parked-
+     write cutover hole).  The node's reserved tid is exempt:
+     migration ingest legitimately writes slots the node does not own
+     yet. *)
+  let store, _ = Replica.Store.Mem.create () in
+  let p = mk_primary ~store in
+  Fun.protect
+    ~finally:(fun () -> Replica.Primary.stop p)
+    (fun () ->
+      let nslots = 8 in
+      (* Node 1 owns odd slots; evens belong to node 0. *)
+      let owners = Array.init nslots (fun s -> s land 1) in
+      let _node = Node.create ~node_id:1 ~nslots ~owners ~apply_tid:5 p in
+      let svc = p.Replica.Primary.svc in
+      let find_key pred =
+        let rec go k =
+          if pred (Ring.slot_of_key ~nslots k) then k else go (k + 1)
+        in
+        go 0
+      in
+      let foreign = find_key (fun s -> s land 1 = 0) in
+      let mine = find_key (fun s -> s land 1 = 1) in
+      (match
+         Service.Shard.call svc ~tid:0 (Codec.Put { key = foreign; value = 7 })
+       with
+      | Codec.Moved { node = n; _ } ->
+          Alcotest.(check int) "redirect names the owner" 0 n
+      | r ->
+          Alcotest.failf "foreign-slot write not gated: %s"
+            (Codec.reply_to_string r));
+      (match Service.Shard.call svc ~tid:0 (Codec.Get foreign) with
+      | Codec.Moved _ -> ()
+      | r ->
+          Alcotest.failf "foreign-slot read not gated: %s"
+            (Codec.reply_to_string r));
+      (match
+         Service.Shard.call svc ~tid:5 (Codec.Put { key = foreign; value = 7 })
+       with
+      | Codec.Created -> ()
+      | r -> Alcotest.failf "ingest tid gated: %s" (Codec.reply_to_string r));
+      match Service.Shard.call svc ~tid:0 (Codec.Put { key = mine; value = 9 })
+      with
+      | Codec.Created -> ()
+      | r ->
+          Alcotest.failf "owned-slot write blocked: %s"
+            (Codec.reply_to_string r))
+
+let test_freeze_quiesce_timeout () =
+  (* Freeze must not ack while a shard consumer cannot certify the
+     writes already inside the service: a parked consumer holds the
+     quiesce barrier, the freeze times out, rolls the flip back, and
+     answers [Error]; after unparking the same freeze succeeds. *)
+  let store, _ = Replica.Store.Mem.create () in
+  let p = mk_primary ~store in
+  Fun.protect
+    ~finally:(fun () -> Replica.Primary.stop p)
+    (fun () ->
+      let nslots = 8 in
+      let owners = Array.make nslots 1 in
+      let node =
+        Node.create ~node_id:1 ~nslots ~quiesce_timeout:0.2 ~owners
+          ~apply_tid:5 p
+      in
+      let svc = p.Replica.Primary.svc in
+      svc.Service.Shard.set_stalled ~shard:0 true;
+      while not (svc.Service.Shard.is_parked 0) do
+        Domain.cpu_relax ()
+      done;
+      (match Node.handle node (Codec.Cl_freeze { slot = 3; target = 0 }) with
+      | Some (Codec.Error _) -> ()
+      | Some r ->
+          Alcotest.failf "freeze under a stalled shard answered %s"
+            (Codec.reply_to_string r)
+      | None -> Alcotest.fail "freeze fell through");
+      Alcotest.(check bool)
+        "failed freeze rolled the flip back" true
+        (Node.owns_slot node 3);
+      svc.Service.Shard.set_stalled ~shard:0 false;
+      (match Node.handle node (Codec.Cl_freeze { slot = 3; target = 0 }) with
+      | Some Codec.Cl_ok -> ()
+      | _ -> Alcotest.fail "freeze after unstall not acked");
+      Alcotest.(check bool)
+        "acked freeze redirected the slot" false
+        (Node.owns_slot node 3))
+
 (* ------------------------------------------------------------------ *)
 (* Two real daemons on the evloop backend: routed load, a live slot
    migration under that load, zero lost acks, oracle identity, and a
@@ -201,7 +290,7 @@ let test_migration_under_load () =
     Array.init 2 (fun id ->
         Service.Conn.serve_unix prims.(id).Replica.Primary.svc ~path:paths.(id)
           ~ext:(Node.handle nodes.(id))
-          ~backend:(`Evloop `Auto) ())
+          ~ext_defer:Node.deferrable ~backend:(`Evloop `Auto) ())
   in
   let eps = Array.init 2 (fun id -> Router.endpoint ~id ~path:paths.(id)) in
   let router = Router.create ~nslots ~endpoints:(Array.to_list eps) () in
@@ -216,6 +305,7 @@ let test_migration_under_load () =
       let ops = ref [] in
       let stop = Atomic.make false in
       let errors = Atomic.make 0 in
+      let n_acked = Atomic.make 0 in
       let driver =
         Domain.spawn (fun () ->
             let rng = Prims.Rng.create ~seed:1234 in
@@ -239,7 +329,9 @@ let test_migration_under_load () =
               (match Router.call router req with
               | Codec.Error _ | Codec.Shed | Codec.Moved _ ->
                   Atomic.incr errors
-              | reply -> acked := (req, reply) :: !acked)
+              | reply ->
+                  acked := (req, reply) :: !acked;
+                  Atomic.incr n_acked)
             done;
             !acked)
       in
@@ -255,7 +347,14 @@ let test_migration_under_load () =
         | Ok s -> s
         | Error e -> Alcotest.failf "migration failed: %s" e
       in
-      Unix.sleepf 0.1;
+      (* Keep driving post-migration until the history is substantial
+         — op-count-based, not wall-clock, so a loaded machine (or a
+         cutover fast enough to shrink the migration window) cannot
+         starve the assertion below. *)
+      let deadline = Unix.gettimeofday () +. 30.0 in
+      while Atomic.get n_acked <= 300 && Unix.gettimeofday () < deadline do
+        Unix.sleepf 0.01
+      done;
       Atomic.set stop true;
       ops := List.rev (Domain.join driver);
       Alcotest.(check int) "no routed call was lost" 0 (Atomic.get errors);
@@ -330,6 +429,10 @@ let suites =
           test_node_ownership_check;
         Alcotest.test_case "cutover record survives reboot" `Quick
           test_node_cutover_survives_reboot;
+        Alcotest.test_case "admission filter gates execution" `Quick
+          test_admit_filter_gates_execution;
+        Alcotest.test_case "freeze quiesce times out on a stalled shard"
+          `Quick test_freeze_quiesce_timeout;
       ] );
     ( "cluster.migrate",
       [

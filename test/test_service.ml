@@ -580,6 +580,131 @@ let test_evloop_fanin_512 () =
           let bad = List.fold_left (fun a d -> a + Domain.join d) 0 domains in
           Alcotest.(check int) "512-conn fan-in: every reply exact" 0 bad))
 
+let test_evloop_parked_request_recheck () =
+  (* A request that passed the ext check at dispatch can park in the
+     pump's backpressure queue while the verdict changes (a cluster
+     freeze flipping slot ownership).  The loop must re-consult ext at
+     submission: parked writes answer the NEW verdict — with the
+     consumer parked and the mailbox full at [cap], exactly the first
+     [cap] writes execute and every later one bounces. *)
+  let redirect = Atomic.make false in
+  let ext req =
+    match req with
+    | Service.Codec.Put _ when Atomic.get redirect ->
+        Some (Service.Codec.Moved { slot = 0; node = 1 })
+    | _ -> None
+  in
+  let path = tmp_sock "evr" in
+  let cap = 4 in
+  let svc = make_svc ~shards:1 ~clients:2 ~mailbox_capacity:cap () in
+  let server =
+    Service.Conn.serve_unix svc ~path ~ext ~backend:(`Evloop `Auto) ()
+  in
+  Fun.protect
+    ~finally:(fun () ->
+      Service.Conn.shutdown server;
+      svc.Service.Shard.stop ())
+    (fun () ->
+      let fd = Service.Conn.connect_unix ~path in
+      Fun.protect
+        ~finally:(fun () -> try Unix.close fd with Unix.Unix_error _ -> ())
+        (fun () ->
+          svc.Service.Shard.set_stalled ~shard:0 true;
+          while not (svc.Service.Shard.is_parked 0) do
+            Domain.cpu_relax ()
+          done;
+          let n = cap + 6 in
+          let out = Buffer.create 32 in
+          for k = 1 to n do
+            Buffer.clear out;
+            Service.Codec.encode_request out
+              (Service.Codec.Put { key = k; value = k });
+            Service.Conn.write_frame fd out
+          done;
+          (* The parked consumer guarantees an undrained mailbox, so
+             depth reaching [cap] means the pump has dispatched the
+             first [cap] writes into it; the overflow is parked (or
+             still unread — either way, unsubmitted). *)
+          let deadline = Unix.gettimeofday () +. 10.0 in
+          while
+            svc.Service.Shard.shard_depth 0 < cap
+            && Unix.gettimeofday () < deadline
+          do
+            Unix.sleepf 0.001
+          done;
+          Alcotest.(check int)
+            "mailbox full under the parked consumer" cap
+            (svc.Service.Shard.shard_depth 0);
+          Atomic.set redirect true;
+          svc.Service.Shard.set_stalled ~shard:0 false;
+          for k = 1 to n do
+            match Service.Conn.read_frame fd with
+            | None -> Alcotest.failf "eof at reply %d" k
+            | Some p -> (
+                let got = Service.Codec.reply_of_payload p in
+                let want =
+                  if k <= cap then Service.Codec.Created
+                  else Service.Codec.Moved { slot = 0; node = 1 }
+                in
+                if got <> want then
+                  Alcotest.failf "reply %d: got %s, want %s" k
+                    (Service.Codec.reply_to_string got)
+                    (Service.Codec.reply_to_string want))
+          done))
+
+let test_evloop_poison_ext () =
+  (* An ext handler that raises costs the request an [Error] reply,
+     never the pump — on both the inline path and the deferred
+     worker. *)
+  let ext req =
+    match req with
+    | Service.Codec.Cl_info | Service.Codec.Cl_release _ -> failwith "boom"
+    | _ -> None
+  in
+  let defer = function Service.Codec.Cl_release _ -> true | _ -> false in
+  let path = tmp_sock "evx" in
+  let svc = make_svc ~shards:1 ~clients:2 () in
+  let server =
+    Service.Conn.serve_unix svc ~path ~ext ~ext_defer:defer
+      ~backend:(`Evloop `Auto) ()
+  in
+  Fun.protect
+    ~finally:(fun () ->
+      Service.Conn.shutdown server;
+      svc.Service.Shard.stop ())
+    (fun () ->
+      let fd = Service.Conn.connect_unix ~path in
+      Fun.protect
+        ~finally:(fun () -> try Unix.close fd with Unix.Unix_error _ -> ())
+        (fun () ->
+          let is_error = function
+            | Service.Codec.Error _ -> true
+            | _ -> false
+          in
+          Alcotest.(check bool)
+            "inline poison answered with Error" true
+            (is_error (Service.Conn.call_fd fd Service.Codec.Cl_info));
+          Alcotest.(check bool)
+            "deferred poison answered with Error" true
+            (is_error
+               (Service.Conn.call_fd fd (Service.Codec.Cl_release { slot = 0 })));
+          (* The pump survived both: the same connection still serves
+             data, and so does a fresh one. *)
+          Alcotest.(check string)
+            "same conn serves data" "CREATED"
+            (Service.Codec.reply_to_string
+               (Service.Conn.call_fd fd
+                  (Service.Codec.Put { key = 1; value = 1 })));
+          let fd2 = Service.Conn.connect_unix ~path in
+          Fun.protect
+            ~finally:(fun () ->
+              try Unix.close fd2 with Unix.Unix_error _ -> ())
+            (fun () ->
+              Alcotest.(check string)
+                "fresh conn served" "VALUE 1"
+                (Service.Codec.reply_to_string
+                   (Service.Conn.call_fd fd2 (Service.Codec.Get 1))))))
+
 (* ------------------------------------------------------------------ *)
 (* Loadgen determinism and the Zipf table cache *)
 
@@ -682,6 +807,10 @@ let suites =
         Alcotest.test_case "pipelined backlog under backpressure" `Quick
           test_evloop_pipelined_backpressure;
         Alcotest.test_case "512-connection fan-in" `Quick test_evloop_fanin_512;
+        Alcotest.test_case "parked requests re-check ext at submission"
+          `Quick test_evloop_parked_request_recheck;
+        Alcotest.test_case "raising ext poisons the request, not the pump"
+          `Quick test_evloop_poison_ext;
       ] );
     ( "service.loadgen",
       [
