@@ -427,6 +427,172 @@ let percentile_rows () =
     ("serve/transport/frame-pass-p99/unix-socketpair", unix_p99);
   ]
 
+(* The measurement kernel: warm up, grow the batch until one trial is
+   long enough to dwarf timer granularity (~2 ms), then report the
+   minimum ns/op over repeated trials.  Any preemption, steal or GC
+   pause only ever *adds* time to a trial, so the minimum estimates
+   the uncontended cost — the quantity Table 1 is about — and is
+   stable where a mean (or an OLS fit over raw samples) is not. *)
+let measure fn =
+  for _ = 1 to 1_000 do
+    fn ()
+  done;
+  let time_batch n =
+    let t0 = Unix.gettimeofday () in
+    for _ = 1 to n do
+      fn ()
+    done;
+    Unix.gettimeofday () -. t0
+  in
+  let rec calibrate n =
+    if n >= 10_000_000 || time_batch n >= 0.002 then n else calibrate (n * 10)
+  in
+  let n = calibrate 100 in
+  let best = ref infinity in
+  for _ = 1 to 7 do
+    let d = time_batch n in
+    if d < !best then best := d
+  done;
+  !best *. 1e9 /. float_of_int n
+
+(* ------------------------------------------------------------------ *)
+(* Incremental-snapshot amplification: the cost of publishing one
+   shard snapshot as a function of keyspace size and dirty-set size.
+   Single-shot wall-clock rows (best of 3), not [measure] rows: a
+   large-keyspace traversal is milliseconds — far above timer
+   granularity — and each delta consumes the dirty set it measures,
+   so a calibrated batch loop would time an empty set.  Every trial
+   re-dirties the same keys through acked shard calls *outside* the
+   timed region, so full and delta snapshot the identical state. *)
+
+let time_once f =
+  let t0 = Unix.gettimeofday () in
+  f ();
+  (Unix.gettimeofday () -. t0) *. 1e9
+
+let size_label n =
+  if n >= 1_000_000 then Printf.sprintf "%dM" (n / 1_000_000)
+  else Printf.sprintf "%dk" (n / 1_000)
+
+let with_bench_dir tag f =
+  let dir =
+    Filename.concat
+      (Filename.get_temp_dir_name ())
+      (Printf.sprintf "bench-%s-%d" tag (Unix.getpid ()))
+  in
+  (try Unix.mkdir dir 0o700 with Unix.Unix_error (Unix.EEXIST, _, _) -> ());
+  Fun.protect
+    ~finally:(fun () ->
+      Array.iter
+        (fun n -> try Sys.remove (Filename.concat dir n) with _ -> ())
+        (Sys.readdir dir);
+      try Unix.rmdir dir with _ -> ())
+    (fun () -> f dir)
+
+(* The commit-sync substitution the mmap store makes: the same
+   [Wal.commit] group-commit loop, synced by fsync(2) on the fs store
+   vs msync(2) on the mmap store's live mapping. *)
+let wal_commit_sync_row ~name store =
+  let w, _ = Replica.Wal.open_ ~store ~shard:0 () in
+  let k = ref 0 in
+  let ns =
+    measure (fun () ->
+        incr k;
+        ignore (Replica.Wal.append w (Service.Codec.Set { key = !k; value = !k }));
+        Replica.Wal.commit w;
+        wal_trim w)
+  in
+  Replica.Wal.close w;
+  (name, ns)
+
+let snapshot_rows () =
+  let structure = Workload.Registry.find_structure "hashmap" in
+  let scheme = Workload.Registry.find_scheme "hyaline" in
+  let rows = ref [] in
+  List.iter
+    (fun keys ->
+      let store, _ = Replica.Store.Mem.create () in
+      let p, _ =
+        Replica.Primary.create ~structure ~scheme
+          {
+            Service.Shard.default_config with
+            Service.Shard.shards = 1;
+            clients = 1;
+          }
+          ~store ~delta:true ~dirty_cap:(1 lsl 16) ()
+      in
+      let svc = p.Replica.Primary.svc in
+      let put k v =
+        ignore
+          (Service.Shard.call svc ~tid:0
+             (Service.Codec.Put { key = k; value = v }))
+      in
+      for k = 1 to keys do
+        put k k
+      done;
+      (* Publish the base first: truncates the prefill WAL and arms a
+         fresh dirty set for the delta trials. *)
+      ignore (Replica.Primary.snapshot_shard p ~shard:0 ~mode:`Full ());
+      if keys = 100_000 then begin
+        (* The streaming strict loader, over the base just published. *)
+        let load_ns = ref infinity in
+        for _ = 1 to 3 do
+          let d =
+            time_once (fun () ->
+                ignore (Replica.Snapshot.load_latest ~store ~shard:0))
+          in
+          if d < !load_ns then load_ns := d
+        done;
+        rows :=
+          ( Printf.sprintf "table1/replica/snapshot-load/%s" (size_label keys),
+            !load_ns )
+          :: !rows
+      end;
+      List.iter
+        (fun dirty ->
+          let stride = max 1 (keys / dirty) in
+          let redirty salt =
+            for i = 0 to dirty - 1 do
+              let k = 1 + (i * stride mod keys) in
+              put k (k + salt)
+            done
+          in
+          let timed_snap mode =
+            let best = ref infinity in
+            for trial = 1 to 3 do
+              redirty trial;
+              let d =
+                time_once (fun () ->
+                    ignore
+                      (Replica.Primary.snapshot_shard p ~shard:0
+                         ~truncate:false ~mode ()))
+              in
+              if d < !best then best := d
+            done;
+            !best
+          in
+          let delta_ns = timed_snap `Delta in
+          let full_ns = timed_snap `Full in
+          let tag m =
+            Printf.sprintf "table1/replica/snapshot-%s/%s@%sdirty" m
+              (size_label keys) (size_label dirty)
+          in
+          rows := (tag "delta", delta_ns) :: (tag "full", full_ns) :: !rows)
+        (List.filter (fun d -> d <= keys) [ 1_000; 10_000 ]);
+      Replica.Primary.stop p)
+    [ 10_000; 100_000; 1_000_000 ];
+  let sync_rows =
+    [
+      with_bench_dir "walfsync" (fun dir ->
+          wal_commit_sync_row ~name:"table1/replica/wal-commit-fsync"
+            (Replica.Store.fs ~dir));
+      with_bench_dir "walmsync" (fun dir ->
+          wal_commit_sync_row ~name:"table1/replica/wal-commit-msync"
+            (Replica.Store.mmap ~dir ()));
+    ]
+  in
+  List.rev !rows @ sync_rows
+
 let microbenches () =
   scheme_rows "retire-cost" retire_cost
   @ scheme_rows "bracket-cost" bracket_cost
@@ -492,38 +658,13 @@ let write_json path rows =
   close_out oc;
   Format.printf "(wrote %d JSON rows to %s)@.@." (List.length rows) path
 
-(* The measurement kernel: warm up, grow the batch until one trial is
-   long enough to dwarf timer granularity (~2 ms), then report the
-   minimum ns/op over repeated trials.  Any preemption, steal or GC
-   pause only ever *adds* time to a trial, so the minimum estimates
-   the uncontended cost — the quantity Table 1 is about — and is
-   stable where a mean (or an OLS fit over raw samples) is not. *)
-let measure fn =
-  for _ = 1 to 1_000 do
-    fn ()
-  done;
-  let time_batch n =
-    let t0 = Unix.gettimeofday () in
-    for _ = 1 to n do
-      fn ()
-    done;
-    Unix.gettimeofday () -. t0
-  in
-  let rec calibrate n =
-    if n >= 10_000_000 || time_batch n >= 0.002 then n else calibrate (n * 10)
-  in
-  let n = calibrate 100 in
-  let best = ref infinity in
-  for _ = 1 to 7 do
-    let d = time_batch n in
-    if d < !best then best := d
-  done;
-  !best *. 1e9 /. float_of_int n
-
-let run_microbenches ?json () =
+let run_microbenches ?json ~parts () =
   let rows =
-    (microbenches () |> List.map (fun (name, fn) -> (name, measure fn)))
-    @ percentile_rows ()
+    (if List.mem `Table1 parts then
+       (microbenches () |> List.map (fun (name, fn) -> (name, measure fn)))
+       @ percentile_rows ()
+     else [])
+    @ (if List.mem `Snapshots parts then snapshot_rows () else [])
     |> List.sort compare
   in
   Format.printf "## Table 1 — measured per-operation costs (ns/op)@.";
@@ -600,8 +741,9 @@ let run_figures () =
     structures
 
 (* CLI: [--json PATH] (or BENCH_JSON=PATH) writes the Table-1 rows as
-   JSON; [--only table1|figures|all] restricts which part runs, so CI
-   can smoke-test the microbenchmarks without paying for the figure
+   JSON; [--only table1|snapshots|figures|all] restricts which part
+   runs, so CI can smoke-test the microbenchmarks (or regenerate just
+   the snapshot-amplification rows) without paying for the figure
    suite. *)
 let () =
   let json = ref (Sys.getenv_opt "BENCH_JSON") in
@@ -612,22 +754,33 @@ let () =
         json := Some path;
         parse rest
     | "--only" :: part :: rest ->
-        (match part with
-        | "table1" | "figures" | "all" -> only := part
-        | p ->
-            prerr_endline
-              ("bench: unknown --only part " ^ p
-             ^ " (expected table1|figures|all)");
-            exit 2);
+        List.iter
+          (function
+            | "table1" | "snapshots" | "figures" | "all" -> ()
+            | p ->
+                prerr_endline
+                  ("bench: unknown --only part " ^ p
+                 ^ " (expected table1|snapshots|figures|all, \
+                    comma-separable)");
+                exit 2)
+          (String.split_on_char ',' part);
+        only := part;
         parse rest
     | arg :: _ ->
         prerr_endline ("bench: unknown argument " ^ arg);
-        prerr_endline "usage: bench [--json PATH] [--only table1|figures|all]";
+        prerr_endline
+          "usage: bench [--json PATH] [--only table1|snapshots|figures|all]";
         exit 2
   in
   parse (List.tl (Array.to_list Sys.argv));
   Format.printf
     "Hyaline reproduction benchmark suite (1-core container scale; see \
      EXPERIMENTS.md)@.@.";
-  if !only <> "figures" then run_microbenches ?json:!json ();
-  if !only <> "table1" then run_figures ()
+  let picked = String.split_on_char ',' !only in
+  let has p = List.mem p picked || List.mem "all" picked in
+  let parts =
+    (if has "table1" then [ `Table1 ] else [])
+    @ if has "snapshots" then [ `Snapshots ] else []
+  in
+  if parts <> [] then run_microbenches ?json:!json ~parts ();
+  if has "figures" then run_figures ()

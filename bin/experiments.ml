@@ -1045,7 +1045,8 @@ let rep_emit ~phase ~scheme ~structure ~shards metrics =
       flush oc
   | None -> ()
 
-let rep_throughput ~scheme ~structure_name ~shards ~clients ~duration ~seed =
+let rep_throughput ~scheme ~structure_name ~shards ~clients ~duration ~seed
+    ~delta =
   let structure = Registry.find_structure structure_name in
   let dist = Keydist.uniform ~range:4096 in
   let svc_off =
@@ -1059,7 +1060,7 @@ let rep_throughput ~scheme ~structure_name ~shards ~clients ~duration ~seed =
   svc_off.Service.Shard.stop ();
   let store, _ = Replica.Store.Mem.create () in
   let p, _ =
-    Replica.Primary.create ~structure ~scheme
+    Replica.Primary.create ~structure ~scheme ~delta
       { Service.Shard.default_config with Service.Shard.shards; clients; seed }
       ~store ()
   in
@@ -1137,6 +1138,130 @@ let rep_snapshot_reader ~scheme ~structure_name ~shards ~churn =
   svc.Service.Shard.stop ();
   unr
 
+(* Phase B': the same stalled adversary, holding a DELTA snapshot's
+   bracket open.  The write-set traversal takes the same tid-1 bracket
+   as the full fold, so a stalled delta reader must be exactly as
+   survivable: bounded under the robust schemes, a balloon under
+   EBR. *)
+let rep_stalled_delta_reader ~scheme ~structure_name ~shards ~churn =
+  let structure = Registry.find_structure structure_name in
+  let store, _ = Replica.Store.Mem.create () in
+  let p, _ =
+    Replica.Primary.create ~structure ~scheme ~delta:true
+      { Service.Shard.default_config with Service.Shard.shards; clients = 2 }
+      ~store ()
+  in
+  let svc = p.Replica.Primary.svc in
+  let prefill = ref 0 in
+  let k = ref 0 in
+  while !prefill < 64 do
+    if svc.Service.Shard.shard_of_key !k = 0 then begin
+      ignore
+        (Service.Shard.call svc ~tid:0
+           (Service.Codec.Put { key = !k; value = !k }));
+      incr prefill
+    end;
+    incr k
+  done;
+  ignore (Replica.Primary.snapshot_shard p ~shard:0 ~mode:`Full ());
+  (* Dirty a handful of shard-0 keys so the delta has a write set to
+     park in. *)
+  let dirtied = ref 0 in
+  let kd = ref 0 in
+  while !dirtied < 8 do
+    if svc.Service.Shard.shard_of_key !kd = 0 then begin
+      ignore
+        (Service.Shard.call svc ~tid:0 (Service.Codec.Put { key = !kd; value = 1 }));
+      incr dirtied
+    end;
+    incr kd
+  done;
+  let entered = Atomic.make false in
+  let release = Atomic.make false in
+  let gate i =
+    if i = 0 then begin
+      Atomic.set entered true;
+      while not (Atomic.get release) do
+        Domain.cpu_relax ()
+      done
+    end
+  in
+  let snap =
+    Domain.spawn (fun () ->
+        Replica.Primary.snapshot_shard p ~shard:0 ~gate ~truncate:false
+          ~mode:`Delta ())
+  in
+  while not (Atomic.get entered) do
+    Domain.cpu_relax ()
+  done;
+  let kk = ref 2_000_000 in
+  let churned = ref 0 in
+  while !churned < churn do
+    if svc.Service.Shard.shard_of_key !kk = 0 then begin
+      ignore
+        (Service.Shard.call svc ~tid:0
+           (Service.Codec.Put { key = !kk; value = 1 }));
+      ignore (Service.Shard.call svc ~tid:0 (Service.Codec.Del !kk));
+      churned := !churned + 2
+    end;
+    incr kk
+  done;
+  let unr =
+    Smr.Stats.unreclaimed_of
+      (Smr.Stats.snapshot (List.nth (svc.Service.Shard.data_stats ()) 0))
+  in
+  Atomic.set release true;
+  ignore (Domain.join snap);
+  Replica.Primary.stop p;
+  unr
+
+(* Phase E: delta amplification.  A delta-tracking primary over a
+   large key range with a small write set; the snapshot gate counts
+   traversal visits, so full-gate-calls / delta-gate-calls IS the
+   amplification factor the incremental chain removes.  The delta runs
+   first (it consumes the dirty sets), the forced full second. *)
+let rep_delta_amplification ~scheme ~structure_name ~shards ~keys ~dirty =
+  let structure = Registry.find_structure structure_name in
+  let store, _ = Replica.Store.Mem.create () in
+  let p, _ =
+    Replica.Primary.create ~structure ~scheme ~delta:true
+      ~dirty_cap:(1 lsl 16)
+      { Service.Shard.default_config with Service.Shard.shards; clients = 2 }
+      ~store ()
+  in
+  let svc = p.Replica.Primary.svc in
+  for k = 0 to keys - 1 do
+    ignore
+      (Service.Shard.call svc ~tid:0 (Service.Codec.Put { key = k; value = k }))
+  done;
+  for shard = 0 to shards - 1 do
+    ignore (Replica.Primary.snapshot_shard p ~shard ~mode:`Full ())
+  done;
+  let stride = max 1 (keys / max 1 dirty) in
+  let dirtied = ref 0 in
+  let k = ref 0 in
+  while !dirtied < dirty && !k < keys do
+    ignore
+      (Service.Shard.call svc ~tid:0
+         (Service.Codec.Put { key = !k; value = !k + 1 }));
+    incr dirtied;
+    k := !k + stride
+  done;
+  let count mode =
+    let ops = ref 0 in
+    for shard = 0 to shards - 1 do
+      ignore
+        (Replica.Primary.snapshot_shard p ~shard
+           ~gate:(fun _ -> incr ops)
+           ~truncate:false ~mode ())
+    done;
+    !ops
+  in
+  let delta_ops = count `Delta in
+  let full_ops = count `Full in
+  Replica.Primary.stop p;
+  (full_ops, delta_ops)
+
 let rep_pull_of p ~shard ~from ~max =
   match
     Replica.Primary.handle p (Service.Codec.Rep_pull { shard; from; max })
@@ -1144,11 +1269,11 @@ let rep_pull_of p ~shard ~from ~max =
   | Some r -> r
   | None -> Service.Codec.Error "pull: not a replication request"
 
-let rep_lag ~scheme ~structure_name ~shards ~clients ~duration ~seed =
+let rep_lag ~scheme ~structure_name ~shards ~clients ~duration ~seed ~delta =
   let structure = Registry.find_structure structure_name in
   let store, _ = Replica.Store.Mem.create () in
   let p, _ =
-    Replica.Primary.create ~structure ~scheme
+    Replica.Primary.create ~structure ~scheme ~delta
       { Service.Shard.default_config with Service.Shard.shards; clients; seed }
       ~store ()
   in
@@ -1204,20 +1329,28 @@ type rep_fo = {
   fo_boot2_truncated : int;
 }
 
-let rep_failover ~scheme ~structure_name ~shards ~rounds ~seed =
+let rep_failover ~scheme ~structure_name ~shards ~rounds ~seed ~delta
+    ~snap_every =
   let structure = Registry.find_structure structure_name in
   let store, _ = Replica.Store.Mem.create () in
   let cfg =
     { Service.Shard.default_config with Service.Shard.shards; clients = 4; seed }
   in
-  let p, _ = Replica.Primary.create ~structure ~scheme cfg ~store () in
+  let p, _ = Replica.Primary.create ~structure ~scheme ~delta cfg ~store () in
   let svc = p.Replica.Primary.svc in
   let rng = Prims.Rng.create ~seed:(seed + 99) in
   let ops = ref [] in
   let range = 512 in
   (* Closed single-driver loop: the submission order is a
      linearization, so Oracle.replay_state of [ops] is exact. *)
-  let drive n =
+  let rounds_done = ref 0 in
+  (* [--snap-every N]: a snapshot cadence during the pre-follower
+     history (with [--delta] it publishes base+delta chains), so the
+     recovery below bootstraps through whatever chain shape the
+     cadence left.  The cadence stops once the follower exists: a
+     truncation past its pull window is a retention question, not a
+     failover one. *)
+  let drive ?(snap = false) n =
     for _ = 1 to n do
       let key = Prims.Rng.below rng range in
       let req =
@@ -1235,11 +1368,16 @@ let rep_failover ~scheme ~structure_name ~shards ~rounds ~seed =
         | _ -> Service.Codec.Get key
       in
       let reply = Service.Shard.call svc ~tid:0 req in
-      ops := (req, reply) :: !ops
+      ops := (req, reply) :: !ops;
+      incr rounds_done;
+      if snap && snap_every > 0 && !rounds_done mod snap_every = 0 then
+        for shard = 0 to shards - 1 do
+          ignore (Replica.Primary.snapshot_shard p ~shard ())
+        done
     done
   in
   let third = max 1 (rounds / 3) in
-  drive third;
+  drive ~snap:true third;
   (* Mid-history snapshots with truncation: later bootstraps must go
      snapshot-then-log, and Rep_pull from 0 is now legitimately
      Too_old. *)
@@ -1331,7 +1469,7 @@ let rep_failover ~scheme ~structure_name ~shards ~rounds ~seed =
         0 boot2.Replica.Primary.b_recovery;
   }
 
-let run_replicate ~sc ~ds ~schemes ~shards ~smoke ~plot =
+let run_replicate ~sc ~ds ~schemes ~shards ~smoke ~plot ~snap_every ~delta =
   let structure_name = match ds with "all" -> "hashmap" | d -> d in
   let clients = 8 in
   let seed = 4242 in
@@ -1340,26 +1478,69 @@ let run_replicate ~sc ~ds ~schemes ~shards ~smoke ~plot =
   let bound = churn / 4 in
   let rounds = if smoke then 1200 else 3000 in
   Format.printf
-    "## replicate (%s, %d shards, mem store, churn %d, %d acked rounds%s)@."
+    "## replicate (%s, %d shards, mem store, churn %d, %d acked rounds%s%s%s)@."
     structure_name shards churn rounds
+    (if delta then ", delta snapshots" else "")
+    (if snap_every > 0 then Printf.sprintf ", snap-every %d" snap_every else "")
     (if smoke then ", smoke" else "");
-  Format.printf "%-18s %8s %8s %7s %9s %12s %8s %7s %6s %6s %3s@." "scheme"
-    "off-Kops" "on-Kops" "fsyncs" "fsync-p99" "snap-max-unr" "max-lag"
-    "caught" "polls" "torn" "ok";
   let problems = ref [] in
   let check c msg = if not c then problems := msg :: !problems in
+  (* Delta amplification is a property of the snapshot machinery, not
+     of the reclamation scheme: measure it once, in snapshot-traversal
+     gate calls (the unit both paths share), before the scheme loop. *)
+  if delta then begin
+    let akeys = if smoke then 20_000 else 100_000 in
+    let adirty = if smoke then 200 else 1_000 in
+    let full_ops, delta_ops =
+      rep_delta_amplification
+        ~scheme:(Registry.find_scheme (List.hd schemes))
+        ~structure_name ~shards ~keys:akeys ~dirty:adirty
+    in
+    Format.printf
+      "delta amplification: %d keys / %d dirty -> full %d gate calls, delta \
+       %d gate calls (%.1fx)@."
+      akeys adirty full_ops delta_ops
+      (float_of_int full_ops /. float_of_int (max 1 delta_ops));
+    check
+      (delta_ops * 10 < full_ops)
+      (Printf.sprintf
+         "delta snapshot cost %d gate calls vs %d for full traversal — not \
+          under the 10%% amplification bound"
+         delta_ops full_ops);
+    rep_emit ~phase:"delta" ~scheme:(List.hd schemes)
+      ~structure:structure_name ~shards
+      [
+        ("amp_keys", float_of_int akeys);
+        ("amp_dirty", float_of_int adirty);
+        ("full_gate_calls", float_of_int full_ops);
+        ("delta_gate_calls", float_of_int delta_ops);
+      ]
+  end;
+  Format.printf "%-18s %8s %8s %7s %9s %12s %9s %8s %7s %6s %6s %3s@." "scheme"
+    "off-Kops" "on-Kops" "fsyncs" "fsync-p99" "snap-max-unr" "delta-unr"
+    "max-lag" "caught" "polls" "torn" "ok";
   let snap_unr = ref [] in
+  let delta_unr = ref [] in
   let lag_series = ref [] in
   List.iter
     (fun scheme_name ->
       let scheme = Registry.find_scheme scheme_name in
       let off, on, fsyncs, fsync_p99 =
         rep_throughput ~scheme ~structure_name ~shards ~clients ~duration ~seed
+          ~delta
       in
       let unr = rep_snapshot_reader ~scheme ~structure_name ~shards ~churn in
       snap_unr := (scheme_name, unr) :: !snap_unr;
+      (* Same adversary, delta flavor: the parked reader is inside a
+         dirty-set-driven delta traversal instead of a full sweep. *)
+      let dunr =
+        if delta then
+          rep_stalled_delta_reader ~scheme ~structure_name ~shards ~churn
+        else 0
+      in
+      if delta then delta_unr := (scheme_name, dunr) :: !delta_unr;
       let _lres, max_lag, apply_p99, converged, samples =
-        rep_lag ~scheme ~structure_name ~shards ~clients ~duration ~seed
+        rep_lag ~scheme ~structure_name ~shards ~clients ~duration ~seed ~delta
       in
       check converged
         (scheme_name ^ ": follower state diverged from the primary after sync");
@@ -1370,7 +1551,10 @@ let run_replicate ~sc ~ds ~schemes ~shards ~smoke ~plot =
             List.map (fun (i, l) -> (float_of_int i, float_of_int l)) samples;
         }
         :: !lag_series;
-      let fo = rep_failover ~scheme ~structure_name ~shards ~rounds ~seed in
+      let fo =
+        rep_failover ~scheme ~structure_name ~shards ~rounds ~seed ~delta
+          ~snap_every
+      in
       check (fo.fo_late_acks = 0)
         (scheme_name ^ ": non-durable work was acknowledged");
       check fo.fo_promoted_ok
@@ -1383,13 +1567,15 @@ let run_replicate ~sc ~ds ~schemes ~shards ~smoke ~plot =
         (fo.fo_boot2_truncated = fo.fo_torn_bytes)
         (scheme_name
        ^ ": recovery truncated a different byte count than the scan observed");
-      Format.printf "%-18s %8.1f %8.1f %7d %9s %12d %8d %7d %6d %6d %3s@."
+      Format.printf "%-18s %8.1f %8.1f %7d %9s %12d %9s %8d %7d %6d %6d %3s@."
         scheme_name
         (off.Service.Loadgen.throughput /. 1e3)
         (on.Service.Loadgen.throughput /. 1e3)
         fsyncs
         (Plot.fmt_ns fsync_p99)
-        unr max_lag fo.fo_caught_up fo.fo_confirm_polls fo.fo_torn_bytes
+        unr
+        (if delta then string_of_int dunr else "-")
+        max_lag fo.fo_caught_up fo.fo_confirm_polls fo.fo_torn_bytes
         (if
            fo.fo_promoted_ok && fo.fo_recovered_ok && fo.fo_late_acks = 0
            && converged
@@ -1405,10 +1591,11 @@ let run_replicate ~sc ~ds ~schemes ~shards ~smoke ~plot =
         ];
       rep_emit ~phase:"snapshot" ~scheme:scheme_name ~structure:structure_name
         ~shards
-        [
-          ("snap_max_unreclaimed", float_of_int unr);
-          ("bound", float_of_int bound);
-        ];
+        ([
+           ("snap_max_unreclaimed", float_of_int unr);
+           ("bound", float_of_int bound);
+         ]
+        @ if delta then [ ("delta_max_unreclaimed", float_of_int dunr) ] else []);
       rep_emit ~phase:"lag" ~scheme:scheme_name ~structure:structure_name
         ~shards
         [
@@ -1460,6 +1647,26 @@ let run_replicate ~sc ~ds ~schemes ~shards ~smoke ~plot =
                "%s: snapshot-reader backlog %d exceeded the bound %d" n u
                bound))
         robusts);
+  (* The same contrast must survive the new read shape: a reader
+     stalled inside a DELTA traversal is still just a stalled reader
+     to the reclamation layer. *)
+  if delta then begin
+    (match List.assoc_opt "ebr" !delta_unr with
+    | Some u ->
+        check (u > bound)
+          (Printf.sprintf
+             "ebr: stalled DELTA reader pinned only %d nodes (bound %d) — \
+              expected unbounded growth"
+             u bound)
+    | None -> ());
+    List.iter
+      (fun (n, u) ->
+        check (u <= bound)
+          (Printf.sprintf
+             "%s: stalled delta-reader backlog %d exceeded the bound %d" n u
+             bound))
+      (List.filter (fun (n, _) -> is_robust n) !delta_unr)
+  end;
   if plot && !lag_series <> [] then begin
     print_string
       (Plot.render ~title:"replicate — follower lag while loaded"
@@ -1478,7 +1685,11 @@ let run_replicate ~sc ~ds ~schemes ~shards ~smoke ~plot =
     Format.printf
       "replicate smoke ok: acks durable, torn tails truncated, promoted and \
        recovered states oracle-identical, snapshot reader bounded only under \
-       the robust scheme@."
+       the robust scheme%s@."
+      (if delta then
+         ", delta snapshots under the 10% amplification bound with the \
+          stalled delta reader contrast intact"
+       else "")
 
 (* ------------------------------------------------------------------ *)
 (* cluster: N consistent-hash members (each a durable Primary wrapped
@@ -1522,6 +1733,8 @@ type cluster_res = {
   cr_snap_pages : int;
   cr_catchup_records : int;
   cr_catchup_rounds : int;
+  cr_delta_ships : int;
+      (** migrations that shipped a delta chain instead of a full copy *)
   cr_snap_unr : int;  (** shard-0 backlog while the snap reader is parked *)
   cr_reboots : int;
   cr_partitions : int;
@@ -1684,6 +1897,25 @@ let cluster_run_one ~scheme_name ~structure_name ~nnodes ~seed ~churn ~nmig
                 failwith (Printf.sprintf "cluster: migrating slot %d: %s" slot e))
           mig_slots
       in
+      (* Phase 2b: ship the first slot straight back.  Node 0 still
+         holds its pre-handoff copy and the handoff token it minted at
+         the freeze, and node 1 has tracked every post-grant write in
+         the slot's dirty set — so this leg must travel as a delta
+         (dirty keys + tombstones over the existing base), not a full
+         snapshot.  [mg_delta] records which one actually happened. *)
+      let mig_stats =
+        match mig_slots with
+        | [] -> mig_stats
+        | slot :: _ -> (
+            match
+              Cluster.Migrate.run ~src:eps.(1) ~dst:eps.(0) ~slot
+                ~nshards:shards ~nslots ~router ()
+            with
+            | Ok s -> mig_stats @ [ s ]
+            | Error e ->
+                failwith
+                  (Printf.sprintf "cluster: back-migrating slot %d: %s" slot e))
+      in
       (* Phase 3: the robustness window.  A migration's snapshot
          consumer can stall mid-ship (a slow target draining Cl_snap
          pages); the traversal's bracket then pins whatever the scheme
@@ -1825,6 +2057,9 @@ let cluster_run_one ~scheme_name ~structure_name ~nnodes ~seed ~churn ~nmig
         cr_snap_pages = sum (fun s -> s.Cluster.Migrate.mg_snap_pages);
         cr_catchup_records = sum (fun s -> s.Cluster.Migrate.mg_catchup_records);
         cr_catchup_rounds = sum (fun s -> s.Cluster.Migrate.mg_catchup_rounds);
+        cr_delta_ships =
+          List.length
+            (List.filter (fun s -> s.Cluster.Migrate.mg_delta) mig_stats);
         cr_snap_unr = snap_unr;
         cr_reboots = !reboots;
         cr_partitions = !partitions;
@@ -1867,9 +2102,9 @@ let run_cluster ~ds ~schemes ~nnodes ~seed ~smoke =
   List.iter
     (fun e -> Format.printf "   %s@." (Chaos.Fault.node_event_to_string e))
     plan;
-  Format.printf "%-18s %6s %7s %5s %7s %6s %5s %8s %7s %8s %4s %4s %3s@."
+  Format.printf "%-18s %6s %7s %5s %7s %6s %5s %8s %5s %7s %8s %4s %4s %3s@."
     "scheme" "Kops" "acked" "fail" "unavail" "moved" "shed" "snap-kvs"
-    "catchup" "snap-unr" "reb" "part" "ok";
+    "delta" "catchup" "snap-unr" "reb" "part" "ok";
   let problems = ref [] in
   let check c msg = if not c then problems := msg :: !problems in
   let has_kill =
@@ -1903,10 +2138,15 @@ let run_cluster ~ds ~schemes ~nnodes ~seed ~smoke =
       check
         ((not has_kill) || r.cr_reboots >= 1)
         (scheme_name ^ ": the plan's kill never rebooted a node");
-      Format.printf "%-18s %6.1f %7d %5d %7d %6d %5d %8d %7d %8d %4d %4d %3s@."
+      check (r.cr_delta_ships >= 1)
+        (scheme_name
+       ^ ": the back-migration shipped a full copy where the far side held \
+          the matching base (expected a delta chain)");
+      Format.printf
+        "%-18s %6.1f %7d %5d %7d %6d %5d %8d %5d %7d %8d %4d %4d %3s@."
         scheme_name r.cr_kops r.cr_acked r.cr_failed r.cr_unavailable
-        r.cr_moved r.cr_shed r.cr_snap_kvs r.cr_catchup_records r.cr_snap_unr
-        r.cr_reboots r.cr_partitions
+        r.cr_moved r.cr_shed r.cr_snap_kvs r.cr_delta_ships
+        r.cr_catchup_records r.cr_snap_unr r.cr_reboots r.cr_partitions
         (if r.cr_failed = 0 && r.cr_oracle_ok && r.cr_table_kept then "ok"
          else "DIV");
       cluster_emit ~phase:"route" ~scheme:scheme_name ~structure:structure_name
@@ -1927,6 +2167,7 @@ let run_cluster ~ds ~schemes ~nnodes ~seed ~smoke =
           ("snap_pages", float_of_int r.cr_snap_pages);
           ("catchup_records", float_of_int r.cr_catchup_records);
           ("catchup_rounds", float_of_int r.cr_catchup_rounds);
+          ("delta_ships", float_of_int r.cr_delta_ships);
         ];
       cluster_emit ~phase:"snapshot" ~scheme:scheme_name
         ~structure:structure_name ~nodes:nnodes
@@ -1987,13 +2228,13 @@ let run_cluster ~ds ~schemes ~nnodes ~seed ~smoke =
     Format.printf
       "cluster smoke ok: zero lost acks through live migration and node \
        faults, merged acked history oracle-identical, cutover record kept \
-       across reboot, snapshot-shipping backlog bounded only under the \
-       robust schemes@."
+       across reboot, back-migration shipped a delta chain, \
+       snapshot-shipping backlog bounded only under the robust schemes@."
 
 let rec dispatch figure ds paper threads duration active plot csv metrics_csv
     prom repeat dist schemes_arg head_backend shards_arg stalled_shards rate
     mixname churn mailbox_cap chaos_steps chaos_seed faults_arg bound smoke
-    transport nodes_arg =
+    transport nodes_arg snap_every delta =
   (* --head-backend: rebase every Hyaline entry of a sweep list onto
      the requested Head backend (dwcas|llsc|packed); baselines and
      schemes without that variant pass through unchanged. *)
@@ -2061,6 +2302,7 @@ let rec dispatch figure ds paper threads duration active plot csv metrics_csv
           | l -> l)
       in
       run_replicate ~sc ~ds ~schemes ~shards:shards_arg ~smoke ~plot
+        ~snap_every ~delta
   | "cluster" ->
       let schemes =
         rebase
@@ -2131,7 +2373,8 @@ let rec dispatch figure ds paper threads duration active plot csv metrics_csv
           dispatch f "hashmap" paper threads duration active plot csv
             metrics_csv prom repeat dist schemes_arg head_backend shards_arg
             stalled_shards rate mixname churn mailbox_cap chaos_steps
-            chaos_seed faults_arg bound smoke transport nodes_arg)
+            chaos_seed faults_arg bound smoke transport nodes_arg snap_every
+            delta)
         [
           "ablate-batch"; "ablate-slots"; "ablate-freq"; "ablate-spurious";
           "ablate-skew";
@@ -2401,6 +2644,26 @@ let nodes_arg =
     & info [ "nodes" ] ~docv:"N"
         ~doc:"(cluster) Daemon count in the consistent-hash ring.")
 
+let snap_every_arg =
+  Arg.(
+    value & opt int 0
+    & info [ "snap-every" ] ~docv:"N"
+        ~doc:
+          "(replicate) Snapshot every N acked rounds during the failover \
+           phase's pre-follower history (0 = only the single mid-history \
+           snapshot).  With $(b,--delta) the cadence publishes base+delta \
+           chains for recovery to bootstrap through.")
+
+let delta_arg =
+  Arg.(
+    value & flag
+    & info [ "delta" ]
+        ~doc:
+          "(replicate) Run primaries with dirty-set tracking and incremental \
+           snapshots, measure the delta-vs-full traversal amplification, and \
+           park a stalled reader inside a delta traversal for the robustness \
+           contrast.")
+
 let cmd =
   let doc =
     "Regenerate the tables and figures of 'Hyaline: Fast and Transparent \
@@ -2413,6 +2676,6 @@ let cmd =
       $ plot $ csv $ metrics_csv $ prom $ repeat $ dist $ schemes_arg
       $ head_backend_arg $ shards_arg $ stalled_shards $ rate $ mixname
       $ churn $ mailbox_cap $ chaos_steps $ chaos_seed $ faults_arg $ bound
-      $ smoke $ transport_arg $ nodes_arg)
+      $ smoke $ transport_arg $ nodes_arg $ snap_every_arg $ delta_arg)
 
 let () = exit (Cmd.eval cmd)

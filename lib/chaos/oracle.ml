@@ -59,7 +59,7 @@ let apply model req =
           Hashtbl.replace model key desired;
           Cas_ok)
   | Rep_info | Rep_pull _ | Cl_info | Cl_grant _ | Cl_freeze _ | Cl_release _
-  | Cl_snap _ | Cl_apply _ ->
+  | Cl_snap _ | Cl_apply _ | Cl_base _ | Cl_purge _ ->
       (* Replication/cluster-control opcodes never reach the data path
          in a correct run; treat one as a divergence-visible error. *)
       Error "oracle: control request in acked history"

@@ -6,9 +6,13 @@ module Codec = Service.Codec
 type stats = {
   mg_slot : int;
   mg_snap_kvs : int;
+  mg_snap_tombs : int;
   mg_snap_pages : int;
+  mg_snap_bytes : int;
   mg_catchup_records : int;
   mg_catchup_rounds : int;
+  mg_catchup_bytes : int;
+  mg_delta : bool;
   mg_version : int;
 }
 
@@ -19,8 +23,10 @@ let key_of_mutation = function
   | Codec.Unset key -> key
 
 (* Ship a batch of records to the target, [cl_apply_max] at a time.
-   [Cl_ok] certifies WAL durability at the target. *)
-let ship dst records =
+   [Cl_ok] certifies WAL durability at the target.  [bytes], when
+   given, accumulates the exact wire size of the Cl_apply requests —
+   the shipped-volume gauge. *)
+let ship ?bytes dst records =
   let rec go = function
     | [] -> Ok ()
     | records ->
@@ -30,7 +36,14 @@ let ship dst records =
           | r :: rest -> take (n - 1) (r :: acc) rest
         in
         let batch, rest = take Codec.cl_apply_max [] records in
-        (match Router.endpoint_call dst (Codec.Cl_apply { records = batch }) with
+        let req = Codec.Cl_apply { records = batch } in
+        (match bytes with
+        | Some b ->
+            let scratch = Buffer.create 256 in
+            Codec.encode_request scratch req;
+            b := !b + Buffer.length scratch
+        | None -> ());
+        (match Router.endpoint_call dst req with
         | Codec.Cl_ok -> Ok ()
         | Codec.Error e -> Error ("cl_apply: " ^ e)
         | r -> Error ("cl_apply: unexpected " ^ Codec.reply_to_string r))
@@ -51,47 +64,56 @@ let transient_snap_error e =
   at 0
 
 (* Page the source's bracket-protected traversal of (slot, shard) and
-   ingest every page at the target.  Returns the stamp seq plus page
-   and binding counts.  A transient "traversal already running" (an
-   in-process reader holds the shard's snapshot slot) retries
-   briefly; every other error fails fast. *)
-let snapshot_ship ~src ~dst ~slot ~shard =
+   ingest every page at the target.  [base] is the target's handoff
+   token (0 = none): when the source recognizes it, pages carry only
+   the keys dirtied since the target last held the slot, deletions as
+   tombstones, with the [delta] flag up.  [on_mode] fires once, after
+   the cursor-0 reply reveals which mode the source chose and BEFORE
+   anything ships — the driver's purge-on-full hook.  Returns the
+   stamp seq plus binding/tombstone/page counts and the mode.  A
+   transient "traversal already running" (an in-process reader holds
+   the shard's snapshot slot) retries briefly; every other error
+   fails fast. *)
+let snapshot_ship ?(base = 0) ?(on_mode = fun _ -> Ok ()) ?bytes ~src ~dst
+    ~slot ~shard () =
+  let page_req cursor =
+    Codec.Cl_snap { slot; shard; cursor; max = Codec.cl_snap_max; base }
+  in
   let rec start tries =
-    match
-      Router.endpoint_call src
-        (Codec.Cl_snap { slot; shard; cursor = 0; max = Codec.cl_snap_max })
-    with
-    | Codec.Cl_snap_batch { seq; next; kvs } -> Ok (seq, next, kvs)
+    match Router.endpoint_call src (page_req 0) with
+    | Codec.Cl_snap_batch { seq; next; kvs; tombs; delta } ->
+        Ok (seq, next, kvs, tombs, delta)
     | Codec.Error e when tries > 0 && transient_snap_error e ->
         Unix.sleepf 0.002;
         start (tries - 1)
     | Codec.Error e -> Error ("cl_snap: " ^ e)
     | r -> Error ("cl_snap: unexpected " ^ Codec.reply_to_string r)
   in
-  let* stamp, first_next, first_kvs = start 250 in
-  let rec pages acc_kvs acc_pages cursor kvs =
-    let* () =
-      if kvs = [] then Ok ()
-      else
-        ship dst (List.map (fun (k, v) -> (0, Codec.Set { key = k; value = v })) kvs)
+  let* stamp, first_next, first_kvs, first_tombs, delta = start 250 in
+  let* () = on_mode delta in
+  let rec pages acc_kvs acc_tombs acc_pages cursor kvs tombs =
+    let records =
+      List.map (fun (k, v) -> (0, Codec.Set { key = k; value = v })) kvs
+      @ List.map (fun k -> (0, Codec.Unset k)) tombs
     in
-    let acc_kvs = acc_kvs + List.length kvs and acc_pages = acc_pages + 1 in
-    if cursor < 0 then Ok (stamp, acc_kvs, acc_pages)
+    let* () = if records = [] then Ok () else ship ?bytes dst records in
+    let acc_kvs = acc_kvs + List.length kvs
+    and acc_tombs = acc_tombs + List.length tombs
+    and acc_pages = acc_pages + 1 in
+    if cursor < 0 then Ok (stamp, acc_kvs, acc_tombs, acc_pages, delta)
     else
-      match
-        Router.endpoint_call src
-          (Codec.Cl_snap { slot; shard; cursor; max = Codec.cl_snap_max })
-      with
-      | Codec.Cl_snap_batch { next; kvs; _ } -> pages acc_kvs acc_pages next kvs
+      match Router.endpoint_call src (page_req cursor) with
+      | Codec.Cl_snap_batch { next; kvs; tombs; _ } ->
+          pages acc_kvs acc_tombs acc_pages next kvs tombs
       | Codec.Error e -> Error ("cl_snap page: " ^ e)
       | r -> Error ("cl_snap page: unexpected " ^ Codec.reply_to_string r)
   in
-  pages 0 0 first_next first_kvs
+  pages 0 0 0 first_next first_kvs first_tombs
 
 (* One catch-up round: advance every shard's pull cursor to its
    current committed seq, shipping the slot's records.  Returns how
    many slot records this round shipped. *)
-let catchup_round ~src ~dst ~slot ~nslots ~nshards pulled =
+let catchup_round ?bytes ~src ~dst ~slot ~nslots ~nshards pulled =
   let* committed =
     match Router.endpoint_call src Codec.Rep_info with
     | Codec.Rep_state c -> Ok c
@@ -118,7 +140,7 @@ let catchup_round ~src ~dst ~slot ~nslots ~nshards pulled =
                   records
               in
               shipped := !shipped + List.length mine;
-              if mine = [] then Ok () else ship dst mine
+              if mine = [] then Ok () else ship ?bytes dst mine
             in
             pulled.(shard) <-
               (match records with
@@ -130,24 +152,78 @@ let catchup_round ~src ~dst ~slot ~nslots ~nshards pulled =
     in
     shard_loop 0
 
-let run ~src ~dst ~slot ~nshards ?(nslots = Ring.default_nslots) ?router () =
+let run ~src ~dst ~slot ~nshards ?(nslots = Ring.default_nslots) ?router
+    ?recorder () =
   let dst_id = Router.endpoint_id dst in
+  (* Phase 0: the target's handoff token, if it ever held this slot.
+     Matching is the source's call; the driver only threads it. *)
+  let* base =
+    match Router.endpoint_call dst (Codec.Cl_base { slot }) with
+    | Codec.Cl_token { token } -> Ok token
+    | Codec.Error e -> Error ("cl_base: " ^ e)
+    | r -> Error ("cl_base: unexpected " ^ Codec.reply_to_string r)
+  in
+  let snap_bytes = ref 0 and catchup_bytes = ref 0 in
+  (* Mode is decided by the source at the first cursor-0 reply and
+     must hold for the whole migration: a full ship purges the
+     target's stale copy of the slot BEFORE anything lands (a full
+     snapshot carries no tombstones, so stale keys would otherwise
+     resurrect), while a delta ship must NOT purge — the stale copy
+     is the base it extends.  A mid-migration flip (the slot's dirty
+     set overflowing between shards) aborts: rerunning restarts
+     cleanly in full mode. *)
+  let mode = ref None in
+  let purge_dst () =
+    let rec go tries =
+      match Router.endpoint_call dst (Codec.Cl_purge { slot }) with
+      | Codec.Cl_ok -> Ok ()
+      | Codec.Error e when tries > 0 && transient_snap_error e ->
+          Unix.sleepf 0.002;
+          go (tries - 1)
+      | Codec.Error e -> Error ("cl_purge: " ^ e)
+      | r -> Error ("cl_purge: unexpected " ^ Codec.reply_to_string r)
+    in
+    go 250
+  in
+  let on_mode shard delta =
+    match !mode with
+    | None ->
+        mode := Some delta;
+        if delta then Ok () else purge_dst ()
+    | Some m when m = delta -> Ok ()
+    | Some _ ->
+        Error
+          (Printf.sprintf
+             "cl_snap: shard %d switched ship mode mid-migration (slot dirty \
+              set overflowed?); rerun the migration"
+             shard)
+  in
   (* Phase 1: per-shard snapshot bootstrap; record each stamp. *)
   let pulled = Array.make nshards 0 in
-  let rec boot shard kvs pages =
-    if shard >= nshards then Ok (kvs, pages)
+  let rec boot shard kvs tombs pages =
+    if shard >= nshards then Ok (kvs, tombs, pages)
     else
-      let* stamp, k, p = snapshot_ship ~src ~dst ~slot ~shard in
+      let* stamp, k, tb, p =
+        let* stamp, k, tb, p, _delta =
+          snapshot_ship ~base ~on_mode:(on_mode shard) ~bytes:snap_bytes ~src
+            ~dst ~slot ~shard ()
+        in
+        Ok (stamp, k, tb, p)
+      in
       pulled.(shard) <- stamp;
-      boot (shard + 1) (kvs + k) (pages + p)
+      boot (shard + 1) (kvs + k) (tombs + tb) (pages + p)
   in
-  let* snap_kvs, snap_pages = boot 0 0 0 in
+  let* snap_kvs, snap_tombs, snap_pages = boot 0 0 0 0 in
+  let delta = match !mode with Some d -> d | None -> false in
   (* Phase 2: catch-up under load until a round ships nothing — the
      live tail is then one in-flight window wide. *)
   let rounds = ref 0 and cr = ref 0 in
   let rec drain () =
     incr rounds;
-    let* n = catchup_round ~src ~dst ~slot ~nslots ~nshards pulled in
+    let* n =
+      catchup_round ~bytes:catchup_bytes ~src ~dst ~slot ~nslots ~nshards
+        pulled
+    in
     cr := !cr + n;
     if n > 0 && !rounds < 10_000 then drain () else Ok ()
   in
@@ -189,7 +265,10 @@ let run ~src ~dst ~slot ~nshards ?(nslots = Ring.default_nslots) ?router () =
     else if attempts <= 0 then Error "final drain: watermark not reached"
     else begin
       incr rounds;
-      let* n = catchup_round ~src ~dst ~slot ~nslots ~nshards pulled in
+      let* n =
+        catchup_round ~bytes:catchup_bytes ~src ~dst ~slot ~nslots ~nshards
+          pulled
+      in
       cr := !cr + n;
       final_drain (attempts - 1)
     end
@@ -200,8 +279,17 @@ let run ~src ~dst ~slot ~nshards ?(nslots = Ring.default_nslots) ?router () =
     | Codec.Cl_state { version; _ } -> Ok version
     | r -> Error ("cl_info: unexpected " ^ Codec.reply_to_string r)
   in
+  (* The freeze minted the source's handoff token; the grant hands it
+     to the new owner as its acquisition token, arming a future
+     delta-ship back. *)
+  let* token =
+    match Router.endpoint_call src (Codec.Cl_base { slot }) with
+    | Codec.Cl_token { token } -> Ok token
+    | Codec.Error e -> Error ("cl_base: " ^ e)
+    | r -> Error ("cl_base: unexpected " ^ Codec.reply_to_string r)
+  in
   let* () =
-    match Router.endpoint_call dst (Codec.Cl_grant { slot; version }) with
+    match Router.endpoint_call dst (Codec.Cl_grant { slot; version; token }) with
     | Codec.Cl_ok -> Ok ()
     | r -> Error ("cl_grant: unexpected " ^ Codec.reply_to_string r)
   in
@@ -213,12 +301,31 @@ let run ~src ~dst ~slot ~nshards ?(nslots = Ring.default_nslots) ?router () =
   (match router with
   | Some rt -> Router.note_owner rt ~slot ~node:dst_id
   | None -> ());
+  (match recorder with
+  | Some rec_ ->
+      let g name v =
+        Obs.Recorder.set_gauge rec_ ~name:("cluster/migrate/" ^ name) v
+      in
+      g "slot" slot;
+      g "delta" (if delta then 1 else 0);
+      g "snap_kvs" snap_kvs;
+      g "snap_tombs" snap_tombs;
+      g "snap_pages" snap_pages;
+      g "snap_bytes" !snap_bytes;
+      g "catchup_records" !cr;
+      g "catchup_rounds" !rounds;
+      g "catchup_bytes" !catchup_bytes
+  | None -> ());
   Ok
     {
       mg_slot = slot;
       mg_snap_kvs = snap_kvs;
+      mg_snap_tombs = snap_tombs;
       mg_snap_pages = snap_pages;
+      mg_snap_bytes = !snap_bytes;
       mg_catchup_records = !cr;
       mg_catchup_rounds = !rounds;
+      mg_catchup_bytes = !catchup_bytes;
+      mg_delta = delta;
       mg_version = version;
     }

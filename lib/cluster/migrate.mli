@@ -40,9 +40,13 @@
 type stats = {
   mg_slot : int;
   mg_snap_kvs : int;  (** bindings shipped in the bootstrap phase *)
+  mg_snap_tombs : int;  (** tombstones shipped (delta mode only) *)
   mg_snap_pages : int;
+  mg_snap_bytes : int;  (** wire bytes of the bootstrap Cl_apply calls *)
   mg_catchup_records : int;  (** slot records shipped from the WALs *)
   mg_catchup_rounds : int;
+  mg_catchup_bytes : int;  (** wire bytes of the catch-up Cl_apply calls *)
+  mg_delta : bool;  (** the bootstrap shipped a delta, not a full copy *)
   mg_version : int;  (** ownership-table version after the grant *)
 }
 
@@ -53,10 +57,26 @@ val run :
   nshards:int ->
   ?nslots:int ->
   ?router:Router.t ->
+  ?recorder:Obs.Recorder.t ->
   unit ->
   (stats, string) result
 (** Migrate [slot] from [src] to [dst] while both serve load.
     [nshards] is the source's shard count (each shard snapshots
     independently).  [router], when given, learns the new owner
     immediately after the grant (staleness would self-correct through
-    [Moved], at the cost of redirects). *)
+    [Moved], at the cost of redirects).
+
+    {b Delta bootstrap.}  Phase 0 asks the target for its handoff
+    token ([Cl_base]) and threads it through every [Cl_snap]; if the
+    source recognizes it (the target's copy is exactly the source's
+    acquisition base — see {!Node}), the bootstrap ships only the
+    keys dirtied since, deletions as tombstones.  Otherwise the
+    driver purges the slot at the target ([Cl_purge], before anything
+    ships) and runs the always-correct full copy.  After the freeze,
+    the source's freshly-minted token rides the final [Cl_grant], so
+    a later migration back can ship a delta.  A mode flip {e during}
+    the bootstrap (the slot's dirty set overflowing between shards)
+    aborts with an error; rerunning restarts cleanly in full mode.
+
+    [recorder], when given, receives [cluster/migrate/*] gauges —
+    shipped kvs/tombstones/pages/bytes per phase and the delta flag. *)

@@ -3,7 +3,11 @@
 
 module Codec = Service.Codec
 
-type cache = { sc_seq : int; sc_kvs : (int * int) array }
+type cache = {
+  sc_seq : int;
+  sc_entries : (int * int option) array;  (* None = tombstone *)
+  sc_delta : bool;
+}
 
 type t = {
   n_id : int;
@@ -21,6 +25,23 @@ type t = {
          through each *)
   n_quiesce_timeout : float;
   n_snaps : (int * int, cache) Hashtbl.t;  (* (slot, shard) -> page cache *)
+  (* Handoff tokens, the delta-ship handshake (see node.mli).  Both
+     are in-memory only: a reboot forgets them, and the token
+     mismatch then forces the always-correct full ship. *)
+  n_handoff : int array;
+      (* token minted when THIS node last froze the slot away; what
+         [Cl_base] answers.  0 = never handed off (or rebooted). *)
+  n_acq : int array;
+      (* token this node received when granted the slot; a [Cl_snap]
+         whose [base] equals it may be served as a delta.  0 = the
+         slot was not acquired via a tokened grant. *)
+  n_slot_dirty : Replica.Dirty.t array;
+      (* per-slot write set since acquisition, fed by the primary's
+         mutation tap.  Stable — never swapped or sealed: writes stop
+         at freeze (the admit filter bounces them), so by the time a
+         delta is served the set is quiescent.  Replaced wholesale at
+         the next grant. *)
+  n_slot_dirty_cap : int;
   n_lock : Mutex.t;
 }
 
@@ -82,7 +103,7 @@ let barrier_keys svc =
   keys
 
 let create ~node_id ?(nslots = Ring.default_nslots) ?(quiesce_timeout = 5.0)
-    ~owners ~apply_tid primary =
+    ?(slot_dirty_cap = 1 lsl 14) ~owners ~apply_tid primary =
   if Array.length owners <> nslots then
     invalid_arg "Node.create: owners length <> nslots";
   let svc = primary.Replica.Primary.svc in
@@ -104,9 +125,26 @@ let create ~node_id ?(nslots = Ring.default_nslots) ?(quiesce_timeout = 5.0)
       n_barrier_keys = barrier_keys svc;
       n_quiesce_timeout = quiesce_timeout;
       n_snaps = Hashtbl.create 8;
+      n_handoff = Array.make nslots 0;
+      n_acq = Array.make nslots 0;
+      n_slot_dirty = Array.make nslots Replica.Dirty.none;
+      n_slot_dirty_cap = slot_dirty_cap;
       n_lock = Mutex.create ();
     }
   in
+  (* Per-slot write tracking: every applied mutation records its key
+     in the key's slot set.  [Dirty.none] slots (never acquired via a
+     tokened grant) make this one equality check; the seal-retry
+     return value is irrelevant here because slot sets are never
+     sealed. *)
+  Replica.Primary.set_tap primary (fun ~shard:_ m ->
+      let key =
+        match m with Codec.Set { key; _ } -> key | Codec.Unset key -> key
+      in
+      ignore
+        (Replica.Dirty.add
+           t.n_slot_dirty.(Ring.slot_of_key ~nslots:t.n_nslots key)
+           ~key));
   (* The authoritative ownership check: executed by each shard
      consumer in the same serial stream as the mutations it gates, so
      it cannot go stale between check and execution the way the
@@ -235,9 +273,19 @@ let quiesce t =
 
 (* ------------------------------------------------------------------ *)
 (* Snapshot shipping: cursor 0 stamps committed-before-traversal and
-   caches the slot's bindings; later cursors page the cache. *)
+   caches the slot's entries; later cursors page the cache.
 
-let snap_page t ~slot ~shard ~cursor ~max =
+   Delta mode: when the requester's [base] token matches what this
+   node was granted ([n_acq]) and the slot's dirty set is usable, the
+   traversal visits only the keys mutated since acquisition — cost
+   proportional to the slot's write rate — and deleted keys page out
+   as tombstones.  Any mismatch (reboot cleared the tokens, an
+   intermediate owner, overflow) silently degrades to the full
+   traversal; the [delta] flag in each batch tells the driver which
+   one it is getting, and the driver purges the target first only for
+   full ships. *)
+
+let snap_page t ~slot ~shard ~cursor ~max ~base =
   let prim = t.n_primary in
   let svc = prim.Replica.Primary.svc in
   if shard < 0 || shard >= svc.Service.Shard.nshards then
@@ -252,20 +300,48 @@ let snap_page t ~slot ~shard ~cursor ~max =
            snapshot might miss has seq > sc_seq, so catch-up pulls
            resuming after the stamp re-apply it absolutely. *)
         let seq = Replica.Wal.committed_seq prim.Replica.Primary.wals.(shard) in
-        match
-          svc.Service.Shard.snapshot ~shard ~gate:(fun _ -> ())
-        with
-        | exception Invalid_argument _ -> None  (* a traversal is live *)
-        | kvs ->
-            let kvs =
-              List.filter
-                (fun (k, _) -> Ring.slot_of_key ~nslots:t.n_nslots k = slot)
-                kvs
-              |> Array.of_list
-            in
-            let c = { sc_seq = seq; sc_kvs = kvs } in
-            Hashtbl.replace t.n_snaps key c;
-            Some c
+        let d = t.n_slot_dirty.(slot) in
+        let delta_ok =
+          base <> 0
+          && base = t.n_acq.(slot)
+          && (not (Replica.Dirty.is_none d))
+          && not (Replica.Dirty.overflowed d)
+        in
+        if delta_ok then begin
+          let keys =
+            Replica.Dirty.elements d
+            |> List.filter (fun k -> svc.Service.Shard.shard_of_key k = shard)
+            |> List.sort_uniq compare
+          in
+          match svc.Service.Shard.snapshot_keys ~shard ~keys ~gate:(fun _ -> ())
+          with
+          | exception Invalid_argument _ -> None  (* a traversal is live *)
+          | entries ->
+              let c =
+                {
+                  sc_seq = seq;
+                  sc_entries = Array.of_list entries;
+                  sc_delta = true;
+                }
+              in
+              Hashtbl.replace t.n_snaps key c;
+              Some c
+        end
+        else begin
+          match svc.Service.Shard.snapshot ~shard ~gate:(fun _ -> ()) with
+          | exception Invalid_argument _ -> None  (* a traversal is live *)
+          | kvs ->
+              let entries =
+                List.filter
+                  (fun (k, _) -> Ring.slot_of_key ~nslots:t.n_nslots k = slot)
+                  kvs
+                |> List.map (fun (k, v) -> (k, Some v))
+                |> Array.of_list
+              in
+              let c = { sc_seq = seq; sc_entries = entries; sc_delta = false } in
+              Hashtbl.replace t.n_snaps key c;
+              Some c
+        end
       end
       else Hashtbl.find_opt t.n_snaps key
     in
@@ -274,18 +350,60 @@ let snap_page t ~slot ~shard ~cursor ~max =
         if cursor = 0 then Codec.Error "cl_snap: traversal already running"
         else Codec.Error "cl_snap: no cached traversal (cursor without start)"
     | Some c ->
-        let len = Array.length c.sc_kvs in
+        let len = Array.length c.sc_entries in
         if cursor < 0 || cursor > len then Codec.Error "cl_snap: bad cursor"
         else begin
           let n =
             min (if max <= 0 then Codec.cl_snap_max else min max Codec.cl_snap_max)
               (len - cursor)
           in
-          let kvs = Array.to_list (Array.sub c.sc_kvs cursor n) in
+          let page = Array.to_list (Array.sub c.sc_entries cursor n) in
+          let kvs =
+            List.filter_map (fun (k, v) -> Option.map (fun v -> (k, v)) v) page
+          in
+          let tombs =
+            List.filter_map (fun (k, v) -> if v = None then Some k else None) page
+          in
           let next = if cursor + n >= len then -1 else cursor + n in
-          Codec.Cl_snap_batch { seq = c.sc_seq; next; kvs }
+          Codec.Cl_snap_batch
+            { seq = c.sc_seq; next; kvs; tombs; delta = c.sc_delta }
         end
   end
+
+(* ------------------------------------------------------------------ *)
+(* Slot purge: delete every key of the slot through the normal ingest
+   path, so the deletions are WAL-durable like any other mutation.
+   The driver runs this on the TARGET before a full ship — a full
+   snapshot carries no tombstones, so without the purge a key deleted
+   at the source since the target's last tenure (or surviving in the
+   target's rebooted store) would resurrect after cutover. *)
+
+let purge_slot t ~slot =
+  let svc = t.n_primary.Replica.Primary.svc in
+  let result = ref Codec.Cl_ok in
+  (try
+     for shard = 0 to svc.Service.Shard.nshards - 1 do
+       let victims =
+         svc.Service.Shard.snapshot ~shard ~gate:(fun _ -> ())
+         |> List.filter (fun (k, _) ->
+                Ring.slot_of_key ~nslots:t.n_nslots k = slot)
+       in
+       if victims <> [] then begin
+         match
+           apply_records t
+             (List.map (fun (k, _) -> (0, Codec.Unset k)) victims)
+         with
+         | Codec.Cl_ok -> ()
+         | r ->
+             result := r;
+             raise Exit
+       end
+     done
+   with
+  | Exit -> ()
+  | Invalid_argument _ ->
+      result := Codec.Error "cl_purge: traversal already running");
+  !result
 
 (* ------------------------------------------------------------------ *)
 
@@ -298,7 +416,8 @@ let snap_page t ~slot ~shard ~cursor ~max =
    inline — it is two atomic loads. *)
 let deferrable = function
   | Codec.Cl_info | Codec.Cl_grant _ | Codec.Cl_freeze _ | Codec.Cl_release _
-  | Codec.Cl_snap _ | Codec.Cl_apply _ | Codec.Rep_info | Codec.Rep_pull _ ->
+  | Codec.Cl_snap _ | Codec.Cl_apply _ | Codec.Cl_base _ | Codec.Cl_purge _
+  | Codec.Rep_info | Codec.Rep_pull _ ->
       true
   | _ -> false
 
@@ -322,12 +441,26 @@ let handle t req =
                  node = t.n_id;
                  owners = Array.map Atomic.get t.n_owners;
                }))
-  | Codec.Cl_grant { slot; version } ->
+  | Codec.Cl_grant { slot; version; token } ->
       Some
         (with_lock t (fun () ->
              if slot < 0 || slot >= t.n_nslots then
                Codec.Error "cl_grant: slot out of range"
              else begin
+               (* Acquisition tracking BEFORE the ownership flip: the
+                  fresh dirty set must be in place when the first
+                  admitted write's tap fires, or that key would be
+                  missing from the next delta this node serves.  A
+                  tokenless grant (token 0) disables delta service
+                  from this tenure. *)
+               t.n_acq.(slot) <- token;
+               t.n_slot_dirty.(slot) <-
+                 (if token <> 0 then
+                    Replica.Dirty.create ~cap:t.n_slot_dirty_cap
+                  else Replica.Dirty.none);
+               (* This node is owner again: any token it minted for a
+                  past handoff no longer describes anyone's base. *)
+               t.n_handoff.(slot) <- 0;
                Atomic.set t.n_owners.(slot) t.n_id;
                t.n_version <- max t.n_version version;
                (* Durable before the ack: the cutover record. *)
@@ -348,7 +481,15 @@ let handle t req =
                   barrier flushes what is already inside the service.
                   Only after both does the ack fire — see [quiesce]
                   for why ack then bounds the slot's acked writes. *)
-               if quiesce t then Codec.Cl_ok
+               if quiesce t then begin
+                 (* Mint the handoff token: this node's state as of
+                    the freeze, which the grantee will record as its
+                    base.  A later migration back to this node may
+                    then ship only the delta since this moment. *)
+                 t.n_handoff.(slot) <-
+                   (t.n_id lsl 32) lor (t.n_version land 0xFFFFFFFF);
+                 Codec.Cl_ok
+               end
                else begin
                  (* A stalled or dead consumer kept a barrier from
                     landing within the budget: un-flip so the slot
@@ -368,7 +509,19 @@ let handle t req =
                (fun (s, sh) _ -> if s = slot then Hashtbl.remove t.n_snaps (s, sh))
                (Hashtbl.copy t.n_snaps);
              Codec.Cl_ok))
-  | Codec.Cl_snap { slot; shard; cursor; max } ->
-      Some (with_lock t (fun () -> snap_page t ~slot ~shard ~cursor ~max))
+  | Codec.Cl_base { slot } ->
+      Some
+        (with_lock t (fun () ->
+             if slot < 0 || slot >= t.n_nslots then
+               Codec.Error "cl_base: slot out of range"
+             else Codec.Cl_token { token = t.n_handoff.(slot) }))
+  | Codec.Cl_purge { slot } ->
+      Some
+        (with_lock t (fun () ->
+             if slot < 0 || slot >= t.n_nslots then
+               Codec.Error "cl_purge: slot out of range"
+             else purge_slot t ~slot))
+  | Codec.Cl_snap { slot; shard; cursor; max; base } ->
+      Some (with_lock t (fun () -> snap_page t ~slot ~shard ~cursor ~max ~base))
   | Codec.Cl_apply { records } ->
       Some (with_lock t (fun () -> apply_records t records))

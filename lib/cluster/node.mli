@@ -45,7 +45,25 @@
     before} traversing (catch-up resumes after that seq — the fuzzy
     snapshot + absolute-replay convergence argument from
     lib/replica), caches the result, and later cursors page it out in
-    {!Service.Codec.cl_snap_max} chunks. *)
+    {!Service.Codec.cl_snap_max} chunks.
+
+    {b Delta shipping (the handoff-token handshake).}  A successful
+    [Cl_freeze] mints an in-memory {e handoff token} for the slot
+    (answered by [Cl_base]); the driver threads it into the final
+    [Cl_grant], and the grantee records it as its {e acquisition
+    token} and starts a per-slot dirty set fed by the primary's
+    mutation tap — installed {e before} the ownership flip, so every
+    write this tenure admits is tracked.  When the slot later
+    migrates back, the driver reads the target's [Cl_base] token and
+    passes it as [Cl_snap]'s [base]: if it equals the source's
+    acquisition token, the source's copy diverged from the target's
+    exactly by its dirty set, and the ship pages only those keys —
+    deletions as tombstones, the batch's [delta] flag up.  Any
+    mismatch (a reboot cleared the in-memory tokens, an intermediate
+    owner, dirty-set overflow) silently degrades to the full
+    traversal, for which the driver first purges the slot at the
+    target ([Cl_purge], normal-ingest deletions, WAL-durable) so
+    stale prior-tenure keys cannot resurrect. *)
 
 type t
 
@@ -53,6 +71,7 @@ val create :
   node_id:int ->
   ?nslots:int ->
   ?quiesce_timeout:float ->
+  ?slot_dirty_cap:int ->
   owners:int array ->
   apply_tid:int ->
   Replica.Primary.t ->
@@ -65,10 +84,14 @@ val create :
     under; reserve it for the node (in particular it must differ from
     the evloop backend's [evloop_tid]), because the admission filter
     exempts it.  [quiesce_timeout] (seconds, default 5) bounds the
-    [Cl_freeze] barrier wait.  Installs the node's admission filter
-    on the primary's service ({!Service.Shard.t.set_admit}) — wire
-    the node before serving traffic.  @raise Invalid_argument on a
-    table/[nslots] length mismatch. *)
+    [Cl_freeze] barrier wait.  [slot_dirty_cap] (default 16384)
+    bounds each per-slot dirty set; past half occupancy it poisons
+    and the slot's next outbound ship degrades to full.  Installs the
+    node's admission filter on the primary's service
+    ({!Service.Shard.t.set_admit}) {e and} its mutation tap
+    ({!Replica.Primary.set_tap}) — wire the node before serving
+    traffic.  @raise Invalid_argument on a table/[nslots] length
+    mismatch. *)
 
 val handle : t -> Service.Codec.request -> Service.Codec.reply option
 (** The [ext] handler described above.  Control ops serialize on an

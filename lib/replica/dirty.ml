@@ -1,0 +1,128 @@
+(* Lock-free fixed-capacity dirty-key set: the write-rate tracker
+   behind incremental snapshots.  Writers are shard consumers calling
+   from the hot mutation path, so the structure is a plain
+   open-addressed CAS table with no locks, no allocation per add, and
+   a distinguished [none] instance recognized by physical equality —
+   the same zero-cost-when-off discipline as [Shard.no_hook].
+
+   Snapshot handoff protocol (the seal): the snapshotter atomically
+   swaps a fresh set into the producer-visible cell, seals the old
+   one, then iterates it.  A writer that raced the swap — read the old
+   set before the exchange, inserted after — observes [sealed] on its
+   way out of [add], gets [false], and retries against the cell (now
+   holding the fresh set).  Sealing BEFORE iterating is what makes the
+   iteration complete: every insert that did not land before the seal
+   is re-routed to the new set, so a key is never lost between two
+   deltas.
+
+   Overflow is a poison flag, not an error: past [cap/2] occupancy (or
+   a failed probe) the set stops being trustworthy as a complete
+   record of the write set, and the snapshotter falls back to a full
+   traversal.  The flag is sticky and survives merge-backs. *)
+
+type t = {
+  slots : int Atomic.t array;  (* key+1; 0 = empty *)
+  mask : int;
+  count : int Atomic.t;
+  sealed : bool Atomic.t;
+  overflow : bool Atomic.t;
+}
+
+let none =
+  {
+    slots = [||];
+    mask = 0;
+    count = Atomic.make 0;
+    sealed = Atomic.make false;
+    overflow = Atomic.make false;
+  }
+
+let is_none t = t == none
+
+let create ~cap =
+  if cap < 2 then invalid_arg "Dirty.create: cap < 2";
+  (* Round up to a power of two so probing can mask. *)
+  let c = ref 1 in
+  while !c < cap do
+    c := !c * 2
+  done;
+  {
+    slots = Array.init !c (fun _ -> Atomic.make 0);
+    mask = !c - 1;
+    count = Atomic.make 0;
+    sealed = Atomic.make false;
+    overflow = Atomic.make false;
+  }
+
+let capacity t = Array.length t.slots
+let overflowed t = Atomic.get t.overflow
+let poison t = if not (is_none t) then Atomic.set t.overflow true
+
+(* SplitMix finalizer, as the shard router uses: adjacent keys must
+   not chain in the probe sequence. *)
+let mix k =
+  let h = k * 0x2545F4914F6CDD1D in
+  let h = h lxor (h lsr 29) in
+  let h = h * 0x1E3779B97F4A7C15 in
+  (h lxor (h lsr 32)) land max_int
+
+(* Record [key] as dirty.  Returns [false] iff the set was sealed by
+   the time the insert (or its abandonment) completed — the caller
+   must then re-read its cell and retry, because this set's iteration
+   may not include the key.  Keys must be non-negative (the service
+   key space); a negative key poisons the set, which is safe: the
+   snapshotter falls back to a full traversal. *)
+let add t ~key =
+  if is_none t then true
+  else if key < 0 then begin
+    Atomic.set t.overflow true;
+    not (Atomic.get t.sealed)
+  end
+  else if Atomic.get t.overflow then
+    (* Poisoned: the next snapshot is a full traversal regardless of
+       what this set holds, so recording more keys is pure waste — and
+       on a full table every insert would probe all [cap] slots.  The
+       seal answer still matters (the caller's retry protocol). *)
+    not (Atomic.get t.sealed)
+  else begin
+    let stored = key + 1 in
+    let n = Array.length t.slots in
+    let rec probe i left =
+      if left = 0 then
+        (* Table full: poison — the set is no longer a complete record. *)
+        Atomic.set t.overflow true
+      else
+        let cell = t.slots.(i land t.mask) in
+        let cur = Atomic.get cell in
+        if cur = stored then ()
+        else if cur = 0 then begin
+          if Atomic.compare_and_set cell 0 stored then begin
+            let c = Atomic.fetch_and_add t.count 1 in
+            if c + 1 > n / 2 then Atomic.set t.overflow true
+          end
+          else probe i left  (* lost the slot: re-read it *)
+        end
+        else probe (i + 1) (left - 1)
+    in
+    probe (mix key) n;
+    (* Check AFTER the insert: an insert that completed before the
+       seal is covered by the sealing iterator; one that completed
+       after might not be, so report it for retry. *)
+    not (Atomic.get t.sealed)
+  end
+
+let seal t = if not (is_none t) then Atomic.set t.sealed true
+
+let iter t f =
+  Array.iter
+    (fun cell ->
+      let v = Atomic.get cell in
+      if v <> 0 then f (v - 1))
+    t.slots
+
+let elements t =
+  let acc = ref [] in
+  iter t (fun k -> acc := k :: !acc);
+  !acc
+
+let count t = Atomic.get t.count

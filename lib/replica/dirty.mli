@@ -1,0 +1,64 @@
+(** Lock-free fixed-capacity dirty-key set: tracks which keys a shard
+    mutated since the last published snapshot, so a delta snapshot
+    visits the write set instead of the whole map.
+
+    Writers ride the {!Service.Shard.ack_hook} mutation funnel (the
+    hot path), so adds are allocation-free CAS inserts into an
+    open-addressed table.  The distinguished {!none} instance — tested
+    by physical equality — makes tracking zero-cost when off, the same
+    discipline as [Shard.no_hook] / [Shard.admit_all].
+
+    {b Handoff (why the seal exists).}  The snapshotter publishes the
+    producer-visible set in an [Atomic.t] cell.  At snapshot start it
+    exchanges a fresh set in, {!seal}s the old one, and only then
+    iterates it.  A concurrent {!add} that raced the swap returns
+    [false] when it observes the seal, and the caller retries against
+    the cell — so every key lands either in the sealed set (covered by
+    this delta) or the fresh one (covered by the next), never neither.
+
+    {b Overflow.}  Past half occupancy (or a full probe ring, or a
+    negative key) the set is poisoned: {!overflowed} turns true and
+    stays true, and the snapshotter falls back to a full traversal.
+    Adds after poisoning degrade to a flag read (no insert, no
+    probing): correctness never depends on the set's contents once the
+    flag is up, and a full table must not cost a whole probe ring per
+    mutation on the hot path. *)
+
+type t
+
+val none : t
+(** The permanently-disabled instance; recognized by {!is_none}
+    ([==]).  {!add} on it is a no-op returning [true]. *)
+
+val is_none : t -> bool
+
+val create : cap:int -> t
+(** A fresh set with capacity rounded up to a power of two.  Poisons
+    itself past [capacity/2] live keys.
+    @raise Invalid_argument if [cap < 2]. *)
+
+val capacity : t -> int
+
+val add : t -> key:int -> bool
+(** Record [key].  [false] means the set was sealed concurrently and
+    the caller must retry on the current cell contents ({!t} sets are
+    used through an [Atomic.t] cell swapped at snapshot start). *)
+
+val seal : t -> unit
+(** Close the set for handoff: subsequent (and racing) {!add}s return
+    [false].  Must be called {e before} {!iter}/{!elements} for the
+    iteration to be a complete record. *)
+
+val iter : t -> (int -> unit) -> unit
+val elements : t -> int list
+
+val count : t -> int
+(** Successful inserts (approximate under concurrency; exact once
+    sealed and quiescent). *)
+
+val overflowed : t -> bool
+(** Sticky poison flag: the set is no longer a complete record of the
+    write set — snapshot full instead. *)
+
+val poison : t -> unit
+(** Force the overflow flag (merge-back of an overflowed set). *)

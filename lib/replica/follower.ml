@@ -58,15 +58,18 @@ let create ~structure ~scheme (cfg : Shard.config) ~pull ?store () =
   | Some store ->
       for shard = 0 to n - 1 do
         let snap_seq =
-          match Snapshot.load_latest ~store ~shard with
+          (* The full chain — base plus continuity-checked deltas —
+             so a follower bootstrapping off a delta-snapshotting
+             primary starts from the chain tip, not the last base. *)
+          match Snapshot.load_chain ~store ~shard with
           | None -> 0
-          | Some (bindings, seq, _) ->
+          | Some c ->
               List.iter
                 (fun (key, value) ->
                   apply_mutation svc (Codec.Set { key; value }))
-                bindings;
-              b_snap.(shard) <- List.length bindings;
-              seq
+                c.Snapshot.c_bindings;
+              b_snap.(shard) <- List.length c.Snapshot.c_bindings;
+              c.Snapshot.c_seq
         in
         let records, r = Wal.scan ~store ~shard in
         b_torn.(shard) <- r.Wal.r_truncated_bytes;

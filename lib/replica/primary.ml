@@ -1,10 +1,52 @@
 (* The durable primary: Shard service + per-shard WAL, glued by the
    ack hook.  The hook closes over [logging] so bootstrap replay —
    which pushes recovered mutations through the normal shard path —
-   never re-appends what it just read from disk. *)
+   never re-appends what it just read from disk.
+
+   Incremental snapshots ride the same hook: every applied mutation
+   records its key in the shard's dirty set (a [Dirty.t] held in an
+   Atomic cell), and [snapshot_shard] in delta mode visits only that
+   set.  Dirty recording is UNCONDITIONAL — bootstrap-replayed
+   mutations have WAL seqs above the chain tip, so their keys belong
+   in the next delta exactly like live traffic's.
+
+   Why the stamp -> swap -> seal -> traverse order is sound (the
+   whole delta correctness argument):
+
+     - the consumer applies a mutation to the map BEFORE its
+       h_mutation fires, so by the time a key is visible in a dirty
+       set its value is in the map;
+     - a mutation committed at or below the stamp had its dirty add
+       complete before the stamp read (add precedes commit in program
+       order, and the stamp read saw the commit), hence before the
+       swap: its key is in the OLD set — this delta ships it;
+     - an add that lands in the old set after the swap (it raced)
+       completes before the seal or is retried into the fresh set;
+       either way the traversal starts after the seal, so every key
+       in the old set is read AFTER its recorded mutation applied;
+     - an add that lands in the fresh set belongs to a mutation whose
+       commit follows the swap, i.e. seq > stamp: the WAL keeps its
+       record (truncation stops at the stamp) and the next delta
+       covers its key.
+
+   So chain + WAL replay from the chain tip reconstructs exactly the
+   acked history, same as full snapshots. *)
 
 module Codec = Service.Codec
 module Shard = Service.Shard
+
+type tap = shard:int -> Codec.mutation -> unit
+
+let no_tap : tap = fun ~shard:_ _ -> ()
+
+(* Per-shard snapshot-chain bookkeeping, guarded by the shard's
+   snapshot mutex. *)
+type snap_meta = {
+  mutable m_base : int option;  (* newest base's stamp *)
+  mutable m_last : int;  (* chain tip stamp *)
+  mutable m_deltas : int;  (* links since the base *)
+  mutable m_file : string;  (* newest chain file *)
+}
 
 type t = {
   svc : Shard.t;
@@ -12,6 +54,12 @@ type t = {
   wals : Wal.t array;
   alive : bool Atomic.t;
   logging : bool Atomic.t;
+  dirty : Dirty.t Atomic.t array;
+  dirty_cap : int;
+  compact_every : int;
+  snap_mu : Mutex.t array;
+  snap_meta : snap_meta array;
+  tap : tap Atomic.t;
 }
 
 type boot = {
@@ -19,6 +67,12 @@ type boot = {
   b_snap_bindings : int array;
   b_replayed : int array;
 }
+
+(* Retry loop of the seal handoff: [false] from [Dirty.add] means the
+   set was sealed under us — re-read the cell (now holding the fresh
+   set) and record there. *)
+let rec record_dirty cell ~key =
+  if not (Dirty.add (Atomic.get cell) ~key) then record_dirty cell ~key
 
 (* Recovered mutations re-enter through the data path (same hashing,
    same shard, same map discipline).  Any reply outside the expected
@@ -37,18 +91,32 @@ let apply_mutation svc m =
            (Codec.mutation_to_string m)
            (Codec.reply_to_string r))
 
-let create ~structure ~scheme (cfg : Shard.config) ~store ?segment_bytes () =
+let create ~structure ~scheme (cfg : Shard.config) ~store ?segment_bytes
+    ?(delta = false) ?(dirty_cap = 1 lsl 14) ?(compact_every = 8) () =
   let opened =
     Array.init cfg.Shard.shards (fun i ->
         Wal.open_ ~store ~shard:i ?segment_bytes ())
   in
   let wals = Array.map fst opened in
   let logging = Atomic.make false in
+  let dirty =
+    Array.init cfg.Shard.shards (fun _ ->
+        Atomic.make (if delta then Dirty.create ~cap:dirty_cap else Dirty.none))
+  in
+  let tap = Atomic.make no_tap in
   let hook =
     {
       Shard.h_mutation =
         (fun ~shard m ->
-          if Atomic.get logging then ignore (Wal.append wals.(shard) m));
+          if Atomic.get logging then ignore (Wal.append wals.(shard) m);
+          (let d = dirty.(shard) in
+           if not (Dirty.is_none (Atomic.get d)) then
+             let key =
+               match m with Codec.Set { key; _ } -> key | Codec.Unset key -> key
+             in
+             record_dirty d ~key);
+          let tp = Atomic.get tap in
+          if tp != no_tap then tp ~shard m);
       h_commit =
         (fun ~shard -> if Atomic.get logging then Wal.commit wals.(shard));
     }
@@ -56,17 +124,27 @@ let create ~structure ~scheme (cfg : Shard.config) ~store ?segment_bytes () =
   let svc = Shard.create ~structure ~scheme { cfg with Shard.hook } in
   let b_snap = Array.make cfg.Shard.shards 0 in
   let b_rep = Array.make cfg.Shard.shards 0 in
+  let meta =
+    Array.init cfg.Shard.shards (fun _ ->
+        { m_base = None; m_last = 0; m_deltas = 0; m_file = "" })
+  in
   Array.iteri
     (fun i wal ->
       let snap_seq =
-        match Snapshot.load_latest ~store ~shard:i with
+        match Snapshot.load_chain ~store ~shard:i with
         | None -> 0
-        | Some (bindings, seq, _) ->
+        | Some c ->
             List.iter
               (fun (key, value) -> apply_mutation svc (Codec.Set { key; value }))
-              bindings;
-            b_snap.(i) <- List.length bindings;
-            seq
+              c.Snapshot.c_bindings;
+            b_snap.(i) <- List.length c.Snapshot.c_bindings;
+            meta.(i).m_base <- Some c.Snapshot.c_base_seq;
+            meta.(i).m_last <- c.Snapshot.c_seq;
+            meta.(i).m_deltas <- c.Snapshot.c_deltas;
+            (match List.rev c.Snapshot.c_files with
+            | f :: _ -> meta.(i).m_file <- f
+            | [] -> ());
+            c.Snapshot.c_seq
       in
       match Wal.read_from wal ~from:snap_seq ~max:max_int with
       | `Batch (records, _) ->
@@ -80,9 +158,26 @@ let create ~structure ~scheme (cfg : Shard.config) ~store ?segment_bytes () =
                i base snap_seq))
     wals;
   Atomic.set logging true;
-  ( { svc; store; wals; alive = Atomic.make true; logging },
-    { b_recovery = Array.map snd opened; b_snap_bindings = b_snap; b_replayed = b_rep } )
+  ( {
+      svc;
+      store;
+      wals;
+      alive = Atomic.make true;
+      logging;
+      dirty;
+      dirty_cap;
+      compact_every;
+      snap_mu = Array.init cfg.Shard.shards (fun _ -> Mutex.create ());
+      snap_meta = meta;
+      tap;
+    },
+    {
+      b_recovery = Array.map snd opened;
+      b_snap_bindings = b_snap;
+      b_replayed = b_rep;
+    } )
 
+let set_tap t f = Atomic.set t.tap f
 let committed t = Array.map Wal.committed_seq t.wals
 
 let handle t req =
@@ -107,19 +202,77 @@ let handle t req =
       end
   | _ -> None
 
-let snapshot_shard t ~shard ?(gate = fun _ -> ()) ?(truncate = true) () =
-  (* Stamp BEFORE the traversal: everything <= seq is already in the
-     map (commit publishes after apply), and everything the fuzzy fold
-     may or may not see is > seq and gets replayed as an absolute
-     write. *)
+let snapshot_shard t ~shard ?(gate = fun _ -> ()) ?(truncate = true)
+    ?(mode = `Auto) () =
+  Mutex.lock t.snap_mu.(shard);
+  Fun.protect ~finally:(fun () -> Mutex.unlock t.snap_mu.(shard)) @@ fun () ->
+  let meta = t.snap_meta.(shard) in
+  let cell = t.dirty.(shard) in
+  let cur = Atomic.get cell in
+  (* Stamp BEFORE the swap: everything <= seq is already in the map
+     (commit publishes after apply) and already in the current dirty
+     set (add precedes commit), so a delta over the swapped-out set
+     plus WAL replay from [seq] covers exactly the acked history. *)
   let seq = Wal.committed_seq t.wals.(shard) in
-  let bindings = t.svc.Shard.snapshot ~shard ~gate in
-  let file = Snapshot.write ~store:t.store ~shard ~seq bindings in
-  if truncate then begin
-    Wal.truncate_upto t.wals.(shard) ~seq;
-    ignore (Snapshot.delete_older ~store:t.store ~shard ~keep_seq:seq)
-  end;
-  (file, seq)
+  let can_delta =
+    (not (Dirty.is_none cur)) && meta.m_base <> None
+    && not (Dirty.overflowed cur)
+  in
+  let do_delta =
+    match mode with
+    | `Full -> false
+    | `Delta -> can_delta
+    | `Auto -> can_delta && meta.m_deltas < t.compact_every
+  in
+  if do_delta && seq = meta.m_last then
+    (* Nothing committed since the chain tip: the chain already covers
+       everything, republishing would only add an empty link. *)
+    (meta.m_file, meta.m_last)
+  else if do_delta then begin
+    let fresh = Dirty.create ~cap:t.dirty_cap in
+    let old = Atomic.exchange cell fresh in
+    Dirty.seal old;
+    (try
+       let keys = List.sort_uniq compare (Dirty.elements old) in
+       let entries = t.svc.Shard.snapshot_keys ~shard ~keys ~gate in
+       let file =
+         Snapshot.write_delta ~store:t.store ~shard ~from:meta.m_last ~seq
+           entries
+       in
+       meta.m_last <- seq;
+       meta.m_deltas <- meta.m_deltas + 1;
+       meta.m_file <- file
+     with e ->
+       (* The delta never published: its write set must survive for
+          the next attempt.  Merge the sealed set back into whatever
+          the cell holds now (writers may already populate it). *)
+       Dirty.iter old (fun key -> record_dirty cell ~key);
+       if Dirty.overflowed old then Dirty.poison (Atomic.get cell);
+       raise e);
+    if truncate then Wal.truncate_upto t.wals.(shard) ~seq;
+    (meta.m_file, seq)
+  end
+  else begin
+    (* Full path.  Swap a fresh set in and seal the old one anyway —
+       racing adds must be redirected to the fresh set, and the old
+       one can then be discarded wholesale: every key it holds has
+       its applied value visible to the full traversal below. *)
+    (if not (Dirty.is_none cur) then begin
+       let old = Atomic.exchange cell (Dirty.create ~cap:t.dirty_cap) in
+       Dirty.seal old
+     end);
+    let bindings = t.svc.Shard.snapshot ~shard ~gate in
+    let file = Snapshot.write ~store:t.store ~shard ~seq bindings in
+    meta.m_base <- Some seq;
+    meta.m_last <- seq;
+    meta.m_deltas <- 0;
+    meta.m_file <- file;
+    if truncate then begin
+      Wal.truncate_upto t.wals.(shard) ~seq;
+      ignore (Snapshot.delete_older ~store:t.store ~shard ~keep_seq:seq)
+    end;
+    (file, seq)
+  end
 
 let sweep t ~shard = t.svc.Shard.snapshot ~shard ~gate:(fun _ -> ())
 let arm_torn_commit t ~shard = Wal.arm_torn_commit t.wals.(shard)
@@ -139,7 +292,18 @@ let gauges t =
     (fun i w ->
       List.iter
         (fun (k, v) -> acc := (Printf.sprintf "rep_shard%d_%s" i k, v) :: !acc)
-        (Wal.gauges w))
+        (Wal.gauges w);
+      let d = Atomic.get t.dirty.(i) in
+      if not (Dirty.is_none d) then begin
+        acc := (Printf.sprintf "rep_shard%d_dirty_keys" i, Dirty.count d) :: !acc;
+        acc :=
+          ( Printf.sprintf "rep_shard%d_dirty_overflow" i,
+            if Dirty.overflowed d then 1 else 0 )
+          :: !acc;
+        acc :=
+          (Printf.sprintf "rep_shard%d_snap_deltas" i, t.snap_meta.(i).m_deltas)
+          :: !acc
+      end)
     t.wals;
   ("rep_primary_alive", if Atomic.get t.alive then 1 else 0) :: List.rev !acc
 

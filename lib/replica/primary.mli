@@ -10,11 +10,40 @@
     run acknowledged — recovery truncates the torn tail and replays
     exactly the acked history.
 
-    Bootstrap on {!create}: newest snapshot (if any) then WAL replay
-    from its stamp seq, with logging disabled so recovery never
-    re-appends what it reads.  Replay applies absolute mutations
-    through the normal shard path, so it lands on the same shard the
-    original request did. *)
+    {b Incremental snapshots.}  With [delta] enabled, the same hook
+    records each mutated key in a per-shard lock-free {!Dirty} set,
+    and {!snapshot_shard} can publish a {e delta} — only the keys
+    mutated since the chain tip, read via
+    {!Service.Shard.t.snapshot_keys} — instead of a full traversal:
+    snapshot cost proportional to the write rate, not the map size.
+    Deltas chain off a full base ({!Snapshot.load_chain} enforces
+    continuity); every [compact_every] links the [`Auto] path folds
+    the chain back into a fresh base and deletes what it covers.
+    With [delta] off the dirty cells hold the distinguished
+    {!Dirty.none} and the hot path pays one physical-equality check.
+
+    Bootstrap on {!create}: newest snapshot {e chain} (if any) then
+    WAL replay from its tip seq, with logging disabled so recovery
+    never re-appends what it reads.  Replay applies absolute
+    mutations through the normal shard path — and still records
+    dirty keys, because replayed seqs sit above the chain tip and
+    belong in the next delta. *)
+
+type tap = shard:int -> Service.Codec.mutation -> unit
+(** Post-apply mutation observer (the cluster layer's slot-dirty
+    feed).  Fires inside the consumer's bracket, after the WAL append
+    and dirty record for the same mutation. *)
+
+val no_tap : tap
+(** The permanently-disabled instance; recognized by [==] — one
+    physical-equality check per mutation when nothing is tapped. *)
+
+type snap_meta = {
+  mutable m_base : int option;  (** newest base's stamp *)
+  mutable m_last : int;  (** chain tip stamp *)
+  mutable m_deltas : int;  (** links since the base *)
+  mutable m_file : string;  (** newest chain file *)
+}
 
 type t = {
   svc : Service.Shard.t;
@@ -22,6 +51,13 @@ type t = {
   wals : Wal.t array;
   alive : bool Atomic.t;
   logging : bool Atomic.t;
+  dirty : Dirty.t Atomic.t array;
+      (** per-shard dirty cells; {!Dirty.none} when delta is off *)
+  dirty_cap : int;
+  compact_every : int;
+  snap_mu : Mutex.t array;  (** serializes {!snapshot_shard} per shard *)
+  snap_meta : snap_meta array;  (** guarded by [snap_mu] *)
+  tap : tap Atomic.t;
 }
 
 type boot = {
@@ -36,11 +72,22 @@ val create :
   Service.Shard.config ->
   store:Store.t ->
   ?segment_bytes:int ->
+  ?delta:bool ->
+  ?dirty_cap:int ->
+  ?compact_every:int ->
   unit ->
   t * boot
 (** The given config's [hook] field is replaced by the WAL hook.
     Bootstrap uses client tid 0 synchronously before returning.
+    [delta] (default off) enables dirty-key tracking; [dirty_cap]
+    (default 16384, rounded up to a power of two) bounds each set —
+    past half occupancy it poisons and the next snapshot goes full;
+    [compact_every] (default 8) bounds chain length.
     @raise Wal.Corrupt / {!Snapshot.Corrupt} on damaged acked history. *)
+
+val set_tap : t -> tap -> unit
+(** Install the mutation observer.  Install at wiring time, before
+    traffic; {!no_tap} disables. *)
 
 val handle : t -> Service.Codec.request -> Service.Codec.reply option
 (** The {!Service.Conn} [ext] handler: answers [Rep_info] (per-shard
@@ -54,13 +101,25 @@ val snapshot_shard :
   shard:int ->
   ?gate:(int -> unit) ->
   ?truncate:bool ->
+  ?mode:[ `Auto | `Full | `Delta ] ->
   unit ->
   string * int
-(** Stamp = committed seq read {e before} the traversal; traverse the
-    live map inside one bracket ({!Service.Shard.t.snapshot}, [gate]
-    forwarded); publish atomically.  With [truncate] (default) the
-    WAL then drops everything the snapshot covers and older snapshots
-    are deleted.  Returns [(file, seq)]. *)
+(** Stamp = committed seq read {e before} the traversal; publish
+    atomically; returns [(file, seq)].  With [truncate] (default) the
+    WAL then drops everything the chain covers (and, after a full
+    snapshot, superseded chain files are deleted).
+
+    [`Full] forces a base.  [`Delta] publishes a delta link when one
+    is possible (a base exists, tracking is on, the set has not
+    overflowed) and otherwise falls back to a base — delta is
+    best-effort; the returned file name says which happened.  [`Auto]
+    (default) prefers a delta but compacts to a base every
+    [compact_every] links.  If nothing committed since the chain tip,
+    the delta path returns the existing tip without writing.
+
+    Serialized per shard by [snap_mu]; concurrent calls block.  The
+    map traversal itself still raises [Invalid_argument] if it
+    overlaps a {!sweep}. *)
 
 val sweep : t -> shard:int -> (int * int) list
 (** Ungated snapshot traversal — the oracle-comparison read. *)
@@ -78,9 +137,11 @@ val kill : t -> unit
 
 val alive : t -> bool
 val fsync_hist : t -> shard:int -> Obs.Hist.t
+
 val gauges : t -> (string * int) list
 (** [rep_primary_alive] plus each WAL's gauges under
-    [rep_shard<i>_...]. *)
+    [rep_shard<i>_...]; with delta tracking on, also
+    [rep_shard<i>_dirty_keys]/[_dirty_overflow]/[_snap_deltas]. *)
 
 val stop : t -> unit
 (** Graceful shutdown: stop the service, close the WALs. *)

@@ -1,14 +1,32 @@
-(* Snapshot files: one header frame + N kv frames, all CRC-protected,
+(* Snapshot files: one header frame + N body frames, all CRC-protected,
    published atomically via the store's temp+rename write.  Atomic
    publication is why the loader is strict: a torn or damaged
    snapshot cannot be crash residue, so it is always a loud error —
-   the WAL's truncate-the-tail leniency does NOT apply here. *)
+   the WAL's truncate-the-tail leniency does NOT apply here.
+
+   Two file kinds form a chain:
+
+     snap-<shard>-<seq>.snap           full base: every binding
+     delta-<shard>-<from>-<seq>.snap   delta link: the bindings and
+                                       tombstones of keys mutated in
+                                       (from, seq]
+
+   A delta's [from] must equal the stamp of the snapshot it extends,
+   so the chain loader can verify continuity: base at B, then deltas
+   B->s1, s1->s2, ... with no gap and no fork.  A gap or fork is a
+   loud Corrupt, never a silent skip — a skipped delta would silently
+   resurrect deleted keys and lose writes.  Deltas at or below the
+   newest base are compaction-crash residue (the base that superseded
+   them published, the cleanup pass died) and are ignored. *)
 
 module Codec = Service.Codec
 
 exception Corrupt of { file : string; reason : string }
 
 let snap_name ~shard ~seq = Printf.sprintf "snap-%d-%012d.snap" shard seq
+
+let delta_name ~shard ~from ~seq =
+  Printf.sprintf "delta-%d-%012d-%012d.snap" shard from seq
 
 let parse_snap ~shard name =
   let prefix = Printf.sprintf "snap-%d-" shard in
@@ -20,6 +38,26 @@ let parse_snap ~shard name =
   then int_of_string_opt (String.sub name plen (String.length name - plen - 5))
   else None
 
+(* [delta-<shard>-<from>-<seq>.snap] -> (from, seq). *)
+let parse_delta ~shard name =
+  let prefix = Printf.sprintf "delta-%d-" shard in
+  let plen = String.length prefix in
+  if
+    String.length name > plen + 5
+    && String.sub name 0 plen = prefix
+    && Filename.check_suffix name ".snap"
+  then
+    match
+      String.split_on_char '-'
+        (String.sub name plen (String.length name - plen - 5))
+    with
+    | [ a; b ] -> (
+        match (int_of_string_opt a, int_of_string_opt b) with
+        | Some from, Some seq -> Some (from, seq)
+        | _ -> None)
+    | _ -> None
+  else None
+
 let write ~(store : Store.t) ~shard ~seq bindings =
   let buf = Buffer.create (64 + (32 * List.length bindings)) in
   Codec.encode_snap_head buf ~seq ~count:(List.length bindings);
@@ -28,40 +66,97 @@ let write ~(store : Store.t) ~shard ~seq bindings =
   store.Store.s_write name (Buffer.contents buf);
   name
 
-let load ~(store : Store.t) file =
-  let corrupt reason = raise (Corrupt { file; reason }) in
-  let data = store.Store.s_read file in
-  let frames, torn =
-    match
-      Codec.fold_frames (Codec.string_source data) (fun acc p -> p :: acc) []
-    with
-    | rev, torn -> (List.rev rev, torn)
+let write_delta ~(store : Store.t) ~shard ~from ~seq entries =
+  let sets =
+    List.length (List.filter (fun (_, v) -> v <> None) entries)
+  in
+  let tombs = List.length entries - sets in
+  let buf = Buffer.create (64 + (32 * List.length entries)) in
+  Codec.encode_snap_delta_head buf ~from ~seq ~sets ~tombs;
+  List.iter
+    (fun (key, v) ->
+      match v with Some value -> Codec.encode_snap_kv buf ~key ~value | None -> ())
+    entries;
+  List.iter
+    (fun (key, v) -> if v = None then Codec.encode_snap_tomb buf ~key)
+    entries;
+  let name = delta_name ~shard ~from ~seq in
+  store.Store.s_write name (Buffer.contents buf);
+  name
+
+let corrupt_file file reason = raise (Corrupt { file; reason })
+
+(* Streaming strict loader scaffolding: a frame_reader over the
+   store's pull source, so loading costs one payload allocation per
+   frame — the file is never materialized as a string. *)
+let with_frames ~(store : Store.t) file k =
+  let corrupt reason = corrupt_file file reason in
+  let read, close = store.Store.s_source file in
+  Fun.protect ~finally:close @@ fun () ->
+  let r = Codec.frame_reader read in
+  let next what =
+    match Codec.next_frame r with
+    | Codec.Frame p -> p
+    | Codec.Eof -> corrupt (Printf.sprintf "truncated: missing %s" what)
+    | Codec.Torn { got } ->
+        corrupt
+          (Printf.sprintf
+             "torn %s (%d bytes) in an atomically-published snapshot" what got)
     | exception Codec.Malformed m -> corrupt m
   in
-  (match torn with
-  | None -> ()
-  | Some got ->
-      corrupt
-        (Printf.sprintf
-           "torn tail (%d bytes) in an atomically-published snapshot" got));
-  match frames with
-  | [] -> corrupt "empty snapshot"
-  | head :: kvs ->
-      let seq, count =
-        try Codec.decode_snap_head head
-        with Codec.Malformed m -> corrupt m
-      in
-      if List.length kvs <> count then
+  let finish () =
+    match Codec.next_frame r with
+    | Codec.Eof -> ()
+    | Codec.Frame _ -> corrupt "trailing frames past the declared counts"
+    | Codec.Torn { got } ->
         corrupt
-          (Printf.sprintf "header says %d bindings, file carries %d" count
-             (List.length kvs));
-      let bindings =
-        List.map
-          (fun p ->
-            try Codec.decode_snap_kv p with Codec.Malformed m -> corrupt m)
-          kvs
-      in
-      (bindings, seq)
+          (Printf.sprintf
+             "torn tail (%d bytes) in an atomically-published snapshot" got)
+    | exception Codec.Malformed m -> corrupt m
+  in
+  k next finish
+
+let load ~(store : Store.t) file =
+  with_frames ~store file @@ fun next finish ->
+  let seq, count =
+    try Codec.decode_snap_head (next "header")
+    with Codec.Malformed m -> corrupt_file file m
+  in
+  let bindings = ref [] in
+  for _ = 1 to count do
+    let p = next "binding" in
+    bindings :=
+      (try Codec.decode_snap_kv p with Codec.Malformed m -> corrupt_file file m)
+      :: !bindings
+  done;
+  finish ();
+  (List.rev !bindings, seq)
+
+(* A delta file's contents: [(key, Some v)] sets then [(key, None)]
+   tombstones, plus the chain link from its header. *)
+let load_delta ~(store : Store.t) file =
+  with_frames ~store file @@ fun next finish ->
+  let from, seq, sets, tombs =
+    try Codec.decode_snap_delta_head (next "header")
+    with Codec.Malformed m -> corrupt_file file m
+  in
+  let entries = ref [] in
+  for _ = 1 to sets do
+    let p = next "binding" in
+    let k, v =
+      try Codec.decode_snap_kv p with Codec.Malformed m -> corrupt_file file m
+    in
+    entries := (k, Some v) :: !entries
+  done;
+  for _ = 1 to tombs do
+    let p = next "tombstone" in
+    let k =
+      try Codec.decode_snap_tomb p with Codec.Malformed m -> corrupt_file file m
+    in
+    entries := (k, None) :: !entries
+  done;
+  finish ();
+  (List.rev !entries, from, seq)
 
 let load_latest ~store ~shard =
   let snaps =
@@ -86,13 +181,120 @@ let load_latest ~store ~shard =
              });
       Some (bindings, seq, file)
 
-let delete_older ~(store : Store.t) ~shard ~keep_seq =
-  let victims =
+type chain = {
+  c_bindings : (int * int) list;
+  c_seq : int;
+  c_base_seq : int;
+  c_deltas : int;
+  c_files : string list;
+}
+
+let load_chain ~(store : Store.t) ~shard =
+  let files = store.Store.s_list () in
+  let deltas =
     List.filter_map
       (fun n ->
+        match parse_delta ~shard n with
+        | Some (f, s) -> Some (n, f, s)
+        | None -> None)
+      files
+  in
+  match
+    List.filter_map
+      (fun n ->
+        match parse_snap ~shard n with Some s -> Some (n, s) | None -> None)
+      files
+    |> List.sort (fun (_, a) (_, b) -> compare b a)
+  with
+  | [] ->
+      (match deltas with
+      | (file, _, _) :: _ ->
+          raise
+            (Corrupt { file; reason = "delta chain with no base snapshot" })
+      | [] -> ());
+      None
+  | (bfile, bseq) :: _ ->
+      let bindings, seq = load ~store bfile in
+      if seq <> bseq then
+        raise
+          (Corrupt
+             {
+               file = bfile;
+               reason =
+                 Printf.sprintf "file name says seq %d, header says %d" bseq
+                   seq;
+             });
+      let tbl = Hashtbl.create (max 64 (List.length bindings)) in
+      List.iter (fun (k, v) -> Hashtbl.replace tbl k v) bindings;
+      (* Deltas at or below the base are residue of a compaction that
+         published its base but died before cleanup: ignore.  Everything
+         newer must chain exactly. *)
+      let chain =
+        List.filter (fun (_, _, dseq) -> dseq > bseq) deltas
+        |> List.sort (fun (_, a, _) (_, b, _) -> compare a b)
+      in
+      let cur = ref bseq in
+      let count = ref 0 in
+      let cfiles = ref [ bfile ] in
+      List.iter
+        (fun (file, from, dseq) ->
+          if from <> !cur then
+            raise
+              (Corrupt
+                 {
+                   file;
+                   reason =
+                     Printf.sprintf
+                       "delta chains from seq %d but the chain tip is %d \
+                        (missing delta or stamp gap)"
+                       from !cur;
+                 });
+          let entries, hfrom, hseq = load_delta ~store file in
+          if hfrom <> from || hseq <> dseq then
+            raise
+              (Corrupt
+                 {
+                   file;
+                   reason =
+                     Printf.sprintf
+                       "file name says %d->%d, header says %d->%d" from dseq
+                       hfrom hseq;
+                 });
+          List.iter
+            (fun (k, v) ->
+              match v with
+              | Some value -> Hashtbl.replace tbl k value
+              | None -> Hashtbl.remove tbl k)
+            entries;
+          cur := dseq;
+          incr count;
+          cfiles := file :: !cfiles)
+        chain;
+      let merged =
+        Hashtbl.fold (fun k v acc -> (k, v) :: acc) tbl []
+        |> List.sort compare
+      in
+      Some
+        {
+          c_bindings = merged;
+          c_seq = !cur;
+          c_base_seq = bseq;
+          c_deltas = !count;
+          c_files = List.rev !cfiles;
+        }
+
+let delete_older ~(store : Store.t) ~shard ~keep_seq =
+  let victims =
+    List.filter
+      (fun n ->
         match parse_snap ~shard n with
-        | Some s when s < keep_seq -> Some n
-        | _ -> None)
+        | Some s -> s < keep_seq
+        | None -> (
+            (* A delta whose tip is <= keep_seq is wholly covered by
+               the kept base; one chaining past keep_seq stays. *)
+            match parse_delta ~shard n with
+            | Some (_, dseq) -> dseq <= keep_seq
+            | None -> false))
       (store.Store.s_list ())
   in
   List.iter store.Store.s_delete victims;

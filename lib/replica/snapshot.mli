@@ -1,27 +1,75 @@
-(** Point-in-time shard snapshots: the WAL's truncation anchor.
+(** Point-in-time shard snapshots — full bases plus delta links — the
+    WAL's truncation anchor.
 
-    A snapshot file [snap-<shard>-<seq>.snap] is a
+    A base file [snap-<shard>-<seq>.snap] is a
     {!Service.Codec.encode_snap_head} frame (the WAL seq it is stamped
     with, and a binding count) followed by exactly that many
-    {!Service.Codec.encode_snap_kv} frames, each CRC-protected, and is
+    {!Service.Codec.encode_snap_kv} frames.  A delta file
+    [delta-<shard>-<from>-<seq>.snap] is an
+    {!Service.Codec.encode_snap_delta_head} frame followed by its
+    declared bindings and tombstones, and carries only the keys
+    mutated in [(from, seq]] — its cost scales with the write rate,
+    not the map size.  Every frame is CRC-protected and every file is
     published atomically ({!Store.t.s_write}: temp + rename) — so
     unlike the WAL there is {e no} legitimate torn snapshot: any
     damage raises {!Corrupt} loudly.
 
+    {b Chain discipline.}  A delta's [from] must equal the stamp of
+    the snapshot it extends: base at [B], then deltas [B -> s1],
+    [s1 -> s2], ...  {!load_chain} verifies this continuity and raises
+    {!Corrupt} on a gap, fork, or orphaned delta — never a silent
+    skip, which would resurrect deleted keys and lose writes.  Deltas
+    at or below the newest base are ignored as compaction-crash
+    residue (their superseding base published; the cleanup died).
+
     The stamp seq is read from the WAL {e before} the traversal
     starts, so the fuzzy bindings plus WAL replay from [seq + 1]
-    converge to the primary's state (mutations are absolute). *)
+    converge to the primary's state (mutations are absolute).
+
+    Loading streams through {!Store.t.s_source} and
+    {!Service.Codec.frame_reader}: one payload allocation per frame,
+    never the whole file. *)
 
 exception Corrupt of { file : string; reason : string }
 
 val write :
   store:Store.t -> shard:int -> seq:int -> (int * int) list -> string
-(** Publish a snapshot atomically; returns the file name. *)
+(** Publish a base snapshot atomically; returns the file name. *)
+
+val write_delta :
+  store:Store.t ->
+  shard:int ->
+  from:int ->
+  seq:int ->
+  (int * int option) list ->
+  string
+(** Publish a delta link atomically: [(key, Some v)] entries become
+    bindings, [(key, None)] become tombstones.  [from] must be the
+    stamp of the chain tip this extends; returns the file name. *)
 
 val load_latest :
   store:Store.t -> shard:int -> ((int * int) list * int * string) option
-(** Highest-seq snapshot of the shard: [(bindings, seq, file)], or
-    [None] when the shard has never been snapshotted.  @raise Corrupt *)
+(** Highest-seq {e base} snapshot of the shard: [(bindings, seq,
+    file)], or [None] when the shard has never been snapshotted.
+    Ignores deltas — use {!load_chain} for the full recovery picture.
+    @raise Corrupt *)
+
+type chain = {
+  c_bindings : (int * int) list;  (** merged base+deltas, sorted by key *)
+  c_seq : int;  (** chain tip stamp — replay the WAL from here *)
+  c_base_seq : int;  (** the base file's stamp *)
+  c_deltas : int;  (** delta links applied *)
+  c_files : string list;  (** base first, then deltas in chain order *)
+}
+
+val load_chain : store:Store.t -> shard:int -> chain option
+(** Load the newest base and every delta chaining from it, merged in
+    order (sets replace, tombstones remove).  [None] when the shard
+    has no snapshot at all.
+    @raise Corrupt on damage, a continuity gap (a delta whose [from]
+    is not the current chain tip), a fork (two deltas extending the
+    same tip), or deltas present with no base. *)
 
 val delete_older : store:Store.t -> shard:int -> keep_seq:int -> int
-(** Delete snapshots with seq < [keep_seq]; returns how many. *)
+(** Delete bases with seq < [keep_seq] and deltas with tip seq <=
+    [keep_seq] (wholly covered by the kept base); returns how many. *)

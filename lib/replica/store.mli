@@ -29,6 +29,14 @@ type t = {
           after a real crash those bytes may or may not be present,
           which is exactly the torn-tail ambiguity recovery must
           tolerate.  @raise Sys_error if absent. *)
+  s_source : string -> (bytes -> int -> int -> int) * (unit -> unit);
+      (** Streaming read: [(read, close)] where [read buf off len]
+          pulls at most [len] bytes ([0] = EOF) — the
+          {!Service.Codec.frame_reader} source shape, so a snapshot
+          loader decodes frame-at-a-time with one payload allocation
+          per frame instead of materializing the file.  The caller
+          must call [close] (idempotent).  Same torn-tail semantics as
+          {!t.s_read}.  @raise Sys_error if absent. *)
   s_write : string -> string -> unit;
       (** Atomic whole-file publish: the file either keeps its old
           contents or has exactly the new ones, durably (snapshots,
@@ -40,6 +48,23 @@ type t = {
 val fs : dir:string -> t
 (** Real directory (created, with parents, if missing).  [w_sync] is
     [Unix.fsync]; [s_write] writes [name ^ ".tmp"], fsyncs, renames. *)
+
+val mmap : dir:string -> ?prealloc:int -> unit -> t
+(** Real directory with memory-mapped segment writers: appends are
+    memcpys into a shared mapping and [w_sync] is [msync(MS_SYNC)]
+    instead of [fsync].  Files are preallocated (to [prealloc] bytes,
+    default 64KiB, doubling as needed) with the size fsynced {e once}
+    per growth step, so the per-commit sync never waits on metadata —
+    the fsync-vs-msync WAL rows in bench/main.ml measure the gap.
+
+    Crash-exactness contract: a crash can leave the active segment
+    with a zero tail (preallocated space past the logical end) and/or
+    a torn final record, both of which WAL recovery recognizes and
+    trims; closed (rotated) segments are truncated to exact length
+    first, so only the newest segment ever carries the ambiguity.
+    [s_write] publishes via an exact-size mapped temp file + msync +
+    fsync + rename — the same atomicity as {!fs}.
+    @raise Invalid_argument if [prealloc <= 0]. *)
 
 (** Deterministic in-memory store with explicit crash semantics. *)
 module Mem : sig

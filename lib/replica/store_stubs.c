@@ -1,0 +1,46 @@
+/* msync + mapped-blit primitives for the mmap store backend.
+ *
+ * ml_store_msync flushes the first [len] bytes of a shared mapping
+ * with MS_SYNC — the mmap WAL's group-commit point, the counterpart
+ * of Unix.fsync on the fd-backed path.  The runtime lock is released
+ * around the syscall: commits can take milliseconds on real disks and
+ * must not stall other domains.
+ *
+ * ml_store_blit is a plain memcpy from an OCaml string into the
+ * mapping.  Bigarray.Array1 has no blit-from-string, and a char-loop
+ * through Bigarray.set is measurably slower on multi-KiB frames.
+ */
+
+#include <string.h>
+#include <sys/mman.h>
+
+#include <caml/alloc.h>
+#include <caml/bigarray.h>
+#include <caml/fail.h>
+#include <caml/memory.h>
+#include <caml/mlvalues.h>
+#include <caml/threads.h>
+
+CAMLprim value ml_store_msync(value v_map, value v_len)
+{
+    CAMLparam2(v_map, v_len);
+    char *data = (char *)Caml_ba_data_val(v_map);
+    long len = Long_val(v_len);
+    int rc = 0;
+    caml_release_runtime_system();
+    if (len > 0)
+        rc = msync(data, (size_t)len, MS_SYNC);
+    caml_acquire_runtime_system();
+    if (rc != 0)
+        caml_failwith("Store.mmap: msync failed");
+    CAMLreturn(Val_unit);
+}
+
+CAMLprim value ml_store_blit(value v_src, value v_srcoff, value v_map,
+                             value v_dstoff, value v_len)
+{
+    /* No CAMLparam needed: no allocation, no runtime release. */
+    memcpy((char *)Caml_ba_data_val(v_map) + Long_val(v_dstoff),
+           String_val(v_src) + Long_val(v_srcoff), (size_t)Long_val(v_len));
+    return Val_unit;
+}

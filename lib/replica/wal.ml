@@ -83,6 +83,16 @@ let scan_store ~(store : Store.t) ~shard =
       let fail reason =
         raise (Corrupt { shard; segment = name; seq = !expect; reason })
       in
+      (* Preallocated-store residue test: is everything from [from] to
+         EOF zero bytes?  Real frames start with a nonzero length
+         prefix, so acked history can never look like this — an
+         all-zeros rest is the unwritten tail of an mmap-preallocated
+         segment (plus, possibly, a torn final record whose payload
+         read consumed part of it). *)
+      let rest_is_zeros from =
+        let rec go i = i >= len || (data.[i] = '\000' && go (i + 1)) in
+        go from
+      in
       let stop = ref false in
       while not !stop do
         let frame_start = !pos in
@@ -115,13 +125,23 @@ let scan_store ~(store : Store.t) ~shard =
                 records := (seq, m) :: !records;
                 expect := seq + 1
             | exception Codec.Malformed reason ->
-                (* Damaged record: tail-truncatable only when it is the
-                   very last thing on disk; anywhere else it is a hole
-                   in acknowledged history. *)
-                if is_last && !pos = len then begin
+                (* Damaged record: in the last segment this is the
+                   classic torn tail — truncate from its length
+                   prefix.  In a rotated segment it is a hole in
+                   acknowledged history, with one exception: an mmap-
+                   preallocated segment whose crash left the zero tail
+                   untrimmed (a zero length prefix reads as an empty
+                   frame -> Malformed here).  That case — and only
+                   that case — is all zeros from [frame_start] to EOF
+                   (a record whose bytes rotted leaves its nonzero
+                   frame behind), and is skipped without a rewrite; if
+                   the zeros actually hid acked records, the next
+                   segment's first-seq continuity check fails loudly. *)
+                if is_last then begin
                   torn := Some (name, frame_start, len - frame_start);
                   stop := true
                 end
+                else if rest_is_zeros frame_start then stop := true
                 else fail reason)
       done)
     segs;

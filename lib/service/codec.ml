@@ -8,11 +8,13 @@ type request =
   | Rep_info
   | Rep_pull of { shard : int; from : int; max : int }
   | Cl_info
-  | Cl_grant of { slot : int; version : int }
+  | Cl_grant of { slot : int; version : int; token : int }
   | Cl_freeze of { slot : int; target : int }
   | Cl_release of { slot : int }
-  | Cl_snap of { slot : int; shard : int; cursor : int; max : int }
+  | Cl_snap of { slot : int; shard : int; cursor : int; max : int; base : int }
   | Cl_apply of { records : (int * mutation) list }
+  | Cl_base of { slot : int }
+  | Cl_purge of { slot : int }
 
 type reply =
   | Value of int
@@ -28,8 +30,15 @@ type reply =
   | Rep_batch of { last : int; records : (int * mutation) list }
   | Moved of { slot : int; node : int }
   | Cl_state of { version : int; node : int; owners : int array }
-  | Cl_snap_batch of { seq : int; next : int; kvs : (int * int) list }
+  | Cl_snap_batch of {
+      seq : int;
+      next : int;
+      kvs : (int * int) list;
+      tombs : int list;
+      delta : bool;
+    }
   | Cl_ok
+  | Cl_token of { token : int }
 
 exception Malformed of string
 
@@ -53,6 +62,8 @@ let op_cl_freeze = 0x09
 let op_cl_release = 0x0a
 let op_cl_snap = 0x0b
 let op_cl_apply = 0x0c
+let op_cl_base = 0x0d
+let op_cl_purge = 0x0e
 let op_value = 0x81
 let op_not_found = 0x82
 let op_created = 0x83
@@ -68,6 +79,7 @@ let op_moved = 0x8c
 let op_cl_state = 0x8d
 let op_cl_snap_batch = 0x8e
 let op_cl_ok = 0x8f
+let op_cl_token = 0x90
 
 (* Snapshot frame opcodes: disjoint from both wire opcode ranges so a
    snapshot frame fed to a wire decoder (or vice versa) fails loudly.
@@ -75,6 +87,8 @@ let op_cl_ok = 0x8f
    outside both wire ranges. *)
 let op_snap_head = 0x13
 let op_snap_kv = 0x14
+let op_snap_delta_head = 0x15
+let op_snap_tomb = 0x16
 
 (* Mutation records inside Rep_batch payloads and WAL frames:
    [kind(1)][seq(8)][key(8)] plus [value(8)] for Set. *)
@@ -89,8 +103,10 @@ let rep_batch_max = 150
    always re-ships as one apply frame. *)
 let cl_apply_max = 150
 
-(* Cl_snap_batch bindings are 16 bytes each: 1 + 8 + 8 + 2 + n*16 <=
-   4096 allows 254; 200 leaves slack for future header fields. *)
+(* Cl_snap_batch bindings are 16 bytes each (tombstones 8): the
+   22-byte header plus 200 bindings is 3222 <= 4096, leaving slack for
+   a page's tombstones.  Pagers cap a page's binding+tombstone count
+   at this figure, so the worst all-bindings page still fits. *)
 let cl_snap_max = 200
 
 (* OCaml ints are 63-bit; the wire carries 64-bit two's complement, so
@@ -227,11 +243,12 @@ let encode_request buf = function
           put_i64 buf from;
           put_i64 buf max)
   | Cl_info -> frame buf 1 (fun () -> Buffer.add_uint8 buf op_cl_info)
-  | Cl_grant { slot; version } ->
-      frame buf 17 (fun () ->
+  | Cl_grant { slot; version; token } ->
+      frame buf 25 (fun () ->
           Buffer.add_uint8 buf op_cl_grant;
           put_i64 buf slot;
-          put_i64 buf version)
+          put_i64 buf version;
+          put_i64 buf token)
   | Cl_freeze { slot; target } ->
       frame buf 17 (fun () ->
           Buffer.add_uint8 buf op_cl_freeze;
@@ -241,13 +258,22 @@ let encode_request buf = function
       frame buf 9 (fun () ->
           Buffer.add_uint8 buf op_cl_release;
           put_i64 buf slot)
-  | Cl_snap { slot; shard; cursor; max } ->
-      frame buf 33 (fun () ->
+  | Cl_snap { slot; shard; cursor; max; base } ->
+      frame buf 41 (fun () ->
           Buffer.add_uint8 buf op_cl_snap;
           put_i64 buf slot;
           put_i64 buf shard;
           put_i64 buf cursor;
-          put_i64 buf max)
+          put_i64 buf max;
+          put_i64 buf base)
+  | Cl_base { slot } ->
+      frame buf 9 (fun () ->
+          Buffer.add_uint8 buf op_cl_base;
+          put_i64 buf slot)
+  | Cl_purge { slot } ->
+      frame buf 9 (fun () ->
+          Buffer.add_uint8 buf op_cl_purge;
+          put_i64 buf slot)
   | Cl_apply { records } ->
       if List.length records > cl_apply_max then
         invalid_arg "Codec.encode_request: Cl_apply record count over cap";
@@ -320,22 +346,30 @@ let encode_reply buf = function
           put_i64 buf version;
           put_i64 buf node;
           Array.iter (fun o -> put_i64 buf o) owners)
-  | Cl_snap_batch { seq; next; kvs } ->
-      if List.length kvs > cl_snap_max then
-        invalid_arg "Codec.encode_reply: Cl_snap_batch binding count over cap";
+  | Cl_snap_batch { seq; next; kvs; tombs; delta } ->
+      if List.length kvs + List.length tombs > cl_snap_max then
+        invalid_arg "Codec.encode_reply: Cl_snap_batch entry count over cap";
       frame buf
-        (1 + 8 + 8 + 2 + (16 * List.length kvs))
+        (1 + 8 + 8 + 1 + 2 + 2 + (16 * List.length kvs)
+        + (8 * List.length tombs))
         (fun () ->
           Buffer.add_uint8 buf op_cl_snap_batch;
           put_i64 buf seq;
           put_i64 buf next;
+          Buffer.add_uint8 buf (if delta then 1 else 0);
           Buffer.add_uint16_be buf (List.length kvs);
+          Buffer.add_uint16_be buf (List.length tombs);
           List.iter
             (fun (k, v) ->
               put_i64 buf k;
               put_i64 buf v)
-            kvs)
+            kvs;
+          List.iter (fun k -> put_i64 buf k) tombs)
   | Cl_ok -> frame buf 1 (fun () -> Buffer.add_uint8 buf op_cl_ok)
+  | Cl_token { token } ->
+      frame buf 9 (fun () ->
+          Buffer.add_uint8 buf op_cl_token;
+          put_i64 buf token)
 
 let request_of_payload payload =
   if Bytes.length payload < 1 then malformed "empty payload";
@@ -379,8 +413,13 @@ let request_of_payload payload =
     Cl_info
   end
   else if op = op_cl_grant then begin
-    expect_len payload 17 op;
-    Cl_grant { slot = get_i64 payload 1; version = get_i64 payload 9 }
+    expect_len payload 25 op;
+    Cl_grant
+      {
+        slot = get_i64 payload 1;
+        version = get_i64 payload 9;
+        token = get_i64 payload 17;
+      }
   end
   else if op = op_cl_freeze then begin
     expect_len payload 17 op;
@@ -391,14 +430,23 @@ let request_of_payload payload =
     Cl_release { slot = get_i64 payload 1 }
   end
   else if op = op_cl_snap then begin
-    expect_len payload 33 op;
+    expect_len payload 41 op;
     Cl_snap
       {
         slot = get_i64 payload 1;
         shard = get_i64 payload 9;
         cursor = get_i64 payload 17;
         max = get_i64 payload 25;
+        base = get_i64 payload 33;
       }
+  end
+  else if op = op_cl_base then begin
+    expect_len payload 9 op;
+    Cl_base { slot = get_i64 payload 1 }
+  end
+  else if op = op_cl_purge then begin
+    expect_len payload 9 op;
+    Cl_purge { slot = get_i64 payload 1 }
   end
   else if op = op_cl_apply then begin
     if Bytes.length payload < 3 then
@@ -436,6 +484,10 @@ let reply_of_payload payload =
     expect_len payload 17 op;
     Moved { slot = get_i64 payload 1; node = get_i64 payload 9 }
   end
+  else if op = op_cl_token then begin
+    expect_len payload 9 op;
+    Cl_token { token = get_i64 payload 1 }
+  end
   else if op = op_cl_state then begin
     let body = Bytes.length payload - 17 in
     if body < 0 || body mod 8 <> 0 then
@@ -448,20 +500,30 @@ let reply_of_payload payload =
       }
   end
   else if op = op_cl_snap_batch then begin
-    if Bytes.length payload < 19 then
-      malformed "Cl_snap_batch: payload %d bytes, expected >= 19"
+    if Bytes.length payload < 22 then
+      malformed "Cl_snap_batch: payload %d bytes, expected >= 22"
         (Bytes.length payload);
-    let count = Bytes.get_uint16_be payload 17 in
-    if Bytes.length payload <> 19 + (16 * count) then
-      malformed "Cl_snap_batch: %d bindings but %d payload bytes" count
-        (Bytes.length payload);
+    let delta =
+      match Bytes.get_uint8 payload 17 with
+      | 0 -> false
+      | 1 -> true
+      | b -> malformed "Cl_snap_batch: bad delta flag %d" b
+    in
+    let count = Bytes.get_uint16_be payload 18 in
+    let tcount = Bytes.get_uint16_be payload 20 in
+    if Bytes.length payload <> 22 + (16 * count) + (8 * tcount) then
+      malformed "Cl_snap_batch: %d bindings + %d tombstones but %d payload bytes"
+        count tcount (Bytes.length payload);
+    let toff = 22 + (16 * count) in
     Cl_snap_batch
       {
         seq = get_i64 payload 1;
         next = get_i64 payload 9;
         kvs =
           List.init count (fun i ->
-              (get_i64 payload (19 + (16 * i)), get_i64 payload (27 + (16 * i))));
+              (get_i64 payload (22 + (16 * i)), get_i64 payload (30 + (16 * i))));
+        tombs = List.init tcount (fun i -> get_i64 payload (toff + (8 * i)));
+        delta;
       }
   end
   else begin
@@ -487,14 +549,16 @@ let request_to_string = function
   | Rep_pull { shard; from; max } ->
       Printf.sprintf "REP_PULL shard=%d from=%d max=%d" shard from max
   | Cl_info -> "CL_INFO"
-  | Cl_grant { slot; version } ->
-      Printf.sprintf "CL_GRANT slot=%d v=%d" slot version
+  | Cl_grant { slot; version; token } ->
+      Printf.sprintf "CL_GRANT slot=%d v=%d token=%d" slot version token
   | Cl_freeze { slot; target } ->
       Printf.sprintf "CL_FREEZE slot=%d target=%d" slot target
   | Cl_release { slot } -> Printf.sprintf "CL_RELEASE slot=%d" slot
-  | Cl_snap { slot; shard; cursor; max } ->
-      Printf.sprintf "CL_SNAP slot=%d shard=%d cursor=%d max=%d" slot shard
-        cursor max
+  | Cl_snap { slot; shard; cursor; max; base } ->
+      Printf.sprintf "CL_SNAP slot=%d shard=%d cursor=%d max=%d base=%d" slot
+        shard cursor max base
+  | Cl_base { slot } -> Printf.sprintf "CL_BASE slot=%d" slot
+  | Cl_purge { slot } -> Printf.sprintf "CL_PURGE slot=%d" slot
   | Cl_apply { records } ->
       Printf.sprintf "CL_APPLY n=%d" (List.length records)
 
@@ -517,10 +581,12 @@ let reply_to_string = function
   | Cl_state { version; node; owners } ->
       Printf.sprintf "CL_STATE v=%d node=%d slots=%d" version node
         (Array.length owners)
-  | Cl_snap_batch { seq; next; kvs } ->
-      Printf.sprintf "CL_SNAP_BATCH seq=%d next=%d n=%d" seq next
-        (List.length kvs)
+  | Cl_snap_batch { seq; next; kvs; tombs; delta } ->
+      Printf.sprintf "CL_SNAP_BATCH seq=%d next=%d n=%d tombs=%d%s" seq next
+        (List.length kvs) (List.length tombs)
+        (if delta then " delta" else "")
   | Cl_ok -> "CL_OK"
+  | Cl_token { token } -> Printf.sprintf "CL_TOKEN %d" token
 
 let key_of_request = function
   | Get k | Del k -> k
@@ -530,7 +596,7 @@ let key_of_request = function
      routing (Conn [ext]) and rejected by [Shard.exec] if they slip
      past it. *)
   | Rep_info | Rep_pull _ | Cl_info | Cl_grant _ | Cl_freeze _ | Cl_release _
-  | Cl_snap _ | Cl_apply _ ->
+  | Cl_snap _ | Cl_apply _ | Cl_base _ | Cl_purge _ ->
       0
 
 let mutation_of_exec req reply =
@@ -595,6 +661,36 @@ let decode_snap_kv payload =
   if body_len <> 17 || Bytes.get_uint8 payload 0 <> op_snap_kv then
     malformed "snapshot binding: bad opcode or length";
   (get_i64 payload 1, get_i64 payload 9)
+
+(* Delta snapshot frames: a header carrying the chain link ([from] =
+   the stamp of the snapshot this delta extends, [seq] = the new chain
+   tip) plus binding and tombstone counts; then exactly that many
+   {!op_snap_kv} and {!op_snap_tomb} frames. *)
+
+let encode_snap_delta_head buf ~from ~seq ~sets ~tombs =
+  checked_frame buf 33 (fun () ->
+      Buffer.add_uint8 buf op_snap_delta_head;
+      put_i64 buf from;
+      put_i64 buf seq;
+      put_i64 buf sets;
+      put_i64 buf tombs)
+
+let decode_snap_delta_head payload =
+  let body_len = check_crc "delta snapshot header" payload in
+  if body_len <> 33 || Bytes.get_uint8 payload 0 <> op_snap_delta_head then
+    malformed "delta snapshot header: bad opcode or length";
+  (get_i64 payload 1, get_i64 payload 9, get_i64 payload 17, get_i64 payload 25)
+
+let encode_snap_tomb buf ~key =
+  checked_frame buf 9 (fun () ->
+      Buffer.add_uint8 buf op_snap_tomb;
+      put_i64 buf key)
+
+let decode_snap_tomb payload =
+  let body_len = check_crc "snapshot tombstone" payload in
+  if body_len <> 9 || Bytes.get_uint8 payload 0 <> op_snap_tomb then
+    malformed "snapshot tombstone: bad opcode or length";
+  get_i64 payload 1
 
 (* ------------------------------------------------------------------ *)
 (* Streaming frame reading over any pull source — the one frame loop

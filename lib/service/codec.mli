@@ -31,10 +31,13 @@ type request =
       (** Replication: committed records of [shard] with seq > [from],
           at most [min max rep_batch_max] of them. *)
   | Cl_info  (** Cluster: ask for the node's slot-ownership table. *)
-  | Cl_grant of { slot : int; version : int }
+  | Cl_grant of { slot : int; version : int; token : int }
       (** Cluster: the node becomes [slot]'s owner at table [version]
           (migration cutover, target side).  Persisted before the
-          [Cl_ok] ack. *)
+          [Cl_ok] ack.  [token] is the source's handoff token for the
+          slot (0 = none): the grantee remembers it and starts dirty
+          tracking, so a later migration {e back} can ship only the
+          keys mutated since this cutover. *)
   | Cl_freeze of { slot : int; target : int }
       (** Cluster: the node stops serving [slot] and redirects its
           data requests to [target] with {!reply-Moved} (migration
@@ -43,18 +46,37 @@ type request =
   | Cl_release of { slot : int }
       (** Cluster: the source forgets a migrated slot (drops its
           snapshot cache; the redirect entry stays). *)
-  | Cl_snap of { slot : int; shard : int; cursor : int; max : int }
+  | Cl_snap of { slot : int; shard : int; cursor : int; max : int; base : int }
       (** Cluster: one page of a bracket-protected live snapshot of
           the node's local [shard], restricted to keys of [slot].
           [cursor = 0] starts a fresh traversal (stamped with the
           shard's committed WAL seq {e before} traversing); later
-          cursors page the cached result. *)
+          cursors page the cached result.  [base] (0 = none) is the
+          handoff token the {e destination} holds for the slot: when
+          it matches the token this node acquired the slot under — and
+          dirty tracking has not overflowed — the node serves a {e
+          delta}: only keys mutated since that cutover, deletions as
+          tombstones ({!reply-Cl_snap_batch}[.delta] is then true). *)
   | Cl_apply of { records : (int * mutation) list }
       (** Cluster: apply absolute mutations through the node's normal
           submit path regardless of slot ownership — the migration
           ingest op (snapshot bootstrap and WAL catch-up both ship
           through it).  Acked with {!reply-Cl_ok} only once every
           record is applied {e and} WAL-durable. *)
+  | Cl_base of { slot : int }
+      (** Cluster: ask for the node's handoff token for [slot]
+          (answered with {!reply-Cl_token}; 0 = the node never handed
+          the slot off, or forgot across a reboot).  The migration
+          driver asks the {e destination} before shipping, to learn
+          whether a delta ship is possible, and the {e source} after a
+          freeze, to learn the token to thread into [Cl_grant]. *)
+  | Cl_purge of { slot : int }
+      (** Cluster: delete every local binding of [slot], through the
+          normal WAL-durable apply path.  The driver fires this at the
+          destination before a {e full} ship so stale residue from a
+          previous ownership tenure cannot survive as resurrected
+          keys (a full ship only overwrites keys the source still
+          has). *)
 
 type reply =
   | Value of int  (** GET hit *)
@@ -80,11 +102,20 @@ type reply =
       (** [Cl_info] answer: [owners.(slot)] is the node id responsible
           for [slot], as this [node] currently believes at table
           [version]. *)
-  | Cl_snap_batch of { seq : int; next : int; kvs : (int * int) list }
+  | Cl_snap_batch of {
+      seq : int;
+      next : int;
+      kvs : (int * int) list;
+      tombs : int list;
+      delta : bool;
+    }
       (** One [Cl_snap] page: [seq] is the WAL seq the traversal was
           stamped with (catch-up pulls resume after it), [next] the
-          cursor for the following page ([-1] = done). *)
+          cursor for the following page ([-1] = done).  [delta] marks
+          a delta-mode traversal; [tombs] are keys deleted since the
+          delta's base cutover (always empty in full mode). *)
   | Cl_ok  (** Cluster control op acknowledged. *)
+  | Cl_token of { token : int }  (** [Cl_base] answer (0 = no token). *)
 
 exception Malformed of string
 (** Raised by the decoders on truncated/unknown payloads. *)
@@ -160,6 +191,23 @@ val decode_snap_head : bytes -> int * int
 
 val encode_snap_kv : Buffer.t -> key:int -> value:int -> unit
 val decode_snap_kv : bytes -> int * int
+
+val encode_snap_delta_head :
+  Buffer.t -> from:int -> seq:int -> sets:int -> tombs:int -> unit
+(** Delta snapshot header frame: [from] is the stamp of the chain
+    entry this delta extends (strictly checked by the loader), [seq]
+    the new chain tip, then the number of binding and tombstone frames
+    that follow. *)
+
+val decode_snap_delta_head : bytes -> int * int * int * int
+(** [(from, seq, sets, tombs)].  @raise Malformed *)
+
+val encode_snap_tomb : Buffer.t -> key:int -> unit
+(** Delta tombstone frame: [key] was deleted since the delta's
+    [from] stamp. *)
+
+val decode_snap_tomb : bytes -> int
+(** @raise Malformed *)
 
 (** {2 Streaming frame reading}
 

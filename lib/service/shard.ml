@@ -70,6 +70,8 @@ type t = {
   heartbeat : int -> int;
   inject_oom : shard:int -> n:int -> unit;
   snapshot : shard:int -> gate:(int -> unit) -> (int * int) list;
+  snapshot_keys :
+    shard:int -> keys:int list -> gate:(int -> unit) -> (int * int option) list;
   zc_readers : int;
   zc_lease : unit -> int option;
   zc_release : int -> unit;
@@ -150,7 +152,8 @@ module Core (T : Smr.Tracker.S) (Mk : Dstruct.Map_intf.MAKER) = struct
            means the daemon has no replication enabled. *)
         Codec.Error "replication not enabled on this server"
     | Codec.Cl_info | Codec.Cl_grant _ | Codec.Cl_freeze _ | Codec.Cl_release _
-    | Codec.Cl_snap _ | Codec.Cl_apply _ ->
+    | Codec.Cl_snap _ | Codec.Cl_apply _ | Codec.Cl_base _ | Codec.Cl_purge _
+      ->
         (* Likewise for the cluster-control opcodes (Cluster.Node's
            [ext] handler). *)
         Codec.Error "clustering not enabled on this server"
@@ -423,6 +426,32 @@ module Core (T : Smr.Tracker.S) (Mk : Dstruct.Map_intf.MAKER) = struct
          state regardless of structure/bucket iteration order. *)
       List.sort compare bindings
     in
+    (* The delta-snapshot traversal: same tid-1 bracket, same snap_busy
+       exclusivity, same gate cadence as the full fold — but it visits
+       only [keys] (a dirty set's contents), so its cost scales with
+       the write rate, not the map size.  [None] per key = deleted
+       since it was dirtied: the caller ships it as a tombstone. *)
+    let snapshot_keys ~shard ~keys ~gate =
+      let sh = shards.(shard) in
+      if not (Atomic.compare_and_set sh.snap_busy false true) then
+        invalid_arg "Shard.snapshot: a snapshot of this shard is in progress";
+      Fun.protect ~finally:(fun () -> Atomic.set sh.snap_busy false)
+      @@ fun () ->
+      Map.enter sh.map ~tid:1;
+      let entries =
+        Fun.protect ~finally:(fun () -> Map.leave sh.map ~tid:1)
+        @@ fun () ->
+        gate 0;
+        let i = ref 0 in
+        List.rev_map
+          (fun k ->
+            incr i;
+            gate !i;
+            (k, Map.get sh.map ~tid:1 k))
+          keys
+      in
+      List.sort compare entries
+    in
     (* Zero-copy reader slots.  A leased slot owns map tid [2 + slot]
        on EVERY shard map; [zc_enter] opens a bracket on each (the
        reader does not know which shard its keys live on), after which
@@ -558,6 +587,7 @@ module Core (T : Smr.Tracker.S) (Mk : Dstruct.Map_intf.MAKER) = struct
       inject_oom =
         (fun ~shard ~n -> Map.inject_alloc_failures shards.(shard).map ~n);
       snapshot;
+      snapshot_keys;
       zc_readers = c.zc_readers;
       zc_lease;
       zc_release;
@@ -601,3 +631,43 @@ let call t ~tid req =
         wait ()
   in
   wait ()
+
+let pipeline t ~tid ?(window = 128) ~n gen =
+  let outstanding = Atomic.make 0 in
+  let retry = Atomic.make [] in
+  let rec push_retry i =
+    let old = Atomic.get retry in
+    if not (Atomic.compare_and_set retry old (i :: old)) then push_retry i
+  in
+  let submit1 i =
+    Atomic.incr outstanding;
+    t.submit ~tid (gen i) (fun reply ->
+        (* A shed request goes back in the queue; a post-stop [Error]
+           must not (it would retry forever). *)
+        (match reply with Codec.Shed -> push_retry i | _ -> ());
+        ignore (Atomic.fetch_and_add outstanding (-1)))
+  in
+  let wait limit =
+    let spins = ref 0 in
+    while Atomic.get outstanding > limit do
+      incr spins;
+      if !spins land 255 = 0 then Unix.sleepf 0.0001 else Domain.cpu_relax ()
+    done
+  in
+  for i = 0 to n - 1 do
+    wait (window - 1);
+    submit1 i
+  done;
+  let rec drain () =
+    wait 0;
+    match Atomic.exchange retry [] with
+    | [] -> ()
+    | is ->
+        List.iter
+          (fun i ->
+            wait (window - 1);
+            submit1 i)
+          is;
+        drain ()
+  in
+  drain ()

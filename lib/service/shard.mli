@@ -162,6 +162,18 @@ type t = {
           reservation while churn retires nodes).  At most one
           snapshot per shard at a time.
           @raise Invalid_argument if one is already running. *)
+  snapshot_keys :
+    shard:int -> keys:int list -> gate:(int -> unit) -> (int * int option) list;
+      (** The delta-snapshot read: like {!t.snapshot} (same tid-1
+          bracket, same one-at-a-time exclusivity, same [gate]
+          cadence) but visits only [keys] — a dirty set's contents —
+          so the traversal cost scales with the write rate, not the
+          map size.  Returns [(key, value option)] sorted by key;
+          [None] means the key is deleted (shipped as a tombstone).
+          Reads are as fuzzy as the full fold's and sound for the same
+          reason: WAL replay from the stamp re-applies absolute
+          mutations.
+          @raise Invalid_argument if a snapshot is already running. *)
   zc_readers : int;  (** configured zero-copy slot count *)
   zc_lease : unit -> int option;
       (** Lease a free zero-copy slot ([None] = all taken).  Slots are
@@ -210,3 +222,12 @@ val create :
 val call : t -> tid:int -> Codec.request -> Codec.reply
 (** Synchronous {!t.submit}: block (spin, then politely sleep) until
     the reply lands.  The closed-loop client primitive. *)
+
+val pipeline : t -> tid:int -> ?window:int -> n:int -> (int -> Codec.request) -> unit
+(** Windowed bulk submit: requests [gen 0 .. gen (n-1)] with up to
+    [window] (default 128) in flight, shed requests resubmitted,
+    returning once every request has a non-shed reply.  The bulk-load
+    primitive: {!val-call}'s one-at-a-time handshake pays a producer/
+    consumer wakeup per request when domains outnumber cores;
+    windowing amortizes it across the mailbox.  Single producer — all
+    submissions ride the one [tid] slot. *)

@@ -80,10 +80,15 @@ let test_codec_cluster_ops () =
         (Codec.request_to_string (roundtrip_request req)))
     [
       Codec.Cl_info;
-      Codec.Cl_grant { slot = 7; version = 12 };
+      Codec.Cl_grant { slot = 7; version = 12; token = 0 };
+      Codec.Cl_grant { slot = 7; version = 12; token = (3 lsl 32) lor 9 };
       Codec.Cl_freeze { slot = 63; target = 2 };
       Codec.Cl_release { slot = 0 };
-      Codec.Cl_snap { slot = 5; shard = 1; cursor = 400; max = 200 };
+      Codec.Cl_snap { slot = 5; shard = 1; cursor = 400; max = 200; base = 0 };
+      Codec.Cl_snap
+        { slot = 5; shard = 1; cursor = 0; max = 200; base = (1 lsl 32) lor 4 };
+      Codec.Cl_base { slot = 12 };
+      Codec.Cl_purge { slot = 12 };
       Codec.Cl_apply
         {
           records =
@@ -99,8 +104,17 @@ let test_codec_cluster_ops () =
       Codec.Moved { slot = 3; node = 1 };
       Codec.Cl_state { version = 4; node = 0; owners = [| 0; 1; 0; 2 |] };
       Codec.Cl_snap_batch
-        { seq = 17; next = -1; kvs = [ (1, 10); (2, 20); (3, 30) ] };
-      Codec.Cl_snap_batch { seq = 0; next = 200; kvs = [] };
+        {
+          seq = 17;
+          next = -1;
+          kvs = [ (1, 10); (2, 20); (3, 30) ];
+          tombs = [];
+          delta = false;
+        };
+      Codec.Cl_snap_batch
+        { seq = 0; next = 200; kvs = []; tombs = [ 4; 9 ]; delta = true };
+      Codec.Cl_token { token = (7 lsl 32) lor 123 };
+      Codec.Cl_token { token = 0 };
       Codec.Cl_ok;
     ]
 
@@ -155,7 +169,7 @@ let test_node_cutover_survives_reboot () =
   let p = mk_primary ~store in
   let node = Node.create ~node_id:1 ~nslots ~owners ~apply_tid:5 p in
   (* The grant persists before its ack — this is the cutover record. *)
-  (match Node.handle node (Codec.Cl_grant { slot = 5; version = 3 }) with
+  (match Node.handle node (Codec.Cl_grant { slot = 5; version = 3; token = 0 }) with
   | Some Codec.Cl_ok -> ()
   | _ -> Alcotest.fail "grant not acked");
   Alcotest.(check bool) "granted slot owned" true (Node.owns_slot node 5);
@@ -382,7 +396,46 @@ let test_migration_under_load () =
       in
       Alcotest.(check (list (pair int int)))
         "cluster state = oracle replay of acked history" expected final;
-      (* Reboot the target: the granted slot must still be owned. *)
+      (* Migrate the slot BACK.  The first cutover left node 0 holding
+         the handoff token node 1 was granted under, and node 1 has
+         tracked its writes in the per-slot dirty set since — so this
+         bootstrap must ship a delta chain, not a full copy, and land
+         on the same oracle state. *)
+      let rec2 = Obs.Recorder.create ~nthreads:1 () in
+      let stats2 =
+        match
+          Migrate.run ~src:eps.(1) ~dst:eps.(0) ~slot ~nshards:2 ~nslots
+            ~router ~recorder:rec2 ()
+        with
+        | Ok s -> s
+        | Error e -> Alcotest.failf "back-migration failed: %s" e
+      in
+      Alcotest.(check bool) "back-migration shipped a delta" true
+        stats2.Migrate.mg_delta;
+      Alcotest.(check (option int))
+        "delta gauge recorded" (Some 1)
+        (Obs.Recorder.gauge rec2 ~name:"cluster/migrate/delta");
+      Alcotest.(check bool) "shipped pages accounted" true
+        (Obs.Recorder.gauge rec2 ~name:"cluster/migrate/snap_pages" <> None);
+      Alcotest.(check bool) "slot back home" true (Node.owns_slot nodes.(0) slot);
+      Alcotest.(check bool) "old target redirects" false
+        (Node.owns_slot nodes.(1) slot);
+      let final2 =
+        List.filter_map
+          (fun k ->
+            match Router.call router (Codec.Get k) with
+            | Codec.Value v -> Some (k, v)
+            | Codec.Not_found -> None
+            | r ->
+                Alcotest.failf "get %d after back-migration: %s" k
+                  (Codec.reply_to_string r))
+          (List.init keyrange Fun.id)
+      in
+      Alcotest.(check (list (pair int int)))
+        "delta-shipped state = oracle replay" expected final2;
+      (* Reboot the first migration's target: its persisted table must
+         remember both cutovers — the slot it was granted and then
+         gave back. *)
       Service.Conn.shutdown servers.(1);
       Replica.Primary.stop prims.(1);
       let p1' = mk_primary ~store:stores.(1) in
@@ -393,10 +446,11 @@ let test_migration_under_load () =
             Node.create ~node_id:1 ~nslots ~owners:(Array.make nslots 0)
               ~apply_tid:5 p1'
           in
-          Alcotest.(check bool) "grant survives target reboot" true
+          Alcotest.(check bool) "the back-cutover survives reboot" false
             (Node.owns_slot n1' slot);
-          (* And the data moved with it: the rebooted store recovers
-             the migrated bindings from its own WAL. *)
+          (* The data it acked is still recoverable from its own WAL:
+             the stale copy keeps the slot's bindings as of its
+             freeze. *)
           let recovered =
             List.concat
               (List.init 2 (fun shard -> Replica.Primary.sweep p1' ~shard))

@@ -6,6 +6,7 @@
 module Codec = Service.Codec
 module Shard = Service.Shard
 module Store = Replica.Store
+module Dirty = Replica.Dirty
 module Wal = Replica.Wal
 module Snapshot = Replica.Snapshot
 module Primary = Replica.Primary
@@ -733,6 +734,418 @@ let test_socket_claim () =
       | exception Service.Conn.Addr_in_use p ->
           Alcotest.(check string) "names the path" path p)
 
+(* ------------------------------------------------------------------ *)
+(* Dirty sets: the lock-free write-set tracker behind delta snapshots *)
+
+let test_dirty_basics () =
+  Alcotest.(check bool) "none is none" true (Dirty.is_none Dirty.none);
+  Alcotest.(check bool) "none absorbs adds" true (Dirty.add Dirty.none ~key:3);
+  Alcotest.(check int) "none holds nothing" 0 (Dirty.count Dirty.none);
+  let d = Dirty.create ~cap:60 in
+  Alcotest.(check bool) "a fresh set is live" false (Dirty.is_none d);
+  Alcotest.(check int) "cap rounds to a power of two" 64 (Dirty.capacity d);
+  Alcotest.(check bool) "add" true (Dirty.add d ~key:7);
+  Alcotest.(check bool) "duplicate add" true (Dirty.add d ~key:7);
+  Alcotest.(check bool) "second key" true (Dirty.add d ~key:9);
+  Alcotest.(check int) "duplicates deduped" 2 (Dirty.count d);
+  Alcotest.(check (list int)) "elements" [ 7; 9 ]
+    (List.sort compare (Dirty.elements d));
+  Alcotest.(check bool) "no overflow yet" false (Dirty.overflowed d)
+
+let test_dirty_seal_handoff () =
+  let cell = Atomic.make (Dirty.create ~cap:64) in
+  ignore (Dirty.add (Atomic.get cell) ~key:1);
+  (* Snapshot start: swap a fresh set in, seal the old one. *)
+  let old = Atomic.exchange cell (Dirty.create ~cap:64) in
+  Dirty.seal old;
+  Alcotest.(check bool) "post-seal add refused" false (Dirty.add old ~key:2);
+  (* The insert-then-check order means a refused add may still sit in
+     the sealed set — a harmless superset for the delta reader; what
+     matters is that every pre-seal add is covered. *)
+  Alcotest.(check bool) "pre-seal adds are covered" true
+    (List.mem 1 (Dirty.elements old));
+  (* The producer-side retry: a refused add re-reads the cell and
+     lands in the fresh set — a key is never lost between deltas. *)
+  let rec record key =
+    if not (Dirty.add (Atomic.get cell) ~key) then record key
+  in
+  record 2;
+  Alcotest.(check (list int)) "retry landed in the fresh set" [ 2 ]
+    (List.sort compare (Dirty.elements (Atomic.get cell)))
+
+let test_dirty_overflow () =
+  let d = Dirty.create ~cap:16 in
+  for k = 1 to 8 do
+    ignore (Dirty.add d ~key:k)
+  done;
+  Alcotest.(check bool) "half occupancy is still fine" false
+    (Dirty.overflowed d);
+  ignore (Dirty.add d ~key:9);
+  Alcotest.(check bool) "past half occupancy poisons" true (Dirty.overflowed d);
+  Alcotest.(check bool) "a poisoned set still accepts" true
+    (Dirty.add d ~key:100);
+  Alcotest.(check bool) "poison is sticky" true (Dirty.overflowed d);
+  (* Negative keys (outside the service key space) poison instead of
+     corrupting the probe sequence. *)
+  let d2 = Dirty.create ~cap:16 in
+  ignore (Dirty.add d2 ~key:(-5));
+  Alcotest.(check bool) "negative key poisons" true (Dirty.overflowed d2);
+  (* Explicit poison: the overflowed-merge-back path. *)
+  let d3 = Dirty.create ~cap:16 in
+  Dirty.poison d3;
+  Alcotest.(check bool) "explicit poison" true (Dirty.overflowed d3)
+
+(* ------------------------------------------------------------------ *)
+(* Delta chains: write_delta / load_chain discipline *)
+
+let test_snapshot_delta_chain () =
+  let store, _ = Store.Mem.create () in
+  let _ = Snapshot.write ~store ~shard:1 ~seq:10 [ (1, 10); (2, 20); (3, 30) ] in
+  let _ =
+    Snapshot.write_delta ~store ~shard:1 ~from:10 ~seq:14
+      [ (2, Some 21); (4, Some 40); (3, None) ]
+  in
+  let _ =
+    Snapshot.write_delta ~store ~shard:1 ~from:14 ~seq:19
+      [ (4, None); (5, Some 50) ]
+  in
+  (* Another shard's chain must not interfere. *)
+  let _ = Snapshot.write ~store ~shard:0 ~seq:99 [ (9, 90) ] in
+  let c = Snapshot.load_chain ~store ~shard:1 in
+  (match c with
+  | Some c ->
+      Alcotest.(check int) "chain tip" 19 c.Snapshot.c_seq;
+      Alcotest.(check int) "base seq" 10 c.Snapshot.c_base_seq;
+      Alcotest.(check int) "two links" 2 c.Snapshot.c_deltas;
+      Alcotest.(check (list (pair int int)))
+        "sets applied, tombstones removed"
+        [ (1, 10); (2, 21); (5, 50) ]
+        c.Snapshot.c_bindings
+  | None -> Alcotest.fail "chain vanished");
+  (* load_latest still answers the newest BASE, not the chain tip. *)
+  (match Snapshot.load_latest ~store ~shard:1 with
+  | Some (_, 10, _) -> ()
+  | _ -> Alcotest.fail "load_latest must keep answering the base");
+  (* delete_older after a compacting base at the tip drops the whole
+     superseded chain. *)
+  let _ = Snapshot.write ~store ~shard:1 ~seq:19 [ (1, 10); (2, 21); (5, 50) ] in
+  let deleted = Snapshot.delete_older ~store ~shard:1 ~keep_seq:19 in
+  Alcotest.(check int) "old base + both deltas deleted" 3 deleted;
+  match Snapshot.load_chain ~store ~shard:1 with
+  | Some c ->
+      Alcotest.(check int) "compacted chain is just the base" 0
+        c.Snapshot.c_deltas;
+      Alcotest.(check (list (pair int int)))
+        "compacted bindings survive"
+        [ (1, 10); (2, 21); (5, 50) ]
+        c.Snapshot.c_bindings
+  | None -> Alcotest.fail "compacted chain vanished"
+
+let test_snapshot_chain_violations () =
+  (* A missing middle link is a loud Corrupt, never a silent skip. *)
+  let store, _ = Store.Mem.create () in
+  let _ = Snapshot.write ~store ~shard:1 ~seq:10 [ (1, 10) ] in
+  let d1 = Snapshot.write_delta ~store ~shard:1 ~from:10 ~seq:14 [ (2, Some 2) ] in
+  let _ = Snapshot.write_delta ~store ~shard:1 ~from:14 ~seq:19 [ (3, Some 3) ] in
+  store.Store.s_delete d1;
+  (match Snapshot.load_chain ~store ~shard:1 with
+  | _ -> Alcotest.fail "missing delta link went unnoticed"
+  | exception Snapshot.Corrupt { reason; _ } ->
+      Alcotest.(check bool) "reason names the gap" true
+        (String.length reason > 0));
+  (* A stamp gap (delta chaining from a seq that is not the tip). *)
+  let store, _ = Store.Mem.create () in
+  let _ = Snapshot.write ~store ~shard:1 ~seq:10 [ (1, 10) ] in
+  let _ = Snapshot.write_delta ~store ~shard:1 ~from:12 ~seq:14 [ (2, Some 2) ] in
+  (match Snapshot.load_chain ~store ~shard:1 with
+  | _ -> Alcotest.fail "stamp gap went unnoticed"
+  | exception Snapshot.Corrupt _ -> ());
+  (* Deltas with no base at all: unloadable, loud. *)
+  let store, _ = Store.Mem.create () in
+  let _ = Snapshot.write_delta ~store ~shard:1 ~from:10 ~seq:14 [ (2, Some 2) ] in
+  (match Snapshot.load_chain ~store ~shard:1 with
+  | _ -> Alcotest.fail "orphan delta went unnoticed"
+  | exception Snapshot.Corrupt _ -> ());
+  (* Bit rot inside a delta frame: the strict loader refuses. *)
+  let store, _ = Store.Mem.create () in
+  let _ = Snapshot.write ~store ~shard:1 ~seq:10 [ (1, 10) ] in
+  let d = Snapshot.write_delta ~store ~shard:1 ~from:10 ~seq:14 [ (2, Some 2) ] in
+  let data = store.Store.s_read d in
+  let b = Bytes.of_string data in
+  let i = String.length data - 2 in
+  Bytes.set b i (Char.chr (Char.code (Bytes.get b i) lxor 1));
+  store.Store.s_write d (Bytes.to_string b);
+  match Snapshot.load_chain ~store ~shard:1 with
+  | _ -> Alcotest.fail "bit-rotted delta loaded"
+  | exception Snapshot.Corrupt _ -> ()
+
+let test_snapshot_chain_compaction_residue () =
+  (* Crash between publishing a compacting base and deleting the
+     superseded chain: the loader must pick the new base and ignore
+     every delta at or below its seq. *)
+  let store, _ = Store.Mem.create () in
+  let _ = Snapshot.write ~store ~shard:1 ~seq:10 [ (1, 10) ] in
+  let _ = Snapshot.write_delta ~store ~shard:1 ~from:10 ~seq:14 [ (2, Some 2) ] in
+  let _ = Snapshot.write_delta ~store ~shard:1 ~from:14 ~seq:19 [ (3, Some 3) ] in
+  (* The compacting base published; the crash skipped delete_older. *)
+  let _ = Snapshot.write ~store ~shard:1 ~seq:19 [ (1, 10); (2, 2); (3, 3) ] in
+  match Snapshot.load_chain ~store ~shard:1 with
+  | Some c ->
+      Alcotest.(check int) "new base wins" 19 c.Snapshot.c_base_seq;
+      Alcotest.(check int) "stale deltas ignored" 0 c.Snapshot.c_deltas;
+      Alcotest.(check (list (pair int int)))
+        "bindings from the new base"
+        [ (1, 10); (2, 2); (3, 3) ]
+        c.Snapshot.c_bindings
+  | None -> Alcotest.fail "chain vanished after simulated compaction crash"
+
+(* ------------------------------------------------------------------ *)
+(* Primary delta snapshots: publish, chain recovery, fallback *)
+
+let test_primary_delta_snapshot_cycle () =
+  let store, _ = Store.Mem.create () in
+  let ops = ref [] in
+  let p, _ =
+    Primary.create ~structure:hashmap ~scheme:hyaline ~delta:true (mk_cfg ())
+      ~store ()
+  in
+  drive_ops p.Primary.svc ~seed:51 ~rounds:300 ~range:64 ops;
+  (* First snapshot: no base exists, so even `Delta falls back full. *)
+  let f0, _ = Primary.snapshot_shard p ~shard:0 ~mode:`Delta () in
+  Alcotest.(check bool) "first snapshot is a base" true
+    (String.length f0 >= 4 && String.sub f0 0 4 = "snap");
+  drive_ops p.Primary.svc ~seed:52 ~rounds:300 ~range:64 ops;
+  (* Second snapshot: a base exists and tracking is on — a delta. *)
+  let f1, s1 = Primary.snapshot_shard p ~shard:0 () in
+  Alcotest.(check bool) "second snapshot is a delta" true
+    (String.length f1 >= 5 && String.sub f1 0 5 = "delta");
+  (* Nothing new committed: the tip is returned without a write. *)
+  let f1', s1' = Primary.snapshot_shard p ~shard:0 () in
+  Alcotest.(check string) "quiescent snapshot reuses the tip" f1 f1';
+  Alcotest.(check int) "same stamp" s1 s1';
+  drive_ops p.Primary.svc ~seed:53 ~rounds:300 ~range:64 ops;
+  let f2, _ = Primary.snapshot_shard p ~shard:1 () in
+  Alcotest.(check bool) "other shard chains independently" true
+    (String.length f2 >= 4);
+  (* `Full forces a compacting base and prunes the chain. *)
+  drive_ops p.Primary.svc ~seed:54 ~rounds:100 ~range:64 ops;
+  let f3, _ = Primary.snapshot_shard p ~shard:0 ~mode:`Full () in
+  Alcotest.(check bool) "`Full publishes a base" true
+    (String.sub f3 0 4 = "snap");
+  drive_ops p.Primary.svc ~seed:55 ~rounds:200 ~range:64 ops;
+  let _ = Primary.snapshot_shard p ~shard:0 () in
+  let live = primary_state p in
+  Primary.stop p;
+  (* Reboot: chain bootstrap (base + deltas) + WAL tail replay must
+     reproduce exactly the acked history. *)
+  let p2, boot2 =
+    Primary.create ~structure:hashmap ~scheme:hyaline ~delta:true (mk_cfg ())
+      ~store ()
+  in
+  Alcotest.(check bool) "bootstrap used the chain" true
+    (Array.fold_left ( + ) 0 boot2.Primary.b_snap_bindings > 0);
+  let recovered = primary_state p2 in
+  Primary.stop p2;
+  let expected = Chaos.Oracle.replay_state ~ops:(List.rev !ops) in
+  Alcotest.(check (list (pair int int))) "live state = oracle" expected live;
+  Alcotest.(check (list (pair int int)))
+    "chain-recovered state = oracle" expected recovered
+
+let test_primary_dirty_overflow_falls_back () =
+  let store, _ = Store.Mem.create () in
+  let p, _ =
+    Primary.create ~structure:hashmap ~scheme:hyaline ~delta:true
+      ~dirty_cap:16 (mk_cfg ()) ~store ()
+  in
+  Fun.protect
+    ~finally:(fun () -> Primary.stop p)
+    (fun () ->
+      let ops = ref [] in
+      drive_ops p.Primary.svc ~seed:61 ~rounds:50 ~range:64 ops;
+      let _ = Primary.snapshot_shard p ~shard:0 ~mode:`Full () in
+      (* Overflow the tiny dirty set (cap 16 poisons past 8 keys). *)
+      drive_ops p.Primary.svc ~seed:62 ~rounds:300 ~range:64 ops;
+      let f, _ = Primary.snapshot_shard p ~shard:0 ~mode:`Delta () in
+      Alcotest.(check bool)
+        "overflowed tracker falls back to a base" true
+        (String.sub f 0 4 = "snap"))
+
+(* ------------------------------------------------------------------ *)
+(* Mmap store: basics and seeded crash-exactness fuzz *)
+
+let with_tmp_dir tag f =
+  let dir =
+    Filename.concat
+      (Filename.get_temp_dir_name ())
+      (Printf.sprintf "hyrepro-%s-%d-%x" tag (Unix.getpid ())
+         (Hashtbl.hash (Unix.gettimeofday ())))
+  in
+  Unix.mkdir dir 0o755;
+  Fun.protect
+    ~finally:(fun () ->
+      Array.iter
+        (fun n -> try Sys.remove (Filename.concat dir n) with Sys_error _ -> ())
+        (try Sys.readdir dir with Sys_error _ -> [||]);
+      try Unix.rmdir dir with Unix.Unix_error _ -> ())
+    (fun () -> f dir)
+
+let test_mmap_store_basics () =
+  with_tmp_dir "mmap-basics" @@ fun dir ->
+  let store = Store.mmap ~dir ~prealloc:64 () in
+  (* Atomic publish + streaming read. *)
+  store.Store.s_write "snap-a" "hello snapshot";
+  Alcotest.(check string) "publish then read" "hello snapshot"
+    (store.Store.s_read "snap-a");
+  let read, close = store.Store.s_source "snap-a" in
+  let buf = Bytes.create 5 in
+  let n = read buf 0 5 in
+  close ();
+  Alcotest.(check string) "source streams" "hello" (Bytes.sub_string buf 0 n);
+  (* Appends grow past prealloc and close trims to exact size. *)
+  let w = store.Store.s_append "seg-1" in
+  let chunk = String.make 50 'x' in
+  for _ = 1 to 4 do
+    w.Store.w_append chunk
+  done;
+  w.Store.w_sync ();
+  (* Before close the on-disk file carries the preallocated tail... *)
+  let raw = store.Store.s_read "seg-1" in
+  Alcotest.(check bool) "prealloc tail visible before close" true
+    (String.length raw >= 200);
+  Alcotest.(check string) "synced prefix intact" (String.concat "" [ chunk; chunk; chunk; chunk ])
+    (String.sub raw 0 200);
+  w.Store.w_close ();
+  (* ...and close trims rotated segments to exact length. *)
+  Alcotest.(check int) "close trims to exact size" 200
+    (String.length (store.Store.s_read "seg-1"));
+  Alcotest.(check (list string)) "list sees both" [ "seg-1"; "snap-a" ]
+    (List.sort compare (store.Store.s_list ()));
+  store.Store.s_delete "seg-1";
+  Alcotest.(check (list string)) "delete works" [ "snap-a" ]
+    (store.Store.s_list ())
+
+let test_mmap_wal_prealloc_tail () =
+  (* A crash mid-segment leaves the mmap prealloc zero tail on disk;
+     recovery must trim it as a torn tail, keeping every record. *)
+  with_tmp_dir "mmap-tail" @@ fun dir ->
+  let store = Store.mmap ~dir ~prealloc:4096 () in
+  let w, _ = Wal.open_ ~store ~shard:0 () in
+  append_run w 1 20;
+  (* Abandon the writer without close: exactly what a crash leaves —
+     the data is msync'd, the prealloc tail is still zeros. *)
+  let store2 = Store.mmap ~dir ~prealloc:4096 () in
+  let records, r = Wal.scan ~store:store2 ~shard:0 in
+  Alcotest.(check int) "every committed record survives" 20 (List.length records);
+  Alcotest.(check bool) "the zero tail was recognized as torn" true
+    (r.Wal.r_truncated_bytes > 0);
+  (* Recovery via open_ republishes a clean exact-size log. *)
+  let w2, r2 = Wal.open_ ~store:store2 ~shard:0 () in
+  Alcotest.(check int) "reopen keeps the records" 20 r2.Wal.r_records;
+  append_run w2 21 25;
+  Wal.close w2;
+  let _, r3 = Wal.scan ~store:store2 ~shard:0 in
+  Alcotest.(check int) "appendable after recovery" 25 r3.Wal.r_records;
+  Alcotest.(check int) "clean rescan" 0 r3.Wal.r_truncated_bytes;
+  Wal.close w
+
+let test_mmap_rotated_zero_tail () =
+  (* A rotated-but-untrimmed segment (crash between the last commit
+     and the rotation's trim) reads as real frames + a zero tail in a
+     non-final segment: the scan skips the zeros without a rewrite,
+     and the cross-segment seq continuity check still guards real
+     holes. *)
+  with_tmp_dir "mmap-rot" @@ fun dir ->
+  (* Build a multi-segment log in Mem, then lay it out on disk with a
+     zero tail glued onto a non-final segment — the exact layout such
+     a crash leaves on the mmap store. *)
+  let mem, _ = Store.Mem.create () in
+  let w, _ = Wal.open_ ~store:mem ~shard:0 ~segment_bytes:256 () in
+  for run = 0 to 8 do
+    append_run w ((run * 5) + 1) ((run + 1) * 5)
+  done;
+  Wal.close w;
+  let segs =
+    List.filter (fun n -> Filename.check_suffix n ".seg") (mem.Store.s_list ())
+  in
+  Alcotest.(check bool) "multi-segment fixture" true (List.length segs > 2);
+  let disk = Store.fs ~dir in
+  List.iteri
+    (fun i name ->
+      let data = mem.Store.s_read name in
+      let data = if i = 1 then data ^ String.make 300 '\000' else data in
+      disk.Store.s_write name data)
+    segs;
+  let store = Store.mmap ~dir ~prealloc:2048 () in
+  let records, r = Wal.scan ~store ~shard:0 in
+  Alcotest.(check int) "all records survive the untrimmed rotation" 45
+    (List.length records);
+  Alcotest.(check int) "skipped, not rewritten" 0 r.Wal.r_truncated_bytes;
+  (* A real hole in acked history is still loud. *)
+  store.Store.s_delete (List.nth segs 2);
+  match Wal.scan ~store ~shard:0 with
+  | _ -> Alcotest.fail "hole went unnoticed"
+  | exception Wal.Corrupt _ -> ()
+
+let test_mmap_crash_fuzz () =
+  (* Seeded end-to-end crash fuzz on the mmap store: random ops,
+     random delta/full snapshots (chain state on disk), a torn group
+     commit, a kill, and a reboot — recovered state must equal the
+     oracle replay of exactly the acked history, every seed. *)
+  for seed = 0 to 3 do
+    with_tmp_dir (Printf.sprintf "mmap-fuzz-%d" seed) @@ fun dir ->
+    let store = Store.mmap ~dir ~prealloc:2048 () in
+    let rng = Prims.Rng.create ~seed:(3000 + seed) in
+    let ops = ref [] in
+    let p, _ =
+      Primary.create ~structure:hashmap ~scheme:hyaline ~delta:true
+        (mk_cfg ()) ~store ()
+    in
+    (* Interleave driving with snapshots so the chain grows: base,
+       deltas, and sometimes a compacting full. *)
+    for round = 0 to 4 do
+      drive_ops p.Primary.svc
+        ~seed:(4000 + (seed * 16) + round)
+        ~rounds:(60 + Prims.Rng.below rng 60)
+        ~range:48 ops;
+      let shard = Prims.Rng.below rng 2 in
+      let mode =
+        match Prims.Rng.below rng 4 with 0 -> `Full | _ -> `Auto
+      in
+      ignore (Primary.snapshot_shard p ~shard ~mode ())
+    done;
+    drive_ops p.Primary.svc ~seed:(5000 + seed) ~rounds:100 ~range:48 ops;
+    (* Torn commit on shard 0, then process death. *)
+    Primary.arm_torn_commit p ~shard:0;
+    let svc = p.Primary.svc in
+    let submitted = ref 0 in
+    let k = ref 10_000 in
+    while !submitted < 8 do
+      if svc.Shard.shard_of_key !k = 0 then begin
+        incr submitted;
+        svc.Shard.submit ~tid:1 (Codec.Put { key = !k; value = 1 }) (fun _ -> ())
+      end;
+      incr k
+    done;
+    let deadline = Unix.gettimeofday () +. 10.0 in
+    while svc.Shard.consumer_alive 0 && Unix.gettimeofday () < deadline do
+      Domain.cpu_relax ()
+    done;
+    Primary.kill p;
+    (* Reboot mid-chain from the real directory. *)
+    let store2 = Store.mmap ~dir ~prealloc:2048 () in
+    let p2, _ =
+      Primary.create ~structure:hashmap ~scheme:hyaline ~delta:true
+        (mk_cfg ()) ~store:store2 ()
+    in
+    let recovered = primary_state p2 in
+    Primary.stop p2;
+    Primary.stop p;
+    let expected = Chaos.Oracle.replay_state ~ops:(List.rev !ops) in
+    Alcotest.(check (list (pair int int)))
+      (Printf.sprintf "seed %d: mmap recovery = acked history exactly" seed)
+      expected recovered
+  done
+
 let suites =
   [
     ( "replica codec",
@@ -752,6 +1165,16 @@ let suites =
       [
         Alcotest.test_case "mem crash semantics" `Quick test_mem_store_crash;
         Alcotest.test_case "fs append and atomic publish" `Quick test_fs_store;
+        Alcotest.test_case "mmap append, trim, publish, source" `Quick
+          test_mmap_store_basics;
+      ] );
+    ( "replica dirty",
+      [
+        Alcotest.test_case "basics + dedup" `Quick test_dirty_basics;
+        Alcotest.test_case "seal handoff + cell retry" `Quick
+          test_dirty_seal_handoff;
+        Alcotest.test_case "overflow poison is sticky" `Quick
+          test_dirty_overflow;
       ] );
     ( "replica wal",
       [
@@ -771,6 +1194,12 @@ let suites =
         Alcotest.test_case "roundtrip + delete_older" `Quick
           test_snapshot_roundtrip;
         Alcotest.test_case "strict loader" `Quick test_snapshot_strict_loader;
+        Alcotest.test_case "delta chain merge + compaction" `Quick
+          test_snapshot_delta_chain;
+        Alcotest.test_case "chain continuity violations are loud" `Quick
+          test_snapshot_chain_violations;
+        Alcotest.test_case "compaction-crash residue ignored" `Quick
+          test_snapshot_chain_compaction_residue;
       ] );
     ( "replica service",
       [
@@ -786,5 +1215,18 @@ let suites =
           test_rep_opcodes_over_socket;
         Alcotest.test_case "socket claim: stale vs live" `Quick
           test_socket_claim;
+        Alcotest.test_case "delta snapshot cycle = oracle" `Quick
+          test_primary_delta_snapshot_cycle;
+        Alcotest.test_case "dirty overflow falls back to full" `Quick
+          test_primary_dirty_overflow_falls_back;
+      ] );
+    ( "replica mmap",
+      [
+        Alcotest.test_case "prealloc zero tail trims" `Quick
+          test_mmap_wal_prealloc_tail;
+        Alcotest.test_case "rotated zero tail skipped, holes loud" `Quick
+          test_mmap_rotated_zero_tail;
+        Alcotest.test_case "seeded crash fuzz = acked history" `Quick
+          test_mmap_crash_fuzz;
       ] );
   ]
