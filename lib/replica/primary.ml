@@ -6,9 +6,13 @@
    Incremental snapshots ride the same hook: every applied mutation
    records its key in the shard's dirty set (a [Dirty.t] held in an
    Atomic cell), and [snapshot_shard] in delta mode visits only that
-   set.  Dirty recording is UNCONDITIONAL — bootstrap-replayed
-   mutations have WAL seqs above the chain tip, so their keys belong
-   in the next delta exactly like live traffic's.
+   set.  During bootstrap the cell holds [Dirty.none] while the chain
+   bindings apply — they are base state, already covered by the chain
+   on disk, and recording them would make the first post-boot delta
+   re-ship the whole base (or instantly poison the set).  Tracking
+   flips on just before WAL replay: replayed seqs sit above the chain
+   tip, so their keys belong in the next delta exactly like live
+   traffic's.
 
    Why the stamp -> swap -> seal -> traverse order is sound (the
    whole delta correctness argument):
@@ -99,9 +103,11 @@ let create ~structure ~scheme (cfg : Shard.config) ~store ?segment_bytes
   in
   let wals = Array.map fst opened in
   let logging = Atomic.make false in
+  (* Cells start at [Dirty.none] so chain bootstrap below applies base
+     bindings without recording them; each shard's cell goes live
+     right before its WAL replay. *)
   let dirty =
-    Array.init cfg.Shard.shards (fun _ ->
-        Atomic.make (if delta then Dirty.create ~cap:dirty_cap else Dirty.none))
+    Array.init cfg.Shard.shards (fun _ -> Atomic.make Dirty.none)
   in
   let tap = Atomic.make no_tap in
   let hook =
@@ -146,6 +152,7 @@ let create ~structure ~scheme (cfg : Shard.config) ~store ?segment_bytes
             | [] -> ());
             c.Snapshot.c_seq
       in
+      if delta then Atomic.set dirty.(i) (Dirty.create ~cap:dirty_cap);
       match Wal.read_from wal ~from:snap_seq ~max:max_int with
       | `Batch (records, _) ->
           List.iter (fun (_, m) -> apply_mutation svc m) records;
@@ -254,24 +261,39 @@ let snapshot_shard t ~shard ?(gate = fun _ -> ()) ?(truncate = true)
   end
   else begin
     (* Full path.  Swap a fresh set in and seal the old one anyway —
-       racing adds must be redirected to the fresh set, and the old
-       one can then be discarded wholesale: every key it holds has
-       its applied value visible to the full traversal below. *)
-    (if not (Dirty.is_none cur) then begin
-       let old = Atomic.exchange cell (Dirty.create ~cap:t.dirty_cap) in
-       Dirty.seal old
-     end);
-    let bindings = t.svc.Shard.snapshot ~shard ~gate in
-    let file = Snapshot.write ~store:t.store ~shard ~seq bindings in
-    meta.m_base <- Some seq;
-    meta.m_last <- seq;
-    meta.m_deltas <- 0;
-    meta.m_file <- file;
+       racing adds must be redirected to the fresh set.  The old set
+       only becomes discardable once the base PUBLISHES: until then
+       its keys are the sole record of what the chain is missing, so
+       a failed traversal (Shard.snapshot raises when it overlaps a
+       sweep) or store write must merge them back, exactly like the
+       delta path — otherwise the next delta would silently omit
+       them. *)
+    let old =
+      if Dirty.is_none cur then Dirty.none
+      else begin
+        let o = Atomic.exchange cell (Dirty.create ~cap:t.dirty_cap) in
+        Dirty.seal o;
+        o
+      end
+    in
+    (try
+       let bindings = t.svc.Shard.snapshot ~shard ~gate in
+       let file = Snapshot.write ~store:t.store ~shard ~seq bindings in
+       meta.m_base <- Some seq;
+       meta.m_last <- seq;
+       meta.m_deltas <- 0;
+       meta.m_file <- file
+     with e ->
+       if not (Dirty.is_none old) then begin
+         Dirty.iter old (fun key -> record_dirty cell ~key);
+         if Dirty.overflowed old then Dirty.poison (Atomic.get cell)
+       end;
+       raise e);
     if truncate then begin
       Wal.truncate_upto t.wals.(shard) ~seq;
       ignore (Snapshot.delete_older ~store:t.store ~shard ~keep_seq:seq)
     end;
-    (file, seq)
+    (meta.m_file, seq)
   end
 
 let sweep t ~shard = t.svc.Shard.snapshot ~shard ~gate:(fun _ -> ())

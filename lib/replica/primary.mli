@@ -24,10 +24,12 @@
 
     Bootstrap on {!create}: newest snapshot {e chain} (if any) then
     WAL replay from its tip seq, with logging disabled so recovery
-    never re-appends what it reads.  Replay applies absolute
-    mutations through the normal shard path — and still records
-    dirty keys, because replayed seqs sit above the chain tip and
-    belong in the next delta. *)
+    never re-appends what it reads.  Chain bindings apply with dirty
+    tracking {e off} — they are base state the chain already covers,
+    and recording them would bloat (or poison) the first post-boot
+    delta.  WAL replay then records dirty keys normally, because
+    replayed seqs sit above the chain tip and belong in the next
+    delta. *)
 
 type tap = shard:int -> Service.Codec.mutation -> unit
 (** Post-apply mutation observer (the cluster layer's slot-dirty

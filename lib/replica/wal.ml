@@ -125,23 +125,28 @@ let scan_store ~(store : Store.t) ~shard =
                 records := (seq, m) :: !records;
                 expect := seq + 1
             | exception Codec.Malformed reason ->
-                (* Damaged record: in the last segment this is the
-                   classic torn tail — truncate from its length
-                   prefix.  In a rotated segment it is a hole in
-                   acknowledged history, with one exception: an mmap-
-                   preallocated segment whose crash left the zero tail
-                   untrimmed (a zero length prefix reads as an empty
-                   frame -> Malformed here).  That case — and only
-                   that case — is all zeros from [frame_start] to EOF
-                   (a record whose bytes rotted leaves its nonzero
-                   frame behind), and is skipped without a rewrite; if
-                   the zeros actually hid acked records, the next
-                   segment's first-seq continuity check fails loudly. *)
-                if is_last then begin
+                (* Damaged record: the classic torn tail when the
+                   damage runs to EOF in the last segment — directly
+                   (!pos = len), or through the zero tail of an mmap-
+                   preallocated segment (a torn record's payload read
+                   consumed part of it; a zero length prefix reads as
+                   an empty frame -> Malformed here).  A damaged
+                   record FOLLOWED by non-zero frames is bitrot in
+                   acknowledged history, not a tear — commits append
+                   in order, so nothing past a tear was ever written —
+                   and stays loud even in the newest segment.  In a
+                   rotated segment the one benign shape is all zeros
+                   from [frame_start] to EOF (the untrimmed prealloc
+                   tail of a crash between last commit and rotation):
+                   skipped without a rewrite; if the zeros actually
+                   hid acked records, the next segment's first-seq
+                   continuity check fails loudly. *)
+                if is_last && (!pos = len || rest_is_zeros !pos) then begin
                   torn := Some (name, frame_start, len - frame_start);
                   stop := true
                 end
-                else if rest_is_zeros frame_start then stop := true
+                else if (not is_last) && rest_is_zeros frame_start then
+                  stop := true
                 else fail reason)
       done)
     segs;

@@ -379,6 +379,50 @@ let test_wal_missing_segment () =
       Alcotest.(check bool) "reason mentions the gap" true
         (String.length reason > 0)
 
+(* A CRC-damaged record FOLLOWED by well-formed frames is bitrot in
+   acknowledged history, not a tear — loud even in the newest segment.
+   Truncation is reserved for damage that runs to EOF (directly, or
+   through an mmap zero tail). *)
+let test_wal_last_segment_midrot_is_loud () =
+  let build () =
+    let store, _ = Store.Mem.create () in
+    let w, _ = Wal.open_ ~store ~shard:0 () in
+    append_run w 1 10;
+    Wal.close w;
+    let seg =
+      List.find
+        (fun n -> Filename.check_suffix n ".seg")
+        (store.Store.s_list ())
+    in
+    (store, seg, Bytes.of_string (store.Store.s_read seg))
+  in
+  let frame_start b n =
+    let pos = ref 0 in
+    for _ = 1 to n do
+      pos := !pos + 4 + Int32.to_int (Bytes.get_int32_be b !pos)
+    done;
+    !pos
+  in
+  let flip b i = Bytes.set b i (Char.chr (Char.code (Bytes.get b i) lxor 0x40)) in
+  (* Rot record 3 of 10: seven well-formed frames follow. *)
+  let store, seg, b = build () in
+  flip b (frame_start b 2 + 6);
+  store.Store.s_write seg (Bytes.to_string b);
+  (match Wal.scan ~store ~shard:0 with
+  | _ -> Alcotest.fail "mid-segment rot was silently truncated"
+  | exception Wal.Corrupt { segment; _ } ->
+      Alcotest.(check string) "corrupt names the only segment" seg segment);
+  (* Same damage in the FINAL record runs to EOF: the torn-tail rule
+     still applies and everything acked before it survives. *)
+  let store, seg, b = build () in
+  flip b (frame_start b 9 + 6);
+  store.Store.s_write seg (Bytes.to_string b);
+  let records, r = Wal.scan ~store ~shard:0 in
+  Alcotest.(check int) "records before the tear survive" 9
+    (List.length records);
+  Alcotest.(check bool) "final-record damage truncates" true
+    (r.Wal.r_truncated_bytes > 0)
+
 (* ------------------------------------------------------------------ *)
 (* Snapshots *)
 
@@ -970,6 +1014,120 @@ let test_primary_dirty_overflow_falls_back () =
         "overflowed tracker falls back to a base" true
         (String.sub f 0 4 = "snap"))
 
+let test_full_snapshot_failure_keeps_dirty () =
+  (* A full snapshot that fails at traversal or publish must not eat
+     the swapped-out dirty set: those keys are the only record of what
+     the chain is missing, and the next delta must still ship them —
+     otherwise chain + WAL replay silently loses the mutations the
+     failed full would have covered. *)
+  let mem, _ = Store.Mem.create () in
+  let fail_writes = ref false in
+  let store =
+    {
+      mem with
+      Store.s_write =
+        (fun name contents ->
+          if !fail_writes then failwith "injected publish failure"
+          else mem.Store.s_write name contents);
+    }
+  in
+  let ops = ref [] in
+  let p, _ =
+    Primary.create ~structure:hashmap ~scheme:hyaline ~delta:true (mk_cfg ())
+      ~store ()
+  in
+  drive_ops p.Primary.svc ~seed:71 ~rounds:200 ~range:64 ops;
+  for shard = 0 to 1 do
+    ignore (Primary.snapshot_shard p ~shard ~mode:`Full ())
+  done;
+  (* Mutations the chain does not cover yet... *)
+  drive_ops p.Primary.svc ~seed:72 ~rounds:200 ~range:64 ops;
+  (* ...must survive a full snapshot that dies at publish. *)
+  fail_writes := true;
+  for shard = 0 to 1 do
+    match Primary.snapshot_shard p ~shard ~mode:`Full () with
+    | _ -> Alcotest.fail "injected failure did not surface"
+    | exception Failure _ -> ()
+  done;
+  fail_writes := false;
+  drive_ops p.Primary.svc ~seed:73 ~rounds:50 ~range:64 ops;
+  (* Tracking was merged back, not poisoned: the next snapshot is a
+     delta, and it carries the pre-failure write set. *)
+  for shard = 0 to 1 do
+    let f, _ = Primary.snapshot_shard p ~shard () in
+    Alcotest.(check bool) "post-failure snapshot is a delta" true
+      (String.length f >= 5 && String.sub f 0 5 = "delta")
+  done;
+  Primary.stop p;
+  let p2, _ =
+    Primary.create ~structure:hashmap ~scheme:hyaline ~delta:true (mk_cfg ())
+      ~store ()
+  in
+  let recovered = primary_state p2 in
+  Primary.stop p2;
+  let expected = Chaos.Oracle.replay_state ~ops:(List.rev !ops) in
+  Alcotest.(check (list (pair int int)))
+    "chain after a failed full = acked history" expected recovered
+
+let test_bootstrap_chain_bindings_not_dirty () =
+  (* Chain bindings applied at boot are base state: recording them
+     would make the first post-boot delta re-ship the whole base — or,
+     with a small cap, instantly poison the set and degrade the first
+     delta to a full.  Only WAL-tail replay belongs in the next
+     delta. *)
+  let store, _ = Store.Mem.create () in
+  let ops = ref [] in
+  let p, _ =
+    Primary.create ~structure:hashmap ~scheme:hyaline ~delta:true
+      ~dirty_cap:16 (mk_cfg ()) ~store ()
+  in
+  drive_ops p.Primary.svc ~seed:81 ~rounds:300 ~range:64 ops;
+  for shard = 0 to 1 do
+    ignore (Primary.snapshot_shard p ~shard ~mode:`Full ())
+  done;
+  Primary.stop p;
+  (* Reboot: more than cap/2 live keys per shard would poison cap-16
+     tracking if the chain bindings were recorded. *)
+  let p2, boot =
+    Primary.create ~structure:hashmap ~scheme:hyaline ~delta:true
+      ~dirty_cap:16 (mk_cfg ()) ~store ()
+  in
+  Alcotest.(check bool) "fixture restored a sizable base" true
+    (Array.fold_left min max_int boot.Primary.b_snap_bindings > 8);
+  List.iter
+    (fun (k, v) ->
+      if
+        k = "rep_shard0_dirty_keys" || k = "rep_shard1_dirty_keys"
+        || k = "rep_shard0_dirty_overflow"
+        || k = "rep_shard1_dirty_overflow"
+      then Alcotest.(check int) (k ^ " clean after boot") 0 v)
+    (Primary.gauges p2);
+  (* A few fresh writes per shard -> the next snapshot is a small
+     delta, not a full fallback. *)
+  let put_on shard n =
+    let k = ref 0 and sent = ref 0 in
+    while !sent < n do
+      if p2.Primary.svc.Shard.shard_of_key !k = shard then begin
+        let req = Codec.Put { key = !k; value = !k + 1000 } in
+        let reply = Shard.call p2.Primary.svc ~tid:0 req in
+        ops := (req, reply) :: !ops;
+        incr sent
+      end;
+      incr k
+    done
+  in
+  put_on 0 3;
+  put_on 1 3;
+  for shard = 0 to 1 do
+    let f, _ = Primary.snapshot_shard p2 ~shard ~mode:`Delta () in
+    Alcotest.(check bool) "first post-boot snapshot is a delta" true
+      (String.length f >= 5 && String.sub f 0 5 = "delta")
+  done;
+  let live = primary_state p2 in
+  Primary.stop p2;
+  let expected = Chaos.Oracle.replay_state ~ops:(List.rev !ops) in
+  Alcotest.(check (list (pair int int))) "state = oracle" expected live
+
 (* ------------------------------------------------------------------ *)
 (* Mmap store: basics and seeded crash-exactness fuzz *)
 
@@ -1188,6 +1346,8 @@ let suites =
           test_wal_fuzz_midlog_corruption;
         Alcotest.test_case "missing segment is loud" `Quick
           test_wal_missing_segment;
+        Alcotest.test_case "last-segment mid-rot is loud" `Quick
+          test_wal_last_segment_midrot_is_loud;
       ] );
     ( "replica snapshot",
       [
@@ -1219,6 +1379,10 @@ let suites =
           test_primary_delta_snapshot_cycle;
         Alcotest.test_case "dirty overflow falls back to full" `Quick
           test_primary_dirty_overflow_falls_back;
+        Alcotest.test_case "failed full keeps the dirty set" `Quick
+          test_full_snapshot_failure_keeps_dirty;
+        Alcotest.test_case "boot chain bindings stay clean" `Quick
+          test_bootstrap_chain_bindings_not_dirty;
       ] );
     ( "replica mmap",
       [
