@@ -593,6 +593,192 @@ let snapshot_rows () =
   in
   List.rev !rows @ sync_rows
 
+(* ------------------------------------------------------------------ *)
+(* lib/shmalloc: the shared-memory value arena.  The class rows time
+   the two halves of a block's life separately — phase-timed fills and
+   drains, snapshot_rows-style, because a steady-state [measure] thunk
+   can only ever see alloc+free blended.  The free row deliberately
+   includes the amortized flush (batch padding + insert pass): that is
+   the real retire cost the daemon pays, not just the stamp bump. *)
+
+let shmalloc_tmp tag =
+  Filename.concat
+    (Filename.get_temp_dir_name ())
+    (Printf.sprintf "bench-%s-%d" tag (Unix.getpid ()))
+
+let with_arena tag f =
+  let path = shmalloc_tmp tag ^ ".arena" in
+  Shmalloc.Arena.unlink_path path;
+  let a = Shmalloc.Arena.create ~path ~slots:2 ~tids:1 () in
+  Fun.protect
+    ~finally:(fun () ->
+      Shmalloc.Arena.mark_closed a;
+      Shmalloc.Arena.detach a;
+      Shmalloc.Arena.unlink a)
+  @@ fun () -> f a
+
+let shmalloc_class_rows () =
+  with_arena "shmalloc" @@ fun a ->
+  let class_rows =
+    (* Default geometry: payload caps 16/128/1024/4104 B; fill counts
+       stay under the per-class block budgets (4096/2048/1024/512). *)
+    [ (16, 2048); (128, 1024); (1024, 512); (4104, 256) ]
+    |> List.concat_map (fun (payload, count) ->
+           let s = String.make payload 'v' in
+           let refs = Array.make count 0 in
+           let rounds = 16 in
+           let best_alloc = ref infinity and best_free = ref infinity in
+           for _trial = 1 to 3 do
+             let t_alloc = ref 0.0 and t_free = ref 0.0 in
+             for _round = 1 to rounds do
+               let t0 = Unix.gettimeofday () in
+               for i = 0 to count - 1 do
+                 match Shmalloc.Arena.alloc_put a s with
+                 | Some r -> refs.(i) <- r
+                 | None -> failwith "bench: arena class exhausted"
+               done;
+               let t1 = Unix.gettimeofday () in
+               for i = 0 to count - 1 do
+                 Shmalloc.Arena.retire a ~tid:0 refs.(i)
+               done;
+               Shmalloc.Arena.flush a;
+               let t2 = Unix.gettimeofday () in
+               t_alloc := !t_alloc +. (t1 -. t0);
+               t_free := !t_free +. (t2 -. t1)
+             done;
+             if !t_alloc < !best_alloc then best_alloc := !t_alloc;
+             if !t_free < !best_free then best_free := !t_free
+           done;
+           let per t = t *. 1e9 /. float_of_int (count * rounds) in
+           [
+             (Printf.sprintf "shmalloc/alloc/%dB" payload, per !best_alloc);
+             (Printf.sprintf "shmalloc/free/%dB" payload, per !best_free);
+           ])
+  in
+  (* Reference decode: unpack all four packed fields plus the byte
+     offset — the work a client does per [Val_ref] frame before the
+     copy-out.  Class-independent, one row. *)
+  let decode_row =
+    match Shmalloc.Arena.alloc_put a (String.make 64 'r') with
+    | None -> []
+    | Some r ->
+        let ns =
+          measure (fun () ->
+              ignore
+                (Sys.opaque_identity
+                   (Shmalloc.Arena.Ref.gen r + Shmalloc.Arena.Ref.cls r
+                  + Shmalloc.Arena.Ref.len r + Shmalloc.Arena.Ref.idx r
+                  + Shmalloc.Arena.off_of_ref a r)))
+        in
+        Shmalloc.Arena.retire a ~tid:0 r;
+        Shmalloc.Arena.flush a;
+        [ ("shmalloc/ref-decode", ns) ]
+  in
+  class_rows @ decode_row
+
+(* The transparency gate, arena edition: the same shard call with the
+   arena branch disabled (heap values, the default) vs wired in.  The
+   arena-off row is the overhead the subsystem must not add when it is
+   not configured. *)
+let shmalloc_shard_call ~arena =
+  let svc =
+    Service.Shard.create
+      ~structure:(Workload.Registry.find_structure "hashmap")
+      ~scheme:(Workload.Registry.find_scheme "hyaline")
+      {
+        Service.Shard.default_config with
+        Service.Shard.shards = 1;
+        clients = 1;
+        arena;
+      }
+  in
+  let lc = Service.Conn.Loopback.connect svc ~tid:0 in
+  let k = ref 0 in
+  let ns =
+    measure (fun () ->
+        incr k;
+        let key = !k land 255 in
+        ignore
+          (Service.Conn.Loopback.call lc
+             (Service.Codec.Put { key; value = !k }));
+        ignore (Service.Conn.Loopback.call lc (Service.Codec.Get key)))
+  in
+  svc.Service.Shard.stop ();
+  ns
+
+let shmalloc_overhead_rows () =
+  let off = shmalloc_shard_call ~arena:None in
+  let on = with_arena "shmalloc-svc" (fun a -> shmalloc_shard_call ~arena:(Some a)) in
+  [
+    ("shmalloc/overhead/shard-call-arena-off", off);
+    ("shmalloc/overhead/shard-call-arena-on", on);
+  ]
+
+(* The remote GET the subsystem exists for: full RTT through the shm
+   rings for a 1 KiB value, answered by reference (the multiplexer
+   mints a [Val_ref] from one atomic map read and the client copies
+   out of its own mapping) vs materialized daemon-side through the
+   mailbox.  BENCH JSON pairs these rows for the CI ratio gate. *)
+let serve_zc_rows () =
+  let path = shmalloc_tmp "zc-serve" in
+  Service.Shm_conn.claim_listen_path path;
+  let arena =
+    Shmalloc.Arena.create ~path:(path ^ ".arena") ~slots:2 ~tids:1 ()
+  in
+  let svc =
+    Service.Shard.create
+      ~structure:(Workload.Registry.find_structure "hashmap")
+      ~scheme:(Workload.Registry.find_scheme "hyaline")
+      {
+        Service.Shard.default_config with
+        Service.Shard.shards = 1;
+        clients = 2;
+        zc_readers = 1;
+        arena = Some arena;
+      }
+  in
+  let srv = Service.Shm_conn.serve svc ~path () in
+  Fun.protect
+    ~finally:(fun () ->
+      Service.Shm_conn.shutdown srv;
+      svc.Service.Shard.stop ();
+      Shmalloc.Arena.mark_closed arena;
+      Shmalloc.Arena.detach arena;
+      Shmalloc.Arena.unlink arena)
+  @@ fun () ->
+  let cref = Service.Shm_conn.connect ~path in
+  let ccopy = Service.Shm_conn.connect ~path in
+  Fun.protect
+    ~finally:(fun () ->
+      Service.Shm_conn.close cref;
+      Service.Shm_conn.close ccopy)
+  @@ fun () ->
+  if not (Service.Shm_conn.enable_zc cref) then
+    failwith "bench: zc negotiation failed";
+  (* Value-size sweep: the reference path's win should hold from a
+     cache-line-sized value up to the largest legal blob. *)
+  [ 64; 1024; 4080 ]
+  |> List.concat_map (fun n ->
+         let blob = String.init n (fun i -> Char.chr (i land 0xff)) in
+         ignore
+           (Service.Shm_conn.call cref
+              (Service.Codec.Putb { key = 1; value = blob }));
+         let ref_ns =
+           measure (fun () ->
+               ignore (Service.Shm_conn.call cref (Service.Codec.Get 1)))
+         in
+         let copy_ns =
+           measure (fun () ->
+               ignore (Service.Shm_conn.call ccopy (Service.Codec.Get 1)))
+         in
+         [
+           (Printf.sprintf "serve/zc/ref-get/%dB" n, ref_ns);
+           (Printf.sprintf "serve/zc/copy-get/%dB" n, copy_ns);
+         ])
+
+let shmalloc_rows () =
+  shmalloc_class_rows () @ shmalloc_overhead_rows () @ serve_zc_rows ()
+
 let microbenches () =
   scheme_rows "retire-cost" retire_cost
   @ scheme_rows "bracket-cost" bracket_cost
@@ -662,7 +848,7 @@ let run_microbenches ?json ~parts () =
   let rows =
     (if List.mem `Table1 parts then
        (microbenches () |> List.map (fun (name, fn) -> (name, measure fn)))
-       @ percentile_rows ()
+       @ percentile_rows () @ shmalloc_rows ()
      else [])
     @ (if List.mem `Snapshots parts then snapshot_rows () else [])
     |> List.sort compare

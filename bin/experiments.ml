@@ -795,6 +795,208 @@ let run_serve_smoke () =
       "serve smoke ok: one codec over two wires answers identically, and a \
        stalled zero-copy bracket pins only what the robust scheme bounds@."
 
+(* serve --zc remote --smoke: the cross-process zero-copy CI gate.
+   The arena-backed daemon answers GETs by reference ([Val_ref]) to
+   clients that negotiated a mapping; everyone else gets materialized
+   bytes.  Three gates:
+   1. Reference identity — the same seeded stream must answer
+      byte-identically whether the client materializes references from
+      its own mapping, takes the routed copy path, or talks to a plain
+      heap-backed service.  One codec, three value paths.
+   2. Stalled remote reader — a client parks inside its reservation
+      bracket while another connection churns; [Handoff] (the
+      cross-process Hyaline-S discipline) keeps the arena's
+      retired-unreclaimed backlog bounded, [Epoch] pins everything
+      retired since the stall.
+   3. Confirmed-death sweep — a client dies holding its bracket; the
+      multiplexer force-clears the reservation slot and reclamation
+      drains. *)
+
+let zc_arena_server ~policy ~tag f =
+  let path = transport_path ("zc." ^ tag) in
+  (* Claim before create: the stale sweep targets <path>.arena*. *)
+  Service.Shm_conn.claim_listen_path path;
+  let arena =
+    Shmalloc.Arena.create ~path:(path ^ ".arena") ~slots:2 ~policy ~tids:2 ()
+  in
+  let svc =
+    Service.Shard.create
+      ~structure:(Registry.find_structure "hashmap")
+      ~scheme:(Registry.find_scheme "hyaline")
+      {
+        Service.Shard.default_config with
+        Service.Shard.shards = 2;
+        clients = 2;
+        seed = 7;
+        zc_readers = 1;
+        arena = Some arena;
+      }
+  in
+  let srv = Service.Shm_conn.serve svc ~path () in
+  Fun.protect ~finally:(fun () ->
+      Service.Shm_conn.shutdown srv;
+      svc.Service.Shard.stop ();
+      Shmalloc.Arena.mark_closed arena;
+      Shmalloc.Arena.detach arena;
+      Shmalloc.Arena.unlink arena)
+  @@ fun () -> f ~path ~arena
+
+let zc_reply_trace ~negotiate ~tag stream =
+  zc_arena_server ~policy:Shmalloc.Arena.Handoff ~tag @@ fun ~path ~arena:_ ->
+  let c = Service.Shm_conn.connect ~path in
+  Fun.protect ~finally:(fun () -> Service.Shm_conn.close c)
+  @@ fun () ->
+  if negotiate && not (Service.Shm_conn.enable_zc c) then
+    failwith "zc negotiation refused by arena-backed daemon";
+  List.map
+    (fun req -> Service.Codec.reply_to_string (Service.Shm_conn.call c req))
+    stream
+
+let zc_stalled_backlog ~policy =
+  zc_arena_server ~policy ~tag:("stall." ^ Shmalloc.Arena.policy_name policy)
+  @@ fun ~path ~arena ->
+  let c = Service.Shm_conn.connect ~path in
+  Fun.protect ~finally:(fun () -> Service.Shm_conn.close c)
+  @@ fun () ->
+  if not (Service.Shm_conn.enable_zc c) then failwith "zc negotiation failed";
+  ignore (Service.Shm_conn.call c (Service.Codec.Put { key = 0; value = 0 }));
+  ignore (Service.Shm_conn.call c (Service.Codec.Get 0));
+  (* Park the reservation open — the remote analogue of a reader
+     stalled mid-bracket. *)
+  Service.Shm_conn.zc_hold c;
+  let c2 = Service.Shm_conn.connect ~path in
+  for i = 1 to 5000 do
+    ignore
+      (Service.Shm_conn.call c2
+         (Service.Codec.Put { key = i land 31; value = i }));
+    ignore (Service.Shm_conn.call c2 (Service.Codec.Del (i land 31)))
+  done;
+  Service.Shm_conn.close c2;
+  let backlog = Shmalloc.Arena.unreclaimed arena in
+  Service.Shm_conn.zc_release c;
+  backlog
+
+let zc_dead_client_drain () =
+  zc_arena_server ~policy:Shmalloc.Arena.Handoff ~tag:"dead"
+  @@ fun ~path ~arena ->
+  let c = Service.Shm_conn.connect ~path in
+  if not (Service.Shm_conn.enable_zc c) then failwith "zc negotiation failed";
+  let slot = Option.get (Service.Shm_conn.zc_slot c) in
+  ignore (Service.Shm_conn.call c (Service.Codec.Put { key = 9; value = 9 }));
+  ignore (Service.Shm_conn.call c (Service.Codec.Get 9));
+  Service.Shm_conn.zc_hold c;
+  (* Die without releasing the bracket; the multiplexer's connection
+     sweep must force-clear the slot on the corpse's behalf. *)
+  Service.Shm_conn.close c;
+  let deadline = Unix.gettimeofday () +. 5.0 in
+  while
+    Shmalloc.Arena.slot_era arena ~slot <> 0
+    && Unix.gettimeofday () < deadline
+  do
+    Unix.sleepf 0.01
+  done;
+  let cleared = Shmalloc.Arena.slot_era arena ~slot = 0 in
+  (* With the slot gone nothing holds an era, so fresh churn flushes
+     straight through the insert pass and the backlog stays at the
+     partial-batch floor. *)
+  let c2 = Service.Shm_conn.connect ~path in
+  for i = 1 to 500 do
+    ignore
+      (Service.Shm_conn.call c2
+         (Service.Codec.Put { key = i land 15; value = i }));
+    ignore (Service.Shm_conn.call c2 (Service.Codec.Del (i land 15)))
+  done;
+  Service.Shm_conn.close c2;
+  (cleared, Shmalloc.Arena.unreclaimed arena)
+
+let run_serve_zc_smoke () =
+  let problems = ref [] in
+  let fail fmt = Printf.ksprintf (fun m -> problems := m :: !problems) fmt in
+  let stream =
+    Service.Loadgen.request_stream ~seed:4242 ~tid:0
+      ~dist:(Keydist.uniform ~range:256)
+      ~mix:Service.Loadgen.write_heavy ~n:400
+  in
+  (* 1: reference identity — ref path vs copy path vs heap-backed. *)
+  let heap_replies =
+    let svc =
+      Service.Shard.create
+        ~structure:(Registry.find_structure "hashmap")
+        ~scheme:(Registry.find_scheme "hyaline")
+        {
+          Service.Shard.default_config with
+          Service.Shard.shards = 2;
+          clients = 2;
+          seed = 7;
+          zc_readers = 1;
+        }
+    in
+    let path = transport_path "zc.heap" in
+    let stop_server = transport_serve "shm" svc ~path in
+    let r = smoke_reply_trace "shm" ~path stream in
+    stop_server ();
+    svc.Service.Shard.stop ();
+    r
+  in
+  let ref_replies = zc_reply_trace ~negotiate:true ~tag:"ref" stream in
+  let copy_replies = zc_reply_trace ~negotiate:false ~tag:"copy" stream in
+  let diverge a b =
+    let rec go i xs ys =
+      match (xs, ys) with
+      | x :: _, y :: _ when x <> y -> Printf.sprintf "op %d: %s vs %s" i x y
+      | _ :: xs, _ :: ys -> go (i + 1) xs ys
+      | _ -> "length mismatch"
+    in
+    go 0 a b
+  in
+  if ref_replies <> copy_replies then
+    fail "zc identity: by-reference and copy-path traces diverge (%s)"
+      (diverge ref_replies copy_replies)
+  else if ref_replies <> heap_replies then
+    fail "zc identity: arena-backed and heap-backed traces diverge (%s)"
+      (diverge ref_replies heap_replies)
+  else
+    Format.printf
+      "zc smoke: %d-op seeded stream — by-reference, copy-path and \
+       heap-backed reply traces identical@."
+      (List.length stream);
+  (* 2: stalled remote reader, Handoff vs Epoch. *)
+  let robust = zc_stalled_backlog ~policy:Shmalloc.Arena.Handoff in
+  let ebr = zc_stalled_backlog ~policy:Shmalloc.Arena.Epoch in
+  Format.printf
+    "zc smoke: stalled remote reader over 10000 churn ops — handoff arena \
+     backlog %d (%s), epoch arena backlog %d@."
+    robust
+    (if robust * 4 < ebr then "bounded" else "EXCEEDS")
+    ebr;
+  if robust * 4 >= ebr then
+    fail "stalled remote reader: handoff backlog %d not clearly bounded vs \
+          epoch %d"
+      robust ebr;
+  (* 3: confirmed-death sweep. *)
+  let cleared, residue = zc_dead_client_drain () in
+  Format.printf
+    "zc smoke: dead client holding its bracket — slot %s, post-sweep \
+     backlog %d@."
+    (if cleared then "force-cleared" else "STILL PINNED")
+    residue;
+  if not cleared then fail "dead client's reservation slot never swept";
+  if residue >= 64 then
+    fail "post-sweep arena backlog %d did not drain to the partial-batch \
+          floor"
+      residue;
+  if !problems <> [] then begin
+    List.iter
+      (fun m -> Format.eprintf "zc smoke FAILED: %s@." m)
+      (List.rev !problems);
+    exit 1
+  end
+  else
+    Format.printf
+      "zc smoke ok: references answer byte-identically to copies, a stalled \
+       remote reader pins only what handoff bounds, and a dead client's \
+       reservation is swept@."
+
 (* ------------------------------------------------------------------ *)
 (* chaos: the lib/chaos fault-injection matrix.  Everything printed to
    stdout and --csv is a deterministic function of (plan, scheme) —
@@ -2234,7 +2436,7 @@ let run_cluster ~ds ~schemes ~nnodes ~seed ~smoke =
 let rec dispatch figure ds paper threads duration active plot csv metrics_csv
     prom repeat dist schemes_arg head_backend shards_arg stalled_shards rate
     mixname churn mailbox_cap chaos_steps chaos_seed faults_arg bound smoke
-    transport nodes_arg snap_every delta =
+    transport zc nodes_arg snap_every delta =
   (* --head-backend: rebase every Hyaline entry of a sweep list onto
      the requested Head backend (dwcas|llsc|packed); baselines and
      schemes without that variant pass through unchanged. *)
@@ -2278,7 +2480,8 @@ let rec dispatch figure ds paper threads duration active plot csv metrics_csv
               else [ "hyaline" ]
           | l -> l)
       in
-      if smoke then run_serve_smoke ()
+      if smoke then
+        if zc = "remote" then run_serve_zc_smoke () else run_serve_smoke ()
       else if transport = "inproc" then
         run_serve ~sc ~ds ~schemes ~shards:shards_arg ~stalled:stalled_shards
           ~rate ~mixname ~churn ~mailbox_cap ~plot
@@ -2373,8 +2576,8 @@ let rec dispatch figure ds paper threads duration active plot csv metrics_csv
           dispatch f "hashmap" paper threads duration active plot csv
             metrics_csv prom repeat dist schemes_arg head_backend shards_arg
             stalled_shards rate mixname churn mailbox_cap chaos_steps
-            chaos_seed faults_arg bound smoke transport nodes_arg snap_every
-            delta)
+            chaos_seed faults_arg bound smoke transport zc nodes_arg
+            snap_every delta)
         [
           "ablate-batch"; "ablate-slots"; "ablate-freq"; "ablate-spurious";
           "ablate-skew";
@@ -2638,6 +2841,20 @@ let transport_arg =
            RTT, no syscall per op), or $(b,all) (unix and shm side by \
            side).")
 
+let zc_arg =
+  Arg.(
+    value
+    & opt string "off"
+    & info [ "zc" ] ~docv:"MODE"
+        ~doc:
+          "(serve --smoke) $(b,remote) switches the smoke to the \
+           cross-process zero-copy gates: an arena-backed shm daemon must \
+           answer a seeded stream byte-identically by reference and by \
+           copy, a stalled remote reservation must stay bounded under \
+           handoff while epoch balloons, and a client that dies holding \
+           its bracket must have its slot swept.  $(b,off) (default) runs \
+           the plain transport smoke.")
+
 let nodes_arg =
   Arg.(
     value & opt int 2
@@ -2676,6 +2893,7 @@ let cmd =
       $ plot $ csv $ metrics_csv $ prom $ repeat $ dist $ schemes_arg
       $ head_backend_arg $ shards_arg $ stalled_shards $ rate $ mixname
       $ churn $ mailbox_cap $ chaos_steps $ chaos_seed $ faults_arg $ bound
-      $ smoke $ transport_arg $ nodes_arg $ snap_every_arg $ delta_arg)
+      $ smoke $ transport_arg $ zc_arg $ nodes_arg $ snap_every_arg
+      $ delta_arg)
 
 let () = exit (Cmd.eval cmd)

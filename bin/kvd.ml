@@ -68,10 +68,40 @@ let selftest ~scheme ~structure ~shards ~clients ~duration =
         (Service.Slo.report svc.Service.Shard.slo))
 
 let daemon ~socket ~transport ~loop ~scheme ~structure ~shards ~clients
-    ~mailbox_cap ~batch ~wal =
+    ~mailbox_cap ~batch ~wal ~arena ~arena_policy =
   (* A client vanishing mid-reply must cost its connection, not the
      daemon: EPIPE on that fd instead of process death. *)
   Service.Conn.ignore_sigpipe ();
+  let arena_t =
+    if not arena then None
+    else begin
+      (match transport with
+      | `Shm -> ()
+      | `Unix ->
+          failwith
+            "kvd: --arena requires --transport shm (the arena file lives \
+             beside the listen FIFO and is served by reference over it)");
+      if wal <> None then
+        failwith
+          "kvd: --arena and --wal are incompatible (arena blobs do not fit \
+           the int-valued mutation log)";
+      let policy =
+        match Shmalloc.Arena.policy_of_string arena_policy with
+        | Some p -> p
+        | None ->
+            failwith
+              (Printf.sprintf "kvd: bad --arena-policy %S (handoff|epoch)"
+                 arena_policy)
+      in
+      (* Claim the rendezvous path first: the stale sweep that clears a
+         dead predecessor's litter also targets its arena file, and must
+         run before our own O_EXCL create. *)
+      Service.Shm_conn.claim_listen_path socket;
+      Some
+        (Shmalloc.Arena.create ~path:(socket ^ ".arena") ~slots:clients
+           ~policy ~tids:shards ())
+    end
+  in
   let cfg =
     {
       Service.Shard.default_config with
@@ -83,6 +113,7 @@ let daemon ~socket ~transport ~loop ~scheme ~structure ~shards ~clients
          zero-copy read when it has a slot; the socket path has no
          single serving domain to lease one to. *)
       zc_readers = (match transport with `Shm -> 1 | `Unix -> 0);
+      arena = arena_t;
     }
   in
   let structure = Workload.Registry.find_structure structure in
@@ -132,6 +163,16 @@ let daemon ~socket ~transport ~loop ~scheme ~structure ~shards ~clients
     (match wal with
     | Some dir -> Printf.sprintf " (wal: %s, group commit)" dir
     | None -> "");
+  (match arena_t with
+  | Some a ->
+      Printf.printf
+        "kvd: value arena %s (%d bytes, %d classes, %d slots, %s)\n%!"
+        (Shmalloc.Arena.path a)
+        (Shmalloc.Arena.size_bytes a)
+        (Shmalloc.Arena.nclasses a)
+        (Shmalloc.Arena.nslots a)
+        (Shmalloc.Arena.policy_name (Shmalloc.Arena.policy a))
+  | None -> ());
   (* Self-pipe shutdown: OCaml signal handlers run at allocation/poll
      points on whichever domain trips them, so tearing down in the
      handler itself (shutdown, snapshot fsyncs, Primary.stop's domain
@@ -178,6 +219,17 @@ let daemon ~socket ~transport ~loop ~scheme ~structure ~shards ~clients
       done;
       Replica.Primary.stop p
   | None -> svc.Service.Shard.stop ());
+  (* Arena teardown last: consumers (its retire builders' users) are
+     joined, remote readers saw their segments close.  Flush drains
+     the builders so the unreclaimed gauge reads honestly in traces,
+     then close, unmap, unlink. *)
+  (match arena_t with
+  | Some a ->
+      Shmalloc.Arena.flush a;
+      Shmalloc.Arena.mark_closed a;
+      Shmalloc.Arena.detach a;
+      Shmalloc.Arena.unlink a
+  | None -> ());
   List.iter
     (fun fd -> try Unix.close fd with Unix.Unix_error _ -> ())
     [ wake_rd; wake_wr ]
@@ -270,7 +322,7 @@ let resolve_socket ~socket ~name =
       Printf.sprintf "/tmp/kvd-%s.sock" n
 
 let main socket name transport loop scheme structure shards clients mailbox_cap
-    batch selftest_flag duration wal follow_target =
+    batch selftest_flag duration wal follow_target arena arena_policy =
   if selftest_flag then
     match
       selftest ~scheme ~structure ~shards ~clients ~duration
@@ -291,7 +343,7 @@ let main socket name transport loop scheme structure shards clients mailbox_cap
         match
           let socket = resolve_socket ~socket ~name in
           daemon ~socket ~transport ~loop ~scheme ~structure ~shards ~clients
-            ~mailbox_cap ~batch ~wal
+            ~mailbox_cap ~batch ~wal ~arena ~arena_policy
         with
         | () -> 0
         | exception Failure m ->
@@ -434,12 +486,35 @@ let follow_target =
            apply its committed record stream into a local service of the \
            same shape.  Prints applied seqs and lag every 2s.")
 
+let arena_flag =
+  Arg.(
+    value & flag
+    & info [ "arena" ]
+        ~doc:
+          "Store values as blocks in a shared-memory arena beside the \
+           listen path ($(b,--transport shm) only).  Clients that \
+           negotiate over A_info get GETs answered by reference — \
+           ⟨class, offset, len, generation⟩ — and copy the payload out \
+           of their own mapping, validating the generation stamp after \
+           the copy.  Incompatible with $(b,--wal).")
+
+let arena_policy =
+  Arg.(
+    value & opt string "handoff"
+    & info [ "arena-policy" ] ~docv:"POLICY"
+        ~doc:
+          "Cross-process reclamation policy for $(b,--arena): \
+           $(b,handoff) (Hyaline-S-style batch handoff to reservation \
+           slots; a stalled remote reader pins a bounded batch count) or \
+           $(b,epoch) (EBR baseline; a stalled reader pins every block \
+           retired since it entered).")
+
 let cmd =
   let doc = "Sharded lock-free KV daemon (lib/service over lib/smr)." in
   Cmd.v (Cmd.info "kvd" ~doc)
     Term.(
       const main $ socket $ name_arg $ transport $ loop $ scheme $ structure
       $ shards $ clients $ mailbox_cap $ batch $ selftest_flag $ duration $ wal
-      $ follow_target)
+      $ follow_target $ arena_flag $ arena_policy)
 
 let () = exit (Cmd.eval' cmd)

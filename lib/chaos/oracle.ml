@@ -63,6 +63,10 @@ let apply model req =
       (* Replication/cluster-control opcodes never reach the data path
          in a correct run; treat one as a divergence-visible error. *)
       Error "oracle: control request in acked history"
+  | Putb _ | Getc _ | A_info ->
+      (* Arena opcodes: the chaos engine drives the int-valued data
+         path only — blob traffic never appears in its histories. *)
+      Error "oracle: arena request in acked history"
 
 (* Sequential replay of the acked history alone, yielding the model's
    final bindings — what a promoted replica (or a primary recovered

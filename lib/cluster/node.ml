@@ -423,11 +423,15 @@ let deferrable = function
 
 let handle t req =
   match req with
-  | Codec.Get k | Codec.Del k ->
+  | Codec.Get k | Codec.Del k | Codec.Getc k ->
       let slot = Ring.slot_of_key ~nslots:t.n_nslots k in
       let owner = Atomic.get t.n_owners.(slot) in
       if owner = t.n_id then None else Some (Codec.Moved { slot; node = owner })
-  | Codec.Put { key; _ } | Codec.Cas { key; _ } ->
+  | Codec.A_info ->
+      (* Cluster nodes run WAL-backed stores, never arena-backed ones;
+         fall through and let the shard answer slot -1 (no arena). *)
+      None
+  | Codec.Putb { key; _ } | Codec.Put { key; _ } | Codec.Cas { key; _ } ->
       let slot = Ring.slot_of_key ~nslots:t.n_nslots key in
       let owner = Atomic.get t.n_owners.(slot) in
       if owner = t.n_id then None else Some (Codec.Moved { slot; node = owner })

@@ -60,6 +60,10 @@ type t = {
   logging : bool Atomic.t;
   dirty : Dirty.t Atomic.t array;
   dirty_cap : int;
+  (* Per-shard adaptive capacity for the NEXT dirty set, re-derived at
+     every snapshot from the set just swapped out (see
+     [next_dirty_cap]).  Starts at [dirty_cap] everywhere. *)
+  dirty_caps : int array;
   compact_every : int;
   snap_mu : Mutex.t array;
   snap_meta : snap_meta array;
@@ -77,6 +81,34 @@ type boot = {
    set) and record there. *)
 let rec record_dirty cell ~key =
   if not (Dirty.add (Atomic.get cell) ~key) then record_dirty cell ~key
+
+(* Adaptive dirty-set sizing.  A [Dirty.t] poisons past half
+   occupancy, and a poisoned set forces the next snapshot full — so a
+   cap sized for the average write rate turns every burst into a full
+   traversal.  Each snapshot therefore re-derives the next set's
+   capacity from the one it just swapped out: overflowed, or more
+   than a quarter full (i.e. past half the poison threshold), double;
+   under 1/16th occupancy, halve — clamped to [16, 2^20].  One spike
+   stops poisoning after a single cycle per doubling step, and a
+   quiet shard decays back instead of paying a large probe table
+   forever. *)
+let min_dirty_cap = 16
+let max_dirty_cap = 1 lsl 20
+
+let next_dirty_cap t ~shard cur =
+  let cap = t.dirty_caps.(shard) in
+  let cap' =
+    if Dirty.is_none cur then cap
+    else if Dirty.overflowed cur then min (cap * 2) max_dirty_cap
+    else begin
+      let n = Dirty.count cur in
+      if n * 4 > cap then min (cap * 2) max_dirty_cap
+      else if n * 16 < cap then max (cap / 2) min_dirty_cap
+      else cap
+    end
+  in
+  t.dirty_caps.(shard) <- cap';
+  cap'
 
 (* Recovered mutations re-enter through the data path (same hashing,
    same shard, same map discipline).  Any reply outside the expected
@@ -173,6 +205,7 @@ let create ~structure ~scheme (cfg : Shard.config) ~store ?segment_bytes
       logging;
       dirty;
       dirty_cap;
+      dirty_caps = Array.make cfg.Shard.shards dirty_cap;
       compact_every;
       snap_mu = Array.init cfg.Shard.shards (fun _ -> Mutex.create ());
       snap_meta = meta;
@@ -236,7 +269,7 @@ let snapshot_shard t ~shard ?(gate = fun _ -> ()) ?(truncate = true)
        everything, republishing would only add an empty link. *)
     (meta.m_file, meta.m_last)
   else if do_delta then begin
-    let fresh = Dirty.create ~cap:t.dirty_cap in
+    let fresh = Dirty.create ~cap:(next_dirty_cap t ~shard cur) in
     let old = Atomic.exchange cell fresh in
     Dirty.seal old;
     (try
@@ -271,7 +304,9 @@ let snapshot_shard t ~shard ?(gate = fun _ -> ()) ?(truncate = true)
     let old =
       if Dirty.is_none cur then Dirty.none
       else begin
-        let o = Atomic.exchange cell (Dirty.create ~cap:t.dirty_cap) in
+        let o =
+          Atomic.exchange cell (Dirty.create ~cap:(next_dirty_cap t ~shard cur))
+        in
         Dirty.seal o;
         o
       end
@@ -324,7 +359,9 @@ let gauges t =
           :: !acc;
         acc :=
           (Printf.sprintf "rep_shard%d_snap_deltas" i, t.snap_meta.(i).m_deltas)
-          :: !acc
+          :: !acc;
+        acc :=
+          (Printf.sprintf "rep_shard%d_dirty_cap" i, t.dirty_caps.(i)) :: !acc
       end)
     t.wals;
   ("rep_primary_alive", if Atomic.get t.alive then 1 else 0) :: List.rev !acc

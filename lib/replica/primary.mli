@@ -55,7 +55,14 @@ type t = {
   logging : bool Atomic.t;
   dirty : Dirty.t Atomic.t array;
       (** per-shard dirty cells; {!Dirty.none} when delta is off *)
-  dirty_cap : int;
+  dirty_cap : int;  (** configured starting capacity *)
+  dirty_caps : int array;
+      (** per-shard {e adaptive} capacity for the next dirty set:
+          every snapshot re-derives it from the set just swapped out
+          (overflowed or past quarter occupancy → double; under
+          1/16th → halve; clamped to [16, 2^20]), so one burst stops
+          poisoning after a doubling cycle and a quiet shard decays
+          back.  Exported as the [rep_shard<i>_dirty_cap] gauge. *)
   compact_every : int;
   snap_mu : Mutex.t array;  (** serializes {!snapshot_shard} per shard *)
   snap_meta : snap_meta array;  (** guarded by [snap_mu] *)
@@ -82,8 +89,10 @@ val create :
 (** The given config's [hook] field is replaced by the WAL hook.
     Bootstrap uses client tid 0 synchronously before returning.
     [delta] (default off) enables dirty-key tracking; [dirty_cap]
-    (default 16384, rounded up to a power of two) bounds each set —
-    past half occupancy it poisons and the next snapshot goes full;
+    (default 16384, rounded up to a power of two) is each set's
+    {e starting} bound — past half occupancy it poisons and the next
+    snapshot goes full, and every snapshot then re-sizes the next set
+    from the observed write-set (see {!t.dirty_caps});
     [compact_every] (default 8) bounds chain length.
     @raise Wal.Corrupt / {!Snapshot.Corrupt} on damaged acked history. *)
 

@@ -15,9 +15,15 @@ type request =
   | Cl_apply of { records : (int * mutation) list }
   | Cl_base of { slot : int }
   | Cl_purge of { slot : int }
+  | Putb of { key : int; value : string }
+  | Getc of int
+  | A_info
 
 type reply =
   | Value of int
+  | Value_blob of string
+  | Val_ref of { cls : int; off : int; len : int; gen : int }
+  | Arena_info of { slot : int; gen : int; size : int }
   | Not_found
   | Created
   | Updated
@@ -64,6 +70,9 @@ let op_cl_snap = 0x0b
 let op_cl_apply = 0x0c
 let op_cl_base = 0x0d
 let op_cl_purge = 0x0e
+let op_putb = 0x0f
+let op_getc = 0x10
+let op_a_info = 0x11
 let op_value = 0x81
 let op_not_found = 0x82
 let op_created = 0x83
@@ -80,6 +89,9 @@ let op_cl_state = 0x8d
 let op_cl_snap_batch = 0x8e
 let op_cl_ok = 0x8f
 let op_cl_token = 0x90
+let op_value_blob = 0x91
+let op_val_ref = 0x92
+let op_arena_info = 0x93
 
 (* Snapshot frame opcodes: disjoint from both wire opcode ranges so a
    snapshot frame fed to a wire decoder (or vice versa) fails loudly.
@@ -102,6 +114,11 @@ let rep_batch_max = 150
    allows 163; capped at the Rep_batch figure so one pulled batch
    always re-ships as one apply frame. *)
 let cl_apply_max = 150
+
+(* Byte-valued payloads: a Putb carries [op][key(8)][len(2)][bytes],
+   a Value_blob just [op][bytes] — both capped so the frame plus its
+   4-byte length prefix stays well inside max_frame. *)
+let blob_max = max_frame - 16
 
 (* Cl_snap_batch bindings are 16 bytes each (tombstones 8): the
    22-byte header plus 200 bindings is 3222 <= 4096, leaving slack for
@@ -274,6 +291,22 @@ let encode_request buf = function
       frame buf 9 (fun () ->
           Buffer.add_uint8 buf op_cl_purge;
           put_i64 buf slot)
+  | Putb { key; value } ->
+      let n = String.length value in
+      if n > blob_max then
+        invalid_arg "Codec.encode_request: Putb value over blob_max";
+      frame buf
+        (1 + 8 + 2 + n)
+        (fun () ->
+          Buffer.add_uint8 buf op_putb;
+          put_i64 buf key;
+          Buffer.add_uint16_be buf n;
+          Buffer.add_string buf value)
+  | Getc k ->
+      frame buf 9 (fun () ->
+          Buffer.add_uint8 buf op_getc;
+          put_i64 buf k)
+  | A_info -> frame buf 1 (fun () -> Buffer.add_uint8 buf op_a_info)
   | Cl_apply { records } ->
       if List.length records > cl_apply_max then
         invalid_arg "Codec.encode_request: Cl_apply record count over cap";
@@ -290,6 +323,26 @@ let encode_reply buf = function
       frame buf 9 (fun () ->
           Buffer.add_uint8 buf op_value;
           put_i64 buf v)
+  | Value_blob s ->
+      let n = String.length s in
+      if n > blob_max then
+        invalid_arg "Codec.encode_reply: Value_blob over blob_max";
+      frame buf (1 + n) (fun () ->
+          Buffer.add_uint8 buf op_value_blob;
+          Buffer.add_string buf s)
+  | Val_ref { cls; off; len; gen } ->
+      frame buf 33 (fun () ->
+          Buffer.add_uint8 buf op_val_ref;
+          put_i64 buf cls;
+          put_i64 buf off;
+          put_i64 buf len;
+          put_i64 buf gen)
+  | Arena_info { slot; gen; size } ->
+      frame buf 25 (fun () ->
+          Buffer.add_uint8 buf op_arena_info;
+          put_i64 buf slot;
+          put_i64 buf gen;
+          put_i64 buf size)
   | Not_found -> frame buf 1 (fun () -> Buffer.add_uint8 buf op_not_found)
   | Created -> frame buf 1 (fun () -> Buffer.add_uint8 buf op_created)
   | Updated -> frame buf 1 (fun () -> Buffer.add_uint8 buf op_updated)
@@ -448,6 +501,23 @@ let request_of_payload payload =
     expect_len payload 9 op;
     Cl_purge { slot = get_i64 payload 1 }
   end
+  else if op = op_putb then begin
+    if Bytes.length payload < 11 then
+      malformed "Putb: payload %d bytes, expected >= 11" (Bytes.length payload);
+    let n = Bytes.get_uint16_be payload 9 in
+    if Bytes.length payload <> 11 + n then
+      malformed "Putb: declared %d value bytes but %d payload bytes" n
+        (Bytes.length payload);
+    Putb { key = get_i64 payload 1; value = Bytes.sub_string payload 11 n }
+  end
+  else if op = op_getc then begin
+    expect_len payload 9 op;
+    Getc (get_i64 payload 1)
+  end
+  else if op = op_a_info then begin
+    expect_len payload 1 op;
+    A_info
+  end
   else if op = op_cl_apply then begin
     if Bytes.length payload < 3 then
       malformed "Cl_apply: payload %d bytes, expected >= 3"
@@ -466,6 +536,27 @@ let reply_of_payload payload =
   end
   else if op = op_error then
     Error (Bytes.sub_string payload 1 (Bytes.length payload - 1))
+  else if op = op_value_blob then
+    Value_blob (Bytes.sub_string payload 1 (Bytes.length payload - 1))
+  else if op = op_val_ref then begin
+    expect_len payload 33 op;
+    Val_ref
+      {
+        cls = get_i64 payload 1;
+        off = get_i64 payload 9;
+        len = get_i64 payload 17;
+        gen = get_i64 payload 25;
+      }
+  end
+  else if op = op_arena_info then begin
+    expect_len payload 25 op;
+    Arena_info
+      {
+        slot = get_i64 payload 1;
+        gen = get_i64 payload 9;
+        size = get_i64 payload 17;
+      }
+  end
   else if op = op_rep_state then begin
     let body = Bytes.length payload - 1 in
     if body mod 8 <> 0 then
@@ -539,9 +630,17 @@ let reply_of_payload payload =
     else malformed "unknown reply opcode 0x%02x" op
   end
 
+let hex s =
+  let b = Buffer.create (2 * String.length s) in
+  String.iter (fun c -> Buffer.add_string b (Printf.sprintf "%02x" (Char.code c))) s;
+  Buffer.contents b
+
 let request_to_string = function
   | Get k -> Printf.sprintf "GET %d" k
   | Put { key; value } -> Printf.sprintf "PUT %d=%d" key value
+  | Putb { key; value } -> Printf.sprintf "PUTB %d=%s" key (hex value)
+  | Getc k -> Printf.sprintf "GETC %d" k
+  | A_info -> "A_INFO"
   | Del k -> Printf.sprintf "DEL %d" k
   | Cas { key; expected; desired } ->
       Printf.sprintf "CAS %d %d->%d" key expected desired
@@ -564,6 +663,13 @@ let request_to_string = function
 
 let reply_to_string = function
   | Value v -> Printf.sprintf "VALUE %d" v
+  (* Full hex, not a digest: the transport-identity smoke compares
+     these strings byte for byte. *)
+  | Value_blob s -> Printf.sprintf "BLOB %s" (hex s)
+  | Val_ref { cls; off; len; gen } ->
+      Printf.sprintf "VAL_REF cls=%d off=%d len=%d gen=%d" cls off len gen
+  | Arena_info { slot; gen; size } ->
+      Printf.sprintf "ARENA_INFO slot=%d gen=%d size=%d" slot gen size
   | Not_found -> "NOT_FOUND"
   | Created -> "CREATED"
   | Updated -> "UPDATED"
@@ -589,14 +695,14 @@ let reply_to_string = function
   | Cl_token { token } -> Printf.sprintf "CL_TOKEN %d" token
 
 let key_of_request = function
-  | Get k | Del k -> k
-  | Put { key; _ } | Cas { key; _ } -> key
+  | Get k | Del k | Getc k -> k
+  | Put { key; _ } | Cas { key; _ } | Putb { key; _ } -> key
   (* Replication and cluster-control requests are not routed by key;
      they are answered by the replication/cluster handler before shard
      routing (Conn [ext]) and rejected by [Shard.exec] if they slip
      past it. *)
   | Rep_info | Rep_pull _ | Cl_info | Cl_grant _ | Cl_freeze _ | Cl_release _
-  | Cl_snap _ | Cl_apply _ | Cl_base _ | Cl_purge _ ->
+  | Cl_snap _ | Cl_apply _ | Cl_base _ | Cl_purge _ | A_info ->
       0
 
 let mutation_of_exec req reply =
@@ -607,11 +713,50 @@ let mutation_of_exec req reply =
      idempotent over a fuzzy snapshot, so conditionals never reach the
      log — only their witnessed effect does. *)
   | Cas { key; desired; _ }, Cas_ok -> Some (Set { key; value = desired })
+  (* Putb stores arena bytes, which the int-valued WAL/replication
+     mutation format cannot carry — arena-backed stores are not
+     WAL-composed (kvd rejects --arena with --wal). *)
+  | Putb _, _ -> None
   | _ -> None
 
 let mutation_to_string = function
   | Set { key; value } -> Printf.sprintf "SET %d=%d" key value
   | Unset k -> Printf.sprintf "UNSET %d" k
+
+(* ------------------------------------------------------------------ *)
+(* Arena payload convention.  An arena-backed store keeps every value
+   as raw bytes in the shared mapping; byte 0 tags the kind (0 = int
+   in 8-byte big-endian, 1 = blob) so int traffic stays
+   reply-identical between heap-backed and arena-backed daemons, and
+   a zero-copy client decodes exactly what the daemon's copy path
+   would have sent. *)
+
+let arena_payload_int v =
+  let b = Bytes.create 9 in
+  Bytes.set_uint8 b 0 0;
+  Bytes.set_int64_be b 1 (Int64.of_int v);
+  Bytes.unsafe_to_string b
+
+let arena_payload_blob s =
+  if String.length s > blob_max then
+    invalid_arg "Codec.arena_payload_blob: over blob_max";
+  "\x01" ^ s
+
+let arena_payload_int_value s =
+  if String.length s = 9 && s.[0] = '\x00' then
+    Some (Int64.to_int (String.get_int64_be s 1))
+  else None
+
+let reply_of_arena_payload s =
+  if String.length s = 0 then Error "empty arena payload"
+  else
+    match s.[0] with
+    | '\x00' -> (
+        match arena_payload_int_value s with
+        | Some v -> Value v
+        | None -> Error "malformed arena int payload")
+    | '\x01' -> Value_blob (String.sub s 1 (String.length s - 1))
+    | _ -> Error "unknown arena payload kind"
 
 (* ------------------------------------------------------------------ *)
 (* Durable record formats: WAL records and snapshot frames.  Same

@@ -77,9 +77,37 @@ type request =
           previous ownership tenure cannot survive as resurrected
           keys (a full ship only overwrites keys the source still
           has). *)
+  | Putb of { key : int; value : string }
+      (** Bind [key] to raw bytes (at most {!blob_max}).  Requires an
+          arena-backed store; heap-backed daemons answer [Error].
+          Not WAL-composable — {!mutation_of_exec} returns [None]. *)
+  | Getc of int
+      (** Copy-forced GET: always answered through the value-copy
+          path ([Value]/[Value_blob]), never by reference.  Zero-copy
+          clients retry through this op when a {!reply-Val_ref}
+          fails its generation check. *)
+  | A_info
+      (** Arena handshake: ask whether the daemon serves values from
+          a shared arena (answered with {!reply-Arena_info}).  On the
+          shm transport a non-negative slot also opts this connection
+          into by-reference GET replies. *)
 
 type reply =
   | Value of int  (** GET hit *)
+  | Value_blob of string  (** GET hit on a byte-valued binding *)
+  | Val_ref of { cls : int; off : int; len : int; gen : int }
+      (** Zero-copy GET hit: the value lives in the shared arena at
+          byte offset [off] of size class [cls], [len] payload bytes,
+          minted while generation stamp [gen] (22 bits) was current.
+          The client copies the bytes out of its own mapping and
+          re-validates the stamp; on mismatch it retries with
+          {!request-Getc}.  Only sent to connections that negotiated
+          an arena slot via {!request-A_info}. *)
+  | Arena_info of { slot : int; gen : int; size : int }
+      (** [A_info] answer: the connection's reservation slot in the
+          arena header ([-1] = no arena / not shm), the arena file's
+          generation stamp to validate attach against, and its size
+          in bytes. *)
   | Not_found  (** GET/DEL miss, or CAS on an unbound key *)
   | Created  (** PUT bound a fresh key *)
   | Updated  (** PUT replaced an existing binding *)
@@ -163,6 +191,30 @@ val cl_apply_max : int
 
 val cl_snap_max : int
 (** Hard cap on bindings per {!reply-Cl_snap_batch}. *)
+
+val blob_max : int
+(** Hard cap on the byte length of a {!request-Putb} value /
+    {!reply-Value_blob} so the frame stays inside {!max_frame}. *)
+
+(** {2 Arena payload convention}
+
+    An arena-backed store keeps every value as raw bytes in the
+    shared mapping; byte 0 tags the kind (0 = int in 8-byte
+    big-endian, 1 = blob).  Int traffic therefore stays
+    reply-identical between heap-backed and arena-backed daemons,
+    and a zero-copy client materializing a {!reply-Val_ref} decodes
+    exactly what the daemon's copy path would have sent. *)
+
+val arena_payload_int : int -> string
+val arena_payload_blob : string -> string
+
+val arena_payload_int_value : string -> int option
+(** The int behind an int-kind payload, [None] for blobs or
+    malformed bytes (CAS compares only int values). *)
+
+val reply_of_arena_payload : string -> reply
+(** [Value]/[Value_blob] for well-formed payloads, [Error]
+    otherwise. *)
 
 (** {2 Checksummed durable records}
 

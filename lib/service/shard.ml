@@ -32,6 +32,12 @@ type config = {
   seed : int;
   hook : ack_hook;
   zc_readers : int;
+  (* When set, values live as blocks in this shared arena and the map
+     stores packed references ([Shmalloc.Arena.Ref]) instead of
+     values; the shm mux may then answer remote GETs by reference.
+     The arena is owned by the caller (created beside the listen
+     path, torn down after [stop]). *)
+  arena : Shmalloc.Arena.t option;
 }
 
 let default_config =
@@ -46,6 +52,7 @@ let default_config =
     seed = 2024;
     hook = no_hook;
     zc_readers = 0;
+    arena = None;
   }
 
 type t = {
@@ -78,6 +85,7 @@ type t = {
   zc_enter : slot:int -> unit;
   zc_leave : slot:int -> unit;
   zc_get : slot:int -> int -> int option;
+  arena : Shmalloc.Arena.t option;
   set_admit : admit -> unit;
   stop : unit -> unit;
   scheme_name : string;
@@ -127,36 +135,105 @@ module Core (T : Smr.Tracker.S) (Mk : Dstruct.Map_intf.MAKER) = struct
     mutable consumer : unit Domain.t option;
   }
 
-  let exec map (req : Codec.request) : Codec.reply =
+  (* Arena-backed execution: the map stores packed references, the
+     bytes live in the shared mapping.  The consumer is each block's
+     only retirer (it is the map's only mutator), which is what makes
+     [read_own] safe without a stamp check and the retire-time
+     generation bump a plain store. *)
+  let arena_exec a ~idx map (req : Codec.request) : Codec.reply =
     let tid = 0 in
+    let module Arena = Shmalloc.Arena in
+    let put_payload key payload =
+      match Arena.alloc_put a payload with
+      | None -> Codec.Error "arena full"
+      | Some r -> (
+          let old = Map.get map ~tid key in
+          ignore (Map.put map ~tid key r);
+          match old with
+          | Some old_r ->
+              Arena.retire a ~tid:idx old_r;
+              Codec.Updated
+          | None -> Codec.Created)
+    in
     match req with
-    | Codec.Get k -> (
+    | Codec.Get k | Codec.Getc k -> (
         match Map.get map ~tid k with
-        | Some v -> Codec.Value v
+        | Some r -> Codec.reply_of_arena_payload (Arena.read_own a r)
         | None -> Codec.Not_found)
-    | Codec.Put { key; value } ->
-        if Map.put map ~tid key value then Codec.Created else Codec.Updated
-    | Codec.Del k -> if Map.remove map ~tid k then Codec.Deleted else Codec.Not_found
+    | Codec.Put { key; value } -> put_payload key (Codec.arena_payload_int value)
+    | Codec.Putb { key; value } ->
+        if String.length value > Codec.blob_max then
+          Codec.Error "value too large"
+        else put_payload key (Codec.arena_payload_blob value)
+    | Codec.Del k -> (
+        match Map.get map ~tid k with
+        | None -> Codec.Not_found
+        | Some r ->
+            ignore (Map.remove map ~tid k);
+            Arena.retire a ~tid:idx r;
+            Codec.Deleted)
     | Codec.Cas { key; expected; desired } -> (
-        (* The consumer is this map's only mutator, so the
-           read-test-write below is atomic by construction. *)
         match Map.get map ~tid key with
         | None -> Codec.Not_found
-        | Some v when v <> expected -> Codec.Cas_fail
-        | Some _ ->
-            ignore (Map.put map ~tid key desired);
-            Codec.Cas_ok)
+        | Some r -> (
+            match Codec.arena_payload_int_value (Arena.read_own a r) with
+            | Some v when v = expected -> (
+                match Arena.alloc_put a (Codec.arena_payload_int desired) with
+                | None -> Codec.Error "arena full"
+                | Some nr ->
+                    ignore (Map.put map ~tid key nr);
+                    Arena.retire a ~tid:idx r;
+                    Codec.Cas_ok)
+            | _ -> Codec.Cas_fail))
+    | Codec.A_info ->
+        (* Slot assignment is transport business (the shm mux answers
+           this before routing); through any other path the daemon
+           only discloses that an arena exists. *)
+        Codec.Arena_info
+          { slot = -1; gen = Arena.generation a; size = Arena.size_bytes a }
     | Codec.Rep_info | Codec.Rep_pull _ ->
-        (* Replication opcodes are answered by the transport's [ext]
-           handler (Conn) before shard routing; reaching the data path
-           means the daemon has no replication enabled. *)
         Codec.Error "replication not enabled on this server"
     | Codec.Cl_info | Codec.Cl_grant _ | Codec.Cl_freeze _ | Codec.Cl_release _
     | Codec.Cl_snap _ | Codec.Cl_apply _ | Codec.Cl_base _ | Codec.Cl_purge _
       ->
-        (* Likewise for the cluster-control opcodes (Cluster.Node's
-           [ext] handler). *)
         Codec.Error "clustering not enabled on this server"
+
+  let exec ~arena ~idx map (req : Codec.request) : Codec.reply =
+    match arena with
+    | Some a -> arena_exec a ~idx map req
+    | None -> (
+        let tid = 0 in
+        match req with
+        | Codec.Get k | Codec.Getc k -> (
+            match Map.get map ~tid k with
+            | Some v -> Codec.Value v
+            | None -> Codec.Not_found)
+        | Codec.Put { key; value } ->
+            if Map.put map ~tid key value then Codec.Created else Codec.Updated
+        | Codec.Del k ->
+            if Map.remove map ~tid k then Codec.Deleted else Codec.Not_found
+        | Codec.Cas { key; expected; desired } -> (
+            (* The consumer is this map's only mutator, so the
+               read-test-write below is atomic by construction. *)
+            match Map.get map ~tid key with
+            | None -> Codec.Not_found
+            | Some v when v <> expected -> Codec.Cas_fail
+            | Some _ ->
+                ignore (Map.put map ~tid key desired);
+                Codec.Cas_ok)
+        | Codec.Putb _ -> Codec.Error "arena not enabled on this server"
+        | Codec.A_info -> Codec.Arena_info { slot = -1; gen = 0; size = 0 }
+        | Codec.Rep_info | Codec.Rep_pull _ ->
+            (* Replication opcodes are answered by the transport's [ext]
+               handler (Conn) before shard routing; reaching the data path
+               means the daemon has no replication enabled. *)
+            Codec.Error "replication not enabled on this server"
+        | Codec.Cl_info | Codec.Cl_grant _ | Codec.Cl_freeze _
+        | Codec.Cl_release _ | Codec.Cl_snap _ | Codec.Cl_apply _
+        | Codec.Cl_base _ | Codec.Cl_purge _ ->
+            (* Likewise for the cluster-control opcodes (Cluster.Node's
+               [ext] handler). *)
+            Codec.Error "clustering not enabled on this server")
 
   let make ~scheme_name ~structure_name (c : config) : t =
     if c.shards <= 0 then invalid_arg "Shard.create: shards <= 0";
@@ -202,11 +279,11 @@ module Core (T : Smr.Tracker.S) (Mk : Dstruct.Map_intf.MAKER) = struct
          at wiring time (before traffic), never swapped under load. *)
       let adm = Atomic.get admit_cell in
       let exec_env env =
-        if adm == admit_all then exec sh.map env.req
+        if adm == admit_all then exec ~arena:c.arena ~idx:sh.idx sh.map env.req
         else
           match adm ~tid:env.tid env.req with
           | Some r -> r
-          | None -> exec sh.map env.req
+          | None -> exec ~arena:c.arena ~idx:sh.idx sh.map env.req
       in
       Obs.Hist.add batch_hist (List.length batch);
       (* One bracket per drained run — enter/leave amortized across
@@ -594,6 +671,7 @@ module Core (T : Smr.Tracker.S) (Mk : Dstruct.Map_intf.MAKER) = struct
       zc_enter;
       zc_leave;
       zc_get;
+      arena = c.arena;
       set_admit = (fun a -> Atomic.set admit_cell a);
       stop;
       scheme_name;

@@ -86,11 +86,19 @@ type config = {
       (** zero-copy reader slots: in-process clients that read the
           live maps directly from their own domains, each owning map
           tid [2 + slot] on every shard (0 = feature off) *)
+  arena : Shmalloc.Arena.t option;
+      (** when set, values live as blocks in this shared arena and
+          the maps store packed references; remote GETs over the shm
+          transport may then be answered by reference.  The arena is
+          owned by the caller (create it with [tids >= shards] so
+          every consumer has a retire builder; tear it down after
+          {!t.stop}).  Not composable with the WAL hook: arena blobs
+          do not fit the int-valued mutation format. *)
 }
 
 val default_config : config
 (** 4 shards, 8 clients, capacity 256, batch 64, trim every 16,
-    {!no_hook}, no zero-copy readers. *)
+    {!no_hook}, no zero-copy readers, no arena. *)
 
 type t = {
   submit : tid:int -> Codec.request -> (Codec.reply -> unit) -> unit;
@@ -195,7 +203,14 @@ type t = {
           mailbox hop, no consumer mediation, no reply copy.  Must be
           called between {!t.zc_enter} and {!t.zc_leave}.  Linearizes
           with the consumer's writes at the node read (a concurrent
-          PUT may or may not be visible, as over any transport). *)
+          PUT may or may not be visible, as over any transport).
+          On an arena-backed store the returned int is the {e packed
+          arena reference} — exactly what a [Val_ref] is minted from
+          (generation stamp included, read atomically with the
+          offset). *)
+  arena : Shmalloc.Arena.t option;
+      (** the backing arena, when the store is arena-backed — the shm
+          mux uses it to answer [A_info] and mint [Val_ref]s. *)
   set_admit : admit -> unit;
       (** Install the execution-time admission filter (see {!admit}).
           Install once, at wiring time, before traffic: consumers read

@@ -34,10 +34,26 @@ exception Unavailable of string
 
 let window_cap = 64
 
+(* The daemon's value arena lives beside the listen FIFO under this
+   suffix; clients learn the generation over the wire ([A_info]) and
+   attach the same file to materialize [Val_ref] replies locally. *)
+let arena_suffix = ".arena"
+
 (* ------------------------------------------------------------------ *)
 (* Client. *)
 
+(* Zero-copy state, present once [enable_zc] negotiated an arena.
+   [z_slot] is the daemon-assigned reservation slot (the connection's
+   leased tid); [z_held] pins the reservation bracket open across
+   calls — the stalled-remote-reader experiments' park switch. *)
+type zc_state = {
+  za : Shmalloc.Arena.t;
+  z_slot : int;
+  mutable z_held : bool;
+}
+
 type client = {
+  c_path : string;  (* the daemon's listen path *)
   seg : Shm.Seg.t;
   tx : Shm.Ring.t;  (* c2s: client writes *)
   rx : Shm.Ring.t;  (* s2c: client reads *)
@@ -46,6 +62,7 @@ type client = {
   srv_bell : Shm.Doorbell.t;  (* daemon sleeps there; client rings *)
   buf : Buffer.t;
   mutable closed : bool;
+  mutable zc : zc_state option;
 }
 
 let conn_counter = Atomic.make 0
@@ -102,6 +119,7 @@ let connect ~path =
   | () ->
       let rx = Shm.Seg.s2c_ring seg in
       {
+        c_path = path;
         seg;
         tx = Shm.Seg.c2s_ring seg;
         rx;
@@ -110,6 +128,7 @@ let connect ~path =
         srv_bell = Shm.Doorbell.attach ~path:(Shm.Seg.srv_bell seg);
         buf = Buffer.create 64;
         closed = false;
+        zc = None;
       }
   | exception e ->
       Shm.Seg.mark_closed seg;
@@ -117,9 +136,22 @@ let connect ~path =
       Shm.Seg.unlink seg;
       raise e
 
+let drop_zc c =
+  match c.zc with
+  | None -> ()
+  | Some z ->
+      c.zc <- None;
+      (* [leave] on an empty reservation word is a no-op exchange, so
+         this is safe whether or not a hold (or an interrupted call's
+         bracket) is open. *)
+      (try Shmalloc.Arena.leave z.za ~slot:z.z_slot
+       with Shmalloc.Arena.Bad_arena _ -> ());
+      (try Shmalloc.Arena.detach z.za with Shmalloc.Arena.Bad_arena _ -> ())
+
 let client_dead c =
   if not c.closed then begin
     c.closed <- true;
+    drop_zc c;
     Shm.Seg.mark_closed c.seg;
     Shm.Doorbell.close c.bell;
     Shm.Doorbell.close c.srv_bell;
@@ -197,7 +229,7 @@ let rec recv_reply c =
           || not (Shm.Seg.is_open c.seg));
       recv_reply c
 
-let call c req =
+let raw_call c req =
   if c.closed then raise Conn.Closed;
   Buffer.clear c.buf;
   Codec.encode_request c.buf req;
@@ -206,6 +238,68 @@ let call c req =
   send_bytes c b;
   let payload = recv_reply c in
   Codec.reply_of_payload payload
+
+(* Materialize a by-reference GET reply from the client's own mapping.
+   A failed generation check ([read_ref] = None) means the block was
+   retired under us between mint and copy-out — never decoded, retried
+   through the daemon-side copy path ([Getc]). *)
+let materialize c z ~key = function
+  | Codec.Val_ref { cls; off; len; gen } -> (
+      match Shmalloc.Arena.read_ref z.za ~cls ~off ~len ~gen () with
+      | Some payload -> Codec.reply_of_arena_payload payload
+      | None -> raw_call c (Codec.Getc key))
+  | r -> r
+
+let call c req =
+  match (req, c.zc) with
+  | Codec.Get key, Some z ->
+      Shmalloc.Arena.heartbeat z.za ~slot:z.z_slot;
+      if z.z_held then
+        (* A hold keeps the bracket (and its pinned era) open across
+           calls — don't refresh, that is the point of the park. *)
+        materialize c z ~key (raw_call c req)
+      else begin
+        Shmalloc.Arena.enter z.za ~slot:z.z_slot;
+        Fun.protect
+          ~finally:(fun () -> Shmalloc.Arena.leave z.za ~slot:z.z_slot)
+        @@ fun () -> materialize c z ~key (raw_call c req)
+      end
+  | _ -> raw_call c req
+
+let enable_zc c =
+  match c.zc with
+  | Some _ -> true
+  | None -> (
+      match raw_call c Codec.A_info with
+      | Codec.Arena_info { slot; gen; size = _ } when slot >= 0 -> (
+          match
+            Shmalloc.Arena.attach ~path:(c.c_path ^ arena_suffix)
+              ~expect_gen:gen ()
+          with
+          | a ->
+              Shmalloc.Arena.announce a ~slot ~pid:(Unix.getpid ());
+              c.zc <- Some { za = a; z_slot = slot; z_held = false };
+              true
+          | exception Shmalloc.Arena.Bad_arena _ -> false
+          | exception Unix.Unix_error _ -> false)
+      | _ -> false)
+
+let zc_active c = c.zc <> None
+let zc_slot c = match c.zc with Some z -> Some z.z_slot | None -> None
+
+let zc_hold c =
+  match c.zc with
+  | Some z when not z.z_held ->
+      Shmalloc.Arena.enter z.za ~slot:z.z_slot;
+      z.z_held <- true
+  | _ -> ()
+
+let zc_release c =
+  match c.zc with
+  | Some z when z.z_held ->
+      z.z_held <- false;
+      Shmalloc.Arena.leave z.za ~slot:z.z_slot
+  | _ -> ()
 
 let close c =
   if not c.closed then begin
@@ -234,6 +328,11 @@ type sconn = {
   sc_out : Buffer.t;
   mutable sc_pending_out : bytes option;
   mutable sc_dying : bool;
+  (* Set when the client negotiated by-reference replies over [A_info]
+     — only then may a GET be answered with a raw [Val_ref].  A client
+     that never negotiated gets values materialized daemon-side, so
+     arena references never leak to a peer with no mapping. *)
+  mutable sc_zc : bool;
 }
 
 type server = {
@@ -284,12 +383,20 @@ let rec push_tid srv t =
 let sweep_stale_segments path =
   let dir = Filename.dirname path in
   let base = Filename.basename path ^ ".seg." in
+  (* The previous daemon's arena file (SIGKILL leaves it behind, like
+     the segments) is scoped the same way and swept with them. *)
+  let arena_base = Filename.basename path ^ arena_suffix in
+  let has_prefix p e =
+    String.length e >= String.length p
+    && String.sub e 0 (String.length p) = p
+  in
   match Sys.readdir dir with
   | entries ->
       Array.iter
         (fun e ->
-          if String.length e > String.length base
-             && String.sub e 0 (String.length base) = base
+          if
+            (has_prefix base e && String.length e > String.length base)
+            || has_prefix arena_base e
           then
             (* Bell FIFOs are unlinked via their owning segment name;
                hitting them directly too is harmless. *)
@@ -335,6 +442,15 @@ let drain_fd fd =
 
 let kill_conn srv sc =
   if not sc.sc_dying then sc.sc_dying <- true;
+  (* The connection's tid doubled as its arena reservation slot; a
+     client that died inside its bracket (or mid-hold) leaves an era
+     and possibly a handed batch list pinned there.  Force-clear it on
+     the dead client's behalf before the slot is leased again. *)
+  (match srv.svc.Shard.arena with
+  | Some a -> (
+      try Shmalloc.Arena.sweep_slot a ~slot:sc.sc_tid
+      with Shmalloc.Arena.Bad_arena _ -> ())
+  | None -> ());
   Shm.Seg.mark_closed sc.sc_seg;
   (* Wake a client blocked on its doorbell so it observes the close. *)
   Shm.Doorbell.ring sc.sc_cli_bell;
@@ -413,8 +529,35 @@ let handle_request srv sc payload =
       match (match srv.ext with Some h -> h req | None -> None) with
       | Some r -> Queue.push (Atomic.make (Some r)) sc.sc_window
       | None -> (
+          (* On an arena-backed store, a GET may only be answered
+             inline once the client has negotiated by-reference
+             replies: the inline read returns the packed reference,
+             and materializing it daemon-side belongs to the shard
+             consumer (the mailbox path), not the multiplexer. *)
+          let inline_ok =
+            match srv.svc.Shard.arena with
+            | None -> true
+            | Some _ -> sc.sc_zc
+          in
           match (req, srv.zc_slot) with
-          | Codec.Get key, Some zc when Queue.is_empty sc.sc_window ->
+          | Codec.A_info, _ when srv.svc.Shard.arena <> None ->
+              (* Transport-level interception: the shard's own answer
+                 carries slot -1 (disclosure only); here we assign the
+                 connection's tid as its reservation slot and flip the
+                 connection into by-reference GET replies. *)
+              let a = Option.get srv.svc.Shard.arena in
+              sc.sc_zc <- true;
+              let reply =
+                Codec.Arena_info
+                  {
+                    slot = sc.sc_tid;
+                    gen = Shmalloc.Arena.generation a;
+                    size = Shmalloc.Arena.size_bytes a;
+                  }
+              in
+              Queue.push (Atomic.make (Some reply)) sc.sc_window
+          | Codec.Get key, Some zc
+            when Queue.is_empty sc.sc_window && inline_ok ->
               (* The shm hot path: a bracketed read of the live map
                  from the multiplexer's own domain.  No mailbox, no
                  consumer wakeup, no syscall. *)
@@ -422,9 +565,21 @@ let handle_request srv sc payload =
               let v = srv.svc.Shard.zc_get ~slot:zc key in
               srv.svc.Shard.zc_leave ~slot:zc;
               let reply =
-                match v with
-                | Some v -> Codec.Value v
-                | None -> Codec.Not_found
+                match (v, srv.svc.Shard.arena) with
+                | None, _ -> Codec.Not_found
+                | Some r, Some a ->
+                    (* The stored int IS the packed reference —
+                       offset, length and generation stamp were read
+                       in one atomic map load, so the frame can never
+                       pair a fresh stamp with a stale block. *)
+                    Codec.Val_ref
+                      {
+                        cls = Shmalloc.Arena.Ref.cls r;
+                        off = Shmalloc.Arena.off_of_ref a r;
+                        len = Shmalloc.Arena.Ref.len r;
+                        gen = Shmalloc.Arena.Ref.gen r;
+                      }
+                | Some v, None -> Codec.Value v
               in
               Queue.push (Atomic.make (Some reply)) sc.sc_window
           | _ ->
@@ -537,6 +692,7 @@ let attach_announced srv line =
                       sc_out = Buffer.create 64;
                       sc_pending_out = None;
                       sc_dying = false;
+                      sc_zc = false;
                     }
                   in
                   srv.conns <- sc :: srv.conns)))
@@ -634,7 +790,14 @@ let mux_iter srv spin =
             Shm.Seg.set_server_waiting sc.sc_seg false;
             Shm.Doorbell.drain sc.sc_bell)
           srv.conns;
-        drain_fd srv.pipe_rd
+        drain_fd srv.pipe_rd;
+        (* Idle housekeeping: clear reservation slots whose announced
+           pid no longer exists — a SIGKILLed zero-copy client never
+           runs its own [leave], and without this its pinned era would
+           gate handoff batches forever. *)
+        match srv.svc.Shard.arena with
+        | Some a -> ignore (Shmalloc.Arena.sweep_dead a)
+        | None -> ()
       end
     end
 

@@ -39,7 +39,48 @@ val close : client -> unit
 (** Stamp the segment closed and wake the daemon so it sweeps the
     connection.  Idempotent. *)
 
+(** {2 Cross-process zero-copy}
+
+    When the daemon's store is arena-backed ([Shard.config.arena]),
+    a client may negotiate {e by-reference} GET replies: the daemon
+    answers [Val_ref ⟨class, offset, len, gen⟩] frames and the client
+    copies the payload straight out of its own mapping of the arena
+    file, validating the generation stamp after the copy — a changed
+    stamp (the block was retired under the reader) falls back to the
+    daemon-side copy path ([Getc]).  Around each such GET the client
+    publishes its era in the reservation slot the daemon assigned it,
+    so retired batches are handed to it rather than freed under it —
+    the Hyaline-S discipline stretched across the process boundary. *)
+
+val enable_zc : client -> bool
+(** Negotiate by-reference replies: send [A_info], attach the arena
+    file beside the listen path under the returned generation, and
+    announce our pid in the assigned reservation slot.  [false] if
+    the daemon has no arena or the attach failed — calls simply keep
+    taking the materialized path.  Idempotent. *)
+
+val zc_active : client -> bool
+val zc_slot : client -> int option
+
+val zc_hold : client -> unit
+(** Park the reservation bracket open (era pinned at entry) across
+    subsequent calls — the stalled-remote-reader adversary switch.
+    Reads stay correct throughout (the generation check is
+    unconditional); what the hold changes is how much retired-but-
+    unfreed garbage the daemon's policy lets this reader pin. *)
+
+val zc_release : client -> unit
+(** End a {!zc_hold}: detach the handed batch list and release it. *)
+
 (** {1 Server} *)
+
+val claim_listen_path : string -> unit
+(** Probe-and-sweep the rendezvous path without serving: raise
+    [Conn.Addr_in_use] if a live daemon reads the FIFO, otherwise
+    unlink it along with every leftover segment, doorbell and arena
+    file it scopes.  [serve] runs this itself; a daemon that creates
+    its arena file (O_EXCL) {e before} serving calls it first so the
+    stale sweep cannot eat the fresh arena. *)
 
 type server
 
@@ -66,7 +107,16 @@ val serve :
     round trip — whenever the connection's reorder window is empty
     (all earlier operations already answered, preserving per-client
     program order).  Writes always take the routed path: the shard
-    consumer stays each map's only mutator. *)
+    consumer stays each map's only mutator.
+
+    On an arena-backed store the inline answer for a connection that
+    negotiated via [A_info] is the [Val_ref] minted from the packed
+    reference the map holds; connections that never negotiated have
+    their GETs routed to the shard consumer, which materializes the
+    value — raw references never reach a peer without a mapping.  The
+    multiplexer also sweeps arena reservation slots: a connection's
+    slot is force-cleared when the connection dies, and idle passes
+    clear slots whose announced pid no longer exists. *)
 
 val shutdown : server -> unit
 (** Stop the multiplexer, stamp every connection's segment closed

@@ -1,0 +1,182 @@
+(** A lock-free, size-classed value arena inside a shared mapping.
+
+    The daemon (the {e Owner}) creates the arena file beside its
+    listen path; each zero-copy client (a {e Reader}) attaches the
+    same file after learning the generation stamp over the wire, and
+    materializes [Val_ref] replies by copying payload bytes straight
+    out of its own mapping.  All shared state — size-class free
+    lists, the era clock, per-connection reservation words, block
+    generation stamps and batch refcounts — lives in the mapping as
+    aligned words driven by C atomic stubs, linked by byte offset so
+    both processes agree on the structure regardless of map address.
+
+    Reclamation follows the Hyaline-S/Crystalline discipline across
+    the process boundary ([Handoff]): retired blocks batch up and are
+    handed, one list node per batch, to every reservation slot whose
+    published era could still reference them; slots whose era
+    predates a batch's minimum birth era are skipped, which bounds
+    the garbage a stalled reader pins.  [Epoch] is the EBR baseline
+    (limbo freed only once every active slot's era has passed the
+    retire era) that CI contrasts against.
+
+    Correctness never rests on the reservations alone: {!read_ref}
+    copies bytes out, fences, and re-validates the generation stamp
+    bumped at retire — an unchanged stamp proves the bytes are the
+    referenced value, a changed one sends the caller down the copy
+    path.  See docs/SHM.md, "Cross-process zero-copy". *)
+
+exception Bad_arena of string
+
+type policy = Handoff | Epoch
+type role = Owner | Reader
+type t
+
+val policy_name : policy -> string
+val policy_of_string : string -> policy option
+
+module Ref : sig
+  (** Packed value reference, [⟨gen:22 | cls:3 | len:13 | idx:25⟩] in
+      one 63-bit int.  The whole reference — generation stamp
+      included — is minted from a single atomic map read, so a
+      concurrent retire+realloc can never pair a fresh stamp with a
+      stale offset. *)
+
+  val pack : gen:int -> cls:int -> len:int -> idx:int -> int
+  val gen : int -> int
+  val cls : int -> int
+  val len : int -> int
+  val idx : int -> int
+
+  val max_len : int
+  (** Largest storable payload (8191 B). *)
+
+  val max_idx : int
+end
+
+val create :
+  path:string ->
+  slots:int ->
+  ?policy:policy ->
+  ?tids:int ->
+  ?payloads:int array ->
+  ?blocks:int array ->
+  unit ->
+  t
+(** Create the arena file at [path] (O_EXCL) and become its Owner.
+    [slots] is the number of client reservation slots (≤ 64, one per
+    connection tid); [tids] the number of independent retire builders
+    (one per shard consumer).  [payloads] are ascending per-class
+    payload capacities in bytes, [blocks] the per-class block counts
+    (defaults: 16/128/1024/4104 B × 4096/2048/1024/512). *)
+
+val attach : path:string -> ?expect_gen:int -> unit -> t
+(** Map an existing open arena as a Reader.
+    @raise Bad_arena on bad magic/version/state, a generation
+    mismatch, or a corrupt class table. *)
+
+val path : t -> string
+val role : t -> role
+val generation : t -> int
+val policy : t -> policy
+val nslots : t -> int
+val nclasses : t -> int
+val size_bytes : t -> int
+val is_open : t -> bool
+
+(** {1 Owner side: allocate, read own, retire} *)
+
+val alloc_put : t -> string -> int option
+(** Allocate a block for [s] (smallest fitting class, falling upward
+    when one is exhausted), copy the bytes in, and return the packed
+    reference to store in the map — or [None] when the arena is full
+    or [s] exceeds {!Ref.max_len}. *)
+
+val read_own : t -> int -> string
+(** Dereference a live reference owner-side.  No stamp check: the
+    shard consumer holding the map entry is the block's only
+    retirer, so the block cannot be recycled under it. *)
+
+val retire : t -> tid:int -> int -> unit
+(** Retire the block behind a reference unlinked from the map: bump
+    its generation stamp and queue it for reclamation on builder
+    [tid] under the arena's policy. *)
+
+val flush : t -> unit
+(** Flush every retire builder: Handoff pads partial batches with
+    dummy blocks and runs the insert pass; Epoch re-scans limbo. *)
+
+val off_of_ref : t -> int -> int
+(** Byte offset of a reference's block — the offset carried in the
+    wire [Val_ref] frame. *)
+
+(** {1 Reader side: reservation bracket and materialization} *)
+
+val enter : t -> slot:int -> unit
+(** Publish the current era in [slot]'s reservation word (head
+    empty).  Retired batches whose blocks could still be referenced
+    are handed to this slot until {!leave}. *)
+
+val leave : t -> slot:int -> unit
+(** Detach the slot's handed list wholesale and decrement each
+    node's batch refcount, freeing any batch this reader was the
+    last to release. *)
+
+val refresh : t -> slot:int -> unit
+(** Raise the slot's published era to the current clock, preserving
+    the handed list — call between brackets kept open across many
+    reads so the pinned-garbage bound tracks the clock. *)
+
+val read_ref :
+  t ->
+  cls:int ->
+  off:int ->
+  len:int ->
+  gen:int ->
+  ?gate:(unit -> unit) ->
+  unit ->
+  string option
+(** Materialize a [Val_ref]: bounds-check the frame fields, copy
+    [len] payload bytes out, fence, and re-read the generation
+    stamp.  [None] means the frame was malformed or the block was
+    retired since the reference was minted (torn read detected) —
+    retry through the copy path.  [gate], used by the fuzz tests,
+    runs between the two halves of the copy-out. *)
+
+val announce : t -> slot:int -> pid:int -> unit
+(** Record the client pid behind [slot] for the confirmed-death
+    sweep. *)
+
+val heartbeat : t -> slot:int -> unit
+val slot_era : t -> slot:int -> int
+val slot_pid : t -> slot:int -> int
+
+(** {1 Sweeping} *)
+
+val sweep_slot : t -> slot:int -> unit
+(** Force-clear a slot on the dead client's behalf: detach its word,
+    release the handed list, zero pid and heartbeat. *)
+
+val sweep_dead : ?alive:(int -> bool) -> t -> int
+(** Sweep every slot whose announced pid no longer exists
+    ([kill pid 0] → ESRCH, or a custom [alive] probe).  Returns the
+    number of slots cleared. *)
+
+(** {1 Stats and lifecycle} *)
+
+val era : t -> int
+val advance_era : t -> unit
+val retired : t -> int
+val freed : t -> int
+
+val unreclaimed : t -> int
+(** Retired-but-not-yet-freed block count — the quantity the
+    stalled-reader CI gate bounds. *)
+
+val gauges : t -> (string * int) list
+(** Per-class alloc/free/bump counters plus era, retired, freed and
+    unreclaimed, in lib/obs gauge form. *)
+
+val mark_closed : t -> unit
+val detach : t -> unit
+val unlink : t -> unit
+val unlink_path : string -> unit

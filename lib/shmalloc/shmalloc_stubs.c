@@ -1,0 +1,81 @@
+/* Cross-process atomics on aligned word cells of a shared int-bigarray
+ * mapping, plus bulk blits between OCaml strings and the mapped data.
+ *
+ * OCaml's Atomic.t lives in the heap of one process; the arena's
+ * free-list heads, reservation words, generation stamps and refcounts
+ * live inside an mmap'd file shared between the daemon and its
+ * clients, so every RMW below must be a real hardware atomic on the
+ * mapping itself.  Cells are 8-byte-aligned intnat words (the same
+ * no-tearing argument as the segment header page); values stay in
+ * OCaml's 63-bit int range by construction, so Val_long/Long_val
+ * round-trips are exact.
+ */
+
+#include <string.h>
+
+#include <caml/bigarray.h>
+#include <caml/memory.h>
+#include <caml/mlvalues.h>
+
+static inline intnat *cell(value v_ba, value v_idx)
+{
+    return (intnat *)Caml_ba_data_val(v_ba) + Long_val(v_idx);
+}
+
+CAMLprim value ml_shma_load(value v_ba, value v_idx)
+{
+    return Val_long(__atomic_load_n(cell(v_ba, v_idx), __ATOMIC_SEQ_CST));
+}
+
+CAMLprim value ml_shma_store(value v_ba, value v_idx, value v_x)
+{
+    __atomic_store_n(cell(v_ba, v_idx), Long_val(v_x), __ATOMIC_SEQ_CST);
+    return Val_unit;
+}
+
+CAMLprim value ml_shma_cas(value v_ba, value v_idx, value v_old, value v_new)
+{
+    intnat expected = Long_val(v_old);
+    return Val_bool(__atomic_compare_exchange_n(
+        cell(v_ba, v_idx), &expected, Long_val(v_new), 0, __ATOMIC_SEQ_CST,
+        __ATOMIC_SEQ_CST));
+}
+
+CAMLprim value ml_shma_faa(value v_ba, value v_idx, value v_d)
+{
+    return Val_long(
+        __atomic_fetch_add(cell(v_ba, v_idx), Long_val(v_d), __ATOMIC_SEQ_CST));
+}
+
+CAMLprim value ml_shma_exchange(value v_ba, value v_idx, value v_x)
+{
+    return Val_long(
+        __atomic_exchange_n(cell(v_ba, v_idx), Long_val(v_x), __ATOMIC_SEQ_CST));
+}
+
+CAMLprim value ml_shma_fence(value v_unit)
+{
+    __atomic_thread_fence(__ATOMIC_SEQ_CST);
+    return Val_unit;
+}
+
+/* memcpy in and out of the char view: Bigarray has no blit-to/from
+ * string, and a per-char loop is measurably slower on multi-KiB
+ * values (same rationale as replica's ml_store_blit). */
+
+CAMLprim value ml_shma_blit_to(value v_src, value v_srcoff, value v_map,
+                               value v_dstoff, value v_len)
+{
+    memcpy((char *)Caml_ba_data_val(v_map) + Long_val(v_dstoff),
+           String_val(v_src) + Long_val(v_srcoff), (size_t)Long_val(v_len));
+    return Val_unit;
+}
+
+CAMLprim value ml_shma_blit_from(value v_map, value v_srcoff, value v_dst,
+                                 value v_dstoff, value v_len)
+{
+    memcpy(Bytes_val(v_dst) + Long_val(v_dstoff),
+           (char *)Caml_ba_data_val(v_map) + Long_val(v_srcoff),
+           (size_t)Long_val(v_len));
+    return Val_unit;
+}

@@ -16,6 +16,7 @@ let () =
          Test_lfrc.suites;
          Test_service.suites;
          Test_shm.suites;
+         Test_shmalloc.suites;
          Test_replica.suites;
          Test_cluster.suites;
          Test_chaos.suites;

@@ -1014,6 +1014,66 @@ let test_primary_dirty_overflow_falls_back () =
         "overflowed tracker falls back to a base" true
         (String.sub f 0 4 = "snap"))
 
+let test_adaptive_dirty_cap_absorbs_spike () =
+  (* A write burst past the poison threshold degrades one snapshot to
+     a full — and only one: the snapshot doubles the next set's cap
+     from the observed overflow, so the same burst rate fits the next
+     cycle.  Quiet cycles then decay the cap back down. *)
+  let store, _ = Store.Mem.create () in
+  let ops = ref [] in
+  let p, _ =
+    Primary.create ~structure:hashmap ~scheme:hyaline ~delta:true
+      ~dirty_cap:16 (mk_cfg ()) ~store ()
+  in
+  Fun.protect
+    ~finally:(fun () -> Primary.stop p)
+    (fun () ->
+      let cap_gauge () = List.assoc "rep_shard0_dirty_cap" (Primary.gauges p) in
+      let put_on shard n =
+        let k = ref 0 and sent = ref 0 in
+        while !sent < n do
+          if p.Primary.svc.Shard.shard_of_key !k = shard then begin
+            let req = Codec.Put { key = !k; value = !k + 7000 + n } in
+            let reply = Shard.call p.Primary.svc ~tid:0 req in
+            ops := (req, reply) :: !ops;
+            incr sent
+          end;
+          incr k
+        done
+      in
+      (* A small base: 3 keys keep the cap at 16 through the full. *)
+      put_on 0 3;
+      ignore (Primary.snapshot_shard p ~shard:0 ~mode:`Full ());
+      Alcotest.(check int) "cap starts at 16" 16 (cap_gauge ());
+      (* Spike: 12 distinct keys poison a cap-16 set (threshold 8). *)
+      put_on 0 12;
+      let f1, _ = Primary.snapshot_shard p ~shard:0 ~mode:`Delta () in
+      Alcotest.(check bool) "cycle 1 degraded to a full" true
+        (String.sub f1 0 4 = "snap");
+      Alcotest.(check int) "cap doubled after the overflow" 32 (cap_gauge ());
+      (* The same burst rate no longer poisons: cycle 2 is a delta. *)
+      put_on 0 12;
+      let f2, _ = Primary.snapshot_shard p ~shard:0 ~mode:`Delta () in
+      Alcotest.(check bool) "cycle 2 ships a delta" true
+        (String.length f2 >= 5 && String.sub f2 0 5 = "delta");
+      (* 12 keys are past a quarter of 32, so cycle 2 doubled again —
+         the cap tracks the burst rate with headroom. *)
+      Alcotest.(check int) "cap sized with headroom" 64 (cap_gauge ());
+      (* Quiet cycles decay the cap back to the floor (1 write each so
+         the snapshot actually publishes and re-sizes). *)
+      put_on 0 1;
+      ignore (Primary.snapshot_shard p ~shard:0 ());
+      Alcotest.(check int) "quiet cycle halves the cap" 32 (cap_gauge ());
+      put_on 0 1;
+      ignore (Primary.snapshot_shard p ~shard:0 ());
+      put_on 0 1;
+      ignore (Primary.snapshot_shard p ~shard:0 ());
+      Alcotest.(check int) "cap clamps at the floor" 16 (cap_gauge ());
+      (* The degradation dance never costs correctness. *)
+      let live = primary_state p in
+      let expected = Chaos.Oracle.replay_state ~ops:(List.rev !ops) in
+      Alcotest.(check (list (pair int int))) "state = oracle" expected live)
+
 let test_full_snapshot_failure_keeps_dirty () =
   (* A full snapshot that fails at traversal or publish must not eat
      the swapped-out dirty set: those keys are the only record of what
@@ -1379,6 +1439,8 @@ let suites =
           test_primary_delta_snapshot_cycle;
         Alcotest.test_case "dirty overflow falls back to full" `Quick
           test_primary_dirty_overflow_falls_back;
+        Alcotest.test_case "adaptive dirty cap absorbs a spike" `Quick
+          test_adaptive_dirty_cap_absorbs_spike;
         Alcotest.test_case "failed full keeps the dirty set" `Quick
           test_full_snapshot_failure_keeps_dirty;
         Alcotest.test_case "boot chain bindings stay clean" `Quick

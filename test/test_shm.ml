@@ -694,6 +694,140 @@ let test_zerocopy_stalled_reader_robustness () =
     true
     (robust * 4 < ebr)
 
+(* ------------------------------------------------------------------ *)
+(* Cross-process zero-copy: arena-backed store, by-reference GETs. *)
+
+let with_arena_server ?(policy = Shmalloc.Arena.Handoff) ?(clients = 2) f =
+  let path = tmp_name "kvd-arena" in
+  let arena =
+    Shmalloc.Arena.create ~path:(path ^ ".arena") ~slots:clients ~policy
+      ~tids:2 ()
+  in
+  let svc =
+    Service.Shard.create
+      ~structure:(Workload.Registry.find_structure "hashmap")
+      ~scheme:(Workload.Registry.find_scheme "hyaline")
+      {
+        Service.Shard.default_config with
+        Service.Shard.shards = 2;
+        clients;
+        mailbox_capacity = 64;
+        zc_readers = 1;
+        arena = Some arena;
+      }
+  in
+  let srv = Service.Shm_conn.serve svc ~path () in
+  Fun.protect ~finally:(fun () ->
+      Service.Shm_conn.shutdown srv;
+      svc.Service.Shard.stop ();
+      Shmalloc.Arena.mark_closed arena;
+      Shmalloc.Arena.detach arena;
+      Shmalloc.Arena.unlink arena)
+  @@ fun () -> f ~path ~svc ~srv ~arena
+
+let test_zc_remote_roundtrip () =
+  with_arena_server @@ fun ~path ~svc:_ ~srv:_ ~arena:_ ->
+  let c = Service.Shm_conn.connect ~path in
+  Fun.protect ~finally:(fun () -> Service.Shm_conn.close c)
+  @@ fun () ->
+  let check name expected req =
+    Alcotest.(check string)
+      name
+      (Codec.reply_to_string expected)
+      (Codec.reply_to_string (Service.Shm_conn.call c req))
+  in
+  (* Before negotiation every reply is materialized daemon-side —
+     byte-identical to the heap-backed transport. *)
+  check "pre-zc put" Codec.Created (Codec.Put { key = 1; value = 10 });
+  check "pre-zc get" (Codec.Value 10) (Codec.Get 1);
+  Alcotest.(check bool) "negotiates" true (Service.Shm_conn.enable_zc c);
+  Alcotest.(check bool) "active" true (Service.Shm_conn.zc_active c);
+  (* After negotiation GETs travel by reference and the client
+     materializes from its own mapping — the replies must not change. *)
+  check "zc get int" (Codec.Value 10) (Codec.Get 1);
+  check "zc get miss" Codec.Not_found (Codec.Get 2);
+  check "zc overwrite" Codec.Updated (Codec.Put { key = 1; value = 11 });
+  check "zc get after write" (Codec.Value 11) (Codec.Get 1);
+  check "zc cas" Codec.Cas_ok (Codec.Cas { key = 1; expected = 11; desired = 12 });
+  check "zc get after cas" (Codec.Value 12) (Codec.Get 1);
+  (* Blob traffic: by reference out, copy path on demand. *)
+  let blob = String.init 600 (fun i -> Char.chr (i land 0xff)) in
+  check "putb" Codec.Created (Codec.Putb { key = 3; value = blob });
+  check "zc get blob" (Codec.Value_blob blob) (Codec.Get 3);
+  check "getc blob" (Codec.Value_blob blob) (Codec.Getc 3);
+  check "del blob" Codec.Deleted (Codec.Del 3);
+  check "get after del" Codec.Not_found (Codec.Get 3);
+  (* The largest legal blob still round-trips... *)
+  let big = String.make Codec.blob_max 'x' in
+  check "putb max" Codec.Created (Codec.Putb { key = 4; value = big });
+  check "zc get max blob" (Codec.Value_blob big) (Codec.Get 4);
+  (* ...and one byte over is refused at the codec, before any frame
+     leaves the client. *)
+  match
+    Service.Shm_conn.call c
+      (Codec.Putb { key = 4; value = String.make (Codec.blob_max + 1) 'x' })
+  with
+  | r -> Alcotest.failf "oversized putb: %s" (Codec.reply_to_string r)
+  | exception Invalid_argument _ -> ()
+
+let test_zc_remote_second_client_copy_path () =
+  with_arena_server @@ fun ~path ~svc:_ ~srv:_ ~arena:_ ->
+  let c1 = Service.Shm_conn.connect ~path in
+  let c2 = Service.Shm_conn.connect ~path in
+  Fun.protect ~finally:(fun () ->
+      Service.Shm_conn.close c1;
+      Service.Shm_conn.close c2)
+  @@ fun () ->
+  Alcotest.(check bool) "c1 negotiates" true (Service.Shm_conn.enable_zc c1);
+  (match Service.Shm_conn.call c1 (Codec.Put { key = 5; value = 55 }) with
+  | Codec.Created -> ()
+  | r -> Alcotest.failf "c1 put: %s" (Codec.reply_to_string r));
+  (* c2 never negotiated: its GET takes the routed path and arrives
+     materialized — a raw reference must never reach it. *)
+  (match Service.Shm_conn.call c2 (Codec.Get 5) with
+  | Codec.Value 55 -> ()
+  | r -> Alcotest.failf "c2 get: %s" (Codec.reply_to_string r));
+  (* And c1's by-reference read agrees. *)
+  match Service.Shm_conn.call c1 (Codec.Get 5) with
+  | Codec.Value 55 -> ()
+  | r -> Alcotest.failf "c1 get: %s" (Codec.reply_to_string r)
+
+let test_zc_remote_dead_client_slot_swept () =
+  with_arena_server @@ fun ~path ~svc:_ ~srv:_ ~arena ->
+  let c = Service.Shm_conn.connect ~path in
+  Alcotest.(check bool) "negotiates" true (Service.Shm_conn.enable_zc c);
+  let slot = Option.get (Service.Shm_conn.zc_slot c) in
+  (match Service.Shm_conn.call c (Codec.Put { key = 1; value = 1 }) with
+  | Codec.Created -> ()
+  | r -> Alcotest.failf "put: %s" (Codec.reply_to_string r));
+  (* Park the reservation open, then die without releasing it. *)
+  Service.Shm_conn.zc_hold c;
+  Alcotest.(check bool) "era pinned" true (Shmalloc.Arena.slot_era arena ~slot <> 0);
+  Service.Shm_conn.close c;
+  (* The multiplexer sweeps the connection — and with it the arena
+     reservation slot the dead client left pinned. *)
+  let deadline = Unix.gettimeofday () +. 5.0 in
+  while
+    Shmalloc.Arena.slot_era arena ~slot <> 0
+    && Unix.gettimeofday () < deadline
+  do
+    Unix.sleepf 0.01
+  done;
+  Alcotest.(check int) "slot force-cleared" 0 (Shmalloc.Arena.slot_era arena ~slot)
+
+let test_zc_remote_stale_arena_swept () =
+  (* A SIGKILLed daemon leaves its listen FIFO and arena file behind;
+     the next serve's claim sweeps both before creating fresh state. *)
+  let path = tmp_name "stale-arena" in
+  Unix.mkfifo path 0o600;
+  let stale = path ^ ".arena" in
+  let a = Shmalloc.Arena.create ~path:stale ~slots:2 ~tids:1 () in
+  Shmalloc.Arena.detach a;
+  Alcotest.(check bool) "stale arena present" true (Sys.file_exists stale);
+  Service.Shm_conn.claim_listen_path path;
+  Alcotest.(check bool) "stale arena swept" false (Sys.file_exists stale);
+  Alcotest.(check bool) "stale fifo swept" false (Sys.file_exists path)
+
 let suites =
   [
     ( "shm.ring",
@@ -767,5 +901,16 @@ let suites =
           test_zerocopy_slot_exhaustion;
         Alcotest.test_case "stalled reader: robust bounded, EBR balloons"
           `Quick test_zerocopy_stalled_reader_robustness;
+      ] );
+    ( "shm.zc-remote",
+      [
+        Alcotest.test_case "by-reference GETs are reply-identical" `Quick
+          test_zc_remote_roundtrip;
+        Alcotest.test_case "non-negotiated client stays on copy path" `Quick
+          test_zc_remote_second_client_copy_path;
+        Alcotest.test_case "dead client's reservation slot swept" `Quick
+          test_zc_remote_dead_client_slot_swept;
+        Alcotest.test_case "stale arena file swept on claim" `Quick
+          test_zc_remote_stale_arena_swept;
       ] );
   ]

@@ -1,0 +1,329 @@
+(* lib/shmalloc: packed-reference round-trips, alloc/retire/free-list
+   reuse, cross-process reservation handoff (stalled-reader bound vs
+   the Epoch baseline), the confirmed-death sweep, and the seeded
+   torn-reference fuzz — a recycle between Val_ref receipt and
+   copy-out must always be detected by the generation stamp, never
+   decoded as a wrong value. *)
+
+module Arena = Shmalloc.Arena
+
+let tmp_name =
+  let counter = ref 0 in
+  fun tag ->
+    incr counter;
+    Filename.concat
+      (Filename.get_temp_dir_name ())
+      (Printf.sprintf "shmalloc-%d-%d-%s.arena" (Unix.getpid ()) !counter tag)
+
+let with_arena ?(slots = 4) ?(policy = Arena.Handoff) ?payloads ?blocks tag f =
+  let path = tmp_name tag in
+  let a = Arena.create ~path ~slots ~policy ?payloads ?blocks () in
+  Fun.protect
+    ~finally:(fun () ->
+      Arena.mark_closed a;
+      Arena.detach a;
+      Arena.unlink a)
+    (fun () -> f a)
+
+let rand_string st n = String.init n (fun _ -> Char.chr (Random.State.int st 256))
+
+(* ------------------------------------------------------------------ *)
+(* Packed references. *)
+
+let test_ref_roundtrip () =
+  let st = Random.State.make [| 0xA11; 0x0C |] in
+  for _ = 1 to 1000 do
+    let gen = Random.State.int st (1 lsl 22) in
+    let cls = Random.State.int st 8 in
+    let len = Random.State.int st (Arena.Ref.max_len + 1) in
+    let idx = Random.State.int st (Arena.Ref.max_idx + 1) in
+    let r = Arena.Ref.pack ~gen ~cls ~len ~idx in
+    Alcotest.(check int) "gen" gen (Arena.Ref.gen r);
+    Alcotest.(check int) "cls" cls (Arena.Ref.cls r);
+    Alcotest.(check int) "len" len (Arena.Ref.len r);
+    Alcotest.(check int) "idx" idx (Arena.Ref.idx r)
+  done
+
+(* ------------------------------------------------------------------ *)
+(* Lifecycle. *)
+
+let test_lifecycle () =
+  let path = tmp_name "life" in
+  let a = Arena.create ~path ~slots:2 () in
+  Alcotest.(check bool) "owner open" true (Arena.is_open a);
+  let r = Arena.attach ~path ~expect_gen:(Arena.generation a) () in
+  Alcotest.(check int) "same gen" (Arena.generation a) (Arena.generation r);
+  Alcotest.(check int) "slots visible" 2 (Arena.nslots r);
+  (match Arena.attach ~path ~expect_gen:(Arena.generation a + 1) () with
+  | exception Arena.Bad_arena _ -> ()
+  | _ -> Alcotest.fail "generation mismatch must be rejected");
+  Arena.detach r;
+  Arena.mark_closed a;
+  (match Arena.attach ~path () with
+  | exception Arena.Bad_arena _ -> ()
+  | _ -> Alcotest.fail "closed arena must be rejected");
+  Arena.detach a;
+  Arena.unlink a;
+  match Arena.attach ~path () with
+  | exception Arena.Bad_arena _ -> ()
+  | _ -> Alcotest.fail "unlinked arena must be rejected"
+
+(* ------------------------------------------------------------------ *)
+(* Allocation: class selection, fall-up, exhaustion, reuse. *)
+
+let test_alloc_classes () =
+  with_arena "cls" ~payloads:[| 16; 64; 256 |] ~blocks:[| 4; 4; 4 |]
+    (fun a ->
+      let r16 = Option.get (Arena.alloc_put a (String.make 10 'a')) in
+      let r64 = Option.get (Arena.alloc_put a (String.make 40 'b')) in
+      let r256 = Option.get (Arena.alloc_put a (String.make 200 'c')) in
+      Alcotest.(check int) "small class" 0 (Arena.Ref.cls r16);
+      Alcotest.(check int) "mid class" 1 (Arena.Ref.cls r64);
+      Alcotest.(check int) "big class" 2 (Arena.Ref.cls r256);
+      Alcotest.(check string) "read own small" (String.make 10 'a')
+        (Arena.read_own a r16);
+      Alcotest.(check string) "read own big" (String.make 200 'c')
+        (Arena.read_own a r256);
+      (* Exhaust class 0: the next small value falls up a class. *)
+      for _ = 1 to 3 do
+        ignore (Option.get (Arena.alloc_put a "x"))
+      done;
+      let up = Option.get (Arena.alloc_put a "y") in
+      Alcotest.(check int) "fall-up on exhaustion" 1 (Arena.Ref.cls up);
+      Alcotest.(check bool) "oversize refused" true
+        (Arena.alloc_put a (String.make 300 'z') = None))
+
+let test_free_reuse () =
+  with_arena "reuse" ~slots:2 ~payloads:[| 32 |] ~blocks:[| 16 |] (fun a ->
+      let r1 = Option.get (Arena.alloc_put a "hello") in
+      let off1 = Arena.off_of_ref a r1 in
+      Arena.retire a ~tid:0 r1;
+      Arena.flush a;
+      (* No active reservation: the batch frees immediately (the
+         flush pads it with dummy blocks, so the freed stack holds
+         the retired block plus the padding). *)
+      Alcotest.(check int) "drained" 0 (Arena.unreclaimed a);
+      let rec realloc n =
+        if n = 0 then Alcotest.fail "retired block never reused"
+        else
+          let r2 = Option.get (Arena.alloc_put a "world") in
+          if Arena.off_of_ref a r2 = off1 then r2 else realloc (n - 1)
+      in
+      let r2 = realloc 8 in
+      Alcotest.(check bool) "generation moved on" true
+        (Arena.Ref.gen r2 <> Arena.Ref.gen r1);
+      Alcotest.(check string) "new bytes" "world" (Arena.read_own a r2))
+
+(* ------------------------------------------------------------------ *)
+(* Reservation handoff: a stalled reader pins only blocks born before
+   its published era (Handoff) while the Epoch baseline pins every
+   later retirement. *)
+
+let churn a st n =
+  let live = ref [] in
+  for _ = 1 to n do
+    let r = Option.get (Arena.alloc_put a (rand_string st 24)) in
+    live := r :: !live;
+    match !live with
+    | a' :: b :: rest when Random.State.bool st ->
+        ignore a';
+        Arena.retire a ~tid:0 b;
+        live := List.hd !live :: rest
+    | _ -> ()
+  done;
+  List.iter (fun r -> Arena.retire a ~tid:0 r) !live
+
+let test_handoff_bound () =
+  with_arena "bound" ~slots:2 ~payloads:[| 32 |] ~blocks:[| 4096 |] (fun a ->
+      let st = Random.State.make [| 7; 7; 7 |] in
+      (* Park a reader, then advance the clock so everything retired
+         below is born after its era. *)
+      Arena.enter a ~slot:0;
+      Arena.advance_era a;
+      churn a st 600;
+      Arena.flush a;
+      let pinned = Arena.unreclaimed a in
+      Alcotest.(check bool)
+        (Printf.sprintf "stalled reader pins bounded garbage (%d)" pinned)
+        true
+        (pinned <= 3 * (Arena.nslots a + 1));
+      Arena.leave a ~slot:0;
+      Arena.flush a;
+      Alcotest.(check int) "drains after leave" 0 (Arena.unreclaimed a))
+
+let test_handoff_pins_prior () =
+  with_arena "prior" ~slots:2 ~payloads:[| 32 |] ~blocks:[| 4096 |] (fun a ->
+      (* Blocks born before the reader entered ARE handed to it. *)
+      let pre = List.init 8 (fun i -> Option.get (Arena.alloc_put a (string_of_int i))) in
+      Arena.enter a ~slot:0;
+      List.iter (fun r -> Arena.retire a ~tid:0 r) pre;
+      Arena.flush a;
+      Alcotest.(check bool) "pre-entry blocks pinned" true
+        (Arena.unreclaimed a > 0);
+      Arena.leave a ~slot:0;
+      Arena.flush a;
+      Alcotest.(check int) "released on leave" 0 (Arena.unreclaimed a))
+
+let test_epoch_balloons () =
+  with_arena "epoch" ~policy:Arena.Epoch ~slots:2 ~payloads:[| 32 |]
+    ~blocks:[| 4096 |] (fun a ->
+      let st = Random.State.make [| 9; 9; 9 |] in
+      Arena.enter a ~slot:0;
+      churn a st 600;
+      Arena.flush a;
+      let pinned = Arena.unreclaimed a in
+      Alcotest.(check bool)
+        (Printf.sprintf "EBR balloons under a stalled reader (%d)" pinned)
+        true (pinned > 400);
+      Arena.leave a ~slot:0;
+      (* Freeing needs the clock past the retire eras. *)
+      Arena.advance_era a;
+      churn a st 40;
+      Arena.flush a;
+      Alcotest.(check bool) "drains once the reader leaves" true
+        (Arena.unreclaimed a < 100))
+
+(* ------------------------------------------------------------------ *)
+(* Confirmed-death sweep. *)
+
+(* A pid [kill 0] confirms nonexistent (ESRCH) — found by probing
+   rather than forking a child, because earlier suites have already
+   spawned domains and OCaml 5 forbids fork after that.  Candidates
+   start near the default pid_max so a hit is near-certain on the
+   first try. *)
+let dead_pid () =
+  let rec hunt pid =
+    if pid <= 1 then failwith "no free pid found"
+    else
+      match Unix.kill pid 0 with
+      | () -> hunt (pid - 7919)
+      | exception Unix.Unix_error (Unix.ESRCH, _, _) -> pid
+      | exception Unix.Unix_error (_, _, _) -> hunt (pid - 7919)
+  in
+  hunt 4194000
+
+let test_sweep_dead () =
+  with_arena "sweep" ~slots:2 ~payloads:[| 32 |] ~blocks:[| 4096 |] (fun a ->
+      let pre = List.init 8 (fun i -> Option.get (Arena.alloc_put a (string_of_int i))) in
+      Arena.enter a ~slot:0;
+      Arena.announce a ~slot:0 ~pid:(dead_pid ());
+      List.iter (fun r -> Arena.retire a ~tid:0 r) pre;
+      Arena.flush a;
+      Alcotest.(check bool) "dead reader pins garbage" true
+        (Arena.unreclaimed a > 0);
+      Alcotest.(check int) "one slot swept" 1 (Arena.sweep_dead a);
+      Arena.flush a;
+      Alcotest.(check int) "garbage drains after sweep" 0 (Arena.unreclaimed a);
+      Alcotest.(check int) "slot word cleared" 0 (Arena.slot_era a ~slot:0);
+      Alcotest.(check int) "pid cleared" 0 (Arena.slot_pid a ~slot:0);
+      (* A live pid is never swept. *)
+      Arena.enter a ~slot:1;
+      Arena.announce a ~slot:1 ~pid:(Unix.getpid ());
+      Alcotest.(check int) "live slot untouched" 0 (Arena.sweep_dead a);
+      Alcotest.(check bool) "live era intact" true (Arena.slot_era a ~slot:1 <> 0);
+      Arena.leave a ~slot:1)
+
+(* ------------------------------------------------------------------ *)
+(* read_ref frame validation: malformed Val_ref fields can never read
+   out of bounds — they come back None and the caller re-copies. *)
+
+let test_read_ref_bounds () =
+  with_arena "bounds" ~payloads:[| 32; 64 |] ~blocks:[| 8; 8 |] (fun a ->
+      let r = Option.get (Arena.alloc_put a "payload") in
+      let cls = Arena.Ref.cls r
+      and off = Arena.off_of_ref a r
+      and len = Arena.Ref.len r
+      and gen = Arena.Ref.gen r in
+      Alcotest.(check (option string)) "well-formed frame reads" (Some "payload")
+        (Arena.read_ref a ~cls ~off ~len ~gen ());
+      let none = Alcotest.(check (option string)) in
+      none "bad class" None (Arena.read_ref a ~cls:7 ~off ~len ~gen ());
+      none "negative class" None (Arena.read_ref a ~cls:(-1) ~off ~len ~gen ());
+      none "misaligned offset" None
+        (Arena.read_ref a ~cls ~off:(off + 8) ~len ~gen ());
+      none "offset below region" None (Arena.read_ref a ~cls ~off:0 ~len ~gen ());
+      none "offset past region" None
+        (Arena.read_ref a ~cls ~off:(Arena.size_bytes a) ~len ~gen ());
+      none "oversized len" None (Arena.read_ref a ~cls ~off ~len:33 ~gen ());
+      none "zero len" None (Arena.read_ref a ~cls ~off ~len:0 ~gen ());
+      none "stale generation" None
+        (Arena.read_ref a ~cls ~off ~len ~gen:((gen + 1) land 0x3FFFFF) ()))
+
+(* ------------------------------------------------------------------ *)
+(* Satellite: seeded torn-reference fuzz.  The daemon recycles the
+   block between the client's Val_ref receipt and its copy-out (and
+   sometimes mid-copy, through the gate).  Every outcome must be
+   either the exact minted bytes or a detected stale read — never a
+   decode of the recycled value. *)
+
+let test_torn_ref_fuzz () =
+  with_arena "fuzz" ~slots:2 ~payloads:[| 16; 128; 1024 |]
+    ~blocks:[| 64; 64; 64 |] (fun a ->
+      let oks = ref 0 and stales = ref 0 in
+      for seed = 0 to 999 do
+        let st = Random.State.make [| 0xF0; seed |] in
+        let len = 1 + Random.State.int st 1000 in
+        let value = rand_string st len in
+        let r = Option.get (Arena.alloc_put a value) in
+        let cls = Arena.Ref.cls r
+        and off = Arena.off_of_ref a r
+        and gen = Arena.Ref.gen r in
+        let recycled = ref None in
+        let recycle () =
+          (* Daemon side: retire the referenced block, drain, and
+             write a same-sized decoy — the free-list LIFO makes it
+             land in the very same block. *)
+          Arena.retire a ~tid:0 r;
+          Arena.flush a;
+          let decoy = rand_string st len in
+          (match Arena.alloc_put a decoy with
+          | Some r' -> recycled := Some r'
+          | None -> Alcotest.fail "decoy alloc failed");
+          ()
+        in
+        let schedule = Random.State.int st 3 in
+        if schedule = 1 then recycle ();
+        let gate () = if schedule = 2 then recycle () in
+        (match Arena.read_ref a ~cls ~off ~len ~gen ~gate () with
+        | Some s ->
+            incr oks;
+            Alcotest.(check string) "materialized bytes are the minted value"
+              value s
+        | None ->
+            incr stales;
+            Alcotest.(check bool) "stale only when the daemon recycled" true
+              (schedule <> 0);
+            (* Retry via the copy path: the authoritative current
+               value is the decoy, read owner-side. *)
+            let r' = Option.get !recycled in
+            Alcotest.(check int) "copy path serves the current value"
+              len
+              (String.length (Arena.read_own a r')));
+        (* Keep the arena tidy for the next seed. *)
+        match !recycled with
+        | Some r' ->
+            Arena.retire a ~tid:0 r';
+            Arena.flush a
+        | None ->
+            Arena.retire a ~tid:0 r;
+            Arena.flush a
+      done;
+      Alcotest.(check bool) "both outcomes exercised" true
+        (!oks > 100 && !stales > 100))
+
+let suites =
+  [
+    ( "shmalloc",
+      [
+        Alcotest.test_case "ref roundtrip" `Quick test_ref_roundtrip;
+        Alcotest.test_case "lifecycle" `Quick test_lifecycle;
+        Alcotest.test_case "alloc classes" `Quick test_alloc_classes;
+        Alcotest.test_case "free reuse" `Quick test_free_reuse;
+        Alcotest.test_case "handoff bound" `Quick test_handoff_bound;
+        Alcotest.test_case "handoff pins prior" `Quick test_handoff_pins_prior;
+        Alcotest.test_case "epoch balloons" `Quick test_epoch_balloons;
+        Alcotest.test_case "sweep dead" `Quick test_sweep_dead;
+        Alcotest.test_case "read_ref bounds" `Quick test_read_ref_bounds;
+        Alcotest.test_case "torn-ref fuzz (1k seeds)" `Quick test_torn_ref_fuzz;
+      ] );
+  ]
